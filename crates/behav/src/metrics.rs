@@ -1,0 +1,262 @@
+//! Converter metrics: FFT-based SNDR/SFDR/THD/ENOB (IEEE-1241-style sine
+//! test) and histogram INL/DNL (ramp test).
+
+use crate::pipeline::PipelineAdc;
+use crate::signals::{coherent_sine, ramp};
+use adc_numerics::fft::{power_spectrum, Window};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Spectral test results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectralMetrics {
+    /// Signal-to-noise-and-distortion ratio, dB.
+    pub sndr_db: f64,
+    /// Spurious-free dynamic range, dB (signal to biggest spur).
+    pub sfdr_db: f64,
+    /// Total harmonic distortion (first five harmonics), dB (negative).
+    pub thd_db: f64,
+    /// Effective number of bits `(SNDR − 1.76)/6.02`.
+    pub enob: f64,
+    /// Signal power found at the test bin.
+    pub signal_power: f64,
+}
+
+/// Computes spectral metrics from time-domain samples known to contain a
+/// coherent tone at `signal_bin`.
+///
+/// Uses a rectangular window (coherent capture). DC and the signal bin
+/// (±0 bins, coherence assumed exact) are excluded from noise.
+///
+/// # Panics
+/// Panics if the record length is not a power of two or the bin is out of
+/// range.
+pub fn spectral_metrics(samples: &[f64], signal_bin: usize) -> SpectralMetrics {
+    let n = samples.len();
+    assert!(
+        signal_bin > 0 && signal_bin < n / 2,
+        "signal bin out of range"
+    );
+    let ps = power_spectrum(samples, Window::Rectangular);
+    let signal_power = ps[signal_bin];
+    let mut noise_distortion = 0.0;
+    let mut max_spur: f64 = 0.0;
+    let mut harmonics = 0.0;
+    for (k, &p) in ps.iter().enumerate().skip(1) {
+        if k == signal_bin {
+            continue;
+        }
+        noise_distortion += p;
+        if p > max_spur {
+            max_spur = p;
+        }
+    }
+    // Harmonics 2..6, folded into the first Nyquist zone.
+    for h in 2..=6usize {
+        let k = (h * signal_bin) % n;
+        let k = if k > n / 2 { n - k } else { k };
+        if k > 0 && k < n / 2 && k != signal_bin {
+            harmonics += ps[k];
+        }
+    }
+    let sndr_db = 10.0 * (signal_power / noise_distortion.max(1e-300)).log10();
+    SpectralMetrics {
+        sndr_db,
+        sfdr_db: 10.0 * (signal_power / max_spur.max(1e-300)).log10(),
+        thd_db: 10.0 * (harmonics.max(1e-300) / signal_power).log10(),
+        enob: (sndr_db - 1.76) / 6.02,
+        signal_power,
+    }
+}
+
+/// Runs a coherent sine test on an ADC: `n` samples (power of two) of a
+/// near-full-scale tone, reproducible from `seed`.
+pub fn sine_test(adc: &PipelineAdc, n: usize, amplitude: f64, seed: u64) -> SpectralMetrics {
+    // An odd bin near n/37 keeps the tone away from DC and Nyquist.
+    let bin = {
+        let raw = (n / 37).max(3);
+        if raw % 2 == 0 {
+            raw + 1
+        } else {
+            raw
+        }
+    };
+    let input = coherent_sine(n, bin, amplitude, 0.1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = adc.convert_waveform(&input, &mut rng);
+    spectral_metrics(&out, bin)
+}
+
+/// Linearity test results (code-density / ramp method).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearityMetrics {
+    /// Per-code DNL in LSB (length `2^K − 2`, first/last codes excluded).
+    pub dnl: Vec<f64>,
+    /// Per-code INL in LSB.
+    pub inl: Vec<f64>,
+    /// Worst |DNL|, LSB.
+    pub dnl_max: f64,
+    /// Worst |INL|, LSB.
+    pub inl_max: f64,
+    /// Number of codes that never occurred (missing codes).
+    pub missing_codes: usize,
+}
+
+/// Measures INL/DNL with a dense ramp test: `samples_per_code·2^K` points
+/// across slightly beyond full scale.
+pub fn ramp_linearity(adc: &PipelineAdc, samples_per_code: usize, seed: u64) -> LinearityMetrics {
+    let k = adc.resolution_bits();
+    let ncodes = 1usize << k;
+    let n = samples_per_code * ncodes;
+    let input = ramp(n, -1.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hist = vec![0usize; ncodes];
+    for &v in &input {
+        let c = adc.convert_code(v, &mut rng) as usize;
+        hist[c] += 1;
+    }
+    // Exclude the end bins (they absorb overrange).
+    let interior = &hist[1..ncodes - 1];
+    let total: usize = interior.iter().sum();
+    let ideal = total as f64 / interior.len() as f64;
+    let mut dnl = Vec::with_capacity(interior.len());
+    let mut inl = Vec::with_capacity(interior.len());
+    let mut acc = 0.0;
+    let mut missing = 0;
+    for &h in interior {
+        if h == 0 {
+            missing += 1;
+        }
+        let d = h as f64 / ideal - 1.0;
+        dnl.push(d);
+        acc += d;
+        inl.push(acc);
+    }
+    // Remove the endpoint-fit line from INL (first-order correction).
+    let last = *inl.last().unwrap_or(&0.0);
+    let m = inl.len().max(1) as f64;
+    for (i, v) in inl.iter_mut().enumerate() {
+        *v -= last * (i as f64 + 1.0) / m;
+    }
+    let dnl_max = dnl.iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
+    let inl_max = inl.iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
+    LinearityMetrics {
+        dnl,
+        inl,
+        dnl_max,
+        inl_max,
+        missing_codes: missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::FlashBackend;
+    use crate::stage::{StageModel, StageNonideality};
+
+    #[test]
+    fn ideal_quantizer_enob_close_to_resolution() {
+        for (front, back, k) in [(vec![2u32, 2], 4u32, 6u32), (vec![3, 2], 5, 8)] {
+            let adc = PipelineAdc::ideal(&front, back);
+            assert_eq!(adc.resolution_bits(), k);
+            let m = sine_test(&adc, 4096, 0.95, 7);
+            // Ideal ENOB ≈ K (within the quantization-model margin).
+            assert!(m.enob > k as f64 - 0.35, "K={k}: ENOB {}", m.enob);
+            assert!(m.enob < k as f64 + 0.5, "K={k}: ENOB {}", m.enob);
+        }
+    }
+
+    #[test]
+    fn thirteen_bit_ideal_pipeline() {
+        let adc = PipelineAdc::ideal(&[4, 3, 2], 7);
+        let m = sine_test(&adc, 16384, 0.95, 3);
+        assert!(m.enob > 12.6, "ENOB {}", m.enob);
+        assert!(m.sfdr_db > 85.0, "SFDR {}", m.sfdr_db);
+    }
+
+    #[test]
+    fn gain_error_limits_enob() {
+        // 2 % first-stage gain error in a 10-bit converter: reconstruction
+        // error ≈ ε·|residue|/G ≈ 2.5e-3 ≳ 1 LSB → clear ENOB loss.
+        let s1 = StageModel::with_nonideality(
+            3,
+            StageNonideality {
+                gain_error: 2e-2,
+                ..Default::default()
+            },
+        );
+        let mut stages = vec![s1];
+        stages.push(StageModel::ideal(2));
+        let adc = PipelineAdc::new(None, stages, FlashBackend::ideal(7));
+        assert_eq!(adc.resolution_bits(), 10);
+        let m = sine_test(&adc, 8192, 0.95, 5);
+        assert!(m.enob < 9.3, "ENOB {} should be degraded", m.enob);
+        let ideal = sine_test(&PipelineAdc::ideal(&[3, 2], 7), 8192, 0.95, 5);
+        assert!(ideal.enob - m.enob > 0.5, "{} vs {}", ideal.enob, m.enob);
+    }
+
+    #[test]
+    fn noise_budget_costs_about_half_bit() {
+        // Input-referred noise equal to the quantization RMS (LSB/√12)
+        // costs ≈ 1.5 dB ≈ 0.25–0.5 bit.
+        let adc = PipelineAdc::ideal(&[2, 2], 6); // 8-bit
+        let lsb = 2.0 / 256.0;
+        let qrms = lsb / 12.0_f64.sqrt();
+        let input = coherent_sine(8192, 221, 0.95, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = adc.convert_waveform_noisy(&input, qrms, &mut rng);
+        let m = spectral_metrics(&noisy, 221);
+        let ideal = sine_test(&adc, 8192, 0.95, 2);
+        let loss = ideal.enob - m.enob;
+        assert!(loss > 0.2 && loss < 0.9, "loss {loss}");
+    }
+
+    #[test]
+    fn ramp_test_ideal_adc_is_linear() {
+        let adc = PipelineAdc::ideal(&[2, 2], 4); // 6-bit
+        let lin = ramp_linearity(&adc, 32, 1);
+        assert_eq!(lin.missing_codes, 0);
+        assert!(lin.dnl_max < 0.2, "DNL {}", lin.dnl_max);
+        assert!(lin.inl_max < 0.2, "INL {}", lin.inl_max);
+    }
+
+    #[test]
+    fn dac_mismatch_shows_up_in_inl() {
+        let s1 = StageModel::with_nonideality(
+            2,
+            StageNonideality {
+                dac_errors: vec![0.004, 0.0, -0.004],
+                ..Default::default()
+            },
+        );
+        let adc = PipelineAdc::new(None, vec![s1, StageModel::ideal(2)], FlashBackend::ideal(4));
+        let lin = ramp_linearity(&adc, 32, 1);
+        let ideal = ramp_linearity(&PipelineAdc::ideal(&[2, 2], 4), 32, 1);
+        assert!(
+            lin.inl_max > 2.0 * ideal.inl_max,
+            "mismatch INL {} vs ideal {}",
+            lin.inl_max,
+            ideal.inl_max
+        );
+    }
+
+    #[test]
+    fn spectral_metrics_of_pure_tone() {
+        let s = coherent_sine(4096, 111, 0.5, 0.0);
+        let m = spectral_metrics(&s, 111);
+        assert!(
+            m.sndr_db > 250.0,
+            "pure tone should be noiseless: {}",
+            m.sndr_db
+        );
+        assert!((m.signal_power - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "signal bin")]
+    fn bin_out_of_range_panics() {
+        spectral_metrics(&[0.0; 64], 32);
+    }
+}

@@ -1,0 +1,148 @@
+//! Monte-Carlo mismatch analysis: sample comparator offsets and capacitor
+//! mismatch from their process statistics and measure yield against an ENOB
+//! target.
+
+use crate::metrics::sine_test;
+use crate::pipeline::{FlashBackend, PipelineAdc};
+use crate::stage::{gaussian, StageModel, StageNonideality};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Statistical description of one stage for Monte-Carlo sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStatistics {
+    /// Raw stage resolution `m`.
+    pub bits: u32,
+    /// 1-σ comparator offset, normalized to the reference.
+    pub comparator_sigma: f64,
+    /// 1-σ DAC level error (capacitor mismatch), normalized.
+    pub dac_sigma: f64,
+    /// Deterministic gain error (finite gain + settling), applied to every
+    /// sample.
+    pub gain_error: f64,
+    /// Stage input-referred noise RMS, normalized.
+    pub noise_rms: f64,
+}
+
+/// Monte-Carlo run summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloResult {
+    /// ENOB of every trial.
+    pub enobs: Vec<f64>,
+    /// Mean ENOB.
+    pub enob_mean: f64,
+    /// ENOB standard deviation.
+    pub enob_sigma: f64,
+    /// Fraction of trials meeting the target.
+    pub yield_fraction: f64,
+}
+
+/// Samples one concrete pipeline instance from stage statistics.
+pub fn sample_pipeline(
+    stats: &[StageStatistics],
+    backend_bits: u32,
+    rng: &mut StdRng,
+) -> PipelineAdc {
+    let stages = stats
+        .iter()
+        .map(|st| {
+            let levels = (1usize << st.bits) - 1;
+            let offs: Vec<f64> = (0..levels - 1)
+                .map(|_| st.comparator_sigma * gaussian(rng))
+                .collect();
+            let dac: Vec<f64> = (0..levels).map(|_| st.dac_sigma * gaussian(rng)).collect();
+            StageModel::with_nonideality(
+                st.bits,
+                StageNonideality {
+                    gain_error: st.gain_error,
+                    comparator_offsets: offs,
+                    dac_errors: dac,
+                    noise_rms: st.noise_rms,
+                    offset: 0.0,
+                },
+            )
+        })
+        .collect();
+    PipelineAdc::new(None, stages, FlashBackend::ideal(backend_bits))
+}
+
+/// Runs `trials` Monte-Carlo instances and reports ENOB statistics and the
+/// yield against `enob_target`.
+pub fn monte_carlo_enob(
+    stats: &[StageStatistics],
+    backend_bits: u32,
+    trials: usize,
+    fft_points: usize,
+    enob_target: f64,
+    seed: u64,
+) -> MonteCarloResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut enobs = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let adc = sample_pipeline(stats, backend_bits, &mut rng);
+        let m = sine_test(&adc, fft_points, 0.95, seed.wrapping_add(t as u64));
+        enobs.push(m.enob);
+    }
+    let mean = enobs.iter().sum::<f64>() / trials.max(1) as f64;
+    let var = enobs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / trials.max(1) as f64;
+    let pass = enobs.iter().filter(|&&e| e >= enob_target).count();
+    MonteCarloResult {
+        enob_mean: mean,
+        enob_sigma: var.sqrt(),
+        yield_fraction: pass as f64 / trials.max(1) as f64,
+        enobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_stats(bits: &[u32]) -> Vec<StageStatistics> {
+        bits.iter()
+            .map(|&b| StageStatistics {
+                bits: b,
+                comparator_sigma: 0.0,
+                dac_sigma: 0.0,
+                gain_error: 0.0,
+                noise_rms: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ideal_statistics_give_full_yield() {
+        let stats = clean_stats(&[3, 2]);
+        let r = monte_carlo_enob(&stats, 5, 5, 2048, 7.0, 42);
+        assert_eq!(r.yield_fraction, 1.0);
+        assert!(r.enob_sigma < 0.05);
+    }
+
+    #[test]
+    fn small_offsets_within_redundancy_keep_yield() {
+        // σ = 20 mV on a ±1 V reference: well inside ±125 mV redundancy of
+        // a 3-bit stage.
+        let mut stats = clean_stats(&[3, 2]);
+        stats[0].comparator_sigma = 0.02;
+        let r = monte_carlo_enob(&stats, 5, 8, 2048, 7.0, 1);
+        assert_eq!(r.yield_fraction, 1.0, "enobs: {:?}", r.enobs);
+    }
+
+    #[test]
+    fn large_mismatch_kills_yield() {
+        let mut stats = clean_stats(&[3, 2]);
+        stats[0].dac_sigma = 0.02; // 2 % DAC errors in an 8-bit converter
+        let r = monte_carlo_enob(&stats, 5, 8, 2048, 7.5, 3);
+        assert!(r.yield_fraction < 1.0, "enobs: {:?}", r.enobs);
+        assert!(r.enob_mean < 7.8);
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let stats = clean_stats(&[2, 2]);
+        let a = monte_carlo_enob(&stats, 4, 3, 1024, 5.0, 9);
+        let b = monte_carlo_enob(&stats, 4, 3, 1024, 5.0, 9);
+        assert_eq!(a.enobs, b.enobs);
+    }
+}

@@ -1,0 +1,79 @@
+//! Front-end sample-and-hold model: gain error, offset, noise, and
+//! slew-dependent aperture jitter.
+
+use crate::stage::gaussian;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Behavioural S/H amplifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ShaModel {
+    /// Multiplicative gain error (0 = unity gain).
+    pub gain_error: f64,
+    /// Output-referred offset, normalized.
+    pub offset: f64,
+    /// RMS sampled noise (kT/C of the hold cap plus opamp), normalized.
+    pub noise_rms: f64,
+    /// RMS voltage error from aperture jitter at the expected maximum input
+    /// slew rate, normalized. (For a sine at `f_in`, set this to
+    /// `2π·f_in·A·σ_t`.)
+    pub jitter_noise_rms: f64,
+}
+
+impl ShaModel {
+    /// Ideal S/H.
+    pub fn ideal() -> Self {
+        ShaModel::default()
+    }
+
+    /// Samples a held value.
+    pub fn sample<R: Rng + ?Sized>(&self, v: f64, rng: &mut R) -> f64 {
+        let mut out = v * (1.0 - self.gain_error) + self.offset;
+        let sigma = (self.noise_rms.powi(2) + self.jitter_noise_rms.powi(2)).sqrt();
+        if sigma > 0.0 {
+            out += sigma * gaussian(rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_passthrough() {
+        let sha = ShaModel::ideal();
+        let mut r = StdRng::seed_from_u64(0);
+        assert_eq!(sha.sample(0.42, &mut r), 0.42);
+    }
+
+    #[test]
+    fn gain_and_offset_applied() {
+        let sha = ShaModel {
+            gain_error: 0.01,
+            offset: 0.002,
+            ..Default::default()
+        };
+        let mut r = StdRng::seed_from_u64(0);
+        let out = sha.sample(1.0, &mut r);
+        assert!((out - (0.99 + 0.002)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn noise_statistics() {
+        let sha = ShaModel {
+            noise_rms: 3e-4,
+            jitter_noise_rms: 4e-4,
+            ..Default::default()
+        };
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 20000;
+        let xs: Vec<f64> = (0..n).map(|_| sha.sample(0.0, &mut r)).collect();
+        let var = xs.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        // Total sigma = 5e-4 (3-4-5 triangle).
+        assert!((var.sqrt() - 5e-4).abs() < 3e-5, "sigma {}", var.sqrt());
+    }
+}

@@ -1,0 +1,65 @@
+//! Ablation of the paper's §3 design decision: hybrid equation+simulation
+//! evaluation vs simulation-only characterization.
+//!
+//! The "equation" path formulates the numeric transfer function once and
+//! reads gain/unity-frequency/phase-margin analytically; the
+//! "simulation" path must sweep enough AC points to locate the unity
+//! crossing by search. Both sit on top of the same DC solve.
+
+use adc_mdac::opamp::{build_telescopic, TelescopicParams};
+use adc_numerics::interp::logspace;
+use adc_sfg::nettf::{extract_tf, NetTfOptions};
+use adc_spice::ac::ac_sweep;
+use adc_spice::dc::{dc_operating_point, DcOptions};
+use adc_spice::process::Process;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let proc = Process::c025();
+    let tb = build_telescopic(&proc, &TelescopicParams::nominal(), 1e-12);
+    let op = dc_operating_point(&tb.circuit, &DcOptions::default()).unwrap();
+
+    // Verify both paths agree on A0 before timing them.
+    let tf = extract_tf(&tb.circuit, &op, tb.output, &NetTfOptions::default())
+        .unwrap()
+        .cancel_common_roots(1e-5);
+    let a0_eq = tf.magnitude(1e4);
+    let sweep = ac_sweep(&tb.circuit, &op, &[1e4]).unwrap();
+    let a0_sim = sweep.voltage(tb.output, 0).norm();
+    assert!(
+        (a0_eq - a0_sim).abs() < 0.01 * a0_sim,
+        "paths disagree: {a0_eq} vs {a0_sim}"
+    );
+    println!("\nA0 agreement: equation {a0_eq:.1} vs simulation {a0_sim:.1}");
+
+    let mut g = c.benchmark_group("ablation_evaluation_paths");
+    g.bench_function("equation_nettf_full_characterization", |b| {
+        b.iter(|| {
+            let tf = extract_tf(&tb.circuit, &op, tb.output, &NetTfOptions::default())
+                .unwrap()
+                .cancel_common_roots(1e-5);
+            let a0 = tf.magnitude(1e4);
+            let fu = tf.unity_gain_freq(1e4, 50e9);
+            black_box((a0, fu))
+        })
+    });
+    g.bench_function("simulation_ac_sweep_61pt_characterization", |b| {
+        let freqs = logspace(1e4, 50e9, 61);
+        b.iter(|| {
+            let sweep = ac_sweep(&tb.circuit, &op, &freqs).unwrap();
+            let mags = sweep.magnitude_db(tb.output);
+            // locate unity crossing by scan (what a simulator flow does)
+            let fu = freqs
+                .iter()
+                .zip(&mags)
+                .find(|(_, &m)| m <= 0.0)
+                .map(|(f, _)| *f);
+            black_box((mags[0], fu))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench around the Fig. 1 computation (full 13-bit candidate
+//! evaluation with the calibrated designer model), printing the figure data
+//! once at startup.
+
+use adc_bench::report_for;
+use adc_topopt::report::fig1_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = report_for(13);
+    println!("\n{}", fig1_table(&report));
+    assert_eq!(report.best().candidate.to_string(), "4-3-2");
+    c.bench_function("fig1_13bit_candidate_evaluation", |b| {
+        b.iter(|| black_box(report_for(black_box(13))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

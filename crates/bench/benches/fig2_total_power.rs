@@ -1,0 +1,23 @@
+//! Criterion bench around the Fig. 2 computation (all four resolutions),
+//! printing the figure data once at startup.
+
+use adc_bench::all_reports;
+use adc_topopt::report::fig2_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let reports = all_reports();
+    println!("\n{}", fig2_table(&reports));
+    let optima: Vec<String> = reports
+        .iter()
+        .map(|r| r.best().candidate.to_string())
+        .collect();
+    assert_eq!(optima, vec!["3-2", "4-2", "4-2-2", "4-3-2"]);
+    c.bench_function("fig2_total_power_10_to_13_bits", |b| {
+        b.iter(|| black_box(all_reports()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench around the Fig. 3 rule derivation (8–14-bit sweep),
+//! printing the rule table once at startup.
+
+use adc_mdac::power::PowerModelParams;
+use adc_topopt::report::fig3_table;
+use adc_topopt::rules::derive_rules;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let params = PowerModelParams::calibrated();
+    let rules = derive_rules(8..=14, &params);
+    println!("\n{}", fig3_table(&rules));
+    assert_eq!(rules.band_for_max_bits(3), Some((9, 10)));
+    c.bench_function("fig3_rule_derivation_8_to_14_bits", |b| {
+        b.iter(|| black_box(derive_rules(black_box(8..=14), &params)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

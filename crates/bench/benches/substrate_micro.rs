@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the substrates the flow leans on: the DC Newton
+//! solve, the DPI/SFG + Mason symbolic analysis, numeric TF extraction and
+//! the FFT-based converter metrics.
+
+use adc_behav::metrics::sine_test;
+use adc_behav::pipeline::PipelineAdc;
+use adc_mdac::opamp::{build_telescopic, TelescopicParams};
+use adc_sfg::dpi::DpiSfg;
+use adc_sfg::nettf::{extract_tf, NetTfOptions};
+use adc_spice::dc::{dc_operating_point, DcOptions};
+use adc_spice::process::Process;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let proc = Process::c025();
+    let tb = build_telescopic(&proc, &TelescopicParams::nominal(), 1e-12);
+    let op = dc_operating_point(&tb.circuit, &DcOptions::default()).unwrap();
+
+    c.bench_function("dc_newton_telescopic_ota", |b| {
+        b.iter(|| black_box(dc_operating_point(&tb.circuit, &DcOptions::default()).unwrap()))
+    });
+    c.bench_function("nettf_extraction_telescopic", |b| {
+        b.iter(|| {
+            black_box(extract_tf(&tb.circuit, &op, tb.output, &NetTfOptions::default()).unwrap())
+        })
+    });
+
+    // DPI/Mason on a common-source stage (symbolic path).
+    let mut cs = adc_spice::Circuit::new();
+    let vdd = cs.node("vdd");
+    let g = cs.node("g");
+    let d = cs.node("d");
+    cs.add_vsource("VDD", vdd, adc_spice::Circuit::GROUND, 3.3);
+    cs.add_vsource_wave("VG", g, adc_spice::Circuit::GROUND, 0.8.into(), 1.0);
+    cs.add_resistor("RD", vdd, d, 10e3);
+    cs.add_capacitor("CL", d, adc_spice::Circuit::GROUND, 1e-12);
+    cs.add_mosfet(
+        "M1",
+        d,
+        g,
+        adc_spice::Circuit::GROUND,
+        adc_spice::Circuit::GROUND,
+        proc.nmos,
+        5e-6,
+        0.5e-6,
+    );
+    let op_cs = dc_operating_point(&cs, &DcOptions::default()).unwrap();
+    c.bench_function("dpi_mason_symbolic_common_source", |b| {
+        b.iter(|| {
+            let dpi = DpiSfg::build(&cs, &op_cs, g).unwrap();
+            black_box(dpi.tf(d).unwrap())
+        })
+    });
+
+    let adc = PipelineAdc::ideal(&[4, 3, 2], 7);
+    let mut grp = c.benchmark_group("behavioural");
+    grp.sample_size(20);
+    grp.bench_function("sine_test_4096pt_13bit", |b| {
+        b.iter(|| black_box(sine_test(&adc, 4096, 0.95, 1)))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the §4 effort claim: cold circuit synthesis vs
+//! warm-started retargeting of an MDAC opamp (small budgets — each
+//! iteration runs DC Newton + TF extraction per candidate).
+
+use adc_mdac::power::{design_chain, PowerModelParams};
+use adc_mdac::specs::AdcSpec;
+use adc_synth::SynthConfig;
+use adc_topopt::flow::{ota_requirements, synthesize_ota, OtaRequirements};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = AdcSpec::date05(13);
+    let params = PowerModelParams::calibrated();
+    let chain = design_chain(&spec, &[4, 3, 2], &params);
+    let req = ota_requirements(&chain[2], &spec);
+    let cfg = SynthConfig {
+        iterations: 120,
+        nm_iterations: 30,
+        seed: 5,
+        ..Default::default()
+    };
+    let cold = synthesize_ota(&spec.process, &req, &cfg, None);
+    println!(
+        "\ncold synthesis: {} evaluations (feasible = {})",
+        cold.evaluations, cold.feasible
+    );
+    let relaxed = OtaRequirements {
+        a0_min: req.a0_min * 0.8,
+        ..req.clone()
+    };
+
+    let mut g = c.benchmark_group("synthesis_effort");
+    g.sample_size(10);
+    g.bench_function("cold_synthesis_120_iter", |b| {
+        b.iter(|| black_box(synthesize_ota(&spec.process, &req, &cfg, None)))
+    });
+    g.bench_function("warm_retarget_of_same_block", |b| {
+        b.iter(|| black_box(synthesize_ota(&spec.process, &relaxed, &cfg, Some(&cold))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

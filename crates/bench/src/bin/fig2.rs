@@ -1,0 +1,23 @@
+//! Regenerates Fig. 2: total front-end power for every configuration at
+//! 10–13 bits, marking each resolution's optimum.
+//!
+//! Run with `cargo run --release -p adc-bench --bin fig2`.
+
+use adc_bench::all_reports;
+use adc_topopt::report::fig2_table;
+
+fn main() {
+    println!("=== Fig. 2 reproduction: total power for the first ~6 effective bits ===\n");
+    let reports = all_reports();
+    print!("{}", fig2_table(&reports));
+    println!("\nPaper optima: 3-2 (10b), 4-2 (11b), 4-2-2 (12b), 4-3-2 (13b).");
+    println!("Measured optima:");
+    for r in &reports {
+        println!(
+            "  K = {:>2}: {}  (last stage {} bits)",
+            r.spec.resolution,
+            r.best().candidate,
+            r.best().candidate.last_stage_bits()
+        );
+    }
+}

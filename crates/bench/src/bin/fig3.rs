@@ -1,0 +1,19 @@
+//! Regenerates Fig. 3: the optimum-candidate-enumeration decision rules.
+//!
+//! Run with `cargo run --release -p adc-bench --bin fig3`.
+
+use adc_mdac::power::PowerModelParams;
+use adc_topopt::report::fig3_table;
+use adc_topopt::rules::derive_rules;
+
+fn main() {
+    println!("=== Fig. 3 reproduction: optimum candidate enumeration rules ===\n");
+    let rules = derive_rules(8..=14, &PowerModelParams::calibrated());
+    print!("{}", fig3_table(&rules));
+    println!("\nDerived bands (paper: Bit≤8 → {{2}}, MSB∈{{9,10}} → {{2,3}}, MSB≥11 → {{2,3,4}}):");
+    for m in 2..=4u32 {
+        if let Some((lo, hi)) = rules.band_for_max_bits(m) {
+            println!("  max stage resolution {m}: K ∈ [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # adc-bench
+//!
+//! Benchmark harness regenerating **every table and figure** of the paper's
+//! evaluation:
+//!
+//! | artifact | binary | criterion bench |
+//! |----------|--------|-----------------|
+//! | Fig. 1 — stage power, 13-bit candidates | `fig1` | `fig1_stage_power` |
+//! | Fig. 2 — total power, 10–13 bits | `fig2` | `fig2_total_power` |
+//! | Fig. 3 — optimum-enumeration rules | `fig3` | `fig3_rules` |
+//! | §4 effort claim (setup vs retarget) | `effort` | `synthesis_effort` |
+//!
+//! plus `substrate_micro` measuring the building blocks (DC Newton solve,
+//! Mason's rule, TF extraction, FFT metrics).
+//!
+//! Binaries print the same rows/series the paper reports; see
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+use adc_mdac::power::PowerModelParams;
+use adc_mdac::specs::AdcSpec;
+use adc_topopt::optimize::{optimize_topology, TopologyReport};
+
+/// The paper's evaluated resolutions.
+pub const RESOLUTIONS: [u32; 4] = [10, 11, 12, 13];
+
+/// Runs the topology optimization for one resolution with the calibrated
+/// designer model.
+pub fn report_for(resolution: u32) -> TopologyReport {
+    optimize_topology(
+        &AdcSpec::date05(resolution),
+        &PowerModelParams::calibrated(),
+    )
+}
+
+/// Reports for all four paper resolutions.
+pub fn all_reports() -> Vec<TopologyReport> {
+    RESOLUTIONS.iter().map(|&k| report_for(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_cover_all_resolutions() {
+        let rs = all_reports();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs[3].best().candidate.to_string(), "4-3-2");
+    }
+}

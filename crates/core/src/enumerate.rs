@@ -1,0 +1,219 @@
+//! Candidate enumeration (§2 of the paper).
+//!
+//! A K-bit pipelined converter with one redundancy bit per stage satisfies
+//! `Σ (mᵢ − 1) = K`; the enumeration explores the **front-end** stages that
+//! resolve everything above the cheap 1.5-bit/stage backend (the paper
+//! keeps "the first few stages such that the output resolution exceeds
+//! 7 bits"). Constraints:
+//!
+//! * `mᵢ ≤ 4` — closed-loop bandwidth concerns (feedback factor collapses);
+//! * `mᵢ ≥ mᵢ₊₁` — non-increasing resolution (area factor, used implicitly
+//!   in the literature);
+//! * `mᵢ ≥ 2` — one redundancy bit must remain.
+//!
+//! For K = 13 (backend 7) this yields exactly **seven** candidates —
+//! 4-4, 4-3-2, 4-2-2-2, 3-3-3, 3-3-2-2, 3-2-2-2-2, 2-2-2-2-2-2.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One enumerated front-end configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Candidate {
+    front_bits: Vec<u32>,
+}
+
+impl Candidate {
+    /// Creates a candidate from raw per-stage resolutions.
+    ///
+    /// # Panics
+    /// Panics if the constraint set (2 ≤ mᵢ ≤ 4, non-increasing) is
+    /// violated.
+    pub fn new(front_bits: Vec<u32>) -> Self {
+        assert!(!front_bits.is_empty(), "empty candidate");
+        for w in front_bits.windows(2) {
+            assert!(w[0] >= w[1], "stage resolutions must be non-increasing");
+        }
+        assert!(
+            front_bits.iter().all(|&m| (2..=4).contains(&m)),
+            "stage resolutions must be in 2..=4"
+        );
+        Candidate { front_bits }
+    }
+
+    /// Per-stage raw resolutions `mᵢ`.
+    pub fn front_bits(&self) -> &[u32] {
+        &self.front_bits
+    }
+
+    /// Number of front-end stages.
+    pub fn stage_count(&self) -> usize {
+        self.front_bits.len()
+    }
+
+    /// Effective bits resolved by the front end, `Σ(mᵢ−1)`.
+    pub fn effective_bits(&self) -> u32 {
+        self.front_bits.iter().map(|m| m - 1).sum()
+    }
+
+    /// First-stage resolution `m₁`.
+    pub fn first_stage_bits(&self) -> u32 {
+        self.front_bits[0]
+    }
+
+    /// Last front-end stage resolution.
+    pub fn last_stage_bits(&self) -> u32 {
+        *self.front_bits.last().expect("nonempty")
+    }
+
+    /// Total front-end comparator count `Σ(2^mᵢ − 2)`.
+    pub fn comparator_count(&self) -> usize {
+        self.front_bits.iter().map(|&m| (1usize << m) - 2).sum()
+    }
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, m) in self.front_bits.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-")?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates every front-end configuration for a `resolution`-bit ADC with
+/// a `backend_bits` 1.5-bit/stage tail: all non-increasing compositions of
+/// `resolution − backend_bits` effective bits with per-stage effective bits
+/// in 1..=3.
+///
+/// Candidates are returned in descending first-stage resolution, then
+/// lexicographic order. Returns an empty vector when
+/// `resolution ≤ backend_bits` (no front end needed — the all-1.5-bit
+/// converter).
+pub fn enumerate_candidates(resolution: u32, backend_bits: u32) -> Vec<Candidate> {
+    if resolution <= backend_bits {
+        return Vec::new();
+    }
+    let total = (resolution - backend_bits) as i32;
+    let mut out = Vec::new();
+    let mut cur: Vec<u32> = Vec::new();
+    fn rec(rem: i32, max_part: i32, cur: &mut Vec<u32>, out: &mut Vec<Candidate>) {
+        if rem == 0 {
+            out.push(Candidate::new(cur.iter().map(|&r| r + 1).collect()));
+            return;
+        }
+        let hi = max_part.min(rem);
+        for part in (1..=hi).rev() {
+            cur.push(part as u32);
+            rec(rem - part, part, cur, out);
+            cur.pop();
+        }
+    }
+    rec(total, 3, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn thirteen_bit_yields_exactly_seven() {
+        let cands = enumerate_candidates(13, 7);
+        assert_eq!(cands.len(), 7, "{cands:?}");
+        let names: HashSet<String> = cands.iter().map(|c| c.to_string()).collect();
+        for want in [
+            "2-2-2-2-2-2",
+            "3-2-2-2-2",
+            "3-3-3",
+            "4-3-2",
+            "4-2-2-2",
+            "3-3-2-2",
+            "4-4",
+        ] {
+            assert!(names.contains(want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn counts_for_10_to_12_bits() {
+        assert_eq!(enumerate_candidates(10, 7).len(), 3); // 4, 3-2, 2-2-2
+        assert_eq!(enumerate_candidates(11, 7).len(), 4);
+        assert_eq!(enumerate_candidates(12, 7).len(), 5);
+        assert_eq!(enumerate_candidates(9, 7).len(), 2); // 3, 2-2
+        assert_eq!(enumerate_candidates(8, 7).len(), 1); // single 1.5-bit stage
+        assert!(enumerate_candidates(7, 7).is_empty());
+    }
+
+    #[test]
+    fn all_candidates_satisfy_constraints() {
+        for k in 9..=16 {
+            for c in enumerate_candidates(k, 7) {
+                assert_eq!(c.effective_bits(), k - 7, "{c}");
+                assert!(c.front_bits().iter().all(|&m| (2..=4).contains(&m)), "{c}");
+                for w in c.front_bits().windows(2) {
+                    assert!(w[0] >= w[1], "{c} not non-increasing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_complete_vs_brute_force() {
+        // Brute force: all sequences over {2,3,4} up to length 6.
+        for k in 9..=13u32 {
+            let eff = k - 7;
+            let mut brute = HashSet::new();
+            fn gen(cur: &mut Vec<u32>, remaining: i64, brute: &mut HashSet<Vec<u32>>) {
+                if remaining == 0 && !cur.is_empty() {
+                    let ok = cur.windows(2).all(|w| w[0] >= w[1]);
+                    if ok {
+                        brute.insert(cur.clone());
+                    }
+                }
+                if remaining <= 0 || cur.len() >= 6 {
+                    return;
+                }
+                for m in 2..=4u32 {
+                    cur.push(m);
+                    gen(cur, remaining - (m as i64 - 1), brute);
+                    cur.pop();
+                }
+            }
+            let mut cur = Vec::new();
+            gen(&mut cur, eff as i64, &mut brute);
+            let enumerated: HashSet<Vec<u32>> = enumerate_candidates(k, 7)
+                .into_iter()
+                .map(|c| c.front_bits().to_vec())
+                .collect();
+            assert_eq!(enumerated, brute, "K={k}");
+        }
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let c = Candidate::new(vec![4, 3, 2]);
+        assert_eq!(c.to_string(), "4-3-2");
+        assert_eq!(c.stage_count(), 3);
+        assert_eq!(c.effective_bits(), 6);
+        assert_eq!(c.first_stage_bits(), 4);
+        assert_eq!(c.last_stage_bits(), 2);
+        assert_eq!(c.comparator_count(), 14 + 6 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn rejects_increasing_configs() {
+        Candidate::new(vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=4")]
+    fn rejects_out_of_range() {
+        Candidate::new(vec![5, 2]);
+    }
+}

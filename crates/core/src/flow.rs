@@ -1,0 +1,252 @@
+//! Block-level synthesis orchestration: spec translation, the MDAC reuse
+//! cache across candidates, and circuit-grounded OTA synthesis with
+//! warm-started retargeting.
+//!
+//! The paper synthesized "eleven MDACs … to enumerate the seven 13-bit ADC
+//! configurations": distinct `(m, input-accuracy)` pairs are synthesized
+//! once and reused across candidates; retargeting a neighbouring spec
+//! warm-starts from the nearest finished design.
+
+use crate::enumerate::Candidate;
+use adc_mdac::opamp::{build_telescopic, build_two_stage, TelescopicParams, TwoStageParams};
+use adc_mdac::power::{design_chain, OtaTopology, PowerModelParams, StageDesign};
+use adc_mdac::specs::AdcSpec;
+use adc_spice::process::Process;
+use adc_synth::hybrid::{BenchSetup, HybridOptions, HybridOtaEvaluator};
+use adc_synth::{
+    Constraint, ConstraintKind, DesignSpace, DesignVar, SynthConfig, SynthResult, Synthesizer,
+};
+use std::collections::BTreeMap;
+
+/// Collects the distinct MDAC block specs — `(m, input_accuracy)` pairs —
+/// across a set of candidates (the paper's reuse set).
+pub fn distinct_mdac_specs(spec: &AdcSpec, candidates: &[Candidate]) -> Vec<(u32, u32)> {
+    let mut set = std::collections::BTreeSet::new();
+    for c in candidates {
+        for st in adc_mdac::specs::stage_specs(spec, c.front_bits()) {
+            set.insert(st.reuse_key());
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// OTA template selected for a block (the gain-boosted class of the
+/// analytic model maps onto the two-stage template at circuit level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateKind {
+    /// Telescopic cascode.
+    Telescopic,
+    /// Two-stage Miller.
+    TwoStage,
+}
+
+/// Requirements handed to the circuit-level OTA synthesis for one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OtaRequirements {
+    /// Minimum low-frequency gain (linear).
+    pub a0_min: f64,
+    /// Minimum unity-gain frequency with the stage load, Hz.
+    pub unity_min: f64,
+    /// Minimum phase margin, degrees.
+    pub pm_min: f64,
+    /// Load capacitance for the testbench, F.
+    pub c_load: f64,
+    /// Template implied by the analytic topology selection.
+    pub template: TemplateKind,
+}
+
+/// Derives circuit-level OTA requirements from an analytic stage design.
+pub fn ota_requirements(design: &StageDesign, spec: &AdcSpec) -> OtaRequirements {
+    let t_lin = spec.t_amplify() * (1.0 - 0.368);
+    // Closed-loop settling: loop crossover β·ωu ≥ N_τ/t_lin →
+    // fu ≥ N_τ/(2π·β·t_lin) with the amp loaded by C_Leff.
+    let unity_min = design.n_tau / (2.0 * std::f64::consts::PI * design.caps.beta * t_lin);
+    let template = match design.topology {
+        OtaTopology::Telescopic | OtaTopology::FoldedCascode => TemplateKind::Telescopic,
+        OtaTopology::GainBoostedTelescopic | OtaTopology::TwoStageMiller => TemplateKind::TwoStage,
+    };
+    OtaRequirements {
+        a0_min: design.a0_required,
+        unity_min,
+        pm_min: 60.0,
+        c_load: design.c_load_eff,
+        template,
+    }
+}
+
+/// One synthesized MDAC opamp.
+#[derive(Debug, Clone)]
+pub struct MdacBlock {
+    /// Reuse key `(m, input_accuracy)`.
+    pub key: (u32, u32),
+    /// Requirements used.
+    pub requirements: OtaRequirements,
+    /// Synthesis result (sizing, performance, evaluation count).
+    pub result: SynthResult,
+    /// Whether this block was warm-started from a previous one.
+    pub retargeted: bool,
+}
+
+fn space_for(template: TemplateKind) -> DesignSpace {
+    let bounds = match template {
+        TemplateKind::Telescopic => TelescopicParams::bounds(),
+        TemplateKind::TwoStage => TwoStageParams::bounds(),
+    };
+    DesignSpace::new(
+        bounds
+            .into_iter()
+            .map(|b| {
+                if b.log {
+                    DesignVar::log(b.name, b.lo, b.hi)
+                } else {
+                    DesignVar::linear(b.name, b.lo, b.hi)
+                }
+            })
+            .collect(),
+    )
+}
+
+fn constraints_for(req: &OtaRequirements) -> Vec<Constraint> {
+    vec![
+        Constraint::new("a0", ConstraintKind::AtLeast, req.a0_min),
+        Constraint::new("unity_freq", ConstraintKind::AtLeast, req.unity_min),
+        Constraint::new("pm", ConstraintKind::AtLeast, req.pm_min),
+        Constraint::new("saturated", ConstraintKind::AtLeast, 1.0),
+    ]
+}
+
+/// Builds the synthesizer + evaluator pair for a requirement set and runs a
+/// cold synthesis (or a retarget from `warm_start`).
+pub fn synthesize_ota(
+    process: &Process,
+    req: &OtaRequirements,
+    cfg: &SynthConfig,
+    warm_start: Option<&SynthResult>,
+) -> SynthResult {
+    let space = space_for(req.template);
+    let synth = Synthesizer::new(space, constraints_for(req), "power");
+    let proc = process.clone();
+    let template = req.template;
+    let c_load = req.c_load;
+    let build = move |x: &[f64]| -> BenchSetup {
+        let tb = match template {
+            TemplateKind::Telescopic => {
+                build_telescopic(&proc, &TelescopicParams::from_vec(x), c_load)
+            }
+            TemplateKind::TwoStage => build_two_stage(&proc, &TwoStageParams::from_vec(x), c_load),
+        };
+        BenchSetup {
+            circuit: tb.circuit,
+            output: tb.output,
+            supply: tb.supply,
+            devices: tb.devices,
+        }
+    };
+    let evaluator = HybridOtaEvaluator::new(build, HybridOptions::default());
+    match warm_start {
+        Some(prev) => synth.retarget(&evaluator, prev, cfg),
+        None => synth.synthesize(&evaluator, cfg),
+    }
+}
+
+/// Synthesizes every distinct MDAC of a candidate set with reuse: exact
+/// key hits are returned from the cache; otherwise the nearest same-template
+/// block (by input accuracy) warm-starts a retargeting run.
+pub fn synthesize_candidate_set(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+    cfg: &SynthConfig,
+) -> Vec<MdacBlock> {
+    let mut cache: BTreeMap<(u32, u32), MdacBlock> = BTreeMap::new();
+    for cand in candidates {
+        let chain = design_chain(spec, cand.front_bits(), params);
+        for design in &chain {
+            let key = design.spec.reuse_key();
+            if cache.contains_key(&key) {
+                continue;
+            }
+            let req = ota_requirements(design, spec);
+            // Nearest finished block with the same template → warm start.
+            let warm = cache
+                .values()
+                .filter(|b| b.requirements.template == req.template)
+                .min_by_key(|b| {
+                    (b.key.0 as i64 - key.0 as i64).abs() * 16
+                        + (b.key.1 as i64 - key.1 as i64).abs()
+                })
+                .map(|b| b.result.clone());
+            let retargeted = warm.is_some();
+            let result = synthesize_ota(&spec.process, &req, cfg, warm.as_ref());
+            cache.insert(
+                key,
+                MdacBlock {
+                    key,
+                    requirements: req,
+                    result,
+                    retargeted,
+                },
+            );
+        }
+    }
+    cache.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_candidates;
+
+    #[test]
+    fn distinct_specs_for_13_bit_are_about_eleven() {
+        let spec = AdcSpec::date05(13);
+        let cands = enumerate_candidates(13, 7);
+        let keys = distinct_mdac_specs(&spec, &cands);
+        // The paper reports eleven; our accuracy bookkeeping yields 12
+        // distinct (m, A) pairs — documented in DESIGN.md.
+        assert!(
+            (11..=12).contains(&keys.len()),
+            "expected ~11 distinct MDACs, got {}: {keys:?}",
+            keys.len()
+        );
+        assert!(keys.contains(&(4, 13)));
+        assert!(keys.contains(&(2, 8)));
+    }
+
+    #[test]
+    fn requirements_scale_with_accuracy() {
+        let spec = AdcSpec::date05(13);
+        let params = PowerModelParams::calibrated();
+        let chain = design_chain(&spec, &[4, 3, 2], &params);
+        let r1 = ota_requirements(&chain[0], &spec);
+        let r3 = ota_requirements(&chain[2], &spec);
+        assert!(r1.a0_min > r3.a0_min);
+        assert!(r1.unity_min > r3.unity_min);
+        assert!(r1.c_load > r3.c_load);
+        assert_eq!(r3.template, TemplateKind::Telescopic);
+        assert_eq!(r1.template, TemplateKind::TwoStage);
+    }
+
+    /// End-to-end circuit synthesis of the cheapest block (the 2-bit last
+    /// stage of the 13-bit 4-3-2 candidate) with a small budget.
+    #[test]
+    fn synthesize_last_stage_ota_meets_spec() {
+        let spec = AdcSpec::date05(13);
+        let params = PowerModelParams::calibrated();
+        let chain = design_chain(&spec, &[4, 3, 2], &params);
+        let req = ota_requirements(&chain[2], &spec);
+        let cfg = SynthConfig {
+            iterations: 350,
+            nm_iterations: 60,
+            seed: 21,
+            ..Default::default()
+        };
+        let run = synthesize_ota(&spec.process, &req, &cfg, None);
+        // With a tiny budget we at least approach feasibility; the block
+        // must have a real gain and a unity crossing.
+        let a0 = run.best_perf.get("a0").unwrap_or(0.0);
+        let fu = run.best_perf.get("unity_freq").unwrap_or(0.0);
+        assert!(a0 > req.a0_min * 0.3, "a0 {a0} vs req {}", req.a0_min);
+        assert!(fu > req.unity_min * 0.3, "fu {fu} vs req {}", req.unity_min);
+    }
+}

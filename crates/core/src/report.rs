@@ -1,0 +1,141 @@
+//! Plain-text and CSV emitters for the figure-regeneration binaries.
+
+use crate::optimize::TopologyReport;
+use crate::rules::RuleTable;
+use std::fmt::Write as _;
+
+/// Renders the Fig. 1 data: per-stage power of every candidate.
+pub fn fig1_table(report: &TopologyReport) -> String {
+    let mut out = String::new();
+    let max_stages = report
+        .rows
+        .iter()
+        .map(|r| r.stage_power.len())
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "Stage power [mW] for {}-bit {} MSPS pipelined ADC configurations",
+        report.spec.resolution,
+        report.spec.fs / 1e6
+    );
+    let mut header = format!("{:<14}", "config");
+    for i in 1..=max_stages {
+        header.push_str(&format!("{:>10}", format!("stage {i}")));
+    }
+    header.push_str(&format!("{:>10}", "total"));
+    let _ = writeln!(out, "{header}");
+    for row in &report.rows {
+        let mut line = format!("{:<14}", row.candidate.to_string());
+        for i in 0..max_stages {
+            match row.stage_power.get(i) {
+                Some(p) => line.push_str(&format!("{:>10.3}", p * 1e3)),
+                None => line.push_str(&format!("{:>10}", "-")),
+            }
+        }
+        line.push_str(&format!("{:>10.3}", row.total_power * 1e3));
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders a Fig. 2 row: total power per candidate at one resolution.
+pub fn fig2_table(reports: &[TopologyReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Total front-end power [mW] per configuration and resolution"
+    );
+    for report in reports {
+        let _ = writeln!(out, "K = {} bits:", report.spec.resolution);
+        for row in &report.rows {
+            let marker = if std::ptr::eq(row, report.best()) {
+                "  << optimum"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {:<14}{:>10.3}{}",
+                row.candidate.to_string(),
+                row.total_power * 1e3,
+                marker
+            );
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 3 rule table.
+pub fn fig3_table(rules: &RuleTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Optimum candidate enumeration rules (derived)");
+    let _ = writeln!(
+        out,
+        "{:<6}{:<16}{:<10}{:<14}{}",
+        "K", "optimum", "max m_i", "last stage", "resolutions used"
+    );
+    for r in &rules.rows {
+        let used: Vec<String> = r.used_bits.iter().map(|m| m.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{:<6}{:<16}{:<10}{:<14}{{{}}}",
+            r.resolution,
+            r.optimum,
+            r.max_stage_bits,
+            r.last_stage_bits,
+            used.join(",")
+        );
+    }
+    out
+}
+
+/// CSV of total power per candidate (one line per candidate).
+pub fn totals_csv(report: &TopologyReport) -> String {
+    let mut out = String::from("config,total_power_mw\n");
+    for row in &report.rows {
+        let _ = writeln!(out, "{},{:.6}", row.candidate, row.total_power * 1e3);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::optimize_topology;
+    use crate::rules::derive_rules;
+    use adc_mdac::power::PowerModelParams;
+    use adc_mdac::specs::AdcSpec;
+
+    #[test]
+    fn fig1_contains_all_configs() {
+        let r = optimize_topology(&AdcSpec::date05(13), &PowerModelParams::calibrated());
+        let t = fig1_table(&r);
+        for cfg in ["4-3-2", "2-2-2-2-2-2", "4-4"] {
+            assert!(t.contains(cfg), "missing {cfg} in:\n{t}");
+        }
+        assert!(t.contains("stage 1"));
+    }
+
+    #[test]
+    fn fig2_marks_optimum() {
+        let reports: Vec<_> = [10u32, 11]
+            .iter()
+            .map(|&k| optimize_topology(&AdcSpec::date05(k), &PowerModelParams::calibrated()))
+            .collect();
+        let t = fig2_table(&reports);
+        assert!(t.contains("<< optimum"));
+        assert!(t.contains("K = 10 bits"));
+    }
+
+    #[test]
+    fn fig3_and_csv_render() {
+        let rules = derive_rules(9..=11, &PowerModelParams::calibrated());
+        let t = fig3_table(&rules);
+        assert!(t.contains("max m_i"));
+        let r = optimize_topology(&AdcSpec::date05(10), &PowerModelParams::calibrated());
+        let csv = totals_csv(&r);
+        assert!(csv.lines().count() >= 4);
+        assert!(csv.starts_with("config,"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Derivation of the paper's Fig. 3: decision rules for the optimum
+//! candidate enumeration as a function of converter resolution.
+//!
+//! Sweeping the optimizer over resolutions produces the bands the paper
+//! draws: low-resolution converters (≤ 8 bits) stay all-1.5-bit
+//! (`mᵢ ∈ {2}`), medium ones (9–10 bits) admit 3-bit front stages
+//! (`mᵢ ∈ {2,3}`), and 11+ bits admit the full `mᵢ ∈ {2,3,4}` set with a
+//! 4-bit first stage; the last front-end stage is always 2 bits.
+
+use crate::optimize::optimize_topology;
+use adc_mdac::power::PowerModelParams;
+use adc_mdac::specs::AdcSpec;
+use serde::{Deserialize, Serialize};
+
+/// One resolution's derived optimum and rule attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleRow {
+    /// Converter resolution K.
+    pub resolution: u32,
+    /// Optimum configuration label (`"-"` when no front end is needed).
+    pub optimum: String,
+    /// Largest stage resolution used by the optimum.
+    pub max_stage_bits: u32,
+    /// Distinct stage resolutions used.
+    pub used_bits: Vec<u32>,
+    /// Last front-end stage resolution (2 when a front end exists).
+    pub last_stage_bits: u32,
+}
+
+/// Fig. 3 as data: one row per resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleTable {
+    /// Rows in ascending resolution.
+    pub rows: Vec<RuleRow>,
+}
+
+impl RuleTable {
+    /// Row for a resolution.
+    pub fn row(&self, resolution: u32) -> Option<&RuleRow> {
+        self.rows.iter().find(|r| r.resolution == resolution)
+    }
+
+    /// The resolution band (inclusive) whose optima use `max_bits` as the
+    /// largest stage resolution.
+    pub fn band_for_max_bits(&self, max_bits: u32) -> Option<(u32, u32)> {
+        let ks: Vec<u32> = self
+            .rows
+            .iter()
+            .filter(|r| r.max_stage_bits == max_bits)
+            .map(|r| r.resolution)
+            .collect();
+        Some((*ks.iter().min()?, *ks.iter().max()?))
+    }
+}
+
+/// Sweeps `resolutions` and derives the optimum rules.
+pub fn derive_rules(
+    resolutions: std::ops::RangeInclusive<u32>,
+    params: &PowerModelParams,
+) -> RuleTable {
+    let rows = resolutions
+        .map(|k| {
+            let spec = AdcSpec::date05(k);
+            let report = optimize_topology(&spec, params);
+            if report.rows.is_empty() {
+                // ≤ backend resolution: all-1.5-bit converter, mᵢ ∈ {2}.
+                return RuleRow {
+                    resolution: k,
+                    optimum: "-".to_string(),
+                    max_stage_bits: 2,
+                    used_bits: vec![2],
+                    last_stage_bits: 2,
+                };
+            }
+            let best = report.best();
+            let mut used: Vec<u32> = best.candidate.front_bits().to_vec();
+            used.sort_unstable();
+            used.dedup();
+            RuleRow {
+                resolution: k,
+                optimum: best.candidate.to_string(),
+                max_stage_bits: best.candidate.first_stage_bits(),
+                used_bits: used,
+                last_stage_bits: best.candidate.last_stage_bits(),
+            }
+        })
+        .collect();
+    RuleTable { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RuleTable {
+        derive_rules(8..=13, &PowerModelParams::calibrated())
+    }
+
+    /// The paper's three bands: ≤8 all-2, 9–10 admit 3, ≥11 admit 4.
+    #[test]
+    fn bands_match_figure_3() {
+        let t = table();
+        assert_eq!(t.row(8).unwrap().max_stage_bits, 2);
+        for k in 9..=10 {
+            assert_eq!(t.row(k).unwrap().max_stage_bits, 3, "K = {k}");
+        }
+        for k in 11..=13 {
+            assert_eq!(t.row(k).unwrap().max_stage_bits, 4, "K = {k}");
+        }
+    }
+
+    #[test]
+    fn last_stage_two_bits_for_10_to_13() {
+        // The paper's claim is scoped to 10–13 bits; at K = 9 the optimum
+        // is a single 3-bit stage (no 2-bit stage exists).
+        for r in &table().rows {
+            if r.resolution >= 10 {
+                assert_eq!(r.last_stage_bits, 2, "K = {}", r.resolution);
+            }
+        }
+    }
+
+    #[test]
+    fn band_extraction() {
+        let t = table();
+        assert_eq!(t.band_for_max_bits(3), Some((9, 10)));
+        assert_eq!(t.band_for_max_bits(4), Some((11, 13)));
+        assert_eq!(t.band_for_max_bits(5), None);
+    }
+
+    #[test]
+    fn used_bits_subset_of_allowed() {
+        for r in &table().rows {
+            assert!(r.used_bits.iter().all(|&m| (2..=4).contains(&m)));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Calibration search for PowerModelParams (temporary tool).
+use adc_mdac::power::{chain_power, PowerModelParams};
+use adc_mdac::specs::AdcSpec;
+
+fn candidates(k: u32) -> Vec<Vec<u32>> {
+    let total = (k - 7) as i32;
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    fn rec(rem: i32, maxp: i32, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if rem == 0 {
+            out.push(cur.iter().map(|&p| p + 1).collect());
+            return;
+        }
+        for p in (1..=maxp.min(rem)).rev() {
+            cur.push(p as u32);
+            rec(rem - p, p, cur, out);
+            cur.pop();
+        }
+    }
+    rec(total, 3, &mut cur, &mut out);
+    out
+}
+
+/// Returns (n_targets_hit, min_margin_over_hit, stage1_spread)
+fn score(p: &PowerModelParams) -> (usize, f64, f64) {
+    let targets: [(u32, &[u32]); 4] = [
+        (10, &[3, 2]),
+        (11, &[4, 2]),
+        (12, &[4, 2, 2]),
+        (13, &[4, 3, 2]),
+    ];
+    let mut hits = 0;
+    let mut margin_min = f64::INFINITY;
+    for (k, want) in targets {
+        let spec = AdcSpec::date05(k);
+        let mut rows: Vec<(Vec<u32>, f64)> = candidates(k)
+            .into_iter()
+            .map(|c| {
+                let pw = chain_power(&spec, &c, p);
+                (c, pw)
+            })
+            .collect();
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        if rows[0].0 == want {
+            hits += 1;
+            margin_min = margin_min.min((rows[1].1 - rows[0].1) / rows[0].1);
+        }
+    }
+    let spec = AdcSpec::date05(13);
+    let p1: Vec<f64> = [vec![2u32, 2, 2, 2, 2, 2], vec![3, 3, 3], vec![4, 3, 2]]
+        .iter()
+        .map(|c| adc_mdac::power::design_chain(&spec, c, p)[0].power_total)
+        .collect();
+    let spread =
+        p1.iter().cloned().fold(f64::MIN, f64::max) / p1.iter().cloned().fold(f64::MAX, f64::min);
+    (hits, margin_min, spread)
+}
+
+fn report(p: &PowerModelParams) {
+    for k in [10u32, 11, 12, 13] {
+        let spec = AdcSpec::date05(k);
+        let mut rows: Vec<(Vec<u32>, f64)> = candidates(k)
+            .into_iter()
+            .map(|c| {
+                let pw = chain_power(&spec, &c, p);
+                (c, pw)
+            })
+            .collect();
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        println!("K={k}:");
+        for (c, pw) in &rows {
+            println!("  {:?} {:.3} mW", c, pw * 1e3);
+        }
+    }
+    let spec = AdcSpec::date05(13);
+    let p1: Vec<f64> = [vec![2u32, 2, 2, 2, 2, 2], vec![3, 3, 3], vec![4, 3, 2]]
+        .iter()
+        .map(|c| adc_mdac::power::design_chain(&spec, c, p)[0].power_total)
+        .collect();
+    println!(
+        "stage1 power m1=2/3/4: {:.3} {:.3} {:.3} mW",
+        p1[0] * 1e3,
+        p1[1] * 1e3,
+        p1[2] * 1e3
+    );
+}
+
+fn main() {
+    let base = PowerModelParams::calibrated();
+    let (h, m, s) = score(&base);
+    println!("current: hits={h}/4 margin={m:.4} spread={s:.3}");
+
+    report(&base);
+}

@@ -1,0 +1,88 @@
+//! Sub-ADC comparator model: offset budget check and power.
+//!
+//! Digital correction relaxes comparator accuracy to the redundancy range
+//! (±Vref/2^m), so dynamic latches with a small preamp suffice for every
+//! enumerated stage resolution; the power model is therefore a per-
+//! comparator energy·rate term plus a small static share for the reference
+//! ladder and preamp bias.
+
+use crate::power::PowerModelParams;
+use crate::specs::{AdcSpec, StageSpec};
+use serde::{Deserialize, Serialize};
+
+/// Comparator bank design summary for one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComparatorBank {
+    /// Number of comparators (`2^m − 2`).
+    pub count: usize,
+    /// 1-σ offset of the chosen comparator, normalized to the reference.
+    pub offset_sigma: f64,
+    /// Offset budget (max tolerable), normalized.
+    pub offset_budget: f64,
+    /// Total bank power, W.
+    pub power: f64,
+}
+
+/// Designs the comparator bank of a stage.
+///
+/// The achievable dynamic-latch offset σ is taken from the power-model
+/// parameters; if the redundancy budget is tighter than `3σ`, a preamp
+/// power multiplier is applied (never triggered for m ≤ 4 with the default
+/// process numbers — exactly the paper's operating regime).
+pub fn design_comparators(spec: &AdcSpec, st: &StageSpec, p: &PowerModelParams) -> ComparatorBank {
+    let count = st.comparator_count();
+    let budget = st.comparator_offset_budget();
+    let sigma = p.comparator_offset_sigma;
+    let needs_preamp = 3.0 * sigma > budget;
+    let per_cmp = p.comparator_power
+        * if needs_preamp {
+            p.comparator_preamp_factor
+        } else {
+            1.0
+        };
+    let _ = spec;
+    ComparatorBank {
+        count,
+        offset_sigma: sigma,
+        offset_budget: budget,
+        power: count as f64 * per_cmp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::stage_specs;
+
+    #[test]
+    fn counts_and_power_scale_with_bits() {
+        let spec = AdcSpec::date05(13);
+        let p = PowerModelParams::calibrated();
+        let st = stage_specs(&spec, &[4, 3, 2]);
+        let banks: Vec<ComparatorBank> = st
+            .iter()
+            .map(|s| design_comparators(&spec, s, &p))
+            .collect();
+        assert_eq!(banks[0].count, 14);
+        assert_eq!(banks[1].count, 6);
+        assert_eq!(banks[2].count, 2);
+        assert!(banks[0].power > banks[1].power);
+        assert!(banks[1].power > banks[2].power);
+    }
+
+    #[test]
+    fn redundancy_keeps_dynamic_latches_sufficient() {
+        let spec = AdcSpec::date05(13);
+        let p = PowerModelParams::calibrated();
+        for m in 2..=4u32 {
+            let st = stage_specs(&spec, &[m, 2]);
+            let bank = design_comparators(&spec, &st[0], &p);
+            assert!(
+                3.0 * bank.offset_sigma <= bank.offset_budget,
+                "m={m}: 3σ = {} vs budget {}",
+                3.0 * bank.offset_sigma,
+                bank.offset_budget
+            );
+        }
+    }
+}

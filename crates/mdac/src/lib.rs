@@ -1,0 +1,39 @@
+//! # adc-mdac
+//!
+//! The block-design layer between the system-level enumeration and the
+//! circuit-level synthesis: it translates ADC-level specifications into
+//! per-stage MDAC block specifications (the paper's "MDAC block-level
+//! specifications can be translated from the ADC system-level
+//! specifications and the value mᵢ"), sizes capacitors from kT/C-noise and
+//! matching requirements, derives opamp requirements (gm from settling,
+//! slew current, static-gain floor), selects an OTA topology, models
+//! sub-ADC comparators, and produces analytic power estimates.
+//!
+//! It also generates transistor-level OTA netlists (telescopic and
+//! two-stage Miller templates) for the simulation-grounded synthesis in
+//! `adc-synth`.
+//!
+//! ## Example
+//!
+//! ```
+//! use adc_mdac::specs::AdcSpec;
+//! use adc_mdac::power::{design_chain, PowerModelParams};
+//!
+//! let spec = AdcSpec::date05(13); // 13-bit 40 MSPS, 0.25 µm 3.3 V
+//! let designs = design_chain(&spec, &[4, 3, 2], &PowerModelParams::calibrated());
+//! assert_eq!(designs.len(), 3);
+//! // First-stage sampling cap is kT/C-limited: picofarads.
+//! assert!(designs[0].caps.c_samp > 1e-12);
+//! // Total front-end power is milliwatts, not microwatts or watts.
+//! let total: f64 = designs.iter().map(|d| d.power_total).sum();
+//! assert!(total > 1e-3 && total < 100e-3);
+//! ```
+
+pub mod comparator;
+pub mod opamp;
+pub mod power;
+pub mod sizing;
+pub mod specs;
+
+pub use power::{design_chain, PowerModelParams, StageDesign};
+pub use specs::{AdcSpec, StageSpec};

@@ -1,0 +1,176 @@
+//! Capacitor sizing and feedback-factor computation for flip-around MDACs.
+//!
+//! Three constraints set the sampling capacitor:
+//! * **kT/C noise** — the sampled thermal noise, referred to the stage
+//!   input, must fit the stage's share of the noise budget at its input
+//!   accuracy; amplifier noise is folded in through a feedback-factor
+//!   dependent excess term (low-gain stages feel the opamp noise almost
+//!   fully, high-gain stages attenuate it).
+//! * **matching** — the capacitor-ratio accuracy must support the MDAC gain
+//!   accuracy at the stage's input accuracy (mitigated by a layout/
+//!   averaging factor — common-centroid unit arrays do much better than
+//!   naive √N of a lone unit pair).
+//! * **practical floor** — at least one unit capacitor per DAC level and an
+//!   absolute wiring-dominated minimum.
+
+use crate::power::PowerModelParams;
+use crate::specs::{AdcSpec, StageSpec};
+use adc_numerics::constants::KT_NOMINAL;
+use serde::{Deserialize, Serialize};
+
+/// Capacitor plan for one MDAC stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapPlan {
+    /// Total sampling capacitance (differential half-circuit), F.
+    pub c_samp: f64,
+    /// Feedback capacitor `C/G`, F.
+    pub c_f: f64,
+    /// Feedback factor β including the OTA input-loading allowance.
+    pub beta: f64,
+    /// Which constraint set `c_samp`.
+    pub limited_by: CapLimit,
+}
+
+/// The binding constraint on the sampling capacitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapLimit {
+    /// kT/C thermal noise.
+    Noise,
+    /// Capacitor matching.
+    Matching,
+    /// Practical minimum (unit-cap count / wiring floor).
+    Floor,
+}
+
+impl std::fmt::Display for CapLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapLimit::Noise => write!(f, "noise"),
+            CapLimit::Matching => write!(f, "matching"),
+            CapLimit::Floor => write!(f, "floor"),
+        }
+    }
+}
+
+/// Noise-limited capacitance for a stage whose input must be good to
+/// `acc_bits`, with the β-dependent amplifier-noise excess.
+pub fn noise_cap(spec: &AdcSpec, acc_bits: u32, beta: f64, p: &PowerModelParams) -> f64 {
+    // Budget: thermal noise power = κ · quantization power at acc_bits.
+    let lsb = spec.full_scale / (1u64 << acc_bits) as f64;
+    let budget = p.noise_quant_ratio * lsb * lsb / 12.0;
+    let excess = 1.0 + p.amp_noise_beta_factor * beta;
+    p.sampling_noise_factor * KT_NOMINAL * excess / budget
+}
+
+/// Matching-limited capacitance at `acc_bits` input accuracy.
+pub fn matching_cap(spec: &AdcSpec, acc_bits: u32, p: &PowerModelParams) -> f64 {
+    let sigma_req =
+        1.0 / ((1u64 << (acc_bits + 1)) as f64) / p.matching_sigma_margin * p.layout_averaging;
+    let units_needed = (spec.process.cap_sigma_unit / sigma_req).powi(2);
+    let unit_c = spec.process.cap_density * spec.process.cap_unit_area;
+    units_needed * unit_c
+}
+
+/// Practical floor: one unit per DAC level, plus an absolute minimum.
+pub fn floor_cap(spec: &AdcSpec, stage_bits: u32, p: &PowerModelParams) -> f64 {
+    let unit_c = spec.process.cap_density * spec.process.cap_unit_area;
+    let per_level = (1u64 << (stage_bits - 1)) as f64 * unit_c;
+    per_level.max(p.cap_floor)
+}
+
+/// Sizes the sampling network of one stage.
+pub fn size_stage_caps(spec: &AdcSpec, st: &StageSpec, p: &PowerModelParams) -> CapPlan {
+    // β ≈ Cf/(Cs+Cf+Cin) = 1/(G·(1+χ)) with χ the OTA input-loading ratio.
+    let beta = 1.0 / (st.gain * (1.0 + p.input_loading_ratio));
+    let cn = noise_cap(spec, st.input_accuracy, beta, p);
+    let cm = matching_cap(spec, st.input_accuracy, p);
+    let cf_floor = floor_cap(spec, st.bits, p);
+    let (c_samp, limited_by) = if cn >= cm && cn >= cf_floor {
+        (cn, CapLimit::Noise)
+    } else if cm >= cf_floor {
+        (cm, CapLimit::Matching)
+    } else {
+        (cf_floor, CapLimit::Floor)
+    };
+    CapPlan {
+        c_samp,
+        c_f: c_samp / st.gain,
+        beta,
+        limited_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::stage_specs;
+
+    fn params() -> PowerModelParams {
+        PowerModelParams::calibrated()
+    }
+
+    #[test]
+    fn first_stage_13bit_is_picofarads() {
+        // With the calibrated constants the 13-bit first stage is
+        // matching-limited (no calibration assumed) at several picofarads —
+        // kT/C noise alone would allow ~3 pF.
+        let spec = AdcSpec::date05(13);
+        let st = stage_specs(&spec, &[4, 3, 2]);
+        let plan = size_stage_caps(&spec, &st[0], &params());
+        assert_eq!(plan.limited_by, CapLimit::Matching);
+        assert!(
+            plan.c_samp > 1e-12 && plan.c_samp < 20e-12,
+            "C1 = {}",
+            plan.c_samp
+        );
+    }
+
+    #[test]
+    fn later_stages_hit_the_floor() {
+        let spec = AdcSpec::date05(13);
+        let st = stage_specs(&spec, &[4, 3, 2]);
+        let plan3 = size_stage_caps(&spec, &st[2], &params());
+        assert!(matches!(
+            plan3.limited_by,
+            CapLimit::Floor | CapLimit::Matching
+        ));
+        assert!(plan3.c_samp < 0.5e-12);
+    }
+
+    #[test]
+    fn noise_cap_quadruples_per_bit() {
+        let spec = AdcSpec::date05(13);
+        let p = params();
+        let c12 = noise_cap(&spec, 12, 0.2, &p);
+        let c13 = noise_cap(&spec, 13, 0.2, &p);
+        assert!((c13 / c12 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_decreases_with_gain() {
+        let spec = AdcSpec::date05(13);
+        let p = params();
+        let st = stage_specs(&spec, &[4, 3, 2]);
+        let plans: Vec<CapPlan> = st.iter().map(|s| size_stage_caps(&spec, s, &p)).collect();
+        assert!(plans[0].beta < plans[1].beta);
+        assert!(plans[1].beta < plans[2].beta);
+        // β ≈ 1/(G(1+χ))
+        assert!((plans[0].beta * 8.0 * (1.0 + p.input_loading_ratio) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amp_noise_excess_penalizes_low_gain_stages() {
+        let spec = AdcSpec::date05(13);
+        let p = params();
+        let c_low_beta = noise_cap(&spec, 13, 0.1, &p);
+        let c_high_beta = noise_cap(&spec, 13, 0.4, &p);
+        assert!(c_high_beta > c_low_beta);
+    }
+
+    #[test]
+    fn floor_grows_with_stage_bits() {
+        let spec = AdcSpec::date05(13);
+        let p = params();
+        assert!(floor_cap(&spec, 4, &p) >= floor_cap(&spec, 2, &p));
+    }
+}

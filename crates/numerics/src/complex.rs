@@ -1,0 +1,409 @@
+//! Minimal, fast complex-number type used throughout the workspace.
+//!
+//! We deliberately implement our own rather than pulling in `num-complex`:
+//! the AC analysis, Mason's rule and root finders need only a small surface
+//! (arithmetic, norm, argument, exp/sqrt) and keeping it local makes the
+//! workspace dependency-free for math.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` over `f64`.
+///
+/// # Example
+/// ```
+/// use adc_numerics::Complex;
+/// let j = Complex::I;
+/// assert!((j * j + Complex::ONE).norm() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Euclidean magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (avoids the square root of [`Complex::norm`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Uses Smith's algorithm to avoid premature overflow/underflow.
+    #[inline]
+    pub fn inv(self) -> Self {
+        Complex::ONE / self
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        Complex {
+            re: self.norm().ln(),
+            im: self.arg(),
+        }
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        if self.im == 0.0 {
+            if self.re >= 0.0 {
+                return Complex::new(self.re.sqrt(), 0.0);
+            }
+            return Complex::new(0.0, (-self.re).sqrt());
+        }
+        let r = self.norm();
+        let re = ((r + self.re) / 2.0).sqrt();
+        let im = ((r - self.re) / 2.0).sqrt().copysign(self.im);
+        Complex { re, im }
+    }
+
+    /// Raises to an integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Complex::ONE;
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Complex::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    /// Smith's algorithm: scale by the larger denominator component.
+    fn div(self, rhs: Complex) -> Complex {
+        if rhs.re.abs() >= rhs.im.abs() {
+            if rhs.re == 0.0 && rhs.im == 0.0 {
+                // Division by exact zero: propagate infinities like f64 does.
+                return Complex::new(self.re / 0.0, self.im / 0.0);
+            }
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: f64) -> Complex {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: f64) -> Complex {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs * self
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).norm() <= tol
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -4.0);
+        assert_eq!(a + b, Complex::new(4.0, -2.0));
+        assert_eq!(a - b, Complex::new(-2.0, 6.0));
+        assert_eq!(a * b, Complex::new(11.0, 2.0));
+        assert!(close(a / b * b, a, 1e-14));
+    }
+
+    #[test]
+    fn division_by_small_numbers_is_stable() {
+        let a = Complex::new(1.0, 1.0);
+        let b = Complex::new(1e-300, 1e-300);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!(q.norm() > 1e299);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.5, 0.7);
+        assert!((z.norm() - 2.5).abs() < 1e-14);
+        assert!((z.arg() - 0.7).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (3.0, 4.0),
+            (-3.0, -4.0),
+            (0.0, 2.0),
+        ] {
+            let z = Complex::new(re, im);
+            let r = z.sqrt();
+            assert!(close(r * r, z, 1e-12), "sqrt failed for {z}");
+        }
+    }
+
+    #[test]
+    fn exp_ln_round_trip() {
+        let z = Complex::new(0.3, -1.2);
+        assert!(close(z.exp().ln(), z, 1e-12));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex::new(1.1, -0.4);
+        let mut acc = Complex::ONE;
+        for n in 0..8 {
+            assert!(close(z.powi(n), acc, 1e-10));
+            acc *= z;
+        }
+        assert!(close(z.powi(-3), (z * z * z).inv(), 1e-12));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = [
+            Complex::new(1.0, 0.0),
+            Complex::new(0.0, 1.0),
+            Complex::new(2.0, 2.0),
+        ];
+        let s: Complex = xs.iter().copied().sum();
+        assert_eq!(s, Complex::new(3.0, 3.0));
+        let p: Complex = xs.iter().copied().product();
+        assert!(close(
+            p,
+            Complex::new(1.0, 0.0) * Complex::I * Complex::new(2.0, 2.0),
+            1e-14
+        ));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn division_by_zero_yields_non_finite() {
+        let q = Complex::ONE / Complex::ZERO;
+        assert!(!q.is_finite());
+    }
+}

@@ -1,0 +1,588 @@
+//! Dense linear algebra: row-major matrices and LU factorization with
+//! partial pivoting, in both real and complex flavors.
+//!
+//! The circuit simulator builds modified-nodal-analysis (MNA) systems of
+//! modest size (tens of unknowns); dense LU with partial pivoting is the
+//! appropriate tool, and re-factorization per Newton iteration is cheap at
+//! this scale.
+
+use crate::complex::Complex;
+use crate::{NumResult, NumericsError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Pivot magnitude below which a matrix is declared numerically singular.
+const SINGULAR_TOL: f64 = 1e-300;
+
+/// Dense row-major `f64` matrix.
+///
+/// # Example
+/// ```
+/// use adc_numerics::Matrix;
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let x = a.solve(&[3.0, 5.0]).unwrap();
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resets all entries to zero (reuse storage across Newton iterations).
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `v` to entry `(i, j)` — the MNA "stamp" primitive.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        let c = self.cols;
+        self.data[i * c + j] += v;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul_mat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot underflows.
+    pub fn lu(&self) -> NumResult<Lu> {
+        assert_eq!(self.rows, self.cols, "LU requires a square matrix");
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: find the largest magnitude in column k.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < SINGULAR_TOL {
+                return Err(NumericsError::SingularMatrix {
+                    step: k,
+                    pivot: max,
+                });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let f = lu[i * n + k] / pivot;
+                lu[i * n + k] = f;
+                if f != 0.0 {
+                    for j in (k + 1)..n {
+                        lu[i * n + j] -= f * lu[k * n + j];
+                    }
+                }
+            }
+        }
+        Ok(Lu { n, lu, perm, sign })
+    }
+
+    /// Solves `A x = b` via LU.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::SingularMatrix`] for singular systems.
+    pub fn solve(&self, b: &[f64]) -> NumResult<Vec<f64>> {
+        Ok(self.lu()?.solve(b))
+    }
+
+    /// Determinant via LU (0 for singular matrices).
+    pub fn det(&self) -> f64 {
+        match self.lu() {
+            Ok(lu) => lu.det(),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// LU factorization of a real matrix (P·A = L·U).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        // Apply permutation, forward substitution (L has unit diagonal).
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu[i * n + j] * y[j];
+            }
+            y[i] = s / self.lu[i * n + i];
+        }
+        y
+    }
+
+    /// Determinant from the product of pivots.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
+    }
+}
+
+/// Dense row-major complex matrix (for AC small-signal analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a zero-filled complex matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Adds `v` at `(i, j)` — complex MNA stamp.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: Complex) {
+        let c = self.cols;
+        self.data[i * c + j] += v;
+    }
+
+    /// Determinant via in-place LU with partial pivoting (0 for singular).
+    pub fn det(&self) -> Complex {
+        assert_eq!(self.rows, self.cols, "square matrix required");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut det = Complex::ONE;
+        for k in 0..n {
+            let mut p = k;
+            let mut max = a[k * n + k].norm();
+            for i in (k + 1)..n {
+                let v = a[i * n + k].norm();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < SINGULAR_TOL {
+                return Complex::ZERO;
+            }
+            if p != k {
+                for j in k..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                det = -det;
+            }
+            let pivot = a[k * n + k];
+            det *= pivot;
+            for i in (k + 1)..n {
+                let f = a[i * n + k] / pivot;
+                if f.norm() != 0.0 {
+                    for j in (k + 1)..n {
+                        let akj = a[k * n + j];
+                        a[i * n + j] -= f * akj;
+                    }
+                }
+            }
+        }
+        det
+    }
+
+    /// Solves `A x = b` in place of an LU factorization (partial pivoting by
+    /// magnitude).
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot magnitude
+    /// underflows.
+    pub fn solve(&self, b: &[Complex]) -> NumResult<Vec<Complex>> {
+        assert_eq!(self.rows, self.cols, "square system required");
+        assert_eq!(b.len(), self.rows, "dimension mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<Complex> = b.to_vec();
+        for k in 0..n {
+            let mut p = k;
+            let mut max = a[k * n + k].norm();
+            for i in (k + 1)..n {
+                let v = a[i * n + k].norm();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < SINGULAR_TOL {
+                return Err(NumericsError::SingularMatrix {
+                    step: k,
+                    pivot: max,
+                });
+            }
+            if p != k {
+                for j in k..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                x.swap(k, p);
+            }
+            let pivot = a[k * n + k];
+            for i in (k + 1)..n {
+                let f = a[i * n + k] / pivot;
+                if f.norm() != 0.0 {
+                    for j in (k + 1)..n {
+                        let akj = a[k * n + j];
+                        a[i * n + j] -= f * akj;
+                    }
+                    let xk = x[k];
+                    x[i] -= f * xk;
+                }
+                a[i * n + k] = Complex::ZERO;
+            }
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= a[i * n + j] * x[j];
+            }
+            x[i] = s / a[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.0, 0.5];
+        let x = a.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(b.iter()) {
+            assert!((xi - bi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn solve_3x3_known() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let want = [2.0, 3.0, -1.0];
+        for (xi, wi) in x.iter().zip(want.iter()) {
+            assert!((xi - wi).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-15);
+        assert!((x[1] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match a.solve(&[1.0, 2.0]) {
+            Err(NumericsError::SingularMatrix { .. }) => {}
+            other => panic!("expected singular error, got {other:?}"),
+        }
+        assert_eq!(a.det(), 0.0);
+    }
+
+    #[test]
+    fn det_of_triangular() {
+        let a = Matrix::from_rows(&[&[2.0, 5.0, 1.0], &[0.0, 3.0, 7.0], &[0.0, 0.0, -4.0]]);
+        assert!((a.det() + 24.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn det_sign_tracks_permutation() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((a.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_and_mat() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let c = a.mul_mat(&b);
+        assert_eq!(c[(0, 0)], 2.0);
+        assert_eq!(c[(0, 1)], 1.0);
+        assert_eq!(c[(1, 0)], 4.0);
+        assert_eq!(c[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn lu_reuse_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        for b in [[7.0, 9.0], [1.0, 0.0], [0.0, 1.0]] {
+            let x = lu.solve(&b);
+            let back = a.mul_vec(&x);
+            for (bi, wi) in back.iter().zip(b.iter()) {
+                assert!((bi - wi).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_solve_known() {
+        // (1+i) x = 2i  =>  x = 2i/(1+i) = 1 + i
+        let mut a = CMatrix::zeros(1, 1);
+        a[(0, 0)] = Complex::new(1.0, 1.0);
+        let x = a.solve(&[Complex::new(0.0, 2.0)]).unwrap();
+        assert!((x[0] - Complex::new(1.0, 1.0)).norm() < 1e-14);
+    }
+
+    #[test]
+    fn complex_solve_2x2_residual() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = Complex::new(2.0, 1.0);
+        a[(0, 1)] = Complex::new(0.0, -1.0);
+        a[(1, 0)] = Complex::new(1.0, 0.0);
+        a[(1, 1)] = Complex::new(3.0, 2.0);
+        let b = [Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)];
+        let x = a.solve(&b).unwrap();
+        // residual check
+        for i in 0..2 {
+            let mut r = -b[i];
+            for j in 0..2 {
+                r += a[(i, j)] * x[j];
+            }
+            assert!(r.norm() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn complex_det_known() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = Complex::new(1.0, 1.0);
+        a[(1, 1)] = Complex::new(2.0, 0.0);
+        a[(0, 1)] = Complex::new(0.0, 3.0);
+        // triangular: det = (1+i)·2
+        assert!((a.det() - Complex::new(2.0, 2.0)).norm() < 1e-14);
+        // permuted rows flip sign
+        let mut b = CMatrix::zeros(2, 2);
+        b[(0, 1)] = Complex::ONE;
+        b[(1, 0)] = Complex::ONE;
+        assert!((b.det() + Complex::ONE).norm() < 1e-14);
+        assert_eq!(CMatrix::zeros(2, 2).det(), Complex::ZERO);
+    }
+
+    #[test]
+    fn complex_singular_detected() {
+        let a = CMatrix::zeros(2, 2);
+        assert!(a.solve(&[Complex::ONE, Complex::ONE]).is_err());
+    }
+
+    #[test]
+    fn norm_inf_rowsums() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        assert!((a.norm_inf() - 3.5).abs() < 1e-15);
+    }
+}

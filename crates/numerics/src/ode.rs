@@ -1,0 +1,246 @@
+//! Explicit Runge–Kutta integration for small ODE systems.
+//!
+//! The MDAC settling analysis integrates low-order macromodels (slewing →
+//! linear settling of an OTA in feedback), for which classic RK4 with a
+//! fixed step and an adaptive RK45 (Dormand–Prince-style embedded pair,
+//! Cash–Karp coefficients) are ample.
+
+use crate::{NumResult, NumericsError};
+
+/// One classical RK4 step of `y' = f(t, y)`.
+pub fn rk4_step<F>(f: &F, t: f64, y: &[f64], h: f64) -> Vec<f64>
+where
+    F: Fn(f64, &[f64]) -> Vec<f64>,
+{
+    let n = y.len();
+    let k1 = f(t, y);
+    let mut tmp = vec![0.0; n];
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * h * k1[i];
+    }
+    let k2 = f(t + 0.5 * h, &tmp);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * h * k2[i];
+    }
+    let k3 = f(t + 0.5 * h, &tmp);
+    for i in 0..n {
+        tmp[i] = y[i] + h * k3[i];
+    }
+    let k4 = f(t + h, &tmp);
+    (0..n)
+        .map(|i| y[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
+        .collect()
+}
+
+/// Integrates `y' = f(t, y)` from `t0` to `t1` with `steps` fixed RK4 steps.
+/// Returns the final state.
+///
+/// # Panics
+/// Panics if `steps == 0`.
+pub fn rk4_integrate<F>(f: F, t0: f64, t1: f64, y0: &[f64], steps: usize) -> Vec<f64>
+where
+    F: Fn(f64, &[f64]) -> Vec<f64>,
+{
+    assert!(steps > 0, "at least one step required");
+    let h = (t1 - t0) / steps as f64;
+    let mut y = y0.to_vec();
+    let mut t = t0;
+    for _ in 0..steps {
+        y = rk4_step(&f, t, &y, h);
+        t += h;
+    }
+    y
+}
+
+/// Dense trajectory from fixed-step RK4: returns `(t, y)` samples including
+/// both endpoints.
+pub fn rk4_trajectory<F>(f: F, t0: f64, t1: f64, y0: &[f64], steps: usize) -> Vec<(f64, Vec<f64>)>
+where
+    F: Fn(f64, &[f64]) -> Vec<f64>,
+{
+    assert!(steps > 0, "at least one step required");
+    let h = (t1 - t0) / steps as f64;
+    let mut out = Vec::with_capacity(steps + 1);
+    let mut y = y0.to_vec();
+    let mut t = t0;
+    out.push((t, y.clone()));
+    for _ in 0..steps {
+        y = rk4_step(&f, t, &y, h);
+        t += h;
+        out.push((t, y.clone()));
+    }
+    out
+}
+
+/// Adaptive Cash–Karp RK45 integration to `t1` with relative tolerance
+/// `rtol` and absolute tolerance `atol`.
+///
+/// # Errors
+/// Returns [`NumericsError::NoConvergence`] if the step size collapses.
+pub fn rk45_integrate<F>(
+    f: F,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    rtol: f64,
+    atol: f64,
+) -> NumResult<Vec<f64>>
+where
+    F: Fn(f64, &[f64]) -> Vec<f64>,
+{
+    const A: [f64; 5] = [1.0 / 5.0, 3.0 / 10.0, 3.0 / 5.0, 1.0, 7.0 / 8.0];
+    const B: [[f64; 5]; 5] = [
+        [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0],
+        [3.0 / 10.0, -9.0 / 10.0, 6.0 / 5.0, 0.0, 0.0],
+        [-11.0 / 54.0, 5.0 / 2.0, -70.0 / 27.0, 35.0 / 27.0, 0.0],
+        [
+            1631.0 / 55296.0,
+            175.0 / 512.0,
+            575.0 / 13824.0,
+            44275.0 / 110592.0,
+            253.0 / 4096.0,
+        ],
+    ];
+    const C5: [f64; 6] = [
+        37.0 / 378.0,
+        0.0,
+        250.0 / 621.0,
+        125.0 / 594.0,
+        0.0,
+        512.0 / 1771.0,
+    ];
+    const C4: [f64; 6] = [
+        2825.0 / 27648.0,
+        0.0,
+        18575.0 / 48384.0,
+        13525.0 / 55296.0,
+        277.0 / 14336.0,
+        1.0 / 4.0,
+    ];
+
+    let n = y0.len();
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let span = t1 - t0;
+    if span == 0.0 {
+        return Ok(y);
+    }
+    let mut h = span / 64.0;
+    let h_min = span.abs() * 1e-14;
+    let mut iterations = 0usize;
+    while (t1 - t) * span.signum() > 0.0 {
+        iterations += 1;
+        if iterations > 1_000_000 {
+            return Err(NumericsError::NoConvergence {
+                algorithm: "rk45",
+                iterations,
+                residual: (t1 - t).abs(),
+            });
+        }
+        if (t + h - t1) * span.signum() > 0.0 {
+            h = t1 - t;
+        }
+        let mut k: Vec<Vec<f64>> = Vec::with_capacity(6);
+        k.push(f(t, &y));
+        for s in 0..5 {
+            let mut ys = y.clone();
+            for (j, kj) in k.iter().enumerate() {
+                let b = B[s][j];
+                if b != 0.0 {
+                    for i in 0..n {
+                        ys[i] += h * b * kj[i];
+                    }
+                }
+            }
+            k.push(f(t + A[s] * h, &ys));
+        }
+        let mut y5 = y.clone();
+        let mut err: f64 = 0.0;
+        for i in 0..n {
+            let mut d5 = 0.0;
+            let mut d4 = 0.0;
+            for (j, kj) in k.iter().enumerate() {
+                d5 += C5[j] * kj[i];
+                d4 += C4[j] * kj[i];
+            }
+            y5[i] += h * d5;
+            let scale = atol + rtol * y5[i].abs().max(y[i].abs());
+            err = err.max((h * (d5 - d4)).abs() / scale);
+        }
+        if err <= 1.0 {
+            t += h;
+            y = y5;
+            h *= (0.9 * err.max(1e-10).powf(-0.2)).min(5.0);
+        } else {
+            h *= (0.9 * err.powf(-0.25)).max(0.1);
+            if h.abs() < h_min {
+                return Err(NumericsError::NoConvergence {
+                    algorithm: "rk45",
+                    iterations,
+                    residual: err,
+                });
+            }
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_exponential_decay() {
+        // y' = -y, y(0)=1 → y(1)=e^{-1}
+        let y = rk4_integrate(|_, y| vec![-y[0]], 0.0, 1.0, &[1.0], 100);
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rk4_harmonic_oscillator_energy() {
+        // x'' = -x as a system; energy conserved to 4th order.
+        let f = |_t: f64, y: &[f64]| vec![y[1], -y[0]];
+        let y = rk4_integrate(f, 0.0, 2.0 * std::f64::consts::PI, &[1.0, 0.0], 1000);
+        assert!((y[0] - 1.0).abs() < 1e-8);
+        assert!(y[1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn rk45_matches_analytic() {
+        // y' = cos(t), y(0)=0 → y = sin(t)
+        let y = rk45_integrate(|t, _| vec![t.cos()], 0.0, 1.3, &[0.0], 1e-10, 1e-12).unwrap();
+        assert!((y[0] - 1.3f64.sin()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rk45_stiff_ish_settling() {
+        // OTA-like settling: y' = (1 - y)/tau with tau = 1e-9, integrate 10 tau.
+        let tau = 1e-9;
+        let y = rk45_integrate(
+            move |_, y| vec![(1.0 - y[0]) / tau],
+            0.0,
+            10.0 * tau,
+            &[0.0],
+            1e-9,
+            1e-12,
+        )
+        .unwrap();
+        let want = 1.0 - (-10.0f64).exp();
+        assert!((y[0] - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trajectory_includes_endpoints() {
+        let tr = rk4_trajectory(|_, y| vec![-y[0]], 0.0, 1.0, &[1.0], 10);
+        assert_eq!(tr.len(), 11);
+        assert_eq!(tr[0].0, 0.0);
+        assert!((tr[10].0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_span_is_identity() {
+        let y = rk45_integrate(|_, y| vec![-y[0]], 1.0, 1.0, &[0.7], 1e-9, 1e-12).unwrap();
+        assert_eq!(y[0], 0.7);
+    }
+}

@@ -1,0 +1,242 @@
+//! Scalar root finding and 1-D minimization.
+//!
+//! Spec translation repeatedly inverts monotone design equations (e.g. "what
+//! gm meets this settling error") — Brent's method covers the root-finding
+//! side, golden-section the minimization side.
+
+use crate::{NumResult, NumericsError};
+
+/// Finds a root of `f` in the bracket `[a, b]` with Brent's method.
+///
+/// # Errors
+/// Returns [`NumericsError::InvalidArgument`] when `f(a)` and `f(b)` do not
+/// bracket a sign change, and [`NumericsError::NoConvergence`] if the
+/// iteration budget is exhausted.
+pub fn brent_root<F>(mut f: F, a: f64, b: f64, tol: f64, max_iter: usize) -> NumResult<f64>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumericsError::InvalidArgument(format!(
+            "root not bracketed: f({a}) = {fa:.3e}, f({b}) = {fb:.3e}"
+        )));
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let cond_range = (3.0 * a + b) / 4.0;
+        let out_of_range = !((s > cond_range.min(b)) && (s < cond_range.max(b)));
+        let prev = if mflag { (b - c).abs() } else { (c - d).abs() };
+        if out_of_range || (s - b).abs() >= prev / 2.0 || prev < tol {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        algorithm: "brent",
+        iterations: max_iter,
+        residual: fb.abs(),
+    })
+}
+
+/// Expands a bracket geometrically until `f` changes sign, then calls
+/// [`brent_root`]. `x0` must be positive; the search covers
+/// `[x0/factor^k, x0·factor^k]`.
+///
+/// # Errors
+/// Propagates bracket/convergence failures.
+pub fn brent_root_auto<F>(mut f: F, x0: f64, tol: f64) -> NumResult<f64>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(x0 > 0.0) {
+        return Err(NumericsError::InvalidArgument("x0 must be positive".into()));
+    }
+    let f0 = f(x0);
+    if f0 == 0.0 {
+        return Ok(x0);
+    }
+    let mut lo = x0;
+    let mut hi = x0;
+    for _ in 0..200 {
+        lo /= 2.0;
+        if f(lo) * f0 < 0.0 {
+            return brent_root(f, lo, 2.0 * lo, tol, 200);
+        }
+        hi *= 2.0;
+        if f(hi) * f0 < 0.0 {
+            return brent_root(f, hi / 2.0, hi, tol, 200);
+        }
+    }
+    Err(NumericsError::InvalidArgument(
+        "no sign change found in 2^±200 range".into(),
+    ))
+}
+
+/// Golden-section minimization of a unimodal `f` on `[a, b]`.
+///
+/// Returns `(x_min, f(x_min))`.
+pub fn golden_min<F>(mut f: F, a: f64, b: f64, tol: f64) -> (f64, f64)
+where
+    F: FnMut(f64) -> f64,
+{
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (a.min(b), a.max(b));
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    let fx = f(x);
+    (x, fx)
+}
+
+/// Bisection root finder — slower than Brent but bulletproof; used as a
+/// fallback in device-model inversions.
+///
+/// # Errors
+/// Returns [`NumericsError::InvalidArgument`] when the bracket is invalid.
+pub fn bisect_root<F>(mut f: F, a: f64, b: f64, tol: f64) -> NumResult<f64>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumericsError::InvalidArgument("root not bracketed".into()));
+    }
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(m);
+        }
+        if fa * fm < 0.0 {
+            b = m;
+        } else {
+            a = m;
+            fa = fm;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_sqrt2() {
+        let r = brent_root(|x| x * x - 2.0, 0.0, 2.0, 1e-14, 100).unwrap();
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        let r = brent_root(|x: f64| x.cos() - x, 0.0, 1.0, 1e-14, 100).unwrap();
+        assert!((r.cos() - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        assert!(brent_root(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn brent_auto_expands() {
+        // Root at 1e6, start guess at 1.0.
+        let r = brent_root_auto(|x| x - 1e6, 1.0, 1e-6).unwrap();
+        assert!((r - 1e6).abs() < 1e-3);
+        // Root at 1e-6, start guess at 1.0.
+        let r = brent_root_auto(|x| x - 1e-6, 1.0, 1e-15).unwrap();
+        assert!((r - 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_finds_parabola_min() {
+        let (x, fx) = golden_min(|x| (x - 0.3) * (x - 0.3) + 2.0, -10.0, 10.0, 1e-10);
+        assert!((x - 0.3).abs() < 1e-6);
+        assert!((fx - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_agrees_with_brent() {
+        let fa = |x: f64| x.exp() - 3.0;
+        let rb = brent_root(fa, 0.0, 2.0, 1e-13, 100).unwrap();
+        let ri = bisect_root(fa, 0.0, 2.0, 1e-13).unwrap();
+        assert!((rb - ri).abs() < 1e-10);
+        assert!((rb - 3.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn endpoints_that_are_roots() {
+        assert_eq!(brent_root(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+        assert_eq!(bisect_root(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Small statistics and dB helpers shared by the converter metrics and the
+//! synthesis reports.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root mean square.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Minimum (NaN-propagating-free); returns `None` for empty input.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum; returns `None` for empty input.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Power ratio to decibels: `10·log10(p)`.
+pub fn db_power(p: f64) -> f64 {
+    10.0 * p.log10()
+}
+
+/// Amplitude ratio to decibels: `20·log10(a)`.
+pub fn db_amplitude(a: f64) -> f64 {
+    20.0 * a.log10()
+}
+
+/// Decibels (power) back to a linear power ratio.
+pub fn from_db_power(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Decibels (amplitude) back to a linear amplitude ratio.
+pub fn from_db_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Linear regression `y ≈ a + b·x`; returns `(a, b)`.
+///
+/// # Panics
+/// Panics if the slices differ in length or have fewer than 2 points.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+    }
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-15);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[3.0, 3.0, -3.0]) - 3.0).abs() < 1e-15);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn db_round_trips() {
+        assert!((db_power(100.0) - 20.0).abs() < 1e-12);
+        assert!((db_amplitude(10.0) - 20.0).abs() < 1e-12);
+        assert!((from_db_power(db_power(3.7)) - 3.7).abs() < 1e-12);
+        assert!((from_db_amplitude(db_amplitude(0.2)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_line() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| 2.0 - 0.5 * xi).collect();
+        let (a, b) = linear_fit(&x, &y);
+        assert!((a - 2.0).abs() < 1e-12);
+        assert!((b + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_empty() {
+        assert!(min(&[]).is_none());
+        assert_eq!(max(&[1.0, 5.0, -2.0]), Some(5.0));
+        assert_eq!(min(&[1.0, 5.0, -2.0]), Some(-2.0));
+    }
+}

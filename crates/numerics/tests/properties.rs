@@ -1,0 +1,136 @@
+//! Property-based tests on the numerical core: invariants that must hold
+//! for arbitrary well-conditioned inputs.
+
+use adc_numerics::complex::Complex;
+use adc_numerics::fft::{fft_in_place, fft_real, ifft_in_place};
+use adc_numerics::linalg::Matrix;
+use adc_numerics::poly::Poly;
+use adc_numerics::roots::sort_roots;
+use proptest::prelude::*;
+
+proptest! {
+    /// Building a polynomial from roots and re-extracting them round-trips.
+    #[test]
+    fn poly_roots_round_trip(mut roots in proptest::collection::vec(-50.0f64..50.0, 1..6)) {
+        // Keep roots separated so multiplicity doesn't blur accuracy.
+        roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assume!(roots.windows(2).all(|w| (w[1] - w[0]).abs() > 0.5));
+        let p = Poly::from_roots(&roots);
+        let got = sort_roots(p.roots());
+        prop_assert_eq!(got.len(), roots.len());
+        for (g, w) in got.iter().zip(roots.iter()) {
+            prop_assert!((g.re - w).abs() < 1e-4 * (1.0 + w.abs()), "{} vs {}", g.re, w);
+            prop_assert!(g.im.abs() < 1e-4 * (1.0 + w.abs()));
+        }
+    }
+
+    /// Polynomial multiplication then division round-trips.
+    #[test]
+    fn poly_mul_div_round_trip(
+        a in proptest::collection::vec(-5.0f64..5.0, 1..5),
+        b in proptest::collection::vec(-5.0f64..5.0, 2..5),
+    ) {
+        let pa = Poly::new(a);
+        let pb = Poly::new(b);
+        prop_assume!(!pa.is_zero() && !pb.is_zero());
+        prop_assume!(pb.leading().abs() > 0.1);
+        let prod = &pa * &pb;
+        let (q, r) = prod.div_rem(&pb);
+        for k in 0..=q.degree().unwrap_or(0).max(pa.degree().unwrap_or(0)) {
+            prop_assert!((q.coeff(k) - pa.coeff(k)).abs() < 1e-6 * (1.0 + pa.coeff(k).abs()));
+        }
+        prop_assert!(r.coeff_norm() < 1e-6 * (1.0 + prod.coeff_norm()));
+    }
+
+    /// Horner evaluation is linear: (p+q)(x) = p(x) + q(x).
+    #[test]
+    fn poly_eval_linearity(
+        a in proptest::collection::vec(-5.0f64..5.0, 1..6),
+        b in proptest::collection::vec(-5.0f64..5.0, 1..6),
+        x in -3.0f64..3.0,
+    ) {
+        let pa = Poly::new(a);
+        let pb = Poly::new(b);
+        let sum = &pa + &pb;
+        prop_assert!((sum.eval(x) - (pa.eval(x) + pb.eval(x))).abs() < 1e-9);
+    }
+
+    /// FFT then inverse FFT reproduces the signal.
+    #[test]
+    fn fft_inverse_round_trip(sig in proptest::collection::vec(-10.0f64..10.0, 1..5)) {
+        // Pad to 64 points.
+        let mut data: Vec<Complex> = sig.iter().map(|&x| Complex::from_real(x)).collect();
+        data.resize(64, Complex::ZERO);
+        let orig = data.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (a, b) in data.iter().zip(orig.iter()) {
+            prop_assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energies agree.
+    #[test]
+    fn fft_parseval(sig in proptest::collection::vec(-10.0f64..10.0, 32..33)) {
+        let mut padded = sig.clone();
+        padded.resize(32, 0.0);
+        let te: f64 = padded.iter().map(|x| x * x).sum();
+        let spec = fft_real(&padded);
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        prop_assert!((te - fe).abs() < 1e-6 * (1.0 + te));
+    }
+
+    /// LU solve leaves a small residual for diagonally dominant systems.
+    #[test]
+    fn lu_solve_residual(
+        vals in proptest::collection::vec(-1.0f64..1.0, 16..17),
+        rhs in proptest::collection::vec(-5.0f64..5.0, 4..5),
+    ) {
+        let n = 4;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = vals[i * n + j];
+            }
+            a[(i, i)] += 4.0; // diagonal dominance → well-conditioned
+        }
+        let x = a.solve(&rhs).unwrap();
+        let back = a.mul_vec(&x);
+        for (bi, ri) in back.iter().zip(rhs.iter()) {
+            prop_assert!((bi - ri).abs() < 1e-9);
+        }
+    }
+
+    /// det(A·B) = det(A)·det(B) for small matrices.
+    #[test]
+    fn det_multiplicative(
+        va in proptest::collection::vec(-2.0f64..2.0, 9..10),
+        vb in proptest::collection::vec(-2.0f64..2.0, 9..10),
+    ) {
+        let mk = |v: &[f64]| {
+            let mut m = Matrix::zeros(3, 3);
+            for i in 0..3 {
+                for j in 0..3 {
+                    m[(i, j)] = v[i * 3 + j];
+                }
+            }
+            m
+        };
+        let a = mk(&va);
+        let b = mk(&vb);
+        let lhs = a.mul_mat(&b).det();
+        let rhs = a.det() * b.det();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+    }
+
+    /// Complex arithmetic: division inverts multiplication.
+    #[test]
+    fn complex_div_inverts_mul(re1 in -10.0f64..10.0, im1 in -10.0f64..10.0,
+                               re2 in -10.0f64..10.0, im2 in -10.0f64..10.0) {
+        let a = Complex::new(re1, im1);
+        let b = Complex::new(re2, im2);
+        prop_assume!(b.norm() > 1e-3);
+        let q = a * b / b;
+        prop_assert!((q - a).norm() < 1e-10 * (1.0 + a.norm()));
+    }
+}

@@ -1,0 +1,408 @@
+//! Driving-Point-Impedance SFG construction from a linearized circuit.
+//!
+//! The DPI/SFG method rewrites each KCL node equation `Σⱼ Y_ij·Vⱼ = J_i` as
+//! `V_i = (1/Y_ii)·(J_i − Σ_{j≠i} Y_ij·Vⱼ)`: node *i*'s driving-point
+//! impedance `1/Y_ii` times the injected currents. In SFG form this is an
+//! edge from every neighbour `Vⱼ` into `V_i` with gain `−Y_ij/Y_ii` — the
+//! graph the paper draws before applying Mason's rule.
+//!
+//! Construction is symbolic: every small-signal parameter becomes a named
+//! symbol (`gm_M1`, `cgs_M1`, `g_R1` …) and the numeric values extracted
+//! from the DC operating point are returned as bindings, so one symbolic
+//! analysis can be re-evaluated for many bias points ("retargeting").
+
+use crate::graph::{Sfg, SfgNode};
+use crate::mason::mason_transfer;
+use crate::rational::SymRational;
+use crate::sym::SymExpr;
+use crate::sympoly::SymPoly;
+use crate::tf::Tf;
+use crate::{SfgError, SfgResult};
+use adc_spice::netlist::{Circuit, Element, NodeId};
+use adc_spice::op::OperatingPoint;
+use std::collections::HashMap;
+
+/// A symbolic DPI/SFG model of a linearized circuit, with the numeric
+/// bindings extracted from its operating point.
+#[derive(Debug, Clone)]
+pub struct DpiSfg {
+    sfg: Sfg,
+    input: SfgNode,
+    bindings: HashMap<String, f64>,
+    node_map: HashMap<usize, SfgNode>,
+}
+
+/// Per-entry symbolic admittance: conductance part + s·capacitance part.
+#[derive(Default, Clone)]
+struct YEntry {
+    g: SymExpr,
+    c: SymExpr,
+}
+
+impl YEntry {
+    fn add_g(&mut self, e: SymExpr) {
+        self.g = SymExpr::add(std::mem::take(&mut self.g), e);
+    }
+    fn add_c(&mut self, e: SymExpr) {
+        self.c = SymExpr::add(std::mem::take(&mut self.c), e);
+    }
+    fn to_poly(&self) -> SymPoly {
+        SymPoly::new(vec![self.g.clone(), self.c.clone()])
+    }
+}
+
+impl DpiSfg {
+    /// Builds the DPI/SFG of `circuit`, linearized at `op`, driven by an
+    /// ideal source at `input`.
+    ///
+    /// Nodes pinned by DC-only voltage sources become AC ground; the input
+    /// node is treated as an ideal driven source. VCVS elements are not
+    /// supported (the OTA templates don't use them), nor are voltage sources
+    /// floating between two non-ground nodes.
+    ///
+    /// # Errors
+    /// [`SfgError::BadCircuit`] on unsupported topologies or floating nodes.
+    pub fn build(circuit: &Circuit, op: &OperatingPoint, input: NodeId) -> SfgResult<DpiSfg> {
+        // Classify: fixed nodes = pinned by any VSource (AC ground unless
+        // they are the designated input).
+        let mut fixed = vec![false; circuit.node_count()];
+        fixed[0] = true;
+        for e in circuit.elements() {
+            match e {
+                Element::VSource { name, p, n, .. } => {
+                    if !p.is_ground() && !n.is_ground() {
+                        return Err(SfgError::BadCircuit(format!(
+                            "floating voltage source {name} (both terminals off ground)"
+                        )));
+                    }
+                    fixed[p.index()] = true;
+                    fixed[n.index()] = true;
+                }
+                Element::Vcvs { name, .. } => {
+                    return Err(SfgError::BadCircuit(format!(
+                        "VCVS {name} not supported by DPI analysis"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        if input.is_ground() {
+            return Err(SfgError::BadCircuit("input node is ground".into()));
+        }
+
+        let n = circuit.node_count();
+        let mut y: Vec<Vec<YEntry>> = vec![vec![YEntry::default(); n]; n];
+        let mut bindings = HashMap::new();
+
+        let stamp_adm =
+            |y: &mut Vec<Vec<YEntry>>, a: NodeId, b: NodeId, e: SymExpr, is_cap: bool| {
+                let (ia, ib) = (a.index(), b.index());
+                if is_cap {
+                    y[ia][ia].add_c(e.clone());
+                    y[ib][ib].add_c(e.clone());
+                    y[ia][ib].add_c(SymExpr::negate(e.clone()));
+                    y[ib][ia].add_c(SymExpr::negate(e));
+                } else {
+                    y[ia][ia].add_g(e.clone());
+                    y[ib][ib].add_g(e.clone());
+                    y[ia][ib].add_g(SymExpr::negate(e.clone()));
+                    y[ib][ia].add_g(SymExpr::negate(e));
+                }
+            };
+        let stamp_gm = |y: &mut Vec<Vec<YEntry>>,
+                        p: NodeId,
+                        nn: NodeId,
+                        cp: NodeId,
+                        cn: NodeId,
+                        e: SymExpr| {
+            // Current gm·v(cp−cn) leaving p, entering nn.
+            y[p.index()][cp.index()].add_g(e.clone());
+            y[p.index()][cn.index()].add_g(SymExpr::negate(e.clone()));
+            y[nn.index()][cp.index()].add_g(SymExpr::negate(e.clone()));
+            y[nn.index()][cn.index()].add_g(e);
+        };
+
+        for e in circuit.elements() {
+            match e {
+                Element::Resistor { name, a, b, ohms } => {
+                    let s = format!("g_{name}");
+                    bindings.insert(s.clone(), 1.0 / ohms);
+                    stamp_adm(&mut y, *a, *b, SymExpr::sym(&s), false);
+                }
+                Element::Capacitor { name, a, b, farads } => {
+                    let s = format!("c_{name}");
+                    bindings.insert(s.clone(), *farads);
+                    stamp_adm(&mut y, *a, *b, SymExpr::sym(&s), true);
+                }
+                Element::Switch {
+                    name,
+                    a,
+                    b,
+                    ron,
+                    roff,
+                    dc_closed,
+                    ..
+                } => {
+                    let s = format!("g_{name}");
+                    bindings.insert(s.clone(), 1.0 / if *dc_closed { *ron } else { *roff });
+                    stamp_adm(&mut y, *a, *b, SymExpr::sym(&s), false);
+                }
+                Element::Vccs {
+                    name,
+                    p,
+                    n: nn,
+                    cp,
+                    cn,
+                    gm,
+                } => {
+                    let s = format!("gm_{name}");
+                    bindings.insert(s.clone(), *gm);
+                    stamp_gm(&mut y, *p, *nn, *cp, *cn, SymExpr::sym(&s));
+                }
+                Element::Mosfet {
+                    name, d, g, s, b, ..
+                } => {
+                    let ev = op.mos_eval(name).ok_or_else(|| {
+                        SfgError::BadCircuit(format!("no operating point for {name}"))
+                    })?;
+                    let gm = format!("gm_{name}");
+                    let gds = format!("gds_{name}");
+                    let gmb = format!("gmb_{name}");
+                    bindings.insert(gm.clone(), ev.gm);
+                    bindings.insert(gds.clone(), ev.gds);
+                    bindings.insert(gmb.clone(), ev.gmb);
+                    stamp_gm(&mut y, *d, *s, *g, *s, SymExpr::sym(&gm));
+                    stamp_gm(&mut y, *d, *s, *d, *s, SymExpr::sym(&gds));
+                    stamp_gm(&mut y, *d, *s, *b, *s, SymExpr::sym(&gmb));
+                    for (cname, val, na, nb) in [
+                        ("cgs", ev.cgs, *g, *s),
+                        ("cgd", ev.cgd, *g, *d),
+                        ("cgb", ev.cgb, *g, *b),
+                        ("csb", ev.csb, *s, *b),
+                        ("cdb", ev.cdb, *d, *b),
+                    ] {
+                        if val > 0.0 {
+                            let sym = format!("{cname}_{name}");
+                            bindings.insert(sym.clone(), val);
+                            stamp_adm(&mut y, na, nb, SymExpr::sym(&sym), true);
+                        }
+                    }
+                }
+                Element::VSource { .. } | Element::ISource { .. } => {}
+                Element::Vcvs { .. } => unreachable!("rejected above"),
+            }
+        }
+
+        // Build the SFG over unknown nodes + the input.
+        let mut sfg = Sfg::new();
+        let input_node = sfg.node(circuit.node_name(input));
+        let mut node_map = HashMap::new();
+        node_map.insert(input.index(), input_node);
+        let unknowns: Vec<usize> = (1..n)
+            .filter(|&i| !fixed[i] && i != input.index())
+            .collect();
+        for &i in &unknowns {
+            let sn = sfg.node(circuit.node_name(NodeId::from_index(i)));
+            node_map.insert(i, sn);
+        }
+        for &i in &unknowns {
+            let yii = y[i][i].to_poly();
+            if yii.is_zero() {
+                return Err(SfgError::BadCircuit(format!(
+                    "node {} is floating (zero self-admittance)",
+                    circuit.node_name(NodeId::from_index(i))
+                )));
+            }
+            for (&j, &from_sfg) in &node_map {
+                if j == i {
+                    continue;
+                }
+                let yij = y[i][j].to_poly();
+                if yij.is_zero() {
+                    continue;
+                }
+                let gain = SymRational::new(-&yij, yii.clone());
+                sfg.add_edge(from_sfg, node_map[&i], gain);
+            }
+        }
+
+        Ok(DpiSfg {
+            sfg,
+            input: input_node,
+            bindings,
+            node_map,
+        })
+    }
+
+    /// The underlying signal-flow graph.
+    pub fn sfg(&self) -> &Sfg {
+        &self.sfg
+    }
+
+    /// The SFG node representing the driven input.
+    pub fn input_node(&self) -> SfgNode {
+        self.input
+    }
+
+    /// Symbol bindings extracted from the operating point.
+    pub fn bindings(&self) -> &HashMap<String, f64> {
+        &self.bindings
+    }
+
+    /// SFG node of a circuit node, if it participates in the graph.
+    pub fn sfg_node(&self, node: NodeId) -> Option<SfgNode> {
+        self.node_map.get(&node.index()).copied()
+    }
+
+    /// Symbolic transfer function from the input to `output` (Mason).
+    ///
+    /// # Errors
+    /// [`SfgError::BadCircuit`] if `output` is not an SFG node;
+    /// [`SfgError::NoForwardPath`] if unreachable.
+    pub fn transfer(&self, output: NodeId) -> SfgResult<SymRational> {
+        let out = self.sfg_node(output).ok_or_else(|| {
+            SfgError::BadCircuit(format!("output node index {} not in SFG", output.index()))
+        })?;
+        mason_transfer(&self.sfg, self.input, out)
+    }
+
+    /// Numeric transfer function from input to `output` with the extracted
+    /// bindings.
+    ///
+    /// # Errors
+    /// Propagates [`DpiSfg::transfer`] and binding errors.
+    pub fn tf(&self, output: NodeId) -> SfgResult<Tf> {
+        self.transfer(output)?.eval(&self.bindings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_spice::dc::{dc_operating_point, DcOptions};
+    use adc_spice::process::Process;
+
+    #[test]
+    fn rc_divider_symbolic_and_numeric() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource_wave("V1", vin, Circuit::GROUND, 0.0.into(), 1.0);
+        c.add_resistor("R1", vin, out, 1e3);
+        c.add_resistor("R2", out, Circuit::GROUND, 1e3);
+        c.add_capacitor("C1", out, Circuit::GROUND, 1e-9);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let dpi = DpiSfg::build(&c, &op, vin).unwrap();
+        let sym_tf = dpi.transfer(out).unwrap();
+        // Symbols present: g_R1, g_R2, c_C1.
+        let syms = sym_tf.symbols();
+        assert!(syms.contains("g_R1") && syms.contains("g_R2") && syms.contains("c_C1"));
+        let tf = dpi.tf(out).unwrap();
+        assert!((tf.dc_gain() - 0.5).abs() < 1e-12);
+        // Pole at (g1+g2)/C = 2e-3/1e-9 = 2e6 rad/s.
+        let poles = tf.poles();
+        assert_eq!(poles.len(), 1);
+        assert!((poles[0].re + 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn common_source_matches_ac_sweep() {
+        let p = Process::c025();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+        c.add_vsource_wave("VG", g, Circuit::GROUND, 0.8.into(), 1.0);
+        c.add_resistor("RD", vdd, d, 10e3);
+        c.add_capacitor("CL", d, Circuit::GROUND, 1e-12);
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            p.nmos,
+            5e-6,
+            0.5e-6,
+        );
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let dpi = DpiSfg::build(&c, &op, g).unwrap();
+        let tf = dpi.tf(d).unwrap();
+        let freqs = [1e3, 1e6, 100e6, 1e9];
+        let sweep = adc_spice::ac::ac_sweep(&c, &op, &freqs).unwrap();
+        for (k, &f) in freqs.iter().enumerate() {
+            let h_dpi = tf.eval_at_freq(f);
+            let h_ac = sweep.voltage(d, k);
+            let err = (h_dpi - h_ac).norm() / h_ac.norm().max(1e-12);
+            assert!(err < 1e-6, "f = {f}: DPI {h_dpi} vs AC {h_ac} (err {err})");
+        }
+    }
+
+    /// Two-stage amplifier with Miller feedback capacitor: the cgd/cc path
+    /// creates a loop in the SFG — Mason must handle it.
+    #[test]
+    fn two_stage_miller_matches_ac_sweep() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let n1 = c.node("n1");
+        let out = c.node("out");
+        c.add_vsource_wave("V1", vin, Circuit::GROUND, 0.0.into(), 1.0);
+        // Stage 1: gm1 = 1 mS into 100 kΩ ∥ 100 fF.
+        c.add_vccs("Gm1", Circuit::GROUND, n1, vin, Circuit::GROUND, -1e-3);
+        c.add_resistor("Ro1", n1, Circuit::GROUND, 100e3);
+        c.add_capacitor("Cp1", n1, Circuit::GROUND, 100e-15);
+        // Stage 2: gm2 = 5 mS into 50 kΩ ∥ 1 pF, with 0.5 pF Miller cap.
+        c.add_vccs("Gm2", Circuit::GROUND, out, n1, Circuit::GROUND, -5e-3);
+        c.add_resistor("Ro2", out, Circuit::GROUND, 50e3);
+        c.add_capacitor("CL", out, Circuit::GROUND, 1e-12);
+        c.add_capacitor("Cc", n1, out, 0.5e-12);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let dpi = DpiSfg::build(&c, &op, vin).unwrap();
+        // The Miller cap makes n1↔out a loop.
+        assert!(!dpi.sfg().loops().is_empty(), "expected a feedback loop");
+        let tf = dpi.tf(out).unwrap();
+        let freqs = [1e2, 1e4, 1e6, 1e8];
+        let sweep = adc_spice::ac::ac_sweep(&c, &op, &freqs).unwrap();
+        for (k, &f) in freqs.iter().enumerate() {
+            let h_dpi = tf.eval_at_freq(f);
+            let h_ac = sweep.voltage(out, k);
+            let err = (h_dpi - h_ac).norm() / h_ac.norm().max(1e-12);
+            assert!(err < 1e-6, "f = {f}: DPI {h_dpi} vs AC {h_ac} (err {err})");
+        }
+        // DC gain = gm1·ro1·gm2·ro2 = 100 · 250 = 25000.
+        assert!((tf.dc_gain() - 25000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rejects_vcvs_and_floating_sources() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource_wave("V1", a, Circuit::GROUND, 0.0.into(), 1.0);
+        c.add_vcvs("E1", b, Circuit::GROUND, a, Circuit::GROUND, 2.0);
+        c.add_resistor("R1", a, b, 1e3);
+        let op_err = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        assert!(matches!(
+            DpiSfg::build(&c, &op_err, a),
+            Err(SfgError::BadCircuit(_))
+        ));
+    }
+
+    #[test]
+    fn floating_node_detected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let f = c.node("floaty");
+        c.add_vsource_wave("V1", a, Circuit::GROUND, 0.0.into(), 1.0);
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3);
+        // "floaty" connects to nothing — give it an element so it exists in
+        // the node list but with no admittance: a 0-current ISource.
+        c.add_isource("I1", f, Circuit::GROUND, 0.0);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        match DpiSfg::build(&c, &op, a) {
+            Err(SfgError::BadCircuit(msg)) => assert!(msg.contains("floating")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! # adc-sfg
+//!
+//! Driving-Point-Impedance / Signal-Flow-Graph circuit analysis — the
+//! "equation" half of the paper's hybrid evaluation (§3):
+//!
+//! 1. [`sym`]/[`sympoly`]/[`rational`] — a small symbolic algebra:
+//!    scalar expressions over named small-signal parameters, polynomials in
+//!    the Laplace variable `s` over those expressions, and symbolic rational
+//!    transfer functions.
+//! 2. [`graph`]/[`mason`] — signal-flow graphs with forward-path and loop
+//!    enumeration, and **Mason's gain formula** computing the symbolic
+//!    transfer function.
+//! 3. [`dpi`] — construction of the DPI/SFG equivalent of a linearized
+//!    circuit: every node equation `V_i = DPI_i · ΣI` becomes SFG edges with
+//!    gains `−Y_ij/Y_ii`, exactly as the paper describes.
+//! 4. [`tf`] — numeric rational transfer functions and AC characteristics
+//!    (poles/zeros, DC gain, unity-gain frequency, phase margin).
+//! 5. [`nettf`] — a robust numeric transfer-function extractor
+//!    (evaluation–interpolation on the complex MNA determinant) used inside
+//!    synthesis loops where symbolic expression swell would be wasteful;
+//!    cross-validated against Mason and against AC sweeps in the tests.
+//!
+//! ## Example: symbolic RC low-pass via Mason
+//!
+//! ```
+//! use adc_sfg::graph::Sfg;
+//! use adc_sfg::mason::mason_transfer;
+//! use adc_sfg::rational::SymRational;
+//! use adc_sfg::sympoly::SymPoly;
+//! use adc_sfg::sym::SymExpr;
+//!
+//! // V_out = (g/(g + sC)) · V_in : one edge, no loops.
+//! let mut sfg = Sfg::new();
+//! let vin = sfg.node("vin");
+//! let vout = sfg.node("vout");
+//! let g = SymExpr::sym("g");
+//! let c = SymExpr::sym("c");
+//! let num = SymPoly::constant(g.clone());
+//! let den = SymPoly::new(vec![g, c]); // g + s·c
+//! sfg.add_edge(vin, vout, SymRational::new(num, den));
+//! let h = mason_transfer(&sfg, vin, vout).unwrap();
+//! let tf = h.eval(&[("g", 1e-3), ("c", 1e-9)].into_iter()
+//!     .map(|(k, v)| (k.to_string(), v)).collect()).unwrap();
+//! assert!((tf.dc_gain() - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod dpi;
+pub mod graph;
+pub mod mason;
+pub mod nettf;
+pub mod rational;
+pub mod sym;
+pub mod sympoly;
+pub mod tf;
+
+pub use dpi::DpiSfg;
+pub use graph::Sfg;
+pub use rational::SymRational;
+pub use sym::SymExpr;
+pub use sympoly::SymPoly;
+pub use tf::Tf;
+
+/// Errors from symbolic/graph analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SfgError {
+    /// A symbol had no value in the provided bindings.
+    UnboundSymbol(String),
+    /// The requested transfer function does not exist (no forward path).
+    NoForwardPath {
+        /// Source node name.
+        from: String,
+        /// Sink node name.
+        to: String,
+    },
+    /// Graph determinant (Mason Δ) evaluated to structural zero.
+    SingularGraph,
+    /// DPI construction failed (unsupported element, degenerate node...).
+    BadCircuit(String),
+}
+
+impl std::fmt::Display for SfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SfgError::UnboundSymbol(s) => write!(f, "unbound symbol: {s}"),
+            SfgError::NoForwardPath { from, to } => {
+                write!(f, "no forward path from {from} to {to}")
+            }
+            SfgError::SingularGraph => write!(f, "signal-flow graph determinant is zero"),
+            SfgError::BadCircuit(msg) => write!(f, "cannot build DPI/SFG: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SfgError {}
+
+/// Result alias for this crate.
+pub type SfgResult<T> = Result<T, SfgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(SfgError::UnboundSymbol("gm".into())
+            .to_string()
+            .contains("gm"));
+        let e = SfgError::NoForwardPath {
+            from: "a".into(),
+            to: "b".into(),
+        };
+        assert!(e.to_string().contains("a") && e.to_string().contains("b"));
+        assert!(!SfgError::SingularGraph.to_string().is_empty());
+        assert!(SfgError::BadCircuit("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Mason's gain formula on symbolic signal-flow graphs.
+//!
+//! `H = Σₖ Pₖ·Δₖ / Δ` where `Δ = 1 − ΣLᵢ + ΣLᵢLⱼ − …` over pairwise
+//! non-touching loop sets, and `Δₖ` is the same sum restricted to loops not
+//! touching forward path `k`. The paper derives each MDAC/OTA symbolic
+//! transfer function exactly this way (§3).
+
+use crate::graph::{PathGain, Sfg, SfgNode};
+use crate::rational::SymRational;
+use crate::{SfgError, SfgResult};
+
+/// Computes the graph determinant `Δ` restricted to loops whose node masks
+/// do not intersect `forbidden`.
+///
+/// Implemented as the recursive expansion
+/// `f(i, used) = f(i+1, used) − Lᵢ·f(i+1, used ∪ mask(Lᵢ))` over pairwise
+/// disjoint loop subsets, which enumerates every non-touching combination
+/// exactly once with the correct alternating sign.
+pub fn determinant(loops: &[PathGain], forbidden: u64) -> SymRational {
+    fn rec(loops: &[PathGain], i: usize, used: u64) -> SymRational {
+        if i == loops.len() {
+            return SymRational::one();
+        }
+        // Skip loop i.
+        let mut acc = rec(loops, i + 1, used);
+        // Include loop i if it touches nothing already used.
+        if loops[i].mask & used == 0 {
+            let with = rec(loops, i + 1, used | loops[i].mask);
+            acc = &acc - &(&loops[i].gain * &with);
+        }
+        acc
+    }
+    rec(loops, 0, forbidden)
+}
+
+/// Computes the symbolic transfer function from `src` to `dst` via Mason's
+/// gain formula.
+///
+/// # Errors
+/// [`SfgError::NoForwardPath`] if `dst` is unreachable from `src`.
+pub fn mason_transfer(sfg: &Sfg, src: SfgNode, dst: SfgNode) -> SfgResult<SymRational> {
+    if src == dst {
+        return Ok(SymRational::one());
+    }
+    let paths = sfg.simple_paths(src, dst);
+    if paths.is_empty() {
+        return Err(SfgError::NoForwardPath {
+            from: sfg.node_name(src).to_string(),
+            to: sfg.node_name(dst).to_string(),
+        });
+    }
+    let loops = sfg.loops();
+    let delta = determinant(&loops, 0);
+    let mut numerator = SymRational::zero();
+    for p in &paths {
+        let delta_k = determinant(&loops, p.mask);
+        numerator = &numerator + &(&p.gain * &delta_k);
+    }
+    Ok(&numerator * &delta.inv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::SymExpr;
+    use crate::sympoly::SymPoly;
+    use std::collections::HashMap;
+
+    fn k(name: &str) -> SymRational {
+        SymRational::from_expr(SymExpr::sym(name))
+    }
+
+    fn kc(v: f64) -> SymRational {
+        SymRational::from_expr(SymExpr::constant(v))
+    }
+
+    fn bind(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn cascade_multiplies() {
+        let mut g = Sfg::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        g.add_edge(a, b, kc(3.0));
+        g.add_edge(b, c, kc(4.0));
+        let h = mason_transfer(&g, a, c).unwrap();
+        let tf = h.eval(&HashMap::new()).unwrap();
+        assert!((tf.dc_gain() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feedback_loop_classic() {
+        // x → y with forward A and self-loop −A·β on y:
+        // H = A/(1 + A·β)
+        let mut g = Sfg::new();
+        let x = g.node("x");
+        let y = g.node("y");
+        g.add_edge(x, y, k("A"));
+        let loop_gain = &-&k("A") * &k("beta");
+        g.add_edge(y, y, loop_gain);
+        let h = mason_transfer(&g, x, y).unwrap();
+        let tf = h.eval(&bind(&[("A", 1000.0), ("beta", 0.1)])).unwrap();
+        let want = 1000.0 / (1.0 + 100.0);
+        assert!((tf.dc_gain() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_parallel_paths_add() {
+        let mut g = Sfg::new();
+        let s = g.node("s");
+        let m1 = g.node("m1");
+        let m2 = g.node("m2");
+        let t = g.node("t");
+        g.add_edge(s, m1, kc(2.0));
+        g.add_edge(m1, t, kc(3.0));
+        g.add_edge(s, m2, kc(5.0));
+        g.add_edge(m2, t, kc(7.0));
+        let h = mason_transfer(&g, s, t).unwrap();
+        let tf = h.eval(&HashMap::new()).unwrap();
+        assert!((tf.dc_gain() - 41.0).abs() < 1e-12);
+    }
+
+    /// Textbook Mason example: two touching loops and one forward path.
+    #[test]
+    fn touching_loops_no_product_term() {
+        // s → a → b → t ; loops: a→a (L1), b→b (L2): non-touching.
+        // Δ = 1 − L1 − L2 + L1·L2 ; P = g1·g2·g3, Δ1 = 1.
+        let mut g = Sfg::new();
+        let s = g.node("s");
+        let a = g.node("a");
+        let b = g.node("b");
+        let t = g.node("t");
+        g.add_edge(s, a, kc(1.0));
+        g.add_edge(a, b, kc(1.0));
+        g.add_edge(b, t, kc(1.0));
+        g.add_edge(a, a, kc(0.5));
+        g.add_edge(b, b, kc(0.25));
+        let h = mason_transfer(&g, s, t).unwrap();
+        let tf = h.eval(&HashMap::new()).unwrap();
+        let delta = 1.0 - 0.5 - 0.25 + 0.5 * 0.25;
+        assert!((tf.dc_gain() - 1.0 / delta).abs() < 1e-12);
+    }
+
+    /// Loops that share a node must NOT produce an L1·L2 product term.
+    #[test]
+    fn touching_loops_share_node() {
+        // a→b→a (L1 = p·q), b→c→b (L2 = r·u): share node b → Δ = 1−L1−L2.
+        let mut g = Sfg::new();
+        let s = g.node("s");
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        let t = g.node("t");
+        g.add_edge(s, a, kc(1.0));
+        g.add_edge(a, b, kc(2.0)); // also part of L1
+        g.add_edge(b, a, kc(0.1)); // L1 = 0.2
+        g.add_edge(b, c, kc(3.0)); // part of L2
+        g.add_edge(c, b, kc(0.05)); // L2 = 0.15
+        g.add_edge(c, t, kc(1.0));
+        let h = mason_transfer(&g, s, t).unwrap();
+        let tf = h.eval(&HashMap::new()).unwrap();
+        // P = 1·2·3·1 = 6, Δ = 1 − 0.2 − 0.15 (touching), Δ1 = 1
+        let want = 6.0 / (1.0 - 0.2 - 0.15);
+        assert!(
+            (tf.dc_gain() - want).abs() < 1e-9,
+            "{} vs {}",
+            tf.dc_gain(),
+            want
+        );
+    }
+
+    #[test]
+    fn path_delta_excludes_touching_loops() {
+        // Forward path s→a→t, plus an isolated loop b→b that does not touch
+        // the path: Δ = 1 − L, Δ1 = 1 − L → H = P exactly.
+        let mut g = Sfg::new();
+        let s = g.node("s");
+        let a = g.node("a");
+        let t = g.node("t");
+        let b = g.node("b");
+        g.add_edge(s, a, kc(4.0));
+        g.add_edge(a, t, kc(0.5));
+        g.add_edge(b, b, kc(0.9));
+        let h = mason_transfer(&g, s, t).unwrap();
+        let tf = h.eval(&HashMap::new()).unwrap();
+        assert!((tf.dc_gain() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_integrator_frequency_response() {
+        // V_in →(g/(g+sC))→ V_out modeled as edge with rational gain.
+        let mut g = Sfg::new();
+        let vin = g.node("vin");
+        let vout = g.node("vout");
+        let num = SymPoly::constant(SymExpr::sym("g"));
+        let den = SymPoly::new(vec![SymExpr::sym("g"), SymExpr::sym("c")]);
+        g.add_edge(vin, vout, SymRational::new(num, den));
+        let h = mason_transfer(&g, vin, vout).unwrap();
+        let tf = h.eval(&bind(&[("g", 1e-3), ("c", 1e-9)])).unwrap();
+        let fpole = 1e-3 / (2.0 * std::f64::consts::PI * 1e-9);
+        let m = tf.magnitude(fpole);
+        assert!((m - 1.0 / 2.0_f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unreachable_target_errors() {
+        let mut g = Sfg::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        assert!(matches!(
+            mason_transfer(&g, a, b),
+            Err(SfgError::NoForwardPath { .. })
+        ));
+    }
+
+    #[test]
+    fn src_equals_dst_is_unity() {
+        let mut g = Sfg::new();
+        let a = g.node("a");
+        let h = mason_transfer(&g, a, a).unwrap();
+        assert!(h.is_one());
+    }
+
+    #[test]
+    fn determinant_of_no_loops_is_one() {
+        let d = determinant(&[], 0);
+        assert!(d.is_one());
+    }
+}

@@ -1,0 +1,291 @@
+//! Symbolic rational functions of `s` — the transfer-function algebra that
+//! Mason's gain formula operates on.
+//!
+//! Addition shares structurally equal denominators (the common case in
+//! DPI/SFG graphs, where every edge into node *i* carries the same `Y_ii`
+//! denominator), which keeps symbolic growth in check.
+
+use crate::sym::SymExpr;
+use crate::sympoly::SymPoly;
+use crate::tf::Tf;
+use crate::{SfgError, SfgResult};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A symbolic rational function `num(s)/den(s)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymRational {
+    num: SymPoly,
+    den: SymPoly,
+}
+
+impl SymRational {
+    /// Creates `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den` is structurally zero.
+    pub fn new(num: SymPoly, den: SymPoly) -> Self {
+        assert!(!den.is_zero(), "rational function with zero denominator");
+        SymRational { num, den }
+    }
+
+    /// A polynomial as a rational (denominator 1).
+    pub fn from_poly(p: SymPoly) -> Self {
+        SymRational {
+            num: p,
+            den: SymPoly::one(),
+        }
+    }
+
+    /// A scalar expression as a rational.
+    pub fn from_expr(e: SymExpr) -> Self {
+        SymRational::from_poly(SymPoly::constant(e))
+    }
+
+    /// The rational 0.
+    pub fn zero() -> Self {
+        SymRational::from_poly(SymPoly::zero())
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        SymRational::from_poly(SymPoly::one())
+    }
+
+    /// Numerator polynomial.
+    pub fn num(&self) -> &SymPoly {
+        &self.num
+    }
+
+    /// Denominator polynomial.
+    pub fn den(&self) -> &SymPoly {
+        &self.den
+    }
+
+    /// Structural zero test.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Structural one test.
+    pub fn is_one(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// Reciprocal.
+    ///
+    /// # Panics
+    /// Panics if the numerator is structurally zero.
+    pub fn inv(&self) -> SymRational {
+        assert!(!self.num.is_zero(), "inverting the zero rational");
+        SymRational {
+            num: self.den.clone(),
+            den: self.num.clone(),
+        }
+    }
+
+    /// Evaluates to a numeric transfer function.
+    ///
+    /// # Errors
+    /// [`SfgError::UnboundSymbol`] for missing bindings; [`SfgError::SingularGraph`]
+    /// if the denominator evaluates to the zero polynomial.
+    pub fn eval(&self, bindings: &HashMap<String, f64>) -> SfgResult<Tf> {
+        let num = self.num.eval(bindings)?;
+        let den = self.den.eval(bindings)?;
+        if den.is_zero() {
+            return Err(SfgError::SingularGraph);
+        }
+        Ok(Tf::new(num, den))
+    }
+
+    /// All symbols in numerator and denominator.
+    pub fn symbols(&self) -> BTreeSet<String> {
+        let mut s = self.num.symbols();
+        s.extend(self.den.symbols());
+        s
+    }
+
+    /// Total symbolic size (expression-tree nodes).
+    pub fn size(&self) -> usize {
+        self.num.size() + self.den.size()
+    }
+}
+
+impl Default for SymRational {
+    fn default() -> Self {
+        SymRational::zero()
+    }
+}
+
+impl fmt::Display for SymRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "[{}] / [{}]", self.num, self.den)
+        }
+    }
+}
+
+impl Add for &SymRational {
+    type Output = SymRational;
+    fn add(self, rhs: &SymRational) -> SymRational {
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        if self.den == rhs.den {
+            return SymRational::new(&self.num + &rhs.num, self.den.clone());
+        }
+        SymRational::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &SymRational {
+    type Output = SymRational;
+    fn sub(self, rhs: &SymRational) -> SymRational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &SymRational {
+    type Output = SymRational;
+    fn mul(self, rhs: &SymRational) -> SymRational {
+        if self.is_zero() || rhs.is_zero() {
+            return SymRational::zero();
+        }
+        if self.is_one() {
+            return rhs.clone();
+        }
+        if rhs.is_one() {
+            return self.clone();
+        }
+        // Cross-cancellation of structurally equal polynomials.
+        if self.num == rhs.den {
+            return SymRational::new(rhs.num.clone(), self.den.clone());
+        }
+        if rhs.num == self.den {
+            return SymRational::new(self.num.clone(), rhs.den.clone());
+        }
+        SymRational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Neg for &SymRational {
+    type Output = SymRational;
+    fn neg(self) -> SymRational {
+        SymRational::new(-&self.num, self.den.clone())
+    }
+}
+
+impl Add for SymRational {
+    type Output = SymRational;
+    fn add(self, rhs: SymRational) -> SymRational {
+        &self + &rhs
+    }
+}
+
+impl Sub for SymRational {
+    type Output = SymRational;
+    fn sub(self, rhs: SymRational) -> SymRational {
+        &self - &rhs
+    }
+}
+
+impl Mul for SymRational {
+    type Output = SymRational;
+    fn mul(self, rhs: SymRational) -> SymRational {
+        &self * &rhs
+    }
+}
+
+impl Neg for SymRational {
+    type Output = SymRational;
+    fn neg(self) -> SymRational {
+        -&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn sp(syms: &[&str]) -> SymPoly {
+        SymPoly::new(syms.iter().map(|s| SymExpr::sym(s)).collect())
+    }
+
+    #[test]
+    fn shared_denominator_addition_does_not_grow() {
+        let a = SymRational::new(sp(&["a"]), sp(&["g", "c"]));
+        let b = SymRational::new(sp(&["b"]), sp(&["g", "c"]));
+        let s = &a + &b;
+        assert_eq!(s.den(), &sp(&["g", "c"]));
+        let tf = s
+            .eval(&bind(&[("a", 1.0), ("b", 2.0), ("g", 1.0), ("c", 1.0)]))
+            .unwrap();
+        assert!((tf.dc_gain() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_addition_cross_multiplies() {
+        let a = SymRational::new(sp(&["a"]), sp(&["p"]));
+        let b = SymRational::new(sp(&["b"]), sp(&["q"]));
+        let s = &a + &b;
+        let tf = s
+            .eval(&bind(&[("a", 1.0), ("b", 1.0), ("p", 2.0), ("q", 4.0)]))
+            .unwrap();
+        assert!((tf.dc_gain() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplication_and_inverse() {
+        let a = SymRational::new(sp(&["a"]), sp(&["b"]));
+        let prod = &a * &a.inv();
+        let tf = prod.eval(&bind(&[("a", 3.0), ("b", 7.0)])).unwrap();
+        assert!((tf.dc_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_cancellation() {
+        let a = SymRational::new(sp(&["x"]), sp(&["y"]));
+        let b = SymRational::new(sp(&["y"]), sp(&["z"]));
+        let p = &a * &b;
+        // (x/y)(y/z) = x/z structurally
+        assert_eq!(p.num(), &sp(&["x"]));
+        assert_eq!(p.den(), &sp(&["z"]));
+    }
+
+    #[test]
+    fn zero_and_one_short_circuits() {
+        let a = SymRational::new(sp(&["x"]), sp(&["y"]));
+        assert!((&a * &SymRational::zero()).is_zero());
+        assert_eq!(&a * &SymRational::one(), a);
+        assert_eq!(&SymRational::zero() + &a, a);
+    }
+
+    #[test]
+    fn eval_detects_zero_denominator() {
+        let a = SymRational::new(sp(&["x"]), sp(&["y"]));
+        let r = a.eval(&bind(&[("x", 1.0), ("y", 0.0)]));
+        assert_eq!(r, Err(SfgError::SingularGraph));
+    }
+
+    #[test]
+    fn display_shows_fraction() {
+        let a = SymRational::new(sp(&["x"]), sp(&["y"]));
+        assert!(a.to_string().contains('/'));
+        assert!(!SymRational::from_expr(SymExpr::sym("k"))
+            .to_string()
+            .contains('/'));
+    }
+}

@@ -1,0 +1,381 @@
+//! Symbolic scalar expressions over named circuit parameters.
+//!
+//! Expressions are simplified structurally at construction time (constant
+//! folding, identity elimination, flattening of nested sums/products) —
+//! enough to keep Mason-generated transfer functions readable and cheap to
+//! evaluate, without attempting full computer-algebra canonicalization.
+
+use crate::{SfgError, SfgResult};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A symbolic scalar expression.
+///
+/// Build expressions with [`SymExpr::sym`], [`SymExpr::constant`] and the
+/// arithmetic operators; evaluate with [`SymExpr::eval`].
+///
+/// # Example
+/// ```
+/// use adc_sfg::sym::SymExpr;
+/// let gm = SymExpr::sym("gm");
+/// let ro = SymExpr::sym("ro");
+/// let gain = gm * ro;
+/// let mut b = std::collections::HashMap::new();
+/// b.insert("gm".to_string(), 1e-3);
+/// b.insert("ro".to_string(), 100e3);
+/// assert_eq!(gain.eval(&b).unwrap(), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymExpr {
+    /// Literal constant.
+    Const(f64),
+    /// Named parameter.
+    Sym(String),
+    /// Sum of terms.
+    Sum(Vec<SymExpr>),
+    /// Product of factors.
+    Prod(Vec<SymExpr>),
+    /// Multiplicative inverse.
+    Inv(Box<SymExpr>),
+    /// Additive inverse.
+    Negate(Box<SymExpr>),
+}
+
+impl SymExpr {
+    /// The constant 0.
+    pub fn zero() -> Self {
+        SymExpr::Const(0.0)
+    }
+
+    /// The constant 1.
+    pub fn one() -> Self {
+        SymExpr::Const(1.0)
+    }
+
+    /// A literal constant.
+    pub fn constant(v: f64) -> Self {
+        SymExpr::Const(v)
+    }
+
+    /// A named symbol.
+    pub fn sym(name: &str) -> Self {
+        SymExpr::Sym(name.to_string())
+    }
+
+    /// Structural test for the constant 0 (does not prove semantic zero for
+    /// compound expressions).
+    pub fn is_zero(&self) -> bool {
+        matches!(self, SymExpr::Const(c) if *c == 0.0)
+    }
+
+    /// Structural test for the constant 1.
+    pub fn is_one(&self) -> bool {
+        matches!(self, SymExpr::Const(c) if *c == 1.0)
+    }
+
+    /// Simplifying sum.
+    pub fn add(a: SymExpr, b: SymExpr) -> SymExpr {
+        let mut terms = Vec::new();
+        let mut konst = 0.0;
+        let push = |e: SymExpr, terms: &mut Vec<SymExpr>, konst: &mut f64| match e {
+            SymExpr::Const(c) => *konst += c,
+            SymExpr::Sum(ts) => {
+                for t in ts {
+                    match t {
+                        SymExpr::Const(c) => *konst += c,
+                        other => terms.push(other),
+                    }
+                }
+            }
+            other => terms.push(other),
+        };
+        push(a, &mut terms, &mut konst);
+        push(b, &mut terms, &mut konst);
+        if konst != 0.0 || terms.is_empty() {
+            terms.push(SymExpr::Const(konst));
+        }
+        if terms.len() == 1 {
+            terms.pop().expect("nonempty")
+        } else {
+            SymExpr::Sum(terms)
+        }
+    }
+
+    /// Simplifying product.
+    pub fn mul(a: SymExpr, b: SymExpr) -> SymExpr {
+        if a.is_zero() || b.is_zero() {
+            return SymExpr::zero();
+        }
+        if a.is_one() {
+            return b;
+        }
+        if b.is_one() {
+            return a;
+        }
+        let mut factors = Vec::new();
+        let mut konst = 1.0;
+        let push = |e: SymExpr, factors: &mut Vec<SymExpr>, konst: &mut f64| match e {
+            SymExpr::Const(c) => *konst *= c,
+            SymExpr::Prod(fs) => {
+                for f in fs {
+                    match f {
+                        SymExpr::Const(c) => *konst *= c,
+                        other => factors.push(other),
+                    }
+                }
+            }
+            other => factors.push(other),
+        };
+        push(a, &mut factors, &mut konst);
+        push(b, &mut factors, &mut konst);
+        if konst == 0.0 {
+            return SymExpr::zero();
+        }
+        if konst != 1.0 || factors.is_empty() {
+            factors.insert(0, SymExpr::Const(konst));
+        }
+        if factors.len() == 1 {
+            factors.pop().expect("nonempty")
+        } else {
+            SymExpr::Prod(factors)
+        }
+    }
+
+    /// Simplifying negation.
+    pub fn negate(e: SymExpr) -> SymExpr {
+        match e {
+            SymExpr::Const(c) => SymExpr::Const(-c),
+            SymExpr::Negate(inner) => *inner,
+            other => SymExpr::Negate(Box::new(other)),
+        }
+    }
+
+    /// Simplifying reciprocal.
+    ///
+    /// # Panics
+    /// Panics on the structural constant 0.
+    pub fn inv(e: SymExpr) -> SymExpr {
+        match e {
+            SymExpr::Const(c) => {
+                assert!(c != 0.0, "symbolic division by zero");
+                SymExpr::Const(1.0 / c)
+            }
+            SymExpr::Inv(inner) => *inner,
+            other => SymExpr::Inv(Box::new(other)),
+        }
+    }
+
+    /// Evaluates with the given symbol bindings.
+    ///
+    /// # Errors
+    /// [`SfgError::UnboundSymbol`] if a symbol is missing from `bindings`.
+    pub fn eval(&self, bindings: &HashMap<String, f64>) -> SfgResult<f64> {
+        match self {
+            SymExpr::Const(c) => Ok(*c),
+            SymExpr::Sym(name) => bindings
+                .get(name)
+                .copied()
+                .ok_or_else(|| SfgError::UnboundSymbol(name.clone())),
+            SymExpr::Sum(ts) => {
+                let mut acc = 0.0;
+                for t in ts {
+                    acc += t.eval(bindings)?;
+                }
+                Ok(acc)
+            }
+            SymExpr::Prod(fs) => {
+                let mut acc = 1.0;
+                for f in fs {
+                    acc *= f.eval(bindings)?;
+                }
+                Ok(acc)
+            }
+            SymExpr::Inv(e) => Ok(1.0 / e.eval(bindings)?),
+            SymExpr::Negate(e) => Ok(-e.eval(bindings)?),
+        }
+    }
+
+    /// Collects all symbol names into `out`.
+    pub fn collect_symbols(&self, out: &mut BTreeSet<String>) {
+        match self {
+            SymExpr::Const(_) => {}
+            SymExpr::Sym(name) => {
+                out.insert(name.clone());
+            }
+            SymExpr::Sum(ts) | SymExpr::Prod(ts) => {
+                for t in ts {
+                    t.collect_symbols(out);
+                }
+            }
+            SymExpr::Inv(e) | SymExpr::Negate(e) => e.collect_symbols(out),
+        }
+    }
+
+    /// All symbols referenced by this expression.
+    pub fn symbols(&self) -> BTreeSet<String> {
+        let mut s = BTreeSet::new();
+        self.collect_symbols(&mut s);
+        s
+    }
+
+    /// Rough expression size (node count) — used to monitor symbolic swell.
+    pub fn size(&self) -> usize {
+        match self {
+            SymExpr::Const(_) | SymExpr::Sym(_) => 1,
+            SymExpr::Sum(ts) | SymExpr::Prod(ts) => 1 + ts.iter().map(SymExpr::size).sum::<usize>(),
+            SymExpr::Inv(e) | SymExpr::Negate(e) => 1 + e.size(),
+        }
+    }
+}
+
+impl Default for SymExpr {
+    fn default() -> Self {
+        SymExpr::zero()
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Const(c) => write!(f, "{c}"),
+            SymExpr::Sym(name) => write!(f, "{name}"),
+            SymExpr::Sum(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            SymExpr::Prod(fs) => {
+                for (i, t) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            SymExpr::Inv(e) => write!(f, "1/({e})"),
+            SymExpr::Negate(e) => write!(f, "-({e})"),
+        }
+    }
+}
+
+impl Add for SymExpr {
+    type Output = SymExpr;
+    fn add(self, rhs: SymExpr) -> SymExpr {
+        SymExpr::add(self, rhs)
+    }
+}
+
+impl Sub for SymExpr {
+    type Output = SymExpr;
+    fn sub(self, rhs: SymExpr) -> SymExpr {
+        SymExpr::add(self, SymExpr::negate(rhs))
+    }
+}
+
+impl Mul for SymExpr {
+    type Output = SymExpr;
+    fn mul(self, rhs: SymExpr) -> SymExpr {
+        SymExpr::mul(self, rhs)
+    }
+}
+
+impl Neg for SymExpr {
+    type Output = SymExpr;
+    fn neg(self) -> SymExpr {
+        SymExpr::negate(self)
+    }
+}
+
+impl From<f64> for SymExpr {
+    fn from(v: f64) -> Self {
+        SymExpr::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = SymExpr::constant(2.0) + SymExpr::constant(3.0);
+        assert_eq!(e, SymExpr::Const(5.0));
+        let e = SymExpr::constant(2.0) * SymExpr::constant(3.0);
+        assert_eq!(e, SymExpr::Const(6.0));
+    }
+
+    #[test]
+    fn identities() {
+        let x = SymExpr::sym("x");
+        assert_eq!(x.clone() + SymExpr::zero(), x);
+        assert_eq!(x.clone() * SymExpr::one(), x);
+        assert_eq!(x.clone() * SymExpr::zero(), SymExpr::zero());
+        assert_eq!(-(-x.clone()), x);
+        assert_eq!(SymExpr::inv(SymExpr::inv(x.clone())), x);
+    }
+
+    #[test]
+    fn flattening_keeps_eval_correct() {
+        let a = SymExpr::sym("a");
+        let b = SymExpr::sym("b");
+        let c = SymExpr::sym("c");
+        let e = (a + b) + (c + SymExpr::constant(1.0));
+        let v = e
+            .eval(&bind(&[("a", 1.0), ("b", 2.0), ("c", 3.0)]))
+            .unwrap();
+        assert_eq!(v, 7.0);
+        // flattened: one Sum level
+        if let SymExpr::Sum(ts) = &e {
+            assert!(ts.iter().all(|t| !matches!(t, SymExpr::Sum(_))));
+        } else {
+            panic!("expected Sum, got {e:?}");
+        }
+    }
+
+    #[test]
+    fn unbound_symbol_error() {
+        let e = SymExpr::sym("gm") * SymExpr::sym("ro");
+        match e.eval(&bind(&[("gm", 1.0)])) {
+            Err(SfgError::UnboundSymbol(s)) => assert_eq!(s, "ro"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbols_collected_sorted() {
+        let e = SymExpr::sym("z") + SymExpr::sym("a") * SymExpr::inv(SymExpr::sym("m"));
+        let syms: Vec<String> = e.symbols().into_iter().collect();
+        assert_eq!(syms, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn display_round_trippable_structure() {
+        let e = (SymExpr::sym("gm") - SymExpr::sym("gds")) * SymExpr::inv(SymExpr::sym("c"));
+        let s = e.to_string();
+        assert!(s.contains("gm") && s.contains("gds") && s.contains("c"));
+    }
+
+    #[test]
+    fn division_by_const_zero_panics() {
+        let r = std::panic::catch_unwind(|| SymExpr::inv(SymExpr::constant(0.0)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn size_measures_growth() {
+        let x = SymExpr::sym("x");
+        let big = (x.clone() + SymExpr::sym("y")) * (x.clone() + SymExpr::sym("z"));
+        assert!(big.size() > x.size());
+    }
+}

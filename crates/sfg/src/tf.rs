@@ -1,0 +1,376 @@
+//! Numeric rational transfer functions and their AC characteristics.
+//!
+//! Once the symbolic DPI/SFG transfer function is bound to the extracted
+//! small-signal values, everything the synthesis constraints need —
+//! poles/zeros, DC gain, unity-gain frequency, phase margin — is read off
+//! the numeric rational function here. This is the "fast equation
+//! evaluation" leg of the paper's hybrid methodology.
+
+use adc_numerics::complex::Complex;
+use adc_numerics::interp::logspace;
+use adc_numerics::poly::Poly;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A numeric transfer function `H(s) = num(s)/den(s)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tf {
+    num: Poly,
+    den: Poly,
+}
+
+/// Summary of the AC characteristics of a transfer function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcCharacteristics {
+    /// DC gain (linear, signed).
+    pub dc_gain: f64,
+    /// DC gain magnitude in dB.
+    pub dc_gain_db: f64,
+    /// −3 dB bandwidth, Hz (`None` if the response never drops 3 dB).
+    pub f3db: Option<f64>,
+    /// Unity-gain frequency, Hz (`None` if |H| never crosses 1).
+    pub unity_freq: Option<f64>,
+    /// Phase margin, degrees (`None` without a unity crossing).
+    pub phase_margin_deg: Option<f64>,
+    /// Gain–bandwidth product estimate `|A0|·f3db`, Hz.
+    pub gbw: Option<f64>,
+    /// Poles (rad/s, complex).
+    pub poles: Vec<Complex>,
+    /// Zeros (rad/s, complex).
+    pub zeros: Vec<Complex>,
+}
+
+impl Tf {
+    /// Creates `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den` is the zero polynomial.
+    pub fn new(num: Poly, den: Poly) -> Self {
+        assert!(!den.is_zero(), "transfer function with zero denominator");
+        Tf { num, den }
+    }
+
+    /// A pure gain.
+    pub fn constant(k: f64) -> Self {
+        Tf::new(Poly::constant(k), Poly::one())
+    }
+
+    /// Single-pole low-pass `k / (1 + s/p)` with pole at `p` rad/s.
+    pub fn single_pole(k: f64, pole_rad: f64) -> Self {
+        Tf::new(Poly::constant(k), Poly::new(vec![1.0, 1.0 / pole_rad]))
+    }
+
+    /// Numerator.
+    pub fn num(&self) -> &Poly {
+        &self.num
+    }
+
+    /// Denominator.
+    pub fn den(&self) -> &Poly {
+        &self.den
+    }
+
+    /// Evaluates `H(s)` at a complex frequency.
+    pub fn eval(&self, s: Complex) -> Complex {
+        self.num.eval_complex(s) / self.den.eval_complex(s)
+    }
+
+    /// Evaluates at `s = j·2πf`.
+    pub fn eval_at_freq(&self, f_hz: f64) -> Complex {
+        self.eval(Complex::new(0.0, 2.0 * std::f64::consts::PI * f_hz))
+    }
+
+    /// Magnitude at a frequency (linear).
+    pub fn magnitude(&self, f_hz: f64) -> f64 {
+        self.eval_at_freq(f_hz).norm()
+    }
+
+    /// Magnitude at a frequency, dB.
+    pub fn magnitude_db(&self, f_hz: f64) -> f64 {
+        20.0 * self.magnitude(f_hz).max(1e-300).log10()
+    }
+
+    /// Phase at a frequency, degrees (principal value).
+    pub fn phase_deg(&self, f_hz: f64) -> f64 {
+        self.eval_at_freq(f_hz).arg().to_degrees()
+    }
+
+    /// DC gain `H(0)` (may be ±∞ for integrators).
+    pub fn dc_gain(&self) -> f64 {
+        let n = self.num.eval(0.0);
+        let d = self.den.eval(0.0);
+        n / d
+    }
+
+    /// Poles in rad/s.
+    pub fn poles(&self) -> Vec<Complex> {
+        self.den.roots()
+    }
+
+    /// Zeros in rad/s.
+    pub fn zeros(&self) -> Vec<Complex> {
+        self.num.roots()
+    }
+
+    /// True if every pole has a strictly negative real part.
+    pub fn is_stable(&self) -> bool {
+        self.poles().iter().all(|p| p.re < 0.0)
+    }
+
+    /// Cascade (series) connection: `self · other`.
+    pub fn cascade(&self, other: &Tf) -> Tf {
+        Tf::new(&self.num * &other.num, &self.den * &other.den)
+    }
+
+    /// Removes matching pole/zero pairs closer than `rel_tol` (relative to
+    /// magnitude). Useful after determinant-based extraction.
+    pub fn cancel_common_roots(&self, rel_tol: f64) -> Tf {
+        let mut zeros = self.num.roots();
+        let mut poles = self.den.roots();
+        let num_lead = self.num.leading();
+        let den_lead = self.den.leading();
+        let mut i = 0;
+        while i < zeros.len() {
+            let z = zeros[i];
+            if let Some(j) = poles
+                .iter()
+                .position(|p| (*p - z).norm() <= rel_tol * (1.0 + z.norm().max(p.norm())))
+            {
+                zeros.swap_remove(i);
+                poles.swap_remove(j);
+            } else {
+                i += 1;
+            }
+        }
+        let num = Poly::from_complex_roots(&zeros).scale(num_lead);
+        let den = Poly::from_complex_roots(&poles).scale(den_lead);
+        Tf::new(num, den)
+    }
+
+    /// Finds the unity-gain frequency by scanning `[f_lo, f_hi]` on a log
+    /// grid and bisecting the first `|H| = 1` crossing.
+    pub fn unity_gain_freq(&self, f_lo: f64, f_hi: f64) -> Option<f64> {
+        self.magnitude_crossing(f_lo, f_hi, 1.0)
+    }
+
+    /// Finds the first frequency where `|H|` falls to `level` (from above),
+    /// scanning upward on a log grid.
+    pub fn magnitude_crossing(&self, f_lo: f64, f_hi: f64, level: f64) -> Option<f64> {
+        let n = 400;
+        let grid = logspace(f_lo, f_hi, n);
+        let mut prev_f = grid[0];
+        let mut prev_m = self.magnitude(prev_f);
+        if prev_m <= level {
+            return Some(prev_f);
+        }
+        for &f in &grid[1..] {
+            let m = self.magnitude(f);
+            if m <= level {
+                // Bisect between prev_f and f.
+                let (mut a, mut b) = (prev_f, f);
+                for _ in 0..60 {
+                    let mid = (a * b).sqrt();
+                    if self.magnitude(mid) > level {
+                        a = mid;
+                    } else {
+                        b = mid;
+                    }
+                }
+                return Some((a * b).sqrt());
+            }
+            prev_f = f;
+            prev_m = m;
+        }
+        let _ = prev_m;
+        None
+    }
+
+    /// −3 dB bandwidth relative to the DC gain.
+    pub fn f3db(&self, f_lo: f64, f_hi: f64) -> Option<f64> {
+        let a0 = self.magnitude(f_lo);
+        self.magnitude_crossing(f_lo, f_hi, a0 / 2.0_f64.sqrt())
+    }
+
+    /// Phase margin in degrees: `180°` minus the phase lag accumulated
+    /// between `f_lo` and the unity crossing.
+    ///
+    /// Referencing the lag to the low-frequency phase makes the result
+    /// meaningful for inverting and non-inverting amplifiers alike; the
+    /// phases themselves come from the pole/zero decomposition (exact, no
+    /// unwrapping ambiguity).
+    pub fn phase_margin_deg(&self, f_lo: f64, f_hi: f64) -> Option<f64> {
+        let fu = self.unity_gain_freq(f_lo, f_hi)?;
+        let lag = self.phase_exact_deg(f_lo) - self.phase_exact_deg(fu);
+        Some(180.0 - lag)
+    }
+
+    /// Exact accumulated phase at `f` from poles/zeros (degrees), counting
+    /// each LHP pole's contribution in `(−90°, 0°]` etc. — immune to
+    /// principal-value wrapping.
+    pub fn phase_exact_deg(&self, f_hz: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * f_hz;
+        let jw = Complex::new(0.0, w);
+        // `0.0 - x` instead of `-x` keeps real-axis roots on the +0 branch
+        // of atan2 (negating +0.0 yields −0.0, which flips the angle sign).
+        let neg = |r: Complex| Complex::new(0.0 - r.re, 0.0 - r.im);
+        let mut phase = if self.dc_gain() < 0.0 { 180.0 } else { 0.0 };
+        for z in self.zeros() {
+            phase += (jw - z).arg().to_degrees() - neg(z).arg().to_degrees();
+        }
+        for p in self.poles() {
+            phase -= (jw - p).arg().to_degrees() - neg(p).arg().to_degrees();
+        }
+        phase
+    }
+
+    /// Computes the full characteristics summary over `[f_lo, f_hi]`.
+    pub fn characteristics(&self, f_lo: f64, f_hi: f64) -> AcCharacteristics {
+        let a0 = self.dc_gain();
+        let f3db = self.f3db(f_lo, f_hi);
+        let unity = self.unity_gain_freq(f_lo, f_hi);
+        AcCharacteristics {
+            dc_gain: a0,
+            dc_gain_db: 20.0 * a0.abs().max(1e-300).log10(),
+            f3db,
+            unity_freq: unity,
+            phase_margin_deg: unity
+                .map(|fu| 180.0 - (self.phase_exact_deg(f_lo) - self.phase_exact_deg(fu))),
+            gbw: f3db.map(|f| a0.abs() * f),
+            poles: self.poles(),
+            zeros: self.zeros(),
+        }
+    }
+
+    /// Conservative linear-settling time to relative accuracy `eps`
+    /// (seconds): slowest pole dominates, `t = ln(1/eps)/|Re p|`.
+    ///
+    /// Returns `None` for unstable or pole-free functions.
+    pub fn settling_time(&self, eps: f64) -> Option<f64> {
+        let poles = self.poles();
+        if poles.is_empty() {
+            return None;
+        }
+        let mut worst: f64 = 0.0;
+        for p in poles {
+            if p.re >= 0.0 {
+                return None;
+            }
+            worst = worst.max((1.0 / eps).ln() / (-p.re));
+        }
+        Some(worst)
+    }
+}
+
+impl fmt::Display for Tf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) / ({})", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_pole_amp() -> Tf {
+        // A0 = 1000, pole at 1 kHz → GBW = 1 MHz
+        Tf::single_pole(1000.0, 2.0 * std::f64::consts::PI * 1e3)
+    }
+
+    #[test]
+    fn dc_gain_and_poles() {
+        let h = single_pole_amp();
+        assert!((h.dc_gain() - 1000.0).abs() < 1e-9);
+        let p = h.poles();
+        assert_eq!(p.len(), 1);
+        assert!((p[0].re + 2.0 * std::f64::consts::PI * 1e3).abs() < 1.0);
+        assert!(h.is_stable());
+    }
+
+    #[test]
+    fn unity_gain_at_gbw() {
+        let h = single_pole_amp();
+        let fu = h.unity_gain_freq(1.0, 1e9).unwrap();
+        assert!((fu - 1e6).abs() < 2e3, "fu = {fu}");
+    }
+
+    #[test]
+    fn phase_margin_of_single_pole_is_90() {
+        let h = single_pole_amp();
+        let pm = h.phase_margin_deg(1.0, 1e9).unwrap();
+        assert!((pm - 90.0).abs() < 1.0, "pm = {pm}");
+    }
+
+    #[test]
+    fn two_pole_phase_margin() {
+        // A0=1000, p1=1kHz, p2=1MHz = GBW: classic ~51.8° margin point.
+        let p1 = Tf::single_pole(1000.0, 2.0 * std::f64::consts::PI * 1e3);
+        let p2 = Tf::single_pole(1.0, 2.0 * std::f64::consts::PI * 1e6);
+        let h = p1.cascade(&p2);
+        let pm = h.phase_margin_deg(1.0, 1e10).unwrap();
+        assert!(pm > 45.0 && pm < 60.0, "pm = {pm}");
+    }
+
+    #[test]
+    fn f3db_of_lowpass() {
+        let h = single_pole_amp();
+        let f = h.f3db(1.0, 1e9).unwrap();
+        assert!((f - 1e3).abs() < 10.0, "f3db = {f}");
+        let ch = h.characteristics(1.0, 1e9);
+        let gbw = ch.gbw.unwrap();
+        assert!((gbw - 1e6).abs() < 2e4, "gbw = {gbw}");
+    }
+
+    #[test]
+    fn rhp_zero_degrades_phase() {
+        // H = (1 - s/z)/(1 + s/p): RHP zero adds phase lag.
+        let z = 2.0 * std::f64::consts::PI * 1e6;
+        let p = 2.0 * std::f64::consts::PI * 1e3;
+        let h = Tf::new(
+            Poly::new(vec![1000.0, -1000.0 / z]),
+            Poly::new(vec![1.0, 1.0 / p]),
+        );
+        let ph = h.phase_exact_deg(1e6);
+        // pole contributes ≈ −90, RHP zero ≈ −45 at f = z.
+        assert!(ph < -120.0, "phase = {ph}");
+    }
+
+    #[test]
+    fn settling_time_single_pole() {
+        let h = single_pole_amp();
+        // closed... open-loop pole at 2π·1kHz: ts(0.1%) = ln(1000)/ω
+        let ts = h.settling_time(1e-3).unwrap();
+        let want = (1000.0f64).ln() / (2.0 * std::f64::consts::PI * 1e3);
+        assert!((ts - want).abs() < 1e-9 * want.abs() + 1e-12);
+        // Unstable system returns None.
+        let bad = Tf::new(Poly::constant(1.0), Poly::new(vec![-1.0, 1.0]));
+        assert!(bad.settling_time(1e-3).is_none());
+        assert!(!bad.is_stable());
+    }
+
+    #[test]
+    fn cancel_common_roots_removes_pairs() {
+        // (s+10)(s+1) / (s+10)(s+2) → (s+1)/(s+2)
+        let num = Poly::from_roots(&[-10.0, -1.0]);
+        let den = Poly::from_roots(&[-10.0, -2.0]);
+        let h = Tf::new(num, den).cancel_common_roots(1e-9);
+        assert_eq!(h.poles().len(), 1);
+        assert_eq!(h.zeros().len(), 1);
+        assert!((h.dc_gain() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitude_crossing_none_when_flat() {
+        let h = Tf::constant(0.5);
+        assert!(h.unity_gain_freq(1.0, 1e9).is_some()); // already below 1 at f_lo
+        let h2 = Tf::constant(2.0);
+        assert!(h2.unity_gain_freq(1.0, 1e9).is_none());
+    }
+
+    #[test]
+    fn eval_matches_manual() {
+        let h = Tf::new(Poly::new(vec![0.0, 1.0]), Poly::new(vec![1.0, 1.0]));
+        // H(s) = s/(1+s) at s = j: j/(1+j) → |H| = 1/√2
+        let v = h.eval(Complex::I);
+        assert!((v.norm() - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

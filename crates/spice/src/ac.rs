@@ -1,0 +1,331 @@
+//! Small-signal AC analysis: complex MNA around a solved operating point.
+//!
+//! MOSFETs are replaced by their linearized companions (gm, gds, gmb plus
+//! Meyer capacitances); independent sources contribute their `ac_mag` as the
+//! stimulus. The sweep returns full node-voltage phasors per frequency.
+
+use crate::mna::MnaMap;
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::op::OperatingPoint;
+use crate::{SpiceError, SpiceResult};
+use adc_numerics::complex::Complex;
+use adc_numerics::linalg::CMatrix;
+
+/// Result of an AC sweep.
+#[derive(Debug, Clone)]
+pub struct AcSweep {
+    freqs: Vec<f64>,
+    /// `solutions[k][node.index()]` = phasor of that node at `freqs[k]`.
+    solutions: Vec<Vec<Complex>>,
+}
+
+impl AcSweep {
+    /// The analysis frequencies, Hz.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Node-voltage phasor at sweep point `k`.
+    pub fn voltage(&self, node: NodeId, k: usize) -> Complex {
+        self.solutions[k][node.index()]
+    }
+
+    /// The full phasor trace of one node across the sweep.
+    pub fn trace(&self, node: NodeId) -> Vec<Complex> {
+        self.solutions.iter().map(|s| s[node.index()]).collect()
+    }
+
+    /// Magnitude (dB) trace of one node.
+    pub fn magnitude_db(&self, node: NodeId) -> Vec<f64> {
+        self.trace(node)
+            .into_iter()
+            .map(|z| 20.0 * z.norm().max(1e-300).log10())
+            .collect()
+    }
+
+    /// Unwrapped phase (degrees) trace of one node.
+    pub fn phase_deg(&self, node: NodeId) -> Vec<f64> {
+        let raw: Vec<f64> = self
+            .trace(node)
+            .into_iter()
+            .map(|z| z.arg().to_degrees())
+            .collect();
+        unwrap_phase_deg(&raw)
+    }
+}
+
+/// Unwraps a phase sequence (degrees) so successive samples never jump by
+/// more than 180°.
+pub fn unwrap_phase_deg(raw: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut offset = 0.0;
+    for (i, &p) in raw.iter().enumerate() {
+        if i > 0 {
+            let prev = out[i - 1] - offset * 0.0; // previous unwrapped
+            let mut cand = p + offset;
+            while cand - prev > 180.0 {
+                offset -= 360.0;
+                cand = p + offset;
+            }
+            while cand - prev < -180.0 {
+                offset += 360.0;
+                cand = p + offset;
+            }
+        }
+        out.push(p + offset);
+    }
+    out
+}
+
+/// Runs an AC sweep at the given frequencies (Hz).
+///
+/// # Errors
+/// [`SpiceError::Singular`] if the complex MNA system cannot be solved at
+/// some frequency.
+pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceResult<AcSweep> {
+    let map = MnaMap::new(circuit);
+    let dim = map.dim();
+    let mut solutions = Vec::with_capacity(freqs.len());
+
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let jw = Complex::new(0.0, omega);
+        let mut y = CMatrix::zeros(dim, dim);
+        let mut b = vec![Complex::ZERO; dim];
+
+        let admittance = |a: NodeId, bnode: NodeId, g: Complex, y: &mut CMatrix| {
+            let (ra, rb) = (map.node_row(a), map.node_row(bnode));
+            if let Some(i) = ra {
+                y.add_at(i, i, g);
+            }
+            if let Some(j) = rb {
+                y.add_at(j, j, g);
+            }
+            if let (Some(i), Some(j)) = (ra, rb) {
+                y.add_at(i, j, -g);
+                y.add_at(j, i, -g);
+            }
+        };
+
+        let vccs = |p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64, y: &mut CMatrix| {
+            for (out, so) in [(map.node_row(p), 1.0), (map.node_row(n), -1.0)] {
+                let Some(row) = out else { continue };
+                for (ctrl, sc) in [(map.node_row(cp), 1.0), (map.node_row(cn), -1.0)] {
+                    if let Some(col) = ctrl {
+                        y.add_at(row, col, Complex::from_real(so * sc * gm));
+                    }
+                }
+            }
+        };
+
+        for (idx, e) in circuit.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b: bn, ohms, .. } => {
+                    admittance(*a, *bn, Complex::from_real(1.0 / ohms), &mut y);
+                }
+                Element::Capacitor {
+                    a, b: bn, farads, ..
+                } => {
+                    admittance(*a, *bn, jw * *farads, &mut y);
+                }
+                Element::Switch {
+                    a,
+                    b: bn,
+                    ron,
+                    roff,
+                    dc_closed,
+                    ..
+                } => {
+                    let g = 1.0 / if *dc_closed { *ron } else { *roff };
+                    admittance(*a, *bn, Complex::from_real(g), &mut y);
+                }
+                Element::ISource { p, n, ac_mag, .. } => {
+                    // Stimulus: current p→n through the source.
+                    if let Some(r) = map.node_row(*p) {
+                        b[r] -= Complex::from_real(*ac_mag);
+                    }
+                    if let Some(r) = map.node_row(*n) {
+                        b[r] += Complex::from_real(*ac_mag);
+                    }
+                }
+                Element::VSource { p, n, ac_mag, .. } => {
+                    let br = map.branch_row(idx);
+                    if let Some(r) = map.node_row(*p) {
+                        y.add_at(r, br, Complex::ONE);
+                        y.add_at(br, r, Complex::ONE);
+                    }
+                    if let Some(r) = map.node_row(*n) {
+                        y.add_at(r, br, -Complex::ONE);
+                        y.add_at(br, r, -Complex::ONE);
+                    }
+                    b[br] = Complex::from_real(*ac_mag);
+                }
+                Element::Vcvs {
+                    p, n, cp, cn, gain, ..
+                } => {
+                    let br = map.branch_row(idx);
+                    if let Some(r) = map.node_row(*p) {
+                        y.add_at(r, br, Complex::ONE);
+                        y.add_at(br, r, Complex::ONE);
+                    }
+                    if let Some(r) = map.node_row(*n) {
+                        y.add_at(r, br, -Complex::ONE);
+                        y.add_at(br, r, -Complex::ONE);
+                    }
+                    if let Some(r) = map.node_row(*cp) {
+                        y.add_at(br, r, Complex::from_real(-gain));
+                    }
+                    if let Some(r) = map.node_row(*cn) {
+                        y.add_at(br, r, Complex::from_real(*gain));
+                    }
+                }
+                Element::Vccs {
+                    p, n, cp, cn, gm, ..
+                } => {
+                    vccs(*p, *n, *cp, *cn, *gm, &mut y);
+                }
+                Element::Mosfet {
+                    name,
+                    d,
+                    g,
+                    s,
+                    b: bn,
+                    ..
+                } => {
+                    let ev = op.mos_eval(name).ok_or_else(|| {
+                        SpiceError::NotFound(format!("operating point for {name}"))
+                    })?;
+                    // id = gm·vgs + gds·vds + gmb·vbs, current d→s.
+                    vccs(*d, *s, *g, *s, ev.gm, &mut y);
+                    vccs(*d, *s, *d, *s, ev.gds, &mut y);
+                    vccs(*d, *s, *bn, *s, ev.gmb, &mut y);
+                    admittance(*g, *s, jw * ev.cgs, &mut y);
+                    admittance(*g, *d, jw * ev.cgd, &mut y);
+                    admittance(*g, *bn, jw * ev.cgb, &mut y);
+                    admittance(*s, *bn, jw * ev.csb, &mut y);
+                    admittance(*d, *bn, jw * ev.cdb, &mut y);
+                }
+            }
+        }
+
+        // Tiny conductance to ground keeps otherwise-floating nodes solvable.
+        for r in 0..(map.node_count() - 1) {
+            y.add_at(r, r, Complex::from_real(1e-12));
+        }
+
+        let x = y
+            .solve(&b)
+            .map_err(|e| SpiceError::Singular(format!("AC @ {f} Hz: {e}")))?;
+        let mut volts = vec![Complex::ZERO; circuit.node_count()];
+        for idx in 1..circuit.node_count() {
+            volts[idx] = x[idx - 1];
+        }
+        solutions.push(volts);
+    }
+
+    Ok(AcSweep {
+        freqs: freqs.to_vec(),
+        solutions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{dc_operating_point, DcOptions};
+    use adc_numerics::interp::logspace;
+
+    #[test]
+    fn rc_lowpass_pole() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        let (r, cap) = (1e3, 1e-9); // pole at 1/(2πRC) ≈ 159 kHz
+        c.add_vsource_wave("V1", vin, Circuit::GROUND, 0.0.into(), 1.0);
+        c.add_resistor("R1", vin, out, r);
+        c.add_capacitor("C1", out, Circuit::GROUND, cap);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let fpole = 1.0 / (2.0 * std::f64::consts::PI * r * cap);
+        let sweep = ac_sweep(&c, &op, &[fpole / 100.0, fpole, fpole * 100.0]).unwrap();
+        let mags = sweep.magnitude_db(out);
+        assert!(
+            mags[0].abs() < 0.01,
+            "passband should be 0 dB, got {}",
+            mags[0]
+        );
+        assert!(
+            (mags[1] + 3.0103).abs() < 0.05,
+            "-3 dB at pole, got {}",
+            mags[1]
+        );
+        assert!(
+            (mags[2] + 40.0).abs() < 0.5,
+            "-40 dB two decades up, got {}",
+            mags[2]
+        );
+        // Phase: −45° at the pole.
+        let ph = sweep.phase_deg(out);
+        assert!((ph[1] + 45.0).abs() < 1.0, "phase {}", ph[1]);
+    }
+
+    #[test]
+    fn common_source_gain_and_rolloff() {
+        let p = crate::process::Process::c025();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+        c.add_vsource_wave("VG", g, Circuit::GROUND, 0.8.into(), 1.0);
+        c.add_resistor("RD", vdd, d, 10e3);
+        c.add_capacitor("CL", d, Circuit::GROUND, 1e-12);
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            p.nmos,
+            5e-6,
+            0.5e-6,
+        );
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let ev = *op.mos_eval("M1").unwrap();
+        let freqs = logspace(1e3, 10e9, 61);
+        let sweep = ac_sweep(&c, &op, &freqs).unwrap();
+        let mags = sweep.magnitude_db(d);
+        // Low-frequency gain ≈ gm·(RD ∥ ro).
+        let ro = 1.0 / ev.gds;
+        let a0 = ev.gm * (10e3 * ro) / (10e3 + ro);
+        assert!(
+            (mags[0] - 20.0 * a0.log10()).abs() < 0.3,
+            "A0: got {} dB want {} dB",
+            mags[0],
+            20.0 * a0.log10()
+        );
+        // Gain must roll off at high frequency.
+        assert!(mags[mags.len() - 1] < mags[0] - 20.0);
+    }
+
+    #[test]
+    fn phase_unwrap_no_jumps() {
+        let raw = vec![170.0, -175.0, -160.0, 179.0, 160.0];
+        let un = unwrap_phase_deg(&raw);
+        for w in un.windows(2) {
+            assert!((w[1] - w[0]).abs() <= 180.0, "{un:?}");
+        }
+    }
+
+    #[test]
+    fn dc_sources_are_ac_ground() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("VB", a, Circuit::GROUND, 2.0); // ac_mag = 0
+        c.add_resistor("R1", a, b, 1e3);
+        c.add_resistor("R2", b, Circuit::GROUND, 1e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let sweep = ac_sweep(&c, &op, &[1e6]).unwrap();
+        assert!(sweep.voltage(b, 0).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,551 @@
+//! DC operating-point analysis: damped Newton–Raphson on the MNA residual,
+//! with g_min stepping and source stepping as homotopy fallbacks.
+//!
+//! This is the "DC simulation to extract small signal values" leg of the
+//! paper's hybrid evaluation loop (§3): every synthesis iteration solves the
+//! candidate OTA's bias point here, then hands the extracted gm/gds/C to the
+//! equation-based transfer-function analysis.
+
+use crate::mna::{add_opt, stamp_conductance, stamp_vccs, MnaMap};
+use crate::mosfet::eval_mosfet;
+use crate::netlist::{Circuit, Element};
+use crate::op::OperatingPoint;
+use crate::{SpiceError, SpiceResult};
+use adc_numerics::Matrix;
+use std::collections::HashMap;
+
+/// Options controlling the DC solve.
+#[derive(Debug, Clone)]
+pub struct DcOptions {
+    /// Maximum Newton iterations per homotopy stage.
+    pub max_iter: usize,
+    /// Voltage-update convergence tolerance, V.
+    pub vtol: f64,
+    /// KCL residual tolerance, A.
+    pub itol: f64,
+    /// Largest allowed node-voltage change per damped Newton step, V.
+    pub max_step: f64,
+    /// Baseline diagonal g_min, S.
+    pub gmin: f64,
+    /// Initial node-voltage guesses by node name (SPICE `.nodeset`).
+    pub nodeset: HashMap<String, f64>,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            max_iter: 150,
+            vtol: 1e-9,
+            itol: 1e-9,
+            max_step: 0.4,
+            gmin: 1e-12,
+            nodeset: HashMap::new(),
+        }
+    }
+}
+
+/// Assembles the Jacobian and residual at point `x`.
+///
+/// `source_scale` multiplies all independent sources (for source stepping);
+/// `gmin` is added from every node to ground.
+fn assemble(
+    circuit: &Circuit,
+    map: &MnaMap,
+    x: &[f64],
+    jac: &mut Matrix,
+    res: &mut [f64],
+    gmin: f64,
+    source_scale: f64,
+) {
+    jac.clear();
+    res.iter_mut().for_each(|r| *r = 0.0);
+
+    // g_min from every non-ground node to ground.
+    for row in 0..(map.node_count() - 1) {
+        jac.add_at(row, row, gmin);
+        res[row] += gmin * x[row];
+    }
+
+    for (idx, e) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms, .. } => {
+                let g = 1.0 / ohms;
+                let (ra, rb) = (map.node_row(*a), map.node_row(*b));
+                let va = map.voltage(x, *a);
+                let vb = map.voltage(x, *b);
+                stamp_conductance(jac, ra, rb, g);
+                add_opt(res, ra, g * (va - vb));
+                add_opt(res, rb, -g * (va - vb));
+            }
+            Element::Capacitor { .. } => {
+                // Open in DC.
+            }
+            Element::Switch {
+                a,
+                b,
+                ron,
+                roff,
+                dc_closed,
+                ..
+            } => {
+                let g = 1.0 / if *dc_closed { *ron } else { *roff };
+                let (ra, rb) = (map.node_row(*a), map.node_row(*b));
+                let va = map.voltage(x, *a);
+                let vb = map.voltage(x, *b);
+                stamp_conductance(jac, ra, rb, g);
+                add_opt(res, ra, g * (va - vb));
+                add_opt(res, rb, -g * (va - vb));
+            }
+            Element::ISource { p, n, wave, .. } => {
+                let i = wave.dc_value() * source_scale;
+                add_opt(res, map.node_row(*p), i);
+                add_opt(res, map.node_row(*n), -i);
+            }
+            Element::VSource { p, n, wave, .. } => {
+                let br = map.branch_row(idx);
+                let (rp, rn) = (map.node_row(*p), map.node_row(*n));
+                let ib = x[br];
+                add_opt(res, rp, ib);
+                add_opt(res, rn, -ib);
+                if let Some(r) = rp {
+                    jac.add_at(r, br, 1.0);
+                    jac.add_at(br, r, 1.0);
+                }
+                if let Some(r) = rn {
+                    jac.add_at(r, br, -1.0);
+                    jac.add_at(br, r, -1.0);
+                }
+                res[br] += map.voltage(x, *p) - map.voltage(x, *n) - wave.dc_value() * source_scale;
+            }
+            Element::Vcvs {
+                p, n, cp, cn, gain, ..
+            } => {
+                let br = map.branch_row(idx);
+                let (rp, rn) = (map.node_row(*p), map.node_row(*n));
+                let ib = x[br];
+                add_opt(res, rp, ib);
+                add_opt(res, rn, -ib);
+                if let Some(r) = rp {
+                    jac.add_at(r, br, 1.0);
+                    jac.add_at(br, r, 1.0);
+                }
+                if let Some(r) = rn {
+                    jac.add_at(r, br, -1.0);
+                    jac.add_at(br, r, -1.0);
+                }
+                if let Some(r) = map.node_row(*cp) {
+                    jac.add_at(br, r, -gain);
+                }
+                if let Some(r) = map.node_row(*cn) {
+                    jac.add_at(br, r, *gain);
+                }
+                res[br] += map.voltage(x, *p)
+                    - map.voltage(x, *n)
+                    - gain * (map.voltage(x, *cp) - map.voltage(x, *cn));
+            }
+            Element::Vccs {
+                p, n, cp, cn, gm, ..
+            } => {
+                let (rp, rn) = (map.node_row(*p), map.node_row(*n));
+                let vc = map.voltage(x, *cp) - map.voltage(x, *cn);
+                stamp_vccs(jac, rp, rn, map.node_row(*cp), map.node_row(*cn), *gm);
+                add_opt(res, rp, gm * vc);
+                add_opt(res, rn, -gm * vc);
+            }
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                w,
+                l,
+                ..
+            } => {
+                let vd = map.voltage(x, *d);
+                let vg = map.voltage(x, *g);
+                let vs = map.voltage(x, *s);
+                let vb = map.voltage(x, *b);
+                let ev = eval_mosfet(model, *w, *l, vg - vs, vd - vs, vb - vs);
+                let (rd, rg, rs, rb) = (
+                    map.node_row(*d),
+                    map.node_row(*g),
+                    map.node_row(*s),
+                    map.node_row(*b),
+                );
+                // Current leaves the drain (+id) and enters the source (−id).
+                add_opt(res, rd, ev.id);
+                add_opt(res, rs, -ev.id);
+                // ∂id/∂(vg, vd, vb, vs): gm, gds, gmb, −(gm+gds+gmb).
+                let gs_total = ev.gm + ev.gds + ev.gmb;
+                for (row, sign) in [(rd, 1.0), (rs, -1.0)] {
+                    let Some(r) = row else { continue };
+                    if let Some(cg) = rg {
+                        jac.add_at(r, cg, sign * ev.gm);
+                    }
+                    if let Some(cd) = rd {
+                        jac.add_at(r, cd, sign * ev.gds);
+                    }
+                    if let Some(cb) = rb {
+                        jac.add_at(r, cb, sign * ev.gmb);
+                    }
+                    if let Some(cs) = rs {
+                        jac.add_at(r, cs, -sign * gs_total);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result of one Newton stage.
+struct NewtonOutcome {
+    converged: bool,
+    iterations: usize,
+    residual: f64,
+}
+
+fn newton(
+    circuit: &Circuit,
+    map: &MnaMap,
+    x: &mut [f64],
+    opts: &DcOptions,
+    gmin: f64,
+    source_scale: f64,
+) -> NewtonOutcome {
+    let dim = map.dim();
+    let mut jac = Matrix::zeros(dim, dim);
+    let mut res = vec![0.0; dim];
+    let mut last_res = f64::INFINITY;
+    for it in 0..opts.max_iter {
+        assemble(circuit, map, x, &mut jac, &mut res, gmin, source_scale);
+        let rnorm = res.iter().fold(0.0_f64, |m, &r| m.max(r.abs()));
+        last_res = rnorm;
+        let rhs: Vec<f64> = res.iter().map(|&r| -r).collect();
+        let dx = match jac.solve(&rhs) {
+            Ok(dx) => dx,
+            Err(_) => {
+                return NewtonOutcome {
+                    converged: false,
+                    iterations: it,
+                    residual: rnorm,
+                }
+            }
+        };
+        // Damping: cap the largest node-voltage update.
+        let nv = map.node_count() - 1;
+        let max_dv = dx[..nv].iter().fold(0.0_f64, |m, &d| m.max(d.abs()));
+        let alpha = if max_dv > opts.max_step {
+            opts.max_step / max_dv
+        } else {
+            1.0
+        };
+        for (xi, di) in x.iter_mut().zip(dx.iter()) {
+            *xi += alpha * di;
+        }
+        if !x.iter().all(|v| v.is_finite()) {
+            return NewtonOutcome {
+                converged: false,
+                iterations: it,
+                residual: f64::INFINITY,
+            };
+        }
+        if max_dv * alpha < opts.vtol && rnorm < opts.itol {
+            return NewtonOutcome {
+                converged: true,
+                iterations: it + 1,
+                residual: rnorm,
+            };
+        }
+    }
+    NewtonOutcome {
+        converged: false,
+        iterations: opts.max_iter,
+        residual: last_res,
+    }
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// Strategy: plain damped Newton from the node-set/zero initial guess; if
+/// that fails, g_min stepping (decade by decade); if that fails, source
+/// stepping. This mirrors production SPICE behaviour.
+///
+/// # Errors
+/// [`SpiceError::DcConvergence`] if all homotopy stages fail;
+/// [`SpiceError::Singular`] if the system stays singular (e.g. a floating
+/// subcircuit with g_min disabled).
+pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> SpiceResult<OperatingPoint> {
+    let map = MnaMap::new(circuit);
+    let dim = map.dim();
+    if dim == 0 {
+        return Err(SpiceError::BadNetlist("circuit has no unknowns".into()));
+    }
+
+    let mut x = vec![0.0; dim];
+    for (name, v) in &opts.nodeset {
+        if let Some(node) = circuit.find_node(name) {
+            if let Some(r) = map.node_row(node) {
+                x[r] = *v;
+            }
+        }
+    }
+    let x0 = x.clone();
+
+    let mut total_iters = 0;
+
+    // Stage 1: plain Newton.
+    let out = newton(circuit, &map, &mut x, opts, opts.gmin, 1.0);
+    total_iters += out.iterations;
+    if out.converged {
+        return Ok(OperatingPoint::from_solution(circuit, &map, &x));
+    }
+
+    // Stage 2: g_min stepping.
+    x.copy_from_slice(&x0);
+    let mut ok = true;
+    let mut g = 1e-2;
+    while g >= opts.gmin * 0.99 {
+        let out = newton(circuit, &map, &mut x, opts, g, 1.0);
+        total_iters += out.iterations;
+        if !out.converged {
+            ok = false;
+            break;
+        }
+        g /= 10.0;
+    }
+    if ok {
+        let out = newton(circuit, &map, &mut x, opts, opts.gmin, 1.0);
+        total_iters += out.iterations;
+        if out.converged {
+            return Ok(OperatingPoint::from_solution(circuit, &map, &x));
+        }
+    }
+
+    // Stage 3: source stepping (with a mild g_min floor for stability).
+    x.copy_from_slice(&x0);
+    let mut ok = true;
+    let mut last_residual = f64::INFINITY;
+    for k in 1..=20 {
+        let scale = k as f64 / 20.0;
+        let out = newton(circuit, &map, &mut x, opts, opts.gmin.max(1e-9), scale);
+        total_iters += out.iterations;
+        last_residual = out.residual;
+        if !out.converged {
+            ok = false;
+            break;
+        }
+    }
+    if ok {
+        let out = newton(circuit, &map, &mut x, opts, opts.gmin, 1.0);
+        total_iters += out.iterations;
+        if out.converged {
+            return Ok(OperatingPoint::from_solution(circuit, &map, &x));
+        }
+        last_residual = out.residual;
+    }
+
+    Err(SpiceError::DcConvergence {
+        residual: last_residual,
+        iterations: total_iters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::ClockPhase;
+    use crate::process::Process;
+
+    #[test]
+    fn divider() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, 3.0);
+        c.add_resistor("R1", vin, out, 1e3);
+        c.add_resistor("R2", out, Circuit::GROUND, 2e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        assert!((op.voltage(out) - 2.0).abs() < 1e-8);
+        assert!((op.voltage(vin) - 3.0).abs() < 1e-12);
+        // Source branch current: 3V across 3k → 1 mA flowing n→p inside.
+        assert!((op.branch_current("V1").unwrap() + 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let n1 = c.node("n1");
+        // SPICE convention: current flows p→n through the source, so to push
+        // 1 mA into n1 we connect p=gnd, n=n1.
+        c.add_isource("I1", Circuit::GROUND, n1, 1e-3);
+        c.add_resistor("R1", n1, Circuit::GROUND, 2e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        assert!((op.voltage(n1) - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, 0.5);
+        c.add_vcvs("E1", b, Circuit::GROUND, a, Circuit::GROUND, -4.0);
+        c.add_resistor("RL", b, Circuit::GROUND, 1e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        assert!((op.voltage(b) + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vccs_drives_load() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0);
+        // gm = 1 mS, current p→n = gm·va pulls current out of b... use p=gnd.
+        c.add_vccs("G1", Circuit::GROUND, b, a, Circuit::GROUND, 1e-3);
+        c.add_resistor("RL", b, Circuit::GROUND, 1e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        // Baseline g_min (1e-12 S) shifts the answer by ~1 nV.
+        assert!((op.voltage(b) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn diode_connected_nmos_bias() {
+        let p = Process::c025();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+        c.add_resistor("RB", vdd, d, 10e3);
+        c.add_mosfet(
+            "M1",
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            p.nmos,
+            10e-6,
+            1e-6,
+        );
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let vgs = op.voltage(d);
+        // Must bias above threshold, below supply.
+        assert!(vgs > p.nmos.vto && vgs < 2.0, "vgs = {vgs}");
+        // KCL: resistor current equals drain current.
+        let ir = (3.3 - vgs) / 10e3;
+        let ev = op.mos_eval("M1").unwrap();
+        assert!(
+            (ev.id - ir).abs() < 1e-6 * ir.max(1e-9),
+            "id {} vs ir {}",
+            ev.id,
+            ir
+        );
+        assert_eq!(ev.region, crate::mosfet::Region::Saturation);
+    }
+
+    #[test]
+    fn common_source_amplifier_bias() {
+        let p = Process::c025();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+        c.add_vsource("VG", g, Circuit::GROUND, 0.9);
+        c.add_resistor("RD", vdd, d, 5e3);
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            p.nmos,
+            20e-6,
+            0.5e-6,
+        );
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let vd = op.voltage(d);
+        assert!(vd > 0.2 && vd < 3.2, "vd = {vd}");
+        let ev = op.mos_eval("M1").unwrap();
+        assert!(ev.gm > 0.0);
+    }
+
+    #[test]
+    fn cascode_stack_converges() {
+        let p = Process::c025();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vb1 = c.node("vb1");
+        let vb2 = c.node("vb2");
+        let mid = c.node("mid");
+        let out = c.node("out");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+        c.add_vsource("VB1", vb1, Circuit::GROUND, 0.9);
+        c.add_vsource("VB2", vb2, Circuit::GROUND, 1.5);
+        c.add_mosfet(
+            "M1",
+            mid,
+            vb1,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            p.nmos,
+            2.5e-6,
+            0.5e-6,
+        );
+        c.add_mosfet("M2", out, vb2, mid, Circuit::GROUND, p.nmos, 2.5e-6, 0.5e-6);
+        c.add_resistor("RL", vdd, out, 20e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let vm = op.voltage(mid);
+        let vo = op.voltage(out);
+        assert!(vm > 0.1 && vm < 1.0, "vmid = {vm}");
+        assert!(vo > vm && vo < 3.3, "vout = {vo}");
+    }
+
+    #[test]
+    fn floating_node_handled_by_gmin() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let f = c.node("float");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0);
+        c.add_capacitor("C1", a, f, 1e-12); // cap is open in DC → f floats
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        assert!(op.voltage(f).abs() < 1e-3); // pulled to 0 by gmin
+    }
+
+    #[test]
+    fn switch_dc_states() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0);
+        c.add_switch("S1", a, b, 100.0, 1e12, ClockPhase::Phi1, true);
+        c.add_resistor("RL", b, Circuit::GROUND, 100.0);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        assert!((op.voltage(b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_circuit_is_error() {
+        let c = Circuit::new();
+        assert!(dc_operating_point(&c, &DcOptions::default()).is_err());
+    }
+
+    #[test]
+    fn pmos_source_follower() {
+        let p = Process::c025();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let s = c.node("s");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+        c.add_vsource("VG", g, Circuit::GROUND, 1.0);
+        // PMOS follower: source above gate by |vgs|.
+        c.add_mosfet("M1", Circuit::GROUND, g, s, vdd, p.pmos, 20e-6, 0.5e-6);
+        c.add_resistor("RS", vdd, s, 10e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let vs = op.voltage(s);
+        assert!(vs > 1.4 && vs < 2.6, "vs = {vs}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Modified-nodal-analysis bookkeeping: mapping nodes and source branches
+//! to rows of the linear system.
+//!
+//! Unknown ordering: non-ground node voltages first (node `k` → row `k−1`),
+//! then one branch-current unknown per voltage source / VCVS in element
+//! order.
+
+use crate::netlist::{Circuit, Element, NodeId};
+
+/// Index map from circuit entities to MNA matrix rows.
+#[derive(Debug, Clone)]
+pub struct MnaMap {
+    node_count: usize,
+    /// element index → branch row (absolute), for VSource/VCVS elements.
+    branch_rows: Vec<Option<usize>>,
+    dim: usize,
+}
+
+impl MnaMap {
+    /// Builds the map for a circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        let node_count = circuit.node_count();
+        let mut branch_rows = vec![None; circuit.elements().len()];
+        let mut next = node_count - 1;
+        for (i, e) in circuit.elements().iter().enumerate() {
+            if matches!(e, Element::VSource { .. } | Element::Vcvs { .. }) {
+                branch_rows[i] = Some(next);
+                next += 1;
+            }
+        }
+        MnaMap {
+            node_count,
+            branch_rows,
+            dim: next,
+        }
+    }
+
+    /// Total system dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of circuit nodes (including ground).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Row of a node voltage unknown (`None` for ground).
+    #[inline]
+    pub fn node_row(&self, node: NodeId) -> Option<usize> {
+        if node.index() == 0 {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Row of the branch-current unknown of element `elem_idx`.
+    ///
+    /// # Panics
+    /// Panics if the element has no branch unknown (not a V-source/VCVS).
+    pub fn branch_row(&self, elem_idx: usize) -> usize {
+        self.branch_rows[elem_idx].expect("element has no branch-current unknown")
+    }
+
+    /// Reads a node voltage out of a solution vector (0 for ground).
+    #[inline]
+    pub fn voltage(&self, x: &[f64], node: NodeId) -> f64 {
+        match self.node_row(node) {
+            Some(r) => x[r],
+            None => 0.0,
+        }
+    }
+}
+
+/// Accumulates `v` into `vec[row]` when `row` is not ground.
+#[inline]
+pub fn add_opt(vec: &mut [f64], row: Option<usize>, v: f64) {
+    if let Some(r) = row {
+        vec[r] += v;
+    }
+}
+
+/// Accumulates a 2×2 conductance stamp between rows `a` and `b`.
+#[inline]
+pub fn stamp_conductance(
+    mat: &mut adc_numerics::Matrix,
+    a: Option<usize>,
+    b: Option<usize>,
+    g: f64,
+) {
+    if let Some(i) = a {
+        mat.add_at(i, i, g);
+    }
+    if let Some(j) = b {
+        mat.add_at(j, j, g);
+    }
+    if let (Some(i), Some(j)) = (a, b) {
+        mat.add_at(i, j, -g);
+        mat.add_at(j, i, -g);
+    }
+}
+
+/// Accumulates a transconductance stamp: current `gm·v(cp−cn)` leaving `p`
+/// (entering `n`).
+#[inline]
+pub fn stamp_vccs(
+    mat: &mut adc_numerics::Matrix,
+    p: Option<usize>,
+    n: Option<usize>,
+    cp: Option<usize>,
+    cn: Option<usize>,
+    gm: f64,
+) {
+    for (out, sign_o) in [(p, 1.0), (n, -1.0)] {
+        let Some(row) = out else { continue };
+        for (ctrl, sign_c) in [(cp, 1.0), (cn, -1.0)] {
+            if let Some(col) = ctrl {
+                mat.add_at(row, col, sign_o * sign_c * gm);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_numerics::Matrix;
+
+    #[test]
+    fn map_assigns_branches_after_nodes() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R", a, b, 1.0);
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0);
+        c.add_vsource("V2", b, Circuit::GROUND, 2.0);
+        let map = MnaMap::new(&c);
+        assert_eq!(map.dim(), 4);
+        assert_eq!(map.node_row(Circuit::GROUND), None);
+        assert_eq!(map.node_row(a), Some(0));
+        assert_eq!(map.branch_row(1), 2);
+        assert_eq!(map.branch_row(2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no branch-current unknown")]
+    fn branch_row_panics_for_resistor() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("R", a, Circuit::GROUND, 1.0);
+        let map = MnaMap::new(&c);
+        map.branch_row(0);
+    }
+
+    #[test]
+    fn conductance_stamp_symmetry() {
+        let mut m = Matrix::zeros(2, 2);
+        stamp_conductance(&mut m, Some(0), Some(1), 0.5);
+        assert_eq!(m[(0, 0)], 0.5);
+        assert_eq!(m[(1, 1)], 0.5);
+        assert_eq!(m[(0, 1)], -0.5);
+        assert_eq!(m[(1, 0)], -0.5);
+        // grounded side only touches the diagonal
+        let mut m = Matrix::zeros(2, 2);
+        stamp_conductance(&mut m, Some(1), None, 2.0);
+        assert_eq!(m[(1, 1)], 2.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn vccs_stamp_signs() {
+        let mut m = Matrix::zeros(4, 4);
+        stamp_vccs(&mut m, Some(0), Some(1), Some(2), Some(3), 1e-3);
+        assert_eq!(m[(0, 2)], 1e-3);
+        assert_eq!(m[(0, 3)], -1e-3);
+        assert_eq!(m[(1, 2)], -1e-3);
+        assert_eq!(m[(1, 3)], 1e-3);
+    }
+}

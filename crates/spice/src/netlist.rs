@@ -1,0 +1,504 @@
+//! Netlist representation: interned nodes and a flat element list.
+//!
+//! A [`Circuit`] is built programmatically (the design layers *generate*
+//! netlists — there is no parser because nothing in the flow reads SPICE
+//! decks). Node 0 is ground. Every element has a unique name used in
+//! reports and operating-point lookups.
+
+use crate::process::MosModel;
+use crate::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interned circuit node identifier. `NodeId(0)` is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index (0 = ground); stable for the life of the circuit.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a `NodeId` from a raw index previously obtained from
+    /// [`NodeId::index`]. The caller must ensure the index belongs to the
+    /// circuit it will be used with.
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Whether this node is the ground reference.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifier of an element within its circuit (insertion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ElementId(pub(crate) usize);
+
+/// Two-phase clock assignment for switched-capacitor switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockPhase {
+    /// Closed during φ1 (sampling).
+    Phi1,
+    /// Closed during φ2 (amplification).
+    Phi2,
+}
+
+/// One circuit element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// Element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance, Ω.
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// Element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance, F.
+        farads: f64,
+    },
+    /// Independent voltage source from `p` (positive) to `n`.
+    VSource {
+        /// Element name.
+        name: String,
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Source waveform (DC value used in operating-point analysis).
+        wave: Waveform,
+        /// Small-signal AC magnitude (used by AC analysis as the stimulus).
+        ac_mag: f64,
+    },
+    /// Independent current source pushing current from `p` to `n`
+    /// externally (i.e. current exits `p`... conventional SPICE: current
+    /// flows from `p` through the source to `n`).
+    ISource {
+        /// Element name.
+        name: String,
+        /// Terminal the current flows out of (into the circuit).
+        p: NodeId,
+        /// Terminal the current returns to.
+        n: NodeId,
+        /// Source waveform.
+        wave: Waveform,
+        /// Small-signal AC magnitude.
+        ac_mag: f64,
+    },
+    /// Voltage-controlled current source: `i(p→n) = gm · v(cp − cn)`.
+    Vccs {
+        /// Element name.
+        name: String,
+        /// Current exits this terminal into the circuit when gm·vc > 0
+        /// (SPICE convention: current flows p→n inside the source).
+        p: NodeId,
+        /// Return terminal.
+        n: NodeId,
+        /// Positive controlling node.
+        cp: NodeId,
+        /// Negative controlling node.
+        cn: NodeId,
+        /// Transconductance, S.
+        gm: f64,
+    },
+    /// Voltage-controlled voltage source: `v(p − n) = gain · v(cp − cn)`.
+    Vcvs {
+        /// Element name.
+        name: String,
+        /// Positive output terminal.
+        p: NodeId,
+        /// Negative output terminal.
+        n: NodeId,
+        /// Positive controlling node.
+        cp: NodeId,
+        /// Negative controlling node.
+        cn: NodeId,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// MOSFET with an inline model card.
+    Mosfet {
+        /// Element name.
+        name: String,
+        /// Drain.
+        d: NodeId,
+        /// Gate.
+        g: NodeId,
+        /// Source.
+        s: NodeId,
+        /// Body.
+        b: NodeId,
+        /// Model card (copied from the process).
+        model: MosModel,
+        /// Drawn width, m.
+        w: f64,
+        /// Drawn length, m.
+        l: f64,
+    },
+    /// Two-phase clocked switch (transient analysis only; open in DC/AC
+    /// unless `dc_closed`).
+    Switch {
+        /// Element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// On resistance, Ω.
+        ron: f64,
+        /// Off resistance, Ω.
+        roff: f64,
+        /// Phase during which the switch is closed.
+        phase: ClockPhase,
+        /// Treat as closed for DC/AC analyses.
+        dc_closed: bool,
+    },
+}
+
+impl Element {
+    /// The element's unique name.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::VSource { name, .. }
+            | Element::ISource { name, .. }
+            | Element::Vccs { name, .. }
+            | Element::Vcvs { name, .. }
+            | Element::Mosfet { name, .. }
+            | Element::Switch { name, .. } => name,
+        }
+    }
+}
+
+/// A flat netlist with interned node names.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_map: HashMap<String, usize>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground node, always present.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            node_names: Vec::new(),
+            node_map: HashMap::new(),
+            elements: Vec::new(),
+        };
+        c.node_names.push("0".to_string());
+        c.node_map.insert("0".to_string(), 0);
+        c.node_map.insert("gnd".to_string(), 0);
+        c
+    }
+
+    /// Interns (or retrieves) a named node. `"0"` and `"gnd"` are ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&idx) = self.node_map.get(name) {
+            return NodeId(idx);
+        }
+        let idx = self.node_names.len();
+        self.node_names.push(name.to_string());
+        self.node_map.insert(name.to_string(), idx);
+        NodeId(idx)
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_map.get(name).map(|&i| NodeId(i))
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// All elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Element by id.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0]
+    }
+
+    /// Finds an element by name.
+    pub fn find_element(&self, name: &str) -> Option<(ElementId, &Element)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.name() == name)
+            .map(|(i, e)| (ElementId(i), e))
+    }
+
+    fn push(&mut self, e: Element) -> ElementId {
+        debug_assert!(
+            self.find_element(e.name()).is_none(),
+            "duplicate element name {}",
+            e.name()
+        );
+        let id = ElementId(self.elements.len());
+        self.elements.push(e);
+        id
+    }
+
+    /// Adds a resistor.
+    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
+        self.push(Element::Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            ohms,
+        })
+    }
+
+    /// Adds a capacitor.
+    pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> ElementId {
+        self.push(Element::Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            farads,
+        })
+    }
+
+    /// Adds a DC voltage source (AC magnitude 0).
+    pub fn add_vsource(&mut self, name: &str, p: NodeId, n: NodeId, volts: f64) -> ElementId {
+        self.push(Element::VSource {
+            name: name.to_string(),
+            p,
+            n,
+            wave: Waveform::Dc(volts),
+            ac_mag: 0.0,
+        })
+    }
+
+    /// Adds a voltage source with an arbitrary waveform and AC magnitude.
+    pub fn add_vsource_wave(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+        ac_mag: f64,
+    ) -> ElementId {
+        self.push(Element::VSource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+            ac_mag,
+        })
+    }
+
+    /// Adds a DC current source (current flows out of `p` into the circuit
+    /// and back into `n` — i.e. it drives node `n` positive with respect to
+    /// the external network; SPICE convention).
+    pub fn add_isource(&mut self, name: &str, p: NodeId, n: NodeId, amps: f64) -> ElementId {
+        self.push(Element::ISource {
+            name: name.to_string(),
+            p,
+            n,
+            wave: Waveform::Dc(amps),
+            ac_mag: 0.0,
+        })
+    }
+
+    /// Adds a voltage-controlled current source.
+    pub fn add_vccs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> ElementId {
+        self.push(Element::Vccs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gm,
+        })
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    pub fn add_vcvs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> ElementId {
+        self.push(Element::Vcvs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gain,
+        })
+    }
+
+    /// Adds a MOSFET.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        model: MosModel,
+        w: f64,
+        l: f64,
+    ) -> ElementId {
+        self.push(Element::Mosfet {
+            name: name.to_string(),
+            d,
+            g,
+            s,
+            b,
+            model,
+            w,
+            l,
+        })
+    }
+
+    /// Adds a two-phase clocked switch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_switch(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ron: f64,
+        roff: f64,
+        phase: ClockPhase,
+        dc_closed: bool,
+    ) -> ElementId {
+        self.push(Element::Switch {
+            name: name.to_string(),
+            a,
+            b,
+            ron,
+            roff,
+            phase,
+            dc_closed,
+        })
+    }
+
+    /// Number of extra MNA unknowns (branch currents of V-sources/VCVS).
+    pub fn branch_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VSource { .. } | Element::Vcvs { .. }))
+            .count()
+    }
+
+    /// Total MNA system dimension: non-ground nodes + branch currents.
+    pub fn mna_dim(&self) -> usize {
+        (self.node_count() - 1) + self.branch_count()
+    }
+
+    /// Iterator over MOSFET elements (name, terminals, model, w, l).
+    pub fn mosfets(&self) -> impl Iterator<Item = &Element> {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Mosfet { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Process;
+
+    #[test]
+    fn node_interning() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert_eq!(c.node("0"), Circuit::GROUND);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_name(a), "a");
+        assert!(Circuit::GROUND.is_ground());
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn element_lookup() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3);
+        c.add_capacitor("C1", a, Circuit::GROUND, 1e-12);
+        let (id, e) = c.find_element("C1").unwrap();
+        assert_eq!(e.name(), "C1");
+        assert_eq!(c.element(id).name(), "C1");
+        assert!(c.find_element("Zz").is_none());
+    }
+
+    #[test]
+    fn mna_dimension_counts_branches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0);
+        c.add_vcvs("E1", b, Circuit::GROUND, a, Circuit::GROUND, 2.0);
+        c.add_resistor("R1", a, b, 50.0);
+        assert_eq!(c.branch_count(), 2);
+        assert_eq!(c.mna_dim(), 2 + 2);
+    }
+
+    #[test]
+    fn mosfet_iterator() {
+        let p = Process::c025();
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            p.nmos,
+            1e-6,
+            0.25e-6,
+        );
+        c.add_resistor("R", d, g, 1.0);
+        assert_eq!(c.mosfets().count(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Process technology description: a 0.25 µm 3.3 V CMOS node with
+//! level-1-style MOS parameters plus passive-component data.
+//!
+//! The paper targets "a 0.25 µm 3.3 V CMOS process". The authors used a
+//! proprietary foundry deck; we substitute published-typical values (see
+//! DESIGN.md). Absolute currents differ from the authors' silicon, but every
+//! *trend* the topology optimization exploits — gm/I vs overdrive, intrinsic
+//! gain vs channel length, capacitance per width — is preserved.
+
+use serde::{Deserialize, Serialize};
+
+/// Device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Polarity::Nmos => write!(f, "nmos"),
+            Polarity::Pmos => write!(f, "pmos"),
+        }
+    }
+}
+
+/// Level-1-style MOS model card (all SI units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosModel {
+    /// Device polarity.
+    pub polarity: Polarity,
+    /// Zero-bias threshold voltage, V (positive magnitude for both types).
+    pub vto: f64,
+    /// Transconductance parameter `µ·Cox`, A/V².
+    pub kp: f64,
+    /// Body-effect coefficient, √V.
+    pub gamma: f64,
+    /// Surface potential `2φF`, V.
+    pub phi: f64,
+    /// Channel-length-modulation coefficient normalized to 1 µm: the
+    /// effective λ of a device is `lambda_l / (L in µm)`, 1/V.
+    pub lambda_l: f64,
+    /// Lateral diffusion per side, m (`Leff = L − 2·LD`).
+    pub ld: f64,
+    /// Gate-oxide capacitance per area, F/m².
+    pub cox: f64,
+    /// Gate–source overlap capacitance per width, F/m.
+    pub cgso: f64,
+    /// Gate–drain overlap capacitance per width, F/m.
+    pub cgdo: f64,
+    /// Junction capacitance per area (zero bias), F/m².
+    pub cj: f64,
+    /// Junction sidewall capacitance per length (zero bias), F/m.
+    pub cjsw: f64,
+    /// Source/drain diffusion length, m (sets junction area `W·LDIFF`).
+    pub ldiff: f64,
+}
+
+impl MosModel {
+    /// Effective channel length for a drawn length `l`.
+    pub fn leff(&self, l: f64) -> f64 {
+        (l - 2.0 * self.ld).max(1e-9)
+    }
+
+    /// Channel-length modulation λ for drawn length `l` (1/V).
+    pub fn lambda(&self, l: f64) -> f64 {
+        self.lambda_l / (self.leff(l) * 1e6)
+    }
+}
+
+/// Full process description shared by device models and design layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Process {
+    /// Human-readable node name, e.g. `"c025"`.
+    pub name: String,
+    /// Nominal supply voltage, V.
+    pub vdd: f64,
+    /// Minimum drawn channel length, m.
+    pub lmin: f64,
+    /// Minimum drawn width, m.
+    pub wmin: f64,
+    /// NMOS model card.
+    pub nmos: MosModel,
+    /// PMOS model card.
+    pub pmos: MosModel,
+    /// Capacitor density for precision (MiM/poly-poly) caps, F/m².
+    pub cap_density: f64,
+    /// Relative 1-σ mismatch of a unit capacitor of area `cap_unit_area`.
+    pub cap_sigma_unit: f64,
+    /// Area of the reference unit capacitor used for `cap_sigma_unit`, m².
+    pub cap_unit_area: f64,
+}
+
+impl Process {
+    /// The 0.25 µm, 3.3 V CMOS process used throughout the paper's
+    /// evaluation, with published-typical level-1 parameters.
+    pub fn c025() -> Self {
+        Process {
+            name: "c025".to_string(),
+            vdd: 3.3,
+            lmin: 0.25e-6,
+            wmin: 0.5e-6,
+            nmos: MosModel {
+                polarity: Polarity::Nmos,
+                vto: 0.50,
+                kp: 115e-6 * 2.0, // µn·Cox ≈ 230 µA/V² at tox ≈ 5.7 nm
+                gamma: 0.45,
+                phi: 0.80,
+                lambda_l: 0.06,
+                ld: 0.02e-6,
+                cox: 6.0e-3,
+                cgso: 3.0e-10,
+                cgdo: 3.0e-10,
+                cj: 1.0e-3,
+                cjsw: 2.5e-10,
+                ldiff: 0.6e-6,
+            },
+            pmos: MosModel {
+                polarity: Polarity::Pmos,
+                vto: 0.55,
+                kp: 30e-6 * 2.0, // µp·Cox ≈ 60 µA/V²
+                gamma: 0.40,
+                phi: 0.80,
+                lambda_l: 0.08,
+                ld: 0.02e-6,
+                cox: 6.0e-3,
+                cgso: 3.0e-10,
+                cgdo: 3.0e-10,
+                cj: 1.2e-3,
+                cjsw: 3.0e-10,
+                ldiff: 0.6e-6,
+            },
+            cap_density: 1.0e-3,    // 1 fF/µm²
+            cap_sigma_unit: 1.5e-3, // 0.15 % 1-σ for the 25 fF unit
+            cap_unit_area: 25e-12,  // 25 µm² → 25 fF unit cap
+        }
+    }
+
+    /// Model card for the requested polarity.
+    pub fn model(&self, polarity: Polarity) -> &MosModel {
+        match polarity {
+            Polarity::Nmos => &self.nmos,
+            Polarity::Pmos => &self.pmos,
+        }
+    }
+
+    /// 1-σ relative mismatch of a capacitor of value `c` (farads), from the
+    /// usual `σ ∝ 1/√area` law.
+    pub fn cap_mismatch_sigma(&self, c: f64) -> f64 {
+        let area = c / self.cap_density;
+        self.cap_sigma_unit * (self.cap_unit_area / area.max(1e-18)).sqrt()
+    }
+}
+
+impl Default for Process {
+    /// The default process is the paper's 0.25 µm node.
+    fn default() -> Self {
+        Process::c025()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c025_sanity() {
+        let p = Process::c025();
+        assert_eq!(p.vdd, 3.3);
+        assert!(p.nmos.kp > p.pmos.kp, "NMOS must be stronger than PMOS");
+        assert!(p.nmos.vto > 0.3 && p.nmos.vto < 0.7);
+        assert!(p.lmin == 0.25e-6);
+    }
+
+    #[test]
+    fn leff_subtracts_lateral_diffusion() {
+        let p = Process::c025();
+        let l = 0.25e-6;
+        assert!((p.nmos.leff(l) - 0.21e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_decreases_with_length() {
+        let p = Process::c025();
+        let l_short = p.nmos.lambda(0.25e-6);
+        let l_long = p.nmos.lambda(1.0e-6);
+        assert!(
+            l_short > 2.0 * l_long,
+            "λ should drop with L: {l_short} vs {l_long}"
+        );
+    }
+
+    #[test]
+    fn cap_mismatch_scales_with_area() {
+        let p = Process::c025();
+        let s_small = p.cap_mismatch_sigma(25e-15);
+        let s_big = p.cap_mismatch_sigma(100e-15);
+        assert!((s_small - p.cap_sigma_unit).abs() < 1e-9);
+        assert!((s_big - p.cap_sigma_unit / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_is_c025() {
+        assert_eq!(Process::default(), Process::c025());
+    }
+}

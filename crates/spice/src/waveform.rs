@@ -1,0 +1,195 @@
+//! Time-domain source waveforms for transient analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// A source waveform `v(t)` (or `i(t)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// `offset + ampl·sin(2πf·(t−delay) + phase)` for `t ≥ delay`, `offset`
+    /// before.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency, Hz.
+        freq: f64,
+        /// Start delay, s.
+        delay: f64,
+        /// Phase at `t = delay`, rad.
+        phase: f64,
+    },
+    /// SPICE-style periodic pulse.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge, s.
+        delay: f64,
+        /// Rise time, s.
+        rise: f64,
+        /// Fall time, s.
+        fall: f64,
+        /// Pulse width at `v1`, s.
+        width: f64,
+        /// Period, s (0 means single pulse).
+        period: f64,
+    },
+    /// Piecewise linear: sorted `(t, v)` pairs, clamped outside.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Evaluates the waveform at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Sine {
+                offset,
+                ampl,
+                freq,
+                delay,
+                phase,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay) + phase).sin()
+                }
+            }
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let mut tl = t - delay;
+                if *period > 0.0 {
+                    tl %= period;
+                }
+                let rise = rise.max(1e-15);
+                let fall = fall.max(1e-15);
+                if tl < rise {
+                    v0 + (v1 - v0) * tl / rise
+                } else if tl < rise + width {
+                    *v1
+                } else if tl < rise + width + fall {
+                    v1 + (v0 - v1) * (tl - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// DC (t = −∞ / initial) value used by the operating-point analysis.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Sine { offset, .. } => *offset,
+            Waveform::Pulse { v0, .. } => *v0,
+            Waveform::Pwl(points) => points.first().map_or(0.0, |p| p.1),
+        }
+    }
+}
+
+impl Default for Waveform {
+    fn default() -> Self {
+        Waveform::Dc(0.0)
+    }
+}
+
+impl From<f64> for Waveform {
+    fn from(v: f64) -> Self {
+        Waveform::Dc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(2.5);
+        assert_eq!(w.value(0.0), 2.5);
+        assert_eq!(w.value(1e9), 2.5);
+        assert_eq!(w.dc_value(), 2.5);
+    }
+
+    #[test]
+    fn sine_phase_and_delay() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            ampl: 2.0,
+            freq: 1.0,
+            delay: 0.5,
+            phase: 0.0,
+        };
+        assert_eq!(w.value(0.0), 1.0);
+        assert!((w.value(0.5) - 1.0).abs() < 1e-12);
+        assert!((w.value(0.75) - 3.0).abs() < 1e-12); // quarter period after delay
+    }
+
+    #[test]
+    fn pulse_edges() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 3.3,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 1e-10,
+            width: 5e-9,
+            period: 10e-9,
+        };
+        assert_eq!(w.value(0.0), 0.0);
+        assert!((w.value(1e-9 + 5e-11) - 1.65).abs() < 1e-9); // mid-rise
+        assert_eq!(w.value(3e-9), 3.3);
+        assert_eq!(w.value(8e-9), 0.0);
+        // periodicity
+        assert_eq!(w.value(13e-9), 3.3);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 10.0), (2.0, -10.0)]);
+        assert_eq!(w.value(-1.0), 0.0);
+        assert_eq!(w.value(0.5), 5.0);
+        assert_eq!(w.value(1.5), 0.0);
+        assert_eq!(w.value(5.0), -10.0);
+    }
+
+    #[test]
+    fn from_f64() {
+        let w: Waveform = 1.8.into();
+        assert_eq!(w, Waveform::Dc(1.8));
+    }
+}

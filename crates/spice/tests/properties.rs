@@ -1,0 +1,122 @@
+//! Property-based tests on the circuit simulator: conservation laws and
+//! closed-form agreement over randomized networks.
+
+use adc_spice::dc::{dc_operating_point, DcOptions};
+use adc_spice::mosfet::eval_mosfet;
+use adc_spice::netlist::Circuit;
+use adc_spice::process::Process;
+use proptest::prelude::*;
+
+proptest! {
+    /// A randomized resistor ladder matches the closed-form divider chain.
+    #[test]
+    fn resistor_ladder_matches_closed_form(
+        rs in proptest::collection::vec(10.0f64..100e3, 2..6),
+        v in 0.5f64..10.0,
+    ) {
+        let mut c = Circuit::new();
+        let top = c.node("n0");
+        c.add_vsource("V1", top, Circuit::GROUND, v);
+        let mut prev = top;
+        let mut nodes = vec![top];
+        for (i, &r) in rs.iter().enumerate() {
+            let n = c.node(&format!("n{}", i + 1));
+            c.add_resistor(&format!("R{i}"), prev, n, r);
+            nodes.push(n);
+            prev = n;
+        }
+        // Terminate to ground.
+        c.add_resistor("RT", prev, Circuit::GROUND, 1e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let total: f64 = rs.iter().sum::<f64>() + 1e3;
+        let current = v / total;
+        let mut expect = v;
+        for (i, &r) in rs.iter().enumerate() {
+            expect -= current * r;
+            let got = op.voltage(nodes[i + 1]);
+            prop_assert!((got - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "node {}: {} vs {}", i + 1, got, expect);
+        }
+    }
+
+    /// KCL: the supply current equals the sum of currents into every
+    /// grounded branch (energy bookkeeping of the operating point).
+    #[test]
+    fn supply_power_is_positive_and_bounded(
+        w in 2.0f64..100.0,
+        vg in 0.6f64..1.4,
+        rd in 1.0f64..50.0,
+    ) {
+        let p = Process::c025();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+        c.add_vsource("VG", g, Circuit::GROUND, vg);
+        c.add_resistor("RD", vdd, d, rd * 1e3);
+        c.add_mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, p.nmos, w * 1e-6, 0.5e-6);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let pw = op.source_power(&c, "VDD").unwrap();
+        prop_assert!(pw >= -1e-9, "supply absorbing power: {pw}");
+        // Can never exceed VDD²/RD (the resistor fully on).
+        prop_assert!(pw <= 3.3 * 3.3 / (rd * 1e3) * 1.001, "{pw}");
+        // Drain voltage stays within the rails.
+        let vd = op.voltage(d);
+        prop_assert!((-0.001..=3.301).contains(&vd), "{vd}");
+    }
+
+    /// The MOSFET model's derivatives match finite differences at random
+    /// bias points (all regions, both polarities).
+    #[test]
+    fn mosfet_derivatives_random_bias(
+        vgs in -1.5f64..2.5,
+        vds in -2.5f64..2.5,
+        vbs in -1.0f64..0.0,
+        w in 1.0f64..100.0,
+        nmos in proptest::bool::ANY,
+    ) {
+        let p = Process::c025();
+        let model = if nmos { p.nmos } else { p.pmos };
+        let (vgs, vds, vbs) = if nmos { (vgs, vds, vbs) } else { (-vgs, -vds, -vbs) };
+        let h = 1e-6;
+        let e = eval_mosfet(&model, w * 1e-6, 0.5e-6, vgs, vds, vbs);
+        let dg = (eval_mosfet(&model, w * 1e-6, 0.5e-6, vgs + h, vds, vbs).id
+            - eval_mosfet(&model, w * 1e-6, 0.5e-6, vgs - h, vds, vbs).id) / (2.0 * h);
+        let dd = (eval_mosfet(&model, w * 1e-6, 0.5e-6, vgs, vds + h, vbs).id
+            - eval_mosfet(&model, w * 1e-6, 0.5e-6, vgs, vds - h, vbs).id) / (2.0 * h);
+        let scale = 1e-9 + dg.abs().max(dd.abs());
+        prop_assert!((e.gm - dg).abs() < 1e-3 * scale, "gm {} vs {}", e.gm, dg);
+        prop_assert!((e.gds - dd).abs() < 1e-3 * scale, "gds {} vs {}", e.gds, dd);
+    }
+
+    /// Superposition: doubling every independent source doubles every node
+    /// voltage in a linear (R-only) network.
+    #[test]
+    fn linear_network_superposition(
+        r1 in 100.0f64..10e3,
+        r2 in 100.0f64..10e3,
+        r3 in 100.0f64..10e3,
+        v in 0.1f64..5.0,
+        i in 1e-6f64..1e-3,
+    ) {
+        let build = |vs: f64, is: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            c.add_vsource("V1", a, Circuit::GROUND, vs);
+            c.add_resistor("R1", a, b, r1);
+            c.add_resistor("R2", b, Circuit::GROUND, r2);
+            c.add_resistor("R3", b, Circuit::GROUND, r3);
+            c.add_isource("I1", Circuit::GROUND, b, is);
+            (c, b)
+        };
+        let (c1, b1) = build(v, i);
+        let (c2, b2) = build(2.0 * v, 2.0 * i);
+        let op1 = dc_operating_point(&c1, &DcOptions::default()).unwrap();
+        let op2 = dc_operating_point(&c2, &DcOptions::default()).unwrap();
+        let vb1 = op1.voltage(b1);
+        let vb2 = op2.voltage(b2);
+        prop_assert!((vb2 - 2.0 * vb1).abs() < 1e-6 * (1.0 + vb1.abs()), "{vb1} {vb2}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Performance constraints with normalized violation measures.
+
+use crate::evaluator::Performance;
+use serde::{Deserialize, Serialize};
+
+/// Constraint direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// Metric must be ≥ target.
+    AtLeast,
+    /// Metric must be ≤ target.
+    AtMost,
+}
+
+/// One performance constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Metric name in the [`Performance`] map.
+    pub metric: String,
+    /// Direction.
+    pub kind: ConstraintKind,
+    /// Target value.
+    pub target: f64,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    pub fn new(metric: &str, kind: ConstraintKind, target: f64) -> Self {
+        Constraint {
+            metric: metric.to_string(),
+            kind,
+            target,
+        }
+    }
+
+    /// Normalized violation: 0 when satisfied, positive and scale-free when
+    /// violated (relative shortfall). A missing metric counts as violation 1.
+    pub fn violation(&self, perf: &Performance) -> f64 {
+        let Some(v) = perf.get(&self.metric) else {
+            return 1.0;
+        };
+        if !v.is_finite() {
+            return 1.0;
+        }
+        let scale = self.target.abs().max(1e-30);
+        match self.kind {
+            ConstraintKind::AtLeast => ((self.target - v) / scale).max(0.0),
+            ConstraintKind::AtMost => ((v - self.target) / scale).max(0.0),
+        }
+    }
+
+    /// True if the constraint holds.
+    pub fn satisfied(&self, perf: &Performance) -> bool {
+        self.violation(perf) == 0.0
+    }
+}
+
+impl std::fmt::Display for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let op = match self.kind {
+            ConstraintKind::AtLeast => "≥",
+            ConstraintKind::AtMost => "≤",
+        };
+        write!(f, "{} {} {:.4e}", self.metric, op, self.target)
+    }
+}
+
+/// Sum of violations over a constraint set.
+pub fn total_violation(constraints: &[Constraint], perf: &Performance) -> f64 {
+    constraints.iter().map(|c| c.violation(perf)).sum()
+}
+
+/// True when every constraint holds.
+pub fn all_satisfied(constraints: &[Constraint], perf: &Performance) -> bool {
+    constraints.iter().all(|c| c.satisfied(perf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf(pairs: &[(&str, f64)]) -> Performance {
+        let mut p = Performance::new();
+        for (k, v) in pairs {
+            p.set(k, *v);
+        }
+        p
+    }
+
+    #[test]
+    fn at_least_violation_is_relative() {
+        let c = Constraint::new("gain", ConstraintKind::AtLeast, 100.0);
+        assert_eq!(c.violation(&perf(&[("gain", 120.0)])), 0.0);
+        assert!((c.violation(&perf(&[("gain", 50.0)])) - 0.5).abs() < 1e-12);
+        assert!(c.satisfied(&perf(&[("gain", 100.0)])));
+    }
+
+    #[test]
+    fn at_most_violation() {
+        let c = Constraint::new("power", ConstraintKind::AtMost, 1e-3);
+        assert_eq!(c.violation(&perf(&[("power", 0.5e-3)])), 0.0);
+        assert!((c.violation(&perf(&[("power", 2e-3)])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_or_nan_metric_is_violated() {
+        let c = Constraint::new("pm", ConstraintKind::AtLeast, 60.0);
+        assert_eq!(c.violation(&perf(&[])), 1.0);
+        assert_eq!(c.violation(&perf(&[("pm", f64::NAN)])), 1.0);
+    }
+
+    #[test]
+    fn totals_and_all_satisfied() {
+        let cs = vec![
+            Constraint::new("a", ConstraintKind::AtLeast, 10.0),
+            Constraint::new("b", ConstraintKind::AtMost, 1.0),
+        ];
+        let p = perf(&[("a", 5.0), ("b", 2.0)]);
+        assert!((total_violation(&cs, &p) - 1.5).abs() < 1e-12);
+        assert!(!all_satisfied(&cs, &p));
+        let good = perf(&[("a", 11.0), ("b", 0.5)]);
+        assert!(all_satisfied(&cs, &good));
+    }
+
+    #[test]
+    fn display_readable() {
+        let c = Constraint::new("gain", ConstraintKind::AtLeast, 100.0);
+        assert!(c.to_string().contains("gain"));
+    }
+}

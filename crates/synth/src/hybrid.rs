@@ -1,0 +1,231 @@
+//! The hybrid equation+simulation evaluator (§3 of the paper).
+//!
+//! Each candidate sizing is evaluated by: (1) **DC simulation** for the
+//! operating point, supply power and device saturation; (2) **numeric
+//! transfer-function formulation** from the linearized circuit
+//! ([`adc_sfg::nettf`]) for low-frequency gain, unity-gain frequency and
+//! phase margin. "Combining these approaches has the advantage of high
+//! simulation accuracy and fast equation evaluation."
+
+use crate::evaluator::{EvalOutcome, Evaluator, Performance};
+use adc_sfg::nettf::{extract_tf, NetTfOptions};
+use adc_spice::dc::{dc_operating_point, DcOptions};
+use adc_spice::mosfet::Region;
+use adc_spice::netlist::{Circuit, NodeId};
+
+/// A simulate-ready testbench for one candidate sizing.
+#[derive(Debug, Clone)]
+pub struct BenchSetup {
+    /// Netlist (amplifier + bias + load).
+    pub circuit: Circuit,
+    /// Output node whose transfer function is analyzed.
+    pub output: NodeId,
+    /// Supply source name (power = delivered power of this source).
+    pub supply: String,
+    /// MOSFET names that must sit in saturation.
+    pub devices: Vec<String>,
+}
+
+/// Options for the hybrid evaluation.
+#[derive(Debug, Clone)]
+pub struct HybridOptions {
+    /// Frequency (Hz) at which low-frequency gain is probed (above the bias
+    /// servo corner, below the amplifier poles).
+    pub f_probe: f64,
+    /// Upper limit for the unity-crossing search, Hz.
+    pub f_max: f64,
+    /// Transfer-function extraction options.
+    pub nettf: NetTfOptions,
+    /// DC solver options.
+    pub dc: DcOptions,
+}
+
+impl Default for HybridOptions {
+    fn default() -> Self {
+        HybridOptions {
+            f_probe: 1e4,
+            f_max: 50e9,
+            nettf: NetTfOptions::default(),
+            dc: DcOptions::default(),
+        }
+    }
+}
+
+/// Evaluator wrapping a testbench builder closure.
+///
+/// Produced metrics: `power` (W), `a0` (linear low-frequency gain),
+/// `unity_freq` (Hz, 0 when no crossing), `pm` (degrees, 0 when no
+/// crossing), `saturated` (fraction of devices in saturation).
+pub struct HybridOtaEvaluator<F> {
+    build: F,
+    opts: HybridOptions,
+}
+
+impl<F> HybridOtaEvaluator<F>
+where
+    F: Fn(&[f64]) -> BenchSetup,
+{
+    /// Creates the evaluator from a testbench builder.
+    pub fn new(build: F, opts: HybridOptions) -> Self {
+        HybridOtaEvaluator { build, opts }
+    }
+}
+
+impl<F> Evaluator for HybridOtaEvaluator<F>
+where
+    F: Fn(&[f64]) -> BenchSetup,
+{
+    fn evaluate(&self, x: &[f64]) -> EvalOutcome {
+        let bench = (self.build)(x);
+        // Leg 1: DC simulation.
+        let op = match dc_operating_point(&bench.circuit, &self.opts.dc) {
+            Ok(op) => op,
+            Err(e) => return EvalOutcome::Failed(format!("DC: {e}")),
+        };
+        let power = match op.source_power(&bench.circuit, &bench.supply) {
+            Some(p) => p,
+            None => return EvalOutcome::Failed(format!("no supply source {}", bench.supply)),
+        };
+        let mut saturated = 0usize;
+        for name in &bench.devices {
+            match op.mos_eval(name) {
+                Some(ev) if ev.region == Region::Saturation => saturated += 1,
+                Some(_) => {}
+                None => return EvalOutcome::Failed(format!("no such device {name}")),
+            }
+        }
+        // Leg 2: equation-based TF analysis on the linearized circuit.
+        let tf = match extract_tf(&bench.circuit, &op, bench.output, &self.opts.nettf) {
+            Ok(tf) => tf.cancel_common_roots(1e-5),
+            Err(e) => return EvalOutcome::Failed(format!("TF: {e}")),
+        };
+        let a0 = tf.magnitude(self.opts.f_probe);
+        // Phase margin referenced to the amplifier's own low-frequency
+        // phase (works for inverting and non-inverting configurations):
+        // PM = 180° − accumulated phase lag at the unity crossing.
+        let (fu, pm) = match tf.unity_gain_freq(self.opts.f_probe, self.opts.f_max) {
+            Some(fu) => {
+                let lag = tf.phase_exact_deg(self.opts.f_probe) - tf.phase_exact_deg(fu);
+                (fu, 180.0 - lag)
+            }
+            None => (0.0, 0.0),
+        };
+
+        let mut perf = Performance::new();
+        perf.set("power", power);
+        perf.set("a0", a0);
+        perf.set("unity_freq", fu);
+        perf.set("pm", pm);
+        perf.set(
+            "saturated",
+            if bench.devices.is_empty() {
+                1.0
+            } else {
+                saturated as f64 / bench.devices.len() as f64
+            },
+        );
+        EvalOutcome::Ok(perf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_spice::process::Process;
+
+    /// Macromodel testbench: VCCS into RC with the gm set by `x[0]` and the
+    /// bias current modeled as a resistor drawing supply power.
+    fn macro_bench(x: &[f64]) -> BenchSetup {
+        let gm = x[0];
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+        // "Bias": power ∝ gm (models I = gm·Veff).
+        c.add_resistor(
+            "RBIAS",
+            vdd,
+            Circuit::GROUND,
+            3.3 / (gm * 0.25 * 3.3).max(1e-12) * 3.3,
+        );
+        c.add_vsource_wave("VIN", vin, Circuit::GROUND, 0.0.into(), 1.0);
+        c.add_vccs("GM", Circuit::GROUND, out, vin, Circuit::GROUND, -gm);
+        c.add_resistor("RO", out, Circuit::GROUND, 100e3);
+        c.add_capacitor("CL", out, Circuit::GROUND, 1e-12);
+        BenchSetup {
+            circuit: c,
+            output: out,
+            supply: "VDD".into(),
+            devices: vec![],
+        }
+    }
+
+    #[test]
+    fn macromodel_metrics() {
+        let ev = HybridOtaEvaluator::new(macro_bench, HybridOptions::default());
+        match ev.evaluate(&[1e-3]) {
+            EvalOutcome::Ok(p) => {
+                // A0 = gm·ro = 100.
+                assert!((p.get("a0").unwrap() - 100.0).abs() < 1.0, "{p:?}");
+                // fu ≈ gm/(2πC) = 159 MHz.
+                let fu = p.get("unity_freq").unwrap();
+                assert!((fu - 159.2e6).abs() < 5e6, "fu {fu}");
+                // Single pole: PM ≈ 90°.
+                let pm = p.get("pm").unwrap();
+                assert!((pm - 90.0).abs() < 2.0, "pm {pm}");
+                assert!(p.get("power").unwrap() > 0.0);
+                assert_eq!(p.get("saturated"), Some(1.0));
+            }
+            EvalOutcome::Failed(e) => panic!("{e}"),
+        }
+    }
+
+    #[test]
+    fn transistor_bench_works_end_to_end() {
+        // Common-source stage as a minimal transistor bench.
+        let proc = Process::c025();
+        let build = move |x: &[f64]| {
+            let w = x[0];
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let g = c.node("g");
+            let d = c.node("d");
+            c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+            c.add_vsource_wave("VG", g, Circuit::GROUND, 0.8.into(), 1.0);
+            c.add_resistor("RD", vdd, d, 10e3);
+            c.add_capacitor("CL", d, Circuit::GROUND, 1e-12);
+            c.add_mosfet(
+                "M1",
+                d,
+                g,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                proc.nmos,
+                w,
+                0.5e-6,
+            );
+            BenchSetup {
+                circuit: c,
+                output: d,
+                supply: "VDD".into(),
+                devices: vec!["M1".into()],
+            }
+        };
+        let ev = HybridOtaEvaluator::new(build, HybridOptions::default());
+        match ev.evaluate(&[5e-6]) {
+            EvalOutcome::Ok(p) => {
+                assert!(p.get("a0").unwrap() > 2.0);
+                assert_eq!(p.get("saturated"), Some(1.0));
+            }
+            EvalOutcome::Failed(e) => panic!("{e}"),
+        }
+        // A 100× wider device leaves saturation (drops into triode).
+        match ev.evaluate(&[500e-6]) {
+            EvalOutcome::Ok(p) => {
+                assert_eq!(p.get("saturated"), Some(0.0));
+            }
+            EvalOutcome::Failed(e) => panic!("{e}"),
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Nelder–Mead simplex refinement in the normalized unit box.
+//!
+//! Used as a local polish after annealing: derivative-free, robust to the
+//! mild noise of simulation-based cost functions.
+
+/// Runs Nelder–Mead on `cost` starting from `start` (normalized
+//  coordinates), with initial simplex edge `scale`. Returns the best vertex
+/// and its cost. Coordinates are clamped to `[0, 1]`.
+pub fn nelder_mead<F>(mut cost: F, start: &[f64], scale: f64, max_iter: usize) -> (Vec<f64>, f64)
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = start.len();
+    let clamp = |v: &mut Vec<f64>| {
+        for x in v.iter_mut() {
+            *x = x.clamp(0.0, 1.0);
+        }
+    };
+
+    // Initial simplex: start plus n offset vertices.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let mut v0 = start.to_vec();
+    clamp(&mut v0);
+    let c0 = cost(&v0);
+    simplex.push((v0.clone(), c0));
+    for i in 0..n {
+        let mut v = v0.clone();
+        v[i] = if v[i] + scale <= 1.0 {
+            v[i] + scale
+        } else {
+            v[i] - scale
+        };
+        clamp(&mut v);
+        let c = cost(&v);
+        simplex.push((v, c));
+    }
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    for _ in 0..max_iter {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        // Converged only when both the cost spread AND the simplex size are
+        // tiny (a cost tie across a straddling simplex is not convergence).
+        let diameter = simplex
+            .iter()
+            .flat_map(|(v, _)| {
+                simplex.iter().map(move |(w, _)| {
+                    v.iter()
+                        .zip(w)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+            })
+            .fold(0.0_f64, f64::max);
+        if (worst - best).abs() <= 1e-12 * (1.0 + best.abs()) && diameter < 1e-8 {
+            break;
+        }
+        // Centroid of all but worst.
+        let mut cen = vec![0.0; n];
+        for (v, _) in &simplex[..n] {
+            for (ci, vi) in cen.iter_mut().zip(v) {
+                *ci += vi / n as f64;
+            }
+        }
+        let xw = simplex[n].0.clone();
+        let mut refl: Vec<f64> = cen
+            .iter()
+            .zip(&xw)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        clamp(&mut refl);
+        let c_refl = cost(&refl);
+        if c_refl < simplex[0].1 {
+            // Expand.
+            let mut exp: Vec<f64> = cen
+                .iter()
+                .zip(&xw)
+                .map(|(c, w)| c + gamma * (c - w))
+                .collect();
+            clamp(&mut exp);
+            let c_exp = cost(&exp);
+            simplex[n] = if c_exp < c_refl {
+                (exp, c_exp)
+            } else {
+                (refl, c_refl)
+            };
+        } else if c_refl < simplex[n - 1].1 {
+            simplex[n] = (refl, c_refl);
+        } else {
+            // Contract.
+            let mut con: Vec<f64> = cen
+                .iter()
+                .zip(&xw)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            clamp(&mut con);
+            let c_con = cost(&con);
+            if c_con < simplex[n].1 {
+                simplex[n] = (con, c_con);
+            } else {
+                // Shrink toward best.
+                let x0 = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let mut v: Vec<f64> = x0
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, w)| b + sigma * (w - b))
+                        .collect();
+                    clamp(&mut v);
+                    let c = cost(&v);
+                    *entry = (v, c);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    simplex.swap_remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let cost = |u: &[f64]| (u[0] - 0.3).powi(2) + (u[1] - 0.7).powi(2);
+        let (u, c) = nelder_mead(cost, &[0.9, 0.1], 0.2, 300);
+        assert!(c < 1e-8, "cost {c}");
+        assert!((u[0] - 0.3).abs() < 1e-3);
+        assert!((u[1] - 0.7).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rosenbrock_like_progress() {
+        let cost = |u: &[f64]| {
+            let (x, y) = (u[0] * 4.0 - 2.0, u[1] * 4.0 - 2.0);
+            (1.0 - x).powi(2) + 20.0 * (y - x * x).powi(2)
+        };
+        let start = [0.2, 0.2];
+        let c_start = cost(&start);
+        let (_, c) = nelder_mead(cost, &start, 0.2, 500);
+        assert!(c < c_start / 10.0, "{c} vs {c_start}");
+    }
+
+    #[test]
+    fn clamps_to_unit_box() {
+        // Optimum outside the box → should converge to the boundary.
+        let cost = |u: &[f64]| (u[0] - 2.0).powi(2);
+        let (u, _) = nelder_mead(cost, &[0.5], 0.3, 200);
+        assert!(u[0] > 0.98, "{u:?}");
+        assert!(u[0] <= 1.0);
+    }
+
+    #[test]
+    fn single_dimension() {
+        let cost = |u: &[f64]| (u[0] - 0.25).powi(2);
+        let (u, c) = nelder_mead(cost, &[0.9], 0.1, 200);
+        assert!((u[0] - 0.25).abs() < 1e-4);
+        assert!(c < 1e-8);
+    }
+}

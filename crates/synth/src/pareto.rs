@@ -1,0 +1,99 @@
+//! Pareto-front utilities (minimize-all convention).
+//!
+//! The paper contrasts its hybrid flow with Pareto-surface approaches
+//! ([7–9] in its references); these helpers support that comparison and the
+//! multi-objective ablation benches.
+
+/// True if `a` dominates `b`: no-worse in every coordinate and strictly
+/// better in at least one (all objectives minimized).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective dimension mismatch");
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the non-dominated points.
+pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && dominates(q, &points[i]))
+        })
+        .collect()
+}
+
+/// Hypervolume-style scalar progress measure: sum over front points of the
+/// rectangle to a reference point (2-D only; for reporting trends).
+///
+/// # Panics
+/// Panics if any point is not 2-D.
+pub fn hypervolume_2d(front: &[Vec<f64>], reference: (f64, f64)) -> f64 {
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), 2, "hypervolume_2d needs 2-D points");
+            (p[0], p[1])
+        })
+        .filter(|&(x, y)| x <= reference.0 && y <= reference.1)
+        .collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut hv = 0.0;
+    let mut prev_y = reference.1;
+    for (x, y) in pts {
+        if y < prev_y {
+            hv += (reference.0 - x) * (prev_y - y);
+            prev_y = y;
+        }
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal: not strict
+    }
+
+    #[test]
+    fn front_extraction_matches_brute_force() {
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 4.0], // dominated by (2,3)
+            vec![4.0, 1.0],
+            vec![2.0, 3.0], // duplicate: both stay (neither dominates)
+            vec![5.0, 5.0], // dominated
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_front() {
+        let f1 = vec![vec![2.0, 2.0]];
+        let f2 = vec![vec![1.0, 1.0]];
+        let r = (3.0, 3.0);
+        assert!(hypervolume_2d(&f2, r) > hypervolume_2d(&f1, r));
+        // Points beyond the reference contribute nothing.
+        assert_eq!(hypervolume_2d(&[vec![4.0, 4.0]], r), 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! The synthesis driver: anneal globally, polish locally, and support
+//! warm-started *retargeting* of a previous design to a new specification.
+
+use crate::anneal::{anneal, outcome_cost, AnnealConfig, AnnealResult};
+use crate::constraints::{all_satisfied, Constraint};
+use crate::evaluator::{EvalOutcome, Evaluator, Performance};
+use crate::neldermead::nelder_mead;
+use crate::space::DesignSpace;
+use std::cell::Cell;
+
+/// Synthesis budget and seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Annealing evaluations.
+    pub iterations: usize,
+    /// Nelder–Mead polish iterations.
+    pub nm_iterations: usize,
+    /// Starting neighbourhood scale.
+    pub sigma0: f64,
+    /// Final neighbourhood scale.
+    pub sigma_end: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            iterations: 2000,
+            nm_iterations: 150,
+            sigma0: 0.25,
+            sigma_end: 0.02,
+            seed: 1,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// The reduced-budget configuration used for retargeting runs.
+    pub fn retarget_budget(&self) -> SynthConfig {
+        SynthConfig {
+            iterations: (self.iterations / 5).max(50),
+            nm_iterations: self.nm_iterations,
+            sigma0: 0.06,
+            sigma_end: 0.01,
+            seed: self.seed.wrapping_add(1),
+        }
+    }
+}
+
+/// Result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthResult {
+    /// Best design point in real units (design-space variable order).
+    pub best_x: Vec<f64>,
+    /// Best point in normalized coordinates (for warm starts).
+    pub best_u: Vec<f64>,
+    /// Performance at the best point.
+    pub best_perf: Performance,
+    /// Scalarized cost at the best point.
+    pub best_cost: f64,
+    /// All constraints satisfied?
+    pub feasible: bool,
+    /// Total evaluator calls consumed.
+    pub evaluations: usize,
+}
+
+/// A reusable synthesis problem: space + constraints + objective.
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    space: DesignSpace,
+    constraints: Vec<Constraint>,
+    objective: String,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer minimizing `objective` subject to
+    /// `constraints`.
+    pub fn new(space: DesignSpace, constraints: Vec<Constraint>, objective: &str) -> Self {
+        Synthesizer {
+            space,
+            constraints,
+            objective: objective.to_string(),
+        }
+    }
+
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The constraint set.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Replaces the constraint set (spec retargeting).
+    pub fn set_constraints(&mut self, constraints: Vec<Constraint>) {
+        self.constraints = constraints;
+    }
+
+    fn finish<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        sa: AnnealResult,
+        nm_iterations: usize,
+    ) -> SynthResult {
+        let evals = Cell::new(sa.evaluations);
+        // Objective reference consistent with the annealing cost.
+        let obj_ref = sa
+            .best_perf
+            .as_ref()
+            .and_then(|p| p.get(&self.objective))
+            .map(|v| v.abs().max(1e-30))
+            .unwrap_or(1.0);
+        let cost = |u: &[f64]| {
+            evals.set(evals.get() + 1);
+            let out = evaluator.evaluate(&self.space.denormalize(u));
+            outcome_cost(&out, &self.constraints, &self.objective, obj_ref)
+        };
+        let (u_pol, _) = nelder_mead(cost, &sa.best_u, 0.03, nm_iterations);
+        // Re-evaluate the polished point for its true performance; keep the
+        // annealing point if polishing somehow regressed.
+        let out_pol = evaluator.evaluate(&self.space.denormalize(&u_pol));
+        evals.set(evals.get() + 1);
+        let cost_pol = outcome_cost(&out_pol, &self.constraints, &self.objective, obj_ref);
+        let sa_cost = outcome_cost(
+            &sa.best_perf
+                .clone()
+                .map(EvalOutcome::Ok)
+                .unwrap_or(EvalOutcome::Failed("no feasible point".into())),
+            &self.constraints,
+            &self.objective,
+            obj_ref,
+        );
+        let (best_u, best_perf, best_cost) = if cost_pol <= sa_cost {
+            match out_pol {
+                EvalOutcome::Ok(p) => (u_pol, p, cost_pol),
+                EvalOutcome::Failed(_) => (
+                    sa.best_u.clone(),
+                    sa.best_perf.clone().unwrap_or_default(),
+                    sa_cost,
+                ),
+            }
+        } else {
+            (
+                sa.best_u.clone(),
+                sa.best_perf.clone().unwrap_or_default(),
+                sa_cost,
+            )
+        };
+        let feasible = all_satisfied(&self.constraints, &best_perf);
+        SynthResult {
+            best_x: self.space.denormalize(&best_u),
+            best_u,
+            best_perf,
+            best_cost,
+            feasible,
+            evaluations: evals.get(),
+        }
+    }
+
+    /// Cold synthesis: global annealing + local polish.
+    pub fn synthesize<E: Evaluator>(&self, evaluator: &E, cfg: &SynthConfig) -> SynthResult {
+        let sa_cfg = AnnealConfig {
+            iterations: cfg.iterations,
+            sigma0: cfg.sigma0,
+            sigma_end: cfg.sigma_end,
+            seed: cfg.seed,
+        };
+        let sa = anneal(
+            &self.space,
+            evaluator,
+            &self.constraints,
+            &self.objective,
+            &sa_cfg,
+            None,
+        );
+        self.finish(evaluator, sa, cfg.nm_iterations)
+    }
+
+    /// Retargeting: re-synthesize with a warm start from a previous result,
+    /// on a fraction of the cold budget (the paper's "1 day instead of 2–3
+    /// weeks" reuse).
+    pub fn retarget<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        previous: &SynthResult,
+        cfg: &SynthConfig,
+    ) -> SynthResult {
+        let r = cfg.retarget_budget();
+        let sa_cfg = AnnealConfig {
+            iterations: r.iterations,
+            sigma0: r.sigma0,
+            sigma_end: r.sigma_end,
+            seed: r.seed,
+        };
+        let sa = anneal(
+            &self.space,
+            evaluator,
+            &self.constraints,
+            &self.objective,
+            &sa_cfg,
+            Some(&previous.best_u),
+        );
+        self.finish(evaluator, sa, r.nm_iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ConstraintKind;
+    use crate::space::DesignVar;
+
+    /// Analytic single-stage-amp-like model: two variables (current `i`,
+    /// width `w`); gain ∝ sqrt(w/i)·k, bandwidth ∝ sqrt(w·i), power ∝ i.
+    fn amp_eval(x: &[f64]) -> EvalOutcome {
+        let (i, w) = (x[0], x[1]);
+        let mut p = Performance::new();
+        p.set("power", 3.3 * i);
+        p.set("gain", 40.0 * (w / i).sqrt());
+        p.set("bw", 2e9 * (w * i).sqrt());
+        EvalOutcome::Ok(p)
+    }
+
+    fn amp_space() -> DesignSpace {
+        DesignSpace::new(vec![
+            DesignVar::log("i", 1e-5, 1e-2),
+            DesignVar::log("w", 1e-6, 1e-3),
+        ])
+    }
+
+    fn amp_constraints(gain: f64, bw: f64) -> Vec<Constraint> {
+        vec![
+            Constraint::new("gain", ConstraintKind::AtLeast, gain),
+            Constraint::new("bw", ConstraintKind::AtLeast, bw),
+        ]
+    }
+
+    #[test]
+    fn synthesize_meets_spec_with_minimal_power() {
+        let synth = Synthesizer::new(amp_space(), amp_constraints(60.0, 1e6), "power");
+        let cfg = SynthConfig {
+            iterations: 3000,
+            seed: 11,
+            ..Default::default()
+        };
+        let run = synth.synthesize(&amp_eval, &cfg);
+        assert!(run.feasible, "{:?}", run.best_perf);
+        // Power should approach the analytic minimum: constraints active.
+        let gain = run.best_perf.get("gain").unwrap();
+        assert!(gain < 120.0, "gain overshoot wastes power: {gain}");
+    }
+
+    #[test]
+    fn retarget_uses_fewer_evaluations() {
+        let mut synth = Synthesizer::new(amp_space(), amp_constraints(60.0, 1e6), "power");
+        let cfg = SynthConfig {
+            iterations: 3000,
+            seed: 12,
+            ..Default::default()
+        };
+        let cold = synth.synthesize(&amp_eval, &cfg);
+        assert!(cold.feasible);
+        // New spec: slightly different gain/bandwidth targets.
+        synth.set_constraints(amp_constraints(50.0, 1.2e6));
+        let warm = synth.retarget(&amp_eval, &cold, &cfg);
+        assert!(warm.feasible, "{:?}", warm.best_perf);
+        assert!(
+            warm.evaluations * 3 < cold.evaluations,
+            "warm {} vs cold {}",
+            warm.evaluations,
+            cold.evaluations
+        );
+    }
+
+    #[test]
+    fn infeasible_spec_reports_infeasible() {
+        let synth = Synthesizer::new(
+            amp_space(),
+            // gain ≥ 40·sqrt(w/i) max = 40·sqrt(1e-3/1e-5) = 400; ask 4000.
+            amp_constraints(4000.0, 1e6),
+            "power",
+        );
+        let cfg = SynthConfig {
+            iterations: 800,
+            seed: 13,
+            ..Default::default()
+        };
+        let run = synth.synthesize(&amp_eval, &cfg);
+        assert!(!run.feasible);
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let synth = Synthesizer::new(amp_space(), amp_constraints(60.0, 1e6), "power");
+        let cfg = SynthConfig {
+            iterations: 600,
+            seed: 14,
+            ..Default::default()
+        };
+        let a = synth.synthesize(&amp_eval, &cfg);
+        let b = synth.synthesize(&amp_eval, &cfg);
+        assert_eq!(a.best_x, b.best_x);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

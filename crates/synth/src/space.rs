@@ -1,0 +1,216 @@
+//! Bounded design spaces: named variables with linear or logarithmic
+//! exploration scales, plus the normalized-coordinate mapping the
+//! optimizers work in.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One bounded design variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignVar {
+    /// Variable name (for reports).
+    pub name: String,
+    /// Lower bound (SI units).
+    pub lo: f64,
+    /// Upper bound (SI units).
+    pub hi: f64,
+    /// Explore on a log scale (true for widths/caps/currents).
+    pub log: bool,
+}
+
+impl DesignVar {
+    /// A linearly explored variable.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi`.
+    pub fn linear(name: &str, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "invalid bounds for {name}");
+        DesignVar {
+            name: name.to_string(),
+            lo,
+            hi,
+            log: false,
+        }
+    }
+
+    /// A log-explored variable (both bounds must be positive).
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi`.
+    pub fn log(name: &str, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && lo < hi, "invalid log bounds for {name}");
+        DesignVar {
+            name: name.to_string(),
+            lo,
+            hi,
+            log: true,
+        }
+    }
+
+    /// Maps a normalized coordinate `u ∈ [0,1]` to the variable's value.
+    pub fn denormalize(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        if self.log {
+            (self.lo.ln() + u * (self.hi.ln() - self.lo.ln())).exp()
+        } else {
+            self.lo + u * (self.hi - self.lo)
+        }
+    }
+
+    /// Maps a value to its normalized coordinate.
+    pub fn normalize(&self, v: f64) -> f64 {
+        let v = v.clamp(self.lo, self.hi);
+        if self.log {
+            (v.ln() - self.lo.ln()) / (self.hi.ln() - self.lo.ln())
+        } else {
+            (v - self.lo) / (self.hi - self.lo)
+        }
+    }
+}
+
+/// An ordered collection of design variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    vars: Vec<DesignVar>,
+}
+
+impl DesignSpace {
+    /// Creates a space.
+    ///
+    /// # Panics
+    /// Panics on an empty variable list.
+    pub fn new(vars: Vec<DesignVar>) -> Self {
+        assert!(!vars.is_empty(), "empty design space");
+        DesignSpace { vars }
+    }
+
+    /// The variables.
+    pub fn vars(&self) -> &[DesignVar] {
+        &self.vars
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Denormalizes a full coordinate vector.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn denormalize(&self, u: &[f64]) -> Vec<f64> {
+        assert_eq!(u.len(), self.vars.len(), "dimension mismatch");
+        self.vars
+            .iter()
+            .zip(u)
+            .map(|(v, &ui)| v.denormalize(ui))
+            .collect()
+    }
+
+    /// Normalizes a value vector.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.vars.len(), "dimension mismatch");
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, &xi)| v.normalize(xi))
+            .collect()
+    }
+
+    /// Uniform random normalized point.
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        (0..self.vars.len()).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    /// Gaussian neighbourhood move in normalized coordinates: perturbs a
+    /// random subset (at least one) of coordinates with scale `sigma`,
+    /// clamping to the unit box.
+    pub fn neighbor<R: Rng + ?Sized>(&self, u: &[f64], sigma: f64, rng: &mut R) -> Vec<f64> {
+        let n = u.len();
+        let mut out = u.to_vec();
+        let k = rng.gen_range(0..n);
+        for (i, o) in out.iter_mut().enumerate() {
+            if i == k || rng.gen::<f64>() < 0.25 {
+                let g: f64 = {
+                    // Box–Muller
+                    let u1: f64 = rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                };
+                *o = (*o + sigma * g).clamp(0.0, 1.0);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_round_trip() {
+        let v = DesignVar::linear("x", -2.0, 6.0);
+        assert_eq!(v.denormalize(0.0), -2.0);
+        assert_eq!(v.denormalize(1.0), 6.0);
+        assert!((v.normalize(v.denormalize(0.37)) - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_round_trip_spans_decades() {
+        let v = DesignVar::log("w", 1e-6, 1e-3);
+        let mid = v.denormalize(0.5);
+        assert!((mid - (1e-6f64 * 1e-3).sqrt()).abs() < 1e-9);
+        assert!((v.normalize(mid) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_out_of_range() {
+        let v = DesignVar::linear("x", 0.0, 1.0);
+        assert_eq!(v.denormalize(-0.5), 0.0);
+        assert_eq!(v.denormalize(1.5), 1.0);
+        assert_eq!(v.normalize(99.0), 1.0);
+    }
+
+    #[test]
+    fn space_random_and_neighbor_in_box() {
+        let s = DesignSpace::new(vec![
+            DesignVar::linear("a", 0.0, 1.0),
+            DesignVar::log("b", 1.0, 100.0),
+            DesignVar::linear("c", -5.0, 5.0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = s.random_point(&mut rng);
+        assert_eq!(u.len(), 3);
+        assert!(u.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        for _ in 0..100 {
+            let v = s.neighbor(&u, 0.3, &mut rng);
+            assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            assert_ne!(v, u);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid log bounds")]
+    fn log_requires_positive() {
+        DesignVar::log("bad", -1.0, 1.0);
+    }
+
+    #[test]
+    fn denormalize_vector() {
+        let s = DesignSpace::new(vec![
+            DesignVar::linear("a", 0.0, 10.0),
+            DesignVar::log("b", 1.0, 1000.0),
+        ]);
+        let x = s.denormalize(&[0.5, 1.0 / 3.0]);
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 10.0).abs() < 1e-9);
+        let u = s.normalize(&x);
+        assert!((u[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Behavioural sign-off of the optimized topology: simulate the 13-bit
+//! 4-3-2 (+ 1.5-bit backend) pipeline with the nonidealities implied by the
+//! synthesized blocks, and measure SNDR/ENOB/SFDR and INL/DNL.
+//!
+//! Run with `cargo run --release --example behavioral_verification`.
+
+use pipelined_adc::behav::metrics::{ramp_linearity, sine_test};
+use pipelined_adc::behav::pipeline::{FlashBackend, PipelineAdc};
+use pipelined_adc::behav::stage::{StageModel, StageNonideality};
+use pipelined_adc::mdac::power::{design_chain, PowerModelParams};
+use pipelined_adc::mdac::specs::AdcSpec;
+
+fn main() {
+    let spec = AdcSpec::date05(13);
+    let params = PowerModelParams::calibrated();
+    let chain = design_chain(&spec, &[4, 3, 2], &params);
+
+    // Map the analytic stage designs onto behavioural nonidealities:
+    // finite-gain error 1/(A0·β) plus the designed settling error.
+    let stages: Vec<StageModel> = chain
+        .iter()
+        .map(|d| {
+            let a0_achieved = d.a0_required * 1.2; // synthesis overshoots a little
+            let gain_error = 1.0 / (a0_achieved * d.caps.beta)
+                + 2.0_f64.powi(-(d.spec.output_accuracy as i32 + 1));
+            let noise = (adc_numerics::constants::KT_NOMINAL / d.caps.c_samp).sqrt()
+                / (spec.full_scale / 2.0);
+            StageModel::with_nonideality(
+                d.spec.bits,
+                StageNonideality {
+                    gain_error,
+                    noise_rms: noise,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let adc = PipelineAdc::new(None, stages, FlashBackend::ideal(7));
+    println!(
+        "13-bit 4-3-2 pipeline: {} effective bits, {} comparators total",
+        adc.resolution_bits(),
+        adc.comparator_count()
+    );
+
+    println!("\n== Coherent sine test (16384 points, −0.45 dBFS) ==");
+    let m = sine_test(&adc, 16384, 0.95, 42);
+    println!("SNDR = {:.2} dB", m.sndr_db);
+    println!("SFDR = {:.2} dB", m.sfdr_db);
+    println!("THD  = {:.2} dB", m.thd_db);
+    println!("ENOB = {:.2} bits", m.enob);
+
+    println!("\n== Ramp linearity (INL/DNL) ==");
+    let lin = ramp_linearity(&adc, 8, 7);
+    println!("DNL max = {:.3} LSB", lin.dnl_max);
+    println!("INL max = {:.3} LSB", lin.inl_max);
+    println!("missing codes = {}", lin.missing_codes);
+
+    println!("\n== Ideal reference (same topology, no nonidealities) ==");
+    let ideal = PipelineAdc::ideal(&[4, 3, 2], 7);
+    let mi = sine_test(&ideal, 16384, 0.95, 42);
+    println!(
+        "ideal ENOB = {:.2} bits (loss {:.2} bits)",
+        mi.enob,
+        mi.enob - m.enob
+    );
+}

@@ -1,0 +1,88 @@
+//! Large-swing MDAC settling in the transient engine: a switched-capacitor
+//! ×4 amplifier (3-bit MDAC core) driven by a two-phase clock, settling a
+//! full-scale step — the "simulation-based evaluation produces trustworthy
+//! results when circuits experience large dynamic swing" leg of §3.
+//!
+//! Run with `cargo run --release --example mdac_settling`.
+
+use pipelined_adc::spice::netlist::{Circuit, ClockPhase};
+use pipelined_adc::spice::tran::{transient, Clock, TranOptions};
+
+fn main() {
+    // Flip-around-style SC amplifier with an ideal-ish opamp macromodel
+    // (VCCS gm = 5 mS into the summing node → gain −gm·... closed loop set
+    // by Cs/Cf = 3 → gain 4 with the flip-around connection).
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let top = c.node("cs_top");
+    let sum = c.node("sum");
+    let out = c.node("out");
+
+    c.add_vsource("VIN", vin, Circuit::GROUND, 0.25);
+
+    // Sampling caps: Cs = 3C samples vin on φ1; Cf = C in feedback on φ2.
+    let cu = 0.5e-12;
+    c.add_switch("S1", vin, top, 200.0, 1e12, ClockPhase::Phi1, false);
+    c.add_switch(
+        "S2",
+        sum,
+        Circuit::GROUND,
+        200.0,
+        1e12,
+        ClockPhase::Phi1,
+        false,
+    );
+    c.add_capacitor("CS", top, sum, 3.0 * cu);
+    // φ2: bottom plate to ground (charge transfer), feedback closes.
+    c.add_switch(
+        "S3",
+        top,
+        Circuit::GROUND,
+        200.0,
+        1e12,
+        ClockPhase::Phi2,
+        false,
+    );
+    c.add_capacitor("CF", sum, out, cu);
+    // Reset switch across CF: during φ1 the amp sits in unity feedback and
+    // the feedback cap is discharged (standard SC-amplifier reset).
+    c.add_switch("S4", sum, out, 200.0, 1e12, ClockPhase::Phi1, false);
+
+    // Opamp macromodel: out = −A·v(sum), single pole via gm/C.
+    c.add_vccs("GM", Circuit::GROUND, out, sum, Circuit::GROUND, -5e-3);
+    c.add_resistor("RO", out, Circuit::GROUND, 200e3);
+    c.add_capacitor("CL", out, Circuit::GROUND, 1e-12);
+
+    let clock = Clock {
+        freq: 40e6,
+        nonoverlap: 1e-9,
+    };
+    let opts = TranOptions {
+        tstop: 50e-9, // two clock periods
+        dt: 25e-12,
+        clock: Some(clock),
+        ..Default::default()
+    };
+    let result = transient(&c, &opts).expect("transient converges");
+
+    println!("t[ns]    v(out)[V]   (φ1: 0–11.5 ns, φ2: 12.5–24 ns)");
+    for k in (0..result.len()).step_by(40) {
+        println!(
+            "{:6.2}   {:+.5}",
+            result.times()[k] * 1e9,
+            result.voltage_at(out, k)
+        );
+    }
+    // At the end of φ2 the output should be Cs/Cf·vin, reduced by the
+    // finite-loop-gain static error.
+    let settled = result.voltage_at(out, (24.0e-9 / 25e-12) as usize);
+    println!("\nsettled output at end of φ2: {settled:+.5} V (input 0.25 V, Cs/Cf = 3)");
+    // Finite loop gain A·β leaves a static error: v = 3·vin/(1 + 1/(A·β)).
+    let a0 = 5e-3 * 200e3;
+    let beta = 1.0 / 4.0;
+    let expected = 0.25 * 3.0 / (1.0 + 1.0 / (a0 * beta));
+    println!("expected (incl. finite-gain error): {:+.5} V", expected);
+    let err = ((settled - expected) / expected).abs();
+    println!("relative settling error: {err:.3e}");
+    assert!(err < 1e-2, "MDAC failed to settle");
+}

@@ -1,0 +1,44 @@
+//! Quickstart: enumerate the 13-bit candidates, rank them by power, and
+//! print the paper's headline result (4-3-2 wins).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use pipelined_adc::mdac::power::PowerModelParams;
+use pipelined_adc::mdac::specs::AdcSpec;
+use pipelined_adc::topopt::enumerate::enumerate_candidates;
+use pipelined_adc::topopt::optimize::optimize_topology;
+use pipelined_adc::topopt::report::fig1_table;
+
+fn main() {
+    let spec = AdcSpec::date05(13);
+    let params = PowerModelParams::calibrated();
+
+    println!("== Candidate enumeration (13-bit, 40 MSPS, 0.25 µm 3.3 V) ==");
+    let cands = enumerate_candidates(spec.resolution, 7);
+    println!("{} candidates: ", cands.len());
+    for c in &cands {
+        println!(
+            "  {:<14} stages = {}, front-end comparators = {}",
+            c.to_string(),
+            c.stage_count(),
+            c.comparator_count()
+        );
+    }
+
+    println!("\n== Topology optimization ==");
+    let report = optimize_topology(&spec, &params);
+    print!("{}", fig1_table(&report));
+
+    let best = report.best();
+    println!(
+        "\nMinimum-power configuration: {}  ({:.2} mW front-end)",
+        best.candidate,
+        best.total_power * 1e3
+    );
+    println!(
+        "First stage: C_samp = {:.2} pF, gm = {:.2} mS, topology = {}",
+        best.stages[0].caps.c_samp * 1e12,
+        best.stages[0].gm * 1e3,
+        best.stages[0].topology
+    );
+}

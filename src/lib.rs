@@ -1,0 +1,20 @@
+//! # pipelined-adc
+//!
+//! Umbrella crate for the DATE 2005 reproduction *"Designer-Driven Topology
+//! Optimization for Pipelined Analog to Digital Converters"*. It re-exports
+//! every workspace crate so the examples and integration tests can address
+//! the whole system through one dependency.
+//!
+//! ```
+//! use pipelined_adc::topopt::enumerate::enumerate_candidates;
+//! let cands = enumerate_candidates(13, 7);
+//! assert_eq!(cands.len(), 7);
+//! ```
+
+pub use adc_behav as behav;
+pub use adc_mdac as mdac;
+pub use adc_numerics as numerics;
+pub use adc_sfg as sfg;
+pub use adc_spice as spice;
+pub use adc_synth as synth;
+pub use adc_topopt as topopt;

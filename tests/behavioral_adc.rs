@@ -1,0 +1,101 @@
+//! Behavioural-model integration tests: digital correction, redundancy and
+//! reconstruction invariants across arbitrary enumerated topologies.
+
+use pipelined_adc::behav::pipeline::{FlashBackend, PipelineAdc};
+use pipelined_adc::behav::stage::{StageModel, StageNonideality};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any valid front-end configuration, the ideal pipeline
+    /// reconstructs every interior input to within one LSB.
+    #[test]
+    fn ideal_reconstruction_within_one_lsb(
+        bits in proptest::collection::vec(2u32..=4, 1..=4),
+        backend in 3u32..=7,
+        v in -0.9f64..0.9,
+    ) {
+        let adc = PipelineAdc::ideal(&bits, backend);
+        let k = adc.resolution_bits();
+        let lsb = 2.0 / (1u64 << k) as f64;
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = adc.convert(v, &mut rng);
+        prop_assert!((est - v).abs() <= lsb, "v={v} est={est} K={k}");
+    }
+
+    /// Comparator offsets inside the redundancy range never cost more than
+    /// a fraction of an LSB versus the ideal converter.
+    #[test]
+    fn redundancy_absorbs_offsets(
+        m in 2u32..=4,
+        seed in 0u64..1000,
+        v in -0.85f64..0.85,
+    ) {
+        let budget = 0.6 / (1u64 << m) as f64; // 60 % of the redundancy range
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_thresh = (1usize << m) - 2;
+        let offsets: Vec<f64> = (0..n_thresh)
+            .map(|i| if (seed as usize + i) % 2 == 0 { budget } else { -budget })
+            .collect();
+        let stage = StageModel::with_nonideality(
+            m,
+            StageNonideality { comparator_offsets: offsets, ..Default::default() },
+        );
+        let adc = PipelineAdc::new(None, vec![stage], FlashBackend::ideal(6));
+        let ideal = PipelineAdc::ideal(&[m], 6);
+        let mut r1 = StdRng::seed_from_u64(2);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let a = adc.convert(v, &mut r1);
+        let b = ideal.convert(v, &mut r2);
+        let lsb = 2.0 / (1u64 << ideal.resolution_bits()) as f64;
+        prop_assert!((a - b).abs() <= lsb, "m={m} v={v}: {a} vs {b}");
+    }
+
+    /// The integer transfer function of an ideal converter is monotone.
+    #[test]
+    fn ideal_codes_monotone(bits in proptest::collection::vec(2u32..=3, 1..=3)) {
+        let adc = PipelineAdc::ideal(&bits, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut last = 0u32;
+        for i in 0..400 {
+            let v = -0.99 + 1.98 * i as f64 / 399.0;
+            let c = adc.convert_code(v, &mut rng);
+            prop_assert!(c >= last);
+            last = c;
+        }
+    }
+}
+
+#[test]
+fn equivalent_topologies_have_identical_ideal_transfer() {
+    // All seven 13-bit candidates implement the same ideal quantizer.
+    let configs: [&[u32]; 7] = [
+        &[2, 2, 2, 2, 2, 2],
+        &[3, 2, 2, 2, 2],
+        &[3, 3, 3],
+        &[4, 3, 2],
+        &[4, 2, 2, 2],
+        &[3, 3, 2, 2],
+        &[4, 4],
+    ];
+    let reference = PipelineAdc::ideal(configs[0], 7);
+    let mut r_ref = StdRng::seed_from_u64(7);
+    for cfg in &configs[1..] {
+        let adc = PipelineAdc::ideal(cfg, 7);
+        let mut r = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let _ = &mut r_ref;
+        for i in 0..500 {
+            let v = -0.95 + 1.9 * i as f64 / 499.0;
+            let a = reference.convert(v, &mut r2);
+            let b = adc.convert(v, &mut r);
+            assert!(
+                (a - b).abs() < 2.0 / 8192.0,
+                "{cfg:?} differs at v={v}: {a} vs {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Integration tests for §2 of the paper: candidate enumeration.
+
+use pipelined_adc::topopt::enumerate::{enumerate_candidates, Candidate};
+use proptest::prelude::*;
+
+#[test]
+fn paper_counts() {
+    // "These reduce the design space complexity to a manageable enumerated
+    // set of seven different candidates" (13-bit case).
+    assert_eq!(enumerate_candidates(13, 7).len(), 7);
+    // Implied counts at the other evaluated resolutions.
+    assert_eq!(enumerate_candidates(12, 7).len(), 5);
+    assert_eq!(enumerate_candidates(11, 7).len(), 4);
+    assert_eq!(enumerate_candidates(10, 7).len(), 3);
+}
+
+#[test]
+fn thirteen_bit_set_is_exactly_the_papers() {
+    let mut names: Vec<String> = enumerate_candidates(13, 7)
+        .iter()
+        .map(Candidate::to_string)
+        .collect();
+    names.sort();
+    let mut want = vec![
+        "2-2-2-2-2-2",
+        "3-2-2-2-2",
+        "3-3-3",
+        "4-3-2",
+        "4-2-2-2",
+        "3-3-2-2",
+        "4-4",
+    ];
+    want.sort_unstable();
+    assert_eq!(names, want);
+}
+
+proptest! {
+    /// Every enumerated candidate satisfies the paper's constraint set and
+    /// resolves exactly the front-end bits.
+    #[test]
+    fn candidates_satisfy_invariants(k in 8u32..=18) {
+        for c in enumerate_candidates(k, 7) {
+            prop_assert_eq!(c.effective_bits(), k - 7);
+            prop_assert!(c.front_bits().iter().all(|&m| (2..=4).contains(&m)));
+            for w in c.front_bits().windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+    }
+
+    /// No two candidates are equal (the enumeration never duplicates).
+    #[test]
+    fn candidates_are_distinct(k in 8u32..=18) {
+        let cands = enumerate_candidates(k, 7);
+        let set: std::collections::HashSet<_> =
+            cands.iter().map(|c| c.front_bits().to_vec()).collect();
+        prop_assert_eq!(set.len(), cands.len());
+    }
+
+    /// Candidate count equals the number of non-increasing compositions,
+    /// which for parts ≤ 3 grows with resolution.
+    #[test]
+    fn count_is_monotone_in_resolution(k in 9u32..=17) {
+        prop_assert!(enumerate_candidates(k + 1, 7).len() >= enumerate_candidates(k, 7).len());
+    }
+}

@@ -1,0 +1,62 @@
+//! Circuit-level synthesis integration: the hybrid evaluator drives the
+//! annealer to a feasible OTA sizing for a relaxed MDAC spec, and
+//! retargeting reuses the result with far fewer evaluations.
+
+use pipelined_adc::mdac::power::{design_chain, PowerModelParams};
+use pipelined_adc::mdac::specs::AdcSpec;
+use pipelined_adc::synth::SynthConfig;
+use pipelined_adc::topopt::flow::{
+    ota_requirements, synthesize_ota, OtaRequirements, TemplateKind,
+};
+
+#[test]
+fn telescopic_synthesis_reaches_relaxed_spec() {
+    // A relaxed back-end-class block: modest gain, modest speed.
+    let spec = AdcSpec::date05(13);
+    let req = OtaRequirements {
+        a0_min: 300.0,
+        unity_min: 150e6,
+        pm_min: 55.0,
+        c_load: 0.4e-12,
+        template: TemplateKind::Telescopic,
+    };
+    let cfg = SynthConfig {
+        iterations: 900,
+        nm_iterations: 100,
+        seed: 17,
+        ..Default::default()
+    };
+    let run = synthesize_ota(&spec.process, &req, &cfg, None);
+    assert!(run.feasible, "not feasible: {:?}", run.best_perf);
+    assert!(run.best_perf.get("power").unwrap() < 20e-3);
+    assert!(run.best_perf.get("pm").unwrap() >= 55.0);
+}
+
+#[test]
+fn retargeting_is_cheaper_than_cold_start() {
+    let spec = AdcSpec::date05(13);
+    let params = PowerModelParams::calibrated();
+    let chain = design_chain(&spec, &[4, 3, 2], &params);
+    // Last-stage block: cheapest real requirement set.
+    let req = ota_requirements(&chain[2], &spec);
+    let cfg = SynthConfig {
+        iterations: 700,
+        nm_iterations: 80,
+        seed: 23,
+        ..Default::default()
+    };
+    let cold = synthesize_ota(&spec.process, &req, &cfg, None);
+    // Retarget to a slightly relaxed spec.
+    let relaxed = OtaRequirements {
+        a0_min: req.a0_min * 0.8,
+        unity_min: req.unity_min * 0.9,
+        ..req.clone()
+    };
+    let warm = synthesize_ota(&spec.process, &relaxed, &cfg, Some(&cold));
+    assert!(
+        warm.evaluations * 2 < cold.evaluations,
+        "warm {} vs cold {}",
+        warm.evaluations,
+        cold.evaluations
+    );
+}
