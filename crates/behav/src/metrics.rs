@@ -6,10 +6,9 @@ use crate::signals::{coherent_sine, ramp};
 use adc_numerics::fft::{power_spectrum, Window};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Spectral test results.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpectralMetrics {
     /// Signal-to-noise-and-distortion ratio, dB.
     pub sndr_db: f64,
@@ -89,7 +88,7 @@ pub fn sine_test(adc: &PipelineAdc, n: usize, amplitude: f64, seed: u64) -> Spec
 }
 
 /// Linearity test results (code-density / ramp method).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearityMetrics {
     /// Per-code DNL in LSB (length `2^K − 2`, first/last codes excluded).
     pub dnl: Vec<f64>,

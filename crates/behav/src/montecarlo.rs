@@ -7,10 +7,9 @@ use crate::pipeline::{FlashBackend, PipelineAdc};
 use crate::stage::{gaussian, StageModel, StageNonideality};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Statistical description of one stage for Monte-Carlo sampling.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageStatistics {
     /// Raw stage resolution `m`.
     pub bits: u32,
@@ -26,7 +25,7 @@ pub struct StageStatistics {
 }
 
 /// Monte-Carlo run summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonteCarloResult {
     /// ENOB of every trial.
     pub enobs: Vec<f64>,

@@ -4,10 +4,9 @@
 use crate::sha::ShaModel;
 use crate::stage::{gaussian, StageModel};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Backend flash quantizer (the final stage has no MDAC).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlashBackend {
     bits: u32,
     /// Per-threshold offsets, normalized (empty = ideal).
@@ -71,7 +70,7 @@ impl FlashBackend {
 /// A complete behavioural pipelined ADC.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineAdc {
     sha: Option<ShaModel>,
     stages: Vec<StageModel>,

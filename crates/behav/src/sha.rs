@@ -3,10 +3,9 @@
 
 use crate::stage::gaussian;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Behavioural S/H amplifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ShaModel {
     /// Multiplicative gain error (0 = unity gain).
     pub gain_error: f64,

@@ -15,10 +15,9 @@
 //! absorb comparator offsets up to `±Vref/2^m`.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Nonidealities applied by a stage's MDAC and sub-ADC.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StageNonideality {
     /// Multiplicative interstage-gain error (e.g. `1/(A0·β)` from finite
     /// opamp gain plus incomplete-settling error). 0 = ideal.
@@ -36,7 +35,7 @@ pub struct StageNonideality {
 }
 
 /// Behavioural model of one pipeline stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageModel {
     bits: u32,
     nonideal: StageNonideality,

@@ -14,11 +14,10 @@
 //! For K = 13 (backend 7) this yields exactly **seven** candidates —
 //! 4-4, 4-3-2, 4-2-2-2, 3-3-3, 3-3-2-2, 3-2-2-2-2, 2-2-2-2-2-2.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One enumerated front-end configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Candidate {
     front_bits: Vec<u32>,
 }

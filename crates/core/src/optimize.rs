@@ -4,7 +4,6 @@
 use crate::enumerate::{enumerate_candidates, Candidate};
 use adc_mdac::power::{design_chain, PowerModelParams, StageDesign};
 use adc_mdac::specs::AdcSpec;
-use serde::{Deserialize, Serialize};
 
 /// Power evaluation of one candidate.
 #[derive(Debug, Clone)]
@@ -45,8 +44,9 @@ impl TopologyReport {
     }
 }
 
-/// Serializable summary row (for CSV/JSON emission).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Flattened summary row (plain strings and numbers, ready for the
+/// `report` module's text/CSV emitters).
+#[derive(Debug, Clone)]
 pub struct SummaryRow {
     /// Configuration label, e.g. `"4-3-2"`.
     pub config: String,
@@ -95,17 +95,16 @@ pub fn optimize_topology(spec: &AdcSpec, params: &PowerModelParams) -> TopologyR
 /// swapped for an expensive circuit-backed evaluation).
 pub fn optimize_topology_parallel(spec: &AdcSpec, params: &PowerModelParams) -> TopologyReport {
     let candidates = enumerate_candidates(spec.resolution, 7);
-    let mut rows: Vec<CandidateRow> = crossbeam::thread::scope(|scope| {
+    let mut rows: Vec<CandidateRow> = std::thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .into_iter()
-            .map(|candidate| scope.spawn(move |_| evaluate_candidate(spec, params, candidate)))
+            .map(|candidate| scope.spawn(move || evaluate_candidate(spec, params, candidate)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("candidate evaluation panicked"))
             .collect()
-    })
-    .expect("scoped evaluation");
+    });
     rows.sort_by(|a, b| {
         a.total_power
             .partial_cmp(&b.total_power)
@@ -117,7 +116,7 @@ pub fn optimize_topology_parallel(spec: &AdcSpec, params: &PowerModelParams) -> 
     }
 }
 
-/// Serializable summary of a report.
+/// Flattened summary of a report.
 pub fn summarize(report: &TopologyReport) -> Vec<SummaryRow> {
     report
         .rows

@@ -72,8 +72,8 @@ pub fn fig3_table(rules: &RuleTable) -> String {
     let _ = writeln!(out, "Optimum candidate enumeration rules (derived)");
     let _ = writeln!(
         out,
-        "{:<6}{:<16}{:<10}{:<14}{}",
-        "K", "optimum", "max m_i", "last stage", "resolutions used"
+        "{:<6}{:<16}{:<10}{:<14}resolutions used",
+        "K", "optimum", "max m_i", "last stage"
     );
     for r in &rules.rows {
         let used: Vec<String> = r.used_bits.iter().map(|m| m.to_string()).collect();

@@ -10,10 +10,9 @@
 use crate::optimize::optimize_topology;
 use adc_mdac::power::PowerModelParams;
 use adc_mdac::specs::AdcSpec;
-use serde::{Deserialize, Serialize};
 
 /// One resolution's derived optimum and rule attributes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuleRow {
     /// Converter resolution K.
     pub resolution: u32,
@@ -28,7 +27,7 @@ pub struct RuleRow {
 }
 
 /// Fig. 3 as data: one row per resolution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuleTable {
     /// Rows in ascending resolution.
     pub rows: Vec<RuleRow>,

@@ -1,0 +1,204 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness, providing the subset of the 0.5 API this workspace's
+//! benches use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! (with `sample_size` and `finish`), [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so this local crate
+//! keeps `cargo bench` hermetic. Timing is a simple warmup + timed-batch
+//! mean/min report rather than criterion's full bootstrap statistics; swap
+//! this path dependency for the real crate when a registry is available.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring criterion's `black_box` (criterion 0.5 re-exports
+/// `std::hint::black_box` under a deprecation shim).
+pub use std::hint::black_box;
+
+/// Target wall-clock budget per benchmark measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Warmup budget before measurement.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Benchmark driver handed to `b.iter(..)` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over `self.iters` iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(id: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warmup: one-shot call, then scale iteration count to the budget.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_secs(1);
+    while warm_start.elapsed() < WARMUP_BUDGET {
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1)) / b.iters as u32;
+        if per_iter >= WARMUP_BUDGET {
+            break;
+        }
+    }
+    let budget_iters = (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+    let samples = sample_size.min(budget_iters).max(1);
+    let iters_per_sample = (budget_iters / samples).max(1);
+
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters_per_sample as u32;
+        best = best.min(per);
+        total += b.elapsed;
+        total_iters += iters_per_sample;
+    }
+    let mean = total / total_iters.max(1) as u32;
+    println!(
+        "{id:<55} mean {:>12} min {:>12} ({} samples x {} iters)",
+        fmt_duration(mean),
+        fmt_duration(best),
+        samples,
+        iters_per_sample
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark manager (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    /// Fresh manager with the default sample size.
+    pub fn new() -> Self {
+        Criterion { sample_size: 100 }
+    }
+
+    /// Sets the default number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups run (criterion prints its
+    /// summary here; the stand-in has nothing buffered).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Group of benchmarks sharing configuration (stand-in for
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1) as u64);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(id, n, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::new();
+        c.sample_size(2);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| black_box(3 * 3)));
+        g.finish();
+    }
+}

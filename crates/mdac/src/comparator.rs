@@ -8,10 +8,9 @@
 
 use crate::power::PowerModelParams;
 use crate::specs::{AdcSpec, StageSpec};
-use serde::{Deserialize, Serialize};
 
 /// Comparator bank design summary for one stage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComparatorBank {
     /// Number of comparators (`2^m − 2`).
     pub count: usize,

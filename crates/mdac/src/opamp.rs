@@ -17,10 +17,9 @@
 
 use adc_spice::netlist::{Circuit, NodeId};
 use adc_spice::process::Process;
-use serde::{Deserialize, Serialize};
 
 /// A bounded design variable of an OTA template.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VarBound {
     /// Variable name (matches the parameter struct field).
     pub name: &'static str,
@@ -50,7 +49,7 @@ pub struct OtaTestbench {
 }
 
 /// Sizing parameters of the telescopic template.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TelescopicParams {
     /// Input-device width, m.
     pub w_in: f64,
@@ -268,7 +267,7 @@ pub fn build_telescopic(process: &Process, p: &TelescopicParams, c_load: f64) ->
 }
 
 /// Sizing parameters of the two-stage Miller template.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TwoStageParams {
     /// First-stage input (NMOS) width, m.
     pub w1: f64,

@@ -17,11 +17,10 @@
 use crate::comparator::{design_comparators, ComparatorBank};
 use crate::sizing::{floor_cap, size_stage_caps, CapPlan};
 use crate::specs::{stage_specs, AdcSpec, StageSpec};
-use serde::{Deserialize, Serialize};
 
 /// OTA topology classes available to the stage designer, ordered by power
 /// overhead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OtaTopology {
     /// Plain telescopic cascode: cheapest, moderate gain.
     Telescopic,
@@ -58,7 +57,7 @@ impl std::fmt::Display for OtaTopology {
 }
 
 /// Calibration constants of the analytic model (all SI units).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModelParams {
     /// Thermal-noise budget as a fraction of quantization noise (κ).
     pub noise_quant_ratio: f64,
@@ -203,7 +202,7 @@ impl Default for PowerModelParams {
 }
 
 /// Full analytic design of one stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageDesign {
     /// The block specification this design implements.
     pub spec: StageSpec,

@@ -16,10 +16,9 @@
 use crate::power::PowerModelParams;
 use crate::specs::{AdcSpec, StageSpec};
 use adc_numerics::constants::KT_NOMINAL;
-use serde::{Deserialize, Serialize};
 
 /// Capacitor plan for one MDAC stage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapPlan {
     /// Total sampling capacitance (differential half-circuit), F.
     pub c_samp: f64,
@@ -32,7 +31,7 @@ pub struct CapPlan {
 }
 
 /// The binding constraint on the sampling capacitor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CapLimit {
     /// kT/C thermal noise.
     Noise,

@@ -4,10 +4,9 @@
 //! the enumerated candidate").
 
 use adc_spice::process::Process;
-use serde::{Deserialize, Serialize};
 
 /// System-level converter specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdcSpec {
     /// Total effective resolution K, bits.
     pub resolution: u32,
@@ -53,7 +52,7 @@ impl AdcSpec {
 }
 
 /// Block-level specification of one front-end stage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageSpec {
     /// Position in the pipeline (0-based).
     pub index: usize,

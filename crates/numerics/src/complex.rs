@@ -5,7 +5,6 @@
 //! (arithmetic, norm, argument, exp/sqrt) and keeping it local makes the
 //! workspace dependency-free for math.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -18,7 +17,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// let j = Complex::I;
 /// assert!((j * j + Complex::ONE).norm() < 1e-15);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

@@ -16,7 +16,7 @@ pub const KT_NOMINAL: f64 = BOLTZMANN * T_NOMINAL;
 pub const VT_THERMAL: f64 = KT_NOMINAL / ELEMENTARY_CHARGE;
 
 /// Vacuum permittivity in F/m.
-pub const EPS0: f64 = 8.854_187_8128e-12;
+pub const EPS0: f64 = 8.854_187_812_8e-12;
 
 /// Relative permittivity of SiO₂.
 pub const EPS_R_SIO2: f64 = 3.9;

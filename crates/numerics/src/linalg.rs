@@ -8,7 +8,6 @@
 
 use crate::complex::Complex;
 use crate::{NumResult, NumericsError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -25,7 +24,7 @@ const SINGULAR_TOL: f64 = 1e-300;
 /// assert!((x[0] - 0.8).abs() < 1e-12);
 /// assert!((x[1] - 1.4).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -99,9 +98,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -267,16 +266,16 @@ impl Lu {
         let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut s = y[i];
-            for j in 0..i {
-                s -= self.lu[i * n + j] * y[j];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                s -= self.lu[i * n + j] * yj;
             }
             y[i] = s;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.lu[i * n + j] * y[j];
+            for (j, yj) in y.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[i * n + j] * yj;
             }
             y[i] = s / self.lu[i * n + i];
         }

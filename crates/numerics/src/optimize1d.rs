@@ -93,7 +93,7 @@ pub fn brent_root_auto<F>(mut f: F, x0: f64, tol: f64) -> NumResult<f64>
 where
     F: FnMut(f64) -> f64,
 {
-    if !(x0 > 0.0) {
+    if x0 <= 0.0 || x0.is_nan() {
         return Err(NumericsError::InvalidArgument("x0 must be positive".into()));
     }
     let f0 = f(x0);

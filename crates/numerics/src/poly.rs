@@ -8,7 +8,6 @@
 
 use crate::complex::Complex;
 use crate::roots;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
@@ -21,7 +20,7 @@ use std::ops::{Add, Mul, Neg, Sub};
 /// assert_eq!(p.degree(), Some(2));
 /// assert!((p.eval(-1.0) - 0.0).abs() < 1e-15);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Poly {
     coeffs: Vec<f64>,
 }

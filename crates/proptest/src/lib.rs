@@ -1,0 +1,342 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing crate, covering the subset this workspace's tests use:
+//! the [`proptest!`] macro (with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(N))]` header), numeric
+//! range strategies, [`collection::vec`], [`bool::ANY`], and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! The build environment has no access to crates.io, so this local crate
+//! keeps the workspace hermetic. Unlike real proptest it does no input
+//! shrinking: each test runs a fixed number of deterministic random cases
+//! (seeded from the test name), and a failing case reports its inputs via
+//! `Debug`. Swap this path dependency for the real crate when a registry
+//! is available.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of cases when no `proptest_config` header is given.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Run-time configuration (stand-in for `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Outcome of one generated case: pass, rejected assumption, or failure
+/// message.
+pub type CaseResult = Result<(), CaseError>;
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum CaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Rejected,
+    /// `prop_assert!`-family failure.
+    Failed(String),
+}
+
+/// Value generators (stand-in for `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// Type of generated values.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(f64, usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Boolean strategies.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Uniform `true`/`false` (stand-in for `proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rand::Rng::gen::<bool>(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Length specifications accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` values with lengths drawn
+    /// from `size`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Common imports (stand-in for `proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// FNV-1a hash of the test path, used as the deterministic base seed so
+/// each property gets an independent, reproducible stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property: `cases` attempts, each sampling fresh inputs and
+/// running `case`. Rejected assumptions don't count as executed cases (up
+/// to a global attempt cap). Panics on the first failed case.
+pub fn run_property(name: &str, cases: u32, mut case: impl FnMut(&mut StdRng) -> CaseResult) {
+    let base = seed_for(name);
+    let max_attempts = cases.saturating_mul(20).max(100);
+    let mut executed = 0u32;
+    for attempt in 0..max_attempts {
+        if executed >= cases {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(base.wrapping_add(attempt as u64));
+        match case(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(CaseError::Rejected) => {}
+            Err(CaseError::Failed(msg)) => {
+                panic!("property '{name}' failed (attempt seed offset {attempt}): {msg}");
+            }
+        }
+    }
+    assert!(
+        executed >= cases / 2,
+        "property '{name}': too many rejected cases ({executed}/{cases} executed)"
+    );
+}
+
+/// Defines property tests over sampled inputs; see crate docs for the
+/// supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cases ($cfg).cases; $($rest)*);
+    };
+    // Without a config header.
+    (
+        $(#[$first_meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cases $crate::DEFAULT_CASES; $(#[$first_meta])* fn $($rest)*);
+    };
+    (@cases $cases:expr; ) => {};
+    (@cases $cases:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cases,
+                |__rng| -> $crate::CaseResult {
+                    $(let $pat = $crate::Strategy::sample(&($strat), __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@cases $cases; $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::CaseError::Failed(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::CaseError::Failed(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err($crate::CaseError::Failed(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a), stringify!($b), va, vb
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err($crate::CaseError::Failed(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($a), stringify!($b), va, vb, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return Err($crate::CaseError::Failed(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                va
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (skipped, not failed) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::CaseError::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_sample_in_bounds(x in -3.0f64..3.0, k in 2u32..=4) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((2..=4).contains(&k));
+        }
+
+        #[test]
+        fn vec_strategy_len(v in crate::collection::vec(0.0f64..1.0, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_header_accepted(b in crate::bool::ANY) {
+            let truth_value = b as u8;
+            prop_assert!(truth_value <= 1);
+        }
+    }
+
+    #[test]
+    fn seed_is_stable_per_name() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}

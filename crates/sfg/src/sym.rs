@@ -75,6 +75,9 @@ impl SymExpr {
     }
 
     /// Simplifying sum.
+    // Not an `impl Add`: this is an associated constructor taking both
+    // operands by value, used heavily in hot symbolic loops.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: SymExpr, b: SymExpr) -> SymExpr {
         let mut terms = Vec::new();
         let mut konst = 0.0;
@@ -103,6 +106,8 @@ impl SymExpr {
     }
 
     /// Simplifying product.
+    // See `add` above for why this is not an `impl Mul`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: SymExpr, b: SymExpr) -> SymExpr {
         if a.is_zero() || b.is_zero() {
             return SymExpr::zero();

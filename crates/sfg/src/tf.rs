@@ -9,18 +9,17 @@
 use adc_numerics::complex::Complex;
 use adc_numerics::interp::logspace;
 use adc_numerics::poly::Poly;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A numeric transfer function `H(s) = num(s)/den(s)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tf {
     num: Poly,
     den: Poly,
 }
 
 /// Summary of the AC characteristics of a transfer function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcCharacteristics {
     /// DC gain (linear, signed).
     pub dc_gain: f64,

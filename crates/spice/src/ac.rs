@@ -217,9 +217,7 @@ pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceR
             .solve(&b)
             .map_err(|e| SpiceError::Singular(format!("AC @ {f} Hz: {e}")))?;
         let mut volts = vec![Complex::ZERO; circuit.node_count()];
-        for idx in 1..circuit.node_count() {
-            volts[idx] = x[idx - 1];
-        }
+        volts[1..].copy_from_slice(&x[..circuit.node_count() - 1]);
         solutions.push(volts);
     }
 

@@ -9,7 +9,6 @@
 //! current as stamped by MNA.
 
 use crate::process::{MosModel, Polarity};
-use serde::{Deserialize, Serialize};
 
 /// Softplus smoothing voltage (≈ 2·kT/q): sets the width of the
 /// cutoff→strong-inversion transition.
@@ -17,7 +16,7 @@ const V_SMOOTH: f64 = 0.052;
 
 /// Operating region of a MOSFET (reported for diagnostics; the current
 /// equation itself is smooth).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Region {
     /// `vgs` below threshold — only the smoothed subthreshold tail conducts.
     Cutoff,
@@ -43,7 +42,7 @@ impl std::fmt::Display for Region {
 /// (negative for conducting PMOS devices). `gm`, `gds`, `gmb` are the exact
 /// partials `∂id/∂vgs`, `∂id/∂vds`, `∂id/∂vbs` — signed, ready for MNA
 /// stamping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MosEval {
     /// Drain current into the drain terminal, A.
     pub id: f64,

@@ -7,11 +7,10 @@
 
 use crate::process::MosModel;
 use crate::waveform::Waveform;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Interned circuit node identifier. `NodeId(0)` is ground.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -34,11 +33,11 @@ impl NodeId {
 }
 
 /// Identifier of an element within its circuit (insertion order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ElementId(pub(crate) usize);
 
 /// Two-phase clock assignment for switched-capacitor switches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClockPhase {
     /// Closed during φ1 (sampling).
     Phi1,
@@ -47,7 +46,7 @@ pub enum ClockPhase {
 }
 
 /// One circuit element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Element {
     /// Linear resistor between `a` and `b`.
     Resistor {
@@ -188,7 +187,7 @@ impl Element {
 /// A flat netlist with interned node names.
 ///
 /// See the [crate-level documentation](crate) for a worked example.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Circuit {
     node_names: Vec<String>,
     node_map: HashMap<String, usize>,

@@ -21,9 +21,7 @@ impl OperatingPoint {
     /// Builds the operating point from a converged MNA solution vector.
     pub(crate) fn from_solution(circuit: &Circuit, map: &MnaMap, x: &[f64]) -> Self {
         let mut voltages = vec![0.0; circuit.node_count()];
-        for idx in 1..circuit.node_count() {
-            voltages[idx] = x[idx - 1];
-        }
+        voltages[1..].copy_from_slice(&x[..circuit.node_count() - 1]);
         let mut branch_currents = HashMap::new();
         let mut mos_evals = HashMap::new();
         for (i, e) in circuit.elements().iter().enumerate() {

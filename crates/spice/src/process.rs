@@ -7,10 +7,8 @@
 //! *trend* the topology optimization exploits — gm/I vs overdrive, intrinsic
 //! gain vs channel length, capacitance per width — is preserved.
 
-use serde::{Deserialize, Serialize};
-
 /// Device polarity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Polarity {
     /// N-channel device.
     Nmos,
@@ -28,7 +26,7 @@ impl std::fmt::Display for Polarity {
 }
 
 /// Level-1-style MOS model card (all SI units).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MosModel {
     /// Device polarity.
     pub polarity: Polarity,
@@ -72,7 +70,7 @@ impl MosModel {
 }
 
 /// Full process description shared by device models and design layers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Process {
     /// Human-readable node name, e.g. `"c025"`.
     pub name: String,

@@ -143,8 +143,9 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResul
     let n_steps = (opts.tstop / opts.dt).round() as usize;
     let mut x = vec![0.0; dim];
     if let InitialCondition::Voltages(v0) = &opts.ic {
-        for idx in 1..map.node_count().min(v0.len()) {
-            x[idx - 1] = v0[idx];
+        let n = map.node_count().min(v0.len());
+        if n > 1 {
+            x[..n - 1].copy_from_slice(&v0[1..n]);
         }
     }
 
@@ -180,9 +181,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResul
     let mut samples = Vec::with_capacity(n_steps + 1);
     let record = |x: &[f64], samples: &mut Vec<Vec<f64>>| {
         let mut v = vec![0.0; map.node_count()];
-        for idx in 1..map.node_count() {
-            v[idx] = x[idx - 1];
-        }
+        v[1..].copy_from_slice(&x[..map.node_count() - 1]);
         samples.push(v);
     };
     times.push(0.0);

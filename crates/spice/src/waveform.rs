@@ -1,9 +1,7 @@
 //! Time-domain source waveforms for transient analysis.
 
-use serde::{Deserialize, Serialize};
-
 /// A source waveform `v(t)` (or `i(t)`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Waveform {
     /// Constant value.
     Dc(f64),

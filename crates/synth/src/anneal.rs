@@ -178,7 +178,7 @@ pub fn anneal<E: Evaluator>(
 
     let feasible = best_perf
         .as_ref()
-        .map_or(false, |p| all_satisfied(constraints, p));
+        .is_some_and(|p| all_satisfied(constraints, p));
     AnnealResult {
         best_u,
         best_cost,
@@ -265,7 +265,6 @@ mod tests {
             sigma0: 0.05,
             sigma_end: 0.01,
             seed: 5,
-            ..Default::default()
         };
         let warm = anneal(&space, &sphere_eval, &[], "obj", &cfg, Some(&target_u));
         let cold_cfg = AnnealConfig {

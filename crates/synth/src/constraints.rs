@@ -1,10 +1,9 @@
 //! Performance constraints with normalized violation measures.
 
 use crate::evaluator::Performance;
-use serde::{Deserialize, Serialize};
 
 /// Constraint direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConstraintKind {
     /// Metric must be ≥ target.
     AtLeast,
@@ -13,7 +12,7 @@ pub enum ConstraintKind {
 }
 
 /// One performance constraint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
     /// Metric name in the [`Performance`] map.
     pub metric: String,

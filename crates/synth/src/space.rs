@@ -3,10 +3,9 @@
 //! optimizers work in.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One bounded design variable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignVar {
     /// Variable name (for reports).
     pub name: String,
@@ -69,7 +68,7 @@ impl DesignVar {
 }
 
 /// An ordered collection of design variables.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     vars: Vec<DesignVar>,
 }

@@ -35,7 +35,6 @@ proptest! {
         v in -0.85f64..0.85,
     ) {
         let budget = 0.6 / (1u64 << m) as f64; // 60 % of the redundancy range
-        let mut rng = StdRng::seed_from_u64(seed);
         let n_thresh = (1usize << m) - 2;
         let offsets: Vec<f64> = (0..n_thresh)
             .map(|i| if (seed as usize + i) % 2 == 0 { budget } else { -budget })

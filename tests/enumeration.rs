@@ -34,6 +34,33 @@ fn thirteen_bit_set_is_exactly_the_papers() {
     assert_eq!(names, want);
 }
 
+#[test]
+fn paper_constraints_hold_for_every_resolution() {
+    // Exhaustive check of the §2 constraint set over the rule-table range:
+    // Σ(mᵢ−1) = K − backend, mᵢ ∈ {2,3,4}, non-increasing stage resolutions,
+    // and the headline count of exactly 7 candidates at K = 13.
+    const BACKEND: u32 = 7;
+    for k in 8..=14u32 {
+        let cands = enumerate_candidates(k, BACKEND);
+        assert!(!cands.is_empty(), "K = {k}: no candidates");
+        for c in &cands {
+            let sum: u32 = c.front_bits().iter().map(|&m| m - 1).sum();
+            assert_eq!(sum, k - BACKEND, "K = {k}, candidate {c}");
+            assert!(
+                c.front_bits().iter().all(|&m| (2..=4).contains(&m)),
+                "K = {k}, candidate {c}: stage bits outside 2..=4"
+            );
+            assert!(
+                c.front_bits().windows(2).all(|w| w[0] >= w[1]),
+                "K = {k}, candidate {c}: stage resolutions increase"
+            );
+        }
+        if k == 13 {
+            assert_eq!(cands.len(), 7, "13-bit candidate count");
+        }
+    }
+}
+
 proptest! {
     /// Every enumerated candidate satisfies the paper's constraint set and
     /// resolves exactly the front-end bits.
