@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the zero-allocation evaluation fast path: fresh
+//! allocating entry points vs. reusable workspaces at every layer (DC
+//! solve, numeric TF extraction, full hybrid evaluation, netlist
+//! materialization).
+
+use adc_mdac::opamp::{build_telescopic, TelescopicHandles, TelescopicParams};
+use adc_sfg::nettf::{extract_tf, extract_tf_with, NetTfOptions, NetTfWorkspace};
+use adc_spice::dc::{dc_operating_point, dc_operating_point_with, DcOptions, DcWorkspace};
+use adc_spice::netlist::Circuit;
+use adc_spice::process::Process;
+use adc_synth::evaluator::Evaluator;
+use adc_synth::hybrid::{BenchSetup, BenchTuner, HybridOptions, HybridOtaEvaluator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn telescopic_bench(proc: &Process) -> impl Fn(&[f64]) -> BenchSetup + '_ {
+    move |x: &[f64]| {
+        let tb = build_telescopic(proc, &TelescopicParams::from_vec(x), 1e-12);
+        let handles = TelescopicHandles::resolve(&tb.circuit).expect("telescopic handles");
+        let tuner: BenchTuner = Rc::new(move |ckt: &mut Circuit, x: &[f64]| {
+            handles.retune(ckt, &TelescopicParams::from_vec(x));
+        });
+        BenchSetup::new(tb.circuit, tb.output, tb.supply, tb.devices).with_tuner(tuner)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let proc = Process::c025();
+    let nominal = TelescopicParams::nominal().to_vec();
+    let tb = build_telescopic(&proc, &TelescopicParams::nominal(), 1e-12);
+    let opts = DcOptions::default();
+    let op = dc_operating_point(&tb.circuit, &opts).unwrap();
+
+    // DC solve: allocating wrapper vs. persistent workspace.
+    c.bench_function("dc_solve_fresh", |b| {
+        b.iter(|| black_box(dc_operating_point(&tb.circuit, &opts).unwrap()))
+    });
+    let mut dc_ws = DcWorkspace::new(&tb.circuit).unwrap();
+    c.bench_function("dc_solve_workspace", |b| {
+        b.iter(|| black_box(dc_operating_point_with(&mut dc_ws, &tb.circuit, &opts).unwrap()))
+    });
+
+    // Numeric TF extraction: allocating vs. reusable workspace.
+    c.bench_function("nettf_fresh", |b| {
+        b.iter(|| {
+            black_box(extract_tf(&tb.circuit, &op, tb.output, &NetTfOptions::default()).unwrap())
+        })
+    });
+    let mut tf_ws = NetTfWorkspace::new();
+    c.bench_function("nettf_workspace", |b| {
+        b.iter(|| {
+            black_box(
+                extract_tf_with(
+                    &mut tf_ws,
+                    &tb.circuit,
+                    &op,
+                    tb.output,
+                    &NetTfOptions::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    // Testbench materialization: rebuild vs. in-place retune.
+    c.bench_function("bench_rebuild", |b| {
+        let build = telescopic_bench(&proc);
+        b.iter(|| black_box(build(&nominal)))
+    });
+    c.bench_function("bench_retune", |b| {
+        let build = telescopic_bench(&proc);
+        let mut bench = build(&nominal);
+        b.iter(|| {
+            bench.retune(black_box(&nominal));
+        })
+    });
+
+    // Full hybrid evaluation: cold (fresh everything per candidate) vs.
+    // steady-state fast path (persistent testbench + workspaces + local-
+    // phase warm-started DC).
+    c.bench_function("hybrid_eval_cold", |b| {
+        b.iter(|| {
+            let ev = HybridOtaEvaluator::new(telescopic_bench(&proc), HybridOptions::default());
+            black_box(ev.evaluate(&nominal))
+        })
+    });
+    let ev = HybridOtaEvaluator::new(telescopic_bench(&proc), HybridOptions::default());
+    ev.set_local_phase(true);
+    c.bench_function("hybrid_eval_fastpath", |b| {
+        b.iter(|| black_box(ev.evaluate(&nominal)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

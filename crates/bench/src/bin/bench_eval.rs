@@ -1,0 +1,165 @@
+//! Machine-readable evaluator-throughput benchmark: emits `BENCH_EVAL.json`
+//! with evals/sec for the hot legs of the synthesis loop (DC solve, hybrid
+//! evaluation, full first synthesis and retargeting), so the performance
+//! trajectory is tracked PR over PR.
+//!
+//! Two hybrid rows bracket the fast path: `hybrid_eval_cold` rebuilds the
+//! testbench and every workspace per candidate (the shape of the
+//! pre-workspace evaluator), while `hybrid_eval` retunes one persistent
+//! testbench in place and reuses all simulation buffers (steady state).
+//!
+//! Run with `cargo run --release -p adc-bench --bin bench_eval`.
+
+use adc_mdac::opamp::{build_telescopic, TelescopicHandles, TelescopicParams};
+use adc_mdac::power::{design_chain, PowerModelParams};
+use adc_mdac::specs::AdcSpec;
+use adc_spice::dc::{dc_operating_point, dc_operating_point_with, DcOptions, DcWorkspace};
+use adc_spice::netlist::Circuit;
+use adc_spice::process::Process;
+use adc_synth::evaluator::{EvalOutcome, Evaluator};
+use adc_synth::hybrid::{BenchSetup, BenchTuner, HybridOptions, HybridOtaEvaluator};
+use adc_synth::SynthConfig;
+use adc_topopt::flow::{ota_requirements, synthesize_ota};
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// One measured row of the report.
+struct Row {
+    name: &'static str,
+    evals_per_sec: f64,
+    evals: usize,
+}
+
+/// Times `f` for roughly `budget_ms` of wall clock and returns evals/sec.
+fn measure<F: FnMut()>(budget_ms: u64, mut f: F) -> (f64, usize) {
+    // Warmup.
+    f();
+    let start = Instant::now();
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let mut n = 0usize;
+    while start.elapsed() < budget {
+        f();
+        n += 1;
+    }
+    (n as f64 / start.elapsed().as_secs_f64(), n)
+}
+
+/// Telescopic testbench builder with the in-place retuning recipe attached
+/// (the same shape `adc_topopt::flow` hands the synthesizer).
+fn telescopic_bench(proc: &Process) -> impl Fn(&[f64]) -> BenchSetup + '_ {
+    move |x: &[f64]| {
+        let tb = build_telescopic(proc, &TelescopicParams::from_vec(x), 1e-12);
+        let handles = TelescopicHandles::resolve(&tb.circuit).expect("telescopic handles");
+        let tuner: BenchTuner = Rc::new(move |ckt: &mut Circuit, x: &[f64]| {
+            handles.retune(ckt, &TelescopicParams::from_vec(x));
+        });
+        BenchSetup::new(tb.circuit, tb.output, tb.supply, tb.devices).with_tuner(tuner)
+    }
+}
+
+fn expect_ok(out: EvalOutcome) {
+    match out {
+        EvalOutcome::Ok(p) => {
+            black_box(p);
+        }
+        EvalOutcome::Failed(e) => panic!("eval failed: {e}"),
+    }
+}
+
+fn main() {
+    let proc = Process::c025();
+    let nominal = TelescopicParams::nominal().to_vec();
+    let mut rows: Vec<Row> = Vec::new();
+
+    // DC Newton solve of the telescopic OTA testbench: allocating wrapper
+    // vs. persistent workspace.
+    let tb = build_telescopic(&proc, &TelescopicParams::nominal(), 1e-12);
+    let opts = DcOptions::default();
+    let (rate, n) = measure(1500, || {
+        black_box(dc_operating_point(&tb.circuit, &opts).unwrap());
+    });
+    rows.push(Row {
+        name: "dc_solve",
+        evals_per_sec: rate,
+        evals: n,
+    });
+    let mut dc_ws = DcWorkspace::new(&tb.circuit).unwrap();
+    let (rate, n) = measure(1500, || {
+        black_box(dc_operating_point_with(&mut dc_ws, &tb.circuit, &opts).unwrap());
+    });
+    rows.push(Row {
+        name: "dc_solve_workspace",
+        evals_per_sec: rate,
+        evals: n,
+    });
+
+    // Hybrid evaluation, cold: new evaluator (fresh testbench + fresh
+    // workspaces) per candidate — the pre-workspace inner-loop shape.
+    let (rate, n) = measure(2000, || {
+        let ev = HybridOtaEvaluator::new(telescopic_bench(&proc), HybridOptions::default());
+        expect_ok(ev.evaluate(black_box(&nominal)));
+    });
+    rows.push(Row {
+        name: "hybrid_eval_cold",
+        evals_per_sec: rate,
+        evals: n,
+    });
+
+    // Hybrid evaluation, steady state: one persistent evaluator, in-place
+    // retuning, all workspaces reused, local-phase warm-started DC — the
+    // synthesis inner loop during polish/retargeting.
+    let ev = HybridOtaEvaluator::new(telescopic_bench(&proc), HybridOptions::default());
+    ev.set_local_phase(true);
+    let (rate, n) = measure(2000, || {
+        expect_ok(ev.evaluate(black_box(&nominal)));
+    });
+    rows.push(Row {
+        name: "hybrid_eval",
+        evals_per_sec: rate,
+        evals: n,
+    });
+
+    // Cold synthesis + retargeting of the cheapest paper block.
+    let spec = AdcSpec::date05(13);
+    let params = PowerModelParams::calibrated();
+    let chain = design_chain(&spec, &[4, 3, 2], &params);
+    let req = ota_requirements(&chain[2], &spec);
+    let cfg = SynthConfig {
+        iterations: 400,
+        nm_iterations: 60,
+        seed: 5,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let cold = synthesize_ota(&spec.process, &req, &cfg, None);
+    let t_cold = t0.elapsed().as_secs_f64();
+    rows.push(Row {
+        name: "first_synthesis",
+        evals_per_sec: cold.evaluations as f64 / t_cold,
+        evals: cold.evaluations,
+    });
+    let t1 = Instant::now();
+    let warm = synthesize_ota(&spec.process, &req, &cfg, Some(&cold));
+    let t_warm = t1.elapsed().as_secs_f64();
+    rows.push(Row {
+        name: "retarget",
+        evals_per_sec: warm.evaluations as f64 / t_warm,
+        evals: warm.evaluations,
+    });
+
+    let mut json = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{}\": {{ \"evals_per_sec\": {:.2}, \"evals\": {} }}{}\n",
+            r.name,
+            r.evals_per_sec,
+            r.evals,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_EVAL.json", &json).expect("write BENCH_EVAL.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_EVAL.json");
+}

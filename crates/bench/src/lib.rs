@@ -9,12 +9,15 @@
 //! | Fig. 2 — total power, 10–13 bits | `fig2` | `fig2_total_power` |
 //! | Fig. 3 — optimum-enumeration rules | `fig3` | `fig3_rules` |
 //! | §4 effort claim (setup vs retarget) | `effort` | `synthesis_effort` |
+//! | evaluator throughput (`BENCH_EVAL.json`) | `bench_eval` | `eval_fastpath` |
 //!
 //! plus `substrate_micro` measuring the building blocks (DC Newton solve,
-//! Mason's rule, TF extraction, FFT metrics).
+//! Mason's rule, TF extraction, FFT metrics) and `eval_fastpath` comparing
+//! the allocating entry points against the reusable-workspace fast path.
 //!
 //! Binaries print the same rows/series the paper reports; see
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! `EXPERIMENTS.md` for the paper-vs-measured record and the
+//! `BENCH_EVAL.json` throughput trajectory.
 
 use adc_mdac::power::PowerModelParams;
 use adc_mdac::specs::AdcSpec;

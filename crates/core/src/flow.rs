@@ -8,15 +8,20 @@
 //! warm-starts from the nearest finished design.
 
 use crate::enumerate::Candidate;
-use adc_mdac::opamp::{build_telescopic, build_two_stage, TelescopicParams, TwoStageParams};
+use adc_mdac::opamp::{
+    build_telescopic, build_two_stage, TelescopicHandles, TelescopicParams, TwoStageHandles,
+    TwoStageParams,
+};
 use adc_mdac::power::{design_chain, OtaTopology, PowerModelParams, StageDesign};
 use adc_mdac::specs::AdcSpec;
+use adc_spice::netlist::Circuit;
 use adc_spice::process::Process;
-use adc_synth::hybrid::{BenchSetup, HybridOptions, HybridOtaEvaluator};
+use adc_synth::hybrid::{BenchSetup, BenchTuner, HybridOptions, HybridOtaEvaluator};
 use adc_synth::{
     Constraint, ConstraintKind, DesignSpace, DesignVar, SynthConfig, SynthResult, Synthesizer,
 };
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Collects the distinct MDAC block specs — `(m, input_accuracy)` pairs —
 /// across a set of candidates (the paper's reuse set).
@@ -128,18 +133,28 @@ pub fn synthesize_ota(
     let proc = process.clone();
     let template = req.template;
     let c_load = req.c_load;
+    // Builder runs once per evaluator; every later candidate retunes the
+    // persistent testbench in place through the resolved element handles.
     let build = move |x: &[f64]| -> BenchSetup {
-        let tb = match template {
+        match template {
             TemplateKind::Telescopic => {
-                build_telescopic(&proc, &TelescopicParams::from_vec(x), c_load)
+                let tb = build_telescopic(&proc, &TelescopicParams::from_vec(x), c_load);
+                let handles =
+                    TelescopicHandles::resolve(&tb.circuit).expect("telescopic template handles");
+                let tuner: BenchTuner = Rc::new(move |ckt: &mut Circuit, x: &[f64]| {
+                    handles.retune(ckt, &TelescopicParams::from_vec(x));
+                });
+                BenchSetup::new(tb.circuit, tb.output, tb.supply, tb.devices).with_tuner(tuner)
             }
-            TemplateKind::TwoStage => build_two_stage(&proc, &TwoStageParams::from_vec(x), c_load),
-        };
-        BenchSetup {
-            circuit: tb.circuit,
-            output: tb.output,
-            supply: tb.supply,
-            devices: tb.devices,
+            TemplateKind::TwoStage => {
+                let tb = build_two_stage(&proc, &TwoStageParams::from_vec(x), c_load);
+                let handles =
+                    TwoStageHandles::resolve(&tb.circuit).expect("two-stage template handles");
+                let tuner: BenchTuner = Rc::new(move |ckt: &mut Circuit, x: &[f64]| {
+                    handles.retune(ckt, &TwoStageParams::from_vec(x));
+                });
+                BenchSetup::new(tb.circuit, tb.output, tb.supply, tb.devices).with_tuner(tuner)
+            }
         }
     };
     let evaluator = HybridOtaEvaluator::new(build, HybridOptions::default());
@@ -149,47 +164,143 @@ pub fn synthesize_ota(
     }
 }
 
+/// One scheduled block of a candidate-set synthesis: its reuse key, the
+/// derived requirements, and the serial-order index of the block whose
+/// result warm-starts it (`None` → cold synthesis).
+#[derive(Debug, Clone)]
+struct PlannedBlock {
+    key: (u32, u32),
+    req: OtaRequirements,
+    warm: Option<usize>,
+}
+
+/// Plans the distinct blocks of a candidate set in serial encounter order
+/// and precomputes the warm-start DAG. The warm source of each block is a
+/// pure function of the *keys* seen before it (nearest same-template block
+/// in the paper's `16·Δm + ΔA` metric, ties resolved exactly as the serial
+/// cache iteration does), so the schedule is independent of execution
+/// order — the basis for the deterministic parallel run.
+fn plan_candidate_set(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+) -> Vec<PlannedBlock> {
+    let mut planned: Vec<PlannedBlock> = Vec::new();
+    // key → planned index, iterated in ascending key order to mirror the
+    // serial implementation's `BTreeMap::values` warm-start scan.
+    let mut seen: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    for cand in candidates {
+        let chain = design_chain(spec, cand.front_bits(), params);
+        for design in &chain {
+            let key = design.spec.reuse_key();
+            if seen.contains_key(&key) {
+                continue;
+            }
+            let req = ota_requirements(design, spec);
+            let warm = seen
+                .iter()
+                .filter(|(_, &idx)| planned[idx].req.template == req.template)
+                .min_by_key(|(k, _)| {
+                    (k.0 as i64 - key.0 as i64).abs() * 16 + (k.1 as i64 - key.1 as i64).abs()
+                })
+                .map(|(_, &idx)| idx);
+            seen.insert(key, planned.len());
+            planned.push(PlannedBlock { key, req, warm });
+        }
+    }
+    planned
+}
+
+/// Assembles the final block list (ascending key order, matching the serial
+/// cache's `into_values`) from the planned schedule and its results.
+fn merge_blocks(planned: Vec<PlannedBlock>, results: Vec<Option<SynthResult>>) -> Vec<MdacBlock> {
+    let mut blocks: Vec<MdacBlock> = planned
+        .into_iter()
+        .zip(results)
+        .map(|(p, r)| MdacBlock {
+            key: p.key,
+            requirements: p.req,
+            result: r.expect("every planned block is synthesized"),
+            retargeted: p.warm.is_some(),
+        })
+        .collect();
+    blocks.sort_by_key(|b| b.key);
+    blocks
+}
+
 /// Synthesizes every distinct MDAC of a candidate set with reuse: exact
 /// key hits are returned from the cache; otherwise the nearest same-template
 /// block (by input accuracy) warm-starts a retargeting run.
+///
+/// The distinct blocks run **concurrently** on scoped threads: the
+/// warm-start DAG is planned up front from the keys alone, blocks whose
+/// warm sources are finished execute in parallel waves, and the merge is
+/// deterministic — results are bit-identical to
+/// [`synthesize_candidate_set_serial`] (enforced by a regression test).
 pub fn synthesize_candidate_set(
     spec: &AdcSpec,
     candidates: &[Candidate],
     params: &PowerModelParams,
     cfg: &SynthConfig,
 ) -> Vec<MdacBlock> {
-    let mut cache: BTreeMap<(u32, u32), MdacBlock> = BTreeMap::new();
-    for cand in candidates {
-        let chain = design_chain(spec, cand.front_bits(), params);
-        for design in &chain {
-            let key = design.spec.reuse_key();
-            if cache.contains_key(&key) {
-                continue;
-            }
-            let req = ota_requirements(design, spec);
-            // Nearest finished block with the same template → warm start.
-            let warm = cache
-                .values()
-                .filter(|b| b.requirements.template == req.template)
-                .min_by_key(|b| {
-                    (b.key.0 as i64 - key.0 as i64).abs() * 16
-                        + (b.key.1 as i64 - key.1 as i64).abs()
-                })
-                .map(|b| b.result.clone());
-            let retargeted = warm.is_some();
-            let result = synthesize_ota(&spec.process, &req, cfg, warm.as_ref());
-            cache.insert(
-                key,
-                MdacBlock {
-                    key,
-                    requirements: req,
-                    result,
-                    retargeted,
-                },
-            );
+    let planned = plan_candidate_set(spec, candidates, params);
+    // Wave index: a block runs one wave after its warm source. (`warm` only
+    // ever points at an earlier serial index, so one forward pass settles.)
+    let mut wave = vec![0usize; planned.len()];
+    for i in 0..planned.len() {
+        if let Some(j) = planned[i].warm {
+            wave[i] = wave[j] + 1;
         }
     }
-    cache.into_values().collect()
+    let max_wave = wave.iter().copied().max().unwrap_or(0);
+    let mut results: Vec<Option<SynthResult>> = vec![None; planned.len()];
+    for w in 0..=max_wave {
+        let batch: Vec<(usize, SynthResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = planned
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| wave[*i] == w)
+                .map(|(i, p)| {
+                    let warm = p.warm.map(|j| {
+                        results[j]
+                            .as_ref()
+                            .expect("warm source finished in an earlier wave")
+                    });
+                    scope.spawn(move || (i, synthesize_ota(&spec.process, &p.req, cfg, warm)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("MDAC synthesis panicked"))
+                .collect()
+        });
+        for (i, r) in batch {
+            results[i] = Some(r);
+        }
+    }
+    merge_blocks(planned, results)
+}
+
+/// Sequential reference implementation of [`synthesize_candidate_set`]:
+/// one block after another in serial encounter order. Kept as the
+/// determinism oracle for the parallel path.
+pub fn synthesize_candidate_set_serial(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+    cfg: &SynthConfig,
+) -> Vec<MdacBlock> {
+    let planned = plan_candidate_set(spec, candidates, params);
+    let mut results: Vec<Option<SynthResult>> = vec![None; planned.len()];
+    for (i, p) in planned.iter().enumerate() {
+        let warm = p.warm.map(|j| {
+            results[j]
+                .as_ref()
+                .expect("warm source has a lower serial index")
+        });
+        results[i] = Some(synthesize_ota(&spec.process, &p.req, cfg, warm));
+    }
+    merge_blocks(planned, results)
 }
 
 #[cfg(test)]
@@ -225,6 +336,39 @@ mod tests {
         assert!(r1.c_load > r3.c_load);
         assert_eq!(r3.template, TemplateKind::Telescopic);
         assert_eq!(r1.template, TemplateKind::TwoStage);
+    }
+
+    /// Determinism regression: the parallel candidate-set synthesis must
+    /// produce bit-identical results (sizing, cost, evaluation counts and
+    /// ordering) to the serial reference for the 13-bit candidate set.
+    #[test]
+    fn parallel_candidate_set_matches_serial() {
+        let spec = AdcSpec::date05(13);
+        let params = PowerModelParams::calibrated();
+        let cands = enumerate_candidates(13, 7);
+        let cfg = SynthConfig {
+            iterations: 12,
+            nm_iterations: 3,
+            seed: 3,
+            ..Default::default()
+        };
+        let serial = synthesize_candidate_set_serial(&spec, &cands, &params, &cfg);
+        let parallel = synthesize_candidate_set(&spec, &cands, &params, &cfg);
+        assert_eq!(serial.len(), parallel.len());
+        assert!(serial.len() >= 11, "expected the paper's ~11 blocks");
+        assert!(serial.iter().any(|b| b.retargeted));
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.retargeted, b.retargeted);
+            assert_eq!(a.result.best_x, b.result.best_x, "key {:?}", a.key);
+            assert_eq!(a.result.best_cost, b.result.best_cost, "key {:?}", a.key);
+            assert_eq!(
+                a.result.evaluations, b.result.evaluations,
+                "key {:?}",
+                a.key
+            );
+            assert_eq!(a.result.feasible, b.result.feasible, "key {:?}", a.key);
+        }
     }
 
     /// End-to-end circuit synthesis of the cheapest block (the 2-bit last

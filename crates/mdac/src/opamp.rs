@@ -15,7 +15,7 @@
 //! * [`build_two_stage`] — two-stage Miller-compensated amplifier with a
 //!   zero-nulling resistor, the high-gain/high-swing choice.
 
-use adc_spice::netlist::{Circuit, NodeId};
+use adc_spice::netlist::{Circuit, ElementId, NodeId};
 use adc_spice::process::Process;
 
 /// A bounded design variable of an OTA template.
@@ -266,6 +266,50 @@ pub fn build_telescopic(process: &Process, p: &TelescopicParams, c_load: f64) ->
     }
 }
 
+/// Element handles into a [`build_telescopic`] netlist, resolved once so
+/// the synthesis loop can retune a persistent testbench **in place**
+/// instead of rebuilding it per candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct TelescopicHandles {
+    vbn: ElementId,
+    vbp1: ElementId,
+    vbp2: ElementId,
+    m1: ElementId,
+    m2: ElementId,
+    m3: ElementId,
+    m4: ElementId,
+}
+
+impl TelescopicHandles {
+    /// Resolves the tunable elements of a telescopic testbench by name.
+    /// Returns `None` if the circuit is not a [`build_telescopic`] netlist.
+    pub fn resolve(ckt: &Circuit) -> Option<Self> {
+        let id = |name: &str| ckt.find_element(name).map(|(id, _)| id);
+        Some(TelescopicHandles {
+            vbn: id("VBN")?,
+            vbp1: id("VBP1")?,
+            vbp2: id("VBP2")?,
+            m1: id("M1")?,
+            m2: id("M2")?,
+            m3: id("M3")?,
+            m4: id("M4")?,
+        })
+    }
+
+    /// Writes a new sizing into the netlist in place — after this call the
+    /// circuit is element-for-element identical to a fresh
+    /// [`build_telescopic`] with the same parameters.
+    pub fn retune(&self, ckt: &mut Circuit, p: &TelescopicParams) {
+        ckt.set_value(self.vbn, p.vbn);
+        ckt.set_value(self.vbp1, p.vbp1);
+        ckt.set_value(self.vbp2, p.vbp2);
+        ckt.set_device_geometry(self.m1, p.w_in, p.l_in);
+        ckt.set_device_geometry(self.m2, p.w_casc, p.l_in);
+        ckt.set_device_geometry(self.m3, p.w_pcasc, p.l_p);
+        ckt.set_device_geometry(self.m4, p.w_psrc, p.l_p);
+    }
+}
+
 /// Sizing parameters of the two-stage Miller template.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TwoStageParams {
@@ -403,6 +447,52 @@ impl TwoStageParams {
     }
 }
 
+/// Element handles into a [`build_two_stage`] netlist — see
+/// [`TelescopicHandles`] for the in-place retuning contract.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoStageHandles {
+    vbp: ElementId,
+    vbn2: ElementId,
+    m1: ElementId,
+    m2: ElementId,
+    m3: ElementId,
+    m4: ElementId,
+    cc: ElementId,
+    rz: ElementId,
+}
+
+impl TwoStageHandles {
+    /// Resolves the tunable elements of a two-stage testbench by name.
+    /// Returns `None` if the circuit is not a [`build_two_stage`] netlist.
+    pub fn resolve(ckt: &Circuit) -> Option<Self> {
+        let id = |name: &str| ckt.find_element(name).map(|(id, _)| id);
+        Some(TwoStageHandles {
+            vbp: id("VBP")?,
+            vbn2: id("VBN2")?,
+            m1: id("M1")?,
+            m2: id("M2")?,
+            m3: id("M3")?,
+            m4: id("M4")?,
+            cc: id("CC")?,
+            rz: id("RZ")?,
+        })
+    }
+
+    /// Writes a new sizing into the netlist in place — after this call the
+    /// circuit is element-for-element identical to a fresh
+    /// [`build_two_stage`] with the same parameters.
+    pub fn retune(&self, ckt: &mut Circuit, p: &TwoStageParams) {
+        ckt.set_value(self.vbp, p.vbp);
+        ckt.set_value(self.vbn2, p.vbn2);
+        ckt.set_device_geometry(self.m1, p.w1, p.l1);
+        ckt.set_device_geometry(self.m2, p.w2, p.l1);
+        ckt.set_device_geometry(self.m3, p.w3, p.l2);
+        ckt.set_device_geometry(self.m4, p.w4, p.l2);
+        ckt.set_value(self.cc, p.cc);
+        ckt.set_value(self.rz, p.rz);
+    }
+}
+
 /// Builds the two-stage Miller testbench with load `c_load`.
 pub fn build_two_stage(process: &Process, p: &TwoStageParams, c_load: f64) -> OtaTestbench {
     let mut ckt = Circuit::new();
@@ -537,6 +627,33 @@ mod tests {
         } else {
             panic!("missing unity crossing: {pm_small:?} {pm_big:?}");
         }
+    }
+
+    #[test]
+    fn retune_matches_rebuild() {
+        let proc = Process::c025();
+        let mut p = TelescopicParams::nominal();
+        let mut tb = build_telescopic(&proc, &p, 1e-12);
+        let h = TelescopicHandles::resolve(&tb.circuit).unwrap();
+        p.w_in = 80e-6;
+        p.vbn = 1.1;
+        p.l_p = 0.3e-6;
+        h.retune(&mut tb.circuit, &p);
+        let fresh = build_telescopic(&proc, &p, 1e-12);
+        assert_eq!(tb.circuit.elements(), fresh.circuit.elements());
+
+        let mut q = TwoStageParams::nominal();
+        let mut tb2 = build_two_stage(&proc, &q, 2e-12);
+        let h2 = TwoStageHandles::resolve(&tb2.circuit).unwrap();
+        q.w3 = 300e-6;
+        q.cc = 2.2e-12;
+        q.rz = 800.0;
+        q.vbn2 = 0.8;
+        h2.retune(&mut tb2.circuit, &q);
+        let fresh2 = build_two_stage(&proc, &q, 2e-12);
+        assert_eq!(tb2.circuit.elements(), fresh2.circuit.elements());
+        // A telescopic netlist has no CC/RZ → two-stage handles don't bind.
+        assert!(TwoStageHandles::resolve(&tb.circuit).is_none());
     }
 
     #[test]

@@ -3,8 +3,14 @@
 //!
 //! The circuit simulator builds modified-nodal-analysis (MNA) systems of
 //! modest size (tens of unknowns); dense LU with partial pivoting is the
-//! appropriate tool, and re-factorization per Newton iteration is cheap at
-//! this scale.
+//! appropriate tool. The API is **reuse-oriented**: a factorization object
+//! ([`Lu`], [`CLu`]) owns its pivot and factor buffers and can be refilled
+//! in place via [`Lu::factor_into`] / [`CLu::factor_into`], and solves write
+//! into caller-owned slices via [`Lu::solve_into`] / [`CLu::solve_into`] —
+//! so a Newton loop or an AC sweep refactors and resolves every iteration
+//! without touching the allocator. The allocating entry points
+//! ([`Matrix::solve`], [`CMatrix::solve`], [`Matrix::lu`]) remain as thin
+//! wrappers over the in-place core.
 
 use crate::complex::Complex;
 use crate::{NumResult, NumericsError};
@@ -24,7 +30,7 @@ const SINGULAR_TOL: f64 = 1e-300;
 /// assert!((x[0] - 0.8).abs() < 1e-12);
 /// assert!((x[1] - 1.4).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -96,13 +102,35 @@ impl Matrix {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product into a caller-owned buffer (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
         for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
-        y
+    }
+
+    /// Copies another matrix's entries into this one (reuse storage).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "dimension mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Matrix–matrix product.
@@ -137,55 +165,23 @@ impl Matrix {
         t
     }
 
-    /// LU factorization with partial pivoting.
+    /// LU factorization with partial pivoting (allocates a fresh [`Lu`];
+    /// reuse-oriented callers should keep one [`Lu`] and call
+    /// [`Lu::factor_into`] instead).
     ///
     /// # Errors
     /// Returns [`NumericsError::SingularMatrix`] if a pivot underflows.
     pub fn lu(&self) -> NumResult<Lu> {
         assert_eq!(self.rows, self.cols, "LU requires a square matrix");
-        let n = self.rows;
-        let mut lu = self.data.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-        for k in 0..n {
-            // Partial pivot: find the largest magnitude in column k.
-            let mut p = k;
-            let mut max = lu[k * n + k].abs();
-            for i in (k + 1)..n {
-                let v = lu[i * n + k].abs();
-                if v > max {
-                    max = v;
-                    p = i;
-                }
-            }
-            if max < SINGULAR_TOL {
-                return Err(NumericsError::SingularMatrix {
-                    step: k,
-                    pivot: max,
-                });
-            }
-            if p != k {
-                for j in 0..n {
-                    lu.swap(k * n + j, p * n + j);
-                }
-                perm.swap(k, p);
-                sign = -sign;
-            }
-            let pivot = lu[k * n + k];
-            for i in (k + 1)..n {
-                let f = lu[i * n + k] / pivot;
-                lu[i * n + k] = f;
-                if f != 0.0 {
-                    for j in (k + 1)..n {
-                        lu[i * n + j] -= f * lu[k * n + j];
-                    }
-                }
-            }
-        }
-        Ok(Lu { n, lu, perm, sign })
+        let mut f = Lu::with_dim(self.rows);
+        f.factor_into(self)?;
+        Ok(f)
     }
 
-    /// Solves `A x = b` via LU.
+    /// Solves `A x = b`, allocating a fresh factorization and solution —
+    /// a thin wrapper over [`Lu::factor_into`] + [`Lu::solve_into`]. Hot
+    /// loops (Newton iterations, AC sweeps) should hold a [`Lu`] workspace
+    /// and use the in-place pair directly.
     ///
     /// # Errors
     /// Returns [`NumericsError::SingularMatrix`] for singular systems.
@@ -245,7 +241,25 @@ impl fmt::Display for Matrix {
     }
 }
 
-/// LU factorization of a real matrix (P·A = L·U).
+/// LU factorization of a real matrix (P·A = L·U), doubling as a reusable
+/// factorization workspace: [`Lu::factor_into`] refills the pivot and
+/// factor buffers in place, [`Lu::solve_into`] writes the solution into a
+/// caller-owned slice — neither allocates after construction.
+///
+/// # Example
+/// ```
+/// use adc_numerics::linalg::{Lu, Matrix};
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let mut lu = Lu::with_dim(2);
+/// let mut x = [0.0; 2];
+/// for b in [[10.0, 12.0], [7.0, 9.0]] {
+///     lu.factor_into(&a).unwrap(); // reuses the same buffers
+///     lu.solve_into(&b, &mut x);
+///     let back = a.mul_vec(&x);
+///     assert!((back[0] - b[0]).abs() < 1e-12);
+///     assert!((back[1] - b[1]).abs() < 1e-12);
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct Lu {
     n: usize,
@@ -254,32 +268,131 @@ pub struct Lu {
     sign: f64,
 }
 
+impl Default for Lu {
+    fn default() -> Self {
+        Lu::with_dim(0)
+    }
+}
+
 impl Lu {
-    /// Solves `A x = b` using the stored factors.
+    /// Creates an empty factorization workspace for `n × n` systems.
+    /// [`Lu::factor_into`] must succeed before the first solve.
+    pub fn with_dim(n: usize) -> Self {
+        Lu {
+            n,
+            lu: vec![0.0; n * n],
+            perm: (0..n).collect(),
+            sign: 1.0,
+        }
+    }
+
+    /// System dimension this workspace is sized for.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Refactors `a` into this workspace's buffers (no allocation when the
+    /// dimension is unchanged; resizes once when it grows).
+    ///
+    /// On error the stored factors are invalid — call again with a
+    /// non-singular matrix before solving.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot underflows.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn factor_into(&mut self, a: &Matrix) -> NumResult<()> {
+        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
+        let n = a.rows;
+        if self.n != n {
+            self.n = n;
+            self.lu.resize(n * n, 0.0);
+            self.perm.resize(n, 0);
+        }
+        self.lu.copy_from_slice(&a.data);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.sign = 1.0;
+        let lu = &mut self.lu;
+        for k in 0..n {
+            // Partial pivot: find the largest magnitude in column k.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < SINGULAR_TOL {
+                return Err(NumericsError::SingularMatrix {
+                    step: k,
+                    pivot: max,
+                });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                self.perm.swap(k, p);
+                self.sign = -self.sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let f = lu[i * n + k] / pivot;
+                lu[i * n + k] = f;
+                if f != 0.0 {
+                    for j in (k + 1)..n {
+                        lu[i * n + j] -= f * lu[k * n + j];
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` into a caller-owned buffer using the stored
+    /// factors (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` or `x.len()` differs from the matrix dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        // Apply permutation, forward substitution (L has unit diagonal).
+        for (xi, &p) in x.iter_mut().zip(self.perm.iter()) {
+            *xi = b[p];
+        }
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[i * n + j] * xj;
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[i * n + j] * xj;
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+    }
+
+    /// Solves `A x = b` using the stored factors (allocating wrapper over
+    /// [`Lu::solve_into`]).
     ///
     /// # Panics
     /// Panics if `b.len()` differs from the matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "dimension mismatch");
-        let n = self.n;
-        // Apply permutation, forward substitution (L has unit diagonal).
-        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        for i in 1..n {
-            let mut s = y[i];
-            for (j, yj) in y.iter().enumerate().take(i) {
-                s -= self.lu[i * n + j] * yj;
-            }
-            y[i] = s;
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            let mut s = y[i];
-            for (j, yj) in y.iter().enumerate().take(n).skip(i + 1) {
-                s -= self.lu[i * n + j] * yj;
-            }
-            y[i] = s / self.lu[i * n + i];
-        }
-        y
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
     }
 
     /// Determinant from the product of pivots.
@@ -293,7 +406,7 @@ impl Lu {
 }
 
 /// Dense row-major complex matrix (for AC small-signal analysis).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CMatrix {
     rows: usize,
     cols: usize,
@@ -327,63 +440,135 @@ impl CMatrix {
         self.data[i * c + j] += v;
     }
 
-    /// Determinant via in-place LU with partial pivoting (0 for singular).
-    pub fn det(&self) -> Complex {
-        assert_eq!(self.rows, self.cols, "square matrix required");
-        let n = self.rows;
-        let mut a = self.data.clone();
-        let mut det = Complex::ONE;
-        for k in 0..n {
-            let mut p = k;
-            let mut max = a[k * n + k].norm();
-            for i in (k + 1)..n {
-                let v = a[i * n + k].norm();
-                if v > max {
-                    max = v;
-                    p = i;
-                }
-            }
-            if max < SINGULAR_TOL {
-                return Complex::ZERO;
-            }
-            if p != k {
-                for j in k..n {
-                    a.swap(k * n + j, p * n + j);
-                }
-                det = -det;
-            }
-            let pivot = a[k * n + k];
-            det *= pivot;
-            for i in (k + 1)..n {
-                let f = a[i * n + k] / pivot;
-                if f.norm() != 0.0 {
-                    for j in (k + 1)..n {
-                        let akj = a[k * n + j];
-                        a[i * n + j] -= f * akj;
-                    }
-                }
-            }
-        }
-        det
+    /// Resets all entries to zero (reuse storage across sweep points).
+    pub fn clear(&mut self) {
+        self.data.fill(Complex::ZERO);
     }
 
-    /// Solves `A x = b` in place of an LU factorization (partial pivoting by
-    /// magnitude).
+    /// Copies another matrix's entries into this one (reuse storage).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn copy_from(&mut self, src: &CMatrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "dimension mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Determinant via LU with partial pivoting (0 for singular) — an
+    /// allocating wrapper over [`CLu::factor_into`] + [`CLu::det`].
+    pub fn det(&self) -> Complex {
+        assert_eq!(self.rows, self.cols, "square matrix required");
+        let mut f = CLu::with_dim(self.rows);
+        match f.factor_into(self) {
+            Ok(()) => f.det(),
+            Err(_) => Complex::ZERO,
+        }
+    }
+
+    /// Solves `A x = b`, allocating a fresh factorization and solution — a
+    /// thin wrapper over [`CLu::factor_into`] + [`CLu::solve_into`]. Hot
+    /// loops (AC sweeps, TF sampling) should hold a [`CLu`] workspace and
+    /// use the in-place pair directly.
     ///
     /// # Errors
     /// Returns [`NumericsError::SingularMatrix`] if a pivot magnitude
     /// underflows.
     pub fn solve(&self, b: &[Complex]) -> NumResult<Vec<Complex>> {
         assert_eq!(self.rows, self.cols, "square system required");
-        assert_eq!(b.len(), self.rows, "dimension mismatch");
-        let n = self.rows;
-        let mut a = self.data.clone();
-        let mut x: Vec<Complex> = b.to_vec();
+        let mut f = CLu::with_dim(self.rows);
+        f.factor_into(self)?;
+        let mut x = vec![Complex::ZERO; self.rows];
+        f.solve_into(b, &mut x);
+        Ok(x)
+    }
+}
+
+/// LU factorization of a complex matrix (P·A = L·U) with partial pivoting
+/// by magnitude — the complex sibling of [`Lu`], reusable in the same way.
+///
+/// One factorization serves both the determinant (product of pivots, used
+/// by the numeric TF extraction) and any number of in-place solves.
+///
+/// # Example
+/// ```
+/// use adc_numerics::complex::Complex;
+/// use adc_numerics::linalg::{CLu, CMatrix};
+/// // (1+i)·x = 2i  ⇒  x = 1+i
+/// let mut a = CMatrix::zeros(1, 1);
+/// a[(0, 0)] = Complex::new(1.0, 1.0);
+/// let mut lu = CLu::with_dim(1);
+/// lu.factor_into(&a).unwrap();
+/// let mut x = [Complex::ZERO];
+/// lu.solve_into(&[Complex::new(0.0, 2.0)], &mut x);
+/// assert!((x[0] - Complex::new(1.0, 1.0)).norm() < 1e-14);
+/// assert!((lu.det() - Complex::new(1.0, 1.0)).norm() < 1e-14);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CLu {
+    n: usize,
+    lu: Vec<Complex>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Default for CLu {
+    fn default() -> Self {
+        CLu::with_dim(0)
+    }
+}
+
+impl CLu {
+    /// Creates an empty factorization workspace for `n × n` systems.
+    /// [`CLu::factor_into`] must succeed before the first solve.
+    pub fn with_dim(n: usize) -> Self {
+        CLu {
+            n,
+            lu: vec![Complex::ZERO; n * n],
+            perm: (0..n).collect(),
+            sign: 1.0,
+        }
+    }
+
+    /// System dimension this workspace is sized for.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Refactors `a` into this workspace's buffers (no allocation when the
+    /// dimension is unchanged; resizes once when it grows).
+    ///
+    /// On error the stored factors are invalid — call again with a
+    /// non-singular matrix before solving.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot magnitude
+    /// underflows.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn factor_into(&mut self, a: &CMatrix) -> NumResult<()> {
+        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
+        let n = a.rows;
+        if self.n != n {
+            self.n = n;
+            self.lu.resize(n * n, Complex::ZERO);
+            self.perm.resize(n, 0);
+        }
+        self.lu.copy_from_slice(&a.data);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.sign = 1.0;
+        let lu = &mut self.lu;
         for k in 0..n {
             let mut p = k;
-            let mut max = a[k * n + k].norm();
+            let mut max = lu[k * n + k].norm();
             for i in (k + 1)..n {
-                let v = a[i * n + k].norm();
+                let v = lu[i * n + k].norm();
                 if v > max {
                     max = v;
                     p = i;
@@ -396,33 +581,62 @@ impl CMatrix {
                 });
             }
             if p != k {
-                for j in k..n {
-                    a.swap(k * n + j, p * n + j);
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
                 }
-                x.swap(k, p);
+                self.perm.swap(k, p);
+                self.sign = -self.sign;
             }
-            let pivot = a[k * n + k];
+            let pivot = lu[k * n + k];
             for i in (k + 1)..n {
-                let f = a[i * n + k] / pivot;
+                let f = lu[i * n + k] / pivot;
+                lu[i * n + k] = f;
                 if f.norm() != 0.0 {
                     for j in (k + 1)..n {
-                        let akj = a[k * n + j];
-                        a[i * n + j] -= f * akj;
+                        let akj = lu[k * n + j];
+                        lu[i * n + j] -= f * akj;
                     }
-                    let xk = x[k];
-                    x[i] -= f * xk;
                 }
-                a[i * n + k] = Complex::ZERO;
             }
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` into a caller-owned buffer using the stored
+    /// factors (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` or `x.len()` differs from the matrix dimension.
+    pub fn solve_into(&self, b: &[Complex], x: &mut [Complex]) {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        for (xi, &p) in x.iter_mut().zip(self.perm.iter()) {
+            *xi = b[p];
+        }
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[i * n + j] * *xj;
+            }
+            x[i] = s;
         }
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= a[i * n + j] * x[j];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[i * n + j] * *xj;
             }
-            x[i] = s / a[i * n + i];
+            x[i] = s / self.lu[i * n + i];
         }
-        Ok(x)
+    }
+
+    /// Determinant from the product of pivots (permutation sign included).
+    pub fn det(&self) -> Complex {
+        let mut d = Complex::from_real(self.sign);
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
     }
 }
 

@@ -18,7 +18,7 @@ use crate::tf::Tf;
 use crate::{SfgError, SfgResult};
 use adc_numerics::complex::Complex;
 use adc_numerics::fft::fft_in_place;
-use adc_numerics::linalg::CMatrix;
+use adc_numerics::linalg::{CLu, CMatrix};
 use adc_numerics::poly::Poly;
 use adc_spice::mna::MnaMap;
 use adc_spice::netlist::{Circuit, Element, NodeId};
@@ -42,137 +42,235 @@ impl Default for NetTfOptions {
     }
 }
 
-/// Assembles the complex MNA system at a general complex frequency `s`.
-fn assemble(
-    circuit: &Circuit,
-    op: &OperatingPoint,
-    map: &MnaMap,
-    s: Complex,
-) -> SfgResult<(CMatrix, Vec<Complex>)> {
-    let dim = map.dim();
-    let mut y = CMatrix::zeros(dim, dim);
-    let mut b = vec![Complex::ZERO; dim];
-
-    let adm = |y: &mut CMatrix, a: NodeId, bn: NodeId, g: Complex| {
-        let (ra, rb) = (map.node_row(a), map.node_row(bn));
-        if let Some(i) = ra {
-            y.add_at(i, i, g);
-        }
-        if let Some(j) = rb {
-            y.add_at(j, j, g);
-        }
-        if let (Some(i), Some(j)) = (ra, rb) {
-            y.add_at(i, j, -g);
-            y.add_at(j, i, -g);
-        }
-    };
-    let gm_stamp = |y: &mut CMatrix, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64| {
-        for (out, so) in [(map.node_row(p), 1.0), (map.node_row(n), -1.0)] {
-            let Some(row) = out else { continue };
-            for (ctrl, sc) in [(map.node_row(cp), 1.0), (map.node_row(cn), -1.0)] {
-                if let Some(col) = ctrl {
-                    y.add_at(row, col, Complex::from_real(so * sc * gm));
-                }
-            }
-        }
-    };
-
-    for (idx, e) in circuit.elements().iter().enumerate() {
-        match e {
-            Element::Resistor { a, b: bn, ohms, .. } => {
-                adm(&mut y, *a, *bn, Complex::from_real(1.0 / ohms));
-            }
-            Element::Capacitor {
-                a, b: bn, farads, ..
-            } => {
-                adm(&mut y, *a, *bn, s * *farads);
-            }
-            Element::Switch {
-                a,
-                b: bn,
-                ron,
-                roff,
-                dc_closed,
-                ..
-            } => {
-                let g = 1.0 / if *dc_closed { *ron } else { *roff };
-                adm(&mut y, *a, *bn, Complex::from_real(g));
-            }
-            Element::ISource { p, n, ac_mag, .. } => {
-                if let Some(r) = map.node_row(*p) {
-                    b[r] -= Complex::from_real(*ac_mag);
-                }
-                if let Some(r) = map.node_row(*n) {
-                    b[r] += Complex::from_real(*ac_mag);
-                }
-            }
-            Element::VSource { p, n, ac_mag, .. } => {
-                let br = map.branch_row(idx);
-                if let Some(r) = map.node_row(*p) {
-                    y.add_at(r, br, Complex::ONE);
-                    y.add_at(br, r, Complex::ONE);
-                }
-                if let Some(r) = map.node_row(*n) {
-                    y.add_at(r, br, -Complex::ONE);
-                    y.add_at(br, r, -Complex::ONE);
-                }
-                b[br] = Complex::from_real(*ac_mag);
-            }
-            Element::Vcvs {
-                p, n, cp, cn, gain, ..
-            } => {
-                let br = map.branch_row(idx);
-                if let Some(r) = map.node_row(*p) {
-                    y.add_at(r, br, Complex::ONE);
-                    y.add_at(br, r, Complex::ONE);
-                }
-                if let Some(r) = map.node_row(*n) {
-                    y.add_at(r, br, -Complex::ONE);
-                    y.add_at(br, r, -Complex::ONE);
-                }
-                if let Some(r) = map.node_row(*cp) {
-                    y.add_at(br, r, Complex::from_real(-gain));
-                }
-                if let Some(r) = map.node_row(*cn) {
-                    y.add_at(br, r, Complex::from_real(*gain));
-                }
-            }
-            Element::Vccs {
-                p, n, cp, cn, gm, ..
-            } => {
-                gm_stamp(&mut y, *p, *n, *cp, *cn, *gm);
-            }
-            Element::Mosfet {
-                name,
-                d,
-                g,
-                s: src,
-                b: bn,
-                ..
-            } => {
-                let ev = op
-                    .mos_eval(name)
-                    .ok_or_else(|| SfgError::BadCircuit(format!("no OP for {name}")))?;
-                gm_stamp(&mut y, *d, *src, *g, *src, ev.gm);
-                gm_stamp(&mut y, *d, *src, *d, *src, ev.gds);
-                gm_stamp(&mut y, *d, *src, *bn, *src, ev.gmb);
-                adm(&mut y, *g, *src, s * ev.cgs);
-                adm(&mut y, *g, *d, s * ev.cgd);
-                adm(&mut y, *g, *bn, s * ev.cgb);
-                adm(&mut y, *src, *bn, s * ev.csb);
-                adm(&mut y, *d, *bn, s * ev.cdb);
-            }
-        }
-    }
-    Ok((y, b))
+/// Reusable TF-extraction workspace: the circuit is linearized **once per
+/// operating point** into an s-independent base matrix plus a flat list of
+/// capacitive entries; each of the `m` sample frequencies memcpy's the base
+/// back, rewrites only the `s`-dependent entries, and a **single** LU
+/// factorization yields both `det Y(s)` (product of pivots) and the solve —
+/// where the allocating path paid two full eliminations per sample.
+///
+/// Reused across evaluations of the same testbench (the synthesis inner
+/// loop), the matrices, factor buffers and sample vectors all persist.
+#[derive(Debug, Clone, Default)]
+pub struct NetTfWorkspace {
+    map: Option<MnaMap>,
+    elem_count: usize,
+    base: CMatrix,
+    /// `s`-dependent entries: `(row, col, ±C)` accumulated as `s·C`.
+    cap_entries: Vec<(usize, usize, f64)>,
+    b: Vec<Complex>,
+    y: CMatrix,
+    lu: CLu,
+    x: Vec<Complex>,
+    num_samples: Vec<Complex>,
+    den_samples: Vec<Complex>,
+    /// FFT scratch for the inverse-DFT coefficient recovery.
+    work: Vec<Complex>,
+    /// Scratch flags for the determinant degree bound.
+    row_flags: Vec<bool>,
 }
 
-/// Recovers ascending polynomial coefficients from samples at `r·ω_m^k`.
-fn coeffs_from_samples(samples: &[Complex], radius: f64, trim_rel: f64) -> Poly {
+impl NetTfWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        NetTfWorkspace::default()
+    }
+
+    /// (Re)binds the workspace to `circuit` linearized at `op`: rebuilds
+    /// the index map only when the topology changed, then restamps the
+    /// s-independent base and the capacitive entry list in place.
+    fn bind(&mut self, circuit: &Circuit, op: &OperatingPoint) -> SfgResult<()> {
+        let topo_changed = match &self.map {
+            Some(m) => self.elem_count != circuit.elements().len() || !m.matches(circuit),
+            None => true,
+        };
+        if topo_changed {
+            let map = MnaMap::new(circuit);
+            let dim = map.dim();
+            self.base = CMatrix::zeros(dim, dim);
+            self.y = CMatrix::zeros(dim, dim);
+            self.lu = CLu::with_dim(dim);
+            self.b = vec![Complex::ZERO; dim];
+            self.x = vec![Complex::ZERO; dim];
+            self.elem_count = circuit.elements().len();
+            self.map = Some(map);
+        } else {
+            self.base.clear();
+            self.b.fill(Complex::ZERO);
+        }
+        self.cap_entries.clear();
+        let map = self.map.as_ref().expect("map bound above");
+        let base = &mut self.base;
+        let b = &mut self.b;
+        let caps = &mut self.cap_entries;
+
+        let adm = |y: &mut CMatrix, a: NodeId, bn: NodeId, g: f64| {
+            let (ra, rb) = (map.node_row(a), map.node_row(bn));
+            if let Some(i) = ra {
+                y.add_at(i, i, Complex::from_real(g));
+            }
+            if let Some(j) = rb {
+                y.add_at(j, j, Complex::from_real(g));
+            }
+            if let (Some(i), Some(j)) = (ra, rb) {
+                y.add_at(i, j, Complex::from_real(-g));
+                y.add_at(j, i, Complex::from_real(-g));
+            }
+        };
+        let cap_adm = |list: &mut Vec<(usize, usize, f64)>, a: NodeId, bn: NodeId, c: f64| {
+            let (ra, rb) = (map.node_row(a), map.node_row(bn));
+            if let Some(i) = ra {
+                list.push((i, i, c));
+            }
+            if let Some(j) = rb {
+                list.push((j, j, c));
+            }
+            if let (Some(i), Some(j)) = (ra, rb) {
+                list.push((i, j, -c));
+                list.push((j, i, -c));
+            }
+        };
+        let gm_stamp = |y: &mut CMatrix, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64| {
+            for (out, so) in [(map.node_row(p), 1.0), (map.node_row(n), -1.0)] {
+                let Some(row) = out else { continue };
+                for (ctrl, sc) in [(map.node_row(cp), 1.0), (map.node_row(cn), -1.0)] {
+                    if let Some(col) = ctrl {
+                        y.add_at(row, col, Complex::from_real(so * sc * gm));
+                    }
+                }
+            }
+        };
+
+        for (idx, e) in circuit.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b: bn, ohms, .. } => {
+                    adm(base, *a, *bn, 1.0 / ohms);
+                }
+                Element::Capacitor {
+                    a, b: bn, farads, ..
+                } => {
+                    cap_adm(caps, *a, *bn, *farads);
+                }
+                Element::Switch {
+                    a,
+                    b: bn,
+                    ron,
+                    roff,
+                    dc_closed,
+                    ..
+                } => {
+                    let g = 1.0 / if *dc_closed { *ron } else { *roff };
+                    adm(base, *a, *bn, g);
+                }
+                Element::ISource { p, n, ac_mag, .. } => {
+                    if let Some(r) = map.node_row(*p) {
+                        b[r] -= Complex::from_real(*ac_mag);
+                    }
+                    if let Some(r) = map.node_row(*n) {
+                        b[r] += Complex::from_real(*ac_mag);
+                    }
+                }
+                Element::VSource { p, n, ac_mag, .. } => {
+                    let br = map.branch_row(idx);
+                    if let Some(r) = map.node_row(*p) {
+                        base.add_at(r, br, Complex::ONE);
+                        base.add_at(br, r, Complex::ONE);
+                    }
+                    if let Some(r) = map.node_row(*n) {
+                        base.add_at(r, br, -Complex::ONE);
+                        base.add_at(br, r, -Complex::ONE);
+                    }
+                    b[br] = Complex::from_real(*ac_mag);
+                }
+                Element::Vcvs {
+                    p, n, cp, cn, gain, ..
+                } => {
+                    let br = map.branch_row(idx);
+                    if let Some(r) = map.node_row(*p) {
+                        base.add_at(r, br, Complex::ONE);
+                        base.add_at(br, r, Complex::ONE);
+                    }
+                    if let Some(r) = map.node_row(*n) {
+                        base.add_at(r, br, -Complex::ONE);
+                        base.add_at(br, r, -Complex::ONE);
+                    }
+                    if let Some(r) = map.node_row(*cp) {
+                        base.add_at(br, r, Complex::from_real(-gain));
+                    }
+                    if let Some(r) = map.node_row(*cn) {
+                        base.add_at(br, r, Complex::from_real(*gain));
+                    }
+                }
+                Element::Vccs {
+                    p, n, cp, cn, gm, ..
+                } => {
+                    gm_stamp(base, *p, *n, *cp, *cn, *gm);
+                }
+                Element::Mosfet {
+                    name,
+                    d,
+                    g,
+                    s: src,
+                    b: bn,
+                    ..
+                } => {
+                    let ev = op
+                        .mos_eval(name)
+                        .ok_or_else(|| SfgError::BadCircuit(format!("no OP for {name}")))?;
+                    gm_stamp(base, *d, *src, *g, *src, ev.gm);
+                    gm_stamp(base, *d, *src, *d, *src, ev.gds);
+                    gm_stamp(base, *d, *src, *bn, *src, ev.gmb);
+                    cap_adm(caps, *g, *src, ev.cgs);
+                    cap_adm(caps, *g, *d, ev.cgd);
+                    cap_adm(caps, *g, *bn, ev.cgb);
+                    cap_adm(caps, *src, *bn, ev.csb);
+                    cap_adm(caps, *d, *bn, ev.cdb);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Upper bound on `deg det Y(s)`: every entry of `Y` is affine in `s`
+    /// (`g + s·C`), and each term of the determinant expansion takes one
+    /// entry per row, so the degree is capped by the number of rows that
+    /// carry any `s`-dependent entry. Branch rows (sources) never do, which
+    /// makes this bound much tighter than `dim` for amplifier testbenches —
+    /// and the numerator (a Cramer determinant of the same matrix with a
+    /// constant column substituted) obeys the same bound.
+    fn degree_bound(&mut self, dim: usize) -> usize {
+        self.row_flags.clear();
+        self.row_flags.resize(dim, false);
+        for &(i, _, _) in &self.cap_entries {
+            self.row_flags[i] = true;
+        }
+        self.row_flags.iter().filter(|f| **f).count()
+    }
+
+    /// Factors `Y(s)` (base + `s`-scaled entries) in place. Returns `false`
+    /// when the factorization is singular.
+    fn factor_at(&mut self, s: Complex) -> bool {
+        self.y.copy_from(&self.base);
+        for &(i, j, c) in &self.cap_entries {
+            self.y.add_at(i, j, s * c);
+        }
+        self.lu.factor_into(&self.y).is_ok()
+    }
+}
+
+/// Recovers ascending polynomial coefficients from samples at `r·ω_m^k`,
+/// using `work` as FFT scratch.
+fn coeffs_from_samples(
+    samples: &[Complex],
+    work: &mut Vec<Complex>,
+    radius: f64,
+    trim_rel: f64,
+) -> Poly {
     let m = samples.len();
-    let mut work = samples.to_vec();
+    work.clear();
+    work.extend_from_slice(samples);
     // Forward FFT gives m·(coefficient of r^j x^j).
-    fft_in_place(&mut work);
+    fft_in_place(work);
     // Trim in the radius-scaled domain, where every legitimate coefficient
     // is comparable to the sample magnitudes; circuit polynomials have
     // wildly scaled raw coefficients (G·G vs C·C), so trimming after the
@@ -200,50 +298,78 @@ pub fn extract_tf(
     output: NodeId,
     opts: &NetTfOptions,
 ) -> SfgResult<Tf> {
-    let map = MnaMap::new(circuit);
+    let mut ws = NetTfWorkspace::new();
+    extract_tf_with(&mut ws, circuit, op, output, opts)
+}
+
+/// [`extract_tf`] with a caller-owned reusable [`NetTfWorkspace`]: the
+/// linearized base is restamped in place per operating point, each sample
+/// frequency reuses the factor buffers, and one LU factorization per sample
+/// provides both the determinant and the solve.
+///
+/// # Errors
+/// Same contract as [`extract_tf`].
+pub fn extract_tf_with(
+    ws: &mut NetTfWorkspace,
+    circuit: &Circuit,
+    op: &OperatingPoint,
+    output: NodeId,
+    opts: &NetTfOptions,
+) -> SfgResult<Tf> {
+    ws.bind(circuit, op)?;
+    let map = ws.map.as_ref().expect("bound");
     let out_row = map
         .node_row(output)
         .ok_or_else(|| SfgError::BadCircuit("output node is ground".into()))?;
     let dim = map.dim();
-    // Degree of det Y(s) ≤ dim; sample with ≥ 2× margin, power of two.
-    let m = (2 * (dim + 2)).next_power_of_two();
+    // Degree of det Y(s) ≤ the capacitive-row bound (≤ dim); sample with
+    // ≥ 2× margin, power of two.
+    let deg = ws.degree_bound(dim).min(dim);
+    let m = (2 * (deg + 2)).next_power_of_two();
 
-    let mut num_samples = Vec::with_capacity(m);
-    let mut den_samples = Vec::with_capacity(m);
+    ws.num_samples.clear();
+    ws.den_samples.clear();
+    ws.num_samples.reserve(m);
+    ws.den_samples.reserve(m);
     for k in 0..m {
         let theta = 2.0 * std::f64::consts::PI * k as f64 / m as f64;
         let s = Complex::from_polar(opts.radius, theta);
-        let (y, b) = assemble(circuit, op, &map, s)?;
-        let det = y.det();
-        if det.norm() == 0.0 {
-            return Err(SfgError::BadCircuit(format!(
+        let singular_err = || {
+            SfgError::BadCircuit(format!(
                 "singular MNA at sample {k} (radius {:.3e})",
                 opts.radius
-            )));
+            ))
+        };
+        if !ws.factor_at(s) {
+            return Err(singular_err());
         }
-        let x = y
-            .solve(&b)
-            .map_err(|e| SfgError::BadCircuit(format!("solve failed: {e}")))?;
-        let h = x[out_row];
-        num_samples.push(h * det);
-        den_samples.push(det);
+        let det = ws.lu.det();
+        if det.norm() == 0.0 {
+            return Err(singular_err());
+        }
+        ws.lu.solve_into(&ws.b, &mut ws.x);
+        let h = ws.x[out_row];
+        ws.num_samples.push(h * det);
+        ws.den_samples.push(det);
     }
 
-    // Normalize sample scale to keep the DFT well-conditioned.
-    let dscale = den_samples.iter().map(|d| d.norm()).fold(0.0, f64::max);
+    // Normalize sample scale (in place) to keep the DFT well-conditioned.
+    let dscale = ws.den_samples.iter().map(|d| d.norm()).fold(0.0, f64::max);
     if dscale == 0.0 {
         return Err(SfgError::SingularGraph);
     }
-    let nscale = num_samples
+    let nscale = ws
+        .num_samples
         .iter()
         .map(|d| d.norm())
         .fold(0.0, f64::max)
         .max(1e-300);
-    let den_scaled: Vec<Complex> = den_samples.iter().map(|d| *d / dscale).collect();
-    let num_scaled: Vec<Complex> = num_samples.iter().map(|n| *n / nscale).collect();
+    ws.den_samples.iter_mut().for_each(|d| *d = *d / dscale);
+    ws.num_samples.iter_mut().for_each(|n| *n = *n / nscale);
 
-    let den = coeffs_from_samples(&den_scaled, opts.radius, opts.trim_rel);
-    let num = coeffs_from_samples(&num_scaled, opts.radius, opts.trim_rel).scale(nscale / dscale);
+    let den = coeffs_from_samples(&ws.den_samples, &mut ws.work, opts.radius, opts.trim_rel);
+    let num = coeffs_from_samples(&ws.num_samples, &mut ws.work, opts.radius, opts.trim_rel)
+        .scale(nscale / dscale);
     if den.is_zero() {
         return Err(SfgError::SingularGraph);
     }

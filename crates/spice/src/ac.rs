@@ -9,7 +9,7 @@ use crate::netlist::{Circuit, Element, NodeId};
 use crate::op::OperatingPoint;
 use crate::{SpiceError, SpiceResult};
 use adc_numerics::complex::Complex;
-use adc_numerics::linalg::CMatrix;
+use adc_numerics::linalg::{CLu, CMatrix};
 
 /// Result of an AC sweep.
 #[derive(Debug, Clone)]
@@ -77,37 +77,65 @@ pub fn unwrap_phase_deg(raw: &[f64]) -> Vec<f64> {
     out
 }
 
-/// Runs an AC sweep at the given frequencies (Hz).
-///
-/// # Errors
-/// [`SpiceError::Singular`] if the complex MNA system cannot be solved at
-/// some frequency.
-pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceResult<AcSweep> {
-    let map = MnaMap::new(circuit);
-    let dim = map.dim();
-    let mut solutions = Vec::with_capacity(freqs.len());
+/// Reusable AC-analysis workspace: the circuit is **linearized once** at
+/// the operating point into a frequency-independent base matrix plus a flat
+/// list of capacitive entries; each sweep point memcpy's the base back and
+/// only rewrites the jω-dependent entries before an in-place LU solve.
+#[derive(Debug, Clone)]
+pub struct AcWorkspace {
+    /// Frequency-independent stamps (conductances, gm's, source patterns,
+    /// the floating-node g_min) at the linearization point.
+    base: CMatrix,
+    /// jω-dependent entries: `(row, col, ±C)` triples accumulated per
+    /// sweep point as `jω·C`.
+    cap_entries: Vec<(usize, usize, f64)>,
+    /// Stimulus vector (frequency-independent).
+    b: Vec<Complex>,
+    y: CMatrix,
+    lu: CLu,
+    x: Vec<Complex>,
+    node_count: usize,
+}
 
-    for &f in freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        let jw = Complex::new(0.0, omega);
-        let mut y = CMatrix::zeros(dim, dim);
+impl AcWorkspace {
+    /// Linearizes `circuit` at `op` and preallocates all solve buffers.
+    ///
+    /// # Errors
+    /// [`SpiceError::NotFound`] if a MOSFET has no operating-point entry.
+    pub fn new(circuit: &Circuit, op: &OperatingPoint) -> SpiceResult<Self> {
+        let map = MnaMap::new(circuit);
+        let dim = map.dim();
+        let mut base = CMatrix::zeros(dim, dim);
+        let mut cap_entries = Vec::new();
         let mut b = vec![Complex::ZERO; dim];
 
-        let admittance = |a: NodeId, bnode: NodeId, g: Complex, y: &mut CMatrix| {
+        let real_adm = |y: &mut CMatrix, a: NodeId, bnode: NodeId, g: f64| {
             let (ra, rb) = (map.node_row(a), map.node_row(bnode));
             if let Some(i) = ra {
-                y.add_at(i, i, g);
+                y.add_at(i, i, Complex::from_real(g));
             }
             if let Some(j) = rb {
-                y.add_at(j, j, g);
+                y.add_at(j, j, Complex::from_real(g));
             }
             if let (Some(i), Some(j)) = (ra, rb) {
-                y.add_at(i, j, -g);
-                y.add_at(j, i, -g);
+                y.add_at(i, j, Complex::from_real(-g));
+                y.add_at(j, i, Complex::from_real(-g));
             }
         };
-
-        let vccs = |p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64, y: &mut CMatrix| {
+        let cap_adm = |list: &mut Vec<(usize, usize, f64)>, a: NodeId, bnode: NodeId, c: f64| {
+            let (ra, rb) = (map.node_row(a), map.node_row(bnode));
+            if let Some(i) = ra {
+                list.push((i, i, c));
+            }
+            if let Some(j) = rb {
+                list.push((j, j, c));
+            }
+            if let (Some(i), Some(j)) = (ra, rb) {
+                list.push((i, j, -c));
+                list.push((j, i, -c));
+            }
+        };
+        let vccs = |y: &mut CMatrix, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64| {
             for (out, so) in [(map.node_row(p), 1.0), (map.node_row(n), -1.0)] {
                 let Some(row) = out else { continue };
                 for (ctrl, sc) in [(map.node_row(cp), 1.0), (map.node_row(cn), -1.0)] {
@@ -121,12 +149,12 @@ pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceR
         for (idx, e) in circuit.elements().iter().enumerate() {
             match e {
                 Element::Resistor { a, b: bn, ohms, .. } => {
-                    admittance(*a, *bn, Complex::from_real(1.0 / ohms), &mut y);
+                    real_adm(&mut base, *a, *bn, 1.0 / ohms);
                 }
                 Element::Capacitor {
                     a, b: bn, farads, ..
                 } => {
-                    admittance(*a, *bn, jw * *farads, &mut y);
+                    cap_adm(&mut cap_entries, *a, *bn, *farads);
                 }
                 Element::Switch {
                     a,
@@ -137,7 +165,7 @@ pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceR
                     ..
                 } => {
                     let g = 1.0 / if *dc_closed { *ron } else { *roff };
-                    admittance(*a, *bn, Complex::from_real(g), &mut y);
+                    real_adm(&mut base, *a, *bn, g);
                 }
                 Element::ISource { p, n, ac_mag, .. } => {
                     // Stimulus: current p→n through the source.
@@ -151,12 +179,12 @@ pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceR
                 Element::VSource { p, n, ac_mag, .. } => {
                     let br = map.branch_row(idx);
                     if let Some(r) = map.node_row(*p) {
-                        y.add_at(r, br, Complex::ONE);
-                        y.add_at(br, r, Complex::ONE);
+                        base.add_at(r, br, Complex::ONE);
+                        base.add_at(br, r, Complex::ONE);
                     }
                     if let Some(r) = map.node_row(*n) {
-                        y.add_at(r, br, -Complex::ONE);
-                        y.add_at(br, r, -Complex::ONE);
+                        base.add_at(r, br, -Complex::ONE);
+                        base.add_at(br, r, -Complex::ONE);
                     }
                     b[br] = Complex::from_real(*ac_mag);
                 }
@@ -165,24 +193,24 @@ pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceR
                 } => {
                     let br = map.branch_row(idx);
                     if let Some(r) = map.node_row(*p) {
-                        y.add_at(r, br, Complex::ONE);
-                        y.add_at(br, r, Complex::ONE);
+                        base.add_at(r, br, Complex::ONE);
+                        base.add_at(br, r, Complex::ONE);
                     }
                     if let Some(r) = map.node_row(*n) {
-                        y.add_at(r, br, -Complex::ONE);
-                        y.add_at(br, r, -Complex::ONE);
+                        base.add_at(r, br, -Complex::ONE);
+                        base.add_at(br, r, -Complex::ONE);
                     }
                     if let Some(r) = map.node_row(*cp) {
-                        y.add_at(br, r, Complex::from_real(-gain));
+                        base.add_at(br, r, Complex::from_real(-gain));
                     }
                     if let Some(r) = map.node_row(*cn) {
-                        y.add_at(br, r, Complex::from_real(*gain));
+                        base.add_at(br, r, Complex::from_real(*gain));
                     }
                 }
                 Element::Vccs {
                     p, n, cp, cn, gm, ..
                 } => {
-                    vccs(*p, *n, *cp, *cn, *gm, &mut y);
+                    vccs(&mut base, *p, *n, *cp, *cn, *gm);
                 }
                 Element::Mosfet {
                     name,
@@ -196,31 +224,77 @@ pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceR
                         SpiceError::NotFound(format!("operating point for {name}"))
                     })?;
                     // id = gm·vgs + gds·vds + gmb·vbs, current d→s.
-                    vccs(*d, *s, *g, *s, ev.gm, &mut y);
-                    vccs(*d, *s, *d, *s, ev.gds, &mut y);
-                    vccs(*d, *s, *bn, *s, ev.gmb, &mut y);
-                    admittance(*g, *s, jw * ev.cgs, &mut y);
-                    admittance(*g, *d, jw * ev.cgd, &mut y);
-                    admittance(*g, *bn, jw * ev.cgb, &mut y);
-                    admittance(*s, *bn, jw * ev.csb, &mut y);
-                    admittance(*d, *bn, jw * ev.cdb, &mut y);
+                    vccs(&mut base, *d, *s, *g, *s, ev.gm);
+                    vccs(&mut base, *d, *s, *d, *s, ev.gds);
+                    vccs(&mut base, *d, *s, *bn, *s, ev.gmb);
+                    cap_adm(&mut cap_entries, *g, *s, ev.cgs);
+                    cap_adm(&mut cap_entries, *g, *d, ev.cgd);
+                    cap_adm(&mut cap_entries, *g, *bn, ev.cgb);
+                    cap_adm(&mut cap_entries, *s, *bn, ev.csb);
+                    cap_adm(&mut cap_entries, *d, *bn, ev.cdb);
                 }
             }
         }
 
         // Tiny conductance to ground keeps otherwise-floating nodes solvable.
         for r in 0..(map.node_count() - 1) {
-            y.add_at(r, r, Complex::from_real(1e-12));
+            base.add_at(r, r, Complex::from_real(1e-12));
         }
 
-        let x = y
-            .solve(&b)
-            .map_err(|e| SpiceError::Singular(format!("AC @ {f} Hz: {e}")))?;
-        let mut volts = vec![Complex::ZERO; circuit.node_count()];
-        volts[1..].copy_from_slice(&x[..circuit.node_count() - 1]);
-        solutions.push(volts);
+        Ok(AcWorkspace {
+            base,
+            cap_entries,
+            b,
+            y: CMatrix::zeros(dim, dim),
+            lu: CLu::with_dim(dim),
+            x: vec![Complex::ZERO; dim],
+            node_count: circuit.node_count(),
+        })
     }
 
+    /// Solves the linearized system at one complex frequency `s = jω`
+    /// into the workspace's solution buffer, and returns it.
+    fn solve_at(&mut self, jw: Complex) -> Result<&[Complex], adc_numerics::NumericsError> {
+        self.y.copy_from(&self.base);
+        for &(i, j, c) in &self.cap_entries {
+            self.y.add_at(i, j, jw * c);
+        }
+        self.lu.factor_into(&self.y)?;
+        self.lu.solve_into(&self.b, &mut self.x);
+        Ok(&self.x)
+    }
+}
+
+/// Runs an AC sweep at the given frequencies (Hz).
+///
+/// # Errors
+/// [`SpiceError::Singular`] if the complex MNA system cannot be solved at
+/// some frequency.
+pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceResult<AcSweep> {
+    let mut ws = AcWorkspace::new(circuit, op)?;
+    ac_sweep_with(&mut ws, freqs)
+}
+
+/// [`ac_sweep`] with a caller-owned [`AcWorkspace`]: the circuit was
+/// linearized once when the workspace was built, and each frequency point
+/// only rewrites the jω-dependent matrix entries before an in-place solve —
+/// no per-point matrix allocation or re-stamping.
+///
+/// # Errors
+/// [`SpiceError::Singular`] if the complex MNA system cannot be solved at
+/// some frequency.
+pub fn ac_sweep_with(ws: &mut AcWorkspace, freqs: &[f64]) -> SpiceResult<AcSweep> {
+    let mut solutions = Vec::with_capacity(freqs.len());
+    let nodes = ws.node_count;
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let x = ws
+            .solve_at(Complex::new(0.0, omega))
+            .map_err(|e| SpiceError::Singular(format!("AC @ {f} Hz: {e}")))?;
+        let mut volts = vec![Complex::ZERO; nodes];
+        volts[1..].copy_from_slice(&x[..nodes - 1]);
+        solutions.push(volts);
+    }
     Ok(AcSweep {
         freqs: freqs.to_vec(),
         solutions,

@@ -11,6 +11,7 @@ use crate::mosfet::eval_mosfet;
 use crate::netlist::{Circuit, Element};
 use crate::op::OperatingPoint;
 use crate::{SpiceError, SpiceResult};
+use adc_numerics::linalg::Lu;
 use adc_numerics::Matrix;
 use std::collections::HashMap;
 
@@ -44,115 +45,178 @@ impl Default for DcOptions {
     }
 }
 
-/// Assembles the Jacobian and residual at point `x`.
+/// Reusable DC-solve workspace: the [`MnaMap`] is built once per circuit
+/// topology, the **constant linear stamps** (resistors, switches, source
+/// patterns, controlled sources) are assembled once per solve, and every
+/// Newton iteration only memcpy's the linear base back and restamps the
+/// MOSFET companions — the iteration loop performs **zero heap
+/// allocation**.
 ///
-/// `source_scale` multiplies all independent sources (for source stepping);
-/// `gmin` is added from every node to ground.
-fn assemble(
-    circuit: &Circuit,
-    map: &MnaMap,
-    x: &[f64],
-    jac: &mut Matrix,
-    res: &mut [f64],
-    gmin: f64,
-    source_scale: f64,
-) {
-    jac.clear();
-    res.iter_mut().for_each(|r| *r = 0.0);
+/// Retuned element *values* are picked up automatically (the base is
+/// restamped at the start of each [`dc_operating_point_with`] call); a
+/// changed *topology* (node or element count) rebuilds the workspace.
+#[derive(Debug, Clone)]
+pub struct DcWorkspace {
+    map: MnaMap,
+    elem_count: usize,
+    /// Constant linear-stamp Jacobian (g_min excluded; it varies per
+    /// homotopy stage and is added per iteration).
+    base_jac: Matrix,
+    /// Constant source vector: linear residual = `base_jac·x − scale·base_rhs`.
+    base_rhs: Vec<f64>,
+    jac: Matrix,
+    res: Vec<f64>,
+    dx: Vec<f64>,
+    lu: Lu,
+    x: Vec<f64>,
+    x0: Vec<f64>,
+    /// `x` holds a converged solution from a previous solve (used by
+    /// [`dc_operating_point_warm`] to skip the homotopy ladder).
+    warm_valid: bool,
+}
 
-    // g_min from every non-ground node to ground.
-    for row in 0..(map.node_count() - 1) {
-        jac.add_at(row, row, gmin);
-        res[row] += gmin * x[row];
+impl DcWorkspace {
+    /// Builds the workspace (index map + preallocated buffers) for a
+    /// circuit topology.
+    ///
+    /// # Errors
+    /// [`SpiceError::BadNetlist`] if the circuit has no unknowns.
+    pub fn new(circuit: &Circuit) -> SpiceResult<Self> {
+        let map = MnaMap::new(circuit);
+        let dim = map.dim();
+        if dim == 0 {
+            return Err(SpiceError::BadNetlist("circuit has no unknowns".into()));
+        }
+        Ok(DcWorkspace {
+            map,
+            elem_count: circuit.elements().len(),
+            base_jac: Matrix::zeros(dim, dim),
+            base_rhs: vec![0.0; dim],
+            jac: Matrix::zeros(dim, dim),
+            res: vec![0.0; dim],
+            dx: vec![0.0; dim],
+            lu: Lu::with_dim(dim),
+            x: vec![0.0; dim],
+            x0: vec![0.0; dim],
+            warm_valid: false,
+        })
     }
 
-    for (idx, e) in circuit.elements().iter().enumerate() {
-        match e {
-            Element::Resistor { a, b, ohms, .. } => {
-                let g = 1.0 / ohms;
-                let (ra, rb) = (map.node_row(*a), map.node_row(*b));
-                let va = map.voltage(x, *a);
-                let vb = map.voltage(x, *b);
-                stamp_conductance(jac, ra, rb, g);
-                add_opt(res, ra, g * (va - vb));
-                add_opt(res, rb, -g * (va - vb));
-            }
-            Element::Capacitor { .. } => {
-                // Open in DC.
-            }
-            Element::Switch {
-                a,
-                b,
-                ron,
-                roff,
-                dc_closed,
-                ..
-            } => {
-                let g = 1.0 / if *dc_closed { *ron } else { *roff };
-                let (ra, rb) = (map.node_row(*a), map.node_row(*b));
-                let va = map.voltage(x, *a);
-                let vb = map.voltage(x, *b);
-                stamp_conductance(jac, ra, rb, g);
-                add_opt(res, ra, g * (va - vb));
-                add_opt(res, rb, -g * (va - vb));
-            }
-            Element::ISource { p, n, wave, .. } => {
-                let i = wave.dc_value() * source_scale;
-                add_opt(res, map.node_row(*p), i);
-                add_opt(res, map.node_row(*n), -i);
-            }
-            Element::VSource { p, n, wave, .. } => {
-                let br = map.branch_row(idx);
-                let (rp, rn) = (map.node_row(*p), map.node_row(*n));
-                let ib = x[br];
-                add_opt(res, rp, ib);
-                add_opt(res, rn, -ib);
-                if let Some(r) = rp {
-                    jac.add_at(r, br, 1.0);
-                    jac.add_at(br, r, 1.0);
+    /// Whether this workspace was built for `circuit`'s topology (same
+    /// node count and branch-unknown pattern — value retuning keeps it
+    /// valid, while a reordered or different element list rebuilds).
+    pub fn matches(&self, circuit: &Circuit) -> bool {
+        self.elem_count == circuit.elements().len() && self.map.matches(circuit)
+    }
+
+    /// The MNA index map.
+    pub fn map(&self) -> &MnaMap {
+        &self.map
+    }
+
+    /// Stamps the constant linear part (everything except MOSFETs and
+    /// g_min) into `base_jac`/`base_rhs`. Called once per solve so value
+    /// retuning is picked up.
+    fn stamp_linear_base(&mut self, circuit: &Circuit) {
+        let map = &self.map;
+        let jac = &mut self.base_jac;
+        let rhs = &mut self.base_rhs;
+        jac.clear();
+        rhs.fill(0.0);
+        for (idx, e) in circuit.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, ohms, .. } => {
+                    stamp_conductance(jac, map.node_row(*a), map.node_row(*b), 1.0 / ohms);
                 }
-                if let Some(r) = rn {
-                    jac.add_at(r, br, -1.0);
-                    jac.add_at(br, r, -1.0);
+                Element::Capacitor { .. } | Element::Mosfet { .. } => {
+                    // Caps are open in DC; MOSFETs restamp per iteration.
                 }
-                res[br] += map.voltage(x, *p) - map.voltage(x, *n) - wave.dc_value() * source_scale;
+                Element::Switch {
+                    a,
+                    b,
+                    ron,
+                    roff,
+                    dc_closed,
+                    ..
+                } => {
+                    let g = 1.0 / if *dc_closed { *ron } else { *roff };
+                    stamp_conductance(jac, map.node_row(*a), map.node_row(*b), g);
+                }
+                Element::ISource { p, n, wave, .. } => {
+                    // Linear residual is `base_jac·x − scale·base_rhs`, so a
+                    // current `i` leaving `p` lands in the rhs with sign −i.
+                    let i = wave.dc_value();
+                    add_opt(rhs, map.node_row(*p), -i);
+                    add_opt(rhs, map.node_row(*n), i);
+                }
+                Element::VSource { p, n, wave, .. } => {
+                    let br = map.branch_row(idx);
+                    for (r, sgn) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
+                        if let Some(r) = r {
+                            jac.add_at(r, br, sgn);
+                            jac.add_at(br, r, sgn);
+                        }
+                    }
+                    rhs[br] += wave.dc_value();
+                }
+                Element::Vcvs {
+                    p, n, cp, cn, gain, ..
+                } => {
+                    let br = map.branch_row(idx);
+                    for (r, sgn) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
+                        if let Some(r) = r {
+                            jac.add_at(r, br, sgn);
+                            jac.add_at(br, r, sgn);
+                        }
+                    }
+                    if let Some(r) = map.node_row(*cp) {
+                        jac.add_at(br, r, -gain);
+                    }
+                    if let Some(r) = map.node_row(*cn) {
+                        jac.add_at(br, r, *gain);
+                    }
+                }
+                Element::Vccs {
+                    p, n, cp, cn, gm, ..
+                } => {
+                    stamp_vccs(
+                        jac,
+                        map.node_row(*p),
+                        map.node_row(*n),
+                        map.node_row(*cp),
+                        map.node_row(*cn),
+                        *gm,
+                    );
+                }
             }
-            Element::Vcvs {
-                p, n, cp, cn, gain, ..
-            } => {
-                let br = map.branch_row(idx);
-                let (rp, rn) = (map.node_row(*p), map.node_row(*n));
-                let ib = x[br];
-                add_opt(res, rp, ib);
-                add_opt(res, rn, -ib);
-                if let Some(r) = rp {
-                    jac.add_at(r, br, 1.0);
-                    jac.add_at(br, r, 1.0);
-                }
-                if let Some(r) = rn {
-                    jac.add_at(r, br, -1.0);
-                    jac.add_at(br, r, -1.0);
-                }
-                if let Some(r) = map.node_row(*cp) {
-                    jac.add_at(br, r, -gain);
-                }
-                if let Some(r) = map.node_row(*cn) {
-                    jac.add_at(br, r, *gain);
-                }
-                res[br] += map.voltage(x, *p)
-                    - map.voltage(x, *n)
-                    - gain * (map.voltage(x, *cp) - map.voltage(x, *cn));
-            }
-            Element::Vccs {
-                p, n, cp, cn, gm, ..
-            } => {
-                let (rp, rn) = (map.node_row(*p), map.node_row(*n));
-                let vc = map.voltage(x, *cp) - map.voltage(x, *cn);
-                stamp_vccs(jac, rp, rn, map.node_row(*cp), map.node_row(*cn), *gm);
-                add_opt(res, rp, gm * vc);
-                add_opt(res, rn, -gm * vc);
-            }
-            Element::Mosfet {
+        }
+    }
+
+    /// Assembles the Jacobian and residual at the current `x` without
+    /// allocating: memcpy the linear base back, evaluate the linear
+    /// residual as a mat-vec, then restamp only the MOSFET companions.
+    ///
+    /// `source_scale` multiplies all independent sources (for source
+    /// stepping); `gmin` is added from every node to ground.
+    fn assemble(&mut self, circuit: &Circuit, gmin: f64, source_scale: f64) {
+        let map = &self.map;
+        let x = &self.x;
+        let jac = &mut self.jac;
+        let res = &mut self.res;
+        jac.copy_from(&self.base_jac);
+        jac.mul_vec_into(x, res);
+        for (r, b) in res.iter_mut().zip(self.base_rhs.iter()) {
+            *r -= source_scale * b;
+        }
+
+        // g_min from every non-ground node to ground.
+        for row in 0..(map.node_count() - 1) {
+            jac.add_at(row, row, gmin);
+            res[row] += gmin * x[row];
+        }
+
+        for e in circuit.elements() {
+            let Element::Mosfet {
                 d,
                 g,
                 s,
@@ -161,37 +225,39 @@ fn assemble(
                 w,
                 l,
                 ..
-            } => {
-                let vd = map.voltage(x, *d);
-                let vg = map.voltage(x, *g);
-                let vs = map.voltage(x, *s);
-                let vb = map.voltage(x, *b);
-                let ev = eval_mosfet(model, *w, *l, vg - vs, vd - vs, vb - vs);
-                let (rd, rg, rs, rb) = (
-                    map.node_row(*d),
-                    map.node_row(*g),
-                    map.node_row(*s),
-                    map.node_row(*b),
-                );
-                // Current leaves the drain (+id) and enters the source (−id).
-                add_opt(res, rd, ev.id);
-                add_opt(res, rs, -ev.id);
-                // ∂id/∂(vg, vd, vb, vs): gm, gds, gmb, −(gm+gds+gmb).
-                let gs_total = ev.gm + ev.gds + ev.gmb;
-                for (row, sign) in [(rd, 1.0), (rs, -1.0)] {
-                    let Some(r) = row else { continue };
-                    if let Some(cg) = rg {
-                        jac.add_at(r, cg, sign * ev.gm);
-                    }
-                    if let Some(cd) = rd {
-                        jac.add_at(r, cd, sign * ev.gds);
-                    }
-                    if let Some(cb) = rb {
-                        jac.add_at(r, cb, sign * ev.gmb);
-                    }
-                    if let Some(cs) = rs {
-                        jac.add_at(r, cs, -sign * gs_total);
-                    }
+            } = e
+            else {
+                continue;
+            };
+            let vd = map.voltage(x, *d);
+            let vg = map.voltage(x, *g);
+            let vs = map.voltage(x, *s);
+            let vb = map.voltage(x, *b);
+            let ev = eval_mosfet(model, *w, *l, vg - vs, vd - vs, vb - vs);
+            let (rd, rg, rs, rb) = (
+                map.node_row(*d),
+                map.node_row(*g),
+                map.node_row(*s),
+                map.node_row(*b),
+            );
+            // Current leaves the drain (+id) and enters the source (−id).
+            add_opt(res, rd, ev.id);
+            add_opt(res, rs, -ev.id);
+            // ∂id/∂(vg, vd, vb, vs): gm, gds, gmb, −(gm+gds+gmb).
+            let gs_total = ev.gm + ev.gds + ev.gmb;
+            for (row, sign) in [(rd, 1.0), (rs, -1.0)] {
+                let Some(r) = row else { continue };
+                if let Some(cg) = rg {
+                    jac.add_at(r, cg, sign * ev.gm);
+                }
+                if let Some(cd) = rd {
+                    jac.add_at(r, cd, sign * ev.gds);
+                }
+                if let Some(cb) = rb {
+                    jac.add_at(r, cb, sign * ev.gmb);
+                }
+                if let Some(cs) = rs {
+                    jac.add_at(r, cs, -sign * gs_total);
                 }
             }
         }
@@ -205,45 +271,44 @@ struct NewtonOutcome {
     residual: f64,
 }
 
+/// Damped Newton on the workspace's `x`. The loop is allocation-free: the
+/// Jacobian is memcpy'd from the linear base, the LU refactors into the
+/// workspace's [`Lu`], and the update solves into the preallocated `dx`.
 fn newton(
+    ws: &mut DcWorkspace,
     circuit: &Circuit,
-    map: &MnaMap,
-    x: &mut [f64],
     opts: &DcOptions,
     gmin: f64,
     source_scale: f64,
+    max_iter: usize,
 ) -> NewtonOutcome {
-    let dim = map.dim();
-    let mut jac = Matrix::zeros(dim, dim);
-    let mut res = vec![0.0; dim];
     let mut last_res = f64::INFINITY;
-    for it in 0..opts.max_iter {
-        assemble(circuit, map, x, &mut jac, &mut res, gmin, source_scale);
-        let rnorm = res.iter().fold(0.0_f64, |m, &r| m.max(r.abs()));
+    for it in 0..max_iter {
+        ws.assemble(circuit, gmin, source_scale);
+        let rnorm = ws.res.iter().fold(0.0_f64, |m, &r| m.max(r.abs()));
         last_res = rnorm;
-        let rhs: Vec<f64> = res.iter().map(|&r| -r).collect();
-        let dx = match jac.solve(&rhs) {
-            Ok(dx) => dx,
-            Err(_) => {
-                return NewtonOutcome {
-                    converged: false,
-                    iterations: it,
-                    residual: rnorm,
-                }
-            }
-        };
+        // Newton step: J·dx = −res, reusing res as the negated rhs.
+        ws.res.iter_mut().for_each(|r| *r = -*r);
+        if ws.lu.factor_into(&ws.jac).is_err() {
+            return NewtonOutcome {
+                converged: false,
+                iterations: it,
+                residual: rnorm,
+            };
+        }
+        ws.lu.solve_into(&ws.res, &mut ws.dx);
         // Damping: cap the largest node-voltage update.
-        let nv = map.node_count() - 1;
-        let max_dv = dx[..nv].iter().fold(0.0_f64, |m, &d| m.max(d.abs()));
+        let nv = ws.map.node_count() - 1;
+        let max_dv = ws.dx[..nv].iter().fold(0.0_f64, |m, &d| m.max(d.abs()));
         let alpha = if max_dv > opts.max_step {
             opts.max_step / max_dv
         } else {
             1.0
         };
-        for (xi, di) in x.iter_mut().zip(dx.iter()) {
+        for (xi, di) in ws.x.iter_mut().zip(ws.dx.iter()) {
             *xi += alpha * di;
         }
-        if !x.iter().all(|v| v.is_finite()) {
+        if !ws.x.iter().all(|v| v.is_finite()) {
             return NewtonOutcome {
                 converged: false,
                 iterations: it,
@@ -260,7 +325,7 @@ fn newton(
     }
     NewtonOutcome {
         converged: false,
-        iterations: opts.max_iter,
+        iterations: max_iter,
         residual: last_res,
     }
 }
@@ -276,37 +341,118 @@ fn newton(
 /// [`SpiceError::Singular`] if the system stays singular (e.g. a floating
 /// subcircuit with g_min disabled).
 pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> SpiceResult<OperatingPoint> {
-    let map = MnaMap::new(circuit);
-    let dim = map.dim();
-    if dim == 0 {
-        return Err(SpiceError::BadNetlist("circuit has no unknowns".into()));
-    }
+    let mut ws = DcWorkspace::new(circuit)?;
+    dc_operating_point_with(&mut ws, circuit, opts)
+}
 
-    let mut x = vec![0.0; dim];
+/// [`dc_operating_point`] with a caller-owned reusable [`DcWorkspace`]:
+/// across repeated solves of the same topology (a synthesis loop retuning
+/// one testbench) the MNA map, Jacobian, LU and solution buffers are all
+/// reused and the steady-state Newton iterations never allocate.
+///
+/// The constant linear stamps are refreshed from the circuit's current
+/// element values on every call, so in-place retuning
+/// ([`Circuit::set_value`], [`Circuit::set_device_geometry`]) is picked up.
+/// A workspace built for a *different topology* is rebuilt transparently.
+///
+/// # Errors
+/// Same contract as [`dc_operating_point`].
+pub fn dc_operating_point_with(
+    ws: &mut DcWorkspace,
+    circuit: &Circuit,
+    opts: &DcOptions,
+) -> SpiceResult<OperatingPoint> {
+    if !ws.matches(circuit) {
+        *ws = DcWorkspace::new(circuit)?;
+    }
+    ws.stamp_linear_base(circuit);
+    solve_cold(ws, circuit, opts)
+}
+
+/// Iteration cap for the warm-start Newton attempt: a good initial guess
+/// converges in a handful of iterations; anything slower falls back to the
+/// full homotopy ladder rather than wandering.
+const WARM_MAX_ITER: usize = 40;
+
+/// [`dc_operating_point_with`] that additionally **warm-starts** from the
+/// workspace's previous converged solution: in a synthesis loop retuning
+/// one testbench, successive candidates sit close in design space, so a
+/// plain Newton from the last operating point usually converges in a few
+/// iterations and the whole homotopy ladder is skipped. Falls back to the
+/// cold-start ladder when the warm attempt fails.
+///
+/// The converged point can differ from the cold-start one within the
+/// solver tolerances (`vtol`/`itol`); use [`dc_operating_point_with`] when
+/// bit-reproducibility against a fresh solve matters.
+///
+/// # Errors
+/// Same contract as [`dc_operating_point`].
+pub fn dc_operating_point_warm(
+    ws: &mut DcWorkspace,
+    circuit: &Circuit,
+    opts: &DcOptions,
+) -> SpiceResult<OperatingPoint> {
+    if !ws.matches(circuit) {
+        *ws = DcWorkspace::new(circuit)?;
+    }
+    ws.stamp_linear_base(circuit);
+    if ws.warm_valid {
+        // Converge the warm attempt well past the cold tolerances: a good
+        // initial guess makes the extra quadratic-convergence iterations
+        // nearly free, and the tighter landing keeps warm-path metrics
+        // numerically indistinguishable from a cold solve — so optimizer
+        // trajectories don't fork on solver noise.
+        let tight = DcOptions {
+            max_iter: opts.max_iter,
+            vtol: opts.vtol.min(1e-12),
+            itol: opts.itol.min(1e-12),
+            max_step: opts.max_step,
+            gmin: opts.gmin,
+            nodeset: HashMap::new(),
+        };
+        let out = newton(ws, circuit, &tight, tight.gmin, 1.0, WARM_MAX_ITER);
+        if out.converged {
+            return Ok(OperatingPoint::from_solution(circuit, &ws.map, &ws.x));
+        }
+        ws.warm_valid = false;
+    }
+    solve_cold(ws, circuit, opts)
+}
+
+/// The cold-start homotopy ladder (plain Newton, then g_min stepping, then
+/// source stepping) on a freshly prepared workspace.
+fn solve_cold(
+    ws: &mut DcWorkspace,
+    circuit: &Circuit,
+    opts: &DcOptions,
+) -> SpiceResult<OperatingPoint> {
+    ws.warm_valid = false;
+    ws.x.fill(0.0);
     for (name, v) in &opts.nodeset {
         if let Some(node) = circuit.find_node(name) {
-            if let Some(r) = map.node_row(node) {
-                x[r] = *v;
+            if let Some(r) = ws.map.node_row(node) {
+                ws.x[r] = *v;
             }
         }
     }
-    let x0 = x.clone();
+    ws.x0.copy_from_slice(&ws.x);
 
     let mut total_iters = 0;
 
     // Stage 1: plain Newton.
-    let out = newton(circuit, &map, &mut x, opts, opts.gmin, 1.0);
+    let out = newton(ws, circuit, opts, opts.gmin, 1.0, opts.max_iter);
     total_iters += out.iterations;
     if out.converged {
-        return Ok(OperatingPoint::from_solution(circuit, &map, &x));
+        ws.warm_valid = true;
+        return Ok(OperatingPoint::from_solution(circuit, &ws.map, &ws.x));
     }
 
     // Stage 2: g_min stepping.
-    x.copy_from_slice(&x0);
+    ws.x.copy_from_slice(&ws.x0);
     let mut ok = true;
     let mut g = 1e-2;
     while g >= opts.gmin * 0.99 {
-        let out = newton(circuit, &map, &mut x, opts, g, 1.0);
+        let out = newton(ws, circuit, opts, g, 1.0, opts.max_iter);
         total_iters += out.iterations;
         if !out.converged {
             ok = false;
@@ -315,20 +461,21 @@ pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> SpiceResult<Op
         g /= 10.0;
     }
     if ok {
-        let out = newton(circuit, &map, &mut x, opts, opts.gmin, 1.0);
+        let out = newton(ws, circuit, opts, opts.gmin, 1.0, opts.max_iter);
         total_iters += out.iterations;
         if out.converged {
-            return Ok(OperatingPoint::from_solution(circuit, &map, &x));
+            ws.warm_valid = true;
+            return Ok(OperatingPoint::from_solution(circuit, &ws.map, &ws.x));
         }
     }
 
     // Stage 3: source stepping (with a mild g_min floor for stability).
-    x.copy_from_slice(&x0);
+    ws.x.copy_from_slice(&ws.x0);
     let mut ok = true;
     let mut last_residual = f64::INFINITY;
     for k in 1..=20 {
         let scale = k as f64 / 20.0;
-        let out = newton(circuit, &map, &mut x, opts, opts.gmin.max(1e-9), scale);
+        let out = newton(ws, circuit, opts, opts.gmin.max(1e-9), scale, opts.max_iter);
         total_iters += out.iterations;
         last_residual = out.residual;
         if !out.converged {
@@ -337,10 +484,11 @@ pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> SpiceResult<Op
         }
     }
     if ok {
-        let out = newton(circuit, &map, &mut x, opts, opts.gmin, 1.0);
+        let out = newton(ws, circuit, opts, opts.gmin, 1.0, opts.max_iter);
         total_iters += out.iterations;
         if out.converged {
-            return Ok(OperatingPoint::from_solution(circuit, &map, &x));
+            ws.warm_valid = true;
+            return Ok(OperatingPoint::from_solution(circuit, &ws.map, &ws.x));
         }
         last_residual = out.residual;
     }

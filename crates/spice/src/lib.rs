@@ -38,7 +38,10 @@ pub mod process;
 pub mod tran;
 pub mod waveform;
 
-pub use dc::{dc_operating_point, DcOptions};
+pub use ac::{ac_sweep, ac_sweep_with, AcWorkspace};
+pub use dc::{
+    dc_operating_point, dc_operating_point_warm, dc_operating_point_with, DcOptions, DcWorkspace,
+};
 pub use netlist::{Circuit, ElementId, NodeId};
 pub use op::OperatingPoint;
 pub use process::Process;

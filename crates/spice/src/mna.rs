@@ -40,6 +40,23 @@ impl MnaMap {
         self.dim
     }
 
+    /// Whether this map is valid for `circuit`: same node count and the
+    /// same branch-unknown pattern over the element list. Node rows are
+    /// positional (`NodeId` order), so this is sufficient for reuse across
+    /// value retuning — and it rejects a *different* circuit that merely
+    /// has equal node/element counts (e.g. sources reordered).
+    pub fn matches(&self, circuit: &Circuit) -> bool {
+        self.node_count == circuit.node_count()
+            && self.branch_rows.len() == circuit.elements().len()
+            && circuit
+                .elements()
+                .iter()
+                .zip(self.branch_rows.iter())
+                .all(|(e, br)| {
+                    matches!(e, Element::VSource { .. } | Element::Vcvs { .. }) == br.is_some()
+                })
+    }
+
     /// Number of circuit nodes (including ground).
     pub fn node_count(&self) -> usize {
         self.node_count
@@ -141,6 +158,27 @@ mod tests {
         assert_eq!(map.node_row(a), Some(0));
         assert_eq!(map.branch_row(1), 2);
         assert_eq!(map.branch_row(2), 3);
+    }
+
+    /// A different circuit with equal node/element counts but a reordered
+    /// element list must not reuse a stale map.
+    #[test]
+    fn map_rejects_reordered_elements() {
+        let mut a = Circuit::new();
+        let n = a.node("n");
+        a.add_resistor("R1", n, Circuit::GROUND, 1e3);
+        a.add_vsource("V1", n, Circuit::GROUND, 1.0);
+        let mut b = Circuit::new();
+        let m = b.node("n");
+        b.add_vsource("V1", m, Circuit::GROUND, 1.0);
+        b.add_resistor("R1", m, Circuit::GROUND, 1e3);
+        let map = MnaMap::new(&a);
+        assert!(map.matches(&a));
+        assert!(!map.matches(&b));
+        // Value retuning keeps the map valid.
+        let (rid, _) = a.find_element("R1").unwrap();
+        a.set_value(rid, 2e3);
+        assert!(map.matches(&a));
     }
 
     #[test]

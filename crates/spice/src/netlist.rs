@@ -417,6 +417,48 @@ impl Circuit {
         })
     }
 
+    /// Retunes an element's primary scalar value in place — the
+    /// allocation-free alternative to rebuilding the netlist when only
+    /// parameters change between evaluations (synthesis inner loop).
+    ///
+    /// Covers resistance (Ω), capacitance (F), V/I-source DC value (the AC
+    /// magnitude is preserved; a non-DC waveform is replaced by a DC one),
+    /// VCCS transconductance (S) and VCVS gain.
+    ///
+    /// # Panics
+    /// Panics for MOSFETs (use [`Circuit::set_device_geometry`]) and
+    /// switches (topology-level state, not a tuning value).
+    pub fn set_value(&mut self, id: ElementId, value: f64) {
+        match &mut self.elements[id.0] {
+            Element::Resistor { ohms, .. } => *ohms = value,
+            Element::Capacitor { farads, .. } => *farads = value,
+            Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
+                *wave = Waveform::Dc(value)
+            }
+            Element::Vccs { gm, .. } => *gm = value,
+            Element::Vcvs { gain, .. } => *gain = value,
+            other => panic!("set_value: {} has no scalar tuning value", other.name()),
+        }
+    }
+
+    /// Retunes a MOSFET's drawn geometry in place (model card unchanged).
+    ///
+    /// # Panics
+    /// Panics if the element is not a MOSFET.
+    pub fn set_device_geometry(&mut self, id: ElementId, w: f64, l: f64) {
+        match &mut self.elements[id.0] {
+            Element::Mosfet {
+                w: ref mut ew,
+                l: ref mut el,
+                ..
+            } => {
+                *ew = w;
+                *el = l;
+            }
+            other => panic!("set_device_geometry: {} is not a MOSFET", other.name()),
+        }
+    }
+
     /// Number of extra MNA unknowns (branch currents of V-sources/VCVS).
     pub fn branch_count(&self) -> usize {
         self.elements

@@ -1,7 +1,8 @@
 //! Property-based tests on the circuit simulator: conservation laws and
 //! closed-form agreement over randomized networks.
 
-use adc_spice::dc::{dc_operating_point, DcOptions};
+use adc_spice::ac::{ac_sweep, ac_sweep_with, AcWorkspace};
+use adc_spice::dc::{dc_operating_point, dc_operating_point_with, DcOptions, DcWorkspace};
 use adc_spice::mosfet::eval_mosfet;
 use adc_spice::netlist::Circuit;
 use adc_spice::process::Process;
@@ -118,5 +119,114 @@ proptest! {
         let vb1 = op1.voltage(b1);
         let vb2 = op2.voltage(b2);
         prop_assert!((vb2 - 2.0 * vb1).abs() < 1e-6 * (1.0 + vb1.abs()), "{vb1} {vb2}");
+    }
+
+    /// A [`DcWorkspace`] reused across solves of different circuits (and
+    /// circuit values) is **bit-identical** to the fresh-allocation path —
+    /// no state may leak between solves.
+    #[test]
+    fn dc_workspace_reuse_bit_identical(
+        w in 2.0f64..100.0,
+        vg in 0.6f64..1.4,
+        rds in proptest::collection::vec(1.0f64..50.0, 3..6),
+    ) {
+        let p = Process::c025();
+        let build = |rd_kohm: f64, vg: f64| {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let g = c.node("g");
+            let d = c.node("d");
+            c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+            c.add_vsource("VG", g, Circuit::GROUND, vg);
+            c.add_resistor("RD", vdd, d, rd_kohm * 1e3);
+            c.add_capacitor("CL", d, Circuit::GROUND, 1e-12);
+            c.add_mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, p.nmos, w * 1e-6, 0.5e-6);
+            c
+        };
+        let mut ws: Option<DcWorkspace> = None;
+        for (k, rd) in rds.iter().enumerate() {
+            let c = build(*rd, vg + 0.05 * k as f64);
+            let fresh = dc_operating_point(&c, &DcOptions::default()).unwrap();
+            if ws.is_none() {
+                ws = Some(DcWorkspace::new(&c).unwrap());
+            }
+            let reused =
+                dc_operating_point_with(ws.as_mut().unwrap(), &c, &DcOptions::default()).unwrap();
+            prop_assert_eq!(fresh.voltages(), reused.voltages(), "solve {}", k);
+        }
+    }
+
+    /// An [`AcWorkspace`] reused across repeated sweeps is bit-identical to
+    /// the fresh-allocation [`ac_sweep`] path.
+    #[test]
+    fn ac_workspace_reuse_bit_identical(
+        r in 100.0f64..100e3,
+        cap_pf in 0.1f64..100.0,
+        f1 in 1e3f64..1e6,
+        f2 in 1e6f64..1e9,
+    ) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource_wave("V1", vin, Circuit::GROUND, 0.0.into(), 1.0);
+        c.add_resistor("R1", vin, out, r);
+        c.add_capacitor("C1", out, Circuit::GROUND, cap_pf * 1e-12);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let freqs = [f1, f2, 10.0 * f2];
+        let mut ws = AcWorkspace::new(&c, &op).unwrap();
+        for _ in 0..3 {
+            let fresh = ac_sweep(&c, &op, &freqs).unwrap();
+            let reused = ac_sweep_with(&mut ws, &freqs).unwrap();
+            for (k, _) in freqs.iter().enumerate() {
+                for node in [vin, out] {
+                    let a = fresh.voltage(node, k);
+                    let b = reused.voltage(node, k);
+                    prop_assert!(a == b, "node {node:?} @ {k}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    /// In-place retuning ([`Circuit::set_value`] /
+    /// [`Circuit::set_device_geometry`]) followed by a re-solve on the same
+    /// workspace is bit-identical to rebuilding the netlist and solving
+    /// fresh.
+    #[test]
+    fn retune_resolve_matches_rebuild_solve(
+        w1 in 2.0f64..100.0,
+        w2 in 2.0f64..100.0,
+        rd1 in 1.0f64..50.0,
+        rd2 in 1.0f64..50.0,
+        vg1 in 0.6f64..1.4,
+        vg2 in 0.6f64..1.4,
+    ) {
+        let p = Process::c025();
+        let build = |rd_kohm: f64, vg: f64, w_um: f64| {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let g = c.node("g");
+            let d = c.node("d");
+            c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+            c.add_vsource("VG", g, Circuit::GROUND, vg);
+            c.add_resistor("RD", vdd, d, rd_kohm * 1e3);
+            c.add_mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, p.nmos, w_um * 1e-6, 0.5e-6);
+            c
+        };
+        // Build at the first parameter set, solve, then retune in place.
+        let mut c = build(rd1, vg1, w1);
+        let mut ws = DcWorkspace::new(&c).unwrap();
+        dc_operating_point_with(&mut ws, &c, &DcOptions::default()).unwrap();
+        let (rd_id, _) = c.find_element("RD").unwrap();
+        let (vg_id, _) = c.find_element("VG").unwrap();
+        let (m_id, _) = c.find_element("M1").unwrap();
+        c.set_value(rd_id, rd2 * 1e3);
+        c.set_value(vg_id, vg2);
+        c.set_device_geometry(m_id, w2 * 1e-6, 0.5e-6);
+        let retuned = dc_operating_point_with(&mut ws, &c, &DcOptions::default()).unwrap();
+        // Reference: rebuild the netlist at the second parameter set.
+        let c_ref = build(rd2, vg2, w2);
+        let rebuilt = dc_operating_point(&c_ref, &DcOptions::default()).unwrap();
+        prop_assert_eq!(retuned.voltages(), rebuilt.voltages());
+        prop_assert_eq!(c.elements(), c_ref.elements());
     }
 }

@@ -46,6 +46,14 @@ pub enum EvalOutcome {
 pub trait Evaluator {
     /// Evaluates the candidate.
     fn evaluate(&self, x: &[f64]) -> EvalOutcome;
+
+    /// Phase hint from the optimizer: `true` while a **local** search
+    /// (Nelder–Mead polish) probes tightly clustered candidates, where a
+    /// simulation-backed evaluator may warm-start from the previous
+    /// solution; `false` during global exploration, where evaluations must
+    /// be independent of history. Default: ignored (analytic evaluators
+    /// have no state to reuse).
+    fn set_local_phase(&self, _local: bool) {}
 }
 
 impl<F> Evaluator for F

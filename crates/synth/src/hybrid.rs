@@ -6,15 +6,29 @@
 //! ([`adc_sfg::nettf`]) for low-frequency gain, unity-gain frequency and
 //! phase margin. "Combining these approaches has the advantage of high
 //! simulation accuracy and fast equation evaluation."
+//!
+//! The evaluator holds one persistent testbench plus DC/TF workspaces:
+//! when the testbench carries a [`BenchTuner`], each candidate is applied
+//! by **in-place retuning** (no netlist rebuild), and the DC Newton loop
+//! and TF sampling run entirely in preallocated buffers — the steady-state
+//! evaluation path is allocation-free.
 
 use crate::evaluator::{EvalOutcome, Evaluator, Performance};
-use adc_sfg::nettf::{extract_tf, NetTfOptions};
-use adc_spice::dc::{dc_operating_point, DcOptions};
+use adc_sfg::nettf::{extract_tf_with, NetTfOptions, NetTfWorkspace};
+use adc_spice::dc::{dc_operating_point_warm, dc_operating_point_with, DcOptions, DcWorkspace};
 use adc_spice::mosfet::Region;
 use adc_spice::netlist::{Circuit, NodeId};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// In-place retuning recipe for a testbench: writes the candidate vector
+/// `x` into the circuit's element values ([`Circuit::set_value`],
+/// [`Circuit::set_device_geometry`]) without changing its topology.
+pub type BenchTuner = Rc<dyn Fn(&mut Circuit, &[f64])>;
 
 /// A simulate-ready testbench for one candidate sizing.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct BenchSetup {
     /// Netlist (amplifier + bias + load).
     pub circuit: Circuit,
@@ -24,6 +38,52 @@ pub struct BenchSetup {
     pub supply: String,
     /// MOSFET names that must sit in saturation.
     pub devices: Vec<String>,
+    /// Optional in-place retuning recipe; testbenches without one are
+    /// rebuilt per candidate (the pre-workspace behaviour).
+    pub tuner: Option<BenchTuner>,
+}
+
+impl BenchSetup {
+    /// Creates a testbench without a retuning recipe.
+    pub fn new(circuit: Circuit, output: NodeId, supply: String, devices: Vec<String>) -> Self {
+        BenchSetup {
+            circuit,
+            output,
+            supply,
+            devices,
+            tuner: None,
+        }
+    }
+
+    /// Attaches an in-place retuning recipe.
+    pub fn with_tuner(mut self, tuner: BenchTuner) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
+    /// Applies candidate `x` by mutating the persistent netlist in place.
+    /// Returns `false` when no tuner is attached (caller should rebuild).
+    pub fn retune(&mut self, x: &[f64]) -> bool {
+        match &self.tuner {
+            Some(t) => {
+                t(&mut self.circuit, x);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl fmt::Debug for BenchSetup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchSetup")
+            .field("circuit", &self.circuit)
+            .field("output", &self.output)
+            .field("supply", &self.supply)
+            .field("devices", &self.devices)
+            .field("tuner", &self.tuner.is_some())
+            .finish()
+    }
 }
 
 /// Options for the hybrid evaluation.
@@ -38,6 +98,13 @@ pub struct HybridOptions {
     pub nettf: NetTfOptions,
     /// DC solver options.
     pub dc: DcOptions,
+    /// Allow the DC solve to **warm-start** from the previous candidate's
+    /// bias point during the optimizer's local phase (see
+    /// [`Evaluator::set_local_phase`]). During global exploration the
+    /// solver always cold-starts, so annealing trajectories are identical
+    /// to the rebuild-everything path. Disable to force cold starts
+    /// everywhere.
+    pub warm_start_local: bool,
 }
 
 impl Default for HybridOptions {
@@ -47,8 +114,19 @@ impl Default for HybridOptions {
             f_max: 50e9,
             nettf: NetTfOptions::default(),
             dc: DcOptions::default(),
+            warm_start_local: true,
         }
     }
+}
+
+/// Persistent per-evaluator state: the testbench built by the first
+/// evaluation plus the simulation workspaces reused by every subsequent
+/// one.
+#[derive(Default)]
+struct EvalState {
+    bench: Option<BenchSetup>,
+    dc: Option<DcWorkspace>,
+    tf: NetTfWorkspace,
 }
 
 /// Evaluator wrapping a testbench builder closure.
@@ -56,9 +134,17 @@ impl Default for HybridOptions {
 /// Produced metrics: `power` (W), `a0` (linear low-frequency gain),
 /// `unity_freq` (Hz, 0 when no crossing), `pm` (degrees, 0 when no
 /// crossing), `saturated` (fraction of devices in saturation).
+///
+/// The first evaluation builds the testbench; if it carries a
+/// [`BenchTuner`], later candidates are applied by in-place retuning and
+/// the whole evaluation reuses preallocated simulation workspaces.
+/// Without a tuner the testbench is rebuilt per candidate, but the
+/// workspaces still persist (same topology → same buffers).
 pub struct HybridOtaEvaluator<F> {
     build: F,
     opts: HybridOptions,
+    state: RefCell<EvalState>,
+    local_phase: std::cell::Cell<bool>,
 }
 
 impl<F> HybridOtaEvaluator<F>
@@ -67,7 +153,12 @@ where
 {
     /// Creates the evaluator from a testbench builder.
     pub fn new(build: F, opts: HybridOptions) -> Self {
-        HybridOtaEvaluator { build, opts }
+        HybridOtaEvaluator {
+            build,
+            opts,
+            state: RefCell::new(EvalState::default()),
+            local_phase: std::cell::Cell::new(false),
+        }
     }
 }
 
@@ -75,10 +166,40 @@ impl<F> Evaluator for HybridOtaEvaluator<F>
 where
     F: Fn(&[f64]) -> BenchSetup,
 {
+    fn set_local_phase(&self, local: bool) {
+        self.local_phase.set(local);
+    }
+
     fn evaluate(&self, x: &[f64]) -> EvalOutcome {
-        let bench = (self.build)(x);
-        // Leg 1: DC simulation.
-        let op = match dc_operating_point(&bench.circuit, &self.opts.dc) {
+        let mut state = self.state.borrow_mut();
+        let state = &mut *state;
+        // Materialize the candidate: in-place retune of the persistent
+        // testbench when possible, full rebuild otherwise.
+        let retuned = match state.bench.as_mut() {
+            Some(b) => b.retune(x),
+            None => false,
+        };
+        if !retuned {
+            state.bench = Some((self.build)(x));
+        }
+        let bench = state.bench.as_ref().expect("bench materialized above");
+        // Leg 1: DC simulation (persistent workspace).
+        if state.dc.is_none() {
+            match DcWorkspace::new(&bench.circuit) {
+                Ok(ws) => state.dc = Some(ws),
+                Err(e) => return EvalOutcome::Failed(format!("DC: {e}")),
+            }
+        }
+        let dc_ws = state.dc.as_mut().expect("workspace created above");
+        // Warm-start only in the optimizer's local phase: tightly clustered
+        // candidates track the continuously deformed bias point, while the
+        // global search stays on the history-free cold ladder.
+        let solved = if self.opts.warm_start_local && self.local_phase.get() {
+            dc_operating_point_warm(dc_ws, &bench.circuit, &self.opts.dc)
+        } else {
+            dc_operating_point_with(dc_ws, &bench.circuit, &self.opts.dc)
+        };
+        let op = match solved {
             Ok(op) => op,
             Err(e) => return EvalOutcome::Failed(format!("DC: {e}")),
         };
@@ -94,8 +215,15 @@ where
                 None => return EvalOutcome::Failed(format!("no such device {name}")),
             }
         }
-        // Leg 2: equation-based TF analysis on the linearized circuit.
-        let tf = match extract_tf(&bench.circuit, &op, bench.output, &self.opts.nettf) {
+        // Leg 2: equation-based TF analysis on the linearized circuit
+        // (persistent workspace; base restamped at this OP).
+        let tf = match extract_tf_with(
+            &mut state.tf,
+            &bench.circuit,
+            &op,
+            bench.output,
+            &self.opts.nettf,
+        ) {
             Ok(tf) => tf.cancel_common_roots(1e-5),
             Err(e) => return EvalOutcome::Failed(format!("TF: {e}")),
         };
@@ -153,11 +281,43 @@ mod tests {
         c.add_vccs("GM", Circuit::GROUND, out, vin, Circuit::GROUND, -gm);
         c.add_resistor("RO", out, Circuit::GROUND, 100e3);
         c.add_capacitor("CL", out, Circuit::GROUND, 1e-12);
-        BenchSetup {
-            circuit: c,
-            output: out,
-            supply: "VDD".into(),
-            devices: vec![],
+        BenchSetup::new(c, out, "VDD".into(), vec![])
+    }
+
+    /// Tuner matching [`macro_bench`]: writes the same derived values into
+    /// the persistent netlist that a rebuild would produce.
+    fn macro_tuner() -> BenchTuner {
+        Rc::new(|ckt: &mut Circuit, x: &[f64]| {
+            let gm = x[0];
+            let (rb, _) = ckt.find_element("RBIAS").unwrap();
+            ckt.set_value(rb, 3.3 / (gm * 0.25 * 3.3).max(1e-12) * 3.3);
+            let (g, _) = ckt.find_element("GM").unwrap();
+            ckt.set_value(g, -gm);
+        })
+    }
+
+    /// The in-place retuning fast path must match rebuilding the testbench
+    /// for every candidate (to within the DC solver tolerance — the
+    /// persistent evaluator warm-starts Newton from the previous bias
+    /// point).
+    #[test]
+    fn tuner_path_matches_rebuild() {
+        let with_tuner = |x: &[f64]| macro_bench(x).with_tuner(macro_tuner());
+        let tuned = HybridOtaEvaluator::new(with_tuner, HybridOptions::default());
+        for x in [[1e-3], [2e-3], [0.5e-3], [1e-3]] {
+            let fresh = HybridOtaEvaluator::new(macro_bench, HybridOptions::default());
+            let (a, b) = match (tuned.evaluate(&x), fresh.evaluate(&x)) {
+                (EvalOutcome::Ok(a), EvalOutcome::Ok(b)) => (a, b),
+                (a, b) => panic!("unexpected failure: {a:?} vs {b:?}"),
+            };
+            for (name, va) in a.iter() {
+                let vb = b.get(name).unwrap();
+                let tol = 1e-6 * vb.abs().max(1e-12);
+                assert!(
+                    (va - vb).abs() <= tol,
+                    "x = {x:?}, {name}: retuned {va} vs rebuilt {vb}"
+                );
+            }
         }
     }
 
@@ -205,12 +365,7 @@ mod tests {
                 w,
                 0.5e-6,
             );
-            BenchSetup {
-                circuit: c,
-                output: d,
-                supply: "VDD".into(),
-                devices: vec!["M1".into()],
-            }
+            BenchSetup::new(c, d, "VDD".into(), vec!["M1".into()])
         };
         let ev = HybridOtaEvaluator::new(build, HybridOptions::default());
         match ev.evaluate(&[5e-6]) {

@@ -118,8 +118,14 @@ impl Synthesizer {
             let out = evaluator.evaluate(&self.space.denormalize(u));
             outcome_cost(&out, &self.constraints, &self.objective, obj_ref)
         };
+        // The polish probes a tight cluster of candidates: let
+        // simulation-backed evaluators warm-start between them.
+        evaluator.set_local_phase(true);
         let (u_pol, _) = nelder_mead(cost, &sa.best_u, 0.03, nm_iterations);
-        // Re-evaluate the polished point for its true performance; keep the
+        evaluator.set_local_phase(false);
+        // Re-evaluate the polished point for its true performance on the
+        // history-free cold path (the accepted result must not depend on
+        // where the polish happened to leave the solver state); keep the
         // annealing point if polishing somehow regressed.
         let out_pol = evaluator.evaluate(&self.space.denormalize(&u_pol));
         evals.set(evals.get() + 1);
