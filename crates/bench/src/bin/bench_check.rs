@@ -1,0 +1,185 @@
+//! Benchmark regression gate: compares a freshly produced `BENCH_EVAL.json`
+//! against the committed `BENCH_BASELINE.json` and fails (exit code 1) when
+//! any metric's throughput regressed by more than the allowed fraction.
+//!
+//! Prints a per-metric delta table in GitHub-flavored markdown so CI can
+//! append it to the job summary:
+//!
+//! ```text
+//! cargo run --release -p adc-bench --bin bench_check \
+//!     [BENCH_BASELINE.json [BENCH_EVAL.json]]
+//! ```
+//!
+//! Metrics present in only one of the two files are reported but never
+//! gate (so adding a new benchmark row doesn't require regenerating the
+//! baseline on the spot). The baseline is regenerated deliberately — run
+//! `bench_eval` on a quiet machine and commit the refreshed numbers
+//! whenever a PR moves throughput on purpose.
+
+use std::process::ExitCode;
+
+/// Largest tolerated fractional throughput drop per metric (CI runners are
+/// noisy; the trajectory in EXPERIMENTS.md tracks the finer grain).
+/// Override with `BENCH_CHECK_MAX_REGRESSION` (a fraction, e.g. `0.5`) —
+/// the baseline records absolute evals/s, so a slower runner *class* than
+/// the one that produced it needs either a refreshed baseline or a wider
+/// gate.
+const MAX_REGRESSION: f64 = 0.30;
+
+/// Resolves the gate width: env override or [`MAX_REGRESSION`].
+fn max_regression() -> f64 {
+    std::env::var("BENCH_CHECK_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| (0.0..1.0).contains(v))
+        .unwrap_or(MAX_REGRESSION)
+}
+
+/// One `"name": { "evals_per_sec": X, "evals": N }` row of the report.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    name: String,
+    evals_per_sec: f64,
+}
+
+/// Parses the flat single-object JSON emitted by `bench_eval`. Not a
+/// general JSON parser — it reads exactly the format this workspace
+/// writes, keeping the gate dependency-free.
+fn parse_report(text: &str) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.contains("evals_per_sec") {
+            continue;
+        }
+        let name = line
+            .split('"')
+            .nth(1)
+            .ok_or_else(|| format!("malformed row: {line}"))?
+            .to_string();
+        let after = line
+            .split("\"evals_per_sec\":")
+            .nth(1)
+            .ok_or_else(|| format!("malformed row: {line}"))?;
+        let num: String = after
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| {
+                c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E' || *c == '+'
+            })
+            .collect();
+        let evals_per_sec: f64 = num
+            .parse()
+            .map_err(|e| format!("bad number {num:?} in row {name}: {e}"))?;
+        rows.push(Row {
+            name,
+            evals_per_sec,
+        });
+    }
+    if rows.is_empty() {
+        return Err("no metrics found".into());
+    }
+    Ok(rows)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_BASELINE.json".into());
+    let current_path = args.next().unwrap_or_else(|| "BENCH_EVAL.json".into());
+
+    let read = |path: &str| -> Result<Vec<Row>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_report(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (read(&baseline_path), read(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("bench_check: {e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let max_regression = max_regression();
+    println!(
+        "### Evaluator-throughput regression gate (≤ {:.0} % drop allowed)",
+        max_regression * 100.0
+    );
+    println!();
+    println!("| metric | baseline (evals/s) | current (evals/s) | delta | gate |");
+    println!("|---|---:|---:|---:|---|");
+    let mut failed = Vec::new();
+    for b in &baseline {
+        let Some(c) = current.iter().find(|c| c.name == b.name) else {
+            println!(
+                "| `{}` | {:.0} | — | — | missing (ignored) |",
+                b.name, b.evals_per_sec
+            );
+            continue;
+        };
+        let delta = c.evals_per_sec / b.evals_per_sec - 1.0;
+        let ok = delta >= -max_regression;
+        println!(
+            "| `{}` | {:.0} | {:.0} | {:+.1} % | {} |",
+            b.name,
+            b.evals_per_sec,
+            c.evals_per_sec,
+            delta * 100.0,
+            if ok { "ok" } else { "**FAIL**" }
+        );
+        if !ok {
+            failed.push(b.name.clone());
+        }
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            println!(
+                "| `{}` | — | {:.0} | — | new (ignored) |",
+                c.name, c.evals_per_sec
+            );
+        }
+    }
+    println!();
+    if failed.is_empty() {
+        println!(
+            "All gated metrics within {:.0} % of baseline.",
+            max_regression * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "**Regression gate failed** for: {} (refresh `BENCH_BASELINE.json` only for intentional changes).",
+            failed.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "dc_solve": { "evals_per_sec": 3706.63, "evals": 5560 },
+  "hybrid_eval": { "evals_per_sec": 5085.74, "evals": 10172 }
+}
+"#;
+
+    #[test]
+    fn parses_bench_eval_format() {
+        let rows = parse_report(SAMPLE).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "dc_solve");
+        assert!((rows[0].evals_per_sec - 3706.63).abs() < 1e-9);
+        assert_eq!(rows[1].name, "hybrid_eval");
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("\"x\": { \"evals_per_sec\": nope }").is_err());
+    }
+}

@@ -3,9 +3,10 @@
 //! Numerical substrate for the pipelined-ADC topology-optimization
 //! reproduction: complex arithmetic, real/complex polynomials with robust
 //! root finding, dense linear algebra (LU with partial pivoting, real and
-//! complex), radix-2 FFT with spectral windows, explicit Runge-Kutta ODE
-//! integration, scalar root-finding/minimization, and small statistics
-//! helpers.
+//! complex), sparse CSR linear algebra (LU with a reusable symbolic
+//! factorization for MNA-shaped systems), radix-2 FFT with spectral
+//! windows, explicit Runge-Kutta ODE integration, scalar
+//! root-finding/minimization, and small statistics helpers.
 //!
 //! Everything here is written from scratch (no external math crates) so the
 //! higher layers — the circuit simulator, the DPI/SFG symbolic analysis and
@@ -32,6 +33,7 @@ pub mod ode;
 pub mod optimize1d;
 pub mod poly;
 pub mod roots;
+pub mod sparse;
 pub mod stats;
 
 pub use complex::Complex;

@@ -1,0 +1,942 @@
+//! Sparse linear algebra for MNA systems: compressed-sparse-row storage and
+//! LU factorization with a **reusable symbolic factorization**.
+//!
+//! OTA testbench matrices are ~90 % structural zeros, and the synthesis
+//! inner loop refactors the *same sparsity pattern* thousands of times (per
+//! Newton iteration, per TF sample). The work is therefore split the way
+//! production sparse SPICE engines split it:
+//!
+//! 1. [`Symbolic::analyze`] — once per circuit topology: a Markowitz
+//!    (minimum local fill) pivot ordering is chosen from the structure
+//!    alone, the elimination is simulated to predict all fill-in, and the
+//!    resulting factor pattern plus scatter maps are frozen.
+//! 2. [`SparseLu::factor_into`] / [`CSparseLu::factor_into`] — per value
+//!    change: a numeric refactorization that follows the frozen pattern
+//!    with **zero allocation and no pivot search**, mirroring the reuse
+//!    contract of the dense [`crate::linalg::Lu`] / [`crate::linalg::CLu`].
+//! 3. [`SparseLu::solve_into`] / [`CSparseLu::solve_into`] and
+//!    [`CSparseLu::det`] — in-place triangular solves and the determinant
+//!    from the product of pivots (the quantity the numeric TF extraction
+//!    samples).
+//!
+//! Static pivoting is safe here because MNA structural nonzeros are
+//! numerically nonzero in practice (conductance sums with a g_min floor on
+//! node diagonals, ±1 incidence entries on branch rows); a pivot that still
+//! underflows surfaces as [`NumericsError::SingularMatrix`] so callers can
+//! fall back to the dense partial-pivoting oracle.
+
+use crate::complex::Complex;
+use crate::linalg::{CMatrix, Matrix};
+use crate::{NumResult, NumericsError};
+use std::sync::Arc;
+
+/// Pivot magnitude below which a refactorization is declared singular
+/// (matches the dense LU threshold).
+const SINGULAR_TOL: f64 = 1e-300;
+
+/// Minimum dimension for the sparse path to pay for its indirection.
+const SPARSE_MIN_DIM: usize = 9;
+
+/// Maximum structural fill ratio (`nnz / dim²`) at which the sparse path is
+/// still expected to beat dense factorization.
+const SPARSE_MAX_FILL: f64 = 0.42;
+
+/// Whether a system of dimension `dim` with `nnz` structural nonzeros
+/// should take the sparse path. The dense path remains the oracle; this is
+/// a pure performance heuristic (tiny or nearly full matrices factor
+/// faster densely).
+#[must_use]
+pub fn prefer_sparse(dim: usize, nnz: usize) -> bool {
+    dim >= SPARSE_MIN_DIM && (nnz as f64) <= SPARSE_MAX_FILL * (dim * dim) as f64
+}
+
+/// Immutable sparsity pattern of a square matrix in CSR form, shared (via
+/// [`Arc`]) between the value arrays stamped per solve and the symbolic
+/// factorization computed once per topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrPattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl CsrPattern {
+    /// Builds a pattern from (possibly duplicated) `(row, col)` entries and
+    /// returns it together with the **slot map**: `slots[k]` is the
+    /// nonzero index that entry `k` accumulates into, so stamp routines can
+    /// write values through precomputed indices without any hashing.
+    ///
+    /// # Panics
+    /// Panics if any entry lies outside `n × n`.
+    pub fn from_entries(n: usize, entries: &[(usize, usize)]) -> (Arc<CsrPattern>, Vec<usize>) {
+        let mut per_row: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(r, c) in entries {
+            assert!(r < n && c < n, "entry ({r}, {c}) outside {n}×{n}");
+            per_row[r].push(c);
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0);
+        for cols in &mut per_row {
+            cols.sort_unstable();
+            cols.dedup();
+            col_idx.extend_from_slice(cols);
+            row_ptr.push(col_idx.len());
+        }
+        let pat = CsrPattern {
+            n,
+            row_ptr,
+            col_idx,
+        };
+        let slots = entries
+            .iter()
+            .map(|&(r, c)| pat.find(r, c).expect("entry present by construction"))
+            .collect();
+        (Arc::new(pat), slots)
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Structural fill ratio `nnz / dim²` (1.0 for an empty pattern).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.n == 0 {
+            1.0
+        } else {
+            self.nnz() as f64 / (self.n * self.n) as f64
+        }
+    }
+
+    /// Nonzero index of `(r, c)`, if structurally present.
+    pub fn find(&self, r: usize, c: usize) -> Option<usize> {
+        let row = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+        row.binary_search(&c).ok().map(|p| self.row_ptr[r] + p)
+    }
+
+    /// Column indices of row `r`.
+    fn row_cols(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+}
+
+/// Sparse real matrix: shared [`CsrPattern`] plus a value per nonzero.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    pattern: Arc<CsrPattern>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Zero matrix over a pattern.
+    pub fn zeros(pattern: Arc<CsrPattern>) -> Self {
+        let n = pattern.nnz();
+        CsrMatrix {
+            pattern,
+            vals: vec![0.0; n],
+        }
+    }
+
+    /// The shared sparsity pattern.
+    pub fn pattern(&self) -> &Arc<CsrPattern> {
+        &self.pattern
+    }
+
+    /// The value array, aligned with the pattern's nonzeros.
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable value array (stamp through slot indices from
+    /// [`CsrPattern::from_entries`]).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Resets all values to zero, keeping the pattern.
+    pub fn clear(&mut self) {
+        self.vals.fill(0.0);
+    }
+
+    /// Accumulates `v` into nonzero slot `slot`.
+    #[inline]
+    pub fn add_slot(&mut self, slot: usize, v: f64) {
+        self.vals[slot] += v;
+    }
+
+    /// Matrix–vector product into a caller-owned buffer (no allocation).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        let p = &self.pattern;
+        assert_eq!(x.len(), p.n, "dimension mismatch");
+        assert_eq!(y.len(), p.n, "dimension mismatch");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (idx, &c) in p.row_cols(r).iter().enumerate() {
+                s += self.vals[p.row_ptr[r] + idx] * x[c];
+            }
+            *yr = s;
+        }
+    }
+
+    /// Densifies to a [`Matrix`] (oracle comparisons in tests).
+    pub fn to_dense(&self) -> Matrix {
+        let p = &self.pattern;
+        let mut m = Matrix::zeros(p.n, p.n);
+        for r in 0..p.n {
+            for (idx, &c) in p.row_cols(r).iter().enumerate() {
+                m[(r, c)] = self.vals[p.row_ptr[r] + idx];
+            }
+        }
+        m
+    }
+}
+
+/// Sparse complex matrix: shared [`CsrPattern`] plus a value per nonzero.
+#[derive(Debug, Clone)]
+pub struct CCsrMatrix {
+    pattern: Arc<CsrPattern>,
+    vals: Vec<Complex>,
+}
+
+impl CCsrMatrix {
+    /// Zero matrix over a pattern.
+    pub fn zeros(pattern: Arc<CsrPattern>) -> Self {
+        let n = pattern.nnz();
+        CCsrMatrix {
+            pattern,
+            vals: vec![Complex::ZERO; n],
+        }
+    }
+
+    /// The shared sparsity pattern.
+    pub fn pattern(&self) -> &Arc<CsrPattern> {
+        &self.pattern
+    }
+
+    /// The value array, aligned with the pattern's nonzeros.
+    pub fn values(&self) -> &[Complex] {
+        &self.vals
+    }
+
+    /// Mutable value array (stamp through slot indices from
+    /// [`CsrPattern::from_entries`]).
+    pub fn values_mut(&mut self) -> &mut [Complex] {
+        &mut self.vals
+    }
+
+    /// Resets all values to zero, keeping the pattern.
+    pub fn clear(&mut self) {
+        self.vals.fill(Complex::ZERO);
+    }
+
+    /// Accumulates `v` into nonzero slot `slot`.
+    #[inline]
+    pub fn add_slot(&mut self, slot: usize, v: Complex) {
+        self.vals[slot] += v;
+    }
+
+    /// Densifies to a [`CMatrix`] (oracle comparisons in tests).
+    pub fn to_dense(&self) -> CMatrix {
+        let p = &self.pattern;
+        let mut m = CMatrix::zeros(p.n, p.n);
+        for r in 0..p.n {
+            for (idx, &c) in p.row_cols(r).iter().enumerate() {
+                m[(r, c)] = self.vals[p.row_ptr[r] + idx];
+            }
+        }
+        m
+    }
+}
+
+/// Symbolic LU factorization of a [`CsrPattern`]: pivot ordering, predicted
+/// fill pattern and scatter maps, computed **once per topology** and shared
+/// by any number of numeric refactorizations (real or complex).
+#[derive(Debug)]
+pub struct Symbolic {
+    n: usize,
+    /// Permuted row `i` is original row `row_perm[i]`.
+    row_perm: Vec<usize>,
+    /// Permuted column `j` is original column `col_perm[j]`.
+    col_perm: Vec<usize>,
+    /// Parity of the combined row/column permutation (±1), folded into the
+    /// determinant.
+    sign: f64,
+    /// Filled factor pattern (L strictly below + U incl. diagonal), CSR by
+    /// permuted row, columns ascending.
+    f_row_ptr: Vec<usize>,
+    f_col: Vec<usize>,
+    /// Absolute index (into `f_col`/factor values) of each row's diagonal.
+    f_diag: Vec<usize>,
+    /// Input nonzero `k` scatters into factor position `scatter[k]`.
+    scatter: Vec<usize>,
+    /// The analyzed input pattern (refactor sanity checks).
+    pattern: Arc<CsrPattern>,
+}
+
+impl Symbolic {
+    /// Chooses a fill-reducing pivot order for `pattern` by structural
+    /// Markowitz selection (minimize `(r−1)·(c−1)` over remaining
+    /// structural nonzeros, preferring diagonal pivots on ties — node
+    /// diagonals carry conductance sums and are numerically the safest),
+    /// simulates the elimination to predict fill-in, and freezes the factor
+    /// pattern plus scatter maps.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::SingularMatrix`] if the pattern is
+    /// structurally singular (some elimination step has no candidate
+    /// pivot).
+    pub fn analyze(pattern: &Arc<CsrPattern>) -> NumResult<Arc<Symbolic>> {
+        let n = pattern.dim();
+        // Dense boolean simulation of the elimination — run once per
+        // topology, so the O(n²)-per-step scans are irrelevant next to the
+        // factorizations they accelerate.
+        let mut live = vec![false; n * n];
+        for r in 0..n {
+            for &c in pattern.row_cols(r) {
+                live[r * n + c] = true;
+            }
+        }
+        let mut row_alive = vec![true; n];
+        let mut col_alive = vec![true; n];
+        let mut row_perm = Vec::with_capacity(n);
+        let mut col_perm = Vec::with_capacity(n);
+        let mut row_cnt = vec![0usize; n];
+        let mut col_cnt = vec![0usize; n];
+        for step in 0..n {
+            for cnt in row_cnt.iter_mut() {
+                *cnt = 0;
+            }
+            for cnt in col_cnt.iter_mut() {
+                *cnt = 0;
+            }
+            for r in 0..n {
+                if !row_alive[r] {
+                    continue;
+                }
+                for c in 0..n {
+                    if col_alive[c] && live[r * n + c] {
+                        row_cnt[r] += 1;
+                        col_cnt[c] += 1;
+                    }
+                }
+            }
+            let mut best: Option<(usize, usize, usize)> = None;
+            for r in 0..n {
+                if !row_alive[r] {
+                    continue;
+                }
+                for c in 0..n {
+                    if !col_alive[c] || !live[r * n + c] {
+                        continue;
+                    }
+                    let cost = (row_cnt[r] - 1) * (col_cnt[c] - 1);
+                    let better = match best {
+                        None => true,
+                        Some((bcost, br, bc)) => {
+                            cost < bcost
+                                || (cost == bcost && r == c && br != bc)
+                                || (cost == bcost && (r == c) == (br == bc) && (r, c) < (br, bc))
+                        }
+                    };
+                    if better {
+                        best = Some((cost, r, c));
+                    }
+                }
+            }
+            let Some((_, pr, pc)) = best else {
+                return Err(NumericsError::SingularMatrix { step, pivot: 0.0 });
+            };
+            // Predict fill: eliminating (pr, pc) links every remaining row
+            // with an entry in column pc to every remaining column with an
+            // entry in row pr.
+            for r in 0..n {
+                if !row_alive[r] || r == pr || !live[r * n + pc] {
+                    continue;
+                }
+                for c in 0..n {
+                    if col_alive[c] && c != pc && live[pr * n + c] {
+                        live[r * n + c] = true;
+                    }
+                }
+            }
+            row_alive[pr] = false;
+            col_alive[pc] = false;
+            row_perm.push(pr);
+            col_perm.push(pc);
+        }
+
+        let mut row_perm_inv = vec![0usize; n];
+        let mut col_perm_inv = vec![0usize; n];
+        for (i, &pr) in row_perm.iter().enumerate() {
+            row_perm_inv[pr] = i;
+        }
+        for (j, &pc) in col_perm.iter().enumerate() {
+            col_perm_inv[pc] = j;
+        }
+
+        // Recompute the fill pattern in permuted coordinates: the same
+        // elimination, now as a plain no-pivot simulation.
+        let mut filled = vec![false; n * n];
+        for (i, &pr) in row_perm.iter().enumerate() {
+            for &c in pattern.row_cols(pr) {
+                filled[i * n + col_perm_inv[c]] = true;
+            }
+        }
+        for k in 0..n {
+            for i in (k + 1)..n {
+                if !filled[i * n + k] {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    if filled[k * n + j] {
+                        filled[i * n + j] = true;
+                    }
+                }
+            }
+        }
+
+        let mut f_row_ptr = Vec::with_capacity(n + 1);
+        let mut f_col = Vec::new();
+        let mut f_diag = vec![0usize; n];
+        f_row_ptr.push(0);
+        for i in 0..n {
+            for j in 0..n {
+                if filled[i * n + j] {
+                    if j == i {
+                        f_diag[i] = f_col.len();
+                    }
+                    f_col.push(j);
+                }
+            }
+            f_row_ptr.push(f_col.len());
+        }
+        for (i, &d) in f_diag.iter().enumerate() {
+            assert!(
+                f_col.get(d) == Some(&i),
+                "pivot ({i}, {i}) missing from the filled pattern"
+            );
+        }
+
+        // Scatter map: original nonzero k → factor position.
+        let mut scatter = Vec::with_capacity(pattern.nnz());
+        for (r, &pi) in row_perm_inv.iter().enumerate() {
+            for &c in pattern.row_cols(r) {
+                let (i, j) = (pi, col_perm_inv[c]);
+                let row = &f_col[f_row_ptr[i]..f_row_ptr[i + 1]];
+                let pos = row.binary_search(&j).expect("input entry inside fill");
+                scatter.push(f_row_ptr[i] + pos);
+            }
+        }
+
+        let sign = perm_sign(&row_perm) * perm_sign(&col_perm);
+        Ok(Arc::new(Symbolic {
+            n,
+            row_perm,
+            col_perm,
+            sign,
+            f_row_ptr,
+            f_col,
+            f_diag,
+            scatter,
+            pattern: Arc::clone(pattern),
+        }))
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Nonzeros in the factors (input nonzeros + predicted fill).
+    pub fn factor_nnz(&self) -> usize {
+        self.f_col.len()
+    }
+
+    /// The input pattern this analysis was computed for.
+    pub fn pattern(&self) -> &Arc<CsrPattern> {
+        &self.pattern
+    }
+}
+
+/// Parity (±1) of a permutation via cycle decomposition.
+fn perm_sign(perm: &[usize]) -> f64 {
+    let mut seen = vec![false; perm.len()];
+    let mut sign = 1.0;
+    for start in 0..perm.len() {
+        if seen[start] {
+            continue;
+        }
+        let mut len = 0usize;
+        let mut i = start;
+        while !seen[i] {
+            seen[i] = true;
+            i = perm[i];
+            len += 1;
+        }
+        if len % 2 == 0 {
+            sign = -sign;
+        }
+    }
+    sign
+}
+
+/// Scalar abstraction shared by the real and complex numeric kernels.
+trait Scalar:
+    Copy
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+{
+    const ZERO: Self;
+    fn mag(self) -> f64;
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    #[inline]
+    fn mag(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex {
+    const ZERO: Complex = Complex::ZERO;
+    #[inline]
+    fn mag(self) -> f64 {
+        self.norm()
+    }
+}
+
+/// Guards a refactorization: the matrix must live on the analyzed pattern
+/// (pointer fast path, structural equality fallback) or the scatter map
+/// would silently place values at wrong factor positions.
+fn assert_pattern_matches(pattern: &Arc<CsrPattern>, sym: &Symbolic) {
+    assert!(
+        Arc::ptr_eq(pattern, sym.pattern()) || pattern == sym.pattern(),
+        "matrix pattern differs from the analyzed pattern"
+    );
+}
+
+/// Numeric refactorization following the frozen symbolic pattern:
+/// up-looking row LU (Doolittle) with a dense scratch row, zero allocation,
+/// no pivot search.
+fn factor_core<T: Scalar>(
+    sym: &Symbolic,
+    avals: &[T],
+    fvals: &mut [T],
+    w: &mut [T],
+) -> NumResult<()> {
+    assert_eq!(avals.len(), sym.scatter.len(), "pattern mismatch");
+    fvals.fill(T::ZERO);
+    for (k, &v) in avals.iter().enumerate() {
+        fvals[sym.scatter[k]] += v;
+    }
+    for i in 0..sym.n {
+        let (start, end) = (sym.f_row_ptr[i], sym.f_row_ptr[i + 1]);
+        for pos in start..end {
+            w[sym.f_col[pos]] = fvals[pos];
+        }
+        // Eliminate against every finished row j < i in this row's pattern.
+        for pos in start..sym.f_diag[i] {
+            let j = sym.f_col[pos];
+            let f = w[j] / fvals[sym.f_diag[j]];
+            w[j] = f;
+            for q in (sym.f_diag[j] + 1)..sym.f_row_ptr[j + 1] {
+                w[sym.f_col[q]] -= f * fvals[q];
+            }
+        }
+        for pos in start..end {
+            fvals[pos] = w[sym.f_col[pos]];
+        }
+        let pivot = fvals[sym.f_diag[i]].mag();
+        if pivot < SINGULAR_TOL {
+            return Err(NumericsError::SingularMatrix { step: i, pivot });
+        }
+    }
+    Ok(())
+}
+
+/// Permuted forward/back substitution using the stored factors.
+fn solve_core<T: Scalar>(sym: &Symbolic, fvals: &[T], b: &[T], y: &mut [T], x: &mut [T]) {
+    assert_eq!(b.len(), sym.n, "dimension mismatch");
+    assert_eq!(x.len(), sym.n, "dimension mismatch");
+    // L y = P_r b (unit diagonal).
+    for i in 0..sym.n {
+        let mut s = b[sym.row_perm[i]];
+        for pos in sym.f_row_ptr[i]..sym.f_diag[i] {
+            s -= fvals[pos] * y[sym.f_col[pos]];
+        }
+        y[i] = s;
+    }
+    // U x' = y, then undo the column permutation.
+    for i in (0..sym.n).rev() {
+        let mut s = y[i];
+        for pos in (sym.f_diag[i] + 1)..sym.f_row_ptr[i + 1] {
+            s -= fvals[pos] * y[sym.f_col[pos]];
+        }
+        y[i] = s / fvals[sym.f_diag[i]];
+    }
+    for (j, &pc) in sym.col_perm.iter().enumerate() {
+        x[pc] = y[j];
+    }
+}
+
+/// Reusable sparse LU of a real matrix over a frozen [`Symbolic`] — the
+/// sparse sibling of [`crate::linalg::Lu`].
+///
+/// # Example
+/// ```
+/// use adc_numerics::sparse::{CsrMatrix, CsrPattern, SparseLu, Symbolic};
+/// // [[2, 1], [1, 3]] x = [3, 5]  ⇒  x = [0.8, 1.4]
+/// let (pat, slots) = CsrPattern::from_entries(2, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+/// let mut a = CsrMatrix::zeros(pat.clone());
+/// for (&s, v) in slots.iter().zip([2.0, 1.0, 1.0, 3.0]) {
+///     a.add_slot(s, v);
+/// }
+/// let sym = Symbolic::analyze(&pat).unwrap();
+/// let mut lu = SparseLu::new(sym);
+/// lu.factor_into(&a).unwrap();
+/// let mut x = [0.0; 2];
+/// lu.solve_into(&[3.0, 5.0], &mut x);
+/// assert!((x[0] - 0.8).abs() < 1e-12 && (x[1] - 1.4).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct SparseLu {
+    sym: Arc<Symbolic>,
+    fvals: Vec<f64>,
+    w: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Creates a numeric factorization workspace over a symbolic analysis.
+    pub fn new(sym: Arc<Symbolic>) -> Self {
+        let (nnz, n) = (sym.factor_nnz(), sym.dim());
+        SparseLu {
+            sym,
+            fvals: vec![0.0; nnz],
+            w: vec![0.0; n],
+            y: vec![0.0; n],
+        }
+    }
+
+    /// The shared symbolic factorization.
+    pub fn symbolic(&self) -> &Arc<Symbolic> {
+        &self.sym
+    }
+
+    /// Refactors `a` (same pattern as analyzed) into the frozen fill
+    /// pattern — no allocation, no pivot search.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot underflows
+    /// under the static ordering; callers fall back to dense partial
+    /// pivoting.
+    ///
+    /// # Panics
+    /// Panics if `a`'s pattern is not the pattern this factorization was
+    /// analyzed for (the scatter map is pattern-specific).
+    pub fn factor_into(&mut self, a: &CsrMatrix) -> NumResult<()> {
+        assert_pattern_matches(a.pattern(), &self.sym);
+        factor_core(&self.sym, a.values(), &mut self.fvals, &mut self.w)
+    }
+
+    /// Solves `A x = b` into a caller-owned buffer using the stored
+    /// factors (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` or `x.len()` differs from the dimension.
+    pub fn solve_into(&mut self, b: &[f64], x: &mut [f64]) {
+        let y = &mut self.y;
+        solve_core(&self.sym, &self.fvals, b, y, x);
+    }
+
+    /// Determinant from the product of pivots (permutation parity folded
+    /// in).
+    pub fn det(&self) -> f64 {
+        let mut d = self.sym.sign;
+        for i in 0..self.sym.n {
+            d *= self.fvals[self.sym.f_diag[i]];
+        }
+        d
+    }
+}
+
+/// Reusable sparse LU of a complex matrix over a frozen [`Symbolic`] — the
+/// sparse sibling of [`crate::linalg::CLu`]. One factorization serves both
+/// [`CSparseLu::det`] (TF-extraction sampling) and any number of solves.
+#[derive(Debug)]
+pub struct CSparseLu {
+    sym: Arc<Symbolic>,
+    fvals: Vec<Complex>,
+    w: Vec<Complex>,
+    y: Vec<Complex>,
+}
+
+impl CSparseLu {
+    /// Creates a numeric factorization workspace over a symbolic analysis.
+    pub fn new(sym: Arc<Symbolic>) -> Self {
+        let (nnz, n) = (sym.factor_nnz(), sym.dim());
+        CSparseLu {
+            sym,
+            fvals: vec![Complex::ZERO; nnz],
+            w: vec![Complex::ZERO; n],
+            y: vec![Complex::ZERO; n],
+        }
+    }
+
+    /// The shared symbolic factorization.
+    pub fn symbolic(&self) -> &Arc<Symbolic> {
+        &self.sym
+    }
+
+    /// Refactors `a` (same pattern as analyzed) into the frozen fill
+    /// pattern — no allocation, no pivot search.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot magnitude
+    /// underflows under the static ordering.
+    ///
+    /// # Panics
+    /// Panics if `a`'s pattern is not the pattern this factorization was
+    /// analyzed for (the scatter map is pattern-specific).
+    pub fn factor_into(&mut self, a: &CCsrMatrix) -> NumResult<()> {
+        assert_pattern_matches(a.pattern(), &self.sym);
+        factor_core(&self.sym, a.values(), &mut self.fvals, &mut self.w)
+    }
+
+    /// Solves `A x = b` into a caller-owned buffer using the stored
+    /// factors (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` or `x.len()` differs from the dimension.
+    pub fn solve_into(&mut self, b: &[Complex], x: &mut [Complex]) {
+        let y = &mut self.y;
+        solve_core(&self.sym, &self.fvals, b, y, x);
+    }
+
+    /// Determinant from the product of pivots (permutation parity folded
+    /// in).
+    pub fn det(&self) -> Complex {
+        let mut d = Complex::from_real(self.sym.sign);
+        for i in 0..self.sym.n {
+            d *= self.fvals[self.sym.f_diag[i]];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds pattern + matrix from dense-style triplets.
+    fn csr_from(n: usize, trips: &[(usize, usize, f64)]) -> (Arc<CsrPattern>, CsrMatrix) {
+        let entries: Vec<(usize, usize)> = trips.iter().map(|&(r, c, _)| (r, c)).collect();
+        let (pat, slots) = CsrPattern::from_entries(n, &entries);
+        let mut m = CsrMatrix::zeros(Arc::clone(&pat));
+        for (&slot, &(_, _, v)) in slots.iter().zip(trips) {
+            m.add_slot(slot, v);
+        }
+        (pat, m)
+    }
+
+    #[test]
+    fn pattern_dedups_and_maps_slots() {
+        let (pat, slots) = CsrPattern::from_entries(3, &[(0, 0), (0, 2), (0, 0), (2, 1)]);
+        assert_eq!(pat.nnz(), 3);
+        assert_eq!(slots[0], slots[2], "duplicate entries share a slot");
+        assert_eq!(pat.find(0, 2), Some(slots[1]));
+        assert_eq!(pat.find(1, 1), None);
+        assert!((pat.fill_ratio() - 3.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solve_matches_dense_small() {
+        let trips = [
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (0, 2, -1.0),
+            (1, 0, -3.0),
+            (1, 1, -1.0),
+            (1, 2, 2.0),
+            (2, 0, -2.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+        ];
+        let (pat, a) = csr_from(3, &trips);
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut lu = SparseLu::new(sym);
+        lu.factor_into(&a).unwrap();
+        let mut x = [0.0; 3];
+        lu.solve_into(&[8.0, -11.0, -3.0], &mut x);
+        let want = [2.0, 3.0, -1.0];
+        for (xi, wi) in x.iter().zip(want.iter()) {
+            assert!((xi - wi).abs() < 1e-12, "{x:?}");
+        }
+        let dense_det = a.to_dense().det();
+        assert!((lu.det() - dense_det).abs() < 1e-9 * dense_det.abs().max(1.0));
+    }
+
+    #[test]
+    fn zero_diagonal_handled_by_ordering() {
+        // MNA-style: branch row with structurally zero diagonal.
+        let trips = [(0, 0, 1e-3), (0, 1, 1.0), (1, 0, 1.0)];
+        let (pat, a) = csr_from(2, &trips);
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut lu = SparseLu::new(sym);
+        lu.factor_into(&a).unwrap();
+        // [[1e-3, 1], [1, 0]] x = [1, 2] ⇒ x = [2, 1 − 2e-3]
+        let mut x = [0.0; 2];
+        lu.solve_into(&[1.0, 2.0], &mut x);
+        assert!((x[0] - 2.0).abs() < 1e-12, "{x:?}");
+        assert!((x[1] - (1.0 - 2e-3)).abs() < 1e-12, "{x:?}");
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structurally_singular_rejected_at_analysis() {
+        let (pat, _slots) = CsrPattern::from_entries(2, &[(0, 0), (1, 0)]);
+        assert!(matches!(
+            Symbolic::analyze(&pat),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn numerically_singular_rejected_at_refactor() {
+        let trips = [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)];
+        let (pat, a) = csr_from(2, &trips);
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut lu = SparseLu::new(sym);
+        assert!(matches!(
+            lu.factor_into(&a),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_reuses_symbolic_and_buffers() {
+        let trips = [(0, 0, 4.0), (0, 1, 3.0), (1, 0, 6.0), (1, 1, 3.0)];
+        let (pat, mut a) = csr_from(2, &trips);
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut lu = SparseLu::new(Arc::clone(&sym));
+        for scale in [1.0, 2.0, 0.5] {
+            for v in a.values_mut() {
+                *v *= scale;
+            }
+            lu.factor_into(&a).unwrap();
+            let mut x = [0.0; 2];
+            lu.solve_into(&[10.0, 12.0], &mut x);
+            let dense = a.to_dense();
+            let back = dense.mul_vec(&x);
+            assert!((back[0] - 10.0).abs() < 1e-10 && (back[1] - 12.0).abs() < 1e-10);
+            assert!(Arc::ptr_eq(lu.symbolic(), &sym), "symbolic re-shared");
+        }
+        let _ = pat;
+    }
+
+    #[test]
+    fn complex_solve_and_det_match_dense() {
+        let entries = [(0, 0), (0, 1), (1, 0), (1, 1)];
+        let (pat, slots) = CsrPattern::from_entries(2, &entries);
+        let mut a = CCsrMatrix::zeros(Arc::clone(&pat));
+        let vals = [
+            Complex::new(2.0, 1.0),
+            Complex::new(0.0, -1.0),
+            Complex::new(1.0, 0.0),
+            Complex::new(3.0, 2.0),
+        ];
+        for (&s, &v) in slots.iter().zip(vals.iter()) {
+            a.add_slot(s, v);
+        }
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut lu = CSparseLu::new(sym);
+        lu.factor_into(&a).unwrap();
+        let b = [Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)];
+        let mut x = [Complex::ZERO; 2];
+        lu.solve_into(&b, &mut x);
+        let dense = a.to_dense();
+        for i in 0..2 {
+            let mut r = -b[i];
+            for j in 0..2 {
+                r += dense[(i, j)] * x[j];
+            }
+            assert!(r.norm() < 1e-13, "residual {r:?}");
+        }
+        assert!((lu.det() - dense.det()).norm() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let trips = [(0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0), (2, 2, -1.0)];
+        let (_pat, a) = csr_from(3, &trips);
+        let x = [1.0, -2.0, 0.5];
+        let mut y = [0.0; 3];
+        a.mul_vec_into(&x, &mut y);
+        assert_eq!(y, [-4.0, -5.0, -0.5]);
+    }
+
+    #[test]
+    fn prefer_sparse_heuristic() {
+        assert!(!prefer_sparse(4, 4), "tiny systems stay dense");
+        assert!(prefer_sparse(20, 80), "20% fill at dim 20 goes sparse");
+        assert!(!prefer_sparse(20, 300), "75% fill stays dense");
+    }
+
+    /// Larger MNA-shaped random system: tridiagonal + random couplings,
+    /// sparse result must match the dense oracle.
+    #[test]
+    fn random_mna_shape_matches_dense_oracle() {
+        let n = 24;
+        let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            trips.push((i, i, 1.0 + rnd()));
+            if i + 1 < n {
+                let g = 0.1 + rnd();
+                trips.push((i, i + 1, -g));
+                trips.push((i + 1, i, -g));
+            }
+        }
+        for _ in 0..n {
+            let (r, c) = ((rnd() * n as f64) as usize, (rnd() * n as f64) as usize);
+            trips.push((r.min(n - 1), c.min(n - 1), rnd() - 0.5));
+        }
+        let (pat, a) = csr_from(n, &trips);
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut lu = SparseLu::new(sym);
+        lu.factor_into(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut x = vec![0.0; n];
+        lu.solve_into(&b, &mut x);
+        let dense = a.to_dense();
+        let xd = dense.solve(&b).unwrap();
+        for (xs, xr) in x.iter().zip(xd.iter()) {
+            assert!((xs - xr).abs() <= 1e-9 * xr.abs().max(1.0), "{xs} vs {xr}");
+        }
+        let (ds, dd) = (lu.det(), dense.det());
+        assert!(
+            (ds - dd).abs() <= 1e-6 * dd.abs().max(1e-300),
+            "{ds} vs {dd}"
+        );
+    }
+}

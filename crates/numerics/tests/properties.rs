@@ -134,3 +134,139 @@ proptest! {
         prop_assert!((q - a).norm() < 1e-10 * (1.0 + a.norm()));
     }
 }
+
+/// Builds an MNA-shaped random sparse system: strictly diagonally bumped
+/// node block plus a few ±1 "branch" couplings with structurally zero
+/// diagonals, the exact shape the circuit simulator produces.
+fn random_mna_triplets(
+    n: usize,
+    branches: usize,
+    offdiag: &[(usize, usize, f64)],
+) -> Vec<(usize, usize, f64)> {
+    let nodes = n - branches;
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..nodes {
+        trips.push((i, i, 1.0)); // conductance floor
+    }
+    for (k, &(r, c, g)) in offdiag.iter().enumerate() {
+        let (r, c) = (r % nodes, c % nodes);
+        if r != c {
+            // Symmetric conductance stamp.
+            trips.push((r, r, g.abs()));
+            trips.push((c, c, g.abs()));
+            trips.push((r, c, -g.abs()));
+            trips.push((c, r, -g.abs()));
+        } else {
+            trips.push((r, r, g.abs() + 0.1 * k as f64));
+        }
+    }
+    for bidx in 0..branches {
+        let br = nodes + bidx;
+        let node = bidx % nodes;
+        trips.push((node, br, 1.0));
+        trips.push((br, node, 1.0));
+    }
+    trips
+}
+
+proptest! {
+    /// Sparse LU with the reusable symbolic factorization agrees with the
+    /// dense partial-pivoting oracle on solve and determinant across
+    /// random MNA-shaped systems.
+    #[test]
+    fn sparse_lu_matches_dense_oracle(
+        offdiag in proptest::collection::vec((0usize..12, 0usize..12, 0.1f64..10.0), 4..20),
+        branches in 1usize..4,
+        bvals in proptest::collection::vec(-2.0f64..2.0, 16),
+    ) {
+        use adc_numerics::sparse::{CsrMatrix, CsrPattern, SparseLu, Symbolic};
+        let n = 12 + branches;
+        let trips = random_mna_triplets(n, branches, &offdiag);
+        let entries: Vec<(usize, usize)> = trips.iter().map(|&(r, c, _)| (r, c)).collect();
+        let (pat, slots) = CsrPattern::from_entries(n, &entries);
+        let mut a = CsrMatrix::zeros(pat.clone());
+        for (&s, &(_, _, v)) in slots.iter().zip(trips.iter()) {
+            a.add_slot(s, v);
+        }
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut lu = SparseLu::new(sym);
+        lu.factor_into(&a).unwrap();
+        let b = &bvals[..n];
+        let mut x = vec![0.0; n];
+        lu.solve_into(b, &mut x);
+        let dense = a.to_dense();
+        let xd = dense.solve(b).unwrap();
+        for (xs, xr) in x.iter().zip(xd.iter()) {
+            prop_assert!((xs - xr).abs() <= 1e-9 * xr.abs().max(1.0), "{} vs {}", xs, xr);
+        }
+        let (ds, dd) = (lu.det(), dense.det());
+        prop_assert!((ds - dd).abs() <= 1e-8 * dd.abs().max(1e-300), "{} vs {}", ds, dd);
+    }
+
+    /// The complex sparse LU agrees with the dense complex oracle: same
+    /// pattern, complex values (the `g + s·C` shape TF sampling factors).
+    #[test]
+    fn complex_sparse_lu_matches_dense_oracle(
+        offdiag in proptest::collection::vec((0usize..10, 0usize..10, 0.1f64..10.0), 4..16),
+        omega in 0.01f64..100.0,
+        bvals in proptest::collection::vec(-2.0f64..2.0, 12),
+    ) {
+        use adc_numerics::sparse::{CCsrMatrix, CsrPattern, CSparseLu, Symbolic};
+        let branches = 2;
+        let n = 10 + branches;
+        let trips = random_mna_triplets(n, branches, &offdiag);
+        let entries: Vec<(usize, usize)> = trips.iter().map(|&(r, c, _)| (r, c)).collect();
+        let (pat, slots) = CsrPattern::from_entries(n, &entries);
+        let mut a = CCsrMatrix::zeros(pat.clone());
+        for (&s, &(_, _, v)) in slots.iter().zip(trips.iter()) {
+            // Real conductance plus jω·C-style imaginary part on diagonals.
+            a.add_slot(s, Complex::new(v, if v > 0.0 { omega * 1e-2 } else { 0.0 }));
+        }
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut lu = CSparseLu::new(sym);
+        lu.factor_into(&a).unwrap();
+        let b: Vec<Complex> = bvals[..n].iter().map(|&v| Complex::new(v, -v)).collect();
+        let mut x = vec![Complex::ZERO; n];
+        lu.solve_into(&b, &mut x);
+        let dense = a.to_dense();
+        let xd = dense.solve(&b).unwrap();
+        for (xs, xr) in x.iter().zip(xd.iter()) {
+            prop_assert!((*xs - *xr).norm() <= 1e-9 * xr.norm().max(1.0), "{:?} vs {:?}", xs, xr);
+        }
+        let (ds, dd) = (lu.det(), dense.det());
+        prop_assert!((ds - dd).norm() <= 1e-8 * dd.norm().max(1e-300), "{:?} vs {:?}", ds, dd);
+    }
+
+    /// Refactoring retuned values reuses the frozen symbolic factorization
+    /// (same `Arc`, no reallocation) and still matches the dense oracle.
+    #[test]
+    fn sparse_refactor_reuses_symbolic(
+        offdiag in proptest::collection::vec((0usize..8, 0usize..8, 0.1f64..10.0), 4..12),
+        scales in proptest::collection::vec(0.25f64..4.0, 3),
+    ) {
+        use adc_numerics::sparse::{CsrMatrix, CsrPattern, SparseLu, Symbolic};
+        use std::sync::Arc;
+        let n = 10;
+        let trips = random_mna_triplets(n, 2, &offdiag);
+        let entries: Vec<(usize, usize)> = trips.iter().map(|&(r, c, _)| (r, c)).collect();
+        let (pat, slots) = CsrPattern::from_entries(n, &entries);
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut lu = SparseLu::new(Arc::clone(&sym));
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        for &scale in &scales {
+            // "Retune": same pattern, rescaled conductances.
+            let mut a = CsrMatrix::zeros(pat.clone());
+            for (&s, &(_, _, v)) in slots.iter().zip(trips.iter()) {
+                a.add_slot(s, v * scale);
+            }
+            lu.factor_into(&a).unwrap();
+            prop_assert!(Arc::ptr_eq(lu.symbolic(), &sym), "symbolic must be reused");
+            let mut x = vec![0.0; n];
+            lu.solve_into(&b, &mut x);
+            let xd = a.to_dense().solve(&b).unwrap();
+            for (xs, xr) in x.iter().zip(xd.iter()) {
+                prop_assert!((xs - xr).abs() <= 1e-9 * xr.abs().max(1.0), "{} vs {}", xs, xr);
+            }
+        }
+    }
+}

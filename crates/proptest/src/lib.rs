@@ -79,6 +79,22 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(f64, usize, u64, u32, u16, u8, i64, i32, i16, i8);
 
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
 /// Boolean strategies.
 pub mod bool {
     use super::Strategy;
@@ -104,7 +120,7 @@ pub mod collection {
     use super::Strategy;
     use rand::rngs::StdRng;
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;
@@ -134,7 +150,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,

@@ -18,10 +18,9 @@ use crate::tf::Tf;
 use crate::{SfgError, SfgResult};
 use adc_numerics::complex::Complex;
 use adc_numerics::fft::fft_in_place;
-use adc_numerics::linalg::{CLu, CMatrix};
 use adc_numerics::poly::Poly;
-use adc_spice::mna::MnaMap;
-use adc_spice::netlist::{Circuit, Element, NodeId};
+use adc_spice::linearize::{ComplexMnaWorkspace, SmallSignal, SolverChoice};
+use adc_spice::netlist::{Circuit, NodeId};
 use adc_spice::op::OperatingPoint;
 
 /// Options for [`extract_tf`].
@@ -43,24 +42,21 @@ impl Default for NetTfOptions {
 }
 
 /// Reusable TF-extraction workspace: the circuit is linearized **once per
-/// operating point** into an s-independent base matrix plus a flat list of
-/// capacitive entries; each of the `m` sample frequencies memcpy's the base
-/// back, rewrites only the `s`-dependent entries, and a **single** LU
-/// factorization yields both `det Y(s)` (product of pivots) and the solve —
-/// where the allocating path paid two full eliminations per sample.
+/// operating point** through the shared [`SmallSignal`] linearizer in
+/// adc-spice (the same routine AC analysis stamps from, so the two can
+/// never desynchronize); each of the `m` sample frequencies replays only
+/// the `s`-dependent entries into the [`ComplexMnaWorkspace`] engine, and a
+/// **single** factorization yields both `det Y(s)` (product of pivots) and
+/// the solve. On OTA-sized testbenches the engine factors CSR-sparse with
+/// a symbolic factorization reused across every sample and every retuned
+/// candidate.
 ///
 /// Reused across evaluations of the same testbench (the synthesis inner
 /// loop), the matrices, factor buffers and sample vectors all persist.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct NetTfWorkspace {
-    map: Option<MnaMap>,
-    elem_count: usize,
-    base: CMatrix,
-    /// `s`-dependent entries: `(row, col, ±C)` accumulated as `s·C`.
-    cap_entries: Vec<(usize, usize, f64)>,
-    b: Vec<Complex>,
-    y: CMatrix,
-    lu: CLu,
+    ss: SmallSignal,
+    engine: ComplexMnaWorkspace,
     x: Vec<Complex>,
     num_samples: Vec<Complex>,
     den_samples: Vec<Complex>,
@@ -76,157 +72,40 @@ impl NetTfWorkspace {
         NetTfWorkspace::default()
     }
 
+    /// Overrides the automatic sparse/dense engine selection
+    /// (tests/diagnostics; production uses [`SolverChoice::Auto`]).
+    pub fn set_solver(&mut self, choice: SolverChoice) {
+        self.engine.set_solver(choice);
+    }
+
+    /// Whether the complex MNA engine currently factors sparse.
+    pub fn is_sparse(&self) -> bool {
+        self.engine.is_sparse()
+    }
+
+    /// Number of symbolic analyses performed so far (stays constant across
+    /// value retuning of one topology — the reuse the synthesis loop relies
+    /// on).
+    pub fn symbolic_analyses(&self) -> usize {
+        self.engine.symbolic_analyses()
+    }
+
     /// (Re)binds the workspace to `circuit` linearized at `op`: rebuilds
-    /// the index map only when the topology changed, then restamps the
-    /// s-independent base and the capacitive entry list in place.
+    /// the index map and factor pattern only when the topology changed,
+    /// then restamps the s-independent base and the capacitive entry list
+    /// in place. No g_min is added — it would perturb the sampled
+    /// determinant.
     fn bind(&mut self, circuit: &Circuit, op: &OperatingPoint) -> SfgResult<()> {
-        let topo_changed = match &self.map {
-            Some(m) => self.elem_count != circuit.elements().len() || !m.matches(circuit),
-            None => true,
-        };
-        if topo_changed {
-            let map = MnaMap::new(circuit);
-            let dim = map.dim();
-            self.base = CMatrix::zeros(dim, dim);
-            self.y = CMatrix::zeros(dim, dim);
-            self.lu = CLu::with_dim(dim);
-            self.b = vec![Complex::ZERO; dim];
-            self.x = vec![Complex::ZERO; dim];
-            self.elem_count = circuit.elements().len();
-            self.map = Some(map);
-        } else {
-            self.base.clear();
-            self.b.fill(Complex::ZERO);
-        }
-        self.cap_entries.clear();
-        let map = self.map.as_ref().expect("map bound above");
-        let base = &mut self.base;
-        let b = &mut self.b;
-        let caps = &mut self.cap_entries;
-
-        let adm = |y: &mut CMatrix, a: NodeId, bn: NodeId, g: f64| {
-            let (ra, rb) = (map.node_row(a), map.node_row(bn));
-            if let Some(i) = ra {
-                y.add_at(i, i, Complex::from_real(g));
-            }
-            if let Some(j) = rb {
-                y.add_at(j, j, Complex::from_real(g));
-            }
-            if let (Some(i), Some(j)) = (ra, rb) {
-                y.add_at(i, j, Complex::from_real(-g));
-                y.add_at(j, i, Complex::from_real(-g));
-            }
-        };
-        let cap_adm = |list: &mut Vec<(usize, usize, f64)>, a: NodeId, bn: NodeId, c: f64| {
-            let (ra, rb) = (map.node_row(a), map.node_row(bn));
-            if let Some(i) = ra {
-                list.push((i, i, c));
-            }
-            if let Some(j) = rb {
-                list.push((j, j, c));
-            }
-            if let (Some(i), Some(j)) = (ra, rb) {
-                list.push((i, j, -c));
-                list.push((j, i, -c));
-            }
-        };
-        let gm_stamp = |y: &mut CMatrix, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64| {
-            for (out, so) in [(map.node_row(p), 1.0), (map.node_row(n), -1.0)] {
-                let Some(row) = out else { continue };
-                for (ctrl, sc) in [(map.node_row(cp), 1.0), (map.node_row(cn), -1.0)] {
-                    if let Some(col) = ctrl {
-                        y.add_at(row, col, Complex::from_real(so * sc * gm));
-                    }
-                }
-            }
-        };
-
-        for (idx, e) in circuit.elements().iter().enumerate() {
-            match e {
-                Element::Resistor { a, b: bn, ohms, .. } => {
-                    adm(base, *a, *bn, 1.0 / ohms);
-                }
-                Element::Capacitor {
-                    a, b: bn, farads, ..
-                } => {
-                    cap_adm(caps, *a, *bn, *farads);
-                }
-                Element::Switch {
-                    a,
-                    b: bn,
-                    ron,
-                    roff,
-                    dc_closed,
-                    ..
-                } => {
-                    let g = 1.0 / if *dc_closed { *ron } else { *roff };
-                    adm(base, *a, *bn, g);
-                }
-                Element::ISource { p, n, ac_mag, .. } => {
-                    if let Some(r) = map.node_row(*p) {
-                        b[r] -= Complex::from_real(*ac_mag);
-                    }
-                    if let Some(r) = map.node_row(*n) {
-                        b[r] += Complex::from_real(*ac_mag);
-                    }
-                }
-                Element::VSource { p, n, ac_mag, .. } => {
-                    let br = map.branch_row(idx);
-                    if let Some(r) = map.node_row(*p) {
-                        base.add_at(r, br, Complex::ONE);
-                        base.add_at(br, r, Complex::ONE);
-                    }
-                    if let Some(r) = map.node_row(*n) {
-                        base.add_at(r, br, -Complex::ONE);
-                        base.add_at(br, r, -Complex::ONE);
-                    }
-                    b[br] = Complex::from_real(*ac_mag);
-                }
-                Element::Vcvs {
-                    p, n, cp, cn, gain, ..
-                } => {
-                    let br = map.branch_row(idx);
-                    if let Some(r) = map.node_row(*p) {
-                        base.add_at(r, br, Complex::ONE);
-                        base.add_at(br, r, Complex::ONE);
-                    }
-                    if let Some(r) = map.node_row(*n) {
-                        base.add_at(r, br, -Complex::ONE);
-                        base.add_at(br, r, -Complex::ONE);
-                    }
-                    if let Some(r) = map.node_row(*cp) {
-                        base.add_at(br, r, Complex::from_real(-gain));
-                    }
-                    if let Some(r) = map.node_row(*cn) {
-                        base.add_at(br, r, Complex::from_real(*gain));
-                    }
-                }
-                Element::Vccs {
-                    p, n, cp, cn, gm, ..
-                } => {
-                    gm_stamp(base, *p, *n, *cp, *cn, *gm);
-                }
-                Element::Mosfet {
-                    name,
-                    d,
-                    g,
-                    s: src,
-                    b: bn,
-                    ..
-                } => {
-                    let ev = op
-                        .mos_eval(name)
-                        .ok_or_else(|| SfgError::BadCircuit(format!("no OP for {name}")))?;
-                    gm_stamp(base, *d, *src, *g, *src, ev.gm);
-                    gm_stamp(base, *d, *src, *d, *src, ev.gds);
-                    gm_stamp(base, *d, *src, *bn, *src, ev.gmb);
-                    cap_adm(caps, *g, *src, ev.cgs);
-                    cap_adm(caps, *g, *d, ev.cgd);
-                    cap_adm(caps, *g, *bn, ev.cgb);
-                    cap_adm(caps, *src, *bn, ev.csb);
-                    cap_adm(caps, *d, *bn, ev.cdb);
-                }
-            }
+        let topo = self
+            .ss
+            .bind(circuit, op, 0.0)
+            .map_err(|e| SfgError::BadCircuit(e.to_string()))?;
+        // `engine.bind` also rebuilds when its storage is empty (fresh
+        // workspace or just-cleared by set_solver), so `topo` only needs
+        // to track circuit-side changes.
+        self.engine.bind(&self.ss, topo);
+        if self.x.len() != self.ss.dim() {
+            self.x.resize(self.ss.dim(), Complex::ZERO);
         }
         Ok(())
     }
@@ -241,20 +120,17 @@ impl NetTfWorkspace {
     fn degree_bound(&mut self, dim: usize) -> usize {
         self.row_flags.clear();
         self.row_flags.resize(dim, false);
-        for &(i, _, _) in &self.cap_entries {
+        for &(i, _, _) in &self.ss.cap_entries {
             self.row_flags[i] = true;
         }
         self.row_flags.iter().filter(|f| **f).count()
     }
 
     /// Factors `Y(s)` (base + `s`-scaled entries) in place. Returns `false`
-    /// when the factorization is singular.
+    /// when the factorization is singular. A sparse static-pivot underflow
+    /// demotes the engine to the dense oracle and retries once.
     fn factor_at(&mut self, s: Complex) -> bool {
-        self.y.copy_from(&self.base);
-        for &(i, j, c) in &self.cap_entries {
-            self.y.add_at(i, j, s * c);
-        }
-        self.lu.factor_into(&self.y).is_ok()
+        self.engine.factor_at_or_demote(s, &self.ss).is_ok()
     }
 }
 
@@ -317,11 +193,12 @@ pub fn extract_tf_with(
     opts: &NetTfOptions,
 ) -> SfgResult<Tf> {
     ws.bind(circuit, op)?;
-    let map = ws.map.as_ref().expect("bound");
-    let out_row = map
+    let out_row = ws
+        .ss
+        .map()
         .node_row(output)
         .ok_or_else(|| SfgError::BadCircuit("output node is ground".into()))?;
-    let dim = map.dim();
+    let dim = ws.ss.dim();
     // Degree of det Y(s) ≤ the capacitive-row bound (≤ dim); sample with
     // ≥ 2× margin, power of two.
     let deg = ws.degree_bound(dim).min(dim);
@@ -343,11 +220,11 @@ pub fn extract_tf_with(
         if !ws.factor_at(s) {
             return Err(singular_err());
         }
-        let det = ws.lu.det();
+        let det = ws.engine.det();
         if det.norm() == 0.0 {
             return Err(singular_err());
         }
-        ws.lu.solve_into(&ws.b, &mut ws.x);
+        ws.engine.solve_into(&ws.ss.b, &mut ws.x);
         let h = ws.x[out_row];
         ws.num_samples.push(h * det);
         ws.den_samples.push(det);

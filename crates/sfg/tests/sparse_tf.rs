@@ -1,0 +1,137 @@
+//! Sparse-vs-dense oracle tests for the numeric TF extraction: the CSR
+//! engine with its reusable symbolic factorization must reproduce the
+//! dense partial-pivoting results bit-for-bit up to elimination-order
+//! rounding (≤ 1e-9 relative), and retuning a testbench must reuse the
+//! symbolic factorization instead of re-analyzing.
+
+use adc_sfg::nettf::{extract_tf_with, NetTfOptions, NetTfWorkspace};
+use adc_spice::dc::{dc_operating_point, DcOptions};
+use adc_spice::linearize::SolverChoice;
+use adc_spice::netlist::{Circuit, NodeId};
+use adc_spice::process::Process;
+use proptest::prelude::*;
+
+/// Randomized cascode-OTA testbench (MNA dim ≥ 9 so the automatic engine
+/// selection takes the sparse path).
+fn random_ota(w1: f64, w2: f64, rl: f64, cl: f64) -> (Circuit, NodeId) {
+    let p = Process::c025();
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let g = c.node("g");
+    let mid = c.node("mid");
+    let out = c.node("out");
+    let np = c.node("np");
+    let b1 = c.node("vb1");
+    let b2 = c.node("vb2");
+    c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+    c.add_vsource("VB1", b1, Circuit::GROUND, 2.0);
+    c.add_vsource("VB2", b2, Circuit::GROUND, 1.5);
+    c.add_vsource_wave("VG", g, Circuit::GROUND, 0.9.into(), 1.0);
+    c.add_mosfet(
+        "M1",
+        mid,
+        g,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        p.nmos,
+        w1 * 1e-6,
+        0.5e-6,
+    );
+    c.add_mosfet(
+        "M2",
+        out,
+        b2,
+        mid,
+        Circuit::GROUND,
+        p.nmos,
+        w1 * 1e-6,
+        0.5e-6,
+    );
+    c.add_mosfet("M3", out, b1, np, vdd, p.pmos, w2 * 1e-6, 0.5e-6);
+    c.add_mosfet("M4", np, b1, vdd, vdd, p.pmos, w2 * 1e-6, 0.5e-6);
+    c.add_resistor("RL", out, Circuit::GROUND, rl * 1e3);
+    c.add_capacitor("CL", out, Circuit::GROUND, cl * 1e-12);
+    c.add_capacitor("CM", mid, Circuit::GROUND, 0.2e-12);
+    (c, out)
+}
+
+proptest! {
+    /// Sparse and dense TF extraction agree across randomized OTA
+    /// testbenches: same sampled determinant pipeline, only the LU engine
+    /// differs, so evaluated responses must match to ≤ 1e-9 relative.
+    #[test]
+    fn tf_sparse_matches_dense_oracle(
+        w1 in 2.0f64..40.0,
+        w2 in 2.0f64..40.0,
+        rl in 5.0f64..200.0,
+        cl in 0.2f64..5.0,
+    ) {
+        let (c, out) = random_ota(w1, w2, rl, cl);
+        let op = match dc_operating_point(&c, &DcOptions::default()) {
+            Ok(op) => op,
+            Err(_) => return Ok(()),
+        };
+        let opts = NetTfOptions::default();
+        let mut dense_ws = NetTfWorkspace::new();
+        dense_ws.set_solver(SolverChoice::Dense);
+        let mut sparse_ws = NetTfWorkspace::new();
+        sparse_ws.set_solver(SolverChoice::Sparse);
+        let td = extract_tf_with(&mut dense_ws, &c, &op, out, &opts);
+        let ts = extract_tf_with(&mut sparse_ws, &c, &op, out, &opts);
+        prop_assert!(!dense_ws.is_sparse() && sparse_ws.is_sparse());
+        let (td, ts) = match (td, ts) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(_), Err(_)) => return Ok(()),
+            (a, b) => {
+                prop_assert!(false, "engines diverged: {:?} vs {:?}", a.is_ok(), b.is_ok());
+                unreachable!()
+            }
+        };
+        for f in [1e4, 1e6, 1e8, 1e9] {
+            let (hd, hs) = (td.eval_at_freq(f), ts.eval_at_freq(f));
+            prop_assert!(
+                (hd - hs).norm() <= 1e-9 * hd.norm().max(1e-12),
+                "f = {f}: dense {hd:?} vs sparse {hs:?}"
+            );
+        }
+    }
+}
+
+/// Retuning element values re-extracts through the **same** symbolic
+/// factorization: exactly one analysis per topology, no re-allocation of
+/// the factor pattern, and the results still track a fresh dense
+/// extraction.
+#[test]
+fn retune_reuses_symbolic_factorization() {
+    let (mut c, out) = random_ota(10.0, 20.0, 50.0, 1.0);
+    let opts = NetTfOptions::default();
+    let mut ws = NetTfWorkspace::new();
+
+    let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+    extract_tf_with(&mut ws, &c, &op, out, &opts).unwrap();
+    assert!(ws.is_sparse(), "OTA testbench should auto-select sparse");
+    assert_eq!(ws.symbolic_analyses(), 1);
+
+    for (i, rl) in [60e3, 75e3, 90e3].iter().enumerate() {
+        let (rid, _) = c.find_element("RL").unwrap();
+        c.set_value(rid, *rl);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let tf = extract_tf_with(&mut ws, &c, &op, out, &opts).unwrap();
+        assert_eq!(
+            ws.symbolic_analyses(),
+            1,
+            "retune #{i} must reuse the symbolic factorization"
+        );
+        // Oracle: a fresh dense workspace on the retuned circuit.
+        let mut dense_ws = NetTfWorkspace::new();
+        dense_ws.set_solver(SolverChoice::Dense);
+        let td = extract_tf_with(&mut dense_ws, &c, &op, out, &opts).unwrap();
+        for f in [1e4, 1e7, 1e9] {
+            let (hs, hd) = (tf.eval_at_freq(f), td.eval_at_freq(f));
+            assert!(
+                (hs - hd).norm() <= 1e-9 * hd.norm().max(1e-12),
+                "retune #{i}, f = {f}: sparse {hs:?} vs dense {hd:?}"
+            );
+        }
+    }
+}

@@ -4,12 +4,11 @@
 //! Meyer capacitances); independent sources contribute their `ac_mag` as the
 //! stimulus. The sweep returns full node-voltage phasors per frequency.
 
-use crate::mna::MnaMap;
-use crate::netlist::{Circuit, Element, NodeId};
+use crate::linearize::{ComplexMnaWorkspace, SmallSignal, SolverChoice};
+use crate::netlist::{Circuit, NodeId};
 use crate::op::OperatingPoint;
 use crate::{SpiceError, SpiceResult};
 use adc_numerics::complex::Complex;
-use adc_numerics::linalg::{CLu, CMatrix};
 
 /// Result of an AC sweep.
 #[derive(Debug, Clone)]
@@ -77,22 +76,20 @@ pub fn unwrap_phase_deg(raw: &[f64]) -> Vec<f64> {
     out
 }
 
+/// Floating-node conductance to ground added to the AC system so
+/// otherwise-floating nodes stay solvable.
+const AC_GMIN: f64 = 1e-12;
+
 /// Reusable AC-analysis workspace: the circuit is **linearized once** at
-/// the operating point into a frequency-independent base matrix plus a flat
-/// list of capacitive entries; each sweep point memcpy's the base back and
-/// only rewrites the jω-dependent entries before an in-place LU solve.
-#[derive(Debug, Clone)]
+/// the operating point through the shared [`SmallSignal`] linearizer, and
+/// each sweep point only replays the jω-dependent entries into the
+/// [`ComplexMnaWorkspace`] engine (dense or CSR-sparse with a reusable
+/// symbolic factorization, selected by structural fill ratio) before an
+/// in-place factor + solve.
+#[derive(Debug)]
 pub struct AcWorkspace {
-    /// Frequency-independent stamps (conductances, gm's, source patterns,
-    /// the floating-node g_min) at the linearization point.
-    base: CMatrix,
-    /// jω-dependent entries: `(row, col, ±C)` triples accumulated per
-    /// sweep point as `jω·C`.
-    cap_entries: Vec<(usize, usize, f64)>,
-    /// Stimulus vector (frequency-independent).
-    b: Vec<Complex>,
-    y: CMatrix,
-    lu: CLu,
+    ss: SmallSignal,
+    engine: ComplexMnaWorkspace,
     x: Vec<Complex>,
     node_count: usize,
 }
@@ -103,164 +100,43 @@ impl AcWorkspace {
     /// # Errors
     /// [`SpiceError::NotFound`] if a MOSFET has no operating-point entry.
     pub fn new(circuit: &Circuit, op: &OperatingPoint) -> SpiceResult<Self> {
-        let map = MnaMap::new(circuit);
-        let dim = map.dim();
-        let mut base = CMatrix::zeros(dim, dim);
-        let mut cap_entries = Vec::new();
-        let mut b = vec![Complex::ZERO; dim];
+        AcWorkspace::with_solver(circuit, op, SolverChoice::Auto)
+    }
 
-        let real_adm = |y: &mut CMatrix, a: NodeId, bnode: NodeId, g: f64| {
-            let (ra, rb) = (map.node_row(a), map.node_row(bnode));
-            if let Some(i) = ra {
-                y.add_at(i, i, Complex::from_real(g));
-            }
-            if let Some(j) = rb {
-                y.add_at(j, j, Complex::from_real(g));
-            }
-            if let (Some(i), Some(j)) = (ra, rb) {
-                y.add_at(i, j, Complex::from_real(-g));
-                y.add_at(j, i, Complex::from_real(-g));
-            }
-        };
-        let cap_adm = |list: &mut Vec<(usize, usize, f64)>, a: NodeId, bnode: NodeId, c: f64| {
-            let (ra, rb) = (map.node_row(a), map.node_row(bnode));
-            if let Some(i) = ra {
-                list.push((i, i, c));
-            }
-            if let Some(j) = rb {
-                list.push((j, j, c));
-            }
-            if let (Some(i), Some(j)) = (ra, rb) {
-                list.push((i, j, -c));
-                list.push((j, i, -c));
-            }
-        };
-        let vccs = |y: &mut CMatrix, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64| {
-            for (out, so) in [(map.node_row(p), 1.0), (map.node_row(n), -1.0)] {
-                let Some(row) = out else { continue };
-                for (ctrl, sc) in [(map.node_row(cp), 1.0), (map.node_row(cn), -1.0)] {
-                    if let Some(col) = ctrl {
-                        y.add_at(row, col, Complex::from_real(so * sc * gm));
-                    }
-                }
-            }
-        };
-
-        for (idx, e) in circuit.elements().iter().enumerate() {
-            match e {
-                Element::Resistor { a, b: bn, ohms, .. } => {
-                    real_adm(&mut base, *a, *bn, 1.0 / ohms);
-                }
-                Element::Capacitor {
-                    a, b: bn, farads, ..
-                } => {
-                    cap_adm(&mut cap_entries, *a, *bn, *farads);
-                }
-                Element::Switch {
-                    a,
-                    b: bn,
-                    ron,
-                    roff,
-                    dc_closed,
-                    ..
-                } => {
-                    let g = 1.0 / if *dc_closed { *ron } else { *roff };
-                    real_adm(&mut base, *a, *bn, g);
-                }
-                Element::ISource { p, n, ac_mag, .. } => {
-                    // Stimulus: current p→n through the source.
-                    if let Some(r) = map.node_row(*p) {
-                        b[r] -= Complex::from_real(*ac_mag);
-                    }
-                    if let Some(r) = map.node_row(*n) {
-                        b[r] += Complex::from_real(*ac_mag);
-                    }
-                }
-                Element::VSource { p, n, ac_mag, .. } => {
-                    let br = map.branch_row(idx);
-                    if let Some(r) = map.node_row(*p) {
-                        base.add_at(r, br, Complex::ONE);
-                        base.add_at(br, r, Complex::ONE);
-                    }
-                    if let Some(r) = map.node_row(*n) {
-                        base.add_at(r, br, -Complex::ONE);
-                        base.add_at(br, r, -Complex::ONE);
-                    }
-                    b[br] = Complex::from_real(*ac_mag);
-                }
-                Element::Vcvs {
-                    p, n, cp, cn, gain, ..
-                } => {
-                    let br = map.branch_row(idx);
-                    if let Some(r) = map.node_row(*p) {
-                        base.add_at(r, br, Complex::ONE);
-                        base.add_at(br, r, Complex::ONE);
-                    }
-                    if let Some(r) = map.node_row(*n) {
-                        base.add_at(r, br, -Complex::ONE);
-                        base.add_at(br, r, -Complex::ONE);
-                    }
-                    if let Some(r) = map.node_row(*cp) {
-                        base.add_at(br, r, Complex::from_real(-gain));
-                    }
-                    if let Some(r) = map.node_row(*cn) {
-                        base.add_at(br, r, Complex::from_real(*gain));
-                    }
-                }
-                Element::Vccs {
-                    p, n, cp, cn, gm, ..
-                } => {
-                    vccs(&mut base, *p, *n, *cp, *cn, *gm);
-                }
-                Element::Mosfet {
-                    name,
-                    d,
-                    g,
-                    s,
-                    b: bn,
-                    ..
-                } => {
-                    let ev = op.mos_eval(name).ok_or_else(|| {
-                        SpiceError::NotFound(format!("operating point for {name}"))
-                    })?;
-                    // id = gm·vgs + gds·vds + gmb·vbs, current d→s.
-                    vccs(&mut base, *d, *s, *g, *s, ev.gm);
-                    vccs(&mut base, *d, *s, *d, *s, ev.gds);
-                    vccs(&mut base, *d, *s, *bn, *s, ev.gmb);
-                    cap_adm(&mut cap_entries, *g, *s, ev.cgs);
-                    cap_adm(&mut cap_entries, *g, *d, ev.cgd);
-                    cap_adm(&mut cap_entries, *g, *bn, ev.cgb);
-                    cap_adm(&mut cap_entries, *s, *bn, ev.csb);
-                    cap_adm(&mut cap_entries, *d, *bn, ev.cdb);
-                }
-            }
-        }
-
-        // Tiny conductance to ground keeps otherwise-floating nodes solvable.
-        for r in 0..(map.node_count() - 1) {
-            base.add_at(r, r, Complex::from_real(1e-12));
-        }
-
+    /// [`AcWorkspace::new`] with an explicit solver-engine choice
+    /// (tests/diagnostics; production uses [`SolverChoice::Auto`]).
+    ///
+    /// # Errors
+    /// [`SpiceError::NotFound`] if a MOSFET has no operating-point entry.
+    pub fn with_solver(
+        circuit: &Circuit,
+        op: &OperatingPoint,
+        choice: SolverChoice,
+    ) -> SpiceResult<Self> {
+        let mut ss = SmallSignal::new();
+        let topo = ss.bind(circuit, op, AC_GMIN)?;
+        let mut engine = ComplexMnaWorkspace::new();
+        engine.set_solver(choice);
+        engine.bind(&ss, topo);
+        let dim = ss.dim();
         Ok(AcWorkspace {
-            base,
-            cap_entries,
-            b,
-            y: CMatrix::zeros(dim, dim),
-            lu: CLu::with_dim(dim),
+            ss,
+            engine,
             x: vec![Complex::ZERO; dim],
             node_count: circuit.node_count(),
         })
     }
 
+    /// Whether the complex MNA engine currently factors sparse.
+    pub fn is_sparse(&self) -> bool {
+        self.engine.is_sparse()
+    }
+
     /// Solves the linearized system at one complex frequency `s = jω`
     /// into the workspace's solution buffer, and returns it.
     fn solve_at(&mut self, jw: Complex) -> Result<&[Complex], adc_numerics::NumericsError> {
-        self.y.copy_from(&self.base);
-        for &(i, j, c) in &self.cap_entries {
-            self.y.add_at(i, j, jw * c);
-        }
-        self.lu.factor_into(&self.y)?;
-        self.lu.solve_into(&self.b, &mut self.x);
+        self.engine.factor_at_or_demote(jw, &self.ss)?;
+        self.engine.solve_into(&self.ss.b, &mut self.x);
         Ok(&self.x)
     }
 }

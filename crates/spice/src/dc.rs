@@ -6,12 +6,14 @@
 //! candidate OTA's bias point here, then hands the extracted gm/gds/C to the
 //! equation-based transfer-function analysis.
 
-use crate::mna::{add_opt, stamp_conductance, stamp_vccs, MnaMap};
+use crate::linearize::SolverChoice;
+use crate::mna::{add_opt, MnaMap};
 use crate::mosfet::eval_mosfet;
 use crate::netlist::{Circuit, Element};
 use crate::op::OperatingPoint;
 use crate::{SpiceError, SpiceResult};
 use adc_numerics::linalg::Lu;
+use adc_numerics::sparse::{prefer_sparse, CsrMatrix, CsrPattern, SparseLu, Symbolic};
 use adc_numerics::Matrix;
 use std::collections::HashMap;
 
@@ -45,68 +47,329 @@ impl Default for DcOptions {
     }
 }
 
+/// Walks the constant linear stamps (everything except MOSFETs and g_min):
+/// Jacobian entries go through `add(row, col, value)`, independent-source
+/// contributions accumulate into `rhs`. Both the dense and the sparse
+/// engine assemble through this single traversal — and the sparse slot
+/// maps are recorded from it too, so the two can never disagree on stamp
+/// order.
+fn stamp_linear(
+    circuit: &Circuit,
+    map: &MnaMap,
+    rhs: &mut [f64],
+    add: &mut impl FnMut(usize, usize, f64),
+) {
+    let cond =
+        |a: Option<usize>, b: Option<usize>, g: f64, add: &mut dyn FnMut(usize, usize, f64)| {
+            if let Some(i) = a {
+                add(i, i, g);
+            }
+            if let Some(j) = b {
+                add(j, j, g);
+            }
+            if let (Some(i), Some(j)) = (a, b) {
+                add(i, j, -g);
+                add(j, i, -g);
+            }
+        };
+    for (idx, e) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms, .. } => {
+                cond(map.node_row(*a), map.node_row(*b), 1.0 / ohms, add);
+            }
+            Element::Capacitor { .. } | Element::Mosfet { .. } => {
+                // Caps are open in DC; MOSFETs restamp per iteration.
+            }
+            Element::Switch {
+                a,
+                b,
+                ron,
+                roff,
+                dc_closed,
+                ..
+            } => {
+                let g = 1.0 / if *dc_closed { *ron } else { *roff };
+                cond(map.node_row(*a), map.node_row(*b), g, add);
+            }
+            Element::ISource { p, n, wave, .. } => {
+                // Linear residual is `jac·x − scale·rhs`, so a current `i`
+                // leaving `p` lands in the rhs with sign −i.
+                let i = wave.dc_value();
+                add_opt(rhs, map.node_row(*p), -i);
+                add_opt(rhs, map.node_row(*n), i);
+            }
+            Element::VSource { p, n, wave, .. } => {
+                let br = map.branch_row(idx);
+                for (r, sgn) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
+                    if let Some(r) = r {
+                        add(r, br, sgn);
+                        add(br, r, sgn);
+                    }
+                }
+                rhs[br] += wave.dc_value();
+            }
+            Element::Vcvs {
+                p, n, cp, cn, gain, ..
+            } => {
+                let br = map.branch_row(idx);
+                for (r, sgn) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
+                    if let Some(r) = r {
+                        add(r, br, sgn);
+                        add(br, r, sgn);
+                    }
+                }
+                if let Some(r) = map.node_row(*cp) {
+                    add(br, r, -gain);
+                }
+                if let Some(r) = map.node_row(*cn) {
+                    add(br, r, *gain);
+                }
+            }
+            Element::Vccs {
+                p, n, cp, cn, gm, ..
+            } => {
+                for (out, so) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
+                    let Some(row) = out else { continue };
+                    for (ctrl, sc) in [(map.node_row(*cp), 1.0), (map.node_row(*cn), -1.0)] {
+                        if let Some(col) = ctrl {
+                            add(row, col, so * sc * gm);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Walks the MOSFET companion stamps at operating point `x`: drain/source
+/// currents accumulate into `res`, Jacobian entries go through `add`. The
+/// sequence of `add` calls depends only on the topology (ground-ness of
+/// terminals), never on values — the invariant the sparse slot replay
+/// relies on.
+fn stamp_mosfets(
+    circuit: &Circuit,
+    map: &MnaMap,
+    x: &[f64],
+    res: &mut [f64],
+    add: &mut impl FnMut(usize, usize, f64),
+) {
+    for e in circuit.elements() {
+        let Element::Mosfet {
+            d,
+            g,
+            s,
+            b,
+            model,
+            w,
+            l,
+            ..
+        } = e
+        else {
+            continue;
+        };
+        let vd = map.voltage(x, *d);
+        let vg = map.voltage(x, *g);
+        let vs = map.voltage(x, *s);
+        let vb = map.voltage(x, *b);
+        let ev = eval_mosfet(model, *w, *l, vg - vs, vd - vs, vb - vs);
+        let (rd, rg, rs, rb) = (
+            map.node_row(*d),
+            map.node_row(*g),
+            map.node_row(*s),
+            map.node_row(*b),
+        );
+        // Current leaves the drain (+id) and enters the source (−id).
+        add_opt(res, rd, ev.id);
+        add_opt(res, rs, -ev.id);
+        // ∂id/∂(vg, vd, vb, vs): gm, gds, gmb, −(gm+gds+gmb).
+        let gs_total = ev.gm + ev.gds + ev.gmb;
+        for (row, sign) in [(rd, 1.0), (rs, -1.0)] {
+            let Some(r) = row else { continue };
+            if let Some(cg) = rg {
+                add(r, cg, sign * ev.gm);
+            }
+            if let Some(cd) = rd {
+                add(r, cd, sign * ev.gds);
+            }
+            if let Some(cb) = rb {
+                add(r, cb, sign * ev.gmb);
+            }
+            if let Some(cs) = rs {
+                add(r, cs, -sign * gs_total);
+            }
+        }
+    }
+}
+
+/// Builds the dense engine storage for a `dim × dim` system.
+fn dense_engine(dim: usize) -> DcEngine {
+    DcEngine::Dense {
+        base_jac: Matrix::zeros(dim, dim),
+        jac: Matrix::zeros(dim, dim),
+        lu: Lu::with_dim(dim),
+    }
+}
+
+/// The linear-solver engine inside a [`DcWorkspace`]: dense partial-pivot
+/// LU (the oracle), or CSR with a symbolic factorization frozen once per
+/// topology and MOSFET restamps writing through precomputed slot indices.
+#[derive(Debug)]
+enum DcEngine {
+    Dense {
+        /// Constant linear-stamp Jacobian (g_min excluded; it varies per
+        /// homotopy stage and is added per iteration).
+        base_jac: Matrix,
+        jac: Matrix,
+        lu: Lu,
+    },
+    Sparse {
+        /// Linear base values aligned with the pattern's nonzeros.
+        base_vals: Vec<f64>,
+        jac: CsrMatrix,
+        lu: SparseLu,
+        /// Stamp slots in traversal order: linear stamps, then the g_min
+        /// node diagonals, then the MOSFET companion entries.
+        slots: Vec<usize>,
+        linear_len: usize,
+        gmin_len: usize,
+    },
+}
+
 /// Reusable DC-solve workspace: the [`MnaMap`] is built once per circuit
 /// topology, the **constant linear stamps** (resistors, switches, source
 /// patterns, controlled sources) are assembled once per solve, and every
 /// Newton iteration only memcpy's the linear base back and restamps the
 /// MOSFET companions — the iteration loop performs **zero heap
-/// allocation**.
+/// allocation**. On OTA-sized testbenches (≥ ~90 % structural zeros) the
+/// Jacobian lives in CSR form and each iteration refactors against a
+/// symbolic factorization computed once per topology; tiny or dense
+/// systems keep the dense partial-pivoting path, which also remains the
+/// fallback oracle if a static sparse pivot ever underflows.
 ///
 /// Retuned element *values* are picked up automatically (the base is
 /// restamped at the start of each [`dc_operating_point_with`] call); a
 /// changed *topology* (node or element count) rebuilds the workspace.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DcWorkspace {
     map: MnaMap,
     elem_count: usize,
-    /// Constant linear-stamp Jacobian (g_min excluded; it varies per
-    /// homotopy stage and is added per iteration).
-    base_jac: Matrix,
+    /// Wiring fingerprint ([`Circuit::topology_fingerprint`]) the stamp
+    /// slot maps were recorded for — rewired circuits with coincidentally
+    /// equal node/element counts must rebuild, not reuse.
+    fingerprint: u64,
+    /// Engine selection this workspace was created with; topology-change
+    /// rebuilds preserve it (a dense-forced oracle workspace must not
+    /// silently go back to automatic selection).
+    choice: SolverChoice,
     /// Constant source vector: linear residual = `base_jac·x − scale·base_rhs`.
     base_rhs: Vec<f64>,
-    jac: Matrix,
     res: Vec<f64>,
     dx: Vec<f64>,
-    lu: Lu,
     x: Vec<f64>,
     x0: Vec<f64>,
     /// `x` holds a converged solution from a previous solve (used by
     /// [`dc_operating_point_warm`] to skip the homotopy ladder).
     warm_valid: bool,
+    engine: DcEngine,
+    /// Set when the sparse engine hit a numerically unlucky static pivot;
+    /// the solve entry points demote to dense and retry.
+    sparse_failed: bool,
 }
 
 impl DcWorkspace {
     /// Builds the workspace (index map + preallocated buffers) for a
-    /// circuit topology.
+    /// circuit topology, selecting the solver engine by structural fill
+    /// ratio.
     ///
     /// # Errors
     /// [`SpiceError::BadNetlist`] if the circuit has no unknowns.
     pub fn new(circuit: &Circuit) -> SpiceResult<Self> {
+        DcWorkspace::with_solver(circuit, SolverChoice::Auto)
+    }
+
+    /// [`DcWorkspace::new`] with an explicit solver-engine choice
+    /// (tests/diagnostics; production uses [`SolverChoice::Auto`]).
+    ///
+    /// # Errors
+    /// [`SpiceError::BadNetlist`] if the circuit has no unknowns.
+    pub fn with_solver(circuit: &Circuit, choice: SolverChoice) -> SpiceResult<Self> {
         let map = MnaMap::new(circuit);
         let dim = map.dim();
         if dim == 0 {
             return Err(SpiceError::BadNetlist("circuit has no unknowns".into()));
         }
+        let engine = DcWorkspace::build_engine(circuit, &map, choice);
         Ok(DcWorkspace {
             map,
             elem_count: circuit.elements().len(),
-            base_jac: Matrix::zeros(dim, dim),
+            fingerprint: circuit.topology_fingerprint(),
+            choice,
             base_rhs: vec![0.0; dim],
-            jac: Matrix::zeros(dim, dim),
             res: vec![0.0; dim],
             dx: vec![0.0; dim],
-            lu: Lu::with_dim(dim),
             x: vec![0.0; dim],
             x0: vec![0.0; dim],
             warm_valid: false,
+            engine,
+            sparse_failed: false,
         })
     }
 
+    /// Records the full stamp pattern (linear + g_min diagonals + MOSFET
+    /// companions) and chooses the engine.
+    fn build_engine(circuit: &Circuit, map: &MnaMap, choice: SolverChoice) -> DcEngine {
+        let dim = map.dim();
+        if choice == SolverChoice::Dense {
+            return dense_engine(dim);
+        }
+        // Record every stamp position in traversal order.
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        let mut scratch_rhs = vec![0.0; dim];
+        stamp_linear(circuit, map, &mut scratch_rhs, &mut |r, c, _| {
+            entries.push((r, c));
+        });
+        let linear_len = entries.len();
+        for row in 0..(map.node_count() - 1) {
+            entries.push((row, row));
+        }
+        let gmin_len = entries.len() - linear_len;
+        let zeros = vec![0.0; dim];
+        let mut scratch_res = vec![0.0; dim];
+        stamp_mosfets(circuit, map, &zeros, &mut scratch_res, &mut |r, c, _| {
+            entries.push((r, c));
+        });
+        let (pattern, slots) = CsrPattern::from_entries(dim, &entries);
+        let go_sparse = match choice {
+            SolverChoice::Auto => prefer_sparse(dim, pattern.nnz()),
+            SolverChoice::Sparse => true,
+            SolverChoice::Dense => unreachable!("handled above"),
+        };
+        if !go_sparse {
+            return dense_engine(dim);
+        }
+        match Symbolic::analyze(&pattern) {
+            Ok(sym) => DcEngine::Sparse {
+                base_vals: vec![0.0; pattern.nnz()],
+                jac: CsrMatrix::zeros(pattern),
+                lu: SparseLu::new(sym),
+                slots,
+                linear_len,
+                gmin_len,
+            },
+            // Structurally singular patterns get the dense oracle's
+            // per-iteration singularity reporting instead.
+            Err(_) => dense_engine(dim),
+        }
+    }
+
     /// Whether this workspace was built for `circuit`'s topology (same
-    /// node count and branch-unknown pattern — value retuning keeps it
-    /// valid, while a reordered or different element list rebuilds).
+    /// node count, branch-unknown pattern and element wiring — value
+    /// retuning keeps it valid, while a reordered, rewired or
+    /// kind-swapped element list rebuilds).
     pub fn matches(&self, circuit: &Circuit) -> bool {
-        self.elem_count == circuit.elements().len() && self.map.matches(circuit)
+        self.elem_count == circuit.elements().len()
+            && self.map.matches(circuit)
+            && self.fingerprint == circuit.topology_fingerprint()
     }
 
     /// The MNA index map.
@@ -114,151 +377,121 @@ impl DcWorkspace {
         &self.map
     }
 
+    /// Whether the Newton Jacobian currently factors sparse.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.engine, DcEngine::Sparse { .. })
+    }
+
+    /// Replaces the engine with the dense oracle (sparse static pivot
+    /// underflowed).
+    fn demote_to_dense(&mut self) {
+        self.engine = dense_engine(self.map.dim());
+        self.sparse_failed = false;
+    }
+
     /// Stamps the constant linear part (everything except MOSFETs and
-    /// g_min) into `base_jac`/`base_rhs`. Called once per solve so value
-    /// retuning is picked up.
+    /// g_min) into the engine's base storage. Called once per solve so
+    /// value retuning is picked up.
     fn stamp_linear_base(&mut self, circuit: &Circuit) {
         let map = &self.map;
-        let jac = &mut self.base_jac;
         let rhs = &mut self.base_rhs;
-        jac.clear();
         rhs.fill(0.0);
-        for (idx, e) in circuit.elements().iter().enumerate() {
-            match e {
-                Element::Resistor { a, b, ohms, .. } => {
-                    stamp_conductance(jac, map.node_row(*a), map.node_row(*b), 1.0 / ohms);
-                }
-                Element::Capacitor { .. } | Element::Mosfet { .. } => {
-                    // Caps are open in DC; MOSFETs restamp per iteration.
-                }
-                Element::Switch {
-                    a,
-                    b,
-                    ron,
-                    roff,
-                    dc_closed,
-                    ..
-                } => {
-                    let g = 1.0 / if *dc_closed { *ron } else { *roff };
-                    stamp_conductance(jac, map.node_row(*a), map.node_row(*b), g);
-                }
-                Element::ISource { p, n, wave, .. } => {
-                    // Linear residual is `base_jac·x − scale·base_rhs`, so a
-                    // current `i` leaving `p` lands in the rhs with sign −i.
-                    let i = wave.dc_value();
-                    add_opt(rhs, map.node_row(*p), -i);
-                    add_opt(rhs, map.node_row(*n), i);
-                }
-                Element::VSource { p, n, wave, .. } => {
-                    let br = map.branch_row(idx);
-                    for (r, sgn) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
-                        if let Some(r) = r {
-                            jac.add_at(r, br, sgn);
-                            jac.add_at(br, r, sgn);
-                        }
-                    }
-                    rhs[br] += wave.dc_value();
-                }
-                Element::Vcvs {
-                    p, n, cp, cn, gain, ..
-                } => {
-                    let br = map.branch_row(idx);
-                    for (r, sgn) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
-                        if let Some(r) = r {
-                            jac.add_at(r, br, sgn);
-                            jac.add_at(br, r, sgn);
-                        }
-                    }
-                    if let Some(r) = map.node_row(*cp) {
-                        jac.add_at(br, r, -gain);
-                    }
-                    if let Some(r) = map.node_row(*cn) {
-                        jac.add_at(br, r, *gain);
-                    }
-                }
-                Element::Vccs {
-                    p, n, cp, cn, gm, ..
-                } => {
-                    stamp_vccs(
-                        jac,
-                        map.node_row(*p),
-                        map.node_row(*n),
-                        map.node_row(*cp),
-                        map.node_row(*cn),
-                        *gm,
-                    );
-                }
+        match &mut self.engine {
+            DcEngine::Dense { base_jac, .. } => {
+                base_jac.clear();
+                stamp_linear(circuit, map, rhs, &mut |r, c, v| base_jac.add_at(r, c, v));
+            }
+            DcEngine::Sparse {
+                base_vals,
+                slots,
+                linear_len,
+                ..
+            } => {
+                base_vals.fill(0.0);
+                let mut k = 0usize;
+                stamp_linear(circuit, map, rhs, &mut |_, _, v| {
+                    base_vals[slots[k]] += v;
+                    k += 1;
+                });
+                debug_assert_eq!(k, *linear_len, "stamp traversal drifted from slot map");
             }
         }
     }
 
     /// Assembles the Jacobian and residual at the current `x` without
     /// allocating: memcpy the linear base back, evaluate the linear
-    /// residual as a mat-vec, then restamp only the MOSFET companions.
+    /// residual as a mat-vec, then restamp only the MOSFET companions —
+    /// through precomputed slot indices on the sparse engine.
     ///
     /// `source_scale` multiplies all independent sources (for source
     /// stepping); `gmin` is added from every node to ground.
     fn assemble(&mut self, circuit: &Circuit, gmin: f64, source_scale: f64) {
         let map = &self.map;
         let x = &self.x;
-        let jac = &mut self.jac;
         let res = &mut self.res;
-        jac.copy_from(&self.base_jac);
-        jac.mul_vec_into(x, res);
-        for (r, b) in res.iter_mut().zip(self.base_rhs.iter()) {
-            *r -= source_scale * b;
-        }
-
-        // g_min from every non-ground node to ground.
-        for row in 0..(map.node_count() - 1) {
-            jac.add_at(row, row, gmin);
-            res[row] += gmin * x[row];
-        }
-
-        for e in circuit.elements() {
-            let Element::Mosfet {
-                d,
-                g,
-                s,
-                b,
-                model,
-                w,
-                l,
+        match &mut self.engine {
+            DcEngine::Dense { base_jac, jac, .. } => {
+                jac.copy_from(base_jac);
+                jac.mul_vec_into(x, res);
+                for (r, b) in res.iter_mut().zip(self.base_rhs.iter()) {
+                    *r -= source_scale * b;
+                }
+                // g_min from every non-ground node to ground.
+                for row in 0..(map.node_count() - 1) {
+                    jac.add_at(row, row, gmin);
+                    res[row] += gmin * x[row];
+                }
+                stamp_mosfets(circuit, map, x, res, &mut |r, c, v| jac.add_at(r, c, v));
+            }
+            DcEngine::Sparse {
+                base_vals,
+                jac,
+                slots,
+                linear_len,
+                gmin_len,
                 ..
-            } = e
-            else {
-                continue;
-            };
-            let vd = map.voltage(x, *d);
-            let vg = map.voltage(x, *g);
-            let vs = map.voltage(x, *s);
-            let vb = map.voltage(x, *b);
-            let ev = eval_mosfet(model, *w, *l, vg - vs, vd - vs, vb - vs);
-            let (rd, rg, rs, rb) = (
-                map.node_row(*d),
-                map.node_row(*g),
-                map.node_row(*s),
-                map.node_row(*b),
-            );
-            // Current leaves the drain (+id) and enters the source (−id).
-            add_opt(res, rd, ev.id);
-            add_opt(res, rs, -ev.id);
-            // ∂id/∂(vg, vd, vb, vs): gm, gds, gmb, −(gm+gds+gmb).
-            let gs_total = ev.gm + ev.gds + ev.gmb;
-            for (row, sign) in [(rd, 1.0), (rs, -1.0)] {
-                let Some(r) = row else { continue };
-                if let Some(cg) = rg {
-                    jac.add_at(r, cg, sign * ev.gm);
+            } => {
+                jac.values_mut().copy_from_slice(base_vals);
+                jac.mul_vec_into(x, res);
+                for (r, b) in res.iter_mut().zip(self.base_rhs.iter()) {
+                    *r -= source_scale * b;
                 }
-                if let Some(cd) = rd {
-                    jac.add_at(r, cd, sign * ev.gds);
+                for (row, &slot) in slots[*linear_len..*linear_len + *gmin_len]
+                    .iter()
+                    .enumerate()
+                {
+                    jac.add_slot(slot, gmin);
+                    res[row] += gmin * x[row];
                 }
-                if let Some(cb) = rb {
-                    jac.add_at(r, cb, sign * ev.gmb);
+                let mut k = *linear_len + *gmin_len;
+                stamp_mosfets(circuit, map, x, res, &mut |_, _, v| {
+                    jac.add_slot(slots[k], v);
+                    k += 1;
+                });
+                debug_assert_eq!(k, slots.len(), "stamp traversal drifted from slot map");
+            }
+        }
+    }
+
+    /// Factors the assembled Jacobian and solves `J·dx = res` into `dx`.
+    /// Returns `false` on a singular factorization (sparse failures also
+    /// raise `sparse_failed` so the entry points can demote to dense).
+    fn factor_and_solve(&mut self) -> bool {
+        match &mut self.engine {
+            DcEngine::Dense { jac, lu, .. } => {
+                if lu.factor_into(jac).is_err() {
+                    return false;
                 }
-                if let Some(cs) = rs {
-                    jac.add_at(r, cs, -sign * gs_total);
+                lu.solve_into(&self.res, &mut self.dx);
+                true
+            }
+            DcEngine::Sparse { jac, lu, .. } => {
+                if lu.factor_into(jac).is_err() {
+                    self.sparse_failed = true;
+                    return false;
                 }
+                lu.solve_into(&self.res, &mut self.dx);
+                true
             }
         }
     }
@@ -289,14 +522,13 @@ fn newton(
         last_res = rnorm;
         // Newton step: J·dx = −res, reusing res as the negated rhs.
         ws.res.iter_mut().for_each(|r| *r = -*r);
-        if ws.lu.factor_into(&ws.jac).is_err() {
+        if !ws.factor_and_solve() {
             return NewtonOutcome {
                 converged: false,
                 iterations: it,
                 residual: rnorm,
             };
         }
-        ws.lu.solve_into(&ws.res, &mut ws.dx);
         // Damping: cap the largest node-voltage update.
         let nv = ws.map.node_count() - 1;
         let max_dv = ws.dx[..nv].iter().fold(0.0_f64, |m, &d| m.max(d.abs()));
@@ -363,10 +595,22 @@ pub fn dc_operating_point_with(
     opts: &DcOptions,
 ) -> SpiceResult<OperatingPoint> {
     if !ws.matches(circuit) {
-        *ws = DcWorkspace::new(circuit)?;
+        *ws = DcWorkspace::with_solver(circuit, ws.choice)?;
     }
+    // Scope the demotion decision to *this* solve: a transient pivot
+    // failure in an earlier, ultimately successful solve must not demote
+    // a later unrelated convergence failure.
+    ws.sparse_failed = false;
     ws.stamp_linear_base(circuit);
-    solve_cold(ws, circuit, opts)
+    let out = solve_cold(ws, circuit, opts);
+    if out.is_err() && ws.sparse_failed {
+        // A static sparse pivot underflowed somewhere in the ladder; the
+        // dense oracle's partial pivoting may still converge.
+        ws.demote_to_dense();
+        ws.stamp_linear_base(circuit);
+        return solve_cold(ws, circuit, opts);
+    }
+    out
 }
 
 /// Iteration cap for the warm-start Newton attempt: a good initial guess
@@ -393,8 +637,9 @@ pub fn dc_operating_point_warm(
     opts: &DcOptions,
 ) -> SpiceResult<OperatingPoint> {
     if !ws.matches(circuit) {
-        *ws = DcWorkspace::new(circuit)?;
+        *ws = DcWorkspace::with_solver(circuit, ws.choice)?;
     }
+    ws.sparse_failed = false;
     ws.stamp_linear_base(circuit);
     if ws.warm_valid {
         // Converge the warm attempt well past the cold tolerances: a good
@@ -416,7 +661,13 @@ pub fn dc_operating_point_warm(
         }
         ws.warm_valid = false;
     }
-    solve_cold(ws, circuit, opts)
+    let out = solve_cold(ws, circuit, opts);
+    if out.is_err() && ws.sparse_failed {
+        ws.demote_to_dense();
+        ws.stamp_linear_base(circuit);
+        return solve_cold(ws, circuit, opts);
+    }
+    out
 }
 
 /// The cold-start homotopy ladder (plain Newton, then g_min stepping, then

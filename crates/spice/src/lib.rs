@@ -3,10 +3,14 @@
 //! A compact circuit-simulation substrate standing in for the commercial
 //! SPICE engine the paper's synthesis loop drives: netlists with MOSFETs
 //! (level-1-style square-law model with smooth subthreshold), passives and
-//! controlled sources; modified nodal analysis; damped-Newton DC operating
-//! point with g_min and source-stepping homotopy; complex-valued AC
-//! small-signal sweeps; and a trapezoidal transient engine with two-phase
-//! clocked switches for switched-capacitor blocks.
+//! controlled sources; modified nodal analysis with automatic dense/sparse
+//! engine selection (CSR + reusable symbolic factorization on OTA-sized
+//! systems, dense partial-pivot LU as the oracle); damped-Newton DC
+//! operating point with g_min and source-stepping homotopy; a shared
+//! small-signal linearizer ([`linearize`]) feeding complex-valued AC
+//! sweeps and the numeric TF extraction in adc-sfg; and a trapezoidal
+//! transient engine with two-phase clocked switches for switched-capacitor
+//! blocks.
 //!
 //! The paper's hybrid flow (§3) needs exactly this: *"DC simulation to
 //! extract small signal values"* feeding an equation-based transfer-function
@@ -30,6 +34,7 @@
 
 pub mod ac;
 pub mod dc;
+pub mod linearize;
 pub mod mna;
 pub mod mosfet;
 pub mod netlist;
@@ -42,6 +47,7 @@ pub use ac::{ac_sweep, ac_sweep_with, AcWorkspace};
 pub use dc::{
     dc_operating_point, dc_operating_point_warm, dc_operating_point_with, DcOptions, DcWorkspace,
 };
+pub use linearize::{ComplexMnaWorkspace, SmallSignal, SolverChoice};
 pub use netlist::{Circuit, ElementId, NodeId};
 pub use op::OperatingPoint;
 pub use process::Process;

@@ -1,0 +1,590 @@
+//! Shared small-signal linearization and the complex MNA engine behind AC
+//! analysis and numeric TF extraction.
+//!
+//! [`SmallSignal`] is the **single** linearizer both consumers stamp from:
+//! `AcWorkspace` (adc-spice) and `NetTfWorkspace` (adc-sfg) used to carry
+//! duplicate element loops that could silently diverge; both now bind the
+//! same `(base, cap_entries, b)` triplet lists. The only per-consumer
+//! choices left are the floating-node `g_min` (AC uses one, TF extraction
+//! must not — it would perturb `det Y(s)`) and the complex frequency the
+//! entries are replayed at (`jω` for sweeps, arbitrary `s` for TF
+//! sampling).
+//!
+//! [`ComplexMnaWorkspace`] then assembles those entry lists into either a
+//! dense [`CMatrix`] or a CSR matrix with a reusable symbolic factorization
+//! ([`adc_numerics::sparse`]), selected automatically by structural fill
+//! ratio. Entries are grouped by destination row (the CSR value array is
+//! row-major — a struct-of-arrays layout), and every `factor_at` call only
+//! memcpy's base values and replays the `s`-scaled capacitive slots before
+//! an in-place refactorization.
+
+use crate::mna::MnaMap;
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::op::OperatingPoint;
+use crate::{SpiceError, SpiceResult};
+use adc_numerics::complex::Complex;
+use adc_numerics::linalg::{CLu, CMatrix};
+use adc_numerics::sparse::{prefer_sparse, CCsrMatrix, CSparseLu, CsrPattern, Symbolic};
+use adc_numerics::NumericsError;
+use std::sync::Arc;
+
+/// Forces a solver engine for testing/diagnostics; production callers use
+/// [`SolverChoice::Auto`] (structural fill ratio decides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// Pick sparse or dense by [`prefer_sparse`] (the default).
+    #[default]
+    Auto,
+    /// Always dense LU with partial pivoting (the oracle).
+    Dense,
+    /// Always sparse LU with the reusable symbolic factorization.
+    Sparse,
+}
+
+/// Linearized small-signal system of a circuit at an operating point:
+/// frequency-independent `base` stamps, `s`-scaled capacitive entries and
+/// the stimulus vector, all as flat triplet lists so downstream engines
+/// (dense or sparse, `jω` or general `s`) assemble without re-walking the
+/// netlist.
+///
+/// Rebinding to a retuned circuit reuses every buffer; only a *topology*
+/// change (node/element structure) rebuilds the index map.
+#[derive(Debug, Clone, Default)]
+pub struct SmallSignal {
+    map: Option<MnaMap>,
+    elem_count: usize,
+    /// Wiring fingerprint ([`Circuit::topology_fingerprint`]) the entry
+    /// lists were last stamped for — downstream slot maps must rebuild
+    /// when a rewired circuit reuses the same node/element counts.
+    fingerprint: u64,
+    /// Frequency-independent stamps `(row, col, g)` — conductances, gm's,
+    /// source incidence patterns, the optional floating-node g_min.
+    pub base: Vec<(usize, usize, f64)>,
+    /// `s`-dependent entries `(row, col, ±C)`, replayed per point as `s·C`.
+    pub cap_entries: Vec<(usize, usize, f64)>,
+    /// Stimulus vector (independent sources' `ac_mag`).
+    pub b: Vec<Complex>,
+}
+
+impl SmallSignal {
+    /// Creates an empty linearizer; buffers are sized on first bind.
+    pub fn new() -> Self {
+        SmallSignal::default()
+    }
+
+    /// The MNA index map.
+    ///
+    /// # Panics
+    /// Panics if called before the first successful [`SmallSignal::bind`].
+    pub fn map(&self) -> &MnaMap {
+        self.map.as_ref().expect("SmallSignal not bound")
+    }
+
+    /// System dimension (0 before the first bind).
+    pub fn dim(&self) -> usize {
+        self.map.as_ref().map_or(0, MnaMap::dim)
+    }
+
+    /// (Re)linearizes `circuit` at `op`. `gmin` > 0 adds that conductance
+    /// from every node to ground (AC analysis); pass 0.0 to leave the
+    /// system untouched (TF extraction, where it would perturb the sampled
+    /// determinant). Returns `true` when the topology changed and any
+    /// downstream pattern/symbolic state must be rebuilt.
+    ///
+    /// # Errors
+    /// [`SpiceError::NotFound`] if a MOSFET has no operating-point entry.
+    pub fn bind(&mut self, circuit: &Circuit, op: &OperatingPoint, gmin: f64) -> SpiceResult<bool> {
+        let fingerprint = circuit.topology_fingerprint();
+        let topo_changed = match &self.map {
+            Some(m) => {
+                self.elem_count != circuit.elements().len()
+                    || self.fingerprint != fingerprint
+                    || !m.matches(circuit)
+            }
+            None => true,
+        };
+        if topo_changed {
+            let map = MnaMap::new(circuit);
+            self.b = vec![Complex::ZERO; map.dim()];
+            self.elem_count = circuit.elements().len();
+            self.fingerprint = fingerprint;
+            self.map = Some(map);
+        } else {
+            self.b.fill(Complex::ZERO);
+        }
+        self.base.clear();
+        self.cap_entries.clear();
+        let map = self.map.as_ref().expect("map bound above");
+        let base = &mut self.base;
+        let caps = &mut self.cap_entries;
+        let b = &mut self.b;
+
+        let adm = |list: &mut Vec<(usize, usize, f64)>, a: NodeId, bn: NodeId, g: f64| {
+            let (ra, rb) = (map.node_row(a), map.node_row(bn));
+            if let Some(i) = ra {
+                list.push((i, i, g));
+            }
+            if let Some(j) = rb {
+                list.push((j, j, g));
+            }
+            if let (Some(i), Some(j)) = (ra, rb) {
+                list.push((i, j, -g));
+                list.push((j, i, -g));
+            }
+        };
+        let gm_stamp = |list: &mut Vec<(usize, usize, f64)>,
+                        p: NodeId,
+                        n: NodeId,
+                        cp: NodeId,
+                        cn: NodeId,
+                        gm: f64| {
+            for (out, so) in [(map.node_row(p), 1.0), (map.node_row(n), -1.0)] {
+                let Some(row) = out else { continue };
+                for (ctrl, sc) in [(map.node_row(cp), 1.0), (map.node_row(cn), -1.0)] {
+                    if let Some(col) = ctrl {
+                        list.push((row, col, so * sc * gm));
+                    }
+                }
+            }
+        };
+
+        for (idx, e) in circuit.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b: bn, ohms, .. } => {
+                    adm(base, *a, *bn, 1.0 / ohms);
+                }
+                Element::Capacitor {
+                    a, b: bn, farads, ..
+                } => {
+                    adm(caps, *a, *bn, *farads);
+                }
+                Element::Switch {
+                    a,
+                    b: bn,
+                    ron,
+                    roff,
+                    dc_closed,
+                    ..
+                } => {
+                    let g = 1.0 / if *dc_closed { *ron } else { *roff };
+                    adm(base, *a, *bn, g);
+                }
+                Element::ISource { p, n, ac_mag, .. } => {
+                    if let Some(r) = map.node_row(*p) {
+                        b[r] -= Complex::from_real(*ac_mag);
+                    }
+                    if let Some(r) = map.node_row(*n) {
+                        b[r] += Complex::from_real(*ac_mag);
+                    }
+                }
+                Element::VSource { p, n, ac_mag, .. } => {
+                    let br = map.branch_row(idx);
+                    if let Some(r) = map.node_row(*p) {
+                        base.push((r, br, 1.0));
+                        base.push((br, r, 1.0));
+                    }
+                    if let Some(r) = map.node_row(*n) {
+                        base.push((r, br, -1.0));
+                        base.push((br, r, -1.0));
+                    }
+                    b[br] = Complex::from_real(*ac_mag);
+                }
+                Element::Vcvs {
+                    p, n, cp, cn, gain, ..
+                } => {
+                    let br = map.branch_row(idx);
+                    if let Some(r) = map.node_row(*p) {
+                        base.push((r, br, 1.0));
+                        base.push((br, r, 1.0));
+                    }
+                    if let Some(r) = map.node_row(*n) {
+                        base.push((r, br, -1.0));
+                        base.push((br, r, -1.0));
+                    }
+                    if let Some(r) = map.node_row(*cp) {
+                        base.push((br, r, -gain));
+                    }
+                    if let Some(r) = map.node_row(*cn) {
+                        base.push((br, r, *gain));
+                    }
+                }
+                Element::Vccs {
+                    p, n, cp, cn, gm, ..
+                } => {
+                    gm_stamp(base, *p, *n, *cp, *cn, *gm);
+                }
+                Element::Mosfet {
+                    name,
+                    d,
+                    g,
+                    s: src,
+                    b: bn,
+                    ..
+                } => {
+                    let ev = op.mos_eval(name).ok_or_else(|| {
+                        SpiceError::NotFound(format!("operating point for {name}"))
+                    })?;
+                    // id = gm·vgs + gds·vds + gmb·vbs, current d→s.
+                    gm_stamp(base, *d, *src, *g, *src, ev.gm);
+                    gm_stamp(base, *d, *src, *d, *src, ev.gds);
+                    gm_stamp(base, *d, *src, *bn, *src, ev.gmb);
+                    adm(caps, *g, *src, ev.cgs);
+                    adm(caps, *g, *d, ev.cgd);
+                    adm(caps, *g, *bn, ev.cgb);
+                    adm(caps, *src, *bn, ev.csb);
+                    adm(caps, *d, *bn, ev.cdb);
+                }
+            }
+        }
+
+        if gmin > 0.0 {
+            for r in 0..(map.node_count() - 1) {
+                base.push((r, r, gmin));
+            }
+        }
+        Ok(topo_changed)
+    }
+}
+
+/// Dense engine storage: `(base, scratch, factors)`.
+fn make_dense(dim: usize) -> (CMatrix, CMatrix, CLu) {
+    (
+        CMatrix::zeros(dim, dim),
+        CMatrix::zeros(dim, dim),
+        CLu::with_dim(dim),
+    )
+}
+
+/// Sparse half of [`ComplexMnaWorkspace`]: CSR values over a frozen
+/// pattern, the symbolic factorization shared across every refactor, and
+/// the slot indices the triplet lists write through.
+#[derive(Debug)]
+struct SparseEngine {
+    y: CCsrMatrix,
+    base_vals: Vec<Complex>,
+    lu: CSparseLu,
+    /// Slot per `SmallSignal::base` triplet, in list order.
+    base_slots: Vec<usize>,
+    /// Slot per `SmallSignal::cap_entries` triplet; the CSR value array is
+    /// row-major, so replayed entries land grouped by destination row.
+    cap_slots: Vec<usize>,
+}
+
+/// Reusable complex MNA engine: assembles a [`SmallSignal`] into a dense or
+/// sparse matrix (chosen by structural fill ratio, overridable for tests),
+/// then factors `Y(s) = base + s·C` per sample point with zero steady-state
+/// allocation. One factorization serves both the linear solve and the
+/// determinant — exactly the pair TF extraction samples.
+#[derive(Debug, Default)]
+pub struct ComplexMnaWorkspace {
+    dim: usize,
+    choice: SolverChoice,
+    /// Dense engine (also the fallback when sparse analysis/refactor
+    /// fails).
+    dense: Option<(CMatrix, CMatrix, CLu)>,
+    sparse: Option<SparseEngine>,
+    /// Times a symbolic analysis ran (test hook: retuning must not
+    /// re-analyze).
+    analyses: usize,
+}
+
+impl ComplexMnaWorkspace {
+    /// Creates an empty engine; storage is built on first bind.
+    pub fn new() -> Self {
+        ComplexMnaWorkspace::default()
+    }
+
+    /// Overrides the automatic sparse/dense selection (takes effect at the
+    /// next [`ComplexMnaWorkspace::bind`] with `topo_changed = true`).
+    pub fn set_solver(&mut self, choice: SolverChoice) {
+        self.choice = choice;
+        // Force re-selection on the next bind.
+        self.dense = None;
+        self.sparse = None;
+        self.dim = 0;
+    }
+
+    /// Whether the engine currently factors sparse.
+    pub fn is_sparse(&self) -> bool {
+        self.sparse.is_some()
+    }
+
+    /// Number of symbolic analyses performed so far (stays constant across
+    /// value retuning of one topology).
+    pub fn symbolic_analyses(&self) -> usize {
+        self.analyses
+    }
+
+    /// Assembles `ss` into the engine. Pass the `topo_changed` flag from
+    /// [`SmallSignal::bind`]; when `false`, the pattern, symbolic
+    /// factorization and every buffer are reused and only values are
+    /// rewritten.
+    pub fn bind(&mut self, ss: &SmallSignal, topo_changed: bool) {
+        let dim = ss.dim();
+        let rebuild = topo_changed || (self.dense.is_none() && self.sparse.is_none());
+        if rebuild {
+            self.build_storage(ss, dim);
+        }
+        self.dim = dim;
+        if let Some(sp) = self.sparse.as_mut() {
+            // Refresh base values through the frozen slot map.
+            sp.base_vals.fill(Complex::ZERO);
+            debug_assert_eq!(sp.base_slots.len(), ss.base.len());
+            for (&slot, &(_, _, g)) in sp.base_slots.iter().zip(ss.base.iter()) {
+                sp.base_vals[slot] += Complex::from_real(g);
+            }
+            debug_assert_eq!(sp.cap_slots.len(), ss.cap_entries.len());
+        } else if let Some((base, _, _)) = self.dense.as_mut() {
+            base.clear();
+            for &(r, c, g) in &ss.base {
+                base.add_at(r, c, Complex::from_real(g));
+            }
+        }
+    }
+
+    /// Chooses the engine and builds pattern/symbolic/storage for a new
+    /// topology. Falls back to dense when the sparse analysis finds the
+    /// pattern structurally singular (the numeric path would too, but the
+    /// dense factorization reports it per sample, preserving the oracle
+    /// behaviour).
+    fn build_storage(&mut self, ss: &SmallSignal, dim: usize) {
+        self.dense = None;
+        self.sparse = None;
+        let mut entries: Vec<(usize, usize)> =
+            Vec::with_capacity(ss.base.len() + ss.cap_entries.len());
+        entries.extend(ss.base.iter().map(|&(r, c, _)| (r, c)));
+        entries.extend(ss.cap_entries.iter().map(|&(r, c, _)| (r, c)));
+        let (pattern, slots) = CsrPattern::from_entries(dim, &entries);
+        let go_sparse = match self.choice {
+            SolverChoice::Auto => prefer_sparse(dim, pattern.nnz()),
+            SolverChoice::Dense => false,
+            SolverChoice::Sparse => true,
+        };
+        if go_sparse {
+            if let Ok(sym) = Symbolic::analyze(&pattern) {
+                self.analyses += 1;
+                let (base_slots, cap_slots) = slots.split_at(ss.base.len());
+                self.sparse = Some(SparseEngine {
+                    y: CCsrMatrix::zeros(Arc::clone(&pattern)),
+                    base_vals: vec![Complex::ZERO; pattern.nnz()],
+                    lu: CSparseLu::new(sym),
+                    base_slots: base_slots.to_vec(),
+                    cap_slots: cap_slots.to_vec(),
+                });
+                return;
+            }
+        }
+        self.dense = Some(make_dense(dim));
+    }
+
+    /// Factors `Y(s) = base + s·C` in place at one complex frequency.
+    ///
+    /// # Errors
+    /// [`NumericsError::SingularMatrix`] when the system is singular at
+    /// `s` (dense), or when a pivot underflows under the static sparse
+    /// ordering.
+    pub fn factor_at(
+        &mut self,
+        s: Complex,
+        caps: &[(usize, usize, f64)],
+    ) -> Result<(), NumericsError> {
+        if let Some(sp) = self.sparse.as_mut() {
+            sp.y.values_mut().copy_from_slice(&sp.base_vals);
+            // Hard check: a silently truncating zip would drop capacitive
+            // admittances and return a plausible but wrong Y(s).
+            assert_eq!(
+                sp.cap_slots.len(),
+                caps.len(),
+                "cap entry list drifted from bind"
+            );
+            for (&slot, &(_, _, c)) in sp.cap_slots.iter().zip(caps.iter()) {
+                sp.y.add_slot(slot, s * c);
+            }
+            sp.lu.factor_into(&sp.y)
+        } else {
+            let (base, y, lu) = self.dense.as_mut().expect("engine bound");
+            y.copy_from(base);
+            for &(i, j, c) in caps {
+                y.add_at(i, j, s * c);
+            }
+            lu.factor_into(y)
+        }
+    }
+
+    /// Solves with the factors from the last [`ComplexMnaWorkspace::factor_at`].
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or if nothing was factored yet.
+    pub fn solve_into(&mut self, b: &[Complex], x: &mut [Complex]) {
+        if let Some(sp) = self.sparse.as_mut() {
+            sp.lu.solve_into(b, x);
+        } else {
+            let (_, _, lu) = self.dense.as_ref().expect("engine bound");
+            lu.solve_into(b, x);
+        }
+    }
+
+    /// Determinant from the factors of the last
+    /// [`ComplexMnaWorkspace::factor_at`] (product of pivots).
+    pub fn det(&self) -> Complex {
+        if let Some(sp) = self.sparse.as_ref() {
+            sp.lu.det()
+        } else {
+            let (_, _, lu) = self.dense.as_ref().expect("engine bound");
+            lu.det()
+        }
+    }
+
+    /// [`ComplexMnaWorkspace::factor_at`] with the engine's fallback policy
+    /// applied: a sparse static-pivot underflow demotes the engine to the
+    /// dense oracle in place and retries once, so callers never hard-fail
+    /// on a numerically unlucky static ordering the dense path would
+    /// survive.
+    ///
+    /// # Errors
+    /// [`NumericsError::SingularMatrix`] when the (dense) system is
+    /// genuinely singular at `s`.
+    pub fn factor_at_or_demote(
+        &mut self,
+        s: Complex,
+        ss: &SmallSignal,
+    ) -> Result<(), NumericsError> {
+        match self.factor_at(s, &ss.cap_entries) {
+            Err(_) if self.is_sparse() => {
+                self.demote_to_dense(ss);
+                self.factor_at(s, &ss.cap_entries)
+            }
+            out => out,
+        }
+    }
+
+    /// Demotes the engine to the dense oracle in place (sparse refactor hit
+    /// a numerically unlucky static pivot), rebuilding dense storage from
+    /// the bound `ss`.
+    pub fn demote_to_dense(&mut self, ss: &SmallSignal) {
+        self.sparse = None;
+        let dim = ss.dim();
+        self.dense = Some(make_dense(dim));
+        self.bind(ss, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{dc_operating_point, DcOptions};
+    use crate::netlist::Circuit;
+
+    fn rc_divider() -> (Circuit, OperatingPoint, NodeId) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource_wave("V1", vin, Circuit::GROUND, 0.0.into(), 1.0);
+        c.add_resistor("R1", vin, out, 1e3);
+        c.add_capacitor("C1", out, Circuit::GROUND, 1e-9);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        (c, op, out)
+    }
+
+    #[test]
+    fn bind_reports_topology_changes() {
+        let (c, op, _) = rc_divider();
+        let mut ss = SmallSignal::new();
+        assert!(ss.bind(&c, &op, 1e-12).unwrap());
+        assert!(
+            !ss.bind(&c, &op, 1e-12).unwrap(),
+            "same topology rebinds in place"
+        );
+        assert_eq!(ss.dim(), 3); // 2 nodes + 1 branch
+        assert_eq!(
+            ss.cap_entries.len(),
+            1,
+            "grounded cap stamps one diagonal entry"
+        );
+    }
+
+    #[test]
+    fn gmin_zero_leaves_base_untouched() {
+        let (c, op, _) = rc_divider();
+        let mut ss_ac = SmallSignal::new();
+        let mut ss_tf = SmallSignal::new();
+        ss_ac.bind(&c, &op, 1e-12).unwrap();
+        ss_tf.bind(&c, &op, 0.0).unwrap();
+        assert_eq!(
+            ss_ac.base.len(),
+            ss_tf.base.len() + 2,
+            "gmin adds one diagonal per node"
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_engines_agree() {
+        let (c, op, out) = rc_divider();
+        let mut ss = SmallSignal::new();
+        let topo = ss.bind(&c, &op, 1e-12).unwrap();
+        let row = ss.map().node_row(out).unwrap();
+        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * 159e3);
+
+        let mut results = Vec::new();
+        for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+            let mut eng = ComplexMnaWorkspace::new();
+            eng.set_solver(choice);
+            eng.bind(&ss, topo);
+            assert_eq!(eng.is_sparse(), choice == SolverChoice::Sparse);
+            eng.factor_at(s, &ss.cap_entries).unwrap();
+            let mut x = vec![Complex::ZERO; ss.dim()];
+            let b = ss.b.clone();
+            eng.solve_into(&b, &mut x);
+            results.push((x[row], eng.det()));
+        }
+        let (hd, dd) = results[0];
+        let (hs, ds) = results[1];
+        assert!(
+            (hd - hs).norm() <= 1e-12 * hd.norm().max(1e-30),
+            "{hd:?} vs {hs:?}"
+        );
+        assert!((dd - ds).norm() <= 1e-9 * dd.norm(), "{dd:?} vs {ds:?}");
+    }
+
+    #[test]
+    fn demotion_to_dense_preserves_results() {
+        let (c, op, out) = rc_divider();
+        let mut ss = SmallSignal::new();
+        let topo = ss.bind(&c, &op, 1e-12).unwrap();
+        let row = ss.map().node_row(out).unwrap();
+        let s = Complex::new(0.0, 1e6);
+        let mut eng = ComplexMnaWorkspace::new();
+        eng.set_solver(SolverChoice::Sparse);
+        eng.bind(&ss, topo);
+        eng.factor_at(s, &ss.cap_entries).unwrap();
+        let mut xs = vec![Complex::ZERO; ss.dim()];
+        let b = ss.b.clone();
+        eng.solve_into(&b, &mut xs);
+        // Demote in place: engine switches to the dense oracle and keeps
+        // producing the same answers for the same bound system.
+        eng.demote_to_dense(&ss);
+        assert!(!eng.is_sparse());
+        eng.factor_at(s, &ss.cap_entries).unwrap();
+        let mut xd = vec![Complex::ZERO; ss.dim()];
+        eng.solve_into(&b, &mut xd);
+        assert!((xs[row] - xd[row]).norm() <= 1e-12 * xd[row].norm().max(1e-30));
+    }
+
+    #[test]
+    fn rebinding_same_topology_reuses_symbolic() {
+        let (mut c, op, _) = rc_divider();
+        let mut ss = SmallSignal::new();
+        let topo = ss.bind(&c, &op, 1e-12).unwrap();
+        let mut eng = ComplexMnaWorkspace::new();
+        eng.set_solver(SolverChoice::Sparse);
+        eng.bind(&ss, topo);
+        assert_eq!(eng.symbolic_analyses(), 1);
+        // Retune and rebind: values change, pattern does not.
+        let (rid, _) = c.find_element("R1").unwrap();
+        c.set_value(rid, 2e3);
+        let topo = ss.bind(&c, &op, 1e-12).unwrap();
+        assert!(!topo);
+        eng.bind(&ss, topo);
+        assert_eq!(eng.symbolic_analyses(), 1, "retune must not re-analyze");
+    }
+}

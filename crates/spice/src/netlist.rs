@@ -459,6 +459,47 @@ impl Circuit {
         }
     }
 
+    /// Structural fingerprint of the netlist: element kinds and terminal
+    /// wiring, with all *values* (resistances, widths, waveforms…)
+    /// excluded. Two circuits with equal fingerprints stamp the same
+    /// matrix positions in the same order — the invariant the reusable
+    /// workspaces' precomputed sparse slot maps rely on. Value retuning
+    /// ([`Circuit::set_value`], [`Circuit::set_device_geometry`]) never
+    /// changes the fingerprint; rewiring, reordering or swapping element
+    /// kinds always does.
+    pub fn topology_fingerprint(&self) -> u64 {
+        // FNV-1a over (kind tag, terminal indices) per element.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.node_count() as u64);
+        for e in &self.elements {
+            let (tag, nodes): (u64, [usize; 4]) = match e {
+                Element::Resistor { a, b, .. } => (1, [a.index(), b.index(), 0, 0]),
+                Element::Capacitor { a, b, .. } => (2, [a.index(), b.index(), 0, 0]),
+                Element::Switch { a, b, .. } => (3, [a.index(), b.index(), 0, 0]),
+                Element::ISource { p, n, .. } => (4, [p.index(), n.index(), 0, 0]),
+                Element::VSource { p, n, .. } => (5, [p.index(), n.index(), 0, 0]),
+                Element::Vccs { p, n, cp, cn, .. } => {
+                    (6, [p.index(), n.index(), cp.index(), cn.index()])
+                }
+                Element::Vcvs { p, n, cp, cn, .. } => {
+                    (7, [p.index(), n.index(), cp.index(), cn.index()])
+                }
+                Element::Mosfet { d, g, s, b, .. } => {
+                    (8, [d.index(), g.index(), s.index(), b.index()])
+                }
+            };
+            mix(tag);
+            for n in nodes {
+                mix(n as u64 + 1);
+            }
+        }
+        h
+    }
+
     /// Number of extra MNA unknowns (branch currents of V-sources/VCVS).
     pub fn branch_count(&self) -> usize {
         self.elements

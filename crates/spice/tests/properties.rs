@@ -230,3 +230,194 @@ proptest! {
         prop_assert_eq!(c.elements(), c_ref.elements());
     }
 }
+
+/// Randomized cascode-OTA testbench, large enough (MNA dim ≥ 9) that the
+/// automatic engine selection takes the sparse path.
+fn random_ota(w1: f64, w2: f64, rl: f64, cl: f64, vb1: f64, vb2: f64) -> Circuit {
+    let p = Process::c025();
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let g = c.node("g");
+    let mid = c.node("mid");
+    let out = c.node("out");
+    let np = c.node("np");
+    let b1 = c.node("vb1");
+    let b2 = c.node("vb2");
+    c.add_vsource("VDD", vdd, Circuit::GROUND, 3.3);
+    c.add_vsource("VB1", b1, Circuit::GROUND, vb1);
+    c.add_vsource("VB2", b2, Circuit::GROUND, vb2);
+    c.add_vsource_wave("VG", g, Circuit::GROUND, 0.9.into(), 1.0);
+    // NMOS input + cascode.
+    c.add_mosfet(
+        "M1",
+        mid,
+        g,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        p.nmos,
+        w1 * 1e-6,
+        0.5e-6,
+    );
+    c.add_mosfet(
+        "M2",
+        out,
+        b2,
+        mid,
+        Circuit::GROUND,
+        p.nmos,
+        w1 * 1e-6,
+        0.5e-6,
+    );
+    // PMOS load branch.
+    c.add_mosfet("M3", out, b1, np, vdd, p.pmos, w2 * 1e-6, 0.5e-6);
+    c.add_mosfet("M4", np, b1, vdd, vdd, p.pmos, w2 * 1e-6, 0.5e-6);
+    c.add_resistor("RL", out, Circuit::GROUND, rl * 1e3);
+    c.add_capacitor("CL", out, Circuit::GROUND, cl * 1e-12);
+    c.add_capacitor("CM", mid, Circuit::GROUND, 0.2e-12);
+    c
+}
+
+proptest! {
+    /// Sparse and dense DC Newton engines land on the same operating point
+    /// (≤ 1e-9 relative) across randomized OTA testbenches.
+    #[test]
+    fn dc_sparse_matches_dense_oracle(
+        w1 in 2.0f64..40.0,
+        w2 in 2.0f64..40.0,
+        rl in 5.0f64..200.0,
+        vb1 in 1.6f64..2.4,
+        vb2 in 1.2f64..1.8,
+    ) {
+        use adc_spice::linearize::SolverChoice;
+        let c = random_ota(w1, w2, rl, 1.0, vb1, vb2);
+        // Converge well below the comparison tolerance so the two engines'
+        // independent Newton paths cannot differ by more than rounding.
+        let opts = DcOptions { vtol: 1e-12, itol: 1e-12, ..DcOptions::default() };
+        let mut dense = DcWorkspace::with_solver(&c, SolverChoice::Dense).unwrap();
+        let mut sparse = DcWorkspace::with_solver(&c, SolverChoice::Sparse).unwrap();
+        prop_assert!(!dense.is_sparse() && sparse.is_sparse());
+        let od = dc_operating_point_with(&mut dense, &c, &opts);
+        let os = dc_operating_point_with(&mut sparse, &c, &opts);
+        let (od, os) = match (od, os) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(_), Err(_)) => return Ok(()), // both reject: still agreeing
+            (a, b) => {
+                prop_assert!(false, "engines diverged: {:?} vs {:?}", a.is_ok(), b.is_ok());
+                unreachable!()
+            }
+        };
+        for node in 0..c.node_count() {
+            let n = adc_spice::netlist::NodeId::from_index(node);
+            let (vd, vs) = (od.voltage(n), os.voltage(n));
+            prop_assert!((vd - vs).abs() <= 1e-9 * vd.abs().max(1.0),
+                "node {node}: dense {vd} vs sparse {vs}");
+        }
+    }
+
+    /// Sparse and dense AC engines produce the same phasors (≤ 1e-9
+    /// relative) across randomized OTA testbenches and frequencies.
+    #[test]
+    fn ac_sparse_matches_dense_oracle(
+        w1 in 2.0f64..40.0,
+        w2 in 2.0f64..40.0,
+        rl in 5.0f64..200.0,
+        cl in 0.2f64..5.0,
+        fdec in 3.0f64..9.0,
+    ) {
+        use adc_spice::linearize::SolverChoice;
+        let c = random_ota(w1, w2, rl, cl, 2.0, 1.5);
+        let op = match dc_operating_point(&c, &DcOptions::default()) {
+            Ok(op) => op,
+            Err(_) => return Ok(()),
+        };
+        let freqs = [10f64.powf(fdec) * 0.5, 10f64.powf(fdec)];
+        let mut dense = AcWorkspace::with_solver(&c, &op, SolverChoice::Dense).unwrap();
+        let mut sparse = AcWorkspace::with_solver(&c, &op, SolverChoice::Sparse).unwrap();
+        prop_assert!(!dense.is_sparse() && sparse.is_sparse());
+        let sd = ac_sweep_with(&mut dense, &freqs).unwrap();
+        let ss = ac_sweep_with(&mut sparse, &freqs).unwrap();
+        for node in 0..c.node_count() {
+            let n = adc_spice::netlist::NodeId::from_index(node);
+            for (k, f) in freqs.iter().enumerate() {
+                let (vd, vs) = (sd.voltage(n, k), ss.voltage(n, k));
+                prop_assert!((vd - vs).norm() <= 1e-9 * vd.norm().max(1e-12),
+                    "node {node} @ {f} Hz: dense {vd:?} vs sparse {vs:?}");
+            }
+        }
+    }
+}
+
+/// The automatic engine selection picks sparse for the OTA-sized
+/// testbench, and retuning element values reuses the DC workspace without
+/// rebuilding (the symbolic factorization lives as long as the topology).
+#[test]
+fn auto_selection_and_retune_reuse() {
+    let mut c = random_ota(10.0, 20.0, 50.0, 1.0, 2.0, 1.5);
+    let mut ws = DcWorkspace::new(&c).unwrap();
+    assert!(ws.is_sparse(), "OTA testbench should auto-select sparse");
+    let opts = DcOptions::default();
+    let op1 = dc_operating_point_with(&mut ws, &c, &opts).unwrap();
+    // Retune a value in place: same topology, same workspace.
+    let (rid, _) = c.find_element("RL").unwrap();
+    c.set_value(rid, 80e3);
+    assert!(ws.matches(&c));
+    let op2 = dc_operating_point_with(&mut ws, &c, &opts).unwrap();
+    assert!(ws.is_sparse(), "retune keeps the sparse engine");
+    let out = c.find_node("out").unwrap();
+    assert!(op1.voltage(out).is_finite() && op2.voltage(out).is_finite());
+    // A fresh workspace on the retuned circuit agrees with the reused one.
+    let fresh = dc_operating_point(&c, &opts).unwrap();
+    for node in 0..c.node_count() {
+        let n = adc_spice::netlist::NodeId::from_index(node);
+        assert!(
+            (op2.voltage(n) - fresh.voltage(n)).abs() <= 1e-9 * fresh.voltage(n).abs().max(1.0),
+            "node {node}"
+        );
+    }
+}
+
+/// Rewiring an element (same node/element counts, same branch pattern)
+/// must rebuild a reused workspace — the sparse stamp slot maps are
+/// wiring-specific, so a stale map would silently assemble a wrong
+/// Jacobian. Regression test for the topology fingerprint.
+#[test]
+fn rewired_circuit_rebuilds_workspace() {
+    let build = |wired_to_out: bool| {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, 3.0);
+        c.add_resistor("R1", vin, mid, 1e3);
+        // Same element list length and kinds; only R2's wiring differs.
+        if wired_to_out {
+            c.add_resistor("R2", mid, out, 1e3);
+        } else {
+            c.add_resistor("R2", mid, Circuit::GROUND, 1e3);
+        }
+        c.add_resistor("R3", out, Circuit::GROUND, 2e3);
+        c.add_resistor("R4", mid, out, 4e3);
+        c.add_resistor("R5", vin, out, 8e3);
+        c.add_resistor("R6", mid, Circuit::GROUND, 16e3);
+        c.add_resistor("R7", vin, mid, 32e3);
+        c.add_resistor("R8", out, Circuit::GROUND, 64e3);
+        c.add_resistor("R9", vin, out, 128e3);
+        (c, out)
+    };
+    let (a, _) = build(true);
+    let (b, out_b) = build(false);
+    assert_ne!(a.topology_fingerprint(), b.topology_fingerprint());
+    let mut ws = DcWorkspace::new(&a).unwrap();
+    dc_operating_point_with(&mut ws, &a, &DcOptions::default()).unwrap();
+    assert!(!ws.matches(&b), "rewired circuit must not reuse slot maps");
+    // Solving the rewired circuit through the same workspace matches a
+    // fresh solve.
+    let reused = dc_operating_point_with(&mut ws, &b, &DcOptions::default()).unwrap();
+    let fresh = dc_operating_point(&b, &DcOptions::default()).unwrap();
+    assert!((reused.voltage(out_b) - fresh.voltage(out_b)).abs() < 1e-12);
+    // Value retuning, by contrast, keeps the fingerprint stable.
+    let (mut a2, _) = build(true);
+    let (rid, _) = a2.find_element("R2").unwrap();
+    a2.set_value(rid, 5e3);
+    assert_eq!(a.topology_fingerprint(), a2.topology_fingerprint());
+}

@@ -11,7 +11,12 @@
 //! when the testbench carries a [`BenchTuner`], each candidate is applied
 //! by **in-place retuning** (no netlist rebuild), and the DC Newton loop
 //! and TF sampling run entirely in preallocated buffers — the steady-state
-//! evaluation path is allocation-free.
+//! evaluation path is allocation-free. On OTA-sized testbenches both
+//! workspaces factor CSR-**sparse** against a symbolic factorization the
+//! engines freeze once per topology (see `adc_numerics::sparse`), so every
+//! Newton iteration and every `det Y(s)` sample pays only for structural
+//! nonzeros; the selection is automatic and the dense path remains the
+//! oracle.
 
 use crate::evaluator::{EvalOutcome, Evaluator, Performance};
 use adc_sfg::nettf::{extract_tf_with, NetTfOptions, NetTfWorkspace};
