@@ -82,6 +82,56 @@ fn parse_report(text: &str) -> Result<Vec<Row>, String> {
     Ok(rows)
 }
 
+/// Outcome of comparing one metric across the two reports.
+#[derive(Debug, Clone, PartialEq)]
+enum Verdict {
+    /// Present in both; within the gate.
+    Ok { delta: f64 },
+    /// Present in both; dropped more than the gate allows.
+    Fail { delta: f64 },
+    /// In the baseline but not the current report — informational only.
+    MissingFromCurrent,
+    /// In the current report but not the baseline (a metric that landed
+    /// before a baseline refresh) — informational only, **never** gates.
+    NewInCurrent,
+}
+
+/// Pure gate evaluation: every metric of either report gets a verdict;
+/// only `Fail` verdicts carry gate force. Separated from `main` so the
+/// report/ignore semantics are unit-tested.
+fn evaluate_gate(baseline: &[Row], current: &[Row], max_regression: f64) -> Vec<(String, Verdict)> {
+    let mut out: Vec<(String, Verdict)> = Vec::new();
+    for b in baseline {
+        let verdict = match current.iter().find(|c| c.name == b.name) {
+            None => Verdict::MissingFromCurrent,
+            Some(c) => {
+                let delta = c.evals_per_sec / b.evals_per_sec - 1.0;
+                if delta >= -max_regression {
+                    Verdict::Ok { delta }
+                } else {
+                    Verdict::Fail { delta }
+                }
+            }
+        };
+        out.push((b.name.clone(), verdict));
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            out.push((c.name.clone(), Verdict::NewInCurrent));
+        }
+    }
+    out
+}
+
+/// Names of the metrics that fail the gate.
+fn failures(verdicts: &[(String, Verdict)]) -> Vec<String> {
+    verdicts
+        .iter()
+        .filter(|(_, v)| matches!(v, Verdict::Fail { .. }))
+        .map(|(n, _)| n.clone())
+        .collect()
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let baseline_path = args.next().unwrap_or_else(|| "BENCH_BASELINE.json".into());
@@ -111,38 +161,28 @@ fn main() -> ExitCode {
     println!();
     println!("| metric | baseline (evals/s) | current (evals/s) | delta | gate |");
     println!("|---|---:|---:|---:|---|");
-    let mut failed = Vec::new();
-    for b in &baseline {
-        let Some(c) = current.iter().find(|c| c.name == b.name) else {
-            println!(
-                "| `{}` | {:.0} | — | — | missing (ignored) |",
-                b.name, b.evals_per_sec
-            );
-            continue;
+    let verdicts = evaluate_gate(&baseline, &current, max_regression);
+    for (name, verdict) in &verdicts {
+        let base = baseline.iter().find(|b| &b.name == name);
+        let cur = current.iter().find(|c| &c.name == name);
+        let fmt = |r: Option<&Row>| {
+            r.map(|r| format!("{:.0}", r.evals_per_sec))
+                .unwrap_or_else(|| "—".into())
         };
-        let delta = c.evals_per_sec / b.evals_per_sec - 1.0;
-        let ok = delta >= -max_regression;
+        let (delta_col, gate_col) = match verdict {
+            Verdict::Ok { delta } => (format!("{:+.1} %", delta * 100.0), "ok".to_string()),
+            Verdict::Fail { delta } => (format!("{:+.1} %", delta * 100.0), "**FAIL**".to_string()),
+            Verdict::MissingFromCurrent => ("—".into(), "missing (ignored)".into()),
+            Verdict::NewInCurrent => ("—".into(), "new (ignored)".into()),
+        };
         println!(
-            "| `{}` | {:.0} | {:.0} | {:+.1} % | {} |",
-            b.name,
-            b.evals_per_sec,
-            c.evals_per_sec,
-            delta * 100.0,
-            if ok { "ok" } else { "**FAIL**" }
+            "| `{name}` | {} | {} | {delta_col} | {gate_col} |",
+            fmt(base),
+            fmt(cur)
         );
-        if !ok {
-            failed.push(b.name.clone());
-        }
-    }
-    for c in &current {
-        if !baseline.iter().any(|b| b.name == c.name) {
-            println!(
-                "| `{}` | — | {:.0} | — | new (ignored) |",
-                c.name, c.evals_per_sec
-            );
-        }
     }
     println!();
+    let failed = failures(&verdicts);
     if failed.is_empty() {
         println!(
             "All gated metrics within {:.0} % of baseline.",
@@ -181,5 +221,55 @@ mod tests {
     fn rejects_empty_and_malformed() {
         assert!(parse_report("{}").is_err());
         assert!(parse_report("\"x\": { \"evals_per_sec\": nope }").is_err());
+    }
+
+    fn row(name: &str, rate: f64) -> Row {
+        Row {
+            name: name.into(),
+            evals_per_sec: rate,
+        }
+    }
+
+    /// A metric present in the current report but missing from the
+    /// baseline is informational: it must never fail the gate, so new
+    /// benchmark rows can land before the baseline refresh.
+    #[test]
+    fn new_metrics_report_but_never_gate() {
+        let baseline = vec![row("dc_solve", 1000.0)];
+        let current = vec![
+            row("dc_solve", 990.0),
+            row("multi_res_flow_cached", 123.0), // brand new
+        ];
+        let verdicts = evaluate_gate(&baseline, &current, 0.30);
+        assert!(failures(&verdicts).is_empty(), "{verdicts:?}");
+        assert!(verdicts
+            .iter()
+            .any(|(n, v)| n == "multi_res_flow_cached" && *v == Verdict::NewInCurrent));
+    }
+
+    /// The reverse direction — baseline metric missing from the current
+    /// report — is also informational (a renamed/retired bench must not
+    /// hard-fail CI either).
+    #[test]
+    fn missing_metrics_report_but_never_gate() {
+        let baseline = vec![row("old_bench", 1000.0), row("dc_solve", 1000.0)];
+        let current = vec![row("dc_solve", 1000.0)];
+        let verdicts = evaluate_gate(&baseline, &current, 0.30);
+        assert!(failures(&verdicts).is_empty(), "{verdicts:?}");
+        assert!(verdicts
+            .iter()
+            .any(|(n, v)| n == "old_bench" && *v == Verdict::MissingFromCurrent));
+    }
+
+    /// Real regressions on shared metrics still gate.
+    #[test]
+    fn regressions_on_shared_metrics_fail() {
+        let baseline = vec![row("dc_solve", 1000.0), row("hybrid_eval", 1000.0)];
+        let current = vec![
+            row("dc_solve", 650.0),    // −35 %: fails at 30 % gate
+            row("hybrid_eval", 750.0), // −25 %: within gate
+        ];
+        let verdicts = evaluate_gate(&baseline, &current, 0.30);
+        assert_eq!(failures(&verdicts), vec!["dc_solve".to_string()]);
     }
 }

@@ -8,6 +8,15 @@
 //! pre-workspace evaluator), while `hybrid_eval` retunes one persistent
 //! testbench in place and reuses all simulation buffers (steady state).
 //!
+//! The `multi_res_flow_*` rows measure the 10/11/12/13-bit flow end to
+//! end: `multi_res_flow_waves` runs the retained PR-2 wave-barrier
+//! scheduler with no cache (the cold baseline), `multi_res_flow_cached`
+//! the dependency-driven executor with the persistent aggressive
+//! [`BlockCache`] shared across resolutions (both in blocks/s), and
+//! `multi_res_cache_hit_pct` the cross-resolution exact-hit percentage.
+//! Detailed per-resolution statistics land in `CACHE_STATS.json` (uploaded
+//! as a CI artifact next to `BENCH_EVAL.json`).
+//!
 //! Run with `cargo run --release -p adc-bench --bin bench_eval`.
 
 use adc_mdac::opamp::{build_telescopic, TelescopicHandles, TelescopicParams};
@@ -19,7 +28,12 @@ use adc_spice::process::Process;
 use adc_synth::evaluator::{EvalOutcome, Evaluator};
 use adc_synth::hybrid::{BenchSetup, BenchTuner, HybridOptions, HybridOtaEvaluator};
 use adc_synth::SynthConfig;
-use adc_topopt::flow::{ota_requirements, synthesize_ota};
+use adc_topopt::cache::{BlockCache, CachePolicy};
+use adc_topopt::enumerate::enumerate_candidates;
+use adc_topopt::executor::ExecutorOptions;
+use adc_topopt::flow::{
+    ota_requirements, synthesize_candidate_set_waves, synthesize_multi_resolution, synthesize_ota,
+};
 use std::hint::black_box;
 use std::rc::Rc;
 use std::time::Instant;
@@ -147,6 +161,106 @@ fn main() {
         evals_per_sec: warm.evaluations as f64 / t_warm,
         evals: warm.evaluations,
     });
+
+    // Multi-resolution flow: 10/11/12/13-bit candidate sets, wave-barrier
+    // cold baseline vs dependency-driven executor + persistent aggressive
+    // cache. Both rows report block throughput (blocks/s).
+    let specs: Vec<AdcSpec> = [10u32, 11, 12, 13]
+        .iter()
+        .map(|&k| AdcSpec::date05(k))
+        .collect();
+    let flow_cfg = SynthConfig {
+        iterations: 200,
+        nm_iterations: 30,
+        seed: 11,
+        ..Default::default()
+    };
+    let t2 = Instant::now();
+    let mut waves_blocks = 0usize;
+    let mut waves_evals = 0usize;
+    let mut waves_feasible = 0usize;
+    for s in &specs {
+        let cands = enumerate_candidates(s.resolution, 7);
+        let blocks = synthesize_candidate_set_waves(s, &cands, &params, &flow_cfg);
+        waves_blocks += blocks.len();
+        waves_evals += blocks.iter().map(|b| b.result.evaluations).sum::<usize>();
+        waves_feasible += blocks.iter().filter(|b| b.result.feasible).count();
+    }
+    let t_waves = t2.elapsed().as_secs_f64();
+    rows.push(Row {
+        name: "multi_res_flow_waves",
+        evals_per_sec: waves_blocks as f64 / t_waves,
+        evals: waves_evals,
+    });
+
+    let mut cache = BlockCache::new(CachePolicy::Aggressive);
+    let t3 = Instant::now();
+    let runs = synthesize_multi_resolution(
+        &specs,
+        &params,
+        &flow_cfg,
+        &mut cache,
+        &ExecutorOptions::default(),
+    );
+    let t_cached = t3.elapsed().as_secs_f64();
+    let cached_blocks: usize = runs.iter().map(|r| r.stats.blocks).sum();
+    let spent: usize = runs.iter().map(|r| r.stats.evaluations_spent).sum();
+    let hits: usize = runs.iter().map(|r| r.stats.cache_hits).sum();
+    rows.push(Row {
+        name: "multi_res_flow_cached",
+        evals_per_sec: cached_blocks as f64 / t_cached,
+        evals: spent,
+    });
+    let hit_pct = 100.0 * hits as f64 / cached_blocks.max(1) as f64;
+    rows.push(Row {
+        name: "multi_res_cache_hit_pct",
+        evals_per_sec: hit_pct,
+        evals: hits,
+    });
+
+    // Cache-statistics artifact: per-resolution breakdown + totals.
+    let mut stats_json = String::from("{\n  \"resolutions\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        stats_json.push_str(&format!(
+            "    {{ \"bits\": {}, \"blocks\": {}, \"cache_hits\": {}, \"cache_seeded\": {}, \
+             \"cold\": {}, \"retargeted\": {}, \"evaluations_spent\": {}, \"wall_seconds\": {:.4} }}{}\n",
+            r.resolution,
+            r.stats.blocks,
+            r.stats.cache_hits,
+            r.stats.cache_seeded,
+            r.stats.cold,
+            r.stats.retargeted,
+            r.stats.evaluations_spent,
+            r.wall_seconds,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    let feasible: usize = runs
+        .iter()
+        .flat_map(|r| r.blocks.iter())
+        .filter(|b| b.result.feasible)
+        .count();
+    stats_json.push_str(&format!(
+        "  ],\n  \"totals\": {{ \"blocks\": {}, \"cache_hits\": {}, \"hit_rate_pct\": {:.2}, \
+         \"feasible_blocks\": {}, \"feasible_blocks_waves\": {}, \"evaluations_spent\": {}, \
+         \"evaluations_waves\": {}, \
+         \"wall_seconds_cached\": {:.4}, \"wall_seconds_waves\": {:.4}, \"speedup\": {:.3} }}\n}}\n",
+        cached_blocks,
+        hits,
+        hit_pct,
+        feasible,
+        waves_feasible,
+        spent,
+        waves_evals,
+        t_cached,
+        t_waves,
+        t_waves / t_cached
+    ));
+    std::fs::write("CACHE_STATS.json", &stats_json).expect("write CACHE_STATS.json");
+    eprintln!(
+        "wrote CACHE_STATS.json (speedup {:.2}x)",
+        t_waves / t_cached
+    );
 
     let mut json = String::from("{\n");
     for (i, r) in rows.iter().enumerate() {

@@ -1,0 +1,383 @@
+//! Persistent cross-resolution block-synthesis cache.
+//!
+//! The paper's designers amortized block design effort by reusing layouts:
+//! the 10/11/12/13-bit flows share many `(m, input-accuracy)` MDAC blocks
+//! whose derived requirements are *numerically identical* (capacitor
+//! sizing, settling and gain budgets depend on the stage spec and process,
+//! not the total resolution). [`BlockCache`] makes that reuse mechanical:
+//! it outlives a candidate set and a `flow` resolution run, keyed by
+//! `(template, normalized spec)`.
+//!
+//! Two reuse tiers:
+//!
+//! * **Exact hits** — an entry whose normalized requirement fingerprint
+//!   matches skips synthesis entirely.
+//! * **Near hits** — the closest same-template entry (in the paper's
+//!   `16·Δm + ΔA` block metric) seeds a warm-started retargeting run for a
+//!   block that must still be synthesized.
+//!
+//! The [`CachePolicy`] decides how much provenance an exact hit must carry:
+//!
+//! * [`CachePolicy::Reproducible`] (default) only reuses an entry whose
+//!   **provenance fingerprint** — a hash chain over the exact requirement
+//!   bits, the synthesis config and the whole warm-start ancestry — matches
+//!   what the current plan would compute, and never seeds near hits.
+//!   Synthesis is deterministic in those inputs, so a hit is bit-identical
+//!   to re-running the block: cached, cache-cold and serial-oracle runs all
+//!   produce the same candidate sets (property-tested).
+//! * [`CachePolicy::Aggressive`] reuses any entry for the same normalized
+//!   spec and config regardless of how it was warm-started, and seeds near
+//!   hits. Results stay deterministic *given the cache state* (the serial
+//!   and parallel executors still agree bit for bit) but may differ from a
+//!   cache-cold run — the trade the multi-resolution flow makes for its
+//!   wall-clock win.
+
+use crate::flow::{OtaRequirements, TemplateKind};
+
+fn template_tag(t: TemplateKind) -> u8 {
+    t.tag()
+}
+use adc_synth::SynthResult;
+use std::collections::BTreeMap;
+
+/// Reuse policy of a [`BlockCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Only provenance-exact hits; no near-hit seeding. Bit-identical to
+    /// cache-cold synthesis.
+    #[default]
+    Reproducible,
+    /// Any same-spec/same-config hit; near hits seed warm starts. Maximum
+    /// reuse, deterministic given the cache state.
+    Aggressive,
+}
+
+/// Cumulative counters over the lifetime of a [`BlockCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact-hit lookups attempted.
+    pub lookups: usize,
+    /// Exact hits (synthesis skipped).
+    pub hits: usize,
+    /// Near hits handed out as warm-start seeds.
+    pub near_seeds: usize,
+    /// Entries inserted (dedup'd re-inserts not counted).
+    pub insertions: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all exact lookups (0.0 when none were made).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// One cached block synthesis.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// `(m, input_accuracy)` reuse key — the coordinate of the near-hit
+    /// distance metric.
+    pub key: (u32, u32),
+    /// Exact requirements the block was synthesized for.
+    pub req: OtaRequirements,
+    /// The synthesis result.
+    pub result: SynthResult,
+    /// Provenance fingerprint: hash chain over the exact requirement bits,
+    /// config fingerprint and warm-start ancestry that produced `result`.
+    pub provenance: u64,
+    /// Fingerprint of the run configuration (process, budget/seed,
+    /// evaluator options) the result was computed under. Every reuse tier
+    /// filters on it: results from a different config never alias, even
+    /// under [`CachePolicy::Aggressive`].
+    pub config: u64,
+}
+
+/// Most entries kept per `(template, normalized spec)` bucket: distinct
+/// provenance chains for the same spec (reached from different resolutions)
+/// coexist, bounded so the cache cannot grow without limit.
+const BUCKET_CAP: usize = 4;
+
+/// Persistent block store keyed by `(template, normalized spec)`; see the
+/// module docs for the reuse tiers and policies.
+#[derive(Debug, Default)]
+pub struct BlockCache {
+    policy: CachePolicy,
+    /// `(template tag, normalized spec fingerprint)` → entries, newest
+    /// first. `BTreeMap` so every scan order is deterministic.
+    buckets: BTreeMap<(u8, u64), Vec<CacheEntry>>,
+    stats: CacheStats,
+}
+
+/// The paper's block-distance metric: resolution differences dominate
+/// (16 ×), accuracy differences break ties — the same metric the in-set
+/// warm-start planner uses, so cached and planned sources compete fairly.
+#[must_use]
+pub fn key_distance(a: (u32, u32), b: (u32, u32)) -> i64 {
+    (i64::from(a.0) - i64::from(b.0)).abs() * 16 + (i64::from(a.1) - i64::from(b.1)).abs()
+}
+
+impl BlockCache {
+    /// An empty cache with the given policy.
+    #[must_use]
+    pub fn new(policy: CachePolicy) -> Self {
+        BlockCache {
+            policy,
+            ..BlockCache::default()
+        }
+    }
+
+    /// The reuse policy.
+    #[must_use]
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Number of stored entries across all buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops all entries (statistics are kept).
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+    }
+
+    /// Exact lookup for a block about to be planned. `config` is the run's
+    /// configuration fingerprint — entries computed under a different
+    /// process/budget/evaluator setup never match, under either policy.
+    /// `provenance` is the fingerprint the current plan computes for the
+    /// block; under [`CachePolicy::Reproducible`] a hit must match it (and
+    /// the exact requirement bits), under [`CachePolicy::Aggressive`] the
+    /// newest same-spec same-config entry wins.
+    pub fn lookup(
+        &mut self,
+        template: TemplateKind,
+        spec_fp: u64,
+        req: &OtaRequirements,
+        provenance: u64,
+        config: u64,
+    ) -> Option<CacheEntry> {
+        self.stats.lookups += 1;
+        let bucket = self.buckets.get(&(template_tag(template), spec_fp))?;
+        let found = match self.policy {
+            CachePolicy::Reproducible => bucket
+                .iter()
+                .find(|e| e.config == config && e.provenance == provenance && e.req == *req),
+            CachePolicy::Aggressive => bucket.iter().find(|e| e.config == config),
+        };
+        let hit = found.cloned();
+        if hit.is_some() {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// Nearest same-template same-config entry to `key` in the block
+    /// metric — the warm-start seed for a miss. `better_than` (the
+    /// distance of the planner's in-set warm source, if any) bounds the
+    /// search: only an entry **strictly** closer is returned, so ties keep
+    /// the legacy in-set behaviour. Ties between entries resolve to the
+    /// earliest in deterministic bucket order. Only consulted (and
+    /// counted) under [`CachePolicy::Aggressive`].
+    pub fn nearest(
+        &mut self,
+        template: TemplateKind,
+        key: (u32, u32),
+        better_than: Option<i64>,
+        config: u64,
+    ) -> Option<CacheEntry> {
+        if self.policy != CachePolicy::Aggressive {
+            return None;
+        }
+        let tag = template_tag(template);
+        let mut best: Option<&CacheEntry> = None;
+        let mut best_dist = better_than.unwrap_or(i64::MAX);
+        for ((t, _), bucket) in &self.buckets {
+            if *t != tag {
+                continue;
+            }
+            for e in bucket.iter().filter(|e| e.config == config) {
+                let d = key_distance(e.key, key);
+                if d < best_dist {
+                    best = Some(e);
+                    best_dist = d;
+                }
+            }
+        }
+        let seed = best.cloned();
+        if seed.is_some() {
+            self.stats.near_seeds += 1;
+        }
+        seed
+    }
+
+    /// Stores a synthesized block. Re-inserting an existing provenance is a
+    /// no-op; buckets keep only the newest few provenance chains
+    /// (`BUCKET_CAP`).
+    pub fn insert(&mut self, template: TemplateKind, spec_fp: u64, entry: CacheEntry) {
+        let bucket = self
+            .buckets
+            .entry((template_tag(template), spec_fp))
+            .or_default();
+        if bucket.iter().any(|e| e.provenance == entry.provenance) {
+            return;
+        }
+        bucket.insert(0, entry);
+        bucket.truncate(BUCKET_CAP);
+        self.stats.insertions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(a0: f64) -> OtaRequirements {
+        OtaRequirements {
+            a0_min: a0,
+            unity_min: 1e8,
+            pm_min: 60.0,
+            c_load: 1e-12,
+            template: TemplateKind::Telescopic,
+        }
+    }
+
+    fn result(cost: f64) -> SynthResult {
+        SynthResult {
+            best_x: vec![cost],
+            best_u: vec![0.5],
+            best_perf: Default::default(),
+            best_cost: cost,
+            feasible: true,
+            evaluations: 7,
+        }
+    }
+
+    const CFG: u64 = 77;
+
+    fn entry(key: (u32, u32), provenance: u64) -> CacheEntry {
+        CacheEntry {
+            key,
+            req: req(100.0),
+            result: result(provenance as f64),
+            provenance,
+            config: CFG,
+        }
+    }
+
+    #[test]
+    fn reproducible_requires_provenance_and_exact_req() {
+        let mut c = BlockCache::new(CachePolicy::Reproducible);
+        c.insert(TemplateKind::Telescopic, 42, entry((2, 8), 7));
+        assert!(c
+            .lookup(TemplateKind::Telescopic, 42, &req(100.0), 7, CFG)
+            .is_some());
+        assert!(
+            c.lookup(TemplateKind::Telescopic, 42, &req(100.0), 8, CFG)
+                .is_none(),
+            "different provenance must miss"
+        );
+        assert!(
+            c.lookup(TemplateKind::Telescopic, 42, &req(101.0), 7, CFG)
+                .is_none(),
+            "different exact req must miss"
+        );
+        assert!(
+            c.lookup(TemplateKind::TwoStage, 42, &req(100.0), 7, CFG)
+                .is_none(),
+            "different template must miss"
+        );
+        assert!(
+            c.lookup(TemplateKind::Telescopic, 42, &req(100.0), 7, CFG + 1)
+                .is_none(),
+            "different config must miss"
+        );
+        assert_eq!(c.stats().lookups, 5);
+        assert_eq!(c.stats().hits, 1);
+        assert!((c.stats().hit_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggressive_ignores_provenance_and_seeds_near_hits() {
+        let mut c = BlockCache::new(CachePolicy::Aggressive);
+        c.insert(TemplateKind::Telescopic, 42, entry((2, 8), 7));
+        assert!(c
+            .lookup(TemplateKind::Telescopic, 42, &req(100.0), 999, CFG)
+            .is_some());
+        assert!(
+            c.lookup(TemplateKind::Telescopic, 42, &req(100.0), 999, CFG + 1)
+                .is_none(),
+            "aggressive hits still respect the config fingerprint"
+        );
+        // Near hit: closest key wins; repro policy would return None.
+        c.insert(TemplateKind::Telescopic, 43, entry((3, 9), 8));
+        let seed = c
+            .nearest(TemplateKind::Telescopic, (3, 10), None, CFG)
+            .unwrap();
+        assert_eq!(seed.key, (3, 9));
+        assert!(c
+            .nearest(TemplateKind::TwoStage, (3, 10), None, CFG)
+            .is_none());
+        assert!(
+            c.nearest(TemplateKind::Telescopic, (3, 10), None, CFG + 1)
+                .is_none(),
+            "seeds never cross configs"
+        );
+        // Distance bound: (3, 9) is at distance 1 from (3, 10) — a planned
+        // source at distance 1 keeps the tie, at distance 2 loses.
+        assert!(c
+            .nearest(TemplateKind::Telescopic, (3, 10), Some(1), CFG)
+            .is_none());
+        assert!(c
+            .nearest(TemplateKind::Telescopic, (3, 10), Some(2), CFG)
+            .is_some());
+        assert_eq!(c.stats().near_seeds, 2);
+
+        let mut repro = BlockCache::new(CachePolicy::Reproducible);
+        repro.insert(TemplateKind::Telescopic, 42, entry((2, 8), 7));
+        assert!(repro
+            .nearest(TemplateKind::Telescopic, (2, 9), None, CFG)
+            .is_none());
+    }
+
+    #[test]
+    fn buckets_dedup_and_cap() {
+        let mut c = BlockCache::new(CachePolicy::Aggressive);
+        for p in 0..10 {
+            c.insert(TemplateKind::Telescopic, 42, entry((2, 8), p));
+            c.insert(TemplateKind::Telescopic, 42, entry((2, 8), p)); // dup
+        }
+        assert_eq!(c.len(), BUCKET_CAP);
+        assert_eq!(c.stats().insertions, 10);
+        // Newest provenance wins the aggressive lookup.
+        let hit = c
+            .lookup(TemplateKind::Telescopic, 42, &req(100.0), 0, CFG)
+            .unwrap();
+        assert_eq!(hit.provenance, 9);
+    }
+
+    #[test]
+    fn distance_metric_matches_planner() {
+        assert_eq!(key_distance((4, 13), (4, 10)), 3);
+        assert_eq!(key_distance((2, 8), (3, 8)), 16);
+        assert_eq!(key_distance((2, 8), (4, 10)), 34);
+    }
+}

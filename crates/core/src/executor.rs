@@ -1,0 +1,290 @@
+//! Dependency-driven task executor for block synthesis.
+//!
+//! The PR-2 scheduler ran warm-start DAGs in scoped-thread **waves**: every
+//! block of wave *w* had to finish before any block of wave *w + 1*
+//! started, so a long retarget chain serialized each wave's tail. This
+//! executor replaces the barrier with a shared **ready queue**: a block is
+//! enqueued the moment its (single) warm-start dependency completes, and
+//! idle workers steal the next ready block regardless of which chain it
+//! belongs to — occupancy is limited only by the DAG's critical path.
+//!
+//! ## Determinism contract
+//!
+//! Scheduling order is *not* deterministic; results are. Each task is a
+//! pure function of its index and its dependency's result, every task runs
+//! exactly once, and result slots are written exactly once — so the output
+//! vector is bit-identical for any thread count and any interleaving. The
+//! flow layer's serial oracle plus the thread-count stress tests enforce
+//! this end to end.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorOptions {
+    /// Worker-thread count; `None` uses [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
+}
+
+impl ExecutorOptions {
+    /// A fixed thread count (tests / benchmarks).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        ExecutorOptions {
+            threads: Some(threads),
+        }
+    }
+
+    /// Resolves the worker count for `task_count` tasks: at least 1, at
+    /// most one worker per task.
+    #[must_use]
+    pub fn resolve(&self, task_count: usize) -> usize {
+        let hw = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        hw.clamp(1, task_count.max(1))
+    }
+}
+
+/// Shared scheduler state behind one mutex.
+struct State<R> {
+    ready: VecDeque<usize>,
+    results: Vec<Option<R>>,
+    finished: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Runs `task(i, warm)` for every `i < deps.len()`, where `warm` is the
+/// result of task `deps[i]` (`None` for root tasks), spawning each task the
+/// moment its dependency completes. Returns the results in task order.
+///
+/// `deps[i]`, when present, must point at an **earlier** index; the
+/// planners that feed this executor produce exactly that shape (a forest of
+/// warm-start chains in serial encounter order).
+///
+/// # Panics
+/// Panics if a dependency is not strictly earlier than its task, or
+/// (propagated) if a task panics on a worker thread.
+pub fn run_dag<R, F>(deps: &[Option<usize>], opts: &ExecutorOptions, task: F) -> Vec<R>
+where
+    R: Clone + Send,
+    F: Fn(usize, Option<&R>) -> R + Sync,
+{
+    let n = deps.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    for (i, d) in deps.iter().enumerate() {
+        if let Some(j) = *d {
+            assert!(j < i, "dependency {j} of task {i} is not earlier");
+        }
+    }
+    // dependents[j] = tasks unblocked by j finishing.
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots = VecDeque::new();
+    for (i, d) in deps.iter().enumerate() {
+        match *d {
+            Some(j) => dependents[j].push(i),
+            None => roots.push_back(i),
+        }
+    }
+    let workers = opts.resolve(n);
+    let state = Mutex::new(State {
+        ready: roots,
+        results: vec![None; n],
+        finished: 0,
+        panic: None,
+    });
+    let cv = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Steal the next ready task (and its warm input) under the
+                // lock, run it outside.
+                let (idx, warm) = {
+                    let mut st = state.lock().expect("executor mutex");
+                    loop {
+                        if st.panic.is_some() || st.finished == n {
+                            return;
+                        }
+                        if let Some(idx) = st.ready.pop_front() {
+                            let warm = deps[idx].map(|j| {
+                                st.results[j]
+                                    .clone()
+                                    .expect("dependency finished before enqueue")
+                            });
+                            break (idx, warm);
+                        }
+                        st = cv.wait(st).expect("executor condvar");
+                    }
+                };
+                let out = catch_unwind(AssertUnwindSafe(|| task(idx, warm.as_ref())));
+                let mut st = state.lock().expect("executor mutex");
+                match out {
+                    Ok(r) => {
+                        st.results[idx] = Some(r);
+                        st.finished += 1;
+                        for &d in &dependents[idx] {
+                            st.ready.push_back(d);
+                        }
+                    }
+                    Err(payload) => {
+                        st.panic.get_or_insert(payload);
+                    }
+                }
+                drop(st);
+                cv.notify_all();
+            });
+        }
+    });
+
+    let mut st = state.into_inner().expect("executor mutex");
+    if let Some(payload) = st.panic.take() {
+        resume_unwind(payload);
+    }
+    st.results
+        .into_iter()
+        .map(|r| r.expect("every task completed"))
+        .collect()
+}
+
+/// Runs an embarrassingly parallel map (no dependencies) on the executor —
+/// the degenerate DAG used by candidate-level evaluation.
+pub fn run_parallel<R, F>(n: usize, opts: &ExecutorOptions, task: F) -> Vec<R>
+where
+    R: Clone + Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let deps = vec![None; n];
+    run_dag(&deps, opts, |i, _| task(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A synthetic "synthesis": result encodes the whole warm chain, so any
+    /// scheduling error shows up as a wrong value somewhere.
+    fn chain_task(i: usize, warm: Option<&Vec<usize>>) -> Vec<usize> {
+        let mut v = warm.cloned().unwrap_or_default();
+        v.push(i);
+        v
+    }
+
+    fn diamond_deps() -> Vec<Option<usize>> {
+        // Two roots; interleaved chains of different lengths.
+        vec![
+            None,
+            Some(0),
+            None,
+            Some(1),
+            Some(2),
+            Some(3),
+            Some(3),
+            Some(2),
+            Some(6),
+        ]
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let deps = diamond_deps();
+        let serial = run_dag(&deps, &ExecutorOptions::with_threads(1), chain_task);
+        for threads in [2, 4, 8] {
+            let parallel = run_dag(&deps, &ExecutorOptions::with_threads(threads), chain_task);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        // And the auto-sized default.
+        assert_eq!(
+            serial,
+            run_dag(&deps, &ExecutorOptions::default(), chain_task)
+        );
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let deps = diamond_deps();
+        let count = AtomicUsize::new(0);
+        let out = run_dag(&deps, &ExecutorOptions::with_threads(4), |i, w| {
+            count.fetch_add(1, Ordering::SeqCst);
+            chain_task(i, w)
+        });
+        assert_eq!(out.len(), deps.len());
+        assert_eq!(count.load(Ordering::SeqCst), deps.len());
+    }
+
+    #[test]
+    fn dependency_ready_before_task_starts() {
+        // A long chain: each task asserts its warm input is the full
+        // prefix — catches premature scheduling.
+        let deps: Vec<Option<usize>> = (0..32)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
+        let out = run_dag(
+            &deps,
+            &ExecutorOptions::with_threads(4),
+            |i, warm: Option<&Vec<usize>>| {
+                if i > 0 {
+                    assert_eq!(warm.expect("warm present").len(), i);
+                }
+                chain_task(i, warm)
+            },
+        );
+        assert_eq!(out[31], (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_dag_is_fine() {
+        let out: Vec<u8> = run_dag(&[], &ExecutorOptions::default(), |_, _| 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        let a = run_parallel(17, &ExecutorOptions::with_threads(1), |i| i * i);
+        let b = run_parallel(17, &ExecutorOptions::with_threads(4), |i| i * i);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "block 5 exploded")]
+    fn task_panics_propagate() {
+        let deps: Vec<Option<usize>> = (0..8)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
+        run_dag(
+            &deps,
+            &ExecutorOptions::with_threads(2),
+            |i, w: Option<&usize>| {
+                if i == 5 {
+                    panic!("block 5 exploded");
+                }
+                w.copied().unwrap_or(0) + 1
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not earlier")]
+    fn forward_dependency_rejected() {
+        run_dag(
+            &[Some(1), None],
+            &ExecutorOptions::default(),
+            |_, _: Option<&u8>| 0u8,
+        );
+    }
+
+    #[test]
+    fn resolve_clamps_thread_count() {
+        assert_eq!(ExecutorOptions::with_threads(16).resolve(3), 3);
+        assert_eq!(ExecutorOptions::with_threads(0).resolve(3), 1);
+        assert!(ExecutorOptions::default().resolve(100) >= 1);
+        assert_eq!(ExecutorOptions::default().resolve(0), 1);
+    }
+}

@@ -1,27 +1,63 @@
 //! Block-level synthesis orchestration: spec translation, the MDAC reuse
-//! cache across candidates, and circuit-grounded OTA synthesis with
-//! warm-started retargeting.
+//! cache across candidates *and resolutions*, and circuit-grounded OTA
+//! synthesis with warm-started retargeting.
 //!
 //! The paper synthesized "eleven MDACs … to enumerate the seven 13-bit ADC
 //! configurations": distinct `(m, input-accuracy)` pairs are synthesized
 //! once and reused across candidates; retargeting a neighbouring spec
-//! warm-starts from the nearest finished design.
+//! warm-starts from the nearest finished design. This module extends that
+//! reuse across whole **resolution runs** through the persistent
+//! [`BlockCache`], and executes the distinct blocks of a set on the
+//! dependency-driven [`executor`](crate::executor) instead of barrier
+//! waves.
+//!
+//! ## Scheduling pipeline
+//!
+//! 1. `plan_candidate_set` (internal) — serial encounter order, warm-start
+//!    DAG from the keys alone (pure function of the candidate list);
+//! 2. cache consultation — exact hits skip synthesis, near hits seed warm
+//!    starts (policy-gated, see [`CachePolicy`](crate::cache::CachePolicy));
+//! 3. [`executor::run_dag`](crate::executor::run_dag) — each block spawns
+//!    the moment its warm source completes;
+//! 4. deterministic merge (ascending reuse key) + cache commit.
+//!
+//! [`synthesize_candidate_set_serial`] remains the bit-identical serial
+//! oracle, and [`synthesize_candidate_set_waves`] retains the PR-2
+//! wave-barrier scheduler as a benchmarking baseline.
 
+use crate::cache::{key_distance, BlockCache, CacheEntry};
 use crate::enumerate::Candidate;
+use crate::executor::{run_dag, ExecutorOptions};
 use adc_mdac::opamp::{
     build_telescopic, build_two_stage, TelescopicHandles, TelescopicParams, TwoStageHandles,
     TwoStageParams,
 };
 use adc_mdac::power::{design_chain, OtaTopology, PowerModelParams, StageDesign};
-use adc_mdac::specs::AdcSpec;
+use adc_mdac::specs::{AdcSpec, SPEC_NORM_DIGITS};
+use adc_numerics::quant::Fingerprint;
 use adc_spice::netlist::Circuit;
 use adc_spice::process::Process;
 use adc_synth::hybrid::{BenchSetup, BenchTuner, HybridOptions, HybridOtaEvaluator};
 use adc_synth::{
     Constraint, ConstraintKind, DesignSpace, DesignVar, SynthConfig, SynthResult, Synthesizer,
+    WarmStart,
 };
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Version salt folded into every provenance fingerprint. Bump when the
+/// synthesis pipeline changes in a way that invalidates cached results
+/// (evaluator semantics, annealing schedule, …).
+pub const FLOW_CACHE_VERSION: u64 = 1;
+
+/// The hybrid-evaluator options every flow synthesis runs under — the
+/// **single source of truth** shared by [`synthesize_ota_start`] (which
+/// builds the evaluator from it) and `flow_config_fingerprint` (which
+/// folds it into every cache provenance chain). Tuning the options here
+/// automatically invalidates stale cache entries.
+fn flow_hybrid_options() -> HybridOptions {
+    HybridOptions::default()
+}
 
 /// Collects the distinct MDAC block specs — `(m, input_accuracy)` pairs —
 /// across a set of candidates (the paper's reuse set).
@@ -45,6 +81,17 @@ pub enum TemplateKind {
     TwoStage,
 }
 
+impl TemplateKind {
+    /// Stable small-integer tag — the single source of truth for both the
+    /// requirement fingerprints and the [`BlockCache`] bucket keys.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            TemplateKind::Telescopic => 0,
+            TemplateKind::TwoStage => 1,
+        }
+    }
+}
+
 /// Requirements handed to the circuit-level OTA synthesis for one stage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OtaRequirements {
@@ -58,6 +105,36 @@ pub struct OtaRequirements {
     pub c_load: f64,
     /// Template implied by the analytic topology selection.
     pub template: TemplateKind,
+}
+
+impl OtaRequirements {
+    /// Fingerprint on the **normalized-spec grid** (template + values
+    /// quantized to [`SPEC_NORM_DIGITS`]): the [`BlockCache`] map key.
+    /// Independent derivations of the same physical spec — e.g. the same
+    /// `(m, input-accuracy)` block reached from two resolutions — collapse
+    /// onto one key.
+    pub fn normalized_fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .add_u64(u64::from(self.template.tag()))
+            .add_quantized(self.a0_min, SPEC_NORM_DIGITS)
+            .add_quantized(self.unity_min, SPEC_NORM_DIGITS)
+            .add_quantized(self.pm_min, SPEC_NORM_DIGITS)
+            .add_quantized(self.c_load, SPEC_NORM_DIGITS)
+            .finish()
+    }
+
+    /// Fingerprint over the **exact** requirement bits — the provenance
+    /// component attesting that two synthesis runs saw bit-identical
+    /// inputs.
+    pub fn exact_fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .add_u64(u64::from(self.template.tag()))
+            .add_f64_exact(self.a0_min)
+            .add_f64_exact(self.unity_min)
+            .add_f64_exact(self.pm_min)
+            .add_f64_exact(self.c_load)
+            .finish()
+    }
 }
 
 /// Derives circuit-level OTA requirements from an analytic stage design.
@@ -79,6 +156,20 @@ pub fn ota_requirements(design: &StageDesign, spec: &AdcSpec) -> OtaRequirements
     }
 }
 
+/// How one scheduled block executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockOrigin {
+    /// Cold synthesis (full budget).
+    Cold,
+    /// Retargeted from another block of the same candidate set.
+    Retargeted,
+    /// Retargeted from a near-hit [`BlockCache`] entry (no in-run
+    /// dependency — ready immediately).
+    CacheSeeded,
+    /// Exact cache hit: synthesis skipped, stored result returned.
+    CacheHit,
+}
+
 /// One synthesized MDAC opamp.
 #[derive(Debug, Clone)]
 pub struct MdacBlock {
@@ -88,8 +179,12 @@ pub struct MdacBlock {
     pub requirements: OtaRequirements,
     /// Synthesis result (sizing, performance, evaluation count).
     pub result: SynthResult,
-    /// Whether this block was warm-started from a previous one.
+    /// Whether this block was *planned* to warm-start from another block of
+    /// the set (a pure function of the candidate keys — identical across
+    /// cache modes and executors).
     pub retargeted: bool,
+    /// How the block actually executed in this run.
+    pub origin: BlockOrigin,
 }
 
 fn space_for(template: TemplateKind) -> DesignSpace {
@@ -120,13 +215,14 @@ fn constraints_for(req: &OtaRequirements) -> Vec<Constraint> {
     ]
 }
 
-/// Builds the synthesizer + evaluator pair for a requirement set and runs a
-/// cold synthesis (or a retarget from `warm_start`).
-pub fn synthesize_ota(
+/// Builds the synthesizer + evaluator pair for a requirement set and runs
+/// it from the given [`WarmStart`] mode ([`WarmStart::Reuse`] returns the
+/// cached result without touching the evaluator).
+pub fn synthesize_ota_start(
     process: &Process,
     req: &OtaRequirements,
     cfg: &SynthConfig,
-    warm_start: Option<&SynthResult>,
+    start: WarmStart<'_>,
 ) -> SynthResult {
     let space = space_for(req.template);
     let synth = Synthesizer::new(space, constraints_for(req), "power");
@@ -157,11 +253,23 @@ pub fn synthesize_ota(
             }
         }
     };
-    let evaluator = HybridOtaEvaluator::new(build, HybridOptions::default());
-    match warm_start {
-        Some(prev) => synth.retarget(&evaluator, prev, cfg),
-        None => synth.synthesize(&evaluator, cfg),
-    }
+    let evaluator = HybridOtaEvaluator::new(build, flow_hybrid_options());
+    synth.execute(&evaluator, cfg, start)
+}
+
+/// Builds the synthesizer + evaluator pair for a requirement set and runs a
+/// cold synthesis (or a retarget from `warm_start`).
+pub fn synthesize_ota(
+    process: &Process,
+    req: &OtaRequirements,
+    cfg: &SynthConfig,
+    warm_start: Option<&SynthResult>,
+) -> SynthResult {
+    let start = match warm_start {
+        Some(prev) => WarmStart::Retarget(prev),
+        None => WarmStart::Cold,
+    };
+    synthesize_ota_start(process, req, cfg, start)
 }
 
 /// One scheduled block of a candidate-set synthesis: its reuse key, the
@@ -171,6 +279,9 @@ pub fn synthesize_ota(
 struct PlannedBlock {
     key: (u32, u32),
     req: OtaRequirements,
+    /// [`StageSpec::fingerprint`](adc_mdac::specs::StageSpec::fingerprint)
+    /// of the block — the stage-level component of the cache key.
+    stage_fp: u64,
     warm: Option<usize>,
 }
 
@@ -200,44 +311,365 @@ fn plan_candidate_set(
             let warm = seen
                 .iter()
                 .filter(|(_, &idx)| planned[idx].req.template == req.template)
-                .min_by_key(|(k, _)| {
-                    (k.0 as i64 - key.0 as i64).abs() * 16 + (k.1 as i64 - key.1 as i64).abs()
-                })
+                .min_by_key(|(k, _)| key_distance(**k, key))
                 .map(|(_, &idx)| idx);
             seen.insert(key, planned.len());
-            planned.push(PlannedBlock { key, req, warm });
+            planned.push(PlannedBlock {
+                key,
+                req,
+                stage_fp: design.spec.fingerprint(),
+                warm,
+            });
         }
     }
     planned
 }
 
-/// Assembles the final block list (ascending key order, matching the serial
-/// cache's `into_values`) from the planned schedule and its results.
-fn merge_blocks(planned: Vec<PlannedBlock>, results: Vec<Option<SynthResult>>) -> Vec<MdacBlock> {
-    let mut blocks: Vec<MdacBlock> = planned
-        .into_iter()
-        .zip(results)
-        .map(|(p, r)| MdacBlock {
+/// Fingerprint of everything a synthesis run shares across blocks: the
+/// flow version, the target process, the budget/seed config and the hybrid
+/// evaluator options. Part of every block's provenance chain.
+fn flow_config_fingerprint(process: &Process, cfg: &SynthConfig) -> u64 {
+    Fingerprint::new()
+        .add_u64(FLOW_CACHE_VERSION)
+        .add_u64(process.fingerprint())
+        .add_u64(cfg.fingerprint())
+        .add_u64(flow_hybrid_options().fingerprint())
+        .finish()
+}
+
+/// How a scheduled block starts (after cache consultation).
+#[derive(Debug, Clone)]
+enum BlockStart {
+    Cold,
+    /// Warm from the result of an earlier scheduled block.
+    Retarget(usize),
+    /// Warm from a cached near-hit result (dependency-free).
+    SeedFromCache(SynthResult),
+    /// Exact cache hit: the stored result is the answer.
+    Hit(SynthResult),
+}
+
+/// A block after planning + cache consultation, ready for the executor.
+#[derive(Debug, Clone)]
+struct ScheduledBlock {
+    key: (u32, u32),
+    req: OtaRequirements,
+    /// Planned in-set warm source (kept for the `retargeted` flag).
+    planned_warm: bool,
+    start: BlockStart,
+    /// Provenance fingerprint of the result this block will carry.
+    provenance: u64,
+    /// Normalized-spec cache key.
+    spec_fp: u64,
+    /// Run-configuration fingerprint the result is computed under.
+    config_fp: u64,
+}
+
+/// Per-run synthesis statistics (the cache keeps its own cumulative
+/// counters; these describe one candidate-set run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Distinct blocks scheduled.
+    pub blocks: usize,
+    /// Blocks answered by an exact cache hit (no synthesis).
+    pub cache_hits: usize,
+    /// Blocks warm-started from a cached near hit.
+    pub cache_seeded: usize,
+    /// Cold (full-budget) syntheses executed.
+    pub cold: usize,
+    /// In-set retargets executed.
+    pub retargeted: usize,
+    /// Evaluator calls actually spent in this run (hits spend none).
+    pub evaluations_spent: usize,
+}
+
+impl RunStats {
+    /// Exact-hit fraction of this run's blocks (0.0 for an empty run).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.blocks as f64
+        }
+    }
+
+    /// Accumulates another run's counters (multi-resolution totals).
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.blocks += other.blocks;
+        self.cache_hits += other.cache_hits;
+        self.cache_seeded += other.cache_seeded;
+        self.cold += other.cold;
+        self.retargeted += other.retargeted;
+        self.evaluations_spent += other.evaluations_spent;
+    }
+}
+
+/// Result of a cache-aware candidate-set synthesis.
+#[derive(Debug, Clone)]
+pub struct SynthesisRun {
+    /// Synthesized blocks in ascending reuse-key order.
+    pub blocks: Vec<MdacBlock>,
+    /// What this run did (hits, seeds, evaluations).
+    pub stats: RunStats,
+}
+
+/// Plans a candidate set and consults the cache: exact hits become
+/// [`BlockStart::Hit`], and under aggressive policy
+/// ([`crate::cache::CachePolicy::Aggressive`]) a cached
+/// near hit closer (in the `16·Δm + ΔA` metric) than the planned in-set
+/// source — or available where no in-set source exists — seeds the warm
+/// start instead. Single-threaded and deterministic given the cache state;
+/// the executor only ever sees the finished schedule.
+fn schedule_candidate_set(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+    cfg: &SynthConfig,
+    mut cache: Option<&mut BlockCache>,
+) -> Vec<ScheduledBlock> {
+    let planned = plan_candidate_set(spec, candidates, params);
+    let cfg_fp = flow_config_fingerprint(&spec.process, cfg);
+    let mut scheduled: Vec<ScheduledBlock> = Vec::with_capacity(planned.len());
+    for p in &planned {
+        // Cache key: stage-level spec fingerprint ⊕ normalized requirement
+        // grid — both components must match for two blocks to share a
+        // bucket.
+        let spec_fp = Fingerprint::new()
+            .add_u64(p.stage_fp)
+            .add_u64(p.req.normalized_fingerprint())
+            .finish();
+        // Provenance chain: shared run config ⊕ problem definition ⊕ exact
+        // requirement bits ⊕ warm ancestry. Equal provenance attests that a
+        // stored result was produced by a bit-identical computation.
+        let problem_fp =
+            Synthesizer::new(space_for(p.req.template), constraints_for(&p.req), "power")
+                .problem_fingerprint();
+        let chain = |warm_prov: u64| {
+            Fingerprint::new()
+                .add_u64(cfg_fp)
+                .add_u64(problem_fp)
+                .add_u64(p.req.exact_fingerprint())
+                .add_u64(warm_prov)
+                .finish()
+        };
+        // Start from the planned in-set decision.
+        let mut start = match p.warm {
+            Some(j) => BlockStart::Retarget(j),
+            None => BlockStart::Cold,
+        };
+        let planned_warm_prov = match p.warm {
+            Some(j) => scheduled[j].provenance,
+            None => 0,
+        };
+        let mut provenance = chain(planned_warm_prov);
+        if let Some(cache) = cache.as_deref_mut() {
+            // Exact hit first: it supersedes any warm-source decision, so
+            // the (whole-cache) near-hit scan only runs on a miss.
+            if let Some(hit) = cache.lookup(p.req.template, spec_fp, &p.req, provenance, cfg_fp) {
+                provenance = hit.provenance;
+                start = BlockStart::Hit(hit.result);
+            } else {
+                // Near-hit seeding (aggressive policy only; `nearest`
+                // returns an entry only if *strictly* closer in the block
+                // metric than the planned in-set source — ties keep the
+                // legacy behaviour).
+                let planned_dist = p.warm.map(|j| key_distance(scheduled[j].key, p.key));
+                if let Some(seed) = cache.nearest(p.req.template, p.key, planned_dist, cfg_fp) {
+                    provenance = chain(seed.provenance);
+                    start = BlockStart::SeedFromCache(seed.result);
+                }
+            }
+        }
+        scheduled.push(ScheduledBlock {
             key: p.key,
-            requirements: p.req,
-            result: r.expect("every planned block is synthesized"),
-            retargeted: p.warm.is_some(),
+            req: p.req.clone(),
+            planned_warm: p.warm.is_some(),
+            start,
+            provenance,
+            spec_fp,
+            config_fp: cfg_fp,
+        });
+    }
+    scheduled
+}
+
+/// Executes a schedule on the dependency-driven executor and merges the
+/// results in ascending key order.
+fn execute_schedule(
+    process: &Process,
+    scheduled: &[ScheduledBlock],
+    cfg: &SynthConfig,
+    exec: &ExecutorOptions,
+) -> Vec<SynthResult> {
+    let deps: Vec<Option<usize>> = scheduled
+        .iter()
+        .map(|b| match b.start {
+            BlockStart::Retarget(j) => Some(j),
+            _ => None,
         })
         .collect();
+    run_dag(&deps, exec, |i, warm: Option<&SynthResult>| {
+        let b = &scheduled[i];
+        let start = match &b.start {
+            BlockStart::Cold => WarmStart::Cold,
+            BlockStart::Retarget(_) => {
+                WarmStart::Retarget(warm.expect("executor delivered the warm source"))
+            }
+            BlockStart::SeedFromCache(seed) => WarmStart::Retarget(seed),
+            BlockStart::Hit(hit) => WarmStart::Reuse(hit),
+        };
+        synthesize_ota_start(process, &b.req, cfg, start)
+    })
+}
+
+/// Executes a schedule strictly serially in encounter order — the
+/// determinism oracle for [`execute_schedule`].
+fn execute_schedule_serial(
+    process: &Process,
+    scheduled: &[ScheduledBlock],
+    cfg: &SynthConfig,
+) -> Vec<SynthResult> {
+    let mut results: Vec<SynthResult> = Vec::with_capacity(scheduled.len());
+    for b in scheduled {
+        let start = match &b.start {
+            BlockStart::Cold => WarmStart::Cold,
+            BlockStart::Retarget(j) => WarmStart::Retarget(&results[*j]),
+            BlockStart::SeedFromCache(seed) => WarmStart::Retarget(seed),
+            BlockStart::Hit(hit) => WarmStart::Reuse(hit),
+        };
+        results.push(synthesize_ota_start(process, &b.req, cfg, start));
+    }
+    results
+}
+
+/// Commits freshly synthesized blocks to the cache and assembles the
+/// merged block list + per-run statistics.
+fn finish_run(
+    scheduled: Vec<ScheduledBlock>,
+    results: Vec<SynthResult>,
+    mut cache: Option<&mut BlockCache>,
+) -> SynthesisRun {
+    let mut stats = RunStats {
+        blocks: scheduled.len(),
+        ..RunStats::default()
+    };
+    let mut blocks: Vec<MdacBlock> = Vec::with_capacity(scheduled.len());
+    for (b, result) in scheduled.into_iter().zip(results) {
+        let origin = match &b.start {
+            BlockStart::Cold => BlockOrigin::Cold,
+            BlockStart::Retarget(_) => BlockOrigin::Retargeted,
+            BlockStart::SeedFromCache(_) => BlockOrigin::CacheSeeded,
+            BlockStart::Hit(_) => BlockOrigin::CacheHit,
+        };
+        match origin {
+            BlockOrigin::Cold => stats.cold += 1,
+            BlockOrigin::Retargeted => stats.retargeted += 1,
+            BlockOrigin::CacheSeeded => stats.cache_seeded += 1,
+            BlockOrigin::CacheHit => stats.cache_hits += 1,
+        }
+        if origin != BlockOrigin::CacheHit {
+            stats.evaluations_spent += result.evaluations;
+            if let Some(cache) = cache.as_deref_mut() {
+                cache.insert(
+                    b.req.template,
+                    b.spec_fp,
+                    CacheEntry {
+                        key: b.key,
+                        req: b.req.clone(),
+                        result: result.clone(),
+                        provenance: b.provenance,
+                        config: b.config_fp,
+                    },
+                );
+            }
+        }
+        blocks.push(MdacBlock {
+            key: b.key,
+            requirements: b.req,
+            result,
+            retargeted: b.planned_warm,
+            origin,
+        });
+    }
     blocks.sort_by_key(|b| b.key);
-    blocks
+    SynthesisRun { blocks, stats }
 }
 
 /// Synthesizes every distinct MDAC of a candidate set with reuse: exact
 /// key hits are returned from the cache; otherwise the nearest same-template
 /// block (by input accuracy) warm-starts a retargeting run.
 ///
-/// The distinct blocks run **concurrently** on scoped threads: the
-/// warm-start DAG is planned up front from the keys alone, blocks whose
-/// warm sources are finished execute in parallel waves, and the merge is
+/// The distinct blocks run **concurrently** on the dependency-driven
+/// executor: the warm-start DAG is planned up front from the keys alone,
+/// each block spawns the moment its warm source completes, and the merge is
 /// deterministic — results are bit-identical to
 /// [`synthesize_candidate_set_serial`] (enforced by a regression test).
 pub fn synthesize_candidate_set(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+    cfg: &SynthConfig,
+) -> Vec<MdacBlock> {
+    synthesize_candidate_set_with(
+        spec,
+        candidates,
+        params,
+        cfg,
+        None,
+        &ExecutorOptions::default(),
+    )
+    .blocks
+}
+
+/// [`synthesize_candidate_set`] with an optional persistent [`BlockCache`]
+/// and explicit executor options — the cache-aware entry point the
+/// multi-resolution flow drives.
+pub fn synthesize_candidate_set_with(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+    cfg: &SynthConfig,
+    mut cache: Option<&mut BlockCache>,
+    exec: &ExecutorOptions,
+) -> SynthesisRun {
+    let scheduled = schedule_candidate_set(spec, candidates, params, cfg, cache.as_deref_mut());
+    let results = execute_schedule(&spec.process, &scheduled, cfg, exec);
+    finish_run(scheduled, results, cache)
+}
+
+/// Sequential reference implementation of [`synthesize_candidate_set`]:
+/// one block after another in serial encounter order. Kept as the
+/// determinism oracle for the parallel path.
+pub fn synthesize_candidate_set_serial(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+    cfg: &SynthConfig,
+) -> Vec<MdacBlock> {
+    synthesize_candidate_set_serial_with(spec, candidates, params, cfg, None).blocks
+}
+
+/// [`synthesize_candidate_set_serial`] with an optional cache — the serial
+/// oracle for the cache-aware paths (same schedule, strictly sequential
+/// execution).
+pub fn synthesize_candidate_set_serial_with(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+    cfg: &SynthConfig,
+    mut cache: Option<&mut BlockCache>,
+) -> SynthesisRun {
+    let scheduled = schedule_candidate_set(spec, candidates, params, cfg, cache.as_deref_mut());
+    let results = execute_schedule_serial(&spec.process, &scheduled, cfg);
+    finish_run(scheduled, results, cache)
+}
+
+/// The PR-2 wave-barrier scheduler, retained verbatim as the benchmarking
+/// baseline for the dependency-driven executor (`bench_eval`'s
+/// `multi_res_flow_waves` row): blocks whose warm sources finished run in
+/// scoped-thread waves with a barrier between waves.
+pub fn synthesize_candidate_set_waves(
     spec: &AdcSpec,
     candidates: &[Candidate],
     params: &PowerModelParams,
@@ -278,34 +710,72 @@ pub fn synthesize_candidate_set(
             results[i] = Some(r);
         }
     }
-    merge_blocks(planned, results)
+    let mut blocks: Vec<MdacBlock> = planned
+        .into_iter()
+        .zip(results)
+        .map(|(p, r)| MdacBlock {
+            key: p.key,
+            requirements: p.req,
+            result: r.expect("every planned block is synthesized"),
+            retargeted: p.warm.is_some(),
+            origin: if p.warm.is_some() {
+                BlockOrigin::Retargeted
+            } else {
+                BlockOrigin::Cold
+            },
+        })
+        .collect();
+    blocks.sort_by_key(|b| b.key);
+    blocks
 }
 
-/// Sequential reference implementation of [`synthesize_candidate_set`]:
-/// one block after another in serial encounter order. Kept as the
-/// determinism oracle for the parallel path.
-pub fn synthesize_candidate_set_serial(
-    spec: &AdcSpec,
-    candidates: &[Candidate],
+/// One resolution's worth of a multi-resolution flow.
+#[derive(Debug, Clone)]
+pub struct ResolutionRun {
+    /// Converter resolution K, bits.
+    pub resolution: u32,
+    /// Synthesized candidate-set blocks.
+    pub blocks: Vec<MdacBlock>,
+    /// Per-run statistics.
+    pub stats: RunStats,
+    /// Wall-clock seconds this resolution took.
+    pub wall_seconds: f64,
+}
+
+/// Runs candidate-set synthesis for each spec in order, sharing one
+/// persistent [`BlockCache`] across resolutions — the cross-resolution
+/// reuse ROADMAP item: later resolutions hit blocks the earlier ones
+/// synthesized (exact hits skip synthesis; under
+/// [`crate::cache::CachePolicy::Aggressive`], near hits turn would-be cold roots into
+/// retargets).
+pub fn synthesize_multi_resolution(
+    specs: &[AdcSpec],
     params: &PowerModelParams,
     cfg: &SynthConfig,
-) -> Vec<MdacBlock> {
-    let planned = plan_candidate_set(spec, candidates, params);
-    let mut results: Vec<Option<SynthResult>> = vec![None; planned.len()];
-    for (i, p) in planned.iter().enumerate() {
-        let warm = p.warm.map(|j| {
-            results[j]
-                .as_ref()
-                .expect("warm source has a lower serial index")
-        });
-        results[i] = Some(synthesize_ota(&spec.process, &p.req, cfg, warm));
-    }
-    merge_blocks(planned, results)
+    cache: &mut BlockCache,
+    exec: &ExecutorOptions,
+) -> Vec<ResolutionRun> {
+    specs
+        .iter()
+        .map(|spec| {
+            let t0 = std::time::Instant::now();
+            let candidates = crate::enumerate::enumerate_candidates(spec.resolution, 7);
+            let run =
+                synthesize_candidate_set_with(spec, &candidates, params, cfg, Some(cache), exec);
+            ResolutionRun {
+                resolution: spec.resolution,
+                blocks: run.blocks,
+                stats: run.stats,
+                wall_seconds: t0.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CachePolicy;
     use crate::enumerate::enumerate_candidates;
 
     #[test]
@@ -338,9 +808,46 @@ mod tests {
         assert_eq!(r1.template, TemplateKind::TwoStage);
     }
 
-    /// Determinism regression: the parallel candidate-set synthesis must
-    /// produce bit-identical results (sizing, cost, evaluation counts and
-    /// ordering) to the serial reference for the 13-bit candidate set.
+    #[test]
+    fn requirement_fingerprints_separate_normalization_from_exactness() {
+        let spec = AdcSpec::date05(13);
+        let params = PowerModelParams::calibrated();
+        let chain = design_chain(&spec, &[4, 3, 2], &params);
+        let r = ota_requirements(&chain[2], &spec);
+        // Last-ulp jitter collapses on the normalized grid but not in the
+        // exact provenance fingerprint.
+        let mut jittered = r.clone();
+        jittered.a0_min *= 1.0 + 1e-14;
+        assert_eq!(
+            r.normalized_fingerprint(),
+            jittered.normalized_fingerprint()
+        );
+        assert_ne!(r.exact_fingerprint(), jittered.exact_fingerprint());
+        // A genuinely different spec separates on both.
+        let other = ota_requirements(&chain[1], &spec);
+        assert_ne!(r.normalized_fingerprint(), other.normalized_fingerprint());
+    }
+
+    /// Cross-resolution reuse premise: the (2, 8) last-front-stage block of
+    /// the 13-bit 4-3-2 and the 11-bit 4-2 candidates derives bit-identical
+    /// requirements — what makes the persistent cache hit across `flow`
+    /// resolution runs.
+    #[test]
+    fn shared_blocks_across_resolutions_have_identical_requirements() {
+        let params = PowerModelParams::calibrated();
+        let s13 = AdcSpec::date05(13);
+        let s11 = AdcSpec::date05(11);
+        let c13 = design_chain(&s13, &[4, 3, 2], &params);
+        let c11 = design_chain(&s11, &[4, 2], &params);
+        let r13 = ota_requirements(&c13[2], &s13);
+        let r11 = ota_requirements(&c11[1], &s11);
+        assert_eq!(r13, r11);
+        assert_eq!(r13.exact_fingerprint(), r11.exact_fingerprint());
+    }
+
+    /// Determinism regression: the executor-driven candidate-set synthesis
+    /// must produce bit-identical results (sizing, cost, evaluation counts
+    /// and ordering) to the serial reference for the 13-bit candidate set.
     #[test]
     fn parallel_candidate_set_matches_serial() {
         let spec = AdcSpec::date05(13);
@@ -360,6 +867,7 @@ mod tests {
         for (a, b) in serial.iter().zip(parallel.iter()) {
             assert_eq!(a.key, b.key);
             assert_eq!(a.retargeted, b.retargeted);
+            assert_eq!(a.origin, b.origin);
             assert_eq!(a.result.best_x, b.result.best_x, "key {:?}", a.key);
             assert_eq!(a.result.best_cost, b.result.best_cost, "key {:?}", a.key);
             assert_eq!(
@@ -368,6 +876,98 @@ mod tests {
                 a.key
             );
             assert_eq!(a.result.feasible, b.result.feasible, "key {:?}", a.key);
+        }
+    }
+
+    /// The retained wave-barrier baseline still agrees with the executor
+    /// (same plan, different scheduling) — it exists purely as the
+    /// benchmark baseline.
+    #[test]
+    fn wave_baseline_matches_executor() {
+        let spec = AdcSpec::date05(10);
+        let params = PowerModelParams::calibrated();
+        let cands = enumerate_candidates(10, 7);
+        let cfg = SynthConfig {
+            iterations: 10,
+            nm_iterations: 2,
+            seed: 5,
+            ..Default::default()
+        };
+        let waves = synthesize_candidate_set_waves(&spec, &cands, &params, &cfg);
+        let exec = synthesize_candidate_set(&spec, &cands, &params, &cfg);
+        assert_eq!(waves.len(), exec.len());
+        for (a, b) in waves.iter().zip(exec.iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.result.best_x, b.result.best_x);
+            assert_eq!(a.result.evaluations, b.result.evaluations);
+        }
+    }
+
+    /// A reproducible cache warmed by one run answers a repeat of the same
+    /// run entirely from provenance-exact hits, bit-identically.
+    #[test]
+    fn reproducible_cache_replays_identical_run() {
+        let spec = AdcSpec::date05(10);
+        let params = PowerModelParams::calibrated();
+        let cands = enumerate_candidates(10, 7);
+        let cfg = SynthConfig {
+            iterations: 10,
+            nm_iterations: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        let exec = ExecutorOptions::default();
+        let mut cache = BlockCache::new(CachePolicy::Reproducible);
+        let first =
+            synthesize_candidate_set_with(&spec, &cands, &params, &cfg, Some(&mut cache), &exec);
+        assert_eq!(first.stats.cache_hits, 0);
+        assert!(cache.len() >= first.blocks.len());
+        let second =
+            synthesize_candidate_set_with(&spec, &cands, &params, &cfg, Some(&mut cache), &exec);
+        assert_eq!(
+            second.stats.cache_hits, second.stats.blocks,
+            "repeat run must be all hits: {:?}",
+            second.stats
+        );
+        assert_eq!(second.stats.evaluations_spent, 0);
+        for (a, b) in first.blocks.iter().zip(second.blocks.iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.result.best_x, b.result.best_x);
+            assert_eq!(a.result.evaluations, b.result.evaluations);
+            assert_eq!(b.origin, BlockOrigin::CacheHit);
+        }
+    }
+
+    /// A cache warmed under one synthesis config must never answer a run
+    /// under a different config — hits and seeds are config-isolated even
+    /// under the aggressive policy.
+    #[test]
+    fn cache_never_crosses_synthesis_configs() {
+        let spec = AdcSpec::date05(10);
+        let params = PowerModelParams::calibrated();
+        let cands = enumerate_candidates(10, 7);
+        let exec = ExecutorOptions::default();
+        let cfg_a = SynthConfig {
+            iterations: 10,
+            nm_iterations: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        let cfg_b = SynthConfig {
+            iterations: 14,
+            ..cfg_a.clone()
+        };
+        let mut cache = BlockCache::new(CachePolicy::Aggressive);
+        synthesize_candidate_set_with(&spec, &cands, &params, &cfg_a, Some(&mut cache), &exec);
+        let run_b =
+            synthesize_candidate_set_with(&spec, &cands, &params, &cfg_b, Some(&mut cache), &exec);
+        assert_eq!(run_b.stats.cache_hits, 0, "{:?}", run_b.stats);
+        assert_eq!(run_b.stats.cache_seeded, 0, "{:?}", run_b.stats);
+        // And the isolated run is bit-identical to a cache-free one.
+        let plain = synthesize_candidate_set(&spec, &cands, &params, &cfg_b);
+        for (a, b) in run_b.blocks.iter().zip(plain.iter()) {
+            assert_eq!(a.result.best_x, b.result.best_x);
+            assert_eq!(a.result.evaluations, b.result.evaluations);
         }
     }
 

@@ -10,7 +10,9 @@
 //! 2. [`flow`] — block-level synthesis orchestration: ADC→MDAC spec
 //!    translation, the MDAC-reuse cache across candidates (the paper's
 //!    eleven-ish distinct MDACs for the seven 13-bit candidates), and
-//!    circuit-grounded OTA synthesis with warm-started retargeting;
+//!    circuit-grounded OTA synthesis with warm-started retargeting,
+//!    scheduled on [`executor`] with cross-resolution reuse through
+//!    [`cache`];
 //! 3. [`optimize`] — stage- and total-power evaluation of every candidate
 //!    (Fig. 1 and Fig. 2 of the paper);
 //! 4. [`rules`] — derivation of the optimum-enumeration decision rules the
@@ -30,11 +32,16 @@
 //! assert_eq!(report.best().candidate.to_string(), "4-3-2");
 //! ```
 
+pub mod cache;
 pub mod enumerate;
+pub mod executor;
 pub mod flow;
 pub mod optimize;
 pub mod report;
 pub mod rules;
 
+pub use cache::{BlockCache, CachePolicy, CacheStats};
 pub use enumerate::{enumerate_candidates, Candidate};
+pub use executor::ExecutorOptions;
+pub use flow::{synthesize_multi_resolution, ResolutionRun, RunStats, SynthesisRun};
 pub use optimize::{optimize_topology, TopologyReport};

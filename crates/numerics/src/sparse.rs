@@ -170,6 +170,49 @@ impl CsrMatrix {
         self.vals[slot] += v;
     }
 
+    /// Accumulates `vals[k]` into slot `slots[k]` for every `k`, in order,
+    /// through a fixed-width (4-lane) inner loop the autovectorizer can
+    /// lift. Accumulation order matches the scalar `add_slot` loop, so
+    /// results are bit-identical even when slots repeat.
+    ///
+    /// # Panics
+    /// Panics if `slots` and `vals` differ in length or a slot is out of
+    /// range.
+    pub fn scatter_add(&mut self, slots: &[usize], vals: &[f64]) {
+        assert_eq!(slots.len(), vals.len(), "slot/value length mismatch");
+        let out = &mut self.vals[..];
+        let mut s4 = slots.chunks_exact(4);
+        let mut v4 = vals.chunks_exact(4);
+        for (s, v) in (&mut s4).zip(&mut v4) {
+            out[s[0]] += v[0];
+            out[s[1]] += v[1];
+            out[s[2]] += v[2];
+            out[s[3]] += v[3];
+        }
+        for (&s, &v) in s4.remainder().iter().zip(v4.remainder()) {
+            out[s] += v;
+        }
+    }
+
+    /// Accumulates the constant `v` into every slot of `slots` (the g_min
+    /// node-diagonal replay), chunked like [`CsrMatrix::scatter_add`].
+    ///
+    /// # Panics
+    /// Panics if a slot is out of range.
+    pub fn scatter_add_uniform(&mut self, slots: &[usize], v: f64) {
+        let out = &mut self.vals[..];
+        let mut s4 = slots.chunks_exact(4);
+        for s in &mut s4 {
+            out[s[0]] += v;
+            out[s[1]] += v;
+            out[s[2]] += v;
+            out[s[3]] += v;
+        }
+        for &s in s4.remainder() {
+            out[s] += v;
+        }
+    }
+
     /// Matrix–vector product into a caller-owned buffer (no allocation).
     ///
     /// # Panics
@@ -242,6 +285,33 @@ impl CCsrMatrix {
     #[inline]
     pub fn add_slot(&mut self, slot: usize, v: Complex) {
         self.vals[slot] += v;
+    }
+
+    /// Accumulates `s · vals[k]` into slot `slots[k]` for every `k` — the
+    /// per-sample replay of `s`-scaled capacitive entries. The complex
+    /// products are formed in a fixed-width 4-lane block (struct-of-arrays
+    /// friendly, liftable by the autovectorizer) before the scattered
+    /// accumulation; order matches the scalar loop, so results are
+    /// bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `slots` and `vals` differ in length or a slot is out of
+    /// range.
+    pub fn scatter_add_scaled(&mut self, slots: &[usize], vals: &[f64], s: Complex) {
+        assert_eq!(slots.len(), vals.len(), "slot/value length mismatch");
+        let out = &mut self.vals[..];
+        let mut s4 = slots.chunks_exact(4);
+        let mut v4 = vals.chunks_exact(4);
+        for (sl, v) in (&mut s4).zip(&mut v4) {
+            let prod = [s * v[0], s * v[1], s * v[2], s * v[3]];
+            out[sl[0]] += prod[0];
+            out[sl[1]] += prod[1];
+            out[sl[2]] += prod[2];
+            out[sl[3]] += prod[3];
+        }
+        for (&sl, &v) in s4.remainder().iter().zip(v4.remainder()) {
+            out[sl] += s * v;
+        }
     }
 
     /// Densifies to a [`CMatrix`] (oracle comparisons in tests).
@@ -877,6 +947,43 @@ mod tests {
             assert!(r.norm() < 1e-13, "residual {r:?}");
         }
         assert!((lu.det() - dense.det()).norm() < 1e-12);
+    }
+
+    /// The chunked scatter helpers must match the scalar `add_slot` loop
+    /// bit for bit, including duplicate slots and non-multiple-of-4
+    /// lengths.
+    #[test]
+    fn chunked_scatter_matches_scalar_loop() {
+        let entries: Vec<(usize, usize)> = (0..7).map(|i| (i, (i * 3) % 7)).collect();
+        let (pat, slots) = CsrPattern::from_entries(7, &entries);
+        // Replay list with repeats and length 4k+2.
+        let replay: Vec<usize> = slots.iter().chain(slots.iter().take(3)).copied().collect();
+        let vals: Vec<f64> = (0..replay.len()).map(|k| 0.1 + k as f64 * 0.37).collect();
+
+        let mut scalar = CsrMatrix::zeros(Arc::clone(&pat));
+        for (&s, &v) in replay.iter().zip(vals.iter()) {
+            scalar.add_slot(s, v);
+        }
+        let mut chunked = CsrMatrix::zeros(Arc::clone(&pat));
+        chunked.scatter_add(&replay, &vals);
+        assert_eq!(scalar.values(), chunked.values());
+
+        let mut scalar_u = CsrMatrix::zeros(Arc::clone(&pat));
+        for &s in &replay {
+            scalar_u.add_slot(s, 1e-12);
+        }
+        let mut chunked_u = CsrMatrix::zeros(Arc::clone(&pat));
+        chunked_u.scatter_add_uniform(&replay, 1e-12);
+        assert_eq!(scalar_u.values(), chunked_u.values());
+
+        let s = Complex::new(0.25, -1.5);
+        let mut cscalar = CCsrMatrix::zeros(Arc::clone(&pat));
+        for (&sl, &v) in replay.iter().zip(vals.iter()) {
+            cscalar.add_slot(sl, s * v);
+        }
+        let mut cchunked = CCsrMatrix::zeros(Arc::clone(&pat));
+        cchunked.scatter_add_scaled(&replay, &vals, s);
+        assert_eq!(cscalar.values(), cchunked.values());
     }
 
     #[test]

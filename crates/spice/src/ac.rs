@@ -80,12 +80,19 @@ pub fn unwrap_phase_deg(raw: &[f64]) -> Vec<f64> {
 /// otherwise-floating nodes stay solvable.
 const AC_GMIN: f64 = 1e-12;
 
-/// Reusable AC-analysis workspace: the circuit is **linearized once** at
-/// the operating point through the shared [`SmallSignal`] linearizer, and
+/// Reusable AC-analysis workspace: the circuit is **linearized once per
+/// operating point** through the shared [`SmallSignal`] linearizer, and
 /// each sweep point only replays the jω-dependent entries into the
 /// [`ComplexMnaWorkspace`] engine (dense or CSR-sparse with a reusable
 /// symbolic factorization, selected by structural fill ratio) before an
 /// in-place factor + solve.
+///
+/// Like `NetTfWorkspace` in adc-sfg, the workspace **rebinds in place**:
+/// [`AcWorkspace::rebind`] restamps a retuned circuit at a new operating
+/// point into the existing buffers — the index map, CSR pattern and
+/// symbolic factorization are rebuilt only when the circuit *topology*
+/// changed, so repeated AC sweeps across operating points are
+/// allocation-free.
 #[derive(Debug)]
 pub struct AcWorkspace {
     ss: SmallSignal,
@@ -113,23 +120,47 @@ impl AcWorkspace {
         op: &OperatingPoint,
         choice: SolverChoice,
     ) -> SpiceResult<Self> {
-        let mut ss = SmallSignal::new();
-        let topo = ss.bind(circuit, op, AC_GMIN)?;
         let mut engine = ComplexMnaWorkspace::new();
         engine.set_solver(choice);
-        engine.bind(&ss, topo);
-        let dim = ss.dim();
-        Ok(AcWorkspace {
-            ss,
+        let mut ws = AcWorkspace {
+            ss: SmallSignal::new(),
             engine,
-            x: vec![Complex::ZERO; dim],
-            node_count: circuit.node_count(),
-        })
+            x: Vec::new(),
+            node_count: 0,
+        };
+        ws.rebind(circuit, op)?;
+        Ok(ws)
+    }
+
+    /// (Re)binds the workspace to `circuit` linearized at `op`: the
+    /// s-independent base and the capacitive entry lists are restamped in
+    /// place, and the engine's pattern, symbolic factorization and factor
+    /// buffers are reused whenever the topology is unchanged — only a
+    /// rewired circuit rebuilds them. Repeated sweeps across operating
+    /// points of one testbench therefore allocate nothing.
+    ///
+    /// # Errors
+    /// [`SpiceError::NotFound`] if a MOSFET has no operating-point entry.
+    pub fn rebind(&mut self, circuit: &Circuit, op: &OperatingPoint) -> SpiceResult<()> {
+        let topo = self.ss.bind(circuit, op, AC_GMIN)?;
+        self.engine.bind(&self.ss, topo);
+        if self.x.len() != self.ss.dim() {
+            self.x.resize(self.ss.dim(), Complex::ZERO);
+        }
+        self.node_count = circuit.node_count();
+        Ok(())
     }
 
     /// Whether the complex MNA engine currently factors sparse.
     pub fn is_sparse(&self) -> bool {
         self.engine.is_sparse()
+    }
+
+    /// Number of symbolic analyses performed so far (stays constant across
+    /// rebinds of one topology — the reuse contract repeated sweeps rely
+    /// on).
+    pub fn symbolic_analyses(&self) -> usize {
+        self.engine.symbolic_analyses()
     }
 
     /// Solves the linearized system at one complex frequency `s = jω`
@@ -262,6 +293,76 @@ mod tests {
         for w in un.windows(2) {
             assert!((w[1] - w[0]).abs() <= 180.0, "{un:?}");
         }
+    }
+
+    /// RC ladder big enough (MNA dim ≥ 9, sparse fill) to exercise the CSR
+    /// engine under rebinding.
+    fn rc_ladder(n: usize, r: f64) -> Circuit {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        c.add_vsource_wave("V1", vin, Circuit::GROUND, 0.0.into(), 1.0);
+        let mut prev = vin;
+        for i in 0..n {
+            let node = c.node(&format!("n{i}"));
+            c.add_resistor(&format!("R{i}"), prev, node, r);
+            c.add_capacitor(&format!("C{i}"), node, Circuit::GROUND, 1e-9);
+            prev = node;
+        }
+        c
+    }
+
+    /// Rebinding the workspace to a retuned circuit at a new operating
+    /// point must match a freshly built workspace bit for bit, without a
+    /// second symbolic analysis (the `NetTfWorkspace` reuse contract,
+    /// ROADMAP "AcWorkspace rebind").
+    #[test]
+    fn rebind_matches_fresh_workspace_and_reuses_symbolic() {
+        let mut c = rc_ladder(10, 1e3);
+        let out = c.node("n9");
+        let freqs = logspace(1e3, 1e7, 13);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let mut ws = AcWorkspace::new(&c, &op).unwrap();
+        assert!(ws.is_sparse(), "ladder should take the CSR path");
+        let first = ac_sweep_with(&mut ws, &freqs).unwrap();
+        let fresh = ac_sweep(&c, &op, &freqs).unwrap();
+        assert_eq!(first.trace(out), fresh.trace(out));
+        let analyses = ws.symbolic_analyses();
+
+        // Retune values (same topology), new OP, rebind in place.
+        for i in 0..10 {
+            let (rid, _) = c.find_element(&format!("R{i}")).unwrap();
+            c.set_value(rid, 2.2e3);
+        }
+        let op2 = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        ws.rebind(&c, &op2).unwrap();
+        assert_eq!(
+            ws.symbolic_analyses(),
+            analyses,
+            "value retune must not re-analyze"
+        );
+        let rebound = ac_sweep_with(&mut ws, &freqs).unwrap();
+        let fresh2 = ac_sweep(&c, &op2, &freqs).unwrap();
+        assert_eq!(rebound.trace(out), fresh2.trace(out));
+    }
+
+    /// A genuinely rewired circuit must rebuild the engine on rebind, not
+    /// replay stale slot maps.
+    #[test]
+    fn rebind_detects_topology_change() {
+        let mut c = rc_ladder(10, 1e3);
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let mut ws = AcWorkspace::new(&c, &op).unwrap();
+        let analyses = ws.symbolic_analyses();
+        // Add an element: the topology fingerprint changes.
+        let tap = c.node("n4");
+        c.add_capacitor("CX", tap, Circuit::GROUND, 2e-9);
+        let op2 = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        ws.rebind(&c, &op2).unwrap();
+        assert!(ws.symbolic_analyses() > analyses || !ws.is_sparse());
+        let freqs = [1e4, 1e6];
+        let rebound = ac_sweep_with(&mut ws, &freqs).unwrap();
+        let fresh = ac_sweep(&c, &op2, &freqs).unwrap();
+        assert_eq!(rebound.trace(tap), fresh.trace(tap));
     }
 
     #[test]

@@ -232,6 +232,10 @@ enum DcEngine {
         slots: Vec<usize>,
         linear_len: usize,
         gmin_len: usize,
+        /// Scratch for MOSFET companion values, buffered per assembly so
+        /// the restamp replays through the chunked
+        /// [`CsrMatrix::scatter_add`] kernel instead of per-entry adds.
+        mos_vals: Vec<f64>,
     },
 }
 
@@ -348,14 +352,18 @@ impl DcWorkspace {
             return dense_engine(dim);
         }
         match Symbolic::analyze(&pattern) {
-            Ok(sym) => DcEngine::Sparse {
-                base_vals: vec![0.0; pattern.nnz()],
-                jac: CsrMatrix::zeros(pattern),
-                lu: SparseLu::new(sym),
-                slots,
-                linear_len,
-                gmin_len,
-            },
+            Ok(sym) => {
+                let mos_len = slots.len() - linear_len - gmin_len;
+                DcEngine::Sparse {
+                    base_vals: vec![0.0; pattern.nnz()],
+                    jac: CsrMatrix::zeros(pattern),
+                    lu: SparseLu::new(sym),
+                    slots,
+                    linear_len,
+                    gmin_len,
+                    mos_vals: Vec::with_capacity(mos_len),
+                }
+            }
             // Structurally singular patterns get the dense oracle's
             // per-iteration singularity reporting instead.
             Err(_) => dense_engine(dim),
@@ -449,6 +457,7 @@ impl DcWorkspace {
                 slots,
                 linear_len,
                 gmin_len,
+                mos_vals,
                 ..
             } => {
                 jac.values_mut().copy_from_slice(base_vals);
@@ -456,19 +465,27 @@ impl DcWorkspace {
                 for (r, b) in res.iter_mut().zip(self.base_rhs.iter()) {
                     *r -= source_scale * b;
                 }
-                for (row, &slot) in slots[*linear_len..*linear_len + *gmin_len]
-                    .iter()
-                    .enumerate()
-                {
-                    jac.add_slot(slot, gmin);
-                    res[row] += gmin * x[row];
+                // g_min node diagonals: the residual update is a contiguous
+                // axpy over the node rows, the matrix update a chunked
+                // uniform slot replay.
+                let gmin_slots = &slots[*linear_len..*linear_len + *gmin_len];
+                for (r, &xi) in res[..*gmin_len].iter_mut().zip(x[..*gmin_len].iter()) {
+                    *r += gmin * xi;
                 }
-                let mut k = *linear_len + *gmin_len;
+                jac.scatter_add_uniform(gmin_slots, gmin);
+                // MOSFET companions: buffer the traversal's values, then
+                // scatter through the chunked kernel in the same order.
+                mos_vals.clear();
                 stamp_mosfets(circuit, map, x, res, &mut |_, _, v| {
-                    jac.add_slot(slots[k], v);
-                    k += 1;
+                    mos_vals.push(v);
                 });
-                debug_assert_eq!(k, slots.len(), "stamp traversal drifted from slot map");
+                let mos_slots = &slots[*linear_len + *gmin_len..];
+                debug_assert_eq!(
+                    mos_vals.len(),
+                    mos_slots.len(),
+                    "stamp traversal drifted from slot map"
+                );
+                jac.scatter_add(mos_slots, mos_vals);
             }
         }
     }

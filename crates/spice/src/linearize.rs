@@ -268,6 +268,10 @@ struct SparseEngine {
     /// Slot per `SmallSignal::cap_entries` triplet; the CSR value array is
     /// row-major, so replayed entries land grouped by destination row.
     cap_slots: Vec<usize>,
+    /// Capacitance per `cap_entries` triplet, gathered per factorization so
+    /// the `s·C` replay runs struct-of-arrays through the chunked
+    /// [`CCsrMatrix::scatter_add_scaled`] kernel.
+    cap_vals: Vec<f64>,
 }
 
 /// Reusable complex MNA engine: assembles a [`SmallSignal`] into a dense or
@@ -370,6 +374,7 @@ impl ComplexMnaWorkspace {
                     lu: CSparseLu::new(sym),
                     base_slots: base_slots.to_vec(),
                     cap_slots: cap_slots.to_vec(),
+                    cap_vals: Vec::with_capacity(cap_slots.len()),
                 });
                 return;
             }
@@ -397,9 +402,11 @@ impl ComplexMnaWorkspace {
                 caps.len(),
                 "cap entry list drifted from bind"
             );
-            for (&slot, &(_, _, c)) in sp.cap_slots.iter().zip(caps.iter()) {
-                sp.y.add_slot(slot, s * c);
-            }
+            // Gather the capacitances into a flat array, then replay the
+            // s-scaled slots through the fixed-width chunked kernel.
+            sp.cap_vals.clear();
+            sp.cap_vals.extend(caps.iter().map(|&(_, _, c)| c));
+            sp.y.scatter_add_scaled(&sp.cap_slots, &sp.cap_vals, s);
             sp.lu.factor_into(&sp.y)
         } else {
             let (base, y, lu) = self.dense.as_mut().expect("engine bound");

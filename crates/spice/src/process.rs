@@ -7,6 +7,8 @@
 //! *trend* the topology optimization exploits — gm/I vs overdrive, intrinsic
 //! gain vs channel length, capacitance per width — is preserved.
 
+use adc_numerics::quant::Fingerprint;
+
 /// Device polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Polarity {
@@ -58,6 +60,27 @@ pub struct MosModel {
 }
 
 impl MosModel {
+    /// Folds every model parameter into a fingerprint (exact bits — model
+    /// cards are constants, not derived quantities).
+    fn fingerprint_into(&self, fp: Fingerprint) -> Fingerprint {
+        fp.add_u64(match self.polarity {
+            Polarity::Nmos => 0,
+            Polarity::Pmos => 1,
+        })
+        .add_f64_exact(self.vto)
+        .add_f64_exact(self.kp)
+        .add_f64_exact(self.gamma)
+        .add_f64_exact(self.phi)
+        .add_f64_exact(self.lambda_l)
+        .add_f64_exact(self.ld)
+        .add_f64_exact(self.cox)
+        .add_f64_exact(self.cgso)
+        .add_f64_exact(self.cgdo)
+        .add_f64_exact(self.cj)
+        .add_f64_exact(self.cjsw)
+        .add_f64_exact(self.ldiff)
+    }
+
     /// Effective channel length for a drawn length `l`.
     pub fn leff(&self, l: f64) -> f64 {
         (l - 2.0 * self.ld).max(1e-9)
@@ -145,6 +168,25 @@ impl Process {
         }
     }
 
+    /// Deterministic fingerprint of the complete process description (name,
+    /// supply, geometry limits, both model cards, capacitor data). Two
+    /// processes with equal fingerprints produce identical simulation
+    /// results for the same netlist — the process component of any
+    /// cross-run synthesis cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let fp = Fingerprint::new()
+            .add_str(&self.name)
+            .add_f64_exact(self.vdd)
+            .add_f64_exact(self.lmin)
+            .add_f64_exact(self.wmin);
+        let fp = self.nmos.fingerprint_into(fp);
+        let fp = self.pmos.fingerprint_into(fp);
+        fp.add_f64_exact(self.cap_density)
+            .add_f64_exact(self.cap_sigma_unit)
+            .add_f64_exact(self.cap_unit_area)
+            .finish()
+    }
+
     /// 1-σ relative mismatch of a capacitor of value `c` (farads), from the
     /// usual `σ ∝ 1/√area` law.
     pub fn cap_mismatch_sigma(&self, c: f64) -> f64 {
@@ -203,5 +245,17 @@ mod tests {
     #[test]
     fn default_is_c025() {
         assert_eq!(Process::default(), Process::c025());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_processes() {
+        let a = Process::c025();
+        assert_eq!(a.fingerprint(), Process::c025().fingerprint());
+        let mut b = Process::c025();
+        b.vdd = 2.5;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = Process::c025();
+        c.nmos.kp *= 1.01;
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }

@@ -1,6 +1,7 @@
 //! Performance constraints with normalized violation measures.
 
 use crate::evaluator::Performance;
+use adc_numerics::quant::Fingerprint;
 
 /// Constraint direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,31 @@ impl Constraint {
     pub fn satisfied(&self, perf: &Performance) -> bool {
         self.violation(perf) == 0.0
     }
+
+    /// Folds the constraint into a fingerprint: metric name, direction and
+    /// the target quantized to `digits` significant decimal digits (the
+    /// normalized-spec contract — targets derived independently for the
+    /// same physical spec collapse onto one key).
+    #[must_use]
+    pub fn fingerprint_into(&self, fp: Fingerprint, digits: u32) -> Fingerprint {
+        fp.add_str(&self.metric)
+            .add_u64(match self.kind {
+                ConstraintKind::AtLeast => 0,
+                ConstraintKind::AtMost => 1,
+            })
+            .add_quantized(self.target, digits)
+    }
+}
+
+/// Fingerprint of a whole constraint set (order-sensitive: the set is part
+/// of a problem definition, and problems list constraints determinis-
+/// tically).
+pub fn constraints_fingerprint(constraints: &[Constraint], digits: u32) -> u64 {
+    let mut fp = Fingerprint::new().add_u64(constraints.len() as u64);
+    for c in constraints {
+        fp = c.fingerprint_into(fp, digits);
+    }
+    fp.finish()
 }
 
 impl std::fmt::Display for Constraint {
@@ -125,5 +151,29 @@ mod tests {
     fn display_readable() {
         let c = Constraint::new("gain", ConstraintKind::AtLeast, 100.0);
         assert!(c.to_string().contains("gain"));
+    }
+
+    #[test]
+    fn fingerprints_respect_normalization() {
+        let a = vec![Constraint::new("gain", ConstraintKind::AtLeast, 100.0)];
+        let jitter = vec![Constraint::new(
+            "gain",
+            ConstraintKind::AtLeast,
+            100.0 * (1.0 + 1e-13),
+        )];
+        let other = vec![Constraint::new("gain", ConstraintKind::AtLeast, 101.0)];
+        let flipped = vec![Constraint::new("gain", ConstraintKind::AtMost, 100.0)];
+        assert_eq!(
+            constraints_fingerprint(&a, 9),
+            constraints_fingerprint(&jitter, 9)
+        );
+        assert_ne!(
+            constraints_fingerprint(&a, 9),
+            constraints_fingerprint(&other, 9)
+        );
+        assert_ne!(
+            constraints_fingerprint(&a, 9),
+            constraints_fingerprint(&flipped, 9)
+        );
     }
 }

@@ -19,6 +19,7 @@
 //! oracle.
 
 use crate::evaluator::{EvalOutcome, Evaluator, Performance};
+use adc_numerics::quant::Fingerprint;
 use adc_sfg::nettf::{extract_tf_with, NetTfOptions, NetTfWorkspace};
 use adc_spice::dc::{dc_operating_point_warm, dc_operating_point_with, DcOptions, DcWorkspace};
 use adc_spice::mosfet::Region;
@@ -121,6 +122,36 @@ impl Default for HybridOptions {
             dc: DcOptions::default(),
             warm_start_local: true,
         }
+    }
+}
+
+impl HybridOptions {
+    /// Deterministic fingerprint of every option that influences the
+    /// numbers this evaluator produces (probe/search frequencies, TF
+    /// sampling, DC solver tolerances, warm-start policy). The evaluator
+    /// component of a cross-run synthesis cache key: results computed under
+    /// different options must never alias.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new()
+            .add_f64_exact(self.f_probe)
+            .add_f64_exact(self.f_max)
+            .add_f64_exact(self.nettf.radius)
+            .add_f64_exact(self.nettf.trim_rel)
+            .add_u64(self.dc.max_iter as u64)
+            .add_f64_exact(self.dc.vtol)
+            .add_f64_exact(self.dc.itol)
+            .add_f64_exact(self.dc.max_step)
+            .add_f64_exact(self.dc.gmin)
+            .add_u64(u64::from(self.warm_start_local));
+        // Nodesets are keyed maps; fold them in sorted order so insertion
+        // order cannot perturb the digest.
+        let mut nodesets: Vec<(&String, &f64)> = self.dc.nodeset.iter().collect();
+        nodesets.sort_by(|a, b| a.0.cmp(b.0));
+        fp = fp.add_u64(nodesets.len() as u64);
+        for (name, &v) in nodesets {
+            fp = fp.add_str(name).add_f64_exact(v);
+        }
+        fp.finish()
     }
 }
 

@@ -54,5 +54,5 @@ pub mod space;
 
 pub use constraints::{Constraint, ConstraintKind};
 pub use evaluator::{EvalOutcome, Evaluator, Performance};
-pub use runner::{SynthConfig, SynthResult, Synthesizer};
+pub use runner::{SynthConfig, SynthResult, Synthesizer, WarmStart};
 pub use space::{DesignSpace, DesignVar};

@@ -2,11 +2,17 @@
 //! warm-started *retargeting* of a previous design to a new specification.
 
 use crate::anneal::{anneal, outcome_cost, AnnealConfig, AnnealResult};
-use crate::constraints::{all_satisfied, Constraint};
+use crate::constraints::{all_satisfied, constraints_fingerprint, Constraint};
 use crate::evaluator::{EvalOutcome, Evaluator, Performance};
 use crate::neldermead::nelder_mead;
 use crate::space::DesignSpace;
+use adc_numerics::quant::Fingerprint;
 use std::cell::Cell;
+
+/// Significant decimal digits used when quantizing problem parameters
+/// (constraint targets, bounds) into fingerprints — the synthesis layer's
+/// half of the normalized-spec contract.
+pub const PROBLEM_NORM_DIGITS: u32 = 9;
 
 /// Synthesis budget and seeds.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +52,20 @@ impl SynthConfig {
             seed: self.seed.wrapping_add(1),
         }
     }
+
+    /// Deterministic fingerprint of the full budget/seed configuration.
+    /// Two runs with equal config and problem fingerprints (and equal warm
+    /// starts) produce bit-identical [`SynthResult`]s — the contract
+    /// synthesis caches key on.
+    pub fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .add_u64(self.iterations as u64)
+            .add_u64(self.nm_iterations as u64)
+            .add_f64_exact(self.sigma0)
+            .add_f64_exact(self.sigma_end)
+            .add_u64(self.seed)
+            .finish()
+    }
 }
 
 /// Result of a synthesis run.
@@ -63,6 +83,20 @@ pub struct SynthResult {
     pub feasible: bool,
     /// Total evaluator calls consumed.
     pub evaluations: usize,
+}
+
+/// How a synthesis run starts — the cache-aware entry point used by block
+/// caches layered above the synthesizer.
+#[derive(Debug, Clone, Copy)]
+pub enum WarmStart<'a> {
+    /// Cold synthesis: global annealing from scratch.
+    Cold,
+    /// Retargeting: warm-start the (reduced-budget) search from a previous
+    /// result for a neighbouring spec.
+    Retarget(&'a SynthResult),
+    /// Cache hit: the previous result *is* the answer for this exact
+    /// problem + config; return it verbatim without touching the evaluator.
+    Reuse(&'a SynthResult),
 }
 
 /// A reusable synthesis problem: space + constraints + objective.
@@ -97,6 +131,28 @@ impl Synthesizer {
     /// Replaces the constraint set (spec retargeting).
     pub fn set_constraints(&mut self, constraints: Vec<Constraint>) {
         self.constraints = constraints;
+    }
+
+    /// Deterministic fingerprint of the synthesis *problem* — design-space
+    /// bounds and scales, the constraint set (targets on the normalized
+    /// grid) and the objective. Together with [`SynthConfig::fingerprint`]
+    /// and the evaluator's own fingerprint this identifies a synthesis run
+    /// completely; caches of [`SynthResult`]s key on it.
+    pub fn problem_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new().add_u64(self.space.dim() as u64);
+        for v in self.space.vars() {
+            fp = fp
+                .add_str(&v.name)
+                .add_quantized(v.lo, PROBLEM_NORM_DIGITS)
+                .add_quantized(v.hi, PROBLEM_NORM_DIGITS)
+                .add_u64(u64::from(v.log));
+        }
+        fp.add_u64(constraints_fingerprint(
+            &self.constraints,
+            PROBLEM_NORM_DIGITS,
+        ))
+        .add_str(&self.objective)
+        .finish()
     }
 
     fn finish<E: Evaluator>(
@@ -210,6 +266,25 @@ impl Synthesizer {
             Some(&previous.best_u),
         );
         self.finish(evaluator, sa, r.nm_iterations)
+    }
+
+    /// Unified entry point dispatching on the [`WarmStart`] mode.
+    /// [`WarmStart::Reuse`] is the cache hit path: the stored result is
+    /// returned **verbatim** (including its recorded evaluation count), so
+    /// a cache hit is bit-indistinguishable from re-running the original
+    /// synthesis; callers account the evaluations actually *spent* in a
+    /// run separately.
+    pub fn execute<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        cfg: &SynthConfig,
+        start: WarmStart<'_>,
+    ) -> SynthResult {
+        match start {
+            WarmStart::Cold => self.synthesize(evaluator, cfg),
+            WarmStart::Retarget(prev) => self.retarget(evaluator, prev, cfg),
+            WarmStart::Reuse(hit) => hit.clone(),
+        }
     }
 }
 
