@@ -26,6 +26,15 @@ use std::process::ExitCode;
 /// gate.
 const MAX_REGRESSION: f64 = 0.30;
 
+/// Metrics that are **deterministic measurements**, not throughput: they
+/// gate two-sided with [`EXACT_TOLERANCE`] — a chain whose verified gain
+/// or MNA dimension moves in *either* direction is a behavioural change,
+/// not runner noise.
+const EXACT_METRICS: [&str; 2] = ["full_pipeline_gain", "full_pipeline_mna_dim"];
+
+/// Allowed symmetric fractional deviation for [`EXACT_METRICS`].
+const EXACT_TOLERANCE: f64 = 0.02;
+
 /// Resolves the gate width: env override or [`MAX_REGRESSION`].
 fn max_regression() -> f64 {
     std::env::var("BENCH_CHECK_MAX_REGRESSION")
@@ -106,7 +115,12 @@ fn evaluate_gate(baseline: &[Row], current: &[Row], max_regression: f64) -> Vec<
             None => Verdict::MissingFromCurrent,
             Some(c) => {
                 let delta = c.evals_per_sec / b.evals_per_sec - 1.0;
-                if delta >= -max_regression {
+                let ok = if EXACT_METRICS.contains(&b.name.as_str()) {
+                    delta.abs() <= EXACT_TOLERANCE
+                } else {
+                    delta >= -max_regression
+                };
+                if ok {
                     Verdict::Ok { delta }
                 } else {
                     Verdict::Fail { delta }
@@ -259,6 +273,32 @@ mod tests {
         assert!(verdicts
             .iter()
             .any(|(n, v)| n == "old_bench" && *v == Verdict::MissingFromCurrent));
+    }
+
+    /// Deterministic verify metrics gate two-sided: an *increase* in the
+    /// chain's measured gain fails just like a drop, while ordinary
+    /// throughput metrics stay one-sided.
+    #[test]
+    fn exact_metrics_gate_both_directions() {
+        let baseline = vec![
+            row("full_pipeline_gain", 62.9),
+            row("full_pipeline_mna_dim", 124.0),
+            row("hybrid_eval", 1000.0),
+        ];
+        let improved = vec![
+            row("full_pipeline_gain", 125.8), // 2x "better" — still a change
+            row("full_pipeline_mna_dim", 124.0),
+            row("hybrid_eval", 2000.0), // throughput gains never gate
+        ];
+        let verdicts = evaluate_gate(&baseline, &improved, 0.30);
+        assert_eq!(failures(&verdicts), vec!["full_pipeline_gain".to_string()]);
+        // Within the symmetric tolerance passes.
+        let close = vec![
+            row("full_pipeline_gain", 63.5),
+            row("full_pipeline_mna_dim", 124.0),
+            row("hybrid_eval", 900.0),
+        ];
+        assert!(failures(&evaluate_gate(&baseline, &close, 0.30)).is_empty());
     }
 
     /// Real regressions on shared metrics still gate.

@@ -8,6 +8,13 @@
 //! pre-workspace evaluator), while `hybrid_eval` retunes one persistent
 //! testbench in place and reuses all simulation buffers (steady state).
 //!
+//! The `full_pipeline_*` rows measure the chain-level verification leg:
+//! the 13-bit winner's 4-3-2 full-pipeline testbench (built from the
+//! multi-resolution run's synthesized blocks, MNA dim > 100) evaluated end
+//! to end through the reusable workspaces — sparse auto-selection vs the
+//! dense override, plus the deterministic chain gain and dimension as
+//! gate-able verify numbers.
+//!
 //! The `multi_res_flow_*` rows measure the 10/11/12/13-bit flow end to
 //! end: `multi_res_flow_waves` runs the retained PR-2 wave-barrier
 //! scheduler with no cache (the cold baseline), `multi_res_flow_cached`
@@ -30,10 +37,12 @@ use adc_synth::hybrid::{BenchSetup, BenchTuner, HybridOptions, HybridOtaEvaluato
 use adc_synth::SynthConfig;
 use adc_topopt::cache::{BlockCache, CachePolicy};
 use adc_topopt::enumerate::enumerate_candidates;
+use adc_topopt::enumerate::Candidate;
 use adc_topopt::executor::ExecutorOptions;
 use adc_topopt::flow::{
     ota_requirements, synthesize_candidate_set_waves, synthesize_multi_resolution, synthesize_ota,
 };
+use adc_topopt::verify::{build_candidate_testbench, verify_candidate, VerifyOptions};
 use std::hint::black_box;
 use std::rc::Rc;
 use std::time::Instant;
@@ -217,6 +226,93 @@ fn main() {
         evals_per_sec: hit_pct,
         evals: hits,
     });
+
+    // Full-pipeline chain verification of the 13-bit winner (4-3-2),
+    // reusing the blocks the multi-resolution flow just synthesized.
+    let spec13 = specs.last().expect("13-bit spec present");
+    let blocks13 = &runs.last().expect("13-bit run present").blocks;
+    let winner = Candidate::new(vec![4, 3, 2]);
+    let verification = verify_candidate(
+        spec13,
+        &winner,
+        blocks13,
+        &params,
+        &VerifyOptions::default(),
+    )
+    .expect("chain verification of the 4-3-2 winner");
+    rows.push(Row {
+        name: "full_pipeline_gain",
+        evals_per_sec: verification.report.gain,
+        evals: 1,
+    });
+    rows.push(Row {
+        name: "full_pipeline_mna_dim",
+        evals_per_sec: verification.report.mna_dim as f64,
+        evals: 1,
+    });
+
+    // Chain-evaluation throughput: full evaluate (DC + probes + TF) with
+    // the sparse auto-selection, the dense override, and the DC leg alone.
+    use adc_spice::dc::DcDamping;
+    use adc_spice::linearize::SolverChoice;
+    use adc_synth::chain::{ChainEvaluator, ChainOptions};
+    let tb = build_candidate_testbench(
+        spec13,
+        &winner,
+        blocks13,
+        &params,
+        &VerifyOptions::default(),
+    )
+    .expect("chain testbench");
+    let chain_bench = BenchSetup::new(
+        tb.circuit.clone(),
+        tb.output,
+        tb.supply.clone(),
+        tb.devices.clone(),
+    );
+    let mut chain_opts = ChainOptions::default();
+    chain_opts.dc.nodeset = tb.nodeset();
+    chain_opts.dc.damping = DcDamping::PerNode;
+    let mut chain_ev = ChainEvaluator::new(chain_opts.clone());
+    let (rate, n) = measure(1500, || {
+        black_box(chain_ev.evaluate(&chain_bench).expect("chain eval"));
+    });
+    rows.push(Row {
+        name: "full_pipeline_eval",
+        evals_per_sec: rate,
+        evals: n,
+    });
+    let mut chain_ev_dense = ChainEvaluator::with_solver(SolverChoice::Dense, chain_opts);
+    let (rate, n) = measure(1500, || {
+        black_box(
+            chain_ev_dense
+                .evaluate(&chain_bench)
+                .expect("chain eval dense"),
+        );
+    });
+    rows.push(Row {
+        name: "full_pipeline_eval_dense",
+        evals_per_sec: rate,
+        evals: n,
+    });
+    let chain_dc_opts = tb.dc_options();
+    let mut chain_dc = DcWorkspace::new(&tb.circuit).expect("chain DC workspace");
+    let (rate, n) = measure(1500, || {
+        black_box(dc_operating_point_with(&mut chain_dc, &tb.circuit, &chain_dc_opts).unwrap());
+    });
+    rows.push(Row {
+        name: "full_pipeline_dc",
+        evals_per_sec: rate,
+        evals: n,
+    });
+    eprintln!(
+        "full pipeline: dim {} gain {:.3} (ideal {}) sparse dc/tf {}/{}",
+        verification.report.mna_dim,
+        verification.report.gain,
+        verification.gain_expected,
+        verification.report.dc_sparse,
+        verification.report.tf_sparse
+    );
 
     // Cache-statistics artifact: per-resolution breakdown + totals.
     let mut stats_json = String::from("{\n  \"resolutions\": [\n");

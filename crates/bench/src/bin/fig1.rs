@@ -3,9 +3,12 @@
 //! Run with `cargo run --release -p adc-bench --bin fig1`.
 
 use adc_bench::report_for;
+use adc_mdac::power::PowerModelParams;
 use adc_mdac::specs::AdcSpec;
-use adc_topopt::flow::distinct_mdac_specs;
-use adc_topopt::report::{fig1_table, totals_csv};
+use adc_synth::SynthConfig;
+use adc_topopt::flow::{distinct_mdac_specs, synthesize_candidate_set};
+use adc_topopt::report::{fig1_table, totals_csv, verify_table};
+use adc_topopt::verify::{verify_candidate, VerifyOptions};
 
 fn main() {
     let report = report_for(13);
@@ -37,4 +40,21 @@ fn main() {
         "  minimum-power configuration: {} — paper: 4-3-2",
         report.best().candidate
     );
+
+    // Circuit-level sign-off of the winner: synthesize its blocks on a
+    // small budget and run the full-pipeline chain testbench.
+    println!("\n=== Chain-level verification of the winner ===\n");
+    let params = PowerModelParams::calibrated();
+    let winner = report.best().candidate.clone();
+    let cfg = SynthConfig {
+        iterations: 200,
+        nm_iterations: 30,
+        seed: 11,
+        ..Default::default()
+    };
+    let blocks = synthesize_candidate_set(&spec, std::slice::from_ref(&winner), &params, &cfg);
+    match verify_candidate(&spec, &winner, &blocks, &params, &VerifyOptions::default()) {
+        Ok(v) => print!("{}", verify_table(std::slice::from_ref(&v))),
+        Err(e) => println!("chain verification failed: {e}"),
+    }
 }

@@ -4,7 +4,11 @@
 //! Run with `cargo run --release -p adc-bench --bin fig2`.
 
 use adc_bench::all_reports;
-use adc_topopt::report::fig2_table;
+use adc_mdac::power::PowerModelParams;
+use adc_synth::SynthConfig;
+use adc_topopt::flow::synthesize_candidate_set;
+use adc_topopt::report::{fig2_table, verify_table};
+use adc_topopt::verify::{verify_candidate, VerifyOptions};
 
 fn main() {
     println!("=== Fig. 2 reproduction: total power for the first ~6 effective bits ===\n");
@@ -20,4 +24,32 @@ fn main() {
             r.best().candidate.last_stage_bits()
         );
     }
+
+    // Circuit-level sign-off: every resolution's winner gets its chain
+    // testbench evaluated next to the summed-stage ranking numbers.
+    println!("\n=== Chain-level verification of each optimum ===\n");
+    let params = PowerModelParams::calibrated();
+    let cfg = SynthConfig {
+        iterations: 200,
+        nm_iterations: 30,
+        seed: 11,
+        ..Default::default()
+    };
+    let mut verifications = Vec::new();
+    for r in &reports {
+        let winner = r.best().candidate.clone();
+        let blocks =
+            synthesize_candidate_set(&r.spec, std::slice::from_ref(&winner), &params, &cfg);
+        match verify_candidate(
+            &r.spec,
+            &winner,
+            &blocks,
+            &params,
+            &VerifyOptions::default(),
+        ) {
+            Ok(v) => verifications.push(v),
+            Err(e) => println!("K = {}: chain verification failed: {e}", r.spec.resolution),
+        }
+    }
+    print!("{}", verify_table(&verifications));
 }

@@ -17,7 +17,11 @@
 //!    (Fig. 1 and Fig. 2 of the paper);
 //! 4. [`rules`] — derivation of the optimum-enumeration decision rules the
 //!    paper summarizes in Fig. 3;
-//! 5. [`report`] — plain-text/CSV emitters used by the benchmark harness.
+//! 5. [`verify`] — circuit-level sign-off: the winning candidate's stages
+//!    are assembled into a full-pipeline chain testbench (hierarchical
+//!    subcircuits, real inter-stage loading) and evaluated end to end
+//!    through the same workspaces the synthesis used;
+//! 6. [`report`] — plain-text/CSV emitters used by the benchmark harness.
 //!
 //! ## Example
 //!
@@ -39,9 +43,11 @@ pub mod flow;
 pub mod optimize;
 pub mod report;
 pub mod rules;
+pub mod verify;
 
 pub use cache::{BlockCache, CachePolicy, CacheStats};
 pub use enumerate::{enumerate_candidates, Candidate};
 pub use executor::ExecutorOptions;
 pub use flow::{synthesize_multi_resolution, ResolutionRun, RunStats, SynthesisRun};
 pub use optimize::{optimize_topology, TopologyReport};
+pub use verify::{verify_candidate, ChainVerification, VerifyOptions};

@@ -2,6 +2,7 @@
 
 use crate::optimize::TopologyReport;
 use crate::rules::RuleTable;
+use crate::verify::ChainVerification;
 use std::fmt::Write as _;
 
 /// Renders the Fig. 1 data: per-stage power of every candidate.
@@ -90,6 +91,57 @@ pub fn fig3_table(rules: &RuleTable) -> String {
     out
 }
 
+/// Renders chain-level verification records next to their summed-stage
+/// estimates (one block per verified candidate).
+pub fn verify_table(verifications: &[ChainVerification]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Circuit-level chain verification (full-pipeline testbench)"
+    );
+    for v in verifications {
+        let r = &v.report;
+        let _ = writeln!(
+            out,
+            "{} ({}-bit): MNA dim {}, fill {:.1} %, sparse dc/tf {}/{}",
+            v.config,
+            v.resolution,
+            r.mna_dim,
+            r.fill_ratio * 100.0,
+            r.dc_sparse,
+            r.tf_sparse
+        );
+        let _ = writeln!(
+            out,
+            "  gain      {:>10.3} measured vs {:>6.1} ideal ({:+.2} % error; TF probe {:.3})",
+            r.gain,
+            v.gain_expected,
+            100.0 * (r.gain - v.gain_expected) / v.gain_expected,
+            r.tf_gain
+        );
+        let _ = writeln!(
+            out,
+            "  settling  {:>10.1} MHz −3 dB, τ = {:.2} ns, unity {:.1} MHz",
+            r.bw_3db / 1e6,
+            r.settle_tau * 1e9,
+            r.unity_freq / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "  power     {:>10.3} mW chain vs {:.3} mW summed blocks vs {:.3} mW analytic",
+            r.power * 1e3,
+            v.power_summed * 1e3,
+            v.power_analytic * 1e3
+        );
+        let _ = writeln!(
+            out,
+            "  devices   {:>10.0} % of OTA MOSFETs saturated",
+            r.saturated * 100.0
+        );
+    }
+    out
+}
+
 /// CSV of total power per candidate (one line per candidate).
 pub fn totals_csv(report: &TopologyReport) -> String {
     let mut out = String::from("config,total_power_mw\n");
@@ -126,6 +178,37 @@ mod tests {
         let t = fig2_table(&reports);
         assert!(t.contains("<< optimum"));
         assert!(t.contains("K = 10 bits"));
+    }
+
+    #[test]
+    fn verify_table_renders() {
+        use crate::verify::ChainVerification;
+        use adc_synth::chain::ChainReport;
+        let v = ChainVerification {
+            config: "4-3-2".into(),
+            resolution: 13,
+            report: ChainReport {
+                power: 21e-3,
+                gain: 63.2,
+                tf_gain: 63.1,
+                unity_freq: 4e8,
+                bw_3db: 1e7,
+                settle_tau: 1.6e-8,
+                saturated: 1.0,
+                mna_dim: 119,
+                dc_sparse: true,
+                tf_sparse: true,
+                fill_ratio: 0.031,
+            },
+            gain_expected: 64.0,
+            power_summed: 20e-3,
+            power_analytic: 19e-3,
+        };
+        let t = verify_table(&[v]);
+        assert!(t.contains("4-3-2"), "{t}");
+        assert!(t.contains("MNA dim 119"), "{t}");
+        assert!(t.contains("summed blocks"), "{t}");
+        assert!(t.contains("ideal"), "{t}");
     }
 
     #[test]

@@ -30,10 +30,12 @@
 //! ```
 
 pub mod comparator;
+pub mod netlist;
 pub mod opamp;
 pub mod power;
 pub mod sizing;
 pub mod specs;
 
+pub use netlist::{build_pipeline, MdacStageConfig, OtaSizing, PipelineOptions, PipelineTestbench};
 pub use power::{design_chain, PowerModelParams, StageDesign};
 pub use specs::{AdcSpec, StageSpec};

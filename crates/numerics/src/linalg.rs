@@ -97,6 +97,39 @@ impl Matrix {
         self.data[i * c + j] += v;
     }
 
+    /// Flat storage index of entry `(i, j)` — a precomputable "slot" for
+    /// [`Matrix::scatter_add`], mirroring the CSR slot maps so dense and
+    /// sparse stamp replays share the same shape.
+    #[inline]
+    pub fn slot(&self, i: usize, j: usize) -> usize {
+        i * self.cols + j
+    }
+
+    /// Accumulates `vals[k]` into flat slot `slots[k]` for every `k`, in
+    /// order, through the same fixed-width 4-lane inner loop as
+    /// `CsrMatrix::scatter_add` — the dense twin of the sparse stamp
+    /// replay. Accumulation order matches a scalar [`Matrix::add_at`] loop,
+    /// so results are bit-identical even when slots repeat.
+    ///
+    /// # Panics
+    /// Panics if `slots` and `vals` differ in length or a slot is out of
+    /// range.
+    pub fn scatter_add(&mut self, slots: &[usize], vals: &[f64]) {
+        assert_eq!(slots.len(), vals.len(), "slot/value length mismatch");
+        let out = &mut self.data[..];
+        let mut s4 = slots.chunks_exact(4);
+        let mut v4 = vals.chunks_exact(4);
+        for (s, v) in (&mut s4).zip(&mut v4) {
+            out[s[0]] += v[0];
+            out[s[1]] += v[1];
+            out[s[2]] += v[2];
+            out[s[3]] += v[3];
+        }
+        for (&s, &v) in s4.remainder().iter().zip(v4.remainder()) {
+            out[s] += v;
+        }
+    }
+
     /// Matrix–vector product.
     ///
     /// # Panics
@@ -658,6 +691,37 @@ impl IndexMut<(usize, usize)> for CMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scatter_add_matches_scalar_stamps() {
+        // Repeated slots must accumulate in traversal order, bit-identical
+        // to the scalar add_at loop — including the 4-lane chunk boundary.
+        let entries: Vec<(usize, usize, f64)> = vec![
+            (0, 0, 1.25),
+            (1, 2, -3.5),
+            (0, 0, 0.0625),
+            (2, 1, 7.0),
+            (2, 2, -0.125),
+            (1, 2, 2.75),
+            (0, 1, 9.5),
+        ];
+        let mut scalar = Matrix::zeros(3, 3);
+        for &(i, j, v) in &entries {
+            scalar.add_at(i, j, v);
+        }
+        let mut chunked = Matrix::zeros(3, 3);
+        let slots: Vec<usize> = entries
+            .iter()
+            .map(|&(i, j, _)| chunked.slot(i, j))
+            .collect();
+        let vals: Vec<f64> = entries.iter().map(|&(_, _, v)| v).collect();
+        chunked.scatter_add(&slots, &vals);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(scalar[(i, j)].to_bits(), chunked[(i, j)].to_bits());
+            }
+        }
+    }
 
     #[test]
     fn identity_solve() {

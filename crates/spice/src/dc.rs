@@ -17,6 +17,24 @@ use adc_numerics::sparse::{prefer_sparse, CsrMatrix, CsrPattern, SparseLu, Symbo
 use adc_numerics::Matrix;
 use std::collections::HashMap;
 
+/// Newton step-limiting strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DcDamping {
+    /// Scale the whole update vector so the largest node-voltage change
+    /// equals `max_step` — the conservative classic that preserves the
+    /// Newton direction. The historical default; every flat OTA testbench
+    /// solves under it unchanged.
+    #[default]
+    Global,
+    /// Clamp each node-voltage update independently at ±`max_step` (SPICE
+    /// per-node voltage limiting). On hierarchical chain testbenches a
+    /// wound-up servo output can request hundreds of volts while the
+    /// supply is still ramping; global scaling then starves every other
+    /// unknown's progress, while per-node limiting lets the independent
+    /// parts of a large system converge at their own pace.
+    PerNode,
+}
+
 /// Options controlling the DC solve.
 #[derive(Debug, Clone)]
 pub struct DcOptions {
@@ -32,6 +50,8 @@ pub struct DcOptions {
     pub gmin: f64,
     /// Initial node-voltage guesses by node name (SPICE `.nodeset`).
     pub nodeset: HashMap<String, f64>,
+    /// Step-limiting strategy.
+    pub damping: DcDamping,
 }
 
 impl Default for DcOptions {
@@ -43,6 +63,7 @@ impl Default for DcOptions {
             max_step: 0.4,
             gmin: 1e-12,
             nodeset: HashMap::new(),
+            damping: DcDamping::Global,
         }
     }
 }
@@ -201,12 +222,25 @@ fn stamp_mosfets(
     }
 }
 
-/// Builds the dense engine storage for a `dim × dim` system.
-fn dense_engine(dim: usize) -> DcEngine {
+/// Builds the dense engine storage for a circuit, recording the MOSFET
+/// companion stamp pattern as flat slots so the per-iteration restamp
+/// replays through the chunked [`Matrix::scatter_add`] kernel — the dense
+/// twin of the CSR slot replay.
+fn dense_engine(circuit: &Circuit, map: &MnaMap) -> DcEngine {
+    let dim = map.dim();
+    let zeros = vec![0.0; dim];
+    let mut scratch = vec![0.0; dim];
+    let mut mos_slots: Vec<usize> = Vec::new();
+    stamp_mosfets(circuit, map, &zeros, &mut scratch, &mut |r, c, _| {
+        mos_slots.push(r * dim + c);
+    });
+    let mos_len = mos_slots.len();
     DcEngine::Dense {
         base_jac: Matrix::zeros(dim, dim),
         jac: Matrix::zeros(dim, dim),
         lu: Lu::with_dim(dim),
+        mos_slots,
+        mos_vals: Vec::with_capacity(mos_len),
     }
 }
 
@@ -221,6 +255,12 @@ enum DcEngine {
         base_jac: Matrix,
         jac: Matrix,
         lu: Lu,
+        /// Flat (row-major) MOSFET companion stamp slots in traversal
+        /// order, mirroring the sparse engine's slot map.
+        mos_slots: Vec<usize>,
+        /// Scratch for the buffered companion values, replayed through the
+        /// chunked [`Matrix::scatter_add`] kernel each iteration.
+        mos_vals: Vec<f64>,
     },
     Sparse {
         /// Linear base values aligned with the pattern's nonzeros.
@@ -324,7 +364,7 @@ impl DcWorkspace {
     fn build_engine(circuit: &Circuit, map: &MnaMap, choice: SolverChoice) -> DcEngine {
         let dim = map.dim();
         if choice == SolverChoice::Dense {
-            return dense_engine(dim);
+            return dense_engine(circuit, map);
         }
         // Record every stamp position in traversal order.
         let mut entries: Vec<(usize, usize)> = Vec::new();
@@ -349,7 +389,7 @@ impl DcWorkspace {
             SolverChoice::Dense => unreachable!("handled above"),
         };
         if !go_sparse {
-            return dense_engine(dim);
+            return dense_engine(circuit, map);
         }
         match Symbolic::analyze(&pattern) {
             Ok(sym) => {
@@ -366,7 +406,7 @@ impl DcWorkspace {
             }
             // Structurally singular patterns get the dense oracle's
             // per-iteration singularity reporting instead.
-            Err(_) => dense_engine(dim),
+            Err(_) => dense_engine(circuit, map),
         }
     }
 
@@ -392,8 +432,8 @@ impl DcWorkspace {
 
     /// Replaces the engine with the dense oracle (sparse static pivot
     /// underflowed).
-    fn demote_to_dense(&mut self) {
-        self.engine = dense_engine(self.map.dim());
+    fn demote_to_dense(&mut self, circuit: &Circuit) {
+        self.engine = dense_engine(circuit, &self.map);
         self.sparse_failed = false;
     }
 
@@ -438,7 +478,13 @@ impl DcWorkspace {
         let x = &self.x;
         let res = &mut self.res;
         match &mut self.engine {
-            DcEngine::Dense { base_jac, jac, .. } => {
+            DcEngine::Dense {
+                base_jac,
+                jac,
+                mos_slots,
+                mos_vals,
+                ..
+            } => {
                 jac.copy_from(base_jac);
                 jac.mul_vec_into(x, res);
                 for (r, b) in res.iter_mut().zip(self.base_rhs.iter()) {
@@ -449,7 +495,19 @@ impl DcWorkspace {
                     jac.add_at(row, row, gmin);
                     res[row] += gmin * x[row];
                 }
-                stamp_mosfets(circuit, map, x, res, &mut |r, c, v| jac.add_at(r, c, v));
+                // MOSFET companions: buffer the traversal's values, then
+                // scatter through the chunked kernel — same accumulation
+                // order as direct stamping, so results are bit-identical.
+                mos_vals.clear();
+                stamp_mosfets(circuit, map, x, res, &mut |_, _, v| {
+                    mos_vals.push(v);
+                });
+                debug_assert_eq!(
+                    mos_vals.len(),
+                    mos_slots.len(),
+                    "stamp traversal drifted from slot map"
+                );
+                jac.scatter_add(mos_slots, mos_vals);
             }
             DcEngine::Sparse {
                 base_vals,
@@ -546,17 +604,36 @@ fn newton(
                 residual: rnorm,
             };
         }
-        // Damping: cap the largest node-voltage update.
+        // Damping: cap node-voltage updates (the *requested* max update
+        // drives the convergence check in both strategies, so a clipped
+        // creep can never false-converge).
         let nv = ws.map.node_count() - 1;
         let max_dv = ws.dx[..nv].iter().fold(0.0_f64, |m, &d| m.max(d.abs()));
-        let alpha = if max_dv > opts.max_step {
-            opts.max_step / max_dv
-        } else {
-            1.0
+        let applied_dv = match opts.damping {
+            DcDamping::Global => {
+                let alpha = if max_dv > opts.max_step {
+                    opts.max_step / max_dv
+                } else {
+                    1.0
+                };
+                for (xi, di) in ws.x.iter_mut().zip(ws.dx.iter()) {
+                    *xi += alpha * di;
+                }
+                max_dv * alpha
+            }
+            DcDamping::PerNode => {
+                for (i, (xi, di)) in ws.x.iter_mut().zip(ws.dx.iter()).enumerate() {
+                    if i < nv {
+                        *xi += di.clamp(-opts.max_step, opts.max_step);
+                    } else {
+                        // Branch currents are linear unknowns; they follow
+                        // the (re-solved) node voltages unclipped.
+                        *xi += di;
+                    }
+                }
+                max_dv
+            }
         };
-        for (xi, di) in ws.x.iter_mut().zip(ws.dx.iter()) {
-            *xi += alpha * di;
-        }
         if !ws.x.iter().all(|v| v.is_finite()) {
             return NewtonOutcome {
                 converged: false,
@@ -564,7 +641,7 @@ fn newton(
                 residual: f64::INFINITY,
             };
         }
-        if max_dv * alpha < opts.vtol && rnorm < opts.itol {
+        if applied_dv < opts.vtol && rnorm < opts.itol {
             return NewtonOutcome {
                 converged: true,
                 iterations: it + 1,
@@ -623,7 +700,7 @@ pub fn dc_operating_point_with(
     if out.is_err() && ws.sparse_failed {
         // A static sparse pivot underflowed somewhere in the ladder; the
         // dense oracle's partial pivoting may still converge.
-        ws.demote_to_dense();
+        ws.demote_to_dense(circuit);
         ws.stamp_linear_base(circuit);
         return solve_cold(ws, circuit, opts);
     }
@@ -671,6 +748,7 @@ pub fn dc_operating_point_warm(
             max_step: opts.max_step,
             gmin: opts.gmin,
             nodeset: HashMap::new(),
+            damping: opts.damping,
         };
         let out = newton(ws, circuit, &tight, tight.gmin, 1.0, WARM_MAX_ITER);
         if out.converged {
@@ -680,7 +758,7 @@ pub fn dc_operating_point_warm(
     }
     let out = solve_cold(ws, circuit, opts);
     if out.is_err() && ws.sparse_failed {
-        ws.demote_to_dense();
+        ws.demote_to_dense(circuit);
         ws.stamp_linear_base(circuit);
         return solve_cold(ws, circuit, opts);
     }

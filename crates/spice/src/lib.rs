@@ -40,6 +40,7 @@ pub mod mosfet;
 pub mod netlist;
 pub mod op;
 pub mod process;
+pub mod subckt;
 pub mod tran;
 pub mod waveform;
 
@@ -51,6 +52,7 @@ pub use linearize::{ComplexMnaWorkspace, SmallSignal, SolverChoice};
 pub use netlist::{Circuit, ElementId, NodeId};
 pub use op::OperatingPoint;
 pub use process::Process;
+pub use subckt::{Instance, Subckt};
 
 /// Errors produced by the simulation engines.
 #[derive(Debug, Clone, PartialEq)]

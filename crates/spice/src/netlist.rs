@@ -329,6 +329,24 @@ impl Circuit {
         })
     }
 
+    /// Adds a current source with an arbitrary waveform and AC magnitude.
+    pub fn add_isource_wave(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+        ac_mag: f64,
+    ) -> ElementId {
+        self.push(Element::ISource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+            ac_mag,
+        })
+    }
+
     /// Adds a voltage-controlled current source.
     pub fn add_vccs(
         &mut self,

@@ -8,6 +8,7 @@
 use crate::constraints::{all_satisfied, total_violation, Constraint};
 use crate::evaluator::{EvalOutcome, Evaluator, Performance};
 use crate::space::DesignSpace;
+use adc_numerics::quant::quantize_rel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,6 +27,20 @@ pub struct AnnealConfig {
     pub sigma_end: f64,
     /// RNG seed (runs are reproducible).
     pub seed: u64,
+    /// Fraction of the schedule's tail run with the evaluator's **local
+    /// phase** enabled ([`Evaluator::set_local_phase`]): late-annealing
+    /// candidates cluster tightly, so a simulation-backed evaluator may
+    /// warm-start its DC solve there. Requires cost quantization to keep
+    /// trajectories identical to the cold path; 0.0 disables.
+    pub warm_tail_frac: f64,
+    /// Significant decimal digits accepted costs are quantized to
+    /// ([`adc_numerics::quant::quantize_rel`]). The grid sits well above
+    /// DC-solver noise (warm and cold operating points agree to ~1e-9
+    /// relative and better), so warm-started tail evaluations make
+    /// bit-identical accept/reject decisions to cold ones — the property
+    /// that lets [`AnnealConfig::warm_tail_frac`] > 0 leave trajectories
+    /// unperturbed. `None` compares raw costs.
+    pub cost_quant_digits: Option<u32>,
 }
 
 impl Default for AnnealConfig {
@@ -35,6 +50,8 @@ impl Default for AnnealConfig {
             sigma0: 0.25,
             sigma_end: 0.02,
             seed: 1,
+            warm_tail_frac: 0.3,
+            cost_quant_digits: Some(6),
         }
     }
 }
@@ -105,13 +122,19 @@ pub fn anneal<E: Evaluator>(
         }
     }
 
+    // Cost quantization grid (identity when disabled).
+    let q = |c: f64| match cfg.cost_quant_digits {
+        Some(d) => quantize_rel(c, d),
+        None => c,
+    };
+
     let mut cur_u = match start {
         Some(u) => u.to_vec(),
         None => space.random_point(&mut rng),
     };
     let cur_out = evaluator.evaluate(&space.denormalize(&cur_u));
     evaluations += 1;
-    let mut cur_cost = outcome_cost(&cur_out, constraints, objective, obj_ref);
+    let mut cur_cost = q(outcome_cost(&cur_out, constraints, objective, obj_ref));
 
     let mut best_u = cur_u.clone();
     let mut best_cost = cur_cost;
@@ -126,7 +149,7 @@ pub fn anneal<E: Evaluator>(
         let u = space.random_point(&mut rng);
         let out = evaluator.evaluate(&space.denormalize(&u));
         evaluations += 1;
-        let c = outcome_cost(&out, constraints, objective, obj_ref);
+        let c = q(outcome_cost(&out, constraints, objective, obj_ref));
         if c.is_finite() {
             probe_costs.push(c);
             if c < best_cost {
@@ -152,14 +175,20 @@ pub fn anneal<E: Evaluator>(
 
     let mut history = Vec::with_capacity(cfg.iterations);
     let n = cfg.iterations.max(1);
+    // First iteration of the warm-start tail (n → tail disabled).
+    let tail_len = (cfg.warm_tail_frac.clamp(0.0, 1.0) * n as f64) as usize;
+    let tail_start = n - tail_len.min(n);
     for k in 0..n {
+        if tail_len > 0 && k == tail_start {
+            evaluator.set_local_phase(true);
+        }
         let frac = k as f64 / n as f64;
         let temp = t0 * (t_end / t0).powf(frac);
         let sigma = cfg.sigma0 * (cfg.sigma_end / cfg.sigma0).powf(frac);
         let cand_u = space.neighbor(&cur_u, sigma, &mut rng);
         let out = evaluator.evaluate(&space.denormalize(&cand_u));
         evaluations += 1;
-        let cost = outcome_cost(&out, constraints, objective, obj_ref);
+        let cost = q(outcome_cost(&out, constraints, objective, obj_ref));
         let accept = cost <= cur_cost
             || (cost.is_finite() && rng.gen::<f64>() < ((cur_cost - cost) / temp).exp());
         if accept {
@@ -174,6 +203,9 @@ pub fn anneal<E: Evaluator>(
             }
         }
         history.push(best_cost);
+    }
+    if tail_len > 0 {
+        evaluator.set_local_phase(false);
     }
 
     let feasible = best_perf
@@ -265,6 +297,7 @@ mod tests {
             sigma0: 0.05,
             sigma_end: 0.01,
             seed: 5,
+            ..Default::default()
         };
         let warm = anneal(&space, &sphere_eval, &[], "obj", &cfg, Some(&target_u));
         let cold_cfg = AnnealConfig {

@@ -119,7 +119,16 @@ impl Default for HybridOptions {
             f_probe: 1e4,
             f_max: 50e9,
             nettf: NetTfOptions::default(),
-            dc: DcOptions::default(),
+            // Per-node step limiting: the servo-biased OTA testbenches
+            // converge marginally under global damping (a wound-up servo
+            // node starves every other unknown), and a cold solve that
+            // stalls where a warm one succeeds would fork warm-tail
+            // trajectories from cold ones. Per-node limiting makes the
+            // cold ladder land wherever the warm path does.
+            dc: DcOptions {
+                damping: adc_spice::dc::DcDamping::PerNode,
+                ..Default::default()
+            },
             warm_start_local: true,
         }
     }
@@ -142,6 +151,10 @@ impl HybridOptions {
             .add_f64_exact(self.dc.itol)
             .add_f64_exact(self.dc.max_step)
             .add_f64_exact(self.dc.gmin)
+            .add_u64(match self.dc.damping {
+                adc_spice::dc::DcDamping::Global => 0,
+                adc_spice::dc::DcDamping::PerNode => 1,
+            })
             .add_u64(u64::from(self.warm_start_local));
         // Nodesets are keyed maps; fold them in sorted order so insertion
         // order cannot perturb the digest.

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod anneal;
+pub mod chain;
 pub mod constraints;
 pub mod evaluator;
 pub mod hybrid;
@@ -52,6 +53,7 @@ pub mod pareto;
 pub mod runner;
 pub mod space;
 
+pub use chain::{ChainEvaluator, ChainOptions, ChainReport};
 pub use constraints::{Constraint, ConstraintKind};
 pub use evaluator::{EvalOutcome, Evaluator, Performance};
 pub use runner::{SynthConfig, SynthResult, Synthesizer, WarmStart};

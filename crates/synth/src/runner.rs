@@ -27,6 +27,13 @@ pub struct SynthConfig {
     pub sigma_end: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Fraction of the annealing tail run with evaluator warm starts
+    /// enabled (see [`crate::anneal::AnnealConfig::warm_tail_frac`]).
+    pub warm_tail_frac: f64,
+    /// Cost-quantization grid that keeps warm-tail trajectories identical
+    /// to cold ones (see
+    /// [`crate::anneal::AnnealConfig::cost_quant_digits`]).
+    pub cost_quant_digits: Option<u32>,
 }
 
 impl Default for SynthConfig {
@@ -37,6 +44,8 @@ impl Default for SynthConfig {
             sigma0: 0.25,
             sigma_end: 0.02,
             seed: 1,
+            warm_tail_frac: 0.3,
+            cost_quant_digits: Some(6),
         }
     }
 }
@@ -50,6 +59,8 @@ impl SynthConfig {
             sigma0: 0.06,
             sigma_end: 0.01,
             seed: self.seed.wrapping_add(1),
+            warm_tail_frac: self.warm_tail_frac,
+            cost_quant_digits: self.cost_quant_digits,
         }
     }
 
@@ -64,6 +75,9 @@ impl SynthConfig {
             .add_f64_exact(self.sigma0)
             .add_f64_exact(self.sigma_end)
             .add_u64(self.seed)
+            .add_f64_exact(self.warm_tail_frac)
+            // 0 encodes None; quantization grids shift by one.
+            .add_u64(self.cost_quant_digits.map_or(0, |d| u64::from(d) + 1))
             .finish()
     }
 }
@@ -229,6 +243,8 @@ impl Synthesizer {
             sigma0: cfg.sigma0,
             sigma_end: cfg.sigma_end,
             seed: cfg.seed,
+            warm_tail_frac: cfg.warm_tail_frac,
+            cost_quant_digits: cfg.cost_quant_digits,
         };
         let sa = anneal(
             &self.space,
@@ -256,6 +272,8 @@ impl Synthesizer {
             sigma0: r.sigma0,
             sigma_end: r.sigma_end,
             seed: r.seed,
+            warm_tail_frac: r.warm_tail_frac,
+            cost_quant_digits: r.cost_quant_digits,
         };
         let sa = anneal(
             &self.space,

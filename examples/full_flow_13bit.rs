@@ -1,7 +1,8 @@
 //! The complete designer-driven flow for the paper's 13-bit case:
 //! enumeration → analytic ranking → circuit-grounded synthesis of the
-//! distinct MDAC opamps of the two leading candidates (with reuse /
-//! retargeting) → rule derivation.
+//! distinct MDAC opamps of the two leading candidates (cached
+//! dependency-driven executor with reuse / retargeting) → chain-level
+//! verification of the winner → rule derivation.
 //!
 //! Run with `cargo run --release --example full_flow_13bit` (takes a
 //! minute or two: every block synthesis runs DC Newton + transfer-function
@@ -10,11 +11,14 @@
 use pipelined_adc::mdac::power::PowerModelParams;
 use pipelined_adc::mdac::specs::AdcSpec;
 use pipelined_adc::synth::SynthConfig;
+use pipelined_adc::topopt::cache::{BlockCache, CachePolicy};
 use pipelined_adc::topopt::enumerate::Candidate;
-use pipelined_adc::topopt::flow::{distinct_mdac_specs, synthesize_candidate_set};
+use pipelined_adc::topopt::executor::ExecutorOptions;
+use pipelined_adc::topopt::flow::{distinct_mdac_specs, synthesize_candidate_set_with};
 use pipelined_adc::topopt::optimize::optimize_topology;
-use pipelined_adc::topopt::report::{fig1_table, fig3_table};
+use pipelined_adc::topopt::report::{fig1_table, fig3_table, verify_table};
 use pipelined_adc::topopt::rules::derive_rules;
+use pipelined_adc::topopt::verify::{verify_candidate, VerifyOptions};
 
 fn main() {
     let spec = AdcSpec::date05(13);
@@ -37,7 +41,7 @@ fn main() {
         .map(|r| r.candidate.clone())
         .collect();
     println!(
-        "synthesizing blocks of {} and {} with reuse…",
+        "synthesizing blocks of {} and {} on the cached dependency-driven executor…",
         leading[0], leading[1]
     );
     let cfg = SynthConfig {
@@ -46,12 +50,29 @@ fn main() {
         seed: 3,
         ..Default::default()
     };
-    let blocks = synthesize_candidate_set(&spec, &leading, &params, &cfg);
+    let mut cache = BlockCache::new(CachePolicy::Aggressive);
+    let run = synthesize_candidate_set_with(
+        &spec,
+        &leading,
+        &params,
+        &cfg,
+        Some(&mut cache),
+        &ExecutorOptions::default(),
+    );
+    println!(
+        "scheduled {} blocks: {} cold, {} retargeted, {} cache-seeded, {} cache hits ({} evaluations)",
+        run.stats.blocks,
+        run.stats.cold,
+        run.stats.retargeted,
+        run.stats.cache_seeded,
+        run.stats.cache_hits,
+        run.stats.evaluations_spent,
+    );
     println!(
         "{:<12}{:>10}{:>12}{:>12}{:>12}{:>8}",
         "block", "feasible", "power[mW]", "a0", "fu[MHz]", "warm"
     );
-    for b in &blocks {
+    for b in &run.blocks {
         println!(
             "({}, {:>2})   {:>10}{:>12.3}{:>12.1}{:>12.1}{:>8}",
             b.key.0,
@@ -64,7 +85,20 @@ fn main() {
         );
     }
 
-    println!("\n== Step 4: derived optimum rules (Fig. 3) ==");
+    println!("\n== Step 4: chain-level verification of the winner ==\n");
+    let winner = report.best().candidate.clone();
+    match verify_candidate(
+        &spec,
+        &winner,
+        &run.blocks,
+        &params,
+        &VerifyOptions::default(),
+    ) {
+        Ok(v) => print!("{}", verify_table(std::slice::from_ref(&v))),
+        Err(e) => println!("chain verification failed: {e}"),
+    }
+
+    println!("\n== Step 5: derived optimum rules (Fig. 3) ==");
     let rules = derive_rules(8..=13, &params);
     print!("{}", fig3_table(&rules));
 }
