@@ -27,10 +27,14 @@ use std::process::ExitCode;
 const MAX_REGRESSION: f64 = 0.30;
 
 /// Metrics that are **deterministic measurements**, not throughput: they
-/// gate two-sided with [`EXACT_TOLERANCE`] — a chain whose verified gain
-/// or MNA dimension moves in *either* direction is a behavioural change,
-/// not runner noise.
-const EXACT_METRICS: [&str; 2] = ["full_pipeline_gain", "full_pipeline_mna_dim"];
+/// gate two-sided with [`EXACT_TOLERANCE`] — a chain whose verified gain,
+/// MNA dimension or adaptive step-savings ratio moves in *either*
+/// direction is a behavioural change, not runner noise.
+const EXACT_METRICS: [&str; 3] = [
+    "full_pipeline_gain",
+    "full_pipeline_mna_dim",
+    "tran_adaptive_vs_fixed_steps",
+];
 
 /// Allowed symmetric fractional deviation for [`EXACT_METRICS`].
 const EXACT_TOLERANCE: f64 = 0.02;

@@ -15,6 +15,13 @@
 //! dense override, plus the deterministic chain gain and dimension as
 //! gate-able verify numbers.
 //!
+//! The `tran_*` rows measure the clocked transient sign-off leg on the
+//! deterministic all-telescopic 4-3-2 chain: raw adaptive timestep
+//! throughput (`tran_step`, steps/s), full four-period ±δ sign-off
+//! evaluations (`tran_chain_settle`), and the step-count ratio of the
+//! fixed-step oracle at the adaptive run's own minimum dt
+//! (`tran_adaptive_vs_fixed_steps` — deterministic, gated two-sided).
+//!
 //! The `multi_res_flow_*` rows measure the 10/11/12/13-bit flow end to
 //! end: `multi_res_flow_waves` runs the retained PR-2 wave-barrier
 //! scheduler with no cache (the cold baseline), `multi_res_flow_cached`
@@ -312,6 +319,71 @@ fn main() {
         verification.gain_expected,
         verification.report.dc_sparse,
         verification.report.tf_sparse
+    );
+
+    // Clocked transient sign-off of the all-telescopic 4-3-2 chain (the
+    // deterministic sign-off fixture of `tests/pipeline_chain.rs`):
+    // `tran_step` is raw adaptive timestep throughput through the sparse
+    // workspace, `tran_chain_settle` full 4-period ±δ sign-off
+    // evaluations/s, and `tran_adaptive_vs_fixed_steps` the step-count
+    // ratio of the fixed-step oracle at the adaptive run's own minimum dt
+    // (deterministic — gated two-sided like the verify numbers).
+    use adc_mdac::netlist::{build_pipeline, MdacStageConfig, OtaSizing, PipelineOptions};
+    use adc_synth::tran_chain::{TranChainEvaluator, TranChainOptions};
+    use adc_topopt::verify::build_tran_setup;
+    let designs = design_chain(spec13, &[4, 3, 2], &params);
+    let stage_gains: Vec<f64> = designs.iter().map(|d| d.spec.gain).collect();
+    let telescopic: Vec<MdacStageConfig> = designs
+        .iter()
+        .map(|d| {
+            MdacStageConfig::from_design(d, OtaSizing::Telescopic(TelescopicParams::nominal()))
+        })
+        .collect();
+    let tran_tb = build_pipeline(&spec13.process, &telescopic, &PipelineOptions::default())
+        .expect("telescopic sign-off chain");
+    let mut tran_setup = build_tran_setup(spec13, &tran_tb, stage_gains);
+    let mut tran_ev = TranChainEvaluator::new(TranChainOptions::default());
+    let t4 = Instant::now();
+    let tran_report = tran_ev
+        .evaluate(&mut tran_setup)
+        .expect("transient sign-off");
+    let t_tran = t4.elapsed().as_secs_f64();
+    assert!(
+        tran_report.sparse && tran_report.all_settled,
+        "sign-off chain must settle through the CSR engine: {tran_report:#?}"
+    );
+    rows.push(Row {
+        name: "tran_step",
+        evals_per_sec: (tran_report.accepted + tran_report.rejected) as f64 / t_tran,
+        evals: tran_report.accepted,
+    });
+    let (rate, n) = measure(3000, || {
+        black_box(
+            tran_ev
+                .evaluate(&mut tran_setup)
+                .expect("transient sign-off"),
+        );
+    });
+    rows.push(Row {
+        name: "tran_chain_settle",
+        evals_per_sec: rate,
+        evals: n,
+    });
+    let fixed = tran_ev
+        .evaluate_fixed(&mut tran_setup, tran_report.min_dt)
+        .expect("fixed-step oracle");
+    rows.push(Row {
+        name: "tran_adaptive_vs_fixed_steps",
+        evals_per_sec: fixed.accepted as f64 / tran_report.accepted.max(1) as f64,
+        evals: fixed.accepted,
+    });
+    eprintln!(
+        "transient sign-off: adaptive {} steps, fixed oracle {} at dt {:.3e}s ({:.0}x), settled {}",
+        tran_report.accepted,
+        fixed.accepted,
+        tran_report.min_dt,
+        fixed.accepted as f64 / tran_report.accepted.max(1) as f64,
+        tran_report.all_settled
     );
 
     // Cache-statistics artifact: per-resolution breakdown + totals.

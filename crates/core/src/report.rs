@@ -138,6 +138,34 @@ pub fn verify_table(verifications: &[ChainVerification]) -> String {
             "  devices   {:>10.0} % of OTA MOSFETs saturated",
             r.saturated * 100.0
         );
+        if let Some(tr) = &v.tran {
+            let settled = tr.stages.iter().filter(|s| s.settled).count();
+            let worst = tr
+                .stages
+                .iter()
+                .map(|s| s.settle_err / s.half_lsb.max(f64::MIN_POSITIVE))
+                .fold(0.0f64, f64::max);
+            let gains: Vec<String> = tr
+                .stages
+                .iter()
+                .map(|s| format!("{:.2}", s.residue_gain))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  transient {:>7} stages settled to ½ LSB (worst err/½LSB {:.3}), residue gains [{}]",
+                format!("{settled}/{}", tr.stages.len()),
+                worst,
+                gains.join(", ")
+            );
+            let _ = writeln!(
+                out,
+                "            {:>10} adaptive steps ({} rejected, min dt {:.1} ps, sparse {})",
+                tr.accepted,
+                tr.rejected,
+                tr.min_dt * 1e12,
+                tr.sparse
+            );
+        }
     }
     out
 }
@@ -184,6 +212,7 @@ mod tests {
     fn verify_table_renders() {
         use crate::verify::ChainVerification;
         use adc_synth::chain::ChainReport;
+        use adc_synth::tran_chain::{TranChainReport, TranStageReport};
         let v = ChainVerification {
             config: "4-3-2".into(),
             resolution: 13,
@@ -200,6 +229,25 @@ mod tests {
                 tf_sparse: true,
                 fill_ratio: 0.031,
             },
+            tran: Some(TranChainReport {
+                stages: vec![TranStageReport {
+                    amplitude: 12e-3,
+                    settle_err: 0.1e-3,
+                    half_lsb: 0.49e-3,
+                    settled: true,
+                    residue_gain: 3.97,
+                    ideal_gain: 4.0,
+                    settle_frac: 0.4,
+                    max_slew: 2e6,
+                    slew_frac: 0.1,
+                }],
+                all_settled: true,
+                accepted: 4211,
+                rejected: 37,
+                newton_iters: 9000,
+                min_dt: 12e-12,
+                sparse: true,
+            }),
             gain_expected: 64.0,
             power_summed: 20e-3,
             power_analytic: 19e-3,
@@ -209,6 +257,9 @@ mod tests {
         assert!(t.contains("MNA dim 119"), "{t}");
         assert!(t.contains("summed blocks"), "{t}");
         assert!(t.contains("ideal"), "{t}");
+        assert!(t.contains("1/1 stages settled"), "{t}");
+        assert!(t.contains("4211 adaptive steps"), "{t}");
+        assert!(t.contains("residue gains [3.97]"), "{t}");
     }
 
     #[test]

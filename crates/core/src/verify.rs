@@ -20,8 +20,12 @@ use adc_mdac::power::{design_chain, PowerModelParams};
 use adc_mdac::sizing::floor_cap;
 use adc_mdac::specs::AdcSpec;
 use adc_spice::linearize::SolverChoice;
+use adc_spice::tran::Clock;
 use adc_synth::chain::{ChainEvaluator, ChainOptions, ChainReport};
 use adc_synth::hybrid::BenchSetup;
+use adc_synth::tran_chain::{
+    TranChainEvaluator, TranChainOptions, TranChainReport, TranChainSetup,
+};
 
 /// Options of the chain-verification stage.
 #[derive(Debug, Clone)]
@@ -32,6 +36,9 @@ pub struct VerifyOptions {
     /// [`crate::verify::build_candidate_testbench`] plus a hand-built
     /// [`ChainEvaluator`] for diagnostic runs that need full DC control.
     pub chain: ChainOptions,
+    /// Clocked transient sign-off options; `None` skips the dynamic leg
+    /// (small-signal verification only).
+    pub tran: Option<TranChainOptions>,
     /// Solver-engine override (tests/diagnostics; [`SolverChoice::Auto`]
     /// in production).
     pub solver: SolverChoice,
@@ -43,6 +50,7 @@ impl Default for VerifyOptions {
     fn default() -> Self {
         VerifyOptions {
             chain: ChainOptions::default(),
+            tran: Some(TranChainOptions::default()),
             solver: SolverChoice::Auto,
             with_sub_adc: true,
         }
@@ -59,6 +67,9 @@ pub struct ChainVerification {
     pub resolution: u32,
     /// The chain-level measurement.
     pub report: ChainReport,
+    /// Clocked transient sign-off under real φ1/φ2 phases (when the
+    /// dynamic leg ran).
+    pub tran: Option<TranChainReport>,
     /// Ideal end-to-end gain `∏ 2^{mᵢ−1}`.
     pub gain_expected: f64,
     /// Sum of the synthesized blocks' OTA supply powers, W (the estimate
@@ -144,6 +155,33 @@ fn build_paired_testbench(
     build_pipeline(&spec.process, &stages, &pipeline_opts).map_err(|e| e.to_string())
 }
 
+/// Prepares a transient sign-off setup from a built chain testbench: the
+/// spec's sampling clock, the testbench's alternating φ1/φ2 stage
+/// schedule, and the chain's nodeset-seeded DC options.
+pub fn build_tran_setup(
+    spec: &AdcSpec,
+    tb: &PipelineTestbench,
+    stage_gains: Vec<f64>,
+) -> TranChainSetup {
+    TranChainSetup {
+        circuit: tb.circuit.clone(),
+        input_source: tb.input_source.clone(),
+        stage_outputs: tb.stage_outputs.clone(),
+        stage_amplify: (0..tb.stages.len())
+            .map(|k| tb.stage_amplify_phase(k))
+            .collect(),
+        stage_gains,
+        clock: Clock {
+            freq: spec.fs,
+            nonoverlap: spec.t_nonoverlap,
+        },
+        mid_rail: tb.mid_rail,
+        full_scale: spec.full_scale,
+        resolution: spec.resolution,
+        dc: tb.dc_options(),
+    }
+}
+
 /// Verifies one ranked candidate at the circuit level: builds its chain
 /// testbench from the synthesized blocks, solves it through the reusable
 /// workspaces, and reports chain-level gain/settling/power next to the
@@ -173,6 +211,18 @@ pub fn verify_candidate(
     );
     let report = evaluator.evaluate(&bench)?;
 
+    // Dynamic leg: run the same netlist through the clocked transient
+    // engine and sign off per-stage settling under real phases.
+    let tran = match &opts.tran {
+        Some(tran_opts) => {
+            let gains = pairs.iter().map(|(d, _)| d.spec.gain).collect();
+            let mut setup = build_tran_setup(spec, &tb, gains);
+            let mut ev = TranChainEvaluator::with_solver(opts.solver, tran_opts.clone());
+            Some(ev.evaluate(&mut setup)?)
+        }
+        None => None,
+    };
+
     let power_summed = pairs
         .iter()
         .map(|(_, b)| b.result.best_perf.get("power").unwrap_or(f64::NAN))
@@ -182,6 +232,7 @@ pub fn verify_candidate(
         config: candidate.to_string(),
         resolution: spec.resolution,
         report,
+        tran,
         gain_expected: tb.expected_gain,
         power_summed,
         power_analytic,
@@ -228,6 +279,19 @@ mod tests {
         assert!(v.report.power > 0.0 && v.report.power < 0.1);
         assert!(v.power_summed > 0.0);
         assert!(v.power_analytic > 0.0);
+        // The dynamic leg ran: both stages amplified their residues under
+        // the real clock schedule.
+        let tr = v.tran.as_ref().expect("transient sign-off ran");
+        assert_eq!(tr.stages.len(), 2);
+        assert!(tr.accepted > 0 && tr.min_dt > 0.0);
+        for (k, s) in tr.stages.iter().enumerate() {
+            assert!(
+                s.residue_gain > 0.5 * s.ideal_gain,
+                "stage {k}: residue gain {} vs ideal {}",
+                s.residue_gain,
+                s.ideal_gain
+            );
+        }
     }
 
     #[test]

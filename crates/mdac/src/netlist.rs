@@ -35,7 +35,21 @@ use crate::power::StageDesign;
 use adc_spice::netlist::{Circuit, ClockPhase, NodeId};
 use adc_spice::process::Process;
 use adc_spice::subckt::{Instance, Subckt};
+use adc_spice::tran::Clock;
+use adc_spice::waveform::Waveform;
 use adc_spice::SpiceResult;
+
+/// Maps a nominal phase onto a stage's schedule: odd pipeline stages swap
+/// φ1↔φ2 so stage `k+1` samples while stage `k` amplifies.
+fn sched(phase: ClockPhase, swap: bool) -> ClockPhase {
+    if !swap {
+        return phase;
+    }
+    match phase {
+        ClockPhase::Phi1 => ClockPhase::Phi2,
+        ClockPhase::Phi2 => ClockPhase::Phi1,
+    }
+}
 
 /// Servo loop gain of the per-stage output-bias servo (matches the OTA
 /// testbenches).
@@ -219,9 +233,38 @@ impl MdacStageConfig {
 /// `vref`: the flip-around capacitor array (`G` sampling units with φ1
 /// sampling and φ2 reference switches, one feedback unit through the φ2
 /// switch), the OTA core as a **nested instance** under `ota.`, and the
-/// output-bias servo.
+/// output-bias servo. Equivalent to [`build_mdac_stage_phased`] with
+/// `swap_phases = false`.
 pub fn build_mdac_stage(process: &Process, cfg: &MdacStageConfig) -> SpiceResult<Subckt> {
+    build_mdac_stage_phased(process, cfg, false)
+}
+
+/// [`build_mdac_stage`] with an explicit clock schedule: `swap_phases`
+/// exchanges φ1↔φ2 on every switch so odd pipeline stages sample while
+/// even ones amplify.
+///
+/// Besides the signal-path switches the stage carries two **reset**
+/// switches that only matter under transient clocking (both are open in
+/// the DC/AC configuration, so small-signal results are unchanged):
+///
+/// - `SR` grounds the feedback-cap bottom plate to `vref` during the
+///   sampling phase. Without it the φ2-only feedback network leaves `CF`
+///   floating across the sampling phase and the stage integrates residue
+///   charge across clock periods instead of amplifying each sample.
+/// - `SZ` diode-connects the OTA (`out`→`sum`) during the sampling phase.
+///   With the feedback loop open in φ1 the OTA would otherwise slew
+///   open-loop to a rail and have to recover every amplification phase;
+///   the unity reset holds it at its self-bias point, matching the
+///   charge-conservation analysis: `v_out = vref + G·(v_in − vref)` at the
+///   end of the amplification phase.
+pub fn build_mdac_stage_phased(
+    process: &Process,
+    cfg: &MdacStageConfig,
+    swap_phases: bool,
+) -> SpiceResult<Subckt> {
     let g_units = cfg.gain_units();
+    let sample = sched(ClockPhase::Phi1, swap_phases);
+    let amplify = sched(ClockPhase::Phi2, swap_phases);
     let mut ckt = Circuit::new();
     let inp = ckt.node("in");
     let out = ckt.node("out");
@@ -231,33 +274,20 @@ pub fn build_mdac_stage(process: &Process, cfg: &MdacStageConfig) -> SpiceResult
     let fb = ckt.node("fb");
 
     // Sampling/DAC unit array: bottom plates u{k}, tops on the summing
-    // node. The φ1 sampling switch conducts (the analyzed signal path), the
-    // φ2 reference switch models the DAC connection.
+    // node. The sampling switch conducts in DC (the analyzed signal path),
+    // the amplification-phase reference switch models the DAC connection.
     for k in 1..=g_units {
         let u = ckt.node(&format!("u{k}"));
-        ckt.add_switch(
-            &format!("SS{k}"),
-            inp,
-            u,
-            cfg.ron,
-            R_OFF,
-            ClockPhase::Phi1,
-            true,
-        );
-        ckt.add_switch(
-            &format!("SD{k}"),
-            u,
-            vref,
-            cfg.ron,
-            R_OFF,
-            ClockPhase::Phi2,
-            false,
-        );
+        ckt.add_switch(&format!("SS{k}"), inp, u, cfg.ron, R_OFF, sample, true);
+        ckt.add_switch(&format!("SD{k}"), u, vref, cfg.ron, R_OFF, amplify, false);
         ckt.add_capacitor(&format!("CU{k}"), u, sum, cfg.c_f);
     }
-    // Feedback unit through the φ2 (amplification) switch.
+    // Feedback unit through the amplification-phase switch, with the
+    // sampling-phase reset switches described above.
     ckt.add_capacitor("CF", sum, fb, cfg.c_f);
-    ckt.add_switch("SF", fb, out, cfg.ron, R_OFF, ClockPhase::Phi2, true);
+    ckt.add_switch("SF", fb, out, cfg.ron, R_OFF, amplify, true);
+    ckt.add_switch("SR", fb, vref, cfg.ron, R_OFF, sample, false);
+    ckt.add_switch("SZ", out, sum, cfg.ron, R_OFF, sample, false);
 
     // OTA core, nested.
     let core = cfg.ota.build_core(process);
@@ -292,6 +322,20 @@ pub fn build_mdac_stage(process: &Process, cfg: &MdacStageConfig) -> SpiceResult
 /// capacitor against its ladder tap — the capacitive load the paper's
 /// `c_next` bookkeeping charges the previous stage for.
 pub fn build_sub_adc(bits: u32, c_cmp: f64, r_ladder_total: f64, ron: f64) -> SpiceResult<Subckt> {
+    build_sub_adc_phased(bits, c_cmp, r_ladder_total, ron, false)
+}
+
+/// [`build_sub_adc`] with an explicit clock schedule: `swap_phases` moves
+/// the comparator sampling switches to φ2, matching a stage whose own
+/// schedule is swapped (the bank samples alongside its stage).
+pub fn build_sub_adc_phased(
+    bits: u32,
+    c_cmp: f64,
+    r_ladder_total: f64,
+    ron: f64,
+    swap_phases: bool,
+) -> SpiceResult<Subckt> {
+    let sample = sched(ClockPhase::Phi1, swap_phases);
     let mut ckt = Circuit::new();
     let inp = ckt.node("in");
     let vref = ckt.node("vref");
@@ -307,15 +351,7 @@ pub fn build_sub_adc(bits: u32, c_cmp: f64, r_ladder_total: f64, ron: f64) -> Sp
     for k in 1..=(segments - 2) {
         let c = ckt.node(&format!("c{k}"));
         let tap = ckt.find_node(&format!("t{k}")).expect("tap interned above");
-        ckt.add_switch(
-            &format!("SC{k}"),
-            inp,
-            c,
-            ron,
-            R_OFF,
-            ClockPhase::Phi1,
-            true,
-        );
+        ckt.add_switch(&format!("SC{k}"), inp, c, ron, R_OFF, sample, true);
         ckt.add_capacitor(&format!("CC{k}"), c, tap, c_cmp);
     }
     Subckt::new("sub_adc", ckt, &[("in", "in"), ("vref", "vref")])
@@ -431,6 +467,37 @@ impl PipelineTestbench {
         }
     }
 
+    /// Phase during which stage `k` samples its input (φ1/φ2 alternate
+    /// down the chain: stage `k+1` samples while stage `k` amplifies, so
+    /// residues hand off every half period).
+    pub fn stage_sample_phase(&self, k: usize) -> ClockPhase {
+        sched(ClockPhase::Phi1, k % 2 == 1)
+    }
+
+    /// Phase during which stage `k` amplifies — its output is valid at the
+    /// end of this phase.
+    pub fn stage_amplify_phase(&self, k: usize) -> ClockPhase {
+        sched(ClockPhase::Phi2, k % 2 == 1)
+    }
+
+    /// Time window of stage `k`'s amplification phase within clock period
+    /// `period_index` — the probe window for settling sign-off.
+    pub fn stage_probe_window(&self, clock: &Clock, period_index: usize, k: usize) -> (f64, f64) {
+        clock.phase_window(period_index, self.stage_amplify_phase(k))
+    }
+
+    /// Replaces the input drive with a DC hold at `volts`: clocked
+    /// transient runs drive the chain with a held level and let the φ1
+    /// switches do the sampling. The AC magnitude is preserved, so
+    /// small-signal sweeps through the same testbench stay valid.
+    pub fn set_input_hold(&mut self, volts: f64) {
+        let (id, _) = self
+            .circuit
+            .find_element(&self.input_source)
+            .expect("input source exists");
+        self.circuit.set_waveform(id, Waveform::Dc(volts));
+    }
+
     /// Retunes stage `k`'s OTA sizing in place through the instance path
     /// (`s{k}.ota.*`), preserving the topology so bound workspaces stay
     /// valid.
@@ -498,8 +565,13 @@ pub fn build_pipeline(
         } else {
             prev
         };
+        // Odd stages run on the swapped schedule so each stage samples
+        // while its predecessor amplifies; each sub-ADC bank samples
+        // alongside its stage.
+        let swap = k % 2 == 1;
         if opts.with_sub_adc {
-            let bank = build_sub_adc(cfg.bits, opts.c_cmp, opts.ladder_r_total, opts.ron)?;
+            let bank =
+                build_sub_adc_phased(cfg.bits, opts.c_cmp, opts.ladder_r_total, opts.ron, swap)?;
             ckt.instantiate(
                 &bank,
                 &format!("adc{k}"),
@@ -507,7 +579,7 @@ pub fn build_pipeline(
             )?;
         }
         let out = ckt.node(&format!("o{k}"));
-        let sub = build_mdac_stage(process, cfg)?;
+        let sub = build_mdac_stage_phased(process, cfg, swap)?;
         let inst = ckt.instantiate(
             &sub,
             &format!("s{k}"),
@@ -535,8 +607,15 @@ pub fn build_pipeline(
         ckt.add_capacitor("CBACK", prev, Circuit::GROUND, opts.backend_c_load);
     }
     if opts.with_sub_adc {
-        // Backend 1.5-bit tail stage's bank samples the last residue.
-        let bank = build_sub_adc(2, opts.c_cmp, opts.ladder_r_total, opts.ron)?;
+        // Backend 1.5-bit tail stage's bank samples the last residue on the
+        // schedule a hypothetical stage N would use.
+        let bank = build_sub_adc_phased(
+            2,
+            opts.c_cmp,
+            opts.ladder_r_total,
+            opts.ron,
+            stages.len() % 2 == 1,
+        )?;
         ckt.instantiate(&bank, "adcb", &[("in", prev), ("vref", vref)])?;
     }
     Ok(PipelineTestbench {
@@ -683,6 +762,82 @@ mod tests {
             tb.circuit.topology_fingerprint(),
             fresh.circuit.topology_fingerprint()
         );
+    }
+
+    fn switch_phase(ckt: &Circuit, name: &str) -> ClockPhase {
+        ckt.elements()
+            .iter()
+            .find_map(|e| match e {
+                adc_spice::netlist::Element::Switch { name: n, phase, .. } if n == name => {
+                    Some(*phase)
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no switch {name}"))
+    }
+
+    #[test]
+    fn phased_stage_swaps_schedule_and_adds_resets() {
+        let proc = Process::c025();
+        let cfg = tele_cfg(3, 200e-15);
+        let base = build_mdac_stage_phased(&proc, &cfg, false).unwrap();
+        let swapped = build_mdac_stage_phased(&proc, &cfg, true).unwrap();
+        for (name, nominal) in [
+            ("SS1", ClockPhase::Phi1),
+            ("SD1", ClockPhase::Phi2),
+            ("SF", ClockPhase::Phi2),
+            ("SR", ClockPhase::Phi1),
+            ("SZ", ClockPhase::Phi1),
+        ] {
+            assert_eq!(switch_phase(base.circuit(), name), nominal, "{name}");
+            assert_eq!(
+                switch_phase(swapped.circuit(), name),
+                sched(nominal, true),
+                "{name} swapped"
+            );
+        }
+        // The reset switches are open in the DC configuration, so the
+        // small-signal path is unchanged by their presence.
+        let bank = build_sub_adc_phased(3, 10e-15, 10e3, 100.0, true).unwrap();
+        assert_eq!(switch_phase(bank.circuit(), "SC1"), ClockPhase::Phi2);
+    }
+
+    #[test]
+    fn pipeline_alternates_phases_and_holds_input() {
+        let proc = Process::c025();
+        let stages = [tele_cfg(3, 400e-15), tele_cfg(2, 200e-15)];
+        let mut tb = build_pipeline(&proc, &stages, &PipelineOptions::default()).unwrap();
+        assert_eq!(tb.stage_sample_phase(0), ClockPhase::Phi1);
+        assert_eq!(tb.stage_amplify_phase(0), ClockPhase::Phi2);
+        assert_eq!(tb.stage_sample_phase(1), ClockPhase::Phi2);
+        assert_eq!(tb.stage_amplify_phase(1), ClockPhase::Phi1);
+        // The flattened netlist carries the alternation: stage 1 samples on
+        // φ2, and its sub-ADC bank samples alongside it.
+        assert_eq!(switch_phase(&tb.circuit, "s0.SS1"), ClockPhase::Phi1);
+        assert_eq!(switch_phase(&tb.circuit, "s1.SS1"), ClockPhase::Phi2);
+        assert_eq!(switch_phase(&tb.circuit, "adc0.SC1"), ClockPhase::Phi1);
+        assert_eq!(switch_phase(&tb.circuit, "adc1.SC1"), ClockPhase::Phi2);
+        assert_eq!(switch_phase(&tb.circuit, "adcb.SC1"), ClockPhase::Phi1);
+        // Probe windows hand off: stage 0's amplification window ends
+        // before stage 1's (next period) begins.
+        let clk = Clock {
+            freq: 40e6,
+            nonoverlap: 1e-9,
+        };
+        let (a0, b0) = tb.stage_probe_window(&clk, 0, 0);
+        let (a1, b1) = tb.stage_probe_window(&clk, 1, 1);
+        assert!(a0 < b0 && b0 <= a1 && a1 < b1);
+        // Input hold replaces the drive waveform but keeps the AC
+        // magnitude, so the same testbench still sweeps.
+        tb.set_input_hold(1.7);
+        let (_, e) = tb.circuit.find_element("VIN").unwrap();
+        match e {
+            adc_spice::netlist::Element::VSource { wave, ac_mag, .. } => {
+                assert_eq!(*wave, Waveform::Dc(1.7));
+                assert_eq!(*ac_mag, 1.0);
+            }
+            _ => panic!("VIN is not a source"),
+        }
     }
 
     #[test]

@@ -167,7 +167,7 @@ fn stamp_linear(
 /// sequence of `add` calls depends only on the topology (ground-ness of
 /// terminals), never on values — the invariant the sparse slot replay
 /// relies on.
-fn stamp_mosfets(
+pub(crate) fn stamp_mosfets(
     circuit: &Circuit,
     map: &MnaMap,
     x: &[f64],

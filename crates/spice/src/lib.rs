@@ -53,6 +53,10 @@ pub use netlist::{Circuit, ElementId, NodeId};
 pub use op::OperatingPoint;
 pub use process::Process;
 pub use subckt::{Instance, Subckt};
+pub use tran::{
+    transient, transient_adaptive, transient_with, Clock, InitialCondition, TimeStepConfig,
+    TimeStepState, TranOptions, TranResult, TranStats, TranWorkspace,
+};
 
 /// Errors produced by the simulation engines.
 #[derive(Debug, Clone, PartialEq)]

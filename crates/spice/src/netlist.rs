@@ -459,6 +459,22 @@ impl Circuit {
         }
     }
 
+    /// Replaces an independent source's waveform (AC magnitude unchanged).
+    /// Clocked testbenches use this to swap a DC drive for a hold/pulse
+    /// waveform without rebuilding the netlist.
+    ///
+    /// # Panics
+    /// Panics if the element is not a V-source or I-source.
+    pub fn set_waveform(&mut self, id: ElementId, waveform: Waveform) {
+        match &mut self.elements[id.0] {
+            Element::VSource { wave, .. } | Element::ISource { wave, .. } => *wave = waveform,
+            other => panic!(
+                "set_waveform: {} is not an independent source",
+                other.name()
+            ),
+        }
+    }
+
     /// Retunes a MOSFET's drawn geometry in place (model card unchanged).
     ///
     /// # Panics

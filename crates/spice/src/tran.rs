@@ -1,20 +1,61 @@
-//! Transient analysis: fixed-step trapezoidal integration with per-step
-//! Newton solves and two-phase clocked switches.
+//! Transient analysis: trapezoidal integration with per-step Newton
+//! solves and two-phase clocked switches.
 //!
 //! This engine backs the paper's "when circuits experience large dynamic
 //! swing, simulation-based evaluation produces trustworthy results" claim:
 //! switched-capacitor MDAC settling is simulated here when the linear
 //! small-signal model is not to be trusted.
 //!
+//! Two paths coexist:
+//!
+//! * [`transient`] — the seed-era dense fixed-step engine, kept verbatim
+//!   as the **oracle**: every element restamps a dense Jacobian each
+//!   Newton iteration. Slow, simple, trusted.
+//! * [`TranWorkspace`] + [`transient_with`] / [`transient_adaptive`] — the
+//!   production engine on the sparse workspace substrate. The
+//!   companion-model sparsity pattern is fixed per topology (a capacitor
+//!   stamps the same four positions whatever `dt` is; a switch stamps the
+//!   same four positions whatever phase is active), so the CSR pattern and
+//!   symbolic factorization are frozen once and capacitor/switch/MOSFET
+//!   restamps replay through precomputed slot maps — the timestep loop
+//!   performs **zero heap allocation**. Newton warm-starts from the
+//!   previous timestep, and [`transient_adaptive`] adds LTE-based step
+//!   doubling/halving with clock-edge-aligned breakpoints.
+//!
 //! Capacitors use the trapezoidal companion model (A-stable, second-order);
 //! MOSFETs are evaluated as static nonlinearities — charge storage must be
 //! modeled with explicit capacitors, which the OTA templates do.
 
+use crate::dc::stamp_mosfets;
+use crate::linearize::SolverChoice;
 use crate::mna::{add_opt, stamp_conductance, stamp_vccs, MnaMap};
 use crate::mosfet::eval_mosfet;
-use crate::netlist::{Circuit, ClockPhase, Element};
+use crate::netlist::{Circuit, ClockPhase, Element, NodeId};
 use crate::{SpiceError, SpiceResult};
+use adc_numerics::linalg::Lu;
+use adc_numerics::quant::quantize_rel;
+use adc_numerics::sparse::{prefer_sparse, CsrMatrix, CsrPattern, SparseLu, Symbolic};
 use adc_numerics::Matrix;
+
+/// Floating-node leak conductance added to every node diagonal, S.
+const TRAN_GMIN: f64 = 1e-12;
+
+/// Stall-acceptance ceiling of the transient Newton loops, relative to the
+/// iterate's node-voltage scale (clamped to ≥ 1 V): an update that is
+/// already below `ceiling = NEWTON_STALL_VTOL·max(1, max|vₖ|)` and no
+/// longer contracting (reduction by less than 2× per iteration) is
+/// float-noise limit cycling above `vtol` — amplified by the stiff
+/// companion conductances at small dt — not real residual motion, and the
+/// iterate is accepted. Quadratically converging trajectories contract far
+/// faster than 2× per step in this regime, so the early accept never fires
+/// on a healthy Newton sequence.
+const NEWTON_STALL_VTOL: f64 = 1e-5;
+
+/// The stall ceiling for a node-voltage slice (see [`NEWTON_STALL_VTOL`]).
+fn stall_ceiling(v: &[f64]) -> f64 {
+    let vmax = v.iter().fold(1.0_f64, |m, &x| m.max(x.abs()));
+    NEWTON_STALL_VTOL * vmax
+}
 
 /// Two-phase non-overlapping clock description.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,17 +67,68 @@ pub struct Clock {
 }
 
 impl Clock {
+    /// Clock period, s.
+    pub fn period(&self) -> f64 {
+        1.0 / self.freq
+    }
+
+    /// Non-overlap interval as a fraction of the period.
+    #[inline]
+    fn nonoverlap_frac(&self) -> f64 {
+        self.nonoverlap * self.freq
+    }
+
     /// Which phase is active at time `t` (`None` during non-overlap gaps).
+    ///
+    /// The period position is computed as the fractional part of
+    /// `t · freq` — one rounding, no accumulation — rather than
+    /// `t.rem_euclid(1/freq)`, whose inexact period drifts the phase
+    /// boundaries by ~`t · ε` after many cycles.
     pub fn active_phase(&self, t: f64) -> Option<ClockPhase> {
-        let period = 1.0 / self.freq;
-        let tm = t.rem_euclid(period);
-        let half = period / 2.0;
-        if tm < half - self.nonoverlap {
+        let u = t * self.freq;
+        let frac = u - u.floor();
+        let d = self.nonoverlap_frac();
+        if frac < 0.5 - d {
             Some(ClockPhase::Phi1)
-        } else if tm >= half && tm < period - self.nonoverlap {
+        } else if (0.5..1.0 - d).contains(&frac) {
             Some(ClockPhase::Phi2)
         } else {
             None
+        }
+    }
+
+    /// The next phase boundary strictly after `t`: the end of φ1, the
+    /// start of φ2, the end of φ2, or the start of the next period.
+    /// Adaptive stepping clamps to these so a step never straddles a
+    /// switch transition.
+    pub fn next_edge(&self, t: f64) -> f64 {
+        let period = self.period();
+        let u = t * self.freq;
+        let k = u.floor();
+        let d = self.nonoverlap_frac();
+        let eps = (t.abs() + period) * 1e-12;
+        for cycle in 0..2 {
+            let base = k + cycle as f64;
+            for frac in [0.5 - d, 0.5, 1.0 - d, 1.0] {
+                let cand = (base + frac) * period;
+                if cand > t + eps {
+                    return cand;
+                }
+            }
+        }
+        t + period
+    }
+
+    /// The `(t_start, t_end)` window during which `phase` is active in
+    /// period `period_index` (φ1 opens at the period start, φ2 at the
+    /// half-period; both close one non-overlap interval early).
+    pub fn phase_window(&self, period_index: usize, phase: ClockPhase) -> (f64, f64) {
+        let p = self.period();
+        let d = self.nonoverlap_frac();
+        let k = period_index as f64;
+        match phase {
+            ClockPhase::Phi1 => (k * p, (k + 0.5 - d) * p),
+            ClockPhase::Phi2 => ((k + 0.5) * p, (k + 1.0 - d) * p),
         }
     }
 }
@@ -48,15 +140,17 @@ pub enum InitialCondition {
     #[default]
     Zero,
     /// Start from explicit node voltages indexed by [`crate::netlist::NodeId::index`].
+    /// The vector length must equal the circuit's node count (including
+    /// ground at index 0).
     Voltages(Vec<f64>),
 }
 
-/// Options for [`transient`].
+/// Options for [`transient`], [`transient_with`] and [`transient_adaptive`].
 #[derive(Debug, Clone)]
 pub struct TranOptions {
     /// Stop time, s.
     pub tstop: f64,
-    /// Fixed time step, s.
+    /// Fixed time step, s (ignored by [`transient_adaptive`]).
     pub dt: f64,
     /// Optional two-phase clock driving the switches.
     pub clock: Option<Clock>,
@@ -81,12 +175,30 @@ impl Default for TranOptions {
     }
 }
 
-/// Transient simulation result.
+/// Counters from a transient run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TranStats {
+    /// Accepted timesteps (equals the fixed step count on fixed-step runs).
+    pub accepted: usize,
+    /// Steps rejected by the LTE controller (always 0 on fixed-step runs).
+    pub rejected: usize,
+    /// Total Newton iterations across all steps.
+    pub newton_iters: usize,
+    /// Smallest accepted step, s (0 when no steps ran).
+    pub min_dt: f64,
+    /// Whether the run factored through the CSR engine.
+    pub sparse: bool,
+}
+
+/// Transient simulation result: a flat sample store (one row of node
+/// voltages per accepted time point, ground included at index 0).
 #[derive(Debug, Clone)]
 pub struct TranResult {
     times: Vec<f64>,
-    /// Per time point, full node-voltage vector.
-    samples: Vec<Vec<f64>>,
+    node_count: usize,
+    /// Row-major samples, `times.len() × node_count`.
+    data: Vec<f64>,
+    stats: TranStats,
 }
 
 impl TranResult {
@@ -96,18 +208,62 @@ impl TranResult {
     }
 
     /// Waveform of one node.
-    pub fn waveform(&self, node: crate::netlist::NodeId) -> Vec<f64> {
-        self.samples.iter().map(|s| s[node.index()]).collect()
+    pub fn waveform(&self, node: NodeId) -> Vec<f64> {
+        (0..self.times.len())
+            .map(|k| self.data[k * self.node_count + node.index()])
+            .collect()
     }
 
     /// Node voltage at sample `k`.
-    pub fn voltage_at(&self, node: crate::netlist::NodeId, k: usize) -> f64 {
-        self.samples[k][node.index()]
+    pub fn voltage_at(&self, node: NodeId, k: usize) -> f64 {
+        self.data[k * self.node_count + node.index()]
     }
 
     /// Final node voltage.
-    pub fn final_voltage(&self, node: crate::netlist::NodeId) -> f64 {
-        self.samples.last().map_or(0.0, |s| s[node.index()])
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        if self.times.is_empty() {
+            0.0
+        } else {
+            self.voltage_at(node, self.times.len() - 1)
+        }
+    }
+
+    /// Node voltage at time `t`, linearly interpolated between samples
+    /// (clamped to the run's time span). Adaptive runs place samples
+    /// unevenly, so probing "the voltage at phase end" goes through here.
+    pub fn sample_at(&self, node: NodeId, t: f64) -> f64 {
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        let n = self.times.len();
+        if t <= self.times[0] {
+            return self.voltage_at(node, 0);
+        }
+        if t >= self.times[n - 1] {
+            return self.voltage_at(node, n - 1);
+        }
+        // First index with time > t; its predecessor brackets t.
+        let hi = self.times.partition_point(|&tt| tt <= t);
+        let (t0, t1) = (self.times[hi - 1], self.times[hi]);
+        let (v0, v1) = (self.voltage_at(node, hi - 1), self.voltage_at(node, hi));
+        if t1 <= t0 {
+            return v1;
+        }
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Node voltage at the last accepted sample with time ≤ `t` — the
+    /// **left limit**. Switched-capacitor waveforms jump discontinuously
+    /// when a phase ends and an undriven node snaps to its open-switch
+    /// level; probing "the value at phase end" must not interpolate across
+    /// that snap (fixed-step runs place no sample exactly on the edge), so
+    /// phase-end measurements go through here instead of [`Self::sample_at`].
+    pub fn sample_before(&self, node: NodeId, t: f64) -> f64 {
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        let hi = self.times.partition_point(|&tt| tt <= t);
+        self.voltage_at(node, hi.saturating_sub(1))
     }
 
     /// Number of samples.
@@ -119,20 +275,1084 @@ impl TranResult {
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
     }
+
+    /// Run counters (step/iteration counts, smallest step, engine kind).
+    pub fn stats(&self) -> &TranStats {
+        &self.stats
+    }
+
+    fn push_sample(&mut self, t: f64, x: &[f64]) {
+        self.times.push(t);
+        self.data.push(0.0); // ground
+        self.data.extend_from_slice(&x[..self.node_count - 1]);
+    }
 }
 
-/// Per-capacitor trapezoidal state.
+/// Validates and applies an initial condition onto the unknown vector
+/// (node rows only; branch currents start at 0).
+fn apply_ic(map: &MnaMap, ic: &InitialCondition, x: &mut [f64]) -> SpiceResult<()> {
+    x.fill(0.0);
+    if let InitialCondition::Voltages(v0) = ic {
+        let nc = map.node_count();
+        if v0.len() != nc {
+            return Err(SpiceError::BadNetlist(format!(
+                "initial condition has {} voltages, circuit has {} nodes",
+                v0.len(),
+                nc
+            )));
+        }
+        x[..nc - 1].copy_from_slice(&v0[1..]);
+    }
+    Ok(())
+}
+
+/// Walks a 2×2 conductance stamp's positions/values in a fixed order —
+/// `(i,i) (j,j) (i,j) (j,i)`, ground rows skipped. Both the slot-map
+/// recording and the per-step value buffering go through this single
+/// helper, so they can never disagree on stamp order.
+#[inline]
+fn cond_pattern(
+    a: Option<usize>,
+    b: Option<usize>,
+    g: f64,
+    add: &mut impl FnMut(usize, usize, f64),
+) {
+    if let Some(i) = a {
+        add(i, i, g);
+    }
+    if let Some(j) = b {
+        add(j, j, g);
+    }
+    if let (Some(i), Some(j)) = (a, b) {
+        add(i, j, -g);
+        add(j, i, -g);
+    }
+}
+
+/// Walks the stamps that are constant across the whole transient run:
+/// resistors, source branch patterns and controlled sources. Switches,
+/// capacitors (value varies with phase/step) and MOSFETs (vary per Newton
+/// iteration) replay through slot maps instead; independent-source values
+/// live in the time-varying `b(t)` vector.
+fn stamp_tran_static(circuit: &Circuit, map: &MnaMap, add: &mut impl FnMut(usize, usize, f64)) {
+    for (idx, e) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms, .. } => {
+                cond_pattern(map.node_row(*a), map.node_row(*b), 1.0 / ohms, add);
+            }
+            Element::Capacitor { .. } | Element::Switch { .. } | Element::Mosfet { .. } => {}
+            Element::ISource { .. } => {
+                // Current sources only touch b(t).
+            }
+            Element::VSource { p, n, .. } => {
+                let br = map.branch_row(idx);
+                for (r, sgn) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
+                    if let Some(r) = r {
+                        add(r, br, sgn);
+                        add(br, r, sgn);
+                    }
+                }
+            }
+            Element::Vcvs {
+                p, n, cp, cn, gain, ..
+            } => {
+                let br = map.branch_row(idx);
+                for (r, sgn) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
+                    if let Some(r) = r {
+                        add(r, br, sgn);
+                        add(br, r, sgn);
+                    }
+                }
+                if let Some(r) = map.node_row(*cp) {
+                    add(br, r, -gain);
+                }
+                if let Some(r) = map.node_row(*cn) {
+                    add(br, r, *gain);
+                }
+            }
+            Element::Vccs {
+                p, n, cp, cn, gm, ..
+            } => {
+                for (out, so) in [(map.node_row(*p), 1.0), (map.node_row(*n), -1.0)] {
+                    let Some(row) = out else { continue };
+                    for (ctrl, sc) in [(map.node_row(*cp), 1.0), (map.node_row(*cn), -1.0)] {
+                        if let Some(col) = ctrl {
+                            add(row, col, so * sc * gm);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Precomputed per-switch restamp data: matrix rows and the two
+/// conductances the phase toggles between.
+#[derive(Debug, Clone, Copy)]
+struct SwitchSlot {
+    ra: Option<usize>,
+    rb: Option<usize>,
+    gon: f64,
+    goff: f64,
+    phase: ClockPhase,
+}
+
+/// Precomputed per-capacitor companion data: matrix rows, the companion
+/// conductance for the current step size, and the trapezoidal state.
+#[derive(Debug, Clone, Copy)]
+struct CapSlot {
+    ra: Option<usize>,
+    rb: Option<usize>,
+    farads: f64,
+    /// `2C/dt` for the step size currently loaded via `set_dt`.
+    geq: f64,
+    v_old: f64,
+    i_old: f64,
+}
+
+/// The linear-solver engine inside a [`TranWorkspace`]: dense
+/// partial-pivot LU, or CSR with a symbolic factorization frozen once per
+/// topology and every time-varying stamp writing through precomputed slot
+/// indices.
+#[derive(Debug)]
+enum TranEngine {
+    Dense {
+        /// Constant static stamps (resistors, source patterns, controlled
+        /// sources); switch/cap/g_min/MOSFET stamps are scattered on top
+        /// per assembly.
+        base_jac: Matrix,
+        jac: Matrix,
+        lu: Lu,
+        /// Flat (row-major) stamp slots in element order, mirroring the
+        /// sparse engine's slot segments.
+        sw_slots: Vec<usize>,
+        cap_slots: Vec<usize>,
+        mos_slots: Vec<usize>,
+    },
+    Sparse {
+        /// Static base values aligned with the pattern's nonzeros.
+        base_vals: Vec<f64>,
+        jac: CsrMatrix,
+        lu: SparseLu,
+        /// Stamp slots in traversal order: static stamps, then switch
+        /// conductances, then capacitor companions, then the g_min node
+        /// diagonals, then the MOSFET companion entries.
+        slots: Vec<usize>,
+        static_len: usize,
+        sw_len: usize,
+        cap_len: usize,
+        gmin_len: usize,
+    },
+}
+
+/// Builds the dense engine storage, recording switch/capacitor/MOSFET
+/// stamp patterns as flat slots so restamps replay through the chunked
+/// [`Matrix::scatter_add`] kernel — the dense twin of the CSR slot replay.
+fn dense_tran_engine(circuit: &Circuit, map: &MnaMap) -> TranEngine {
+    let dim = map.dim();
+    let mut sw_slots: Vec<usize> = Vec::new();
+    let mut cap_slots: Vec<usize> = Vec::new();
+    for e in circuit.elements() {
+        match e {
+            Element::Switch { a, b, .. } => {
+                cond_pattern(map.node_row(*a), map.node_row(*b), 0.0, &mut |r, c, _| {
+                    sw_slots.push(r * dim + c);
+                });
+            }
+            Element::Capacitor { a, b, .. } => {
+                cond_pattern(map.node_row(*a), map.node_row(*b), 0.0, &mut |r, c, _| {
+                    cap_slots.push(r * dim + c);
+                });
+            }
+            _ => {}
+        }
+    }
+    let zeros = vec![0.0; dim];
+    let mut scratch = vec![0.0; dim];
+    let mut mos_slots: Vec<usize> = Vec::new();
+    stamp_mosfets(circuit, map, &zeros, &mut scratch, &mut |r, c, _| {
+        mos_slots.push(r * dim + c);
+    });
+    TranEngine::Dense {
+        base_jac: Matrix::zeros(dim, dim),
+        jac: Matrix::zeros(dim, dim),
+        lu: Lu::with_dim(dim),
+        sw_slots,
+        cap_slots,
+        mos_slots,
+    }
+}
+
+/// Reusable transient workspace: the [`MnaMap`], stamp slot maps and (on
+/// the sparse engine) the symbolic factorization are built once per
+/// circuit topology; every run restamps the static base (so value
+/// retuning is picked up), and the timestep loop itself performs **zero
+/// heap allocation** — switch and capacitor companion restamps replay
+/// buffered values through frozen slot maps exactly like the MOSFET
+/// restamp path, and Newton warm-starts each step from the previous one.
+#[derive(Debug)]
+pub struct TranWorkspace {
+    map: MnaMap,
+    elem_count: usize,
+    /// Wiring fingerprint ([`Circuit::topology_fingerprint`]) the stamp
+    /// slot maps were recorded for.
+    fingerprint: u64,
+    /// Engine selection this workspace was created with.
+    choice: SolverChoice,
+    engine: TranEngine,
+    /// Set when the sparse engine hit a numerically unlucky static pivot;
+    /// the run entry points demote to dense and retry.
+    sparse_failed: bool,
+    switches: Vec<SwitchSlot>,
+    caps: Vec<CapSlot>,
+    /// Buffered switch conductance values (refreshed on phase change only).
+    sw_vals: Vec<f64>,
+    /// Buffered capacitor companion values (refreshed on dt change only).
+    cap_vals: Vec<f64>,
+    /// Scratch for MOSFET companion values, buffered per assembly.
+    mos_vals: Vec<f64>,
+    /// Time-varying source vector: residual = `A·x − b(t)` + MOSFET
+    /// currents, where `b` holds source waveforms at `t` and capacitor
+    /// history terms.
+    b: Vec<f64>,
+    res: Vec<f64>,
+    dx: Vec<f64>,
+    x: Vec<f64>,
+    /// Previous accepted solution (reject/restore in the adaptive loop).
+    x_prev: Vec<f64>,
+    cur_phase: Option<ClockPhase>,
+    phase_valid: bool,
+    cur_dt: f64,
+}
+
+impl TranWorkspace {
+    /// Builds the workspace for a circuit topology, selecting the solver
+    /// engine by structural fill ratio.
+    ///
+    /// # Errors
+    /// [`SpiceError::BadNetlist`] if the circuit has no unknowns.
+    pub fn new(circuit: &Circuit) -> SpiceResult<Self> {
+        TranWorkspace::with_solver(circuit, SolverChoice::Auto)
+    }
+
+    /// [`TranWorkspace::new`] with an explicit solver-engine choice
+    /// (tests/diagnostics; production uses [`SolverChoice::Auto`]).
+    ///
+    /// # Errors
+    /// [`SpiceError::BadNetlist`] if the circuit has no unknowns.
+    pub fn with_solver(circuit: &Circuit, choice: SolverChoice) -> SpiceResult<Self> {
+        let map = MnaMap::new(circuit);
+        let dim = map.dim();
+        if dim == 0 {
+            return Err(SpiceError::BadNetlist("circuit has no unknowns".into()));
+        }
+        let engine = TranWorkspace::build_engine(circuit, &map, choice);
+        Ok(TranWorkspace {
+            map,
+            elem_count: circuit.elements().len(),
+            fingerprint: circuit.topology_fingerprint(),
+            choice,
+            engine,
+            sparse_failed: false,
+            switches: Vec::new(),
+            caps: Vec::new(),
+            sw_vals: Vec::new(),
+            cap_vals: Vec::new(),
+            mos_vals: Vec::new(),
+            b: vec![0.0; dim],
+            res: vec![0.0; dim],
+            dx: vec![0.0; dim],
+            x: vec![0.0; dim],
+            x_prev: vec![0.0; dim],
+            cur_phase: None,
+            phase_valid: false,
+            cur_dt: 0.0,
+        })
+    }
+
+    /// Records the full stamp pattern (static, switch, capacitor, g_min,
+    /// MOSFET — in that order) and chooses the engine.
+    fn build_engine(circuit: &Circuit, map: &MnaMap, choice: SolverChoice) -> TranEngine {
+        if choice == SolverChoice::Dense {
+            return dense_tran_engine(circuit, map);
+        }
+        let dim = map.dim();
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        stamp_tran_static(circuit, map, &mut |r, c, _| entries.push((r, c)));
+        let static_len = entries.len();
+        for e in circuit.elements() {
+            if let Element::Switch { a, b, .. } = e {
+                cond_pattern(map.node_row(*a), map.node_row(*b), 0.0, &mut |r, c, _| {
+                    entries.push((r, c));
+                });
+            }
+        }
+        let sw_len = entries.len() - static_len;
+        for e in circuit.elements() {
+            if let Element::Capacitor { a, b, .. } = e {
+                cond_pattern(map.node_row(*a), map.node_row(*b), 0.0, &mut |r, c, _| {
+                    entries.push((r, c));
+                });
+            }
+        }
+        let cap_len = entries.len() - static_len - sw_len;
+        for row in 0..(map.node_count() - 1) {
+            entries.push((row, row));
+        }
+        let gmin_len = map.node_count() - 1;
+        let zeros = vec![0.0; dim];
+        let mut scratch = vec![0.0; dim];
+        stamp_mosfets(circuit, map, &zeros, &mut scratch, &mut |r, c, _| {
+            entries.push((r, c));
+        });
+        let (pattern, slots) = CsrPattern::from_entries(dim, &entries);
+        let go_sparse = match choice {
+            SolverChoice::Auto => prefer_sparse(dim, pattern.nnz()),
+            SolverChoice::Sparse => true,
+            SolverChoice::Dense => unreachable!("handled above"),
+        };
+        if !go_sparse {
+            return dense_tran_engine(circuit, map);
+        }
+        match Symbolic::analyze(&pattern) {
+            Ok(sym) => TranEngine::Sparse {
+                base_vals: vec![0.0; pattern.nnz()],
+                jac: CsrMatrix::zeros(pattern),
+                lu: SparseLu::new(sym),
+                slots,
+                static_len,
+                sw_len,
+                cap_len,
+                gmin_len,
+            },
+            // Structurally singular patterns get the dense oracle's
+            // per-iteration singularity reporting instead.
+            Err(_) => dense_tran_engine(circuit, map),
+        }
+    }
+
+    /// Whether this workspace was built for `circuit`'s topology (value
+    /// retuning keeps it valid; rewiring rebuilds).
+    pub fn matches(&self, circuit: &Circuit) -> bool {
+        self.elem_count == circuit.elements().len()
+            && self.map.matches(circuit)
+            && self.fingerprint == circuit.topology_fingerprint()
+    }
+
+    /// The MNA index map.
+    pub fn map(&self) -> &MnaMap {
+        &self.map
+    }
+
+    /// Whether the Newton Jacobian currently factors sparse.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.engine, TranEngine::Sparse { .. })
+    }
+
+    /// Replaces the engine with the dense oracle (sparse static pivot
+    /// underflowed).
+    fn demote_to_dense(&mut self, circuit: &Circuit) {
+        self.engine = dense_tran_engine(circuit, &self.map);
+        self.sparse_failed = false;
+    }
+
+    /// Per-run setup: applies the initial condition, (re)collects the
+    /// switch/capacitor restamp slots so value retuning is picked up,
+    /// restamps the static base and invalidates the phase/dt buffers.
+    fn prepare(&mut self, circuit: &Circuit, ic: &InitialCondition) -> SpiceResult<()> {
+        if !self.matches(circuit) {
+            *self = TranWorkspace::with_solver(circuit, self.choice)?;
+        }
+        apply_ic(&self.map, ic, &mut self.x)?;
+        self.x_prev.copy_from_slice(&self.x);
+        self.switches.clear();
+        self.caps.clear();
+        for e in circuit.elements() {
+            match e {
+                Element::Switch {
+                    a,
+                    b,
+                    ron,
+                    roff,
+                    phase,
+                    ..
+                } => self.switches.push(SwitchSlot {
+                    ra: self.map.node_row(*a),
+                    rb: self.map.node_row(*b),
+                    gon: 1.0 / ron,
+                    goff: 1.0 / roff,
+                    phase: *phase,
+                }),
+                Element::Capacitor { a, b, farads, .. } => {
+                    let (ra, rb) = (self.map.node_row(*a), self.map.node_row(*b));
+                    let va = ra.map_or(0.0, |r| self.x[r]);
+                    let vb = rb.map_or(0.0, |r| self.x[r]);
+                    self.caps.push(CapSlot {
+                        ra,
+                        rb,
+                        farads: *farads,
+                        geq: 0.0,
+                        v_old: va - vb,
+                        i_old: 0.0,
+                    });
+                }
+                _ => {}
+            }
+        }
+        self.stamp_static_base(circuit);
+        // Pre-size the value buffers so the first set_phase/set_dt in the
+        // timestep loop rewrites in place instead of growing.
+        let sw_vals = &mut self.sw_vals;
+        sw_vals.clear();
+        for sw in &self.switches {
+            cond_pattern(sw.ra, sw.rb, sw.goff, &mut |_, _, v| sw_vals.push(v));
+        }
+        let cap_vals = &mut self.cap_vals;
+        cap_vals.clear();
+        for cap in &self.caps {
+            cond_pattern(cap.ra, cap.rb, 0.0, &mut |_, _, v| cap_vals.push(v));
+        }
+        self.phase_valid = false;
+        self.cur_dt = 0.0;
+        Ok(())
+    }
+
+    /// Stamps the run-constant static part into the engine's base storage.
+    fn stamp_static_base(&mut self, circuit: &Circuit) {
+        let map = &self.map;
+        match &mut self.engine {
+            TranEngine::Dense { base_jac, .. } => {
+                base_jac.clear();
+                stamp_tran_static(circuit, map, &mut |r, c, v| base_jac.add_at(r, c, v));
+            }
+            TranEngine::Sparse {
+                base_vals,
+                slots,
+                static_len,
+                ..
+            } => {
+                base_vals.fill(0.0);
+                let mut k = 0usize;
+                stamp_tran_static(circuit, map, &mut |_, _, v| {
+                    base_vals[slots[k]] += v;
+                    k += 1;
+                });
+                debug_assert_eq!(k, *static_len, "stamp traversal drifted from slot map");
+            }
+        }
+    }
+
+    /// Re-buffers switch conductances when the active phase changes
+    /// (no-op while the phase holds — most timesteps).
+    fn set_phase(&mut self, phase: Option<ClockPhase>) {
+        if self.phase_valid && self.cur_phase == phase {
+            return;
+        }
+        self.cur_phase = phase;
+        self.phase_valid = true;
+        let sw_vals = &mut self.sw_vals;
+        sw_vals.clear();
+        for sw in &self.switches {
+            let g = if phase == Some(sw.phase) {
+                sw.gon
+            } else {
+                sw.goff
+            };
+            cond_pattern(sw.ra, sw.rb, g, &mut |_, _, v| sw_vals.push(v));
+        }
+    }
+
+    /// Re-buffers capacitor companion conductances when the step size
+    /// changes (no-op while dt holds).
+    fn set_dt(&mut self, dt: f64) {
+        if self.cur_dt == dt {
+            return;
+        }
+        self.cur_dt = dt;
+        for cap in &mut self.caps {
+            cap.geq = 2.0 * cap.farads / dt;
+        }
+        let cap_vals = &mut self.cap_vals;
+        cap_vals.clear();
+        for cap in &self.caps {
+            cond_pattern(cap.ra, cap.rb, cap.geq, &mut |_, _, v| cap_vals.push(v));
+        }
+    }
+
+    /// Assembles the time-varying source vector at `t`: independent
+    /// source waveforms plus the trapezoidal history term
+    /// `h = geq·v_old + i_old` of every capacitor.
+    fn assemble_b(&mut self, circuit: &Circuit, t: f64) {
+        let map = &self.map;
+        let b = &mut self.b;
+        b.fill(0.0);
+        for (idx, e) in circuit.elements().iter().enumerate() {
+            match e {
+                Element::ISource { p, n, wave, .. } => {
+                    // Residual is A·x − b, so a current `i` leaving `p`
+                    // lands in b with sign −i.
+                    let i = wave.value(t);
+                    add_opt(b, map.node_row(*p), -i);
+                    add_opt(b, map.node_row(*n), i);
+                }
+                Element::VSource { wave, .. } => {
+                    b[map.branch_row(idx)] += wave.value(t);
+                }
+                _ => {}
+            }
+        }
+        for cap in &self.caps {
+            let h = cap.geq * cap.v_old + cap.i_old;
+            add_opt(b, cap.ra, h);
+            add_opt(b, cap.rb, -h);
+        }
+    }
+
+    /// Assembles the Jacobian and residual at the current `x` without
+    /// allocating: memcpy the static base back, scatter the buffered
+    /// switch/capacitor/g_min values through the frozen slot maps,
+    /// evaluate the linear residual as a mat-vec against `b(t)`, then
+    /// restamp only the MOSFET companions.
+    fn assemble(&mut self, circuit: &Circuit) {
+        let map = &self.map;
+        let x = &self.x;
+        let res = &mut self.res;
+        let b = &self.b;
+        let sw_vals = &self.sw_vals;
+        let cap_vals = &self.cap_vals;
+        let mos_vals = &mut self.mos_vals;
+        match &mut self.engine {
+            TranEngine::Dense {
+                base_jac,
+                jac,
+                sw_slots,
+                cap_slots,
+                mos_slots,
+                ..
+            } => {
+                jac.copy_from(base_jac);
+                jac.scatter_add(sw_slots, sw_vals);
+                jac.scatter_add(cap_slots, cap_vals);
+                for row in 0..(map.node_count() - 1) {
+                    jac.add_at(row, row, TRAN_GMIN);
+                }
+                jac.mul_vec_into(x, res);
+                for (r, bv) in res.iter_mut().zip(b.iter()) {
+                    *r -= *bv;
+                }
+                mos_vals.clear();
+                stamp_mosfets(circuit, map, x, res, &mut |_, _, v| mos_vals.push(v));
+                debug_assert_eq!(
+                    mos_vals.len(),
+                    mos_slots.len(),
+                    "stamp traversal drifted from slot map"
+                );
+                jac.scatter_add(mos_slots, mos_vals);
+            }
+            TranEngine::Sparse {
+                base_vals,
+                jac,
+                slots,
+                static_len,
+                sw_len,
+                cap_len,
+                gmin_len,
+                ..
+            } => {
+                jac.values_mut().copy_from_slice(base_vals);
+                let sw0 = *static_len;
+                jac.scatter_add(&slots[sw0..sw0 + *sw_len], sw_vals);
+                let cap0 = sw0 + *sw_len;
+                jac.scatter_add(&slots[cap0..cap0 + *cap_len], cap_vals);
+                let g0 = cap0 + *cap_len;
+                jac.scatter_add_uniform(&slots[g0..g0 + *gmin_len], TRAN_GMIN);
+                jac.mul_vec_into(x, res);
+                for (r, bv) in res.iter_mut().zip(b.iter()) {
+                    *r -= *bv;
+                }
+                mos_vals.clear();
+                stamp_mosfets(circuit, map, x, res, &mut |_, _, v| mos_vals.push(v));
+                let mos_slots = &slots[g0 + *gmin_len..];
+                debug_assert_eq!(
+                    mos_vals.len(),
+                    mos_slots.len(),
+                    "stamp traversal drifted from slot map"
+                );
+                jac.scatter_add(mos_slots, mos_vals);
+            }
+        }
+    }
+
+    /// Factors the assembled Jacobian and solves `J·dx = res` into `dx`.
+    fn factor_and_solve(&mut self) -> bool {
+        match &mut self.engine {
+            TranEngine::Dense { jac, lu, .. } => {
+                if lu.factor_into(jac).is_err() {
+                    return false;
+                }
+                lu.solve_into(&self.res, &mut self.dx);
+                true
+            }
+            TranEngine::Sparse { jac, lu, .. } => {
+                if lu.factor_into(jac).is_err() {
+                    self.sparse_failed = true;
+                    return false;
+                }
+                lu.solve_into(&self.res, &mut self.dx);
+                true
+            }
+        }
+    }
+
+    /// Damped Newton at one time point (assemble → solve → update),
+    /// warm-started from the current `x`. Returns the iteration count.
+    fn solve_point(
+        &mut self,
+        circuit: &Circuit,
+        t: f64,
+        max_iter: usize,
+        vtol: f64,
+    ) -> SpiceResult<usize> {
+        let mut prev_dv = f64::INFINITY;
+        for it in 0..max_iter {
+            self.assemble(circuit);
+            // Newton step: J·dx = −res, reusing res as the negated rhs.
+            self.res.iter_mut().for_each(|r| *r = -*r);
+            if !self.factor_and_solve() {
+                return Err(SpiceError::Singular(format!("t = {t:.3e}s")));
+            }
+            let nv = self.map.node_count() - 1;
+            let max_dv = self.dx[..nv].iter().fold(0.0_f64, |m, &d| m.max(d.abs()));
+            let alpha = if max_dv > 1.0 { 1.0 / max_dv } else { 1.0 };
+            for (xi, di) in self.x.iter_mut().zip(self.dx.iter()) {
+                *xi += alpha * di;
+            }
+            if max_dv * alpha < vtol {
+                return Ok(it + 1);
+            }
+            // Float noise in the device-model evaluations can trap the
+            // update in a nanovolt-scale limit cycle just above `vtol`.
+            // Once the step is micro-volt small and no longer contracting,
+            // the point is solved for every physical purpose — accept it.
+            if max_dv < stall_ceiling(&self.x[..nv]) && max_dv > 0.5 * prev_dv {
+                return Ok(it + 1);
+            }
+            prev_dv = max_dv;
+        }
+        // Noise-bound fallback (see [`NEWTON_STALL_VTOL`]): a multi-level
+        // limit cycle whose envelope is still far below any physical
+        // bistability is accepted at loop exhaustion; a genuinely
+        // non-convergent (volt-scale) cycle stays an error.
+        let nv = self.map.node_count() - 1;
+        if prev_dv < 100.0 * stall_ceiling(&self.x[..nv]) {
+            return Ok(max_iter);
+        }
+        Err(SpiceError::DcConvergence {
+            residual: f64::NAN,
+            iterations: max_iter,
+        })
+    }
+
+    /// Advances every capacitor's trapezoidal state to the just-accepted
+    /// solution.
+    fn commit_caps(&mut self) {
+        let x = &self.x;
+        for cap in &mut self.caps {
+            let va = cap.ra.map_or(0.0, |r| x[r]);
+            let vb = cap.rb.map_or(0.0, |r| x[r]);
+            let v_new = va - vb;
+            let i_new = cap.geq * (v_new - cap.v_old) - cap.i_old;
+            cap.v_old = v_new;
+            cap.i_old = i_new;
+        }
+    }
+}
+
+/// Tuning for the LTE-based adaptive step controller.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeStepConfig {
+    /// Smallest allowed step, s.
+    pub dt_min: f64,
+    /// Largest allowed step, s.
+    pub dt_max: f64,
+    /// First step after t=0 and after every clock-edge breakpoint, s.
+    pub dt_init: f64,
+    /// Relative LTE tolerance.
+    pub reltol: f64,
+    /// Absolute LTE tolerance, V.
+    pub abstol: f64,
+    /// Step growth factor on low-error acceptance.
+    pub grow: f64,
+    /// Step shrink factor on rejection.
+    pub shrink: f64,
+    /// Error ratio below which the step doubles.
+    pub grow_threshold: f64,
+    /// Significant digits the error ratio is quantized to before every
+    /// accept/reject/grow decision, so sparse and dense engines walk an
+    /// identical step sequence despite last-ulp assembly differences.
+    pub control_digits: u32,
+}
+
+impl Default for TimeStepConfig {
+    fn default() -> Self {
+        TimeStepConfig {
+            dt_min: 1e-13,
+            dt_max: 1e-7,
+            dt_init: 1e-10,
+            reltol: 1e-3,
+            abstol: 1e-6,
+            grow: 2.0,
+            shrink: 0.5,
+            grow_threshold: 0.05,
+            control_digits: 4,
+        }
+    }
+}
+
+impl TimeStepConfig {
+    /// A configuration scaled to a clock: the initial step resolves a
+    /// phase window into ~256 slices, the cap keeps at least 8 steps per
+    /// window, and the floor leaves 4096× headroom for stiff transitions.
+    pub fn for_clock(clock: &Clock) -> Self {
+        let w = clock.period() / 2.0;
+        TimeStepConfig {
+            dt_init: w / 256.0,
+            dt_min: w / 256.0 / 4096.0,
+            dt_max: w / 8.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// Mutable state of the adaptive step controller: the proposed step and a
+/// short history of accepted solutions for the divided-difference LTE
+/// estimate.
+#[derive(Debug, Clone)]
+pub struct TimeStepState {
+    /// Step proposed for the next attempt, s.
+    dt: f64,
+    /// Times of the retained accepted points (oldest → newest).
+    hist_t: [f64; 3],
+    /// Solutions at those times.
+    hist_x: [Vec<f64>; 3],
+    /// How many history slots are valid.
+    hist_len: usize,
+}
+
+impl TimeStepState {
+    /// Fresh controller state for a system of dimension `dim`.
+    pub fn new(cfg: &TimeStepConfig, dim: usize) -> Self {
+        TimeStepState {
+            dt: cfg.dt_init,
+            hist_t: [0.0; 3],
+            hist_x: [vec![0.0; dim], vec![0.0; dim], vec![0.0; dim]],
+            hist_len: 0,
+        }
+    }
+
+    /// Records an accepted solution (oldest point rotates out).
+    fn push_accepted(&mut self, t: f64, x: &[f64]) {
+        if self.hist_len < 3 {
+            self.hist_t[self.hist_len] = t;
+            self.hist_x[self.hist_len].copy_from_slice(x);
+            self.hist_len += 1;
+        } else {
+            self.hist_t.rotate_left(1);
+            self.hist_x.rotate_left(1);
+            self.hist_t[2] = t;
+            self.hist_x[2].copy_from_slice(x);
+        }
+    }
+
+    /// Drops the history (called at clock-edge breakpoints: the solution
+    /// is discontinuous in its derivatives there, so divided differences
+    /// across the edge would be meaningless).
+    fn clear_history(&mut self) {
+        self.hist_len = 0;
+    }
+
+    /// Weighted local-truncation-error estimate for a candidate solution
+    /// `x_new` at `t_new` against the accepted history: the trapezoidal
+    /// LTE is `−h³/12·x‴`, with `x‴ ≈ 6·DD3` from the third divided
+    /// difference over the last four points, giving `|LTE| = h³·|DD3|/2`
+    /// per unknown. Each node row is weighted by `reltol·|x| + abstol`
+    /// and the maximum ratio is returned: ≤ 1 means the step passes. With
+    /// fewer than two history points the estimate is 0 (accept — startup
+    /// or just past a breakpoint); with exactly two, a conservative
+    /// `h²·|DD2|` second-difference bound is used.
+    pub fn estimate_error_weighted(
+        &self,
+        cfg: &TimeStepConfig,
+        t_new: f64,
+        x_new: &[f64],
+        node_rows: usize,
+    ) -> f64 {
+        if self.hist_len < 2 {
+            return 0.0;
+        }
+        let mut worst = 0.0_f64;
+        if self.hist_len == 2 {
+            let (t0, t1) = (self.hist_t[0], self.hist_t[1]);
+            let h = t_new - t1;
+            for (i, &xn) in x_new.iter().enumerate().take(node_rows) {
+                let x0 = self.hist_x[0][i];
+                let x1 = self.hist_x[1][i];
+                let dd1a = (x1 - x0) / (t1 - t0);
+                let dd1b = (xn - x1) / h;
+                let dd2 = (dd1b - dd1a) / (t_new - t0);
+                let lte = h * h * dd2.abs();
+                let w = cfg.reltol * xn.abs() + cfg.abstol;
+                worst = worst.max(lte / w);
+            }
+            return worst;
+        }
+        let (t0, t1, t2) = (self.hist_t[0], self.hist_t[1], self.hist_t[2]);
+        let h = t_new - t2;
+        for (i, &xn) in x_new.iter().enumerate().take(node_rows) {
+            let x0 = self.hist_x[0][i];
+            let x1 = self.hist_x[1][i];
+            let x2 = self.hist_x[2][i];
+            let dd1a = (x1 - x0) / (t1 - t0);
+            let dd1b = (x2 - x1) / (t2 - t1);
+            let dd1c = (xn - x2) / h;
+            let dd2a = (dd1b - dd1a) / (t2 - t0);
+            let dd2b = (dd1c - dd1b) / (t_new - t1);
+            let dd3 = (dd2b - dd2a) / (t_new - t0);
+            let lte = 0.5 * h * h * h * dd3.abs();
+            let w = cfg.reltol * xn.abs() + cfg.abstol;
+            worst = worst.max(lte / w);
+        }
+        worst
+    }
+}
+
+impl TranWorkspace {
+    /// Fixed-step run through the workspace engines (same stepping and
+    /// damping as the dense oracle [`transient`], so the two agree to
+    /// solver precision on any circuit).
+    fn run_fixed(&mut self, circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResult> {
+        self.prepare(circuit, &opts.ic)?;
+        let n_steps = (opts.tstop / opts.dt).round() as usize;
+        let mut out = TranResult {
+            times: Vec::with_capacity(n_steps + 1),
+            node_count: self.map.node_count(),
+            data: Vec::with_capacity((n_steps + 1) * self.map.node_count()),
+            stats: TranStats {
+                sparse: self.is_sparse(),
+                ..TranStats::default()
+            },
+        };
+        out.push_sample(0.0, &self.x);
+        self.set_dt(opts.dt);
+        for step in 1..=n_steps {
+            let t = step as f64 * opts.dt;
+            let phase = opts.clock.as_ref().and_then(|c| c.active_phase(t));
+            self.set_phase(phase);
+            self.assemble_b(circuit, t);
+            match self.solve_point(circuit, t, opts.max_iter, opts.vtol) {
+                Ok(iters) => out.stats.newton_iters += iters,
+                Err(SpiceError::DcConvergence { residual, .. }) => {
+                    return Err(SpiceError::DcConvergence {
+                        residual,
+                        iterations: step,
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+            self.commit_caps();
+            out.stats.accepted += 1;
+            out.push_sample(t, &self.x);
+        }
+        out.stats.min_dt = if n_steps > 0 { opts.dt } else { 0.0 };
+        Ok(out)
+    }
+
+    /// Adaptive run: LTE-controlled step doubling/halving with
+    /// clock-edge-aligned breakpoints.
+    fn run_adaptive(
+        &mut self,
+        circuit: &Circuit,
+        opts: &TranOptions,
+        cfg: &TimeStepConfig,
+    ) -> SpiceResult<TranResult> {
+        self.prepare(circuit, &opts.ic)?;
+        let dim = self.map.dim();
+        let nv = self.map.node_count() - 1;
+        let mut state = TimeStepState::new(cfg, dim);
+        let mut out = TranResult {
+            times: Vec::new(),
+            node_count: self.map.node_count(),
+            data: Vec::new(),
+            stats: TranStats {
+                sparse: self.is_sparse(),
+                min_dt: f64::INFINITY,
+                ..TranStats::default()
+            },
+        };
+        out.push_sample(0.0, &self.x);
+        state.push_accepted(0.0, &self.x);
+        let teps = opts.tstop * 1e-12;
+        let mut t = 0.0_f64;
+        // Attempt cap: generous backstop against a controller that can
+        // neither accept nor shrink further.
+        let max_attempts = 20_000_000usize;
+        let mut attempts = 0usize;
+        while t < opts.tstop - teps {
+            attempts += 1;
+            if attempts > max_attempts {
+                return Err(SpiceError::DcConvergence {
+                    residual: f64::NAN,
+                    iterations: attempts,
+                });
+            }
+            let mut dt_step = state.dt.clamp(cfg.dt_min, cfg.dt_max);
+            let mut on_edge = false;
+            if let Some(clk) = &opts.clock {
+                let edge = clk.next_edge(t);
+                if edge <= opts.tstop + teps && t + dt_step >= edge - teps {
+                    dt_step = edge - t;
+                    on_edge = true;
+                }
+            }
+            if t + dt_step > opts.tstop {
+                dt_step = opts.tstop - t;
+                on_edge = false;
+            }
+            if dt_step <= 0.0 {
+                break;
+            }
+            let t_new = t + dt_step;
+            self.set_dt(dt_step);
+            // Phase at the interval midpoint: unambiguous even when the
+            // step lands exactly on a phase boundary.
+            let phase = opts
+                .clock
+                .as_ref()
+                .and_then(|c| c.active_phase(t + 0.5 * dt_step));
+            self.set_phase(phase);
+            self.assemble_b(circuit, t_new);
+            self.x_prev.copy_from_slice(&self.x);
+            let can_shrink = dt_step > cfg.dt_min * (1.0 + 1e-9);
+            match self.solve_point(circuit, t_new, opts.max_iter, opts.vtol) {
+                Ok(iters) => {
+                    out.stats.newton_iters += iters;
+                    let err = state.estimate_error_weighted(cfg, t_new, &self.x, nv);
+                    let err_q = quantize_rel(err, cfg.control_digits);
+                    if err_q > 1.0 && can_shrink {
+                        self.x.copy_from_slice(&self.x_prev);
+                        state.dt = (dt_step * cfg.shrink).max(cfg.dt_min);
+                        out.stats.rejected += 1;
+                        continue;
+                    }
+                    let had_full_history = state.hist_len == 3;
+                    self.commit_caps();
+                    t = t_new;
+                    state.push_accepted(t, &self.x);
+                    out.stats.accepted += 1;
+                    out.stats.min_dt = out.stats.min_dt.min(dt_step);
+                    out.push_sample(t, &self.x);
+                    if on_edge {
+                        // Derivatives are discontinuous across a switch
+                        // transition: restart the LTE history and step
+                        // small into the new phase.
+                        state.clear_history();
+                        state.push_accepted(t, &self.x);
+                        state.dt = cfg.dt_init;
+                    } else if err_q < cfg.grow_threshold && had_full_history {
+                        state.dt = (dt_step * cfg.grow).min(cfg.dt_max);
+                    } else {
+                        state.dt = dt_step.min(cfg.dt_max);
+                    }
+                }
+                Err(SpiceError::DcConvergence { .. }) if can_shrink => {
+                    // Newton trouble is handled like an LTE rejection:
+                    // retreat and retry with a smaller step.
+                    self.x.copy_from_slice(&self.x_prev);
+                    state.dt = (dt_step * cfg.shrink).max(cfg.dt_min);
+                    out.stats.rejected += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !out.stats.min_dt.is_finite() {
+            out.stats.min_dt = 0.0;
+        }
+        Ok(out)
+    }
+}
+
+/// Runs a fixed-step transient simulation through a reusable
+/// [`TranWorkspace`] (sparse engine on OTA-sized circuits, dense oracle
+/// retried automatically on an unlucky sparse pivot).
+///
+/// # Errors
+/// [`SpiceError::DcConvergence`] if a step's Newton loop fails,
+/// [`SpiceError::Singular`] if the Jacobian is singular,
+/// [`SpiceError::BadNetlist`] for a malformed initial condition.
+pub fn transient_with(
+    ws: &mut TranWorkspace,
+    circuit: &Circuit,
+    opts: &TranOptions,
+) -> SpiceResult<TranResult> {
+    ws.sparse_failed = false;
+    match ws.run_fixed(circuit, opts) {
+        Err(e) => {
+            if ws.sparse_failed {
+                ws.demote_to_dense(circuit);
+                ws.run_fixed(circuit, opts)
+            } else {
+                Err(e)
+            }
+        }
+        ok => ok,
+    }
+}
+
+/// Runs an adaptive-step transient simulation through a reusable
+/// [`TranWorkspace`]: trapezoidal LTE control with step doubling/halving
+/// ([`TimeStepConfig`]) and clock-edge-aligned breakpoints so phase
+/// transitions are never stepped over. `opts.dt` is ignored.
+///
+/// # Errors
+/// [`SpiceError::DcConvergence`] if a step's Newton loop fails at the
+/// minimum step, [`SpiceError::Singular`] if the Jacobian is singular,
+/// [`SpiceError::BadNetlist`] for a malformed initial condition.
+pub fn transient_adaptive(
+    ws: &mut TranWorkspace,
+    circuit: &Circuit,
+    opts: &TranOptions,
+    cfg: &TimeStepConfig,
+) -> SpiceResult<TranResult> {
+    ws.sparse_failed = false;
+    match ws.run_adaptive(circuit, opts, cfg) {
+        Err(e) => {
+            if ws.sparse_failed {
+                ws.demote_to_dense(circuit);
+                ws.run_adaptive(circuit, opts, cfg)
+            } else {
+                Err(e)
+            }
+        }
+        ok => ok,
+    }
+}
+
+/// Per-capacitor trapezoidal state (oracle path).
 #[derive(Debug, Clone, Copy)]
 struct CapState {
     v_old: f64,
     i_old: f64,
 }
 
-/// Runs a fixed-step transient simulation.
+/// Runs a fixed-step transient simulation with the seed-era dense engine:
+/// every element restamps a freshly cleared dense Jacobian each Newton
+/// iteration. Kept as the bit-level oracle the workspace engines are
+/// compared against on small circuits.
 ///
 /// # Errors
 /// [`SpiceError::DcConvergence`] if a step's Newton loop fails,
-/// [`SpiceError::Singular`] if the Jacobian becomes singular.
+/// [`SpiceError::Singular`] if the Jacobian becomes singular,
+/// [`SpiceError::BadNetlist`] for a malformed initial condition.
 pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResult> {
     let map = MnaMap::new(circuit);
     let dim = map.dim();
@@ -142,12 +1362,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResul
 
     let n_steps = (opts.tstop / opts.dt).round() as usize;
     let mut x = vec![0.0; dim];
-    if let InitialCondition::Voltages(v0) = &opts.ic {
-        let n = map.node_count().min(v0.len());
-        if n > 1 {
-            x[..n - 1].copy_from_slice(&v0[1..n]);
-        }
-    }
+    apply_ic(&map, &opts.ic, &mut x)?;
 
     // Initialize capacitor states from the initial node voltages.
     let cap_elems: Vec<usize> = circuit
@@ -157,7 +1372,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResul
         .filter(|(_, e)| matches!(e, Element::Capacitor { .. }))
         .map(|(i, _)| i)
         .collect();
-    let volt_of = |x: &[f64], node: crate::netlist::NodeId| -> f64 {
+    let volt_of = |x: &[f64], node: NodeId| -> f64 {
         match map.node_row(node) {
             Some(r) => x[r],
             None => 0.0,
@@ -177,15 +1392,16 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResul
         })
         .collect();
 
-    let mut times = Vec::with_capacity(n_steps + 1);
-    let mut samples = Vec::with_capacity(n_steps + 1);
-    let record = |x: &[f64], samples: &mut Vec<Vec<f64>>| {
-        let mut v = vec![0.0; map.node_count()];
-        v[1..].copy_from_slice(&x[..map.node_count() - 1]);
-        samples.push(v);
+    let mut out = TranResult {
+        times: Vec::with_capacity(n_steps + 1),
+        node_count: map.node_count(),
+        data: Vec::with_capacity((n_steps + 1) * map.node_count()),
+        stats: TranStats {
+            min_dt: if n_steps > 0 { opts.dt } else { 0.0 },
+            ..TranStats::default()
+        },
     };
-    times.push(0.0);
-    record(&x, &mut samples);
+    out.push_sample(0.0, &x);
 
     let mut jac = Matrix::zeros(dim, dim);
     let mut res = vec![0.0; dim];
@@ -195,13 +1411,15 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResul
         let t = step as f64 * opts.dt;
         // Newton loop at this time point.
         let mut converged = false;
+        let mut prev_dv = f64::INFINITY;
         for _ in 0..opts.max_iter {
+            out.stats.newton_iters += 1;
             jac.clear();
             res.iter_mut().for_each(|r| *r = 0.0);
             // g_min for floating nodes.
             for r in 0..(map.node_count() - 1) {
-                jac.add_at(r, r, 1e-12);
-                res[r] += 1e-12 * x[r];
+                jac.add_at(r, r, TRAN_GMIN);
+                res[r] += TRAN_GMIN * x[r];
             }
             let mut cap_k = 0usize;
             for (idx, e) in circuit.elements().iter().enumerate() {
@@ -360,6 +1578,17 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResul
                 converged = true;
                 break;
             }
+            // Same stall acceptance as `TranWorkspace::solve_point`, so the
+            // oracle and the workspace walk identical Newton sequences.
+            if max_dv < stall_ceiling(&x[..nv]) && max_dv > 0.5 * prev_dv {
+                converged = true;
+                break;
+            }
+            prev_dv = max_dv;
+        }
+        // Same noise-bound fallback as `TranWorkspace::solve_point`.
+        if !converged && prev_dv < 100.0 * stall_ceiling(&x[..map.node_count() - 1]) {
+            converged = true;
         }
         if !converged {
             return Err(SpiceError::DcConvergence {
@@ -380,11 +1609,11 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResul
                 cap_k += 1;
             }
         }
-        times.push(t);
-        record(&x, &mut samples);
+        out.stats.accepted += 1;
+        out.push_sample(t, &x);
     }
 
-    Ok(TranResult { times, samples })
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -466,14 +1695,19 @@ mod tests {
         assert!((max - 0.5).abs() < 1e-3, "peak {max}");
     }
 
-    #[test]
-    fn clocked_switch_sample_and_hold() {
+    fn sample_hold_circuit() -> (Circuit, NodeId) {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let cap_node = c.node("hold");
         c.add_vsource("V1", vin, Circuit::GROUND, 1.0);
         c.add_switch("S1", vin, cap_node, 100.0, 1e12, ClockPhase::Phi1, false);
         c.add_capacitor("CH", cap_node, Circuit::GROUND, 1e-12);
+        (c, cap_node)
+    }
+
+    #[test]
+    fn clocked_switch_sample_and_hold() {
+        let (c, cap_node) = sample_hold_circuit();
         let clk = Clock {
             freq: 1e6,
             nonoverlap: 10e-9,
@@ -491,12 +1725,10 @@ mod tests {
         // After the first φ1 (track) the hold cap should be at 1 V and stay
         // there through φ2.
         let w = result.waveform(cap_node);
-        let t = result.times();
         let at = |time: f64| {
             let k = (time / 1e-9).round() as usize;
             w[k.min(w.len() - 1)]
         };
-        let _ = t;
         assert!((at(0.45e-6) - 1.0).abs() < 1e-3, "tracked: {}", at(0.45e-6));
         assert!((at(0.9e-6) - 1.0).abs() < 1e-3, "held: {}", at(0.9e-6));
     }
@@ -512,6 +1744,83 @@ mod tests {
         assert_eq!(clk.active_phase(0.6e-6), Some(ClockPhase::Phi2));
         assert_eq!(clk.active_phase(0.97e-6), None);
         assert_eq!(clk.active_phase(1.1e-6), Some(ClockPhase::Phi1)); // periodic
+    }
+
+    /// Boundary-exact phase windows: with `freq = 1` every time value is a
+    /// plain double and the non-overlap boundaries land deterministically.
+    #[test]
+    fn clock_phase_boundaries_exact() {
+        let clk = Clock {
+            freq: 1.0,
+            nonoverlap: 0.05,
+        };
+        // Interior of each window.
+        assert_eq!(clk.active_phase(0.0), Some(ClockPhase::Phi1));
+        assert_eq!(clk.active_phase(0.2), Some(ClockPhase::Phi1));
+        assert_eq!(clk.active_phase(0.7), Some(ClockPhase::Phi2));
+        // φ1 closes one non-overlap early; φ2 opens exactly at half-period.
+        assert_eq!(clk.active_phase(0.45), None);
+        assert_eq!(clk.active_phase(0.475), None);
+        assert_eq!(clk.active_phase(0.5), Some(ClockPhase::Phi2));
+        // φ2 closes one non-overlap early; the next period reopens φ1.
+        assert_eq!(clk.active_phase(0.95), None);
+        assert_eq!(clk.active_phase(0.99), None);
+        assert_eq!(clk.active_phase(1.0), Some(ClockPhase::Phi1));
+    }
+
+    /// The rem_euclid formulation drifted at large `t`; the fractional-part
+    /// formulation keeps windows aligned after a billion periods.
+    #[test]
+    fn clock_phase_stable_after_many_periods() {
+        for freq in [1.0, 1e6, 40e6] {
+            let clk = Clock {
+                freq,
+                nonoverlap: 0.05 / freq,
+            };
+            for k in [1u64, 1_000, 1_000_000, 1_000_000_000] {
+                let base = k as f64;
+                let at = |frac: f64| clk.active_phase((base + frac) / freq);
+                assert_eq!(at(0.2), Some(ClockPhase::Phi1), "freq {freq} k {k}");
+                assert_eq!(at(0.47), None, "freq {freq} k {k}");
+                assert_eq!(at(0.7), Some(ClockPhase::Phi2), "freq {freq} k {k}");
+                assert_eq!(at(0.97), None, "freq {freq} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_edge_walks_boundaries() {
+        let clk = Clock {
+            freq: 1.0,
+            nonoverlap: 0.05,
+        };
+        let mut t = 0.0;
+        let mut edges = Vec::new();
+        for _ in 0..6 {
+            t = clk.next_edge(t);
+            edges.push(t);
+        }
+        let want = [0.45, 0.5, 0.95, 1.0, 1.45, 1.5];
+        for (e, w) in edges.iter().zip(want.iter()) {
+            assert!((e - w).abs() < 1e-9, "edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn phase_window_matches_active_phase() {
+        let clk = Clock {
+            freq: 40e6,
+            nonoverlap: 1e-9,
+        };
+        for k in [0usize, 7, 1000] {
+            for phase in [ClockPhase::Phi1, ClockPhase::Phi2] {
+                let (s, e) = clk.phase_window(k, phase);
+                assert!(e > s);
+                assert_eq!(clk.active_phase(0.5 * (s + e)), Some(phase), "k {k}");
+                // Just past the window end is non-overlap.
+                assert_eq!(clk.active_phase(e + 0.1e-9), None, "k {k}");
+            }
+        }
     }
 
     #[test]
@@ -535,5 +1844,182 @@ mod tests {
         // τ = 1 µs, simulate 10 ns → essentially unchanged.
         assert!((result.voltage_at(a, 0) - 2.0).abs() < 1e-9);
         assert!((result.final_voltage(a) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ic_wrong_length_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_capacitor("C1", a, Circuit::GROUND, 1e-12);
+        c.add_resistor("R1", a, Circuit::GROUND, 1e6);
+        let opts = TranOptions {
+            tstop: 1e-9,
+            dt: 1e-10,
+            ic: InitialCondition::Voltages(vec![0.0; 5]),
+            ..Default::default()
+        };
+        let err = transient(&c, &opts).unwrap_err();
+        assert!(matches!(err, SpiceError::BadNetlist(_)), "{err}");
+        assert!(err.to_string().contains("5 voltages"), "{err}");
+        let mut ws = TranWorkspace::new(&c).unwrap();
+        let err = transient_with(&mut ws, &c, &opts).unwrap_err();
+        assert!(matches!(err, SpiceError::BadNetlist(_)), "{err}");
+        let err = transient_adaptive(&mut ws, &c, &opts, &TimeStepConfig::default()).unwrap_err();
+        assert!(matches!(err, SpiceError::BadNetlist(_)), "{err}");
+    }
+
+    fn rc_fixture() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, 1.0);
+        c.add_resistor("R1", vin, out, 1e3);
+        c.add_capacitor("C1", out, Circuit::GROUND, 1e-9);
+        (c, out)
+    }
+
+    #[test]
+    fn workspace_fixed_step_matches_oracle() {
+        let (c, out) = rc_fixture();
+        let opts = TranOptions {
+            tstop: 5e-6,
+            dt: 1e-8,
+            ..Default::default()
+        };
+        let oracle = transient(&c, &opts).unwrap();
+        for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+            let mut ws = TranWorkspace::with_solver(&c, choice).unwrap();
+            let got = transient_with(&mut ws, &c, &opts).unwrap();
+            assert_eq!(got.len(), oracle.len());
+            for k in 0..got.len() {
+                let (a, b) = (got.voltage_at(out, k), oracle.voltage_at(out, k));
+                assert!((a - b).abs() < 1e-9, "{choice:?} k={k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_clocked_matches_oracle() {
+        let (c, cap_node) = sample_hold_circuit();
+        let opts = TranOptions {
+            tstop: 2e-6,
+            dt: 1e-9,
+            clock: Some(Clock {
+                freq: 1e6,
+                nonoverlap: 10e-9,
+            }),
+            ..Default::default()
+        };
+        let oracle = transient(&c, &opts).unwrap();
+        let mut ws = TranWorkspace::new(&c).unwrap();
+        let got = transient_with(&mut ws, &c, &opts).unwrap();
+        assert_eq!(got.len(), oracle.len());
+        for k in 0..got.len() {
+            let (a, b) = (got.voltage_at(cap_node, k), oracle.voltage_at(cap_node, k));
+            assert!((a - b).abs() < 1e-9, "k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let (c, _) = rc_fixture();
+        let opts = TranOptions {
+            tstop: 2e-6,
+            dt: 1e-8,
+            ..Default::default()
+        };
+        let mut ws = TranWorkspace::new(&c).unwrap();
+        let first = transient_with(&mut ws, &c, &opts).unwrap();
+        let second = transient_with(&mut ws, &c, &opts).unwrap();
+        let mut fresh = TranWorkspace::new(&c).unwrap();
+        let third = transient_with(&mut fresh, &c, &opts).unwrap();
+        assert_eq!(first.data, second.data);
+        assert_eq!(first.data, third.data);
+        let cfg = TimeStepConfig::default();
+        let a1 = transient_adaptive(&mut ws, &c, &opts, &cfg).unwrap();
+        let a2 = transient_adaptive(&mut ws, &c, &opts, &cfg).unwrap();
+        assert_eq!(a1.data, a2.data);
+        assert_eq!(a1.times, a2.times);
+    }
+
+    #[test]
+    fn adaptive_rc_matches_analytic_with_fewer_steps() {
+        let (c, out) = rc_fixture();
+        let tau = 1e3 * 1e-9;
+        let opts = TranOptions {
+            tstop: 5.0 * tau,
+            dt: tau / 1000.0,
+            ..Default::default()
+        };
+        let mut ws = TranWorkspace::new(&c).unwrap();
+        let fixed = transient_with(&mut ws, &c, &opts).unwrap();
+        let cfg = TimeStepConfig {
+            dt_init: tau / 1000.0,
+            dt_min: tau / 100_000.0,
+            dt_max: tau,
+            ..Default::default()
+        };
+        let adaptive = transient_adaptive(&mut ws, &c, &opts, &cfg).unwrap();
+        for frac in [0.5, 1.0, 2.0, 5.0] {
+            let t = frac * tau;
+            let want = 1.0 - (-frac).exp();
+            let got = adaptive.sample_at(out, t);
+            assert!((got - want).abs() < 2e-3, "v({frac}τ) = {got}, want {want}");
+        }
+        let st = adaptive.stats();
+        assert!(st.accepted > 0 && st.accepted < fixed.stats().accepted / 4);
+        assert!(st.min_dt >= cfg.dt_min && st.min_dt <= cfg.dt_max);
+        assert_eq!(fixed.stats().rejected, 0);
+    }
+
+    #[test]
+    fn adaptive_clocked_sample_hold_hits_breakpoints() {
+        let (c, cap_node) = sample_hold_circuit();
+        let clk = Clock {
+            freq: 1e6,
+            nonoverlap: 10e-9,
+        };
+        let opts = TranOptions {
+            tstop: 2e-6,
+            dt: 1e-9,
+            clock: Some(clk),
+            ..Default::default()
+        };
+        let mut ws = TranWorkspace::new(&c).unwrap();
+        let cfg = TimeStepConfig::for_clock(&clk);
+        let result = transient_adaptive(&mut ws, &c, &opts, &cfg).unwrap();
+        // Every phase edge inside the run must be an exact sample time.
+        let mut edge = 0.0;
+        loop {
+            edge = clk.next_edge(edge);
+            if edge > opts.tstop * (1.0 + 1e-9) {
+                break;
+            }
+            assert!(
+                result
+                    .times()
+                    .iter()
+                    .any(|&t| (t - edge).abs() < 1e-15 + edge * 1e-12),
+                "no sample at edge {edge:e}"
+            );
+        }
+        assert!((result.sample_at(cap_node, 0.4e-6) - 1.0).abs() < 1e-3);
+        assert!((result.sample_at(cap_node, 0.9e-6) - 1.0).abs() < 1e-3);
+        assert!((result.final_voltage(cap_node) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sample_at_interpolates() {
+        let r = TranResult {
+            times: vec![0.0, 1.0, 3.0],
+            node_count: 2,
+            data: vec![0.0, 0.0, 0.0, 2.0, 0.0, 6.0],
+            stats: TranStats::default(),
+        };
+        let n = NodeId::from_index(1);
+        assert_eq!(r.sample_at(n, -1.0), 0.0);
+        assert_eq!(r.sample_at(n, 0.5), 1.0);
+        assert_eq!(r.sample_at(n, 2.0), 4.0);
+        assert_eq!(r.sample_at(n, 9.0), 6.0);
     }
 }

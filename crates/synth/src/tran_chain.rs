@@ -1,0 +1,525 @@
+//! Dynamic chain sign-off: runs a flattened pipeline testbench through
+//! the clocked transient engine for N full φ1/φ2 periods and reports
+//! per-stage settling against the ½-LSB criterion, residue-transfer
+//! accuracy and slew-limited intervals — the discrete-time leg the
+//! small-signal [`crate::chain`] evaluation cannot see.
+//!
+//! The evaluator drives two runs at `mid_rail ± δ` and works on the
+//! **differential** stage amplitudes `a_k = (v_k⁺ − v_k⁻)/2`, cancelling
+//! the servo bias point so residue gains compare directly against the
+//! ideal interstage gains.
+//!
+//! Like [`crate::chain::ChainReport`], every reported value is quantized
+//! onto a relative grid a few orders above solver noise. The adaptive
+//! stepper's LTE controller makes its accept/reject decisions on the same
+//! quantized grid, so the sparse and dense engines walk identical step
+//! sequences and a [`TranChainReport`] is bit-identical across engines.
+
+use adc_numerics::quant::quantize_rel;
+use adc_spice::dc::{dc_operating_point_with, DcOptions, DcWorkspace};
+use adc_spice::linearize::SolverChoice;
+use adc_spice::netlist::{Circuit, ClockPhase, NodeId};
+use adc_spice::tran::{
+    transient_adaptive, transient_with, Clock, InitialCondition, TimeStepConfig, TranOptions,
+    TranResult, TranWorkspace,
+};
+use adc_spice::waveform::Waveform;
+
+/// A chain testbench prepared for clocked transient sign-off: the
+/// flattened netlist plus the schedule/scale metadata the verifier needs
+/// (the circuit-level builder lives in `adc-mdac`; this struct keeps the
+/// evaluator decoupled from it, mirroring [`crate::hybrid::BenchSetup`]).
+#[derive(Debug, Clone)]
+pub struct TranChainSetup {
+    /// Flattened chain netlist. The input drive is rewritten in place per
+    /// run (DC hold at `mid_rail ± δ`); topology is never touched, so
+    /// bound workspaces stay valid.
+    pub circuit: Circuit,
+    /// Name of the input voltage source.
+    pub input_source: String,
+    /// Per-stage output nodes, front to back.
+    pub stage_outputs: Vec<NodeId>,
+    /// Ideal interstage gain of each stage (`2^{m−1}`).
+    pub stage_gains: Vec<f64>,
+    /// Clock phase during which each stage amplifies (its output is valid
+    /// at the end of this phase).
+    pub stage_amplify: Vec<ClockPhase>,
+    /// Two-phase clock driving the switches.
+    pub clock: Clock,
+    /// Common-mode level the input hold is centered on, V.
+    pub mid_rail: f64,
+    /// Converter full-scale range, V (sets the LSB).
+    pub full_scale: f64,
+    /// Total converter resolution, bits (sets the LSB).
+    pub resolution: u32,
+    /// DC solver options for the operating point seeding the transient
+    /// initial condition (chain testbenches supply nodesets here).
+    pub dc: DcOptions,
+}
+
+/// Options of a transient chain evaluation.
+#[derive(Debug, Clone)]
+pub struct TranChainOptions {
+    /// Full clock periods to simulate (the last period is probed).
+    pub periods: usize,
+    /// Differential drive amplitude δ around `mid_rail`, V. Small enough
+    /// to keep every stage's residue in range without sub-ADC decisions.
+    pub delta_v: f64,
+    /// Adaptive stepping controller; `None` derives one from the clock
+    /// via [`TimeStepConfig::for_clock`].
+    pub step: Option<TimeStepConfig>,
+    /// Tail fraction of the amplification window used for the settling
+    /// error: `settle_err = |a(t_end) − a(t_end − tail·window)|`.
+    pub tail_frac: f64,
+    /// Newton iterations per timestep.
+    pub max_iter: usize,
+    /// Significant decimal digits reported metrics are quantized to (the
+    /// solver-agnostic contract, as in [`crate::chain::ChainOptions`]).
+    pub report_digits: u32,
+}
+
+impl Default for TranChainOptions {
+    fn default() -> Self {
+        TranChainOptions {
+            periods: 4,
+            delta_v: 3e-3,
+            step: None,
+            tail_frac: 0.05,
+            max_iter: 60,
+            report_digits: 6,
+        }
+    }
+}
+
+/// Per-stage dynamic metrics, probed over the stage's last amplification
+/// window (all values quantized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranStageReport {
+    /// Differential amplitude `a_k` at the end of the window, V.
+    pub amplitude: f64,
+    /// Settling error over the window tail, V.
+    pub settle_err: f64,
+    /// ½ LSB referred to this stage's output (LSB scaled by the
+    /// cumulative gain up to and including this stage), V.
+    pub half_lsb: f64,
+    /// `settle_err ≤ half_lsb` (compared on the quantized grid).
+    pub settled: bool,
+    /// Measured residue transfer `a_k / a_{k−1}` (stage 0: `a_0/δ`).
+    pub residue_gain: f64,
+    /// Ideal interstage gain `2^{m−1}`.
+    pub ideal_gain: f64,
+    /// Fraction of the window elapsed before the output entered (and
+    /// stayed inside) the ±½-LSB band around its final value.
+    pub settle_frac: f64,
+    /// Peak differential slew rate inside the window, V/s.
+    pub max_slew: f64,
+    /// Fraction of the window spent above half the peak slew rate — the
+    /// slew-limited interval.
+    pub slew_frac: f64,
+}
+
+/// Chain-level transient sign-off report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranChainReport {
+    /// Per-stage metrics, front to back.
+    pub stages: Vec<TranStageReport>,
+    /// Every stage settled to ½ LSB by the end of its amplification phase.
+    pub all_settled: bool,
+    /// Accepted timesteps summed over both runs.
+    pub accepted: usize,
+    /// LTE-rejected timesteps summed over both runs.
+    pub rejected: usize,
+    /// Newton iterations summed over both runs.
+    pub newton_iters: usize,
+    /// Smallest accepted step across both runs, s (quantized).
+    pub min_dt: f64,
+    /// Whether the runs factored through the CSR engine (excluded from
+    /// cross-engine report comparison, like `ChainReport::dc_sparse`).
+    pub sparse: bool,
+}
+
+enum StepMode {
+    Adaptive(TimeStepConfig),
+    Fixed(f64),
+}
+
+/// Reusable transient chain evaluator: a persistent [`DcWorkspace`] for
+/// the operating point seeding each run and a persistent [`TranWorkspace`]
+/// whose companion-model sparsity pattern and symbolic factorization are
+/// reused across runs and candidates of one chain topology.
+pub struct TranChainEvaluator {
+    opts: TranChainOptions,
+    solver: SolverChoice,
+    dc: Option<DcWorkspace>,
+    tran: Option<TranWorkspace>,
+}
+
+impl TranChainEvaluator {
+    /// Creates the evaluator with automatic sparse/dense engine selection.
+    pub fn new(opts: TranChainOptions) -> Self {
+        TranChainEvaluator::with_solver(SolverChoice::Auto, opts)
+    }
+
+    /// [`TranChainEvaluator::new`] with a forced solver engine (the dense
+    /// override is the oracle the bit-identical-report tests compare
+    /// against).
+    pub fn with_solver(solver: SolverChoice, opts: TranChainOptions) -> Self {
+        TranChainEvaluator {
+            opts,
+            solver,
+            dc: None,
+            tran: None,
+        }
+    }
+
+    /// The evaluation options.
+    pub fn options(&self) -> &TranChainOptions {
+        &self.opts
+    }
+
+    /// Runs the chain through `periods` clock periods with the adaptive
+    /// stepper and reports per-stage settling, residue transfer and slew
+    /// metrics.
+    ///
+    /// # Errors
+    /// A human-readable reason (DC non-convergence, singular system,
+    /// missing input source).
+    pub fn evaluate(&mut self, setup: &mut TranChainSetup) -> Result<TranChainReport, String> {
+        let cfg = self
+            .opts
+            .step
+            .unwrap_or_else(|| TimeStepConfig::for_clock(&setup.clock));
+        self.run_pair(setup, &StepMode::Adaptive(cfg))
+    }
+
+    /// [`TranChainEvaluator::evaluate`] through the fixed-step oracle at
+    /// step `dt` — the equal-accuracy baseline the adaptive stepper's step
+    /// count is compared against.
+    pub fn evaluate_fixed(
+        &mut self,
+        setup: &mut TranChainSetup,
+        dt: f64,
+    ) -> Result<TranChainReport, String> {
+        self.run_pair(setup, &StepMode::Fixed(dt))
+    }
+
+    /// One transient run with the input held at `hold` volts.
+    fn run_one(
+        &mut self,
+        setup: &mut TranChainSetup,
+        mode: &StepMode,
+        hold: f64,
+    ) -> Result<TranResult, String> {
+        let (id, _) = setup
+            .circuit
+            .find_element(&setup.input_source)
+            .ok_or_else(|| format!("no input source {}", setup.input_source))?;
+        setup.circuit.set_waveform(id, Waveform::Dc(hold));
+
+        if !self
+            .dc
+            .as_ref()
+            .is_some_and(|ws| ws.matches(&setup.circuit))
+        {
+            self.dc = Some(
+                DcWorkspace::with_solver(&setup.circuit, self.solver)
+                    .map_err(|e| format!("DC: {e}"))?,
+            );
+        }
+        let dc_ws = self.dc.as_mut().expect("workspace created above");
+        let op = dc_operating_point_with(dc_ws, &setup.circuit, &setup.dc)
+            .map_err(|e| format!("DC: {e}"))?;
+
+        let opts = TranOptions {
+            tstop: self.opts.periods as f64 * setup.clock.period(),
+            dt: match mode {
+                StepMode::Fixed(dt) => *dt,
+                StepMode::Adaptive(_) => setup.clock.period() / 512.0,
+            },
+            clock: Some(setup.clock),
+            ic: InitialCondition::Voltages(op.voltages().to_vec()),
+            max_iter: self.opts.max_iter,
+            ..Default::default()
+        };
+        if !self
+            .tran
+            .as_ref()
+            .is_some_and(|ws| ws.matches(&setup.circuit))
+        {
+            self.tran = Some(
+                TranWorkspace::with_solver(&setup.circuit, self.solver)
+                    .map_err(|e| format!("tran: {e}"))?,
+            );
+        }
+        let ws = self.tran.as_mut().expect("workspace created above");
+        match mode {
+            StepMode::Adaptive(cfg) => transient_adaptive(ws, &setup.circuit, &opts, cfg),
+            StepMode::Fixed(_) => transient_with(ws, &setup.circuit, &opts),
+        }
+        .map_err(|e| format!("tran: {e}"))
+    }
+
+    /// Two runs at `mid_rail ± δ`, then the differential report.
+    fn run_pair(
+        &mut self,
+        setup: &mut TranChainSetup,
+        mode: &StepMode,
+    ) -> Result<TranChainReport, String> {
+        let delta = self.opts.delta_v;
+        let rp = self.run_one(setup, mode, setup.mid_rail + delta)?;
+        let rm = self.run_one(setup, mode, setup.mid_rail - delta)?;
+        Ok(self.report(setup, &rp, &rm))
+    }
+
+    /// Differential stage metrics from the ± runs.
+    fn report(&self, setup: &TranChainSetup, rp: &TranResult, rm: &TranResult) -> TranChainReport {
+        let q = |v: f64| quantize_rel(v, self.opts.report_digits);
+        // Left-limited sampling: a stage's output snaps discontinuously
+        // the instant its amplification switches open, and the fixed-step
+        // oracle places no sample exactly on the edge — interpolating
+        // across the snap would corrupt the phase-end measurement.
+        let diff =
+            |node: NodeId, t: f64| (rp.sample_before(node, t) - rm.sample_before(node, t)) / 2.0;
+        let lsb = setup.full_scale / (1u64 << setup.resolution) as f64;
+        let last = self.opts.periods - 1;
+
+        let mut stages = Vec::with_capacity(setup.stage_outputs.len());
+        let mut all_settled = true;
+        let mut cum_gain = 1.0;
+        let mut prev_amp = self.opts.delta_v;
+        for (k, &out) in setup.stage_outputs.iter().enumerate() {
+            cum_gain *= setup.stage_gains[k];
+            let (t0, t1) = setup.clock.phase_window(last, setup.stage_amplify[k]);
+            let window = t1 - t0;
+            let amp = diff(out, t1);
+            let settle_err = (amp - diff(out, t1 - self.opts.tail_frac * window)).abs();
+            let half_lsb = 0.5 * lsb * cum_gain;
+
+            // Walk the accepted samples inside the window for the slew
+            // metrics and the time-to-band measure. Both engines walk
+            // identical step sequences (quantized LTE control), so these
+            // sample-based measures are engine-agnostic too.
+            let times = rp.times();
+            let lo = times.partition_point(|&t| t < t0);
+            let hi = times.partition_point(|&t| t <= t1);
+            let mut max_slew = 0.0f64;
+            let mut entered = t0;
+            let mut prev: Option<(f64, f64)> = None;
+            for &t in &times[lo..hi] {
+                let a = diff(out, t);
+                if let Some((tp, ap)) = prev {
+                    let slew = ((a - ap) / (t - tp)).abs();
+                    max_slew = max_slew.max(slew);
+                }
+                if (a - amp).abs() > half_lsb {
+                    entered = t;
+                }
+                prev = Some((t, a));
+            }
+            let mut slewing = 0.0;
+            let mut prev2: Option<(f64, f64)> = None;
+            for &t in &times[lo..hi] {
+                let a = diff(out, t);
+                if let Some((tp, ap)) = prev2 {
+                    if ((a - ap) / (t - tp)).abs() >= 0.5 * max_slew {
+                        slewing += t - tp;
+                    }
+                }
+                prev2 = Some((t, a));
+            }
+            let (settle_err, half_lsb) = (q(settle_err), q(half_lsb));
+            let settled = settle_err <= half_lsb;
+            all_settled &= settled;
+            stages.push(TranStageReport {
+                amplitude: q(amp),
+                settle_err,
+                half_lsb,
+                settled,
+                residue_gain: q((amp / prev_amp).abs()),
+                ideal_gain: q(setup.stage_gains[k]),
+                settle_frac: q(((entered - t0) / window).max(0.0)),
+                max_slew: q(max_slew),
+                slew_frac: q(slewing / window),
+            });
+            prev_amp = amp;
+        }
+        let (sp, sm) = (rp.stats(), rm.stats());
+        TranChainReport {
+            stages,
+            all_settled,
+            accepted: sp.accepted + sm.accepted,
+            rejected: sp.rejected + sm.rejected,
+            newton_iters: sp.newton_iters + sm.newton_iters,
+            min_dt: q(sp.min_dt.min(sm.min_dt)),
+            sparse: sp.sparse,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Macromodel flip-around SC chain: ideal VCVS OTAs (gain 10³) with
+    /// the full switch schedule of the circuit-level MDAC stage —
+    /// sampling/DAC units, feedback switch, sampling-phase reset (`SR`)
+    /// and unity-reset (`SZ`) — references at ground, stage gain 2.
+    fn macro_sc_chain(n: usize) -> TranChainSetup {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        c.add_vsource_wave("VIN", inp, Circuit::GROUND, 0.0.into(), 1.0);
+        let mut prev = inp;
+        let mut outs = Vec::new();
+        let mut amps = Vec::new();
+        for k in 0..n {
+            let (s_ph, a_ph) = if k % 2 == 0 {
+                (ClockPhase::Phi1, ClockPhase::Phi2)
+            } else {
+                (ClockPhase::Phi2, ClockPhase::Phi1)
+            };
+            let u1 = c.node(&format!("u1_{k}"));
+            let u2 = c.node(&format!("u2_{k}"));
+            let sum = c.node(&format!("sum{k}"));
+            let fb = c.node(&format!("fb{k}"));
+            let out = c.node(&format!("o{k}"));
+            let cu = 1e-12;
+            c.add_switch(&format!("SS1_{k}"), prev, u1, 100.0, 1e9, s_ph, true);
+            c.add_switch(&format!("SS2_{k}"), prev, u2, 100.0, 1e9, s_ph, true);
+            c.add_switch(
+                &format!("SD1_{k}"),
+                u1,
+                Circuit::GROUND,
+                100.0,
+                1e9,
+                a_ph,
+                false,
+            );
+            c.add_switch(
+                &format!("SD2_{k}"),
+                u2,
+                Circuit::GROUND,
+                100.0,
+                1e9,
+                a_ph,
+                false,
+            );
+            c.add_capacitor(&format!("CU1_{k}"), u1, sum, cu);
+            c.add_capacitor(&format!("CU2_{k}"), u2, sum, cu);
+            c.add_capacitor(&format!("CF{k}"), sum, fb, cu);
+            c.add_switch(&format!("SF{k}"), fb, out, 100.0, 1e9, a_ph, true);
+            c.add_switch(
+                &format!("SR{k}"),
+                fb,
+                Circuit::GROUND,
+                100.0,
+                1e9,
+                s_ph,
+                false,
+            );
+            c.add_switch(&format!("SZ{k}"), out, sum, 100.0, 1e9, s_ph, false);
+            c.add_vcvs(
+                &format!("EOTA{k}"),
+                out,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                sum,
+                1e3,
+            );
+            outs.push(out);
+            amps.push(a_ph);
+            prev = out;
+        }
+        TranChainSetup {
+            circuit: c,
+            input_source: "VIN".to_string(),
+            stage_outputs: outs,
+            stage_gains: vec![2.0; n],
+            stage_amplify: amps,
+            clock: Clock {
+                freq: 1e6,
+                nonoverlap: 10e-9,
+            },
+            mid_rail: 0.0,
+            full_scale: 2.0,
+            resolution: 6,
+            dc: DcOptions::default(),
+        }
+    }
+
+    #[test]
+    fn macro_sc_chain_amplifies_and_settles() {
+        let mut setup = macro_sc_chain(2);
+        let mut ev = TranChainEvaluator::new(TranChainOptions::default());
+        let report = ev.evaluate(&mut setup).unwrap();
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.all_settled, "{report:#?}");
+        for (k, s) in report.stages.iter().enumerate() {
+            assert!(s.settled, "stage {k}: {s:?}");
+            assert!(
+                (s.residue_gain - 2.0).abs() / 2.0 < 0.02,
+                "stage {k} residue gain {}",
+                s.residue_gain
+            );
+            assert!(
+                s.settle_frac < 0.5,
+                "stage {k} settle_frac {}",
+                s.settle_frac
+            );
+        }
+        // Stage amplitudes: δ·2 then δ·4.
+        assert!((report.stages[0].amplitude - 6e-3).abs() < 3e-4);
+        assert!((report.stages[1].amplitude - 12e-3).abs() < 6e-4);
+        assert!(report.accepted > 0 && report.min_dt > 0.0);
+    }
+
+    #[test]
+    fn sparse_and_dense_reports_are_bit_identical() {
+        let mut setup = macro_sc_chain(2);
+        let mut sparse =
+            TranChainEvaluator::with_solver(SolverChoice::Sparse, TranChainOptions::default());
+        let mut dense =
+            TranChainEvaluator::with_solver(SolverChoice::Dense, TranChainOptions::default());
+        let rs = sparse.evaluate(&mut setup).unwrap();
+        let rd = dense.evaluate(&mut setup).unwrap();
+        assert!(rs.sparse && !rd.sparse);
+        assert_eq!(
+            TranChainReport {
+                sparse: rd.sparse,
+                ..rs.clone()
+            },
+            rd,
+            "quantized transient reports must not depend on the engine"
+        );
+    }
+
+    #[test]
+    fn fixed_oracle_agrees_but_needs_more_steps() {
+        let mut setup = macro_sc_chain(1);
+        let mut ev = TranChainEvaluator::new(TranChainOptions::default());
+        let adaptive = ev.evaluate(&mut setup).unwrap();
+        let dt = setup.clock.period() / 2000.0;
+        let fixed = ev.evaluate_fixed(&mut setup, dt).unwrap();
+        assert!(fixed.all_settled && adaptive.all_settled);
+        assert!(
+            (adaptive.stages[0].residue_gain - fixed.stages[0].residue_gain).abs() < 1e-3,
+            "adaptive {} vs fixed {}",
+            adaptive.stages[0].residue_gain,
+            fixed.stages[0].residue_gain
+        );
+        assert!(
+            adaptive.accepted < fixed.accepted,
+            "adaptive {} steps vs fixed {}",
+            adaptive.accepted,
+            fixed.accepted
+        );
+    }
+
+    #[test]
+    fn workspaces_are_reused_across_evaluations() {
+        let mut setup = macro_sc_chain(2);
+        let mut ev = TranChainEvaluator::new(TranChainOptions::default());
+        let a = ev.evaluate(&mut setup).unwrap();
+        let b = ev.evaluate(&mut setup).unwrap();
+        assert_eq!(a, b, "re-evaluation through reused workspaces must agree");
+    }
+}

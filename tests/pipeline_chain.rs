@@ -119,6 +119,117 @@ fn chain_432_solves_at_hundred_plus_unknowns_sparse_and_dense() {
     );
 }
 
+/// Acceptance: the 13-bit winner's 4-3-2 chain runs four full φ1/φ2
+/// periods through the sparse adaptive transient engine, every stage
+/// settles to ½ LSB by the end of its amplification phase, the adaptive
+/// stepper needs ≥ 5× fewer steps than the fixed-step oracle at the
+/// adaptive run's own minimum dt, and the dense engine reproduces the
+/// quantized report bit-identically.
+///
+/// The sign-off chain carries telescopic OTAs throughout: the nominal
+/// two-stage front OTA of [`chain_432`] passes every small-signal check
+/// but cannot settle the 0.94 pF first-stage array inside the 11.5 ns
+/// amplification window — a deficit only the clocked transient leg can
+/// see, asserted at the end as the negative control.
+#[test]
+fn chain_432_settles_under_real_clock_phases() {
+    use pipelined_adc::synth::tran_chain::{TranChainEvaluator, TranChainOptions};
+    use pipelined_adc::topopt::verify::build_tran_setup;
+
+    let spec = AdcSpec::date05(13);
+    let params = PowerModelParams::calibrated();
+    let designs = design_chain(&spec, &[4, 3, 2], &params);
+    let gains: Vec<f64> = designs.iter().map(|d| d.spec.gain).collect();
+    let telescopic: Vec<MdacStageConfig> = designs
+        .iter()
+        .map(|d| {
+            MdacStageConfig::from_design(d, OtaSizing::Telescopic(TelescopicParams::nominal()))
+        })
+        .collect();
+    let tb = build_pipeline(&spec.process, &telescopic, &PipelineOptions::default()).unwrap();
+    let mut setup = build_tran_setup(&spec, &tb, gains.clone());
+    let opts = TranChainOptions::default();
+    assert!(opts.periods >= 4, "sign-off must cover ≥ 4 full periods");
+
+    let mut ev = TranChainEvaluator::new(opts.clone());
+    let report = ev.evaluate(&mut setup).unwrap();
+    assert!(report.sparse, "chain must auto-select the CSR engine");
+    assert_eq!(report.stages.len(), 3);
+    assert!(report.all_settled, "{report:#?}");
+    for (k, s) in report.stages.iter().enumerate() {
+        assert!(s.settled, "stage {k} missed ½ LSB: {s:#?}");
+        // Inter-stage loading costs the front stages a few percent of
+        // their ideal residue gains (visible only at the circuit level);
+        // a tenth is the sign-off bound.
+        assert!(
+            (s.residue_gain - s.ideal_gain).abs() / s.ideal_gain < 0.10,
+            "stage {k}: residue gain {} vs ideal {}",
+            s.residue_gain,
+            s.ideal_gain
+        );
+    }
+    // The lightly loaded back stage transfers its residue accurately.
+    let back = report.stages.last().unwrap();
+    assert!(
+        (back.residue_gain - back.ideal_gain).abs() / back.ideal_gain < 0.01,
+        "back stage: {} vs {}",
+        back.residue_gain,
+        back.ideal_gain
+    );
+
+    // Dense override: every quantized stage metric is reproduced
+    // bit-identically (the solver-agnostic report contract; raw step and
+    // iteration counters may differ by a razor-edge LTE decision on this
+    // MOSFET chain — the macromodel bit-identity test in `adc-synth` pins
+    // them too).
+    let mut dense = TranChainEvaluator::with_solver(SolverChoice::Dense, opts.clone());
+    let rd = dense.evaluate(&mut setup).unwrap();
+    assert!(!rd.sparse);
+    assert_eq!(
+        report.stages, rd.stages,
+        "transient sign-off metrics must not depend on the solver engine"
+    );
+    assert_eq!(report.all_settled, rd.all_settled);
+    assert_eq!(report.min_dt, rd.min_dt);
+
+    // Fixed-step oracle at the adaptive run's own minimum dt: same
+    // accuracy (residue gains agree within the LTE tolerance), ≥ 5× the
+    // step count.
+    let rf = ev.evaluate_fixed(&mut setup, report.min_dt).unwrap();
+    for (k, (a, f)) in report.stages.iter().zip(rf.stages.iter()).enumerate() {
+        assert!(
+            (a.residue_gain - f.residue_gain).abs() / f.residue_gain < 0.02,
+            "stage {k}: adaptive gain {} vs fixed {}",
+            a.residue_gain,
+            f.residue_gain
+        );
+    }
+    assert!(
+        rf.accepted >= 5 * report.accepted,
+        "adaptive {} steps vs fixed {} — expected ≥ 5× savings",
+        report.accepted,
+        rf.accepted
+    );
+
+    // Negative control: the standard fixture's nominal two-stage front
+    // OTA passes the small-signal chain checks (see the tests above) but
+    // must be caught here — it cannot settle the first-stage array to
+    // ½ LSB inside the amplification window.
+    let tb2 = build_pipeline(
+        &spec.process,
+        &chain_432(&spec, &params),
+        &PipelineOptions::default(),
+    )
+    .unwrap();
+    let mut setup2 = build_tran_setup(&spec, &tb2, gains);
+    let slow = TranChainEvaluator::new(opts).evaluate(&mut setup2).unwrap();
+    assert!(
+        !slow.stages[0].settled && !slow.all_settled,
+        "the slow two-stage front OTA must fail transient sign-off: {:#?}",
+        slow.stages[0]
+    );
+}
+
 /// Property: with inter-stage loading zeroed (every stage driven by its
 /// own source, chain edges cut), each stage of the flattened chain matches
 /// a standalone single-stage testbench — DC operating point and per-stage
