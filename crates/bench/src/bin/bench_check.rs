@@ -150,16 +150,22 @@ fn failures(verdicts: &[(String, Verdict)]) -> Vec<String> {
         .collect()
 }
 
+/// Loads and parses one report file, mapping every failure mode — file
+/// missing, unreadable, truncated, or empty — to a single-line diagnostic
+/// that names the offending path (never a panic: a half-written
+/// `BENCH_EVAL.json` from an interrupted bench run must fail the gate
+/// with a readable message, not a backtrace).
+fn load_report(path: &str) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_report(&text).map_err(|e| format!("{path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let baseline_path = args.next().unwrap_or_else(|| "BENCH_BASELINE.json".into());
     let current_path = args.next().unwrap_or_else(|| "BENCH_EVAL.json".into());
 
-    let read = |path: &str| -> Result<Vec<Row>, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        parse_report(&text).map_err(|e| format!("{path}: {e}"))
-    };
-    let (baseline, current) = match (read(&baseline_path), read(&current_path)) {
+    let (baseline, current) = match (load_report(&baseline_path), load_report(&current_path)) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
             for r in [b, c] {
@@ -239,6 +245,34 @@ mod tests {
     fn rejects_empty_and_malformed() {
         assert!(parse_report("{}").is_err());
         assert!(parse_report("\"x\": { \"evals_per_sec\": nope }").is_err());
+    }
+
+    /// A missing report file is a one-line diagnostic naming the path,
+    /// never a panic.
+    #[test]
+    fn missing_report_file_is_a_named_diagnostic() {
+        let err = load_report("/nonexistent/BENCH_EVAL.json").unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        assert!(err.contains("/nonexistent/BENCH_EVAL.json"), "{err}");
+    }
+
+    /// A truncated report (interrupted bench run) fails cleanly: rows cut
+    /// off mid-number parse or the file yields no metrics, and the
+    /// diagnostic names the file.
+    #[test]
+    fn truncated_report_fails_cleanly() {
+        let dir = std::env::temp_dir().join("bench_check_truncated_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_EVAL.json");
+        // Cut mid-row: the evals_per_sec line exists but the value is gone.
+        std::fs::write(&path, "{\n  \"dc_solve\": { \"evals_per_sec\": ").unwrap();
+        let err = load_report(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("BENCH_EVAL.json"), "{err}");
+        // Cut before any row: parses to zero metrics.
+        std::fs::write(&path, "{\n").unwrap();
+        let err = load_report(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("no metrics found"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     fn row(name: &str, rate: f64) -> Row {

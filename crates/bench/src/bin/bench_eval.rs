@@ -42,12 +42,13 @@ use adc_spice::process::Process;
 use adc_synth::evaluator::{EvalOutcome, Evaluator};
 use adc_synth::hybrid::{BenchSetup, BenchTuner, HybridOptions, HybridOtaEvaluator};
 use adc_synth::SynthConfig;
-use adc_topopt::cache::{BlockCache, CachePolicy};
+use adc_topopt::cache::{key_distance, BlockCache, CachePolicy};
 use adc_topopt::enumerate::enumerate_candidates;
 use adc_topopt::enumerate::Candidate;
 use adc_topopt::executor::ExecutorOptions;
 use adc_topopt::flow::{
-    ota_requirements, synthesize_candidate_set_waves, synthesize_multi_resolution, synthesize_ota,
+    ota_requirements, synthesize_candidate_set_serial, synthesize_candidate_set_waves,
+    synthesize_multi_resolution, synthesize_ota, OtaRequirements,
 };
 use adc_topopt::verify::{build_candidate_testbench, verify_candidate, VerifyOptions};
 use std::hint::black_box;
@@ -232,6 +233,68 @@ fn main() {
         name: "multi_res_cache_hit_pct",
         evals_per_sec: hit_pct,
         evals: hits,
+    });
+
+    // Fault-tolerance overhead: the guarded serial path (template
+    // validation + catch_unwind + retry bookkeeping per block) vs a
+    // reconstruction of the raw pre-guard serial path on the same 13-bit
+    // schedule. Reported as the wall-clock ratio raw/guarded — a
+    // machine-independent ≈ 1.0 when the guard rails are free — and the
+    // two paths must stay bit-identical.
+    let spec13g = AdcSpec::date05(13);
+    let cands13 = enumerate_candidates(13, 7);
+    let guard_cfg = SynthConfig {
+        iterations: 60,
+        nm_iterations: 10,
+        seed: 11,
+        ..Default::default()
+    };
+    let tg = Instant::now();
+    let guarded = synthesize_candidate_set_serial(&spec13g, &cands13, &params, &guard_cfg);
+    let t_guarded = tg.elapsed().as_secs_f64();
+    let tr = Instant::now();
+    // Raw path: replan the warm-start chain exactly as the flow does
+    // (nearest same-template earlier key in the 16·Δm + ΔA metric) and run
+    // each block straight through `synthesize_ota` with no isolation.
+    let mut planned: Vec<((u32, u32), OtaRequirements, Option<usize>)> = Vec::new();
+    let mut seen: std::collections::BTreeMap<(u32, u32), usize> = std::collections::BTreeMap::new();
+    for cand in &cands13 {
+        for design in &design_chain(&spec13g, cand.front_bits(), &params) {
+            let key = design.spec.reuse_key();
+            if seen.contains_key(&key) {
+                continue;
+            }
+            let req = ota_requirements(design, &spec13g);
+            let warm = seen
+                .iter()
+                .filter(|(_, &idx)| planned[idx].1.template == req.template)
+                .min_by_key(|(k, _)| key_distance(**k, key))
+                .map(|(_, &idx)| idx);
+            seen.insert(key, planned.len());
+            planned.push((key, req, warm));
+        }
+    }
+    let mut raw: Vec<((u32, u32), adc_synth::SynthResult)> = Vec::new();
+    for (key, req, warm) in &planned {
+        let warm_result = warm.map(|j| raw[j].1.clone());
+        let r = synthesize_ota(&spec13g.process, req, &guard_cfg, warm_result.as_ref());
+        raw.push((*key, r));
+    }
+    let t_raw = tr.elapsed().as_secs_f64();
+    raw.sort_by_key(|(k, _)| *k);
+    assert_eq!(raw.len(), guarded.len(), "recovery-overhead paths diverged");
+    for ((k, r), b) in raw.iter().zip(guarded.iter()) {
+        assert_eq!(*k, b.key, "recovery-overhead key order diverged");
+        assert_eq!(
+            r.best_x, b.result.best_x,
+            "recovery-overhead trajectories diverged at {k:?}"
+        );
+        assert_eq!(r.evaluations, b.result.evaluations, "at {k:?}");
+    }
+    rows.push(Row {
+        name: "flow_recovery_overhead",
+        evals_per_sec: t_raw / t_guarded,
+        evals: guarded.len(),
     });
 
     // Full-pipeline chain verification of the 13-bit winner (4-3-2),

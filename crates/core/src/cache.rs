@@ -37,6 +37,7 @@ use crate::flow::{OtaRequirements, TemplateKind};
 fn template_tag(t: TemplateKind) -> u8 {
     t.tag()
 }
+use adc_numerics::quant::Fingerprint;
 use adc_synth::SynthResult;
 use std::collections::BTreeMap;
 
@@ -63,6 +64,10 @@ pub struct CacheStats {
     pub near_seeds: usize,
     /// Entries inserted (dedup'd re-inserts not counted).
     pub insertions: usize,
+    /// Entries dropped because their stored result no longer matched the
+    /// integrity fingerprint stamped at commit time (bit rot, corrupted
+    /// storage, or an injected `cache_commit` fault).
+    pub corrupt_dropped: usize,
 }
 
 impl CacheStats {
@@ -102,6 +107,30 @@ pub struct CacheEntry {
 /// coexist, bounded so the cache cannot grow without limit.
 const BUCKET_CAP: usize = 4;
 
+/// Content fingerprint of a stored synthesis result — the integrity stamp
+/// verified on every lookup so a corrupted entry is dropped instead of
+/// poisoning a provenance-exact replay.
+fn result_integrity(r: &SynthResult) -> u64 {
+    let mut fp = Fingerprint::new();
+    for &x in &r.best_x {
+        fp = fp.add_f64_exact(x);
+    }
+    for &u in &r.best_u {
+        fp = fp.add_f64_exact(u);
+    }
+    fp.add_f64_exact(r.best_cost)
+        .add_u64(u64::from(r.feasible))
+        .add_u64(r.evaluations as u64)
+        .finish()
+}
+
+/// A cache entry plus the integrity stamp computed when it was committed.
+#[derive(Debug, Clone)]
+struct StoredEntry {
+    entry: CacheEntry,
+    integrity: u64,
+}
+
 /// Persistent block store keyed by `(template, normalized spec)`; see the
 /// module docs for the reuse tiers and policies.
 #[derive(Debug, Default)]
@@ -109,7 +138,7 @@ pub struct BlockCache {
     policy: CachePolicy,
     /// `(template tag, normalized spec fingerprint)` → entries, newest
     /// first. `BTreeMap` so every scan order is deterministic.
-    buckets: BTreeMap<(u8, u64), Vec<CacheEntry>>,
+    buckets: BTreeMap<(u8, u64), Vec<StoredEntry>>,
     stats: CacheStats,
 }
 
@@ -176,14 +205,19 @@ impl BlockCache {
         config: u64,
     ) -> Option<CacheEntry> {
         self.stats.lookups += 1;
-        let bucket = self.buckets.get(&(template_tag(template), spec_fp))?;
+        let bucket = self.buckets.get_mut(&(template_tag(template), spec_fp))?;
+        // Integrity sweep: entries whose stored result drifted from the
+        // stamp taken at commit time are dropped, never served.
+        let before = bucket.len();
+        bucket.retain(|s| s.integrity == result_integrity(&s.entry.result));
+        self.stats.corrupt_dropped += before - bucket.len();
         let found = match self.policy {
-            CachePolicy::Reproducible => bucket
-                .iter()
-                .find(|e| e.config == config && e.provenance == provenance && e.req == *req),
-            CachePolicy::Aggressive => bucket.iter().find(|e| e.config == config),
+            CachePolicy::Reproducible => bucket.iter().find(|s| {
+                s.entry.config == config && s.entry.provenance == provenance && s.entry.req == *req
+            }),
+            CachePolicy::Aggressive => bucket.iter().find(|s| s.entry.config == config),
         };
-        let hit = found.cloned();
+        let hit = found.map(|s| s.entry.clone());
         if hit.is_some() {
             self.stats.hits += 1;
         }
@@ -208,13 +242,26 @@ impl BlockCache {
             return None;
         }
         let tag = template_tag(template);
+        // Integrity sweep over every bucket the scan would touch.
+        for ((t, _), bucket) in self.buckets.iter_mut() {
+            if *t != tag {
+                continue;
+            }
+            let before = bucket.len();
+            bucket.retain(|s| s.integrity == result_integrity(&s.entry.result));
+            self.stats.corrupt_dropped += before - bucket.len();
+        }
         let mut best: Option<&CacheEntry> = None;
         let mut best_dist = better_than.unwrap_or(i64::MAX);
         for ((t, _), bucket) in &self.buckets {
             if *t != tag {
                 continue;
             }
-            for e in bucket.iter().filter(|e| e.config == config) {
+            for e in bucket
+                .iter()
+                .map(|s| &s.entry)
+                .filter(|e| e.config == config)
+            {
                 let d = key_distance(e.key, key);
                 if d < best_dist {
                     best = Some(e);
@@ -231,18 +278,52 @@ impl BlockCache {
 
     /// Stores a synthesized block. Re-inserting an existing provenance is a
     /// no-op; buckets keep only the newest few provenance chains
-    /// (`BUCKET_CAP`).
+    /// (`BUCKET_CAP`). The entry is stamped with an integrity fingerprint
+    /// of its result, verified on every later lookup.
     pub fn insert(&mut self, template: TemplateKind, spec_fp: u64, entry: CacheEntry) {
         let bucket = self
             .buckets
             .entry((template_tag(template), spec_fp))
             .or_default();
-        if bucket.iter().any(|e| e.provenance == entry.provenance) {
+        if bucket
+            .iter()
+            .any(|s| s.entry.provenance == entry.provenance)
+        {
             return;
         }
-        bucket.insert(0, entry);
+        // Stamp from the clean result; an injected commit-time corruption
+        // mutates the *stored* copy afterwards, so the stamp catches it.
+        let integrity = result_integrity(&entry.result);
+        #[allow(unused_mut)]
+        let mut stored = StoredEntry { entry, integrity };
+        #[cfg(feature = "faults")]
+        if let Some(action) = adc_numerics::faults::check(adc_numerics::faults::SITE_CACHE_COMMIT) {
+            match action {
+                adc_numerics::faults::FaultAction::Corrupt => {
+                    stored.entry.result.best_cost += 1.0;
+                }
+                adc_numerics::faults::FaultAction::Panic => {
+                    panic!("injected fault: cache_commit panic")
+                }
+                _ => {}
+            }
+        }
+        bucket.insert(0, stored);
         bucket.truncate(BUCKET_CAP);
         self.stats.insertions += 1;
+    }
+}
+
+#[cfg(test)]
+impl BlockCache {
+    /// Flips a bit in every stored result — simulates storage corruption
+    /// without going through the fault-injection registry.
+    fn corrupt_all_for_test(&mut self) {
+        for bucket in self.buckets.values_mut() {
+            for s in bucket.iter_mut() {
+                s.entry.result.best_cost += 1.0;
+            }
+        }
     }
 }
 
@@ -372,6 +453,32 @@ mod tests {
             .lookup(TemplateKind::Telescopic, 42, &req(100.0), 0, CFG)
             .unwrap();
         assert_eq!(hit.provenance, 9);
+    }
+
+    #[test]
+    fn corrupted_entries_are_dropped_not_served() {
+        let mut c = BlockCache::new(CachePolicy::Aggressive);
+        c.insert(TemplateKind::Telescopic, 42, entry((2, 8), 7));
+        c.corrupt_all_for_test();
+        assert!(
+            c.lookup(TemplateKind::Telescopic, 42, &req(100.0), 7, CFG)
+                .is_none(),
+            "corrupted entry must not be served as a hit"
+        );
+        assert_eq!(c.stats().corrupt_dropped, 1);
+        assert_eq!(c.len(), 0, "corrupted entry is evicted");
+        // Same through the near-hit path.
+        c.insert(TemplateKind::Telescopic, 43, entry((3, 9), 8));
+        c.corrupt_all_for_test();
+        assert!(c
+            .nearest(TemplateKind::Telescopic, (3, 10), None, CFG)
+            .is_none());
+        assert_eq!(c.stats().corrupt_dropped, 2);
+        // A clean entry still round-trips.
+        c.insert(TemplateKind::Telescopic, 44, entry((4, 10), 9));
+        assert!(c
+            .lookup(TemplateKind::Telescopic, 44, &req(100.0), 9, CFG)
+            .is_some());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use crate::cache::{key_distance, BlockCache, CacheEntry};
 use crate::enumerate::Candidate;
-use crate::executor::{run_dag, ExecutorOptions};
+use crate::executor::{run_dag_outcomes, BlockFailure, BlockOutcome, ExecutorOptions, FailureKind};
 use adc_mdac::opamp::{
     build_telescopic, build_two_stage, TelescopicHandles, TelescopicParams, TwoStageHandles,
     TwoStageParams,
@@ -35,15 +35,19 @@ use adc_mdac::opamp::{
 use adc_mdac::power::{design_chain, OtaTopology, PowerModelParams, StageDesign};
 use adc_mdac::specs::{AdcSpec, SPEC_NORM_DIGITS};
 use adc_numerics::quant::Fingerprint;
+use adc_numerics::Deadline;
 use adc_spice::netlist::Circuit;
 use adc_spice::process::Process;
+use adc_spice::SolverChoice;
 use adc_synth::hybrid::{BenchSetup, BenchTuner, HybridOptions, HybridOtaEvaluator};
 use adc_synth::{
-    Constraint, ConstraintKind, DesignSpace, DesignVar, SynthConfig, SynthResult, Synthesizer,
-    WarmStart,
+    Constraint, ConstraintKind, DesignSpace, DesignVar, SynthConfig, SynthError, SynthResult,
+    Synthesizer, WarmStart,
 };
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 /// Version salt folded into every provenance fingerprint. Bump when the
 /// synthesis pipeline changes in a way that invalidates cached results
@@ -57,6 +61,93 @@ pub const FLOW_CACHE_VERSION: u64 = 1;
 /// automatically invalidates stale cache entries.
 fn flow_hybrid_options() -> HybridOptions {
     HybridOptions::default()
+}
+
+/// Typed failure surface of the guarded flow — replaces ad-hoc panics on
+/// the orchestration hot paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// An OTA template failed structural validation before synthesis.
+    Template {
+        /// Template that failed to materialize.
+        template: TemplateKind,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A block exhausted its wall-clock budget.
+    Timeout {
+        /// Reuse key of the block.
+        key: (u32, u32),
+        /// Failure payload.
+        message: String,
+    },
+    /// A block failed all recovery attempts.
+    BlockFailed {
+        /// Reuse key of the block.
+        key: (u32, u32),
+        /// Failure payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Template { template, detail } => {
+                write!(f, "{template:?} template invalid: {detail}")
+            }
+            FlowError::Timeout { key, message } => {
+                write!(f, "block {key:?} timed out: {message}")
+            }
+            FlowError::BlockFailed { key, message } => {
+                write!(f, "block {key:?} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Bounded retry ladder for a failed block. Attempt 0 runs the block as
+/// scheduled; attempt 1 restarts cold with DC warm-start reuse disabled;
+/// attempt 2 additionally forces the dense linear solver
+/// ([`SolverChoice::Dense`]). Timeouts are final — no rung can buy back an
+/// exhausted wall-clock budget, so the ladder stops immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum synthesis attempts per block (≥ 1; the full ladder is 3).
+    pub max_attempts: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3 }
+    }
+}
+
+/// Fault-tolerance knobs of the guarded flow. The defaults (no budgets,
+/// three-rung ladder) leave zero-fault runs bit-identical to the unguarded
+/// path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowOptions {
+    /// Recovery ladder for failed blocks.
+    pub retry: RetryPolicy,
+    /// Wall-clock budget per block (all attempts combined); `None` is
+    /// unlimited.
+    pub block_budget: Option<Duration>,
+    /// Wall-clock budget for the whole candidate-set run; `None` is
+    /// unlimited.
+    pub run_budget: Option<Duration>,
+}
+
+/// A block that produced no result: its reuse key plus the recorded
+/// failure (kind, payload, attempts, elapsed time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCasualty {
+    /// Reuse key `(m, input_accuracy)` of the failed block.
+    pub key: (u32, u32),
+    /// What happened.
+    pub failure: BlockFailure,
 }
 
 /// Collects the distinct MDAC block specs — `(m, input_accuracy)` pairs —
@@ -215,15 +306,55 @@ fn constraints_for(req: &OtaRequirements) -> Vec<Constraint> {
     ]
 }
 
+/// Validates that a requirement set's OTA template materializes into a
+/// resolvable testbench **before** any synthesis attempt runs — the typed
+/// front door that makes the `resolve(..).expect(..)` calls inside the
+/// per-candidate builder closure unreachable on the guarded path.
+pub fn validate_template(process: &Process, req: &OtaRequirements) -> Result<(), FlowError> {
+    let probe: Vec<f64> = match req.template {
+        TemplateKind::Telescopic => TelescopicParams::bounds(),
+        TemplateKind::TwoStage => TwoStageParams::bounds(),
+    }
+    .into_iter()
+    .map(|b| {
+        if b.log {
+            (b.lo * b.hi).sqrt()
+        } else {
+            0.5 * (b.lo + b.hi)
+        }
+    })
+    .collect();
+    let resolved = match req.template {
+        TemplateKind::Telescopic => {
+            let tb = build_telescopic(process, &TelescopicParams::from_vec(&probe), req.c_load);
+            TelescopicHandles::resolve(&tb.circuit).is_some()
+        }
+        TemplateKind::TwoStage => {
+            let tb = build_two_stage(process, &TwoStageParams::from_vec(&probe), req.c_load);
+            TwoStageHandles::resolve(&tb.circuit).is_some()
+        }
+    };
+    if resolved {
+        Ok(())
+    } else {
+        Err(FlowError::Template {
+            template: req.template,
+            detail: "testbench element handles did not resolve".to_string(),
+        })
+    }
+}
+
 /// Builds the synthesizer + evaluator pair for a requirement set and runs
-/// it from the given [`WarmStart`] mode ([`WarmStart::Reuse`] returns the
-/// cached result without touching the evaluator).
-pub fn synthesize_ota_start(
+/// it under an explicit evaluator configuration and wall-clock deadline —
+/// the fallible core every flow path funnels through.
+fn run_ota_synthesis(
     process: &Process,
     req: &OtaRequirements,
     cfg: &SynthConfig,
     start: WarmStart<'_>,
-) -> SynthResult {
+    opts: HybridOptions,
+    deadline: Deadline,
+) -> Result<SynthResult, SynthError> {
     let space = space_for(req.template);
     let synth = Synthesizer::new(space, constraints_for(req), "power");
     let proc = process.clone();
@@ -231,6 +362,7 @@ pub fn synthesize_ota_start(
     let c_load = req.c_load;
     // Builder runs once per evaluator; every later candidate retunes the
     // persistent testbench in place through the resolved element handles.
+    // The expects below are unreachable when [`validate_template`] passed.
     let build = move |x: &[f64]| -> BenchSetup {
         match template {
             TemplateKind::Telescopic => {
@@ -253,8 +385,28 @@ pub fn synthesize_ota_start(
             }
         }
     };
-    let evaluator = HybridOtaEvaluator::new(build, flow_hybrid_options());
-    synth.execute(&evaluator, cfg, start)
+    let evaluator = HybridOtaEvaluator::new(build, opts);
+    synth.try_execute(&evaluator, cfg, start, deadline)
+}
+
+/// Builds the synthesizer + evaluator pair for a requirement set and runs
+/// it from the given [`WarmStart`] mode ([`WarmStart::Reuse`] returns the
+/// cached result without touching the evaluator).
+pub fn synthesize_ota_start(
+    process: &Process,
+    req: &OtaRequirements,
+    cfg: &SynthConfig,
+    start: WarmStart<'_>,
+) -> SynthResult {
+    run_ota_synthesis(
+        process,
+        req,
+        cfg,
+        start,
+        flow_hybrid_options(),
+        Deadline::none(),
+    )
+    .unwrap_or_else(|e| panic!("unbudgeted OTA synthesis cannot time out: {e}"))
 }
 
 /// Builds the synthesizer + evaluator pair for a requirement set and runs a
@@ -381,6 +533,20 @@ pub struct RunStats {
     pub retargeted: usize,
     /// Evaluator calls actually spent in this run (hits spend none).
     pub evaluations_spent: usize,
+    /// Blocks that produced no result after the full recovery ladder.
+    pub failed: usize,
+    /// Blocks that succeeded only after at least one failed attempt.
+    pub recovered: usize,
+    /// Blocks demoted from a planned warm retarget to a cold start because
+    /// their warm source failed.
+    pub demoted: usize,
+    /// Total synthesis attempts across all blocks (= `blocks` when nothing
+    /// failed).
+    pub attempts: usize,
+    /// Wall-clock slack left on the run budget at completion, in
+    /// milliseconds; `None` when no run budget was set (keeps
+    /// [`RunStats`] `Eq`-comparable in deterministic tests).
+    pub deadline_slack_ms: Option<i64>,
 }
 
 impl RunStats {
@@ -402,16 +568,51 @@ impl RunStats {
         self.cold += other.cold;
         self.retargeted += other.retargeted;
         self.evaluations_spent += other.evaluations_spent;
+        self.failed += other.failed;
+        self.recovered += other.recovered;
+        self.demoted += other.demoted;
+        self.attempts += other.attempts;
+        // Tightest slack observed across the accumulated runs.
+        self.deadline_slack_ms = match (self.deadline_slack_ms, other.deadline_slack_ms) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
     }
 }
 
 /// Result of a cache-aware candidate-set synthesis.
 #[derive(Debug, Clone)]
 pub struct SynthesisRun {
-    /// Synthesized blocks in ascending reuse-key order.
+    /// Synthesized blocks in ascending reuse-key order (survivors only).
     pub blocks: Vec<MdacBlock>,
-    /// What this run did (hits, seeds, evaluations).
+    /// What this run did (hits, seeds, evaluations, recoveries).
     pub stats: RunStats,
+    /// Blocks that produced no result, in ascending reuse-key order.
+    pub failures: Vec<BlockCasualty>,
+}
+
+impl SynthesisRun {
+    /// Converts a degraded run into a hard error on its first casualty —
+    /// for callers that treat any failed block as fatal.
+    pub fn into_result(self) -> Result<SynthesisRun, FlowError> {
+        match self.failures.first() {
+            None => Ok(self),
+            Some(c) => {
+                let make = if c.failure.kind == FailureKind::Timeout {
+                    FlowError::Timeout {
+                        key: c.key,
+                        message: c.failure.message.clone(),
+                    }
+                } else {
+                    FlowError::BlockFailed {
+                        key: c.key,
+                        message: c.failure.message.clone(),
+                    }
+                };
+                Err(make)
+            }
+        }
+    }
 }
 
 /// Plans a candidate set and consults the cache: exact hits become
@@ -494,14 +695,182 @@ fn schedule_candidate_set(
     scheduled
 }
 
-/// Executes a schedule on the dependency-driven executor and merges the
-/// results in ascending key order.
+/// One block's execution record — the executor's result type on the
+/// guarded path. Carries the synthesis result plus the fault-tolerance
+/// bookkeeping [`finish_run`] folds into [`RunStats`].
+#[derive(Debug, Clone)]
+struct ExecutedBlock {
+    result: SynthResult,
+    /// Synthesis attempts consumed (1 = first try succeeded).
+    attempts: usize,
+    /// Planned warm retarget ran cold because its source failed.
+    demoted: bool,
+    /// Succeeded only after at least one failed attempt.
+    recovered: bool,
+    /// `true` only when the result is exactly what the schedule planned
+    /// (first attempt, no demotion, warm ancestry intact) — the cache
+    /// commit gate: a recovered or demoted result was produced off the
+    /// planned provenance chain and must never be stored under it.
+    as_planned: bool,
+}
+
+/// Runs the deterministic fault-injection registry under a block-keyed
+/// scope (no-op without the `faults` feature).
+fn with_block_scope<T>(scope: &str, f: impl FnOnce() -> T) -> T {
+    #[cfg(feature = "faults")]
+    {
+        adc_numerics::faults::with_scope(scope, f)
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = scope;
+        f()
+    }
+}
+
+/// Evaluator options for one rung of the recovery ladder (see
+/// [`RetryPolicy`]): rung 0 is the stock flow configuration, rung 1
+/// disables DC warm-start reuse, rung 2 additionally forces the dense
+/// linear solver. The active deadline rides along into the DC options so
+/// Newton loops observe the same budget as the annealer.
+fn ladder_options(attempt: usize, deadline: Deadline) -> HybridOptions {
+    let mut opts = flow_hybrid_options();
+    opts.dc.deadline = deadline;
+    if attempt >= 1 {
+        opts.warm_start_local = false;
+    }
+    if attempt >= 2 {
+        opts.solver = SolverChoice::Dense;
+    }
+    opts
+}
+
+/// Executes one scheduled block under failure isolation: template
+/// validation up front, then the bounded retry ladder, each attempt behind
+/// `catch_unwind` with the combined run/block deadline. Timeouts are
+/// final; panics and typed errors escalate to the next rung.
+fn run_block_guarded(
+    process: &Process,
+    b: &ScheduledBlock,
+    cfg: &SynthConfig,
+    warm: Option<&ExecutedBlock>,
+    flow: &FlowOptions,
+    run_deadline: Deadline,
+) -> Result<ExecutedBlock, BlockFailure> {
+    let started = Instant::now();
+    let elapsed = |t0: Instant| t0.elapsed().as_secs_f64();
+    // Exact hits skip synthesis entirely — nothing to guard.
+    if let BlockStart::Hit(hit) = &b.start {
+        return Ok(ExecutedBlock {
+            result: hit.clone(),
+            attempts: 1,
+            demoted: false,
+            recovered: false,
+            as_planned: true,
+        });
+    }
+    if let Err(e) = validate_template(process, &b.req) {
+        return Err(BlockFailure::new(
+            FailureKind::Error,
+            e.to_string(),
+            elapsed(started),
+        ));
+    }
+    // Planned-warm bookkeeping: a missing warm source (its block failed)
+    // demotes this block to a cold start; a tainted warm source (its block
+    // recovered off-plan) still retargets but poisons `as_planned`.
+    let demoted = matches!(b.start, BlockStart::Retarget(_)) && warm.is_none();
+    let ancestry_ok = match &b.start {
+        BlockStart::Retarget(_) => warm.is_some_and(|w| w.as_planned),
+        _ => true,
+    };
+    let block_deadline = match flow.block_budget {
+        Some(budget) => Deadline::within(budget),
+        None => Deadline::none(),
+    };
+    let deadline = run_deadline.earliest(block_deadline);
+    let max_attempts = flow.retry.max_attempts.max(1);
+    let mut last: Option<BlockFailure> = None;
+    for attempt in 0..max_attempts {
+        if deadline.expired() {
+            let mut f = BlockFailure::new(
+                FailureKind::Timeout,
+                "wall-clock budget exhausted before attempt",
+                elapsed(started),
+            );
+            f.attempts = attempt.max(1);
+            last = Some(f);
+            break;
+        }
+        let start = if attempt == 0 && !demoted {
+            match &b.start {
+                BlockStart::Cold => WarmStart::Cold,
+                BlockStart::Retarget(_) => {
+                    WarmStart::Retarget(&warm.expect("demotion handled above").result)
+                }
+                BlockStart::SeedFromCache(seed) => WarmStart::Retarget(seed),
+                BlockStart::Hit(_) => unreachable!("hits returned above"),
+            }
+        } else {
+            WarmStart::Cold
+        };
+        let opts = ladder_options(attempt, deadline);
+        let scope = format!("m{}a{}r{attempt}", b.key.0, b.key.1);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            with_block_scope(&scope, || {
+                run_ota_synthesis(process, &b.req, cfg, start, opts, deadline)
+            })
+        }));
+        match outcome {
+            Ok(Ok(result)) => {
+                return Ok(ExecutedBlock {
+                    result,
+                    attempts: attempt + 1,
+                    demoted,
+                    recovered: attempt > 0,
+                    as_planned: attempt == 0 && !demoted && ancestry_ok,
+                });
+            }
+            Ok(Err(SynthError::Timeout { evaluations })) => {
+                // Budget exhausted is final: no rung can buy time back.
+                let mut f = BlockFailure::new(
+                    FailureKind::Timeout,
+                    format!("synthesis budget expired after {evaluations} evaluations"),
+                    elapsed(started),
+                );
+                f.attempts = attempt + 1;
+                return Err(f);
+            }
+            Ok(Err(e @ SynthError::Failed(_))) => {
+                let mut f = BlockFailure::new(FailureKind::Error, e.to_string(), elapsed(started));
+                f.attempts = attempt + 1;
+                last = Some(f);
+            }
+            Err(payload) => {
+                let mut f = BlockFailure::new(
+                    FailureKind::Panic,
+                    crate::executor::panic_message(payload.as_ref()),
+                    elapsed(started),
+                );
+                f.attempts = attempt + 1;
+                last = Some(f);
+            }
+        }
+    }
+    Err(last.expect("ladder ran at least one attempt"))
+}
+
+/// Executes a schedule on the dependency-driven executor under failure
+/// isolation: each block runs [`run_block_guarded`]; dependents of failed
+/// blocks are demoted to cold starts instead of unwinding.
 fn execute_schedule(
     process: &Process,
     scheduled: &[ScheduledBlock],
     cfg: &SynthConfig,
     exec: &ExecutorOptions,
-) -> Vec<SynthResult> {
+    flow: &FlowOptions,
+    run_deadline: Deadline,
+) -> Vec<BlockOutcome<ExecutedBlock>> {
     let deps: Vec<Option<usize>> = scheduled
         .iter()
         .map(|b| match b.start {
@@ -509,53 +878,74 @@ fn execute_schedule(
             _ => None,
         })
         .collect();
-    run_dag(&deps, exec, |i, warm: Option<&SynthResult>| {
-        let b = &scheduled[i];
-        let start = match &b.start {
-            BlockStart::Cold => WarmStart::Cold,
-            BlockStart::Retarget(_) => {
-                WarmStart::Retarget(warm.expect("executor delivered the warm source"))
-            }
-            BlockStart::SeedFromCache(seed) => WarmStart::Retarget(seed),
-            BlockStart::Hit(hit) => WarmStart::Reuse(hit),
-        };
-        synthesize_ota_start(process, &b.req, cfg, start)
+    run_dag_outcomes(&deps, exec, |i, warm: Option<&ExecutedBlock>| {
+        run_block_guarded(process, &scheduled[i], cfg, warm, flow, run_deadline)
     })
 }
 
 /// Executes a schedule strictly serially in encounter order — the
-/// determinism oracle for [`execute_schedule`].
+/// determinism oracle for [`execute_schedule`], sharing the same guarded
+/// block runner.
 fn execute_schedule_serial(
     process: &Process,
     scheduled: &[ScheduledBlock],
     cfg: &SynthConfig,
-) -> Vec<SynthResult> {
-    let mut results: Vec<SynthResult> = Vec::with_capacity(scheduled.len());
+    flow: &FlowOptions,
+    run_deadline: Deadline,
+) -> Vec<BlockOutcome<ExecutedBlock>> {
+    let mut results: Vec<BlockOutcome<ExecutedBlock>> = Vec::with_capacity(scheduled.len());
     for b in scheduled {
-        let start = match &b.start {
-            BlockStart::Cold => WarmStart::Cold,
-            BlockStart::Retarget(j) => WarmStart::Retarget(&results[*j]),
-            BlockStart::SeedFromCache(seed) => WarmStart::Retarget(seed),
-            BlockStart::Hit(hit) => WarmStart::Reuse(hit),
+        let warm: Option<ExecutedBlock> = match b.start {
+            BlockStart::Retarget(j) => results[j].ok().cloned(),
+            _ => None,
         };
-        results.push(synthesize_ota_start(process, &b.req, cfg, start));
+        let outcome = match catch_unwind(AssertUnwindSafe(|| {
+            run_block_guarded(process, b, cfg, warm.as_ref(), flow, run_deadline)
+        })) {
+            Ok(Ok(eb)) => BlockOutcome::Ok(eb),
+            Ok(Err(f)) => BlockOutcome::Failed(f),
+            Err(payload) => BlockOutcome::Failed(BlockFailure::new(
+                FailureKind::Panic,
+                crate::executor::panic_message(payload.as_ref()),
+                0.0,
+            )),
+        };
+        results.push(outcome);
     }
     results
 }
 
 /// Commits freshly synthesized blocks to the cache and assembles the
-/// merged block list + per-run statistics.
+/// merged block list, casualty list and per-run statistics. Failed blocks
+/// never reach the cache; neither do recovered or demoted results, whose
+/// trajectories diverged from the provenance chain computed at schedule
+/// time.
 fn finish_run(
     scheduled: Vec<ScheduledBlock>,
-    results: Vec<SynthResult>,
+    outcomes: Vec<BlockOutcome<ExecutedBlock>>,
     mut cache: Option<&mut BlockCache>,
+    deadline_slack_ms: Option<i64>,
 ) -> SynthesisRun {
     let mut stats = RunStats {
         blocks: scheduled.len(),
+        deadline_slack_ms,
         ..RunStats::default()
     };
     let mut blocks: Vec<MdacBlock> = Vec::with_capacity(scheduled.len());
-    for (b, result) in scheduled.into_iter().zip(results) {
+    let mut failures: Vec<BlockCasualty> = Vec::new();
+    for (b, outcome) in scheduled.into_iter().zip(outcomes) {
+        let executed = match outcome {
+            BlockOutcome::Ok(eb) => eb,
+            BlockOutcome::Failed(failure) => {
+                stats.failed += 1;
+                stats.attempts += failure.attempts;
+                failures.push(BlockCasualty {
+                    key: b.key,
+                    failure,
+                });
+                continue;
+            }
+        };
         let origin = match &b.start {
             BlockStart::Cold => BlockOrigin::Cold,
             BlockStart::Retarget(_) => BlockOrigin::Retargeted,
@@ -568,32 +958,44 @@ fn finish_run(
             BlockOrigin::CacheSeeded => stats.cache_seeded += 1,
             BlockOrigin::CacheHit => stats.cache_hits += 1,
         }
+        stats.attempts += executed.attempts;
+        stats.recovered += usize::from(executed.recovered);
+        stats.demoted += usize::from(executed.demoted);
         if origin != BlockOrigin::CacheHit {
-            stats.evaluations_spent += result.evaluations;
-            if let Some(cache) = cache.as_deref_mut() {
-                cache.insert(
-                    b.req.template,
-                    b.spec_fp,
-                    CacheEntry {
-                        key: b.key,
-                        req: b.req.clone(),
-                        result: result.clone(),
-                        provenance: b.provenance,
-                        config: b.config_fp,
-                    },
-                );
+            stats.evaluations_spent += executed.result.evaluations;
+            // Cache-commit gate: only results produced exactly as planned
+            // carry the provenance computed at schedule time.
+            if executed.as_planned {
+                if let Some(cache) = cache.as_deref_mut() {
+                    cache.insert(
+                        b.req.template,
+                        b.spec_fp,
+                        CacheEntry {
+                            key: b.key,
+                            req: b.req.clone(),
+                            result: executed.result.clone(),
+                            provenance: b.provenance,
+                            config: b.config_fp,
+                        },
+                    );
+                }
             }
         }
         blocks.push(MdacBlock {
             key: b.key,
             requirements: b.req,
-            result,
+            result: executed.result,
             retargeted: b.planned_warm,
             origin,
         });
     }
     blocks.sort_by_key(|b| b.key);
-    SynthesisRun { blocks, stats }
+    failures.sort_by_key(|c| c.key);
+    SynthesisRun {
+        blocks,
+        stats,
+        failures,
+    }
 }
 
 /// Synthesizes every distinct MDAC of a candidate set with reuse: exact
@@ -630,12 +1032,44 @@ pub fn synthesize_candidate_set_with(
     candidates: &[Candidate],
     params: &PowerModelParams,
     cfg: &SynthConfig,
-    mut cache: Option<&mut BlockCache>,
+    cache: Option<&mut BlockCache>,
     exec: &ExecutorOptions,
 ) -> SynthesisRun {
+    synthesize_candidate_set_guarded(
+        spec,
+        candidates,
+        params,
+        cfg,
+        cache,
+        exec,
+        &FlowOptions::default(),
+    )
+}
+
+/// [`synthesize_candidate_set_with`] with explicit fault-tolerance options
+/// — the fully guarded entry point: failed blocks are isolated, retried up
+/// the recovery ladder, and reported as [`SynthesisRun::failures`] while
+/// the survivors are ranked normally. With default [`FlowOptions`] and no
+/// faults this is bit-identical to the historical path.
+pub fn synthesize_candidate_set_guarded(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+    cfg: &SynthConfig,
+    mut cache: Option<&mut BlockCache>,
+    exec: &ExecutorOptions,
+    flow: &FlowOptions,
+) -> SynthesisRun {
+    let run_deadline = match flow.run_budget {
+        Some(budget) => Deadline::within(budget),
+        None => Deadline::none(),
+    };
     let scheduled = schedule_candidate_set(spec, candidates, params, cfg, cache.as_deref_mut());
-    let results = execute_schedule(&spec.process, &scheduled, cfg, exec);
-    finish_run(scheduled, results, cache)
+    let outcomes = execute_schedule(&spec.process, &scheduled, cfg, exec, flow, run_deadline);
+    let slack = run_deadline
+        .slack_seconds()
+        .map(|s| (s * 1e3).round() as i64);
+    finish_run(scheduled, outcomes, cache, slack)
 }
 
 /// Sequential reference implementation of [`synthesize_candidate_set`]:
@@ -658,11 +1092,59 @@ pub fn synthesize_candidate_set_serial_with(
     candidates: &[Candidate],
     params: &PowerModelParams,
     cfg: &SynthConfig,
-    mut cache: Option<&mut BlockCache>,
+    cache: Option<&mut BlockCache>,
 ) -> SynthesisRun {
+    synthesize_candidate_set_serial_guarded(
+        spec,
+        candidates,
+        params,
+        cfg,
+        cache,
+        &FlowOptions::default(),
+    )
+}
+
+/// Serial oracle for [`synthesize_candidate_set_guarded`]: same schedule,
+/// same guarded block runner, strictly sequential execution.
+pub fn synthesize_candidate_set_serial_guarded(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    params: &PowerModelParams,
+    cfg: &SynthConfig,
+    mut cache: Option<&mut BlockCache>,
+    flow: &FlowOptions,
+) -> SynthesisRun {
+    let run_deadline = match flow.run_budget {
+        Some(budget) => Deadline::within(budget),
+        None => Deadline::none(),
+    };
     let scheduled = schedule_candidate_set(spec, candidates, params, cfg, cache.as_deref_mut());
-    let results = execute_schedule_serial(&spec.process, &scheduled, cfg);
-    finish_run(scheduled, results, cache)
+    let outcomes = execute_schedule_serial(&spec.process, &scheduled, cfg, flow, run_deadline);
+    let slack = run_deadline
+        .slack_seconds()
+        .map(|s| (s * 1e3).round() as i64);
+    finish_run(scheduled, outcomes, cache, slack)
+}
+
+/// Candidates whose every required MDAC block survived a (possibly
+/// degraded) synthesis run — the basis for ranking under casualties: a
+/// candidate is rankable only if all of its stage reuse keys produced
+/// results.
+pub fn surviving_candidates(
+    spec: &AdcSpec,
+    candidates: &[Candidate],
+    run: &SynthesisRun,
+) -> Vec<Candidate> {
+    let have: std::collections::BTreeSet<(u32, u32)> = run.blocks.iter().map(|b| b.key).collect();
+    candidates
+        .iter()
+        .filter(|c| {
+            adc_mdac::specs::stage_specs(spec, c.front_bits())
+                .iter()
+                .all(|st| have.contains(&st.reuse_key()))
+        })
+        .cloned()
+        .collect()
 }
 
 /// The PR-2 wave-barrier scheduler, retained verbatim as the benchmarking
@@ -738,6 +1220,8 @@ pub struct ResolutionRun {
     pub blocks: Vec<MdacBlock>,
     /// Per-run statistics.
     pub stats: RunStats,
+    /// Blocks that produced no result at this resolution.
+    pub failures: Vec<BlockCasualty>,
     /// Wall-clock seconds this resolution took.
     pub wall_seconds: f64,
 }
@@ -766,6 +1250,7 @@ pub fn synthesize_multi_resolution(
                 resolution: spec.resolution,
                 blocks: run.blocks,
                 stats: run.stats,
+                failures: run.failures,
                 wall_seconds: t0.elapsed().as_secs_f64(),
             }
         })
@@ -969,6 +1454,72 @@ mod tests {
             assert_eq!(a.result.best_x, b.result.best_x);
             assert_eq!(a.result.evaluations, b.result.evaluations);
         }
+    }
+
+    /// Failure isolation bookkeeping: a failed block leaves no cache
+    /// entry, is reported as a casualty, and removes the candidates that
+    /// needed it from the survivor set; an off-plan (recovered/demoted)
+    /// result is ranked but never committed under the planned provenance.
+    #[test]
+    fn failed_and_off_plan_blocks_never_reach_the_cache() {
+        let spec = AdcSpec::date05(10);
+        let params = PowerModelParams::calibrated();
+        let cands = enumerate_candidates(10, 7);
+        let cfg = SynthConfig {
+            iterations: 8,
+            nm_iterations: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let mut cache = BlockCache::new(CachePolicy::Reproducible);
+        let scheduled = schedule_candidate_set(&spec, &cands, &params, &cfg, Some(&mut cache));
+        let n = scheduled.len();
+        assert!(n > 0);
+        // Every block fails → no survivors, no cache entries, full report.
+        let outcomes: Vec<BlockOutcome<ExecutedBlock>> = (0..n)
+            .map(|i| {
+                BlockOutcome::Failed(BlockFailure::new(
+                    FailureKind::Error,
+                    format!("fabricated failure {i}"),
+                    0.0,
+                ))
+            })
+            .collect();
+        let run = finish_run(scheduled, outcomes, Some(&mut cache), None);
+        assert!(run.blocks.is_empty());
+        assert_eq!(run.failures.len(), n);
+        assert_eq!(run.stats.failed, n);
+        assert_eq!(cache.len(), 0, "failed blocks must never be cached");
+        assert!(surviving_candidates(&spec, &cands, &run).is_empty());
+        assert!(run.into_result().is_err());
+        // Every block "recovers" off-plan → ranked survivors, still no
+        // cache commits (the planned provenance no longer attests them).
+        let scheduled = schedule_candidate_set(&spec, &cands, &params, &cfg, Some(&mut cache));
+        let fake = SynthResult {
+            best_x: vec![1.0],
+            best_u: vec![0.5],
+            best_perf: Default::default(),
+            best_cost: 1.0,
+            feasible: true,
+            evaluations: 5,
+        };
+        let outcomes: Vec<BlockOutcome<ExecutedBlock>> = (0..n)
+            .map(|_| {
+                BlockOutcome::Ok(ExecutedBlock {
+                    result: fake.clone(),
+                    attempts: 2,
+                    demoted: false,
+                    recovered: true,
+                    as_planned: false,
+                })
+            })
+            .collect();
+        let run = finish_run(scheduled, outcomes, Some(&mut cache), None);
+        assert_eq!(run.blocks.len(), n);
+        assert_eq!(run.stats.recovered, n);
+        assert_eq!(run.stats.attempts, 2 * n);
+        assert_eq!(cache.len(), 0, "off-plan results must never be cached");
+        assert_eq!(surviving_candidates(&spec, &cands, &run).len(), cands.len());
     }
 
     /// End-to-end circuit synthesis of the cheapest block (the 2-bit last

@@ -47,7 +47,10 @@ pub mod verify;
 
 pub use cache::{BlockCache, CachePolicy, CacheStats};
 pub use enumerate::{enumerate_candidates, Candidate};
-pub use executor::ExecutorOptions;
-pub use flow::{synthesize_multi_resolution, ResolutionRun, RunStats, SynthesisRun};
+pub use executor::{BlockFailure, BlockOutcome, ExecutorOptions, FailureKind};
+pub use flow::{
+    surviving_candidates, synthesize_multi_resolution, BlockCasualty, FlowError, FlowOptions,
+    ResolutionRun, RetryPolicy, RunStats, SynthesisRun,
+};
 pub use optimize::{optimize_topology, TopologyReport};
 pub use verify::{verify_candidate, ChainVerification, VerifyOptions};

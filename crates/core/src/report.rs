@@ -1,5 +1,6 @@
 //! Plain-text and CSV emitters for the figure-regeneration binaries.
 
+use crate::flow::ResolutionRun;
 use crate::optimize::TopologyReport;
 use crate::rules::RuleTable;
 use crate::verify::ChainVerification;
@@ -164,6 +165,45 @@ pub fn verify_table(verifications: &[ChainVerification]) -> String {
                 tr.rejected,
                 tr.min_dt * 1e12,
                 tr.sparse
+            );
+        }
+    }
+    out
+}
+
+/// Renders the fault-tolerance health of a multi-resolution flow: per-run
+/// attempts, recoveries, demotions, casualties and remaining deadline
+/// slack — the observability surface of the guarded executor.
+pub fn run_health_table(runs: &[ResolutionRun]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Flow run health (guarded executor)");
+    let _ = writeln!(
+        out,
+        "{:<6}{:>8}{:>10}{:>8}{:>11}{:>9}{:>8}{:>12}",
+        "bits", "blocks", "attempts", "failed", "recovered", "demoted", "hits", "slack [ms]"
+    );
+    for run in runs {
+        let slack = match run.stats.deadline_slack_ms {
+            Some(ms) => ms.to_string(),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<6}{:>8}{:>10}{:>8}{:>11}{:>9}{:>8}{:>12}",
+            run.resolution,
+            run.stats.blocks,
+            run.stats.attempts,
+            run.stats.failed,
+            run.stats.recovered,
+            run.stats.demoted,
+            run.stats.cache_hits,
+            slack
+        );
+        for c in &run.failures {
+            let _ = writeln!(
+                out,
+                "  casualty (m={}, A={}): {}",
+                c.key.0, c.key.1, c.failure
             );
         }
     }

@@ -26,6 +26,9 @@
 
 pub mod complex;
 pub mod constants;
+pub mod deadline;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod fft;
 pub mod interp;
 pub mod linalg;
@@ -38,6 +41,7 @@ pub mod sparse;
 pub mod stats;
 
 pub use complex::Complex;
+pub use deadline::Deadline;
 pub use linalg::Matrix;
 pub use poly::Poly;
 

@@ -14,7 +14,7 @@ use crate::op::OperatingPoint;
 use crate::{SpiceError, SpiceResult};
 use adc_numerics::linalg::Lu;
 use adc_numerics::sparse::{prefer_sparse, CsrMatrix, CsrPattern, SparseLu, Symbolic};
-use adc_numerics::Matrix;
+use adc_numerics::{Deadline, Matrix};
 use std::collections::HashMap;
 
 /// Newton step-limiting strategy.
@@ -52,6 +52,10 @@ pub struct DcOptions {
     pub nodeset: HashMap<String, f64>,
     /// Step-limiting strategy.
     pub damping: DcDamping,
+    /// Cooperative wall-clock budget, checked per Newton iteration. An
+    /// expired deadline turns the solve into [`SpiceError::Timeout`]
+    /// instead of a hang; the default is unlimited and costs nothing.
+    pub deadline: Deadline,
 }
 
 impl Default for DcOptions {
@@ -64,6 +68,7 @@ impl Default for DcOptions {
             gmin: 1e-12,
             nodeset: HashMap::new(),
             damping: DcDamping::Global,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -577,6 +582,9 @@ struct NewtonOutcome {
     converged: bool,
     iterations: usize,
     residual: f64,
+    /// The stage stopped because [`DcOptions::deadline`] expired, not
+    /// because the iteration diverged.
+    timed_out: bool,
 }
 
 /// Damped Newton on the workspace's `x`. The loop is allocation-free: the
@@ -592,6 +600,16 @@ fn newton(
 ) -> NewtonOutcome {
     let mut last_res = f64::INFINITY;
     for it in 0..max_iter {
+        // Deadline check at iteration granularity: an unlimited deadline
+        // short-circuits to one branch, so the zero-budget path is free.
+        if opts.deadline.expired() {
+            return NewtonOutcome {
+                converged: false,
+                iterations: it,
+                residual: last_res,
+                timed_out: true,
+            };
+        }
         ws.assemble(circuit, gmin, source_scale);
         let rnorm = ws.res.iter().fold(0.0_f64, |m, &r| m.max(r.abs()));
         last_res = rnorm;
@@ -602,6 +620,7 @@ fn newton(
                 converged: false,
                 iterations: it,
                 residual: rnorm,
+                timed_out: false,
             };
         }
         // Damping: cap node-voltage updates (the *requested* max update
@@ -639,6 +658,7 @@ fn newton(
                 converged: false,
                 iterations: it,
                 residual: f64::INFINITY,
+                timed_out: false,
             };
         }
         if applied_dv < opts.vtol && rnorm < opts.itol {
@@ -646,6 +666,7 @@ fn newton(
                 converged: true,
                 iterations: it + 1,
                 residual: rnorm,
+                timed_out: false,
             };
         }
     }
@@ -653,6 +674,7 @@ fn newton(
         converged: false,
         iterations: max_iter,
         residual: last_res,
+        timed_out: false,
     }
 }
 
@@ -688,6 +710,10 @@ pub fn dc_operating_point_with(
     circuit: &Circuit,
     opts: &DcOptions,
 ) -> SpiceResult<OperatingPoint> {
+    #[cfg(feature = "faults")]
+    if let Some(e) = injected_dc_fault() {
+        return Err(e);
+    }
     if !ws.matches(circuit) {
         *ws = DcWorkspace::with_solver(circuit, ws.choice)?;
     }
@@ -697,7 +723,7 @@ pub fn dc_operating_point_with(
     ws.sparse_failed = false;
     ws.stamp_linear_base(circuit);
     let out = solve_cold(ws, circuit, opts);
-    if out.is_err() && ws.sparse_failed {
+    if retry_dense(&out) && ws.sparse_failed {
         // A static sparse pivot underflowed somewhere in the ladder; the
         // dense oracle's partial pivoting may still converge.
         ws.demote_to_dense(circuit);
@@ -705,6 +731,32 @@ pub fn dc_operating_point_with(
         return solve_cold(ws, circuit, opts);
     }
     out
+}
+
+/// Whether a failed cold solve is worth retrying on the dense engine: an
+/// expired deadline is not — the budget is gone, and a dense re-solve
+/// would only blow further past it.
+fn retry_dense(out: &SpiceResult<OperatingPoint>) -> bool {
+    matches!(out, Err(e) if !matches!(e, SpiceError::Timeout { .. }))
+}
+
+/// Maps an armed `dc_solve` fault-injection rule to the failure the rest
+/// of the stack must absorb. `Corrupt` has no datum to corrupt at this
+/// layer, so it degrades to a convergence failure.
+#[cfg(feature = "faults")]
+fn injected_dc_fault() -> Option<SpiceError> {
+    use adc_numerics::faults::{self, FaultAction};
+    match faults::check(faults::SITE_DC_SOLVE)? {
+        FaultAction::FailConvergence | FaultAction::Corrupt => Some(SpiceError::DcConvergence {
+            residual: f64::INFINITY,
+            iterations: 0,
+        }),
+        FaultAction::Panic => panic!("injected fault: dc_solve panic"),
+        FaultAction::Timeout => Some(SpiceError::Timeout {
+            analysis: "dc",
+            iterations: 0,
+        }),
+    }
 }
 
 /// Iteration cap for the warm-start Newton attempt: a good initial guess
@@ -730,6 +782,10 @@ pub fn dc_operating_point_warm(
     circuit: &Circuit,
     opts: &DcOptions,
 ) -> SpiceResult<OperatingPoint> {
+    #[cfg(feature = "faults")]
+    if let Some(e) = injected_dc_fault() {
+        return Err(e);
+    }
     if !ws.matches(circuit) {
         *ws = DcWorkspace::with_solver(circuit, ws.choice)?;
     }
@@ -749,15 +805,22 @@ pub fn dc_operating_point_warm(
             gmin: opts.gmin,
             nodeset: HashMap::new(),
             damping: opts.damping,
+            deadline: opts.deadline,
         };
         let out = newton(ws, circuit, &tight, tight.gmin, 1.0, WARM_MAX_ITER);
         if out.converged {
             return Ok(OperatingPoint::from_solution(circuit, &ws.map, &ws.x));
         }
+        if out.timed_out {
+            return Err(SpiceError::Timeout {
+                analysis: "dc",
+                iterations: out.iterations,
+            });
+        }
         ws.warm_valid = false;
     }
     let out = solve_cold(ws, circuit, opts);
-    if out.is_err() && ws.sparse_failed {
+    if retry_dense(&out) && ws.sparse_failed {
         ws.demote_to_dense(circuit);
         ws.stamp_linear_base(circuit);
         return solve_cold(ws, circuit, opts);
@@ -784,6 +847,10 @@ fn solve_cold(
     ws.x0.copy_from_slice(&ws.x);
 
     let mut total_iters = 0;
+    let timeout = |iters: usize| SpiceError::Timeout {
+        analysis: "dc",
+        iterations: iters,
+    };
 
     // Stage 1: plain Newton.
     let out = newton(ws, circuit, opts, opts.gmin, 1.0, opts.max_iter);
@@ -791,6 +858,9 @@ fn solve_cold(
     if out.converged {
         ws.warm_valid = true;
         return Ok(OperatingPoint::from_solution(circuit, &ws.map, &ws.x));
+    }
+    if out.timed_out {
+        return Err(timeout(total_iters));
     }
 
     // Stage 2: g_min stepping.
@@ -801,6 +871,9 @@ fn solve_cold(
         let out = newton(ws, circuit, opts, g, 1.0, opts.max_iter);
         total_iters += out.iterations;
         if !out.converged {
+            if out.timed_out {
+                return Err(timeout(total_iters));
+            }
             ok = false;
             break;
         }
@@ -812,6 +885,9 @@ fn solve_cold(
         if out.converged {
             ws.warm_valid = true;
             return Ok(OperatingPoint::from_solution(circuit, &ws.map, &ws.x));
+        }
+        if out.timed_out {
+            return Err(timeout(total_iters));
         }
     }
 
@@ -825,6 +901,9 @@ fn solve_cold(
         total_iters += out.iterations;
         last_residual = out.residual;
         if !out.converged {
+            if out.timed_out {
+                return Err(timeout(total_iters));
+            }
             ok = false;
             break;
         }
@@ -835,6 +914,9 @@ fn solve_cold(
         if out.converged {
             ws.warm_valid = true;
             return Ok(OperatingPoint::from_solution(circuit, &ws.map, &ws.x));
+        }
+        if out.timed_out {
+            return Err(timeout(total_iters));
         }
         last_residual = out.residual;
     }
@@ -864,6 +946,46 @@ mod tests {
         assert!((op.voltage(vin) - 3.0).abs() < 1e-12);
         // Source branch current: 3V across 3k → 1 mA flowing n→p inside.
         assert!((op.branch_current("V1").unwrap() + 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_timeout() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, 3.0);
+        c.add_resistor("R1", vin, out, 1e3);
+        c.add_resistor("R2", out, Circuit::GROUND, 2e3);
+        let opts = DcOptions {
+            deadline: adc_numerics::Deadline::within(std::time::Duration::from_secs(0)),
+            ..DcOptions::default()
+        };
+        match dc_operating_point(&c, &opts) {
+            Err(SpiceError::Timeout { analysis: "dc", .. }) => {}
+            other => panic!("expected dc timeout, got {other:?}"),
+        }
+        // An unlimited deadline solves identically to the default options.
+        let op = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        assert!((op.voltage(out) - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_solve_respects_deadline() {
+        let mut c = Circuit::new();
+        let n1 = c.node("n1");
+        c.add_isource("I1", Circuit::GROUND, n1, 1e-3);
+        c.add_resistor("R1", n1, Circuit::GROUND, 2e3);
+        let mut ws = DcWorkspace::new(&c).unwrap();
+        // Prime the warm state, then expire the budget.
+        dc_operating_point_with(&mut ws, &c, &DcOptions::default()).unwrap();
+        let opts = DcOptions {
+            deadline: adc_numerics::Deadline::within(std::time::Duration::from_secs(0)),
+            ..DcOptions::default()
+        };
+        match dc_operating_point_warm(&mut ws, &c, &opts) {
+            Err(SpiceError::Timeout { analysis: "dc", .. }) => {}
+            other => panic!("expected warm dc timeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub enum SpiceError {
     NotFound(String),
     /// The netlist is structurally invalid.
     BadNetlist(String),
+    /// A cooperative wall-clock deadline expired mid-analysis.
+    Timeout {
+        /// The analysis that ran out of budget (`"dc"`, `"tran"`...).
+        analysis: &'static str,
+        /// Iterations or timesteps completed before the budget ran out.
+        iterations: usize,
+    },
 }
 
 impl std::fmt::Display for SpiceError {
@@ -86,6 +93,13 @@ impl std::fmt::Display for SpiceError {
             SpiceError::Singular(what) => write!(f, "singular MNA system: {what}"),
             SpiceError::NotFound(name) => write!(f, "no such element or node: {name}"),
             SpiceError::BadNetlist(msg) => write!(f, "bad netlist: {msg}"),
+            SpiceError::Timeout {
+                analysis,
+                iterations,
+            } => write!(
+                f,
+                "{analysis} analysis exceeded its wall-clock budget after {iterations} iterations"
+            ),
         }
     }
 }
@@ -113,6 +127,12 @@ mod tests {
         assert!(SpiceError::BadNetlist("loop".into())
             .to_string()
             .contains("loop"));
+        assert!(SpiceError::Timeout {
+            analysis: "dc",
+            iterations: 12,
+        }
+        .to_string()
+        .contains("budget"));
     }
 
     #[test]

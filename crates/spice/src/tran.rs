@@ -35,7 +35,7 @@ use crate::{SpiceError, SpiceResult};
 use adc_numerics::linalg::Lu;
 use adc_numerics::quant::quantize_rel;
 use adc_numerics::sparse::{prefer_sparse, CsrMatrix, CsrPattern, SparseLu, Symbolic};
-use adc_numerics::Matrix;
+use adc_numerics::{Deadline, Matrix};
 
 /// Floating-node leak conductance added to every node diagonal, S.
 const TRAN_GMIN: f64 = 1e-12;
@@ -160,6 +160,11 @@ pub struct TranOptions {
     pub max_iter: usize,
     /// Voltage convergence tolerance.
     pub vtol: f64,
+    /// Cooperative wall-clock budget, checked once per timestep (fixed)
+    /// or step attempt (adaptive). An expired deadline turns the run into
+    /// [`SpiceError::Timeout`]; the default is unlimited and costs
+    /// nothing.
+    pub deadline: Deadline,
 }
 
 impl Default for TranOptions {
@@ -171,6 +176,7 @@ impl Default for TranOptions {
             ic: InitialCondition::Zero,
             max_iter: 60,
             vtol: 1e-9,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -1145,6 +1151,12 @@ impl TranWorkspace {
         out.push_sample(0.0, &self.x);
         self.set_dt(opts.dt);
         for step in 1..=n_steps {
+            if opts.deadline.expired() {
+                return Err(SpiceError::Timeout {
+                    analysis: "tran",
+                    iterations: step - 1,
+                });
+            }
             let t = step as f64 * opts.dt;
             let phase = opts.clock.as_ref().and_then(|c| c.active_phase(t));
             self.set_phase(phase);
@@ -1198,6 +1210,12 @@ impl TranWorkspace {
         let max_attempts = 20_000_000usize;
         let mut attempts = 0usize;
         while t < opts.tstop - teps {
+            if opts.deadline.expired() {
+                return Err(SpiceError::Timeout {
+                    analysis: "tran",
+                    iterations: attempts,
+                });
+            }
             attempts += 1;
             if attempts > max_attempts {
                 return Err(SpiceError::DcConvergence {
@@ -1294,8 +1312,15 @@ pub fn transient_with(
     circuit: &Circuit,
     opts: &TranOptions,
 ) -> SpiceResult<TranResult> {
+    #[cfg(feature = "faults")]
+    if let Some(e) = injected_tran_fault() {
+        return Err(e);
+    }
     ws.sparse_failed = false;
     match ws.run_fixed(circuit, opts) {
+        // An expired budget is final: a dense re-run would only blow
+        // further past it.
+        Err(e @ SpiceError::Timeout { .. }) => Err(e),
         Err(e) => {
             if ws.sparse_failed {
                 ws.demote_to_dense(circuit);
@@ -1305,6 +1330,25 @@ pub fn transient_with(
             }
         }
         ok => ok,
+    }
+}
+
+/// Maps an armed `tran_solve` fault-injection rule to the failure the rest
+/// of the stack must absorb. `Corrupt` has no datum to corrupt at this
+/// layer, so it degrades to a convergence failure.
+#[cfg(feature = "faults")]
+fn injected_tran_fault() -> Option<SpiceError> {
+    use adc_numerics::faults::{self, FaultAction};
+    match faults::check(faults::SITE_TRAN_SOLVE)? {
+        FaultAction::FailConvergence | FaultAction::Corrupt => Some(SpiceError::DcConvergence {
+            residual: f64::INFINITY,
+            iterations: 0,
+        }),
+        FaultAction::Panic => panic!("injected fault: tran_solve panic"),
+        FaultAction::Timeout => Some(SpiceError::Timeout {
+            analysis: "tran",
+            iterations: 0,
+        }),
     }
 }
 
@@ -1323,8 +1367,13 @@ pub fn transient_adaptive(
     opts: &TranOptions,
     cfg: &TimeStepConfig,
 ) -> SpiceResult<TranResult> {
+    #[cfg(feature = "faults")]
+    if let Some(e) = injected_tran_fault() {
+        return Err(e);
+    }
     ws.sparse_failed = false;
     match ws.run_adaptive(circuit, opts, cfg) {
+        Err(e @ SpiceError::Timeout { .. }) => Err(e),
         Err(e) => {
             if ws.sparse_failed {
                 ws.demote_to_dense(circuit);
@@ -1408,6 +1457,12 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> SpiceResult<TranResul
     let geq_of = |c: f64| 2.0 * c / opts.dt; // trapezoidal companion
 
     for step in 1..=n_steps {
+        if opts.deadline.expired() {
+            return Err(SpiceError::Timeout {
+                analysis: "tran",
+                iterations: step - 1,
+            });
+        }
         let t = step as f64 * opts.dt;
         // Newton loop at this time point.
         let mut converged = false;
@@ -1621,6 +1676,41 @@ mod tests {
     use super::*;
     use crate::netlist::Circuit;
     use crate::waveform::Waveform;
+
+    #[test]
+    fn expired_deadline_is_a_typed_timeout() {
+        let mut c = Circuit::new();
+        let n1 = c.node("n1");
+        c.add_vsource("V1", n1, Circuit::GROUND, 1.0);
+        let n2 = c.node("n2");
+        c.add_resistor("R1", n1, n2, 1e3);
+        c.add_capacitor("C1", n2, Circuit::GROUND, 1e-9);
+        let opts = TranOptions {
+            tstop: 1e-6,
+            dt: 1e-9,
+            deadline: Deadline::within(std::time::Duration::from_secs(0)),
+            ..Default::default()
+        };
+        // Oracle, fixed-step workspace, and adaptive paths all report the
+        // typed timeout.
+        for result in [
+            transient(&c, &opts),
+            transient_with(&mut TranWorkspace::new(&c).unwrap(), &c, &opts),
+            transient_adaptive(
+                &mut TranWorkspace::new(&c).unwrap(),
+                &c,
+                &opts,
+                &TimeStepConfig::default(),
+            ),
+        ] {
+            match result {
+                Err(SpiceError::Timeout {
+                    analysis: "tran", ..
+                }) => {}
+                other => panic!("expected tran timeout, got {other:?}"),
+            }
+        }
+    }
 
     #[test]
     fn rc_charging_curve() {

@@ -9,6 +9,7 @@ use crate::constraints::{all_satisfied, total_violation, Constraint};
 use crate::evaluator::{EvalOutcome, Evaluator, Performance};
 use crate::space::DesignSpace;
 use adc_numerics::quant::quantize_rel;
+use adc_numerics::Deadline;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,6 +42,12 @@ pub struct AnnealConfig {
     /// that lets [`AnnealConfig::warm_tail_frac`] > 0 leave trajectories
     /// unperturbed. `None` compares raw costs.
     pub cost_quant_digits: Option<u32>,
+    /// Cooperative wall-clock budget, checked once per annealing step. An
+    /// expired deadline stops the schedule early and marks the result
+    /// [`AnnealResult::timed_out`]; the default is unlimited and the check
+    /// costs nothing. Never part of any fingerprint — an unexpired
+    /// deadline leaves the trajectory bit-identical to no deadline.
+    pub deadline: Deadline,
 }
 
 impl Default for AnnealConfig {
@@ -52,6 +59,7 @@ impl Default for AnnealConfig {
             seed: 1,
             warm_tail_frac: 0.3,
             cost_quant_digits: Some(6),
+            deadline: Deadline::none(),
         }
     }
 }
@@ -71,6 +79,9 @@ pub struct AnnealResult {
     pub evaluations: usize,
     /// Best-cost trace (one entry per iteration).
     pub history: Vec<f64>,
+    /// The schedule stopped early because [`AnnealConfig::deadline`]
+    /// expired. The partial best-so-far is still reported.
+    pub timed_out: bool,
 }
 
 /// Scalar cost of an outcome: `PENALTY_WEIGHT·Σviolations + obj/obj_ref`.
@@ -174,13 +185,22 @@ pub fn anneal<E: Evaluator>(
     let t_end = spread * 1e-5;
 
     let mut history = Vec::with_capacity(cfg.iterations);
+    let mut timed_out = cfg.deadline.expired();
     let n = cfg.iterations.max(1);
     // First iteration of the warm-start tail (n → tail disabled).
     let tail_len = (cfg.warm_tail_frac.clamp(0.0, 1.0) * n as f64) as usize;
     let tail_start = n - tail_len.min(n);
+    let mut local_phase_on = false;
     for k in 0..n {
+        // Deadline check at anneal-step granularity; the partial search
+        // state (best-so-far, history prefix) is preserved.
+        if cfg.deadline.expired() {
+            timed_out = true;
+            break;
+        }
         if tail_len > 0 && k == tail_start {
             evaluator.set_local_phase(true);
+            local_phase_on = true;
         }
         let frac = k as f64 / n as f64;
         let temp = t0 * (t_end / t0).powf(frac);
@@ -204,7 +224,7 @@ pub fn anneal<E: Evaluator>(
         }
         history.push(best_cost);
     }
-    if tail_len > 0 {
+    if local_phase_on {
         evaluator.set_local_phase(false);
     }
 
@@ -218,6 +238,7 @@ pub fn anneal<E: Evaluator>(
         feasible,
         evaluations,
         history,
+        timed_out,
     }
 }
 
@@ -327,6 +348,29 @@ mod tests {
         let x = space2().denormalize(&r.best_u);
         assert!(x[0] >= 5.0, "{x:?}");
         assert!(r.best_perf.is_some());
+    }
+
+    #[test]
+    fn expired_deadline_stops_early_with_partial_best() {
+        let cfg = AnnealConfig {
+            iterations: 3000,
+            seed: 3,
+            deadline: Deadline::within(std::time::Duration::from_secs(0)),
+            ..Default::default()
+        };
+        let r = anneal(&space2(), &sphere_eval, &[], "obj", &cfg, None);
+        assert!(r.timed_out);
+        // The probe phase still ran, so a best-so-far exists and history
+        // holds no main-loop entries.
+        assert!(r.best_perf.is_some());
+        assert!(r.history.is_empty());
+        // An unlimited deadline is not reported as a timeout.
+        let cfg = AnnealConfig {
+            iterations: 50,
+            seed: 3,
+            ..Default::default()
+        };
+        assert!(!anneal(&space2(), &sphere_eval, &[], "obj", &cfg, None).timed_out);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use adc_sfg::nettf::{extract_tf_with, NetTfOptions, NetTfWorkspace};
 use adc_spice::dc::{dc_operating_point_warm, dc_operating_point_with, DcOptions, DcWorkspace};
 use adc_spice::mosfet::Region;
 use adc_spice::netlist::{Circuit, NodeId};
+use adc_spice::SolverChoice;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -111,6 +112,10 @@ pub struct HybridOptions {
     /// to the rebuild-everything path. Disable to force cold starts
     /// everywhere.
     pub warm_start_local: bool,
+    /// Linear-solver engine for the DC workspace. `Auto` (the default)
+    /// keeps the size-based sparse/dense selection; a recovery ladder can
+    /// force `Dense` to sidestep an unlucky static sparse pivot.
+    pub solver: SolverChoice,
 }
 
 impl Default for HybridOptions {
@@ -130,6 +135,7 @@ impl Default for HybridOptions {
                 ..Default::default()
             },
             warm_start_local: true,
+            solver: SolverChoice::Auto,
         }
     }
 }
@@ -155,7 +161,12 @@ impl HybridOptions {
                 adc_spice::dc::DcDamping::Global => 0,
                 adc_spice::dc::DcDamping::PerNode => 1,
             })
-            .add_u64(u64::from(self.warm_start_local));
+            .add_u64(u64::from(self.warm_start_local))
+            .add_u64(match self.solver {
+                SolverChoice::Auto => 0,
+                SolverChoice::Dense => 1,
+                SolverChoice::Sparse => 2,
+            });
         // Nodesets are keyed maps; fold them in sorted order so insertion
         // order cannot perturb the digest.
         let mut nodesets: Vec<(&String, &f64)> = self.dc.nodeset.iter().collect();
@@ -234,7 +245,7 @@ where
         let bench = state.bench.as_ref().expect("bench materialized above");
         // Leg 1: DC simulation (persistent workspace).
         if state.dc.is_none() {
-            match DcWorkspace::new(&bench.circuit) {
+            match DcWorkspace::with_solver(&bench.circuit, self.opts.solver) {
                 Ok(ws) => state.dc = Some(ws),
                 Err(e) => return EvalOutcome::Failed(format!("DC: {e}")),
             }

@@ -57,7 +57,7 @@ pub mod tran_chain;
 pub use chain::{ChainEvaluator, ChainOptions, ChainReport};
 pub use constraints::{Constraint, ConstraintKind};
 pub use evaluator::{EvalOutcome, Evaluator, Performance};
-pub use runner::{SynthConfig, SynthResult, Synthesizer, WarmStart};
+pub use runner::{SynthConfig, SynthError, SynthResult, Synthesizer, WarmStart};
 pub use space::{DesignSpace, DesignVar};
 pub use tran_chain::{
     TranChainEvaluator, TranChainOptions, TranChainReport, TranChainSetup, TranStageReport,

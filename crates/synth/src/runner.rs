@@ -7,7 +7,35 @@ use crate::evaluator::{EvalOutcome, Evaluator, Performance};
 use crate::neldermead::nelder_mead;
 use crate::space::DesignSpace;
 use adc_numerics::quant::Fingerprint;
+use adc_numerics::Deadline;
 use std::cell::Cell;
+
+/// Typed failure of a budgeted synthesis run ([`Synthesizer::try_execute`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// The wall-clock budget expired before the search finished.
+    Timeout {
+        /// Evaluator calls consumed before the budget ran out.
+        evaluations: usize,
+    },
+    /// The search could not produce a usable result (e.g. an injected
+    /// non-convergence fault during chaos testing).
+    Failed(String),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::Timeout { evaluations } => write!(
+                f,
+                "synthesis exceeded its wall-clock budget after {evaluations} evaluations"
+            ),
+            SynthError::Failed(msg) => write!(f, "synthesis failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
 
 /// Significant decimal digits used when quantizing problem parameters
 /// (constraint targets, bounds) into fingerprints — the synthesis layer's
@@ -236,6 +264,39 @@ impl Synthesizer {
         }
     }
 
+    /// Anneal + polish with a cooperative deadline: the annealing schedule
+    /// checks it per step, and the Nelder–Mead polish is only entered when
+    /// budget remains (a result that survives polish is a success even if
+    /// the deadline expires at the very end).
+    fn run_budgeted<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        sa_cfg: AnnealConfig,
+        start_u: Option<&[f64]>,
+        nm_iterations: usize,
+    ) -> Result<SynthResult, SynthError> {
+        let deadline = sa_cfg.deadline;
+        let sa = anneal(
+            &self.space,
+            evaluator,
+            &self.constraints,
+            &self.objective,
+            &sa_cfg,
+            start_u,
+        );
+        if sa.timed_out {
+            return Err(SynthError::Timeout {
+                evaluations: sa.evaluations,
+            });
+        }
+        if deadline.expired() {
+            return Err(SynthError::Timeout {
+                evaluations: sa.evaluations,
+            });
+        }
+        Ok(self.finish(evaluator, sa, nm_iterations))
+    }
+
     /// Cold synthesis: global annealing + local polish.
     pub fn synthesize<E: Evaluator>(&self, evaluator: &E, cfg: &SynthConfig) -> SynthResult {
         let sa_cfg = AnnealConfig {
@@ -245,16 +306,10 @@ impl Synthesizer {
             seed: cfg.seed,
             warm_tail_frac: cfg.warm_tail_frac,
             cost_quant_digits: cfg.cost_quant_digits,
+            deadline: Deadline::none(),
         };
-        let sa = anneal(
-            &self.space,
-            evaluator,
-            &self.constraints,
-            &self.objective,
-            &sa_cfg,
-            None,
-        );
-        self.finish(evaluator, sa, cfg.nm_iterations)
+        self.run_budgeted(evaluator, sa_cfg, None, cfg.nm_iterations)
+            .expect("unlimited deadline cannot time out")
     }
 
     /// Retargeting: re-synthesize with a warm start from a previous result,
@@ -274,16 +329,10 @@ impl Synthesizer {
             seed: r.seed,
             warm_tail_frac: r.warm_tail_frac,
             cost_quant_digits: r.cost_quant_digits,
+            deadline: Deadline::none(),
         };
-        let sa = anneal(
-            &self.space,
-            evaluator,
-            &self.constraints,
-            &self.objective,
-            &sa_cfg,
-            Some(&previous.best_u),
-        );
-        self.finish(evaluator, sa, r.nm_iterations)
+        self.run_budgeted(evaluator, sa_cfg, Some(&previous.best_u), r.nm_iterations)
+            .expect("unlimited deadline cannot time out")
     }
 
     /// Unified entry point dispatching on the [`WarmStart`] mode.
@@ -303,6 +352,68 @@ impl Synthesizer {
             WarmStart::Retarget(prev) => self.retarget(evaluator, prev, cfg),
             WarmStart::Reuse(hit) => hit.clone(),
         }
+    }
+
+    /// [`Synthesizer::execute`] with a cooperative wall-clock budget and a
+    /// typed error channel: an expired `deadline` yields
+    /// [`SynthError::Timeout`] instead of an open-ended search. An
+    /// unlimited deadline takes a path bit-identical to
+    /// [`Synthesizer::execute`]. [`WarmStart::Reuse`] never times out —
+    /// returning a stored result consumes no budget.
+    pub fn try_execute<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        cfg: &SynthConfig,
+        start: WarmStart<'_>,
+        deadline: Deadline,
+    ) -> Result<SynthResult, SynthError> {
+        #[cfg(feature = "faults")]
+        if let Some(e) = injected_synth_fault() {
+            return Err(e);
+        }
+        match start {
+            WarmStart::Reuse(hit) => Ok(hit.clone()),
+            WarmStart::Cold => {
+                let sa_cfg = AnnealConfig {
+                    iterations: cfg.iterations,
+                    sigma0: cfg.sigma0,
+                    sigma_end: cfg.sigma_end,
+                    seed: cfg.seed,
+                    warm_tail_frac: cfg.warm_tail_frac,
+                    cost_quant_digits: cfg.cost_quant_digits,
+                    deadline,
+                };
+                self.run_budgeted(evaluator, sa_cfg, None, cfg.nm_iterations)
+            }
+            WarmStart::Retarget(prev) => {
+                let r = cfg.retarget_budget();
+                let sa_cfg = AnnealConfig {
+                    iterations: r.iterations,
+                    sigma0: r.sigma0,
+                    sigma_end: r.sigma_end,
+                    seed: r.seed,
+                    warm_tail_frac: r.warm_tail_frac,
+                    cost_quant_digits: r.cost_quant_digits,
+                    deadline,
+                };
+                self.run_budgeted(evaluator, sa_cfg, Some(&prev.best_u), r.nm_iterations)
+            }
+        }
+    }
+}
+
+/// Maps an armed `synth_execute` fault-injection rule to the typed failure
+/// the flow layer must absorb. `Corrupt` has no cache datum at this layer,
+/// so it degrades to a generic failure.
+#[cfg(feature = "faults")]
+fn injected_synth_fault() -> Option<SynthError> {
+    use adc_numerics::faults::{self, FaultAction};
+    match faults::check(faults::SITE_SYNTH_EXECUTE)? {
+        FaultAction::FailConvergence | FaultAction::Corrupt => Some(SynthError::Failed(
+            "injected fault: synthesis non-convergence".into(),
+        )),
+        FaultAction::Panic => panic!("injected fault: synth_execute panic"),
+        FaultAction::Timeout => Some(SynthError::Timeout { evaluations: 0 }),
     }
 }
 
@@ -389,6 +500,33 @@ mod tests {
         };
         let run = synth.synthesize(&amp_eval, &cfg);
         assert!(!run.feasible);
+    }
+
+    #[test]
+    fn try_execute_unlimited_matches_execute_and_zero_budget_times_out() {
+        let synth = Synthesizer::new(amp_space(), amp_constraints(60.0, 1e6), "power");
+        let cfg = SynthConfig {
+            iterations: 600,
+            seed: 14,
+            ..Default::default()
+        };
+        let plain = synth.execute(&amp_eval, &cfg, WarmStart::Cold);
+        let budgeted = synth
+            .try_execute(&amp_eval, &cfg, WarmStart::Cold, Deadline::none())
+            .unwrap();
+        assert_eq!(plain.best_x, budgeted.best_x);
+        assert_eq!(plain.evaluations, budgeted.evaluations);
+
+        let expired = Deadline::within(std::time::Duration::from_secs(0));
+        match synth.try_execute(&amp_eval, &cfg, WarmStart::Cold, expired) {
+            Err(SynthError::Timeout { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // Reuse is a cache hit: no budget consumed, never a timeout.
+        let reused = synth
+            .try_execute(&amp_eval, &cfg, WarmStart::Reuse(&plain), expired)
+            .unwrap();
+        assert_eq!(reused.best_x, plain.best_x);
     }
 
     #[test]

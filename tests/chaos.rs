@@ -1,0 +1,335 @@
+//! Deterministic chaos suite: seeded fault injection into the guarded
+//! candidate-set flow (`--features faults`).
+//!
+//! Contract under test: a single injected fault at any layer — synthesis,
+//! executor, cache commit — produces either a **deterministic degraded
+//! ranking** (the failed block is reported in [`SynthesisRun::failures`],
+//! survivors are bit-identical across thread counts and to the serial
+//! oracle) or a typed error, and never a process-level unwind. Zero-fault
+//! guarded runs are bit-identical to the unguarded historical path.
+#![cfg(feature = "faults")]
+
+use pipelined_adc::mdac::power::PowerModelParams;
+use pipelined_adc::mdac::specs::AdcSpec;
+use pipelined_adc::numerics::faults::{
+    self, FaultAction, FaultPlan, FaultRule, SITE_CACHE_COMMIT, SITE_EXECUTOR_TASK,
+    SITE_SYNTH_EXECUTE,
+};
+use pipelined_adc::synth::SynthConfig;
+use pipelined_adc::topopt::cache::{BlockCache, CachePolicy};
+use pipelined_adc::topopt::enumerate::enumerate_candidates;
+use pipelined_adc::topopt::executor::{ExecutorOptions, FailureKind};
+use pipelined_adc::topopt::flow::{
+    surviving_candidates, synthesize_candidate_set_guarded,
+    synthesize_candidate_set_serial_guarded, FlowOptions, MdacBlock, SynthesisRun,
+};
+use std::sync::Mutex;
+
+/// The fault registry is process-global; chaos tests take this lock so
+/// concurrent test threads never see each other's plans.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn cfg() -> SynthConfig {
+    SynthConfig {
+        iterations: 10,
+        nm_iterations: 2,
+        seed: 9,
+        ..Default::default()
+    }
+}
+
+/// The 13-bit guarded candidate-set run (no cache) under the given plan.
+fn run_13bit(plan: Option<FaultPlan>, threads: Option<usize>) -> SynthesisRun {
+    let spec = AdcSpec::date05(13);
+    let params = PowerModelParams::calibrated();
+    let cands = enumerate_candidates(13, 7);
+    match plan {
+        Some(p) => faults::install(p),
+        None => faults::clear(),
+    }
+    let exec = match threads {
+        Some(t) => ExecutorOptions::with_threads(t),
+        None => ExecutorOptions::default(),
+    };
+    let run = synthesize_candidate_set_guarded(
+        &spec,
+        &cands,
+        &params,
+        &cfg(),
+        None,
+        &exec,
+        &FlowOptions::default(),
+    );
+    faults::clear();
+    run
+}
+
+fn assert_blocks_bit_identical(label: &str, a: &[MdacBlock], b: &[MdacBlock]) {
+    assert_eq!(a.len(), b.len(), "{label}: block count");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.key, y.key, "{label}");
+        assert_eq!(x.result.best_x, y.result.best_x, "{label}: key {:?}", x.key);
+        assert_eq!(
+            x.result.best_cost, y.result.best_cost,
+            "{label}: key {:?}",
+            x.key
+        );
+        assert_eq!(
+            x.result.evaluations, y.result.evaluations,
+            "{label}: key {:?}",
+            x.key
+        );
+    }
+}
+
+/// Kills every rung of the ladder for block (2, 8): the block is reported
+/// as a casualty, survivors are bit-identical across the serial oracle and
+/// 1/2/4-thread executors, and candidates needing the block drop out of
+/// the ranking.
+#[test]
+fn persistent_synth_fault_degrades_ranking_deterministically() {
+    let _g = lock();
+    let kill_all_rungs = || FaultPlan {
+        seed: 1,
+        rules: (0..3)
+            .map(|r| FaultRule::first(SITE_SYNTH_EXECUTE, &format!("m2a8r{r}"), FaultAction::Panic))
+            .collect(),
+    };
+    let serial = {
+        let spec = AdcSpec::date05(13);
+        let params = PowerModelParams::calibrated();
+        let cands = enumerate_candidates(13, 7);
+        faults::install(kill_all_rungs());
+        let run = synthesize_candidate_set_serial_guarded(
+            &spec,
+            &cands,
+            &params,
+            &cfg(),
+            None,
+            &FlowOptions::default(),
+        );
+        faults::clear();
+        run
+    };
+    assert_eq!(serial.failures.len(), 1, "exactly one casualty");
+    assert_eq!(serial.failures[0].key, (2, 8));
+    assert_eq!(serial.failures[0].failure.kind, FailureKind::Panic);
+    assert_eq!(serial.failures[0].failure.attempts, 3, "full ladder spent");
+    assert_eq!(serial.stats.failed, 1);
+    assert!(serial.blocks.iter().all(|b| b.key != (2, 8)));
+    for threads in [1, 2, 4] {
+        let parallel = run_13bit(Some(kill_all_rungs()), Some(threads));
+        assert_blocks_bit_identical(
+            &format!("threads={threads}"),
+            &serial.blocks,
+            &parallel.blocks,
+        );
+        assert_eq!(serial.stats, parallel.stats, "threads={threads}");
+        assert_eq!(serial.failures.len(), parallel.failures.len());
+        assert_eq!(serial.failures[0].key, parallel.failures[0].key);
+    }
+    // Degraded ranking: candidates that need (2, 8) are not rankable.
+    let spec = AdcSpec::date05(13);
+    let cands = enumerate_candidates(13, 7);
+    let survivors = surviving_candidates(&spec, &cands, &serial);
+    assert!(survivors.len() < cands.len(), "some candidates must drop");
+    assert!(!survivors.is_empty(), "some candidates must survive");
+}
+
+/// A timeout fault is typed and final: the ladder does not retry it.
+#[test]
+fn timeout_fault_is_typed_and_final() {
+    let _g = lock();
+    let plan = FaultPlan::single(
+        2,
+        FaultRule::first(SITE_SYNTH_EXECUTE, "m2a8r0", FaultAction::Timeout),
+    );
+    let run = run_13bit(Some(plan), Some(2));
+    assert_eq!(run.failures.len(), 1);
+    let f = &run.failures[0].failure;
+    assert_eq!(f.kind, FailureKind::Timeout);
+    assert_eq!(f.attempts, 1, "timeouts must not ride the retry ladder");
+    assert!(run.clone().into_result().is_err());
+}
+
+/// A fault that hits only the first attempt is healed by the recovery
+/// ladder: no casualties, the recovery is counted, and every block the
+/// fault did not touch is bit-identical to the zero-fault run.
+#[test]
+fn recovery_ladder_rescues_single_attempt_fault() {
+    let _g = lock();
+    let clean = run_13bit(None, Some(2));
+    let plan = FaultPlan::single(
+        3,
+        FaultRule::first(SITE_SYNTH_EXECUTE, "m2a8r0", FaultAction::Panic),
+    );
+    let run = run_13bit(Some(plan), Some(2));
+    assert!(run.failures.is_empty(), "{:?}", run.failures);
+    assert_eq!(run.stats.recovered, 1);
+    assert_eq!(run.stats.attempts, run.stats.blocks + 1);
+    assert_eq!(run.blocks.len(), clean.blocks.len());
+    for (a, b) in clean.blocks.iter().zip(run.blocks.iter()) {
+        assert_eq!(a.key, b.key);
+        if a.key != (2, 8) && !b.retargeted {
+            // Cold blocks away from the fault are untouched; retargeted
+            // blocks may chain off the recovered result.
+            assert_eq!(a.result.best_x, b.result.best_x, "key {:?}", a.key);
+        }
+    }
+}
+
+/// An executor-level fault (before the block runner even starts) is
+/// isolated to its task and pinned deterministically by task scope.
+#[test]
+fn executor_fault_is_isolated_to_one_task() {
+    let _g = lock();
+    let plan = FaultPlan::single(
+        4,
+        FaultRule::first(SITE_EXECUTOR_TASK, "task0", FaultAction::Panic),
+    );
+    let run = run_13bit(Some(plan), Some(4));
+    assert_eq!(run.failures.len(), 1);
+    assert_eq!(run.failures[0].failure.kind, FailureKind::Panic);
+    assert_eq!(run.stats.failed, 1);
+    assert_eq!(run.blocks.len() + 1, run.stats.blocks);
+}
+
+/// A corrupted cache commit is detected by the integrity stamp on the next
+/// lookup: the entry is dropped, the block re-synthesizes, and the replay
+/// stays bit-identical to a cache-cold run.
+#[test]
+fn corrupted_cache_commit_is_rejected_on_replay() {
+    let _g = lock();
+    let spec = AdcSpec::date05(10);
+    let params = PowerModelParams::calibrated();
+    let cands = enumerate_candidates(10, 7);
+    let exec = ExecutorOptions::default();
+    let flow = FlowOptions::default();
+    let mut cache = BlockCache::new(CachePolicy::Reproducible);
+    faults::install(FaultPlan::single(
+        5,
+        FaultRule::anywhere(SITE_CACHE_COMMIT, FaultAction::Corrupt),
+    ));
+    let first = synthesize_candidate_set_guarded(
+        &spec,
+        &cands,
+        &params,
+        &cfg(),
+        Some(&mut cache),
+        &exec,
+        &flow,
+    );
+    faults::clear();
+    assert!(first.failures.is_empty());
+    let replay = synthesize_candidate_set_guarded(
+        &spec,
+        &cands,
+        &params,
+        &cfg(),
+        Some(&mut cache),
+        &exec,
+        &flow,
+    );
+    assert_eq!(cache.stats().corrupt_dropped, 1, "{:?}", cache.stats());
+    assert_eq!(
+        replay.stats.cache_hits,
+        replay.stats.blocks - 1,
+        "all but the corrupted block replay from cache: {:?}",
+        replay.stats
+    );
+    assert_blocks_bit_identical("corrupt replay", &first.blocks, &replay.blocks);
+}
+
+/// Satellite 3: after a run where a block *recovered* off-plan (and was
+/// therefore not committed), a reproducible-cache replay is
+/// provenance-identical to a cache-cold run — tainted results never leak
+/// into later runs.
+#[test]
+fn reproducible_replay_after_recovered_failure_matches_cache_cold() {
+    let _g = lock();
+    let spec = AdcSpec::date05(10);
+    let params = PowerModelParams::calibrated();
+    let cands = enumerate_candidates(10, 7);
+    let exec = ExecutorOptions::default();
+    let flow = FlowOptions::default();
+    // Kill attempt 0 of the cheapest 10-bit block so it recovers off-plan.
+    let key = {
+        let probe =
+            synthesize_candidate_set_guarded(&spec, &cands, &params, &cfg(), None, &exec, &flow);
+        probe.blocks[0].key
+    };
+    let mut cache = BlockCache::new(CachePolicy::Reproducible);
+    faults::install(FaultPlan::single(
+        6,
+        FaultRule::first(
+            SITE_SYNTH_EXECUTE,
+            &format!("m{}a{}r0", key.0, key.1),
+            FaultAction::Panic,
+        ),
+    ));
+    let faulted = synthesize_candidate_set_guarded(
+        &spec,
+        &cands,
+        &params,
+        &cfg(),
+        Some(&mut cache),
+        &exec,
+        &flow,
+    );
+    faults::clear();
+    assert_eq!(faulted.stats.recovered, 1, "{:?}", faulted.stats);
+    // The recovered block (and anything chained off it) was not committed.
+    assert!(cache.len() < faulted.blocks.len());
+    // Replay against the partially warmed cache ≡ cache-cold run.
+    let replay = synthesize_candidate_set_guarded(
+        &spec,
+        &cands,
+        &params,
+        &cfg(),
+        Some(&mut cache),
+        &exec,
+        &flow,
+    );
+    let cold = synthesize_candidate_set_guarded(&spec, &cands, &params, &cfg(), None, &exec, &flow);
+    assert!(replay.stats.cache_hits > 0, "{:?}", replay.stats);
+    assert_blocks_bit_identical("replay vs cold", &cold.blocks, &replay.blocks);
+    assert!(replay.failures.is_empty());
+}
+
+/// Zero-fault guarded runs carry no overhead bookkeeping surprises: no
+/// casualties, one attempt per block, and bit-identical blocks between the
+/// serial oracle and the guarded executor with the faults feature enabled.
+#[test]
+fn zero_fault_guarded_runs_are_bit_identical() {
+    let _g = lock();
+    let spec = AdcSpec::date05(13);
+    let params = PowerModelParams::calibrated();
+    let cands = enumerate_candidates(13, 7);
+    faults::clear();
+    let serial = synthesize_candidate_set_serial_guarded(
+        &spec,
+        &cands,
+        &params,
+        &cfg(),
+        None,
+        &FlowOptions::default(),
+    );
+    assert!(serial.failures.is_empty());
+    assert_eq!(serial.stats.failed, 0);
+    assert_eq!(serial.stats.attempts, serial.stats.blocks);
+    for threads in [2, 4] {
+        let parallel = run_13bit(None, Some(threads));
+        assert_blocks_bit_identical(
+            &format!("zero-fault threads={threads}"),
+            &serial.blocks,
+            &parallel.blocks,
+        );
+        assert_eq!(serial.stats, parallel.stats);
+    }
+}
