@@ -39,6 +39,12 @@ const EXACT_METRICS: [&str; 3] = [
 /// Allowed symmetric fractional deviation for [`EXACT_METRICS`].
 const EXACT_TOLERANCE: f64 = 0.02;
 
+/// Metrics where **lower is better** (latencies): they gate one-sided in
+/// the opposite direction — a *rise* past the gate fails, a drop never
+/// does. The value still lives in the `evals_per_sec` slot of the report
+/// format; the name says what the number means.
+const INVERTED_METRICS: [&str; 1] = ["serve_p99_ms"];
+
 /// Resolves the gate width: env override or [`MAX_REGRESSION`].
 fn max_regression() -> f64 {
     std::env::var("BENCH_CHECK_MAX_REGRESSION")
@@ -121,6 +127,8 @@ fn evaluate_gate(baseline: &[Row], current: &[Row], max_regression: f64) -> Vec<
                 let delta = c.evals_per_sec / b.evals_per_sec - 1.0;
                 let ok = if EXACT_METRICS.contains(&b.name.as_str()) {
                     delta.abs() <= EXACT_TOLERANCE
+                } else if INVERTED_METRICS.contains(&b.name.as_str()) {
+                    delta <= max_regression
                 } else {
                     delta >= -max_regression
                 };
@@ -337,6 +345,30 @@ mod tests {
             row("hybrid_eval", 900.0),
         ];
         assert!(failures(&evaluate_gate(&baseline, &close, 0.30)).is_empty());
+    }
+
+    /// Inverted metrics (latencies) gate in the opposite direction: a p99
+    /// that *rises* past the gate fails, while a drop — which would fail a
+    /// throughput row of the same magnitude — is an improvement and passes.
+    #[test]
+    fn inverted_metrics_gate_on_rises_not_drops() {
+        let baseline = vec![row("serve_p99_ms", 100.0), row("hybrid_eval", 1000.0)];
+        let slower = vec![
+            row("serve_p99_ms", 140.0), // +40 % latency: fails at 30 % gate
+            row("hybrid_eval", 1000.0),
+        ];
+        let verdicts = evaluate_gate(&baseline, &slower, 0.30);
+        assert_eq!(failures(&verdicts), vec!["serve_p99_ms".to_string()]);
+        let faster = vec![
+            row("serve_p99_ms", 50.0), // −50 %: a win, never gates
+            row("hybrid_eval", 1000.0),
+        ];
+        assert!(failures(&evaluate_gate(&baseline, &faster, 0.30)).is_empty());
+        let slightly_slower = vec![
+            row("serve_p99_ms", 120.0), // +20 %: within the gate
+            row("hybrid_eval", 1000.0),
+        ];
+        assert!(failures(&evaluate_gate(&baseline, &slightly_slower, 0.30)).is_empty());
     }
 
     /// Real regressions on shared metrics still gate.

@@ -47,8 +47,8 @@ use adc_topopt::enumerate::enumerate_candidates;
 use adc_topopt::enumerate::Candidate;
 use adc_topopt::executor::ExecutorOptions;
 use adc_topopt::flow::{
-    ota_requirements, synthesize_candidate_set_serial, synthesize_candidate_set_waves,
-    synthesize_multi_resolution, synthesize_ota, OtaRequirements,
+    ota_requirements, run_flow, synthesize_candidate_set_waves, synthesize_multi_resolution,
+    synthesize_ota, FlowRequest, OtaRequirements,
 };
 use adc_topopt::verify::{build_candidate_testbench, verify_candidate, VerifyOptions};
 use std::hint::black_box;
@@ -218,7 +218,8 @@ fn main() {
         &flow_cfg,
         &mut cache,
         &ExecutorOptions::default(),
-    );
+    )
+    .expect("multi-resolution flow completed without casualties");
     let t_cached = t3.elapsed().as_secs_f64();
     let cached_blocks: usize = runs.iter().map(|r| r.stats.blocks).sum();
     let spent: usize = runs.iter().map(|r| r.stats.evaluations_spent).sum();
@@ -250,7 +251,11 @@ fn main() {
         ..Default::default()
     };
     let tg = Instant::now();
-    let guarded = synthesize_candidate_set_serial(&spec13g, &cands13, &params, &guard_cfg);
+    let guarded = run_flow(
+        &FlowRequest::new(&spec13g, &cands13, &params, &guard_cfg).serial(),
+        None,
+    )
+    .blocks;
     let t_guarded = tg.elapsed().as_secs_f64();
     let tr = Instant::now();
     // Raw path: replan the warm-start chain exactly as the flow does

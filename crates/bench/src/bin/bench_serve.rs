@@ -1,0 +1,154 @@
+//! Serving-layer load benchmark: boots an in-process [`FlowServer`] on an
+//! ephemeral port, warms its resident cache once per resolution, then
+//! drives it from concurrent TCP clients and emits `BENCH_SERVE.json`
+//! with two gate-able rows:
+//!
+//! * `serve_throughput` — completed flow runs per second across all
+//!   clients (higher is better, gated one-sided like the other
+//!   throughput rows);
+//! * `serve_p99_ms` — 99th-percentile end-to-end latency of one run
+//!   (submit → poll to `Completed` → fetch payload) in milliseconds.
+//!   Lower is better: `bench_check` lists it in `INVERTED_METRICS` and
+//!   fails when it *grows* past the gate.
+//!
+//! The warm-up phase means the measured runs are pure cache replays —
+//! the benchmark isolates the serving overhead (HTTP framing, session
+//! bookkeeping, ranking and payload rendering) from synthesis cost,
+//! which `bench_eval` already tracks.
+//!
+//! Run with `cargo run --release -p adc-bench --bin bench_serve`.
+
+use adc_mdac::specs::AdcSpec;
+use adc_serve::http;
+use adc_serve::protocol::SubmitRequest;
+use adc_serve::{FlowServer, ServerConfig};
+use adc_synth::SynthConfig;
+use adc_topopt::flow::FlowOptions;
+use adc_topopt::wire::JsonValue;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Concurrent client threads.
+const CLIENTS: usize = 4;
+/// Timed runs each client drives sequentially. Sized so the pooled
+/// sample (CLIENTS × RUNS_PER_CLIENT) makes the p99 a real percentile
+/// rather than the single worst outlier.
+const RUNS_PER_CLIENT: usize = 32;
+/// Resolutions the clients round-robin over (both warmed beforehand).
+const RESOLUTIONS: [u32; 2] = [10, 11];
+
+fn request_for(resolution: u32) -> SubmitRequest {
+    SubmitRequest {
+        spec: AdcSpec::date05(resolution),
+        cfg: SynthConfig {
+            iterations: 8,
+            nm_iterations: 2,
+            seed: 13,
+            ..Default::default()
+        },
+        options: FlowOptions::default(),
+    }
+}
+
+/// Drives one run end to end and returns its wall-clock latency.
+fn drive_run(addr: SocketAddr, body: &str) -> Duration {
+    let t0 = Instant::now();
+    let (status, reply) = http::request(addr, "POST", "/v1/runs", Some(body)).expect("submit");
+    assert_eq!(status, 202, "submit rejected: {reply}");
+    let id = match JsonValue::parse(&reply)
+        .expect("submit reply")
+        .get("run_id")
+    {
+        Some(JsonValue::Num(id)) => *id as u64,
+        other => panic!("submit reply without run_id: {other:?}"),
+    };
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, poll) =
+            http::request(addr, "GET", &format!("/v1/runs/{id}"), None).expect("poll");
+        assert_eq!(status, 200, "poll failed: {poll}");
+        match JsonValue::parse(&poll).expect("poll body").get("state") {
+            Some(JsonValue::Str(s)) if s == "Completed" => break,
+            Some(JsonValue::Str(s)) if s == "Failed" => panic!("run {id} failed: {poll}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "run {id} never finished");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (status, payload) =
+        http::request(addr, "GET", &format!("/v1/runs/{id}/result"), None).expect("fetch");
+    assert_eq!(status, 200, "fetch failed: {payload}");
+    assert!(payload.contains("\"result\""), "payload without result");
+    t0.elapsed()
+}
+
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * q).ceil() as usize)
+        .clamp(1, sorted.len())
+        .saturating_sub(1);
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn main() {
+    // Verification on: each run carries a deterministic chain-level
+    // verify of its winner, so the measured latency is dominated by real
+    // flow work rather than scheduler jitter on a ~3 ms replay.
+    let server = FlowServer::start(ServerConfig {
+        workers: CLIENTS,
+        max_inflight: 4 * CLIENTS,
+        verify: true,
+        ..ServerConfig::default()
+    })
+    .expect("ephemeral bind");
+    let addr = server.addr();
+    let bodies: Vec<String> = RESOLUTIONS
+        .iter()
+        .map(|&k| request_for(k).canonical().render())
+        .collect();
+
+    // Warm-up: synthesize each resolution once so the timed phase is pure
+    // cache replay (serving overhead only, no cold synthesis).
+    for body in &bodies {
+        let warm = drive_run(addr, body);
+        eprintln!("warm-up run: {:.1} ms", warm.as_secs_f64() * 1e3);
+    }
+
+    let t0 = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    (0..RUNS_PER_CLIENT)
+                        .map(|i| drive_run(addr, &bodies[(client + i) % bodies.len()]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies.sort();
+    let runs = latencies.len();
+    let throughput = runs as f64 / wall;
+    let p50 = percentile_ms(&latencies, 0.50);
+    let p99 = percentile_ms(&latencies, 0.99);
+    eprintln!(
+        "serve: {runs} runs, {CLIENTS} clients, {:.3} s wall — {throughput:.1} runs/s, \
+         p50 {p50:.2} ms, p99 {p99:.2} ms",
+        wall
+    );
+
+    let json = format!(
+        "{{\n  \"serve_throughput\": {{ \"evals_per_sec\": {throughput:.2}, \"evals\": {runs} }},\n  \
+         \"serve_p99_ms\": {{ \"evals_per_sec\": {p99:.2}, \"evals\": {runs} }}\n}}\n"
+    );
+    std::fs::write("BENCH_SERVE.json", &json).expect("write BENCH_SERVE.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_SERVE.json");
+}

@@ -6,7 +6,7 @@ use adc_bench::report_for;
 use adc_mdac::power::PowerModelParams;
 use adc_mdac::specs::AdcSpec;
 use adc_synth::SynthConfig;
-use adc_topopt::flow::{distinct_mdac_specs, synthesize_candidate_set};
+use adc_topopt::flow::{distinct_mdac_specs, run_flow, FlowRequest};
 use adc_topopt::report::{fig1_table, totals_csv, verify_table};
 use adc_topopt::verify::{verify_candidate, VerifyOptions};
 
@@ -52,7 +52,8 @@ fn main() {
         seed: 11,
         ..Default::default()
     };
-    let blocks = synthesize_candidate_set(&spec, std::slice::from_ref(&winner), &params, &cfg);
+    let winner_set = std::slice::from_ref(&winner);
+    let blocks = run_flow(&FlowRequest::new(&spec, winner_set, &params, &cfg), None).blocks;
     match verify_candidate(&spec, &winner, &blocks, &params, &VerifyOptions::default()) {
         Ok(v) => print!("{}", verify_table(std::slice::from_ref(&v))),
         Err(e) => println!("chain verification failed: {e}"),

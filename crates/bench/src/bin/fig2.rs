@@ -6,7 +6,7 @@
 use adc_bench::all_reports;
 use adc_mdac::power::PowerModelParams;
 use adc_synth::SynthConfig;
-use adc_topopt::flow::synthesize_candidate_set;
+use adc_topopt::flow::{run_flow, FlowRequest};
 use adc_topopt::report::{fig2_table, verify_table};
 use adc_topopt::verify::{verify_candidate, VerifyOptions};
 
@@ -38,8 +38,8 @@ fn main() {
     let mut verifications = Vec::new();
     for r in &reports {
         let winner = r.best().candidate.clone();
-        let blocks =
-            synthesize_candidate_set(&r.spec, std::slice::from_ref(&winner), &params, &cfg);
+        let winner_set = std::slice::from_ref(&winner);
+        let blocks = run_flow(&FlowRequest::new(&r.spec, winner_set, &params, &cfg), None).blocks;
         match verify_candidate(
             &r.spec,
             &winner,

@@ -47,6 +47,7 @@ use adc_synth::{
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Version salt folded into every provenance fingerprint. Bump when the
@@ -591,26 +592,32 @@ pub struct SynthesisRun {
     pub failures: Vec<BlockCasualty>,
 }
 
+/// Maps the first casualty of a degraded run to its typed [`FlowError`] —
+/// the shared `into_result()` contract of [`SynthesisRun`] and
+/// [`ResolutionRun`].
+fn first_casualty_error(failures: &[BlockCasualty]) -> Option<FlowError> {
+    failures.first().map(|c| {
+        if c.failure.kind == FailureKind::Timeout {
+            FlowError::Timeout {
+                key: c.key,
+                message: c.failure.message.clone(),
+            }
+        } else {
+            FlowError::BlockFailed {
+                key: c.key,
+                message: c.failure.message.clone(),
+            }
+        }
+    })
+}
+
 impl SynthesisRun {
     /// Converts a degraded run into a hard error on its first casualty —
     /// for callers that treat any failed block as fatal.
     pub fn into_result(self) -> Result<SynthesisRun, FlowError> {
-        match self.failures.first() {
+        match first_casualty_error(&self.failures) {
             None => Ok(self),
-            Some(c) => {
-                let make = if c.failure.kind == FailureKind::Timeout {
-                    FlowError::Timeout {
-                        key: c.key,
-                        message: c.failure.message.clone(),
-                    }
-                } else {
-                    FlowError::BlockFailed {
-                        key: c.key,
-                        message: c.failure.message.clone(),
-                    }
-                };
-                Err(make)
-            }
+            Some(e) => Err(e),
         }
     }
 }
@@ -998,35 +1005,191 @@ fn finish_run(
     }
 }
 
+/// How the scheduled blocks of a [`FlowRequest`] execute.
+#[derive(Debug, Clone)]
+pub enum ExecutionMode {
+    /// Dependency-driven parallel executor (the production path): each
+    /// block spawns the moment its warm source completes.
+    Parallel(ExecutorOptions),
+    /// Strictly serial encounter order — the determinism oracle; results
+    /// are bit-identical to the parallel mode for any thread count.
+    Serial,
+}
+
+impl Default for ExecutionMode {
+    fn default() -> Self {
+        ExecutionMode::Parallel(ExecutorOptions::default())
+    }
+}
+
+/// One complete candidate-set synthesis request: the spec, the candidates
+/// under consideration, the power-model and synthesis configurations, the
+/// fault-tolerance [`FlowOptions`], and the [`ExecutionMode`] — the single
+/// entry contract that replaced the six historical
+/// `synthesize_candidate_set*` functions. Cache policy rides separately
+/// (as the `cache` argument of [`run_flow`] / [`run_flow_shared`]) because
+/// the cache outlives any one request.
+#[derive(Debug, Clone)]
+pub struct FlowRequest<'a> {
+    /// Converter specification (resolution, rate, supply, process).
+    pub spec: &'a AdcSpec,
+    /// Candidate configurations whose distinct blocks are synthesized.
+    pub candidates: &'a [Candidate],
+    /// Analytic power-model parameters.
+    pub params: &'a PowerModelParams,
+    /// Synthesis budget/seed configuration.
+    pub cfg: &'a SynthConfig,
+    /// Fault-tolerance knobs (retry ladder, block/run budgets).
+    pub options: FlowOptions,
+    /// Parallel executor or the serial oracle.
+    pub mode: ExecutionMode,
+}
+
+impl<'a> FlowRequest<'a> {
+    /// A request with default [`FlowOptions`] and the parallel executor.
+    pub fn new(
+        spec: &'a AdcSpec,
+        candidates: &'a [Candidate],
+        params: &'a PowerModelParams,
+        cfg: &'a SynthConfig,
+    ) -> Self {
+        FlowRequest {
+            spec,
+            candidates,
+            params,
+            cfg,
+            options: FlowOptions::default(),
+            mode: ExecutionMode::default(),
+        }
+    }
+
+    /// Replaces the fault-tolerance options.
+    #[must_use]
+    pub fn with_options(mut self, options: FlowOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs on the parallel executor with explicit options.
+    #[must_use]
+    pub fn with_executor(mut self, exec: ExecutorOptions) -> Self {
+        self.mode = ExecutionMode::Parallel(exec);
+        self
+    }
+
+    /// Runs strictly serially (the determinism oracle).
+    #[must_use]
+    pub fn serial(mut self) -> Self {
+        self.mode = ExecutionMode::Serial;
+        self
+    }
+
+    fn run_deadline(&self) -> Deadline {
+        match self.options.run_budget {
+            Some(budget) => Deadline::within(budget),
+            None => Deadline::none(),
+        }
+    }
+}
+
+/// Runs one [`FlowRequest`] end to end — schedule (with cache
+/// consultation), guarded execution in the requested mode, deterministic
+/// merge + cache commit. Failed blocks are isolated, retried up the
+/// recovery ladder, and reported as [`SynthesisRun::failures`] while the
+/// survivors are ranked normally; with default [`FlowOptions`] and no
+/// faults the result is bit-identical to the historical
+/// `synthesize_candidate_set*` paths (enforced by a regression test).
+pub fn run_flow(req: &FlowRequest<'_>, mut cache: Option<&mut BlockCache>) -> SynthesisRun {
+    let run_deadline = req.run_deadline();
+    let scheduled = schedule_candidate_set(
+        req.spec,
+        req.candidates,
+        req.params,
+        req.cfg,
+        cache.as_deref_mut(),
+    );
+    let outcomes = match &req.mode {
+        ExecutionMode::Parallel(exec) => execute_schedule(
+            &req.spec.process,
+            &scheduled,
+            req.cfg,
+            exec,
+            &req.options,
+            run_deadline,
+        ),
+        ExecutionMode::Serial => execute_schedule_serial(
+            &req.spec.process,
+            &scheduled,
+            req.cfg,
+            &req.options,
+            run_deadline,
+        ),
+    };
+    let slack = run_deadline
+        .slack_seconds()
+        .map(|s| (s * 1e3).round() as i64);
+    finish_run(scheduled, outcomes, cache, slack)
+}
+
+/// [`run_flow`] against a **shared** cache behind a mutex — the resident
+/// flow-server entry point. The lock is held only for the schedule
+/// (lookup) and commit phases; the synthesis itself runs unlocked, so
+/// concurrent requests interleave their block executions while the cache
+/// stays consistent. A poisoned lock is recovered (the cache's integrity
+/// fingerprints already guard against torn entries). The result is
+/// deterministic given the cache state observed at schedule time.
+pub fn run_flow_shared(req: &FlowRequest<'_>, cache: &Mutex<BlockCache>) -> SynthesisRun {
+    let run_deadline = req.run_deadline();
+    let scheduled = {
+        let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        schedule_candidate_set(
+            req.spec,
+            req.candidates,
+            req.params,
+            req.cfg,
+            Some(&mut guard),
+        )
+    };
+    let outcomes = match &req.mode {
+        ExecutionMode::Parallel(exec) => execute_schedule(
+            &req.spec.process,
+            &scheduled,
+            req.cfg,
+            exec,
+            &req.options,
+            run_deadline,
+        ),
+        ExecutionMode::Serial => execute_schedule_serial(
+            &req.spec.process,
+            &scheduled,
+            req.cfg,
+            &req.options,
+            run_deadline,
+        ),
+    };
+    let slack = run_deadline
+        .slack_seconds()
+        .map(|s| (s * 1e3).round() as i64);
+    let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    finish_run(scheduled, outcomes, Some(&mut guard), slack)
+}
+
 /// Synthesizes every distinct MDAC of a candidate set with reuse: exact
 /// key hits are returned from the cache; otherwise the nearest same-template
 /// block (by input accuracy) warm-starts a retargeting run.
-///
-/// The distinct blocks run **concurrently** on the dependency-driven
-/// executor: the warm-start DAG is planned up front from the keys alone,
-/// each block spawns the moment its warm source completes, and the merge is
-/// deterministic — results are bit-identical to
-/// [`synthesize_candidate_set_serial`] (enforced by a regression test).
+#[deprecated(note = "use `run_flow` with a `FlowRequest`")]
 pub fn synthesize_candidate_set(
     spec: &AdcSpec,
     candidates: &[Candidate],
     params: &PowerModelParams,
     cfg: &SynthConfig,
 ) -> Vec<MdacBlock> {
-    synthesize_candidate_set_with(
-        spec,
-        candidates,
-        params,
-        cfg,
-        None,
-        &ExecutorOptions::default(),
-    )
-    .blocks
+    run_flow(&FlowRequest::new(spec, candidates, params, cfg), None).blocks
 }
 
 /// [`synthesize_candidate_set`] with an optional persistent [`BlockCache`]
-/// and explicit executor options — the cache-aware entry point the
-/// multi-resolution flow drives.
+/// and explicit executor options.
+#[deprecated(note = "use `run_flow` with a `FlowRequest`")]
 pub fn synthesize_candidate_set_with(
     spec: &AdcSpec,
     candidates: &[Candidate],
@@ -1035,58 +1198,48 @@ pub fn synthesize_candidate_set_with(
     cache: Option<&mut BlockCache>,
     exec: &ExecutorOptions,
 ) -> SynthesisRun {
-    synthesize_candidate_set_guarded(
-        spec,
-        candidates,
-        params,
-        cfg,
+    run_flow(
+        &FlowRequest::new(spec, candidates, params, cfg).with_executor(exec.clone()),
         cache,
-        exec,
-        &FlowOptions::default(),
     )
 }
 
-/// [`synthesize_candidate_set_with`] with explicit fault-tolerance options
-/// — the fully guarded entry point: failed blocks are isolated, retried up
-/// the recovery ladder, and reported as [`SynthesisRun::failures`] while
-/// the survivors are ranked normally. With default [`FlowOptions`] and no
-/// faults this is bit-identical to the historical path.
+/// [`synthesize_candidate_set_with`] with explicit fault-tolerance options.
+#[deprecated(note = "use `run_flow` with a `FlowRequest`")]
 pub fn synthesize_candidate_set_guarded(
     spec: &AdcSpec,
     candidates: &[Candidate],
     params: &PowerModelParams,
     cfg: &SynthConfig,
-    mut cache: Option<&mut BlockCache>,
+    cache: Option<&mut BlockCache>,
     exec: &ExecutorOptions,
     flow: &FlowOptions,
 ) -> SynthesisRun {
-    let run_deadline = match flow.run_budget {
-        Some(budget) => Deadline::within(budget),
-        None => Deadline::none(),
-    };
-    let scheduled = schedule_candidate_set(spec, candidates, params, cfg, cache.as_deref_mut());
-    let outcomes = execute_schedule(&spec.process, &scheduled, cfg, exec, flow, run_deadline);
-    let slack = run_deadline
-        .slack_seconds()
-        .map(|s| (s * 1e3).round() as i64);
-    finish_run(scheduled, outcomes, cache, slack)
+    run_flow(
+        &FlowRequest::new(spec, candidates, params, cfg)
+            .with_executor(exec.clone())
+            .with_options(*flow),
+        cache,
+    )
 }
 
-/// Sequential reference implementation of [`synthesize_candidate_set`]:
-/// one block after another in serial encounter order. Kept as the
-/// determinism oracle for the parallel path.
+/// Sequential reference implementation of [`synthesize_candidate_set`].
+#[deprecated(note = "use `run_flow` with a serial `FlowRequest`")]
 pub fn synthesize_candidate_set_serial(
     spec: &AdcSpec,
     candidates: &[Candidate],
     params: &PowerModelParams,
     cfg: &SynthConfig,
 ) -> Vec<MdacBlock> {
-    synthesize_candidate_set_serial_with(spec, candidates, params, cfg, None).blocks
+    run_flow(
+        &FlowRequest::new(spec, candidates, params, cfg).serial(),
+        None,
+    )
+    .blocks
 }
 
-/// [`synthesize_candidate_set_serial`] with an optional cache — the serial
-/// oracle for the cache-aware paths (same schedule, strictly sequential
-/// execution).
+/// [`synthesize_candidate_set_serial`] with an optional cache.
+#[deprecated(note = "use `run_flow` with a serial `FlowRequest`")]
 pub fn synthesize_candidate_set_serial_with(
     spec: &AdcSpec,
     candidates: &[Candidate],
@@ -1094,36 +1247,28 @@ pub fn synthesize_candidate_set_serial_with(
     cfg: &SynthConfig,
     cache: Option<&mut BlockCache>,
 ) -> SynthesisRun {
-    synthesize_candidate_set_serial_guarded(
-        spec,
-        candidates,
-        params,
-        cfg,
+    run_flow(
+        &FlowRequest::new(spec, candidates, params, cfg).serial(),
         cache,
-        &FlowOptions::default(),
     )
 }
 
-/// Serial oracle for [`synthesize_candidate_set_guarded`]: same schedule,
-/// same guarded block runner, strictly sequential execution.
+/// Serial oracle with explicit fault-tolerance options.
+#[deprecated(note = "use `run_flow` with a serial `FlowRequest`")]
 pub fn synthesize_candidate_set_serial_guarded(
     spec: &AdcSpec,
     candidates: &[Candidate],
     params: &PowerModelParams,
     cfg: &SynthConfig,
-    mut cache: Option<&mut BlockCache>,
+    cache: Option<&mut BlockCache>,
     flow: &FlowOptions,
 ) -> SynthesisRun {
-    let run_deadline = match flow.run_budget {
-        Some(budget) => Deadline::within(budget),
-        None => Deadline::none(),
-    };
-    let scheduled = schedule_candidate_set(spec, candidates, params, cfg, cache.as_deref_mut());
-    let outcomes = execute_schedule_serial(&spec.process, &scheduled, cfg, flow, run_deadline);
-    let slack = run_deadline
-        .slack_seconds()
-        .map(|s| (s * 1e3).round() as i64);
-    finish_run(scheduled, outcomes, cache, slack)
+    run_flow(
+        &FlowRequest::new(spec, candidates, params, cfg)
+            .serial()
+            .with_options(*flow),
+        cache,
+    )
 }
 
 /// Candidates whose every required MDAC block survived a (possibly
@@ -1226,26 +1371,48 @@ pub struct ResolutionRun {
     pub wall_seconds: f64,
 }
 
+impl ResolutionRun {
+    /// Converts a degraded resolution run into a hard error on its first
+    /// casualty — the same typed-error contract as
+    /// [`SynthesisRun::into_result`]. Replaces the historical behaviour
+    /// where a poisoned run silently dropped blocks and downstream
+    /// consumers panicked on the missing keys.
+    pub fn into_result(self) -> Result<ResolutionRun, FlowError> {
+        match first_casualty_error(&self.failures) {
+            None => Ok(self),
+            Some(e) => Err(e),
+        }
+    }
+}
+
 /// Runs candidate-set synthesis for each spec in order, sharing one
 /// persistent [`BlockCache`] across resolutions — the cross-resolution
 /// reuse ROADMAP item: later resolutions hit blocks the earlier ones
 /// synthesized (exact hits skip synthesis; under
 /// [`crate::cache::CachePolicy::Aggressive`], near hits turn would-be cold roots into
 /// retargets).
+///
+/// # Errors
+/// The first resolution whose run records a casualty aborts the sweep with
+/// that block's typed [`FlowError`] (the [`ResolutionRun::into_result`]
+/// contract). Callers that want degraded-but-ranked semantics drive
+/// [`run_flow`] per resolution themselves and keep the failures.
 pub fn synthesize_multi_resolution(
     specs: &[AdcSpec],
     params: &PowerModelParams,
     cfg: &SynthConfig,
     cache: &mut BlockCache,
     exec: &ExecutorOptions,
-) -> Vec<ResolutionRun> {
+) -> Result<Vec<ResolutionRun>, FlowError> {
     specs
         .iter()
         .map(|spec| {
             let t0 = std::time::Instant::now();
             let candidates = crate::enumerate::enumerate_candidates(spec.resolution, 7);
-            let run =
-                synthesize_candidate_set_with(spec, &candidates, params, cfg, Some(cache), exec);
+            let run = run_flow(
+                &FlowRequest::new(spec, &candidates, params, cfg).with_executor(exec.clone()),
+                Some(cache),
+            );
             ResolutionRun {
                 resolution: spec.resolution,
                 blocks: run.blocks,
@@ -1253,6 +1420,7 @@ pub fn synthesize_multi_resolution(
                 failures: run.failures,
                 wall_seconds: t0.elapsed().as_secs_f64(),
             }
+            .into_result()
         })
         .collect()
 }
@@ -1344,8 +1512,12 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let serial = synthesize_candidate_set_serial(&spec, &cands, &params, &cfg);
-        let parallel = synthesize_candidate_set(&spec, &cands, &params, &cfg);
+        let serial = run_flow(
+            &FlowRequest::new(&spec, &cands, &params, &cfg).serial(),
+            None,
+        )
+        .blocks;
+        let parallel = run_flow(&FlowRequest::new(&spec, &cands, &params, &cfg), None).blocks;
         assert_eq!(serial.len(), parallel.len());
         assert!(serial.len() >= 11, "expected the paper's ~11 blocks");
         assert!(serial.iter().any(|b| b.retargeted));
@@ -1379,7 +1551,7 @@ mod tests {
             ..Default::default()
         };
         let waves = synthesize_candidate_set_waves(&spec, &cands, &params, &cfg);
-        let exec = synthesize_candidate_set(&spec, &cands, &params, &cfg);
+        let exec = run_flow(&FlowRequest::new(&spec, &cands, &params, &cfg), None).blocks;
         assert_eq!(waves.len(), exec.len());
         for (a, b) in waves.iter().zip(exec.iter()) {
             assert_eq!(a.key, b.key);
@@ -1401,14 +1573,12 @@ mod tests {
             seed: 7,
             ..Default::default()
         };
-        let exec = ExecutorOptions::default();
         let mut cache = BlockCache::new(CachePolicy::Reproducible);
-        let first =
-            synthesize_candidate_set_with(&spec, &cands, &params, &cfg, Some(&mut cache), &exec);
+        let req = FlowRequest::new(&spec, &cands, &params, &cfg);
+        let first = run_flow(&req, Some(&mut cache));
         assert_eq!(first.stats.cache_hits, 0);
         assert!(cache.len() >= first.blocks.len());
-        let second =
-            synthesize_candidate_set_with(&spec, &cands, &params, &cfg, Some(&mut cache), &exec);
+        let second = run_flow(&req, Some(&mut cache));
         assert_eq!(
             second.stats.cache_hits, second.stats.blocks,
             "repeat run must be all hits: {:?}",
@@ -1431,7 +1601,6 @@ mod tests {
         let spec = AdcSpec::date05(10);
         let params = PowerModelParams::calibrated();
         let cands = enumerate_candidates(10, 7);
-        let exec = ExecutorOptions::default();
         let cfg_a = SynthConfig {
             iterations: 10,
             nm_iterations: 2,
@@ -1443,13 +1612,18 @@ mod tests {
             ..cfg_a.clone()
         };
         let mut cache = BlockCache::new(CachePolicy::Aggressive);
-        synthesize_candidate_set_with(&spec, &cands, &params, &cfg_a, Some(&mut cache), &exec);
-        let run_b =
-            synthesize_candidate_set_with(&spec, &cands, &params, &cfg_b, Some(&mut cache), &exec);
+        run_flow(
+            &FlowRequest::new(&spec, &cands, &params, &cfg_a),
+            Some(&mut cache),
+        );
+        let run_b = run_flow(
+            &FlowRequest::new(&spec, &cands, &params, &cfg_b),
+            Some(&mut cache),
+        );
         assert_eq!(run_b.stats.cache_hits, 0, "{:?}", run_b.stats);
         assert_eq!(run_b.stats.cache_seeded, 0, "{:?}", run_b.stats);
         // And the isolated run is bit-identical to a cache-free one.
-        let plain = synthesize_candidate_set(&spec, &cands, &params, &cfg_b);
+        let plain = run_flow(&FlowRequest::new(&spec, &cands, &params, &cfg_b), None).blocks;
         for (a, b) in run_b.blocks.iter().zip(plain.iter()) {
             assert_eq!(a.result.best_x, b.result.best_x);
             assert_eq!(a.result.evaluations, b.result.evaluations);
@@ -1520,6 +1694,129 @@ mod tests {
         assert_eq!(run.stats.attempts, 2 * n);
         assert_eq!(cache.len(), 0, "off-plan results must never be cached");
         assert_eq!(surviving_candidates(&spec, &cands, &run).len(), cands.len());
+    }
+
+    /// The six deprecated entry points are thin wrappers over [`run_flow`]:
+    /// every one of them must stay bit-identical to the equivalent
+    /// [`FlowRequest`] — trajectories, origins, stats and all.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_are_bit_identical_to_run_flow() {
+        let spec = AdcSpec::date05(10);
+        let params = PowerModelParams::calibrated();
+        let cands = enumerate_candidates(10, 7);
+        let cfg = SynthConfig {
+            iterations: 8,
+            nm_iterations: 2,
+            seed: 13,
+            ..Default::default()
+        };
+        let exec = ExecutorOptions::default();
+        let flow = FlowOptions::default();
+        let assert_same = |a: &[MdacBlock], b: &[MdacBlock], label: &str| {
+            assert_eq!(a.len(), b.len(), "{label}");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.key, y.key, "{label}");
+                assert_eq!(x.origin, y.origin, "{label}: key {:?}", x.key);
+                assert_eq!(x.result.best_x, y.result.best_x, "{label}: key {:?}", x.key);
+                assert_eq!(
+                    x.result.evaluations, y.result.evaluations,
+                    "{label}: key {:?}",
+                    x.key
+                );
+            }
+        };
+        let base = run_flow(&FlowRequest::new(&spec, &cands, &params, &cfg), None);
+        let base_serial = run_flow(
+            &FlowRequest::new(&spec, &cands, &params, &cfg).serial(),
+            None,
+        );
+
+        let w = synthesize_candidate_set(&spec, &cands, &params, &cfg);
+        assert_same(&w, &base.blocks, "synthesize_candidate_set");
+        let w = synthesize_candidate_set_with(&spec, &cands, &params, &cfg, None, &exec);
+        assert_same(&w.blocks, &base.blocks, "synthesize_candidate_set_with");
+        assert_eq!(w.stats, base.stats);
+        let w = synthesize_candidate_set_guarded(&spec, &cands, &params, &cfg, None, &exec, &flow);
+        assert_same(&w.blocks, &base.blocks, "synthesize_candidate_set_guarded");
+        assert_eq!(w.stats, base.stats);
+        let w = synthesize_candidate_set_serial(&spec, &cands, &params, &cfg);
+        assert_same(&w, &base_serial.blocks, "synthesize_candidate_set_serial");
+        let w = synthesize_candidate_set_serial_with(&spec, &cands, &params, &cfg, None);
+        assert_same(
+            &w.blocks,
+            &base_serial.blocks,
+            "synthesize_candidate_set_serial_with",
+        );
+        assert_eq!(w.stats, base_serial.stats);
+        let w = synthesize_candidate_set_serial_guarded(&spec, &cands, &params, &cfg, None, &flow);
+        assert_same(
+            &w.blocks,
+            &base_serial.blocks,
+            "synthesize_candidate_set_serial_guarded",
+        );
+        assert_eq!(w.stats, base_serial.stats);
+        // The serial oracle agrees with the parallel path (long-standing
+        // contract, restated here across the consolidated entry).
+        assert_same(&base.blocks, &base_serial.blocks, "parallel vs serial");
+    }
+
+    /// [`run_flow_shared`] (mutex-phased schedule/commit, the server path)
+    /// is bit-identical to [`run_flow`] with exclusive cache access, and a
+    /// second shared run replays from provenance-exact hits.
+    #[test]
+    fn shared_cache_flow_matches_exclusive() {
+        let spec = AdcSpec::date05(10);
+        let params = PowerModelParams::calibrated();
+        let cands = enumerate_candidates(10, 7);
+        let cfg = SynthConfig {
+            iterations: 8,
+            nm_iterations: 2,
+            seed: 17,
+            ..Default::default()
+        };
+        let req = FlowRequest::new(&spec, &cands, &params, &cfg);
+        let mut exclusive_cache = BlockCache::new(CachePolicy::Reproducible);
+        let exclusive = run_flow(&req, Some(&mut exclusive_cache));
+        let shared_cache = Mutex::new(BlockCache::new(CachePolicy::Reproducible));
+        let shared = run_flow_shared(&req, &shared_cache);
+        assert_eq!(exclusive.stats, shared.stats);
+        for (a, b) in exclusive.blocks.iter().zip(shared.blocks.iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.result.best_x, b.result.best_x);
+            assert_eq!(a.result.evaluations, b.result.evaluations);
+        }
+        let replay = run_flow_shared(&req, &shared_cache);
+        assert_eq!(replay.stats.cache_hits, replay.stats.blocks);
+        assert_eq!(replay.stats.evaluations_spent, 0);
+    }
+
+    /// A degraded [`ResolutionRun`] converts to the typed error through the
+    /// same `into_result()` contract as [`SynthesisRun`].
+    #[test]
+    fn resolution_run_into_result_is_typed() {
+        let clean = ResolutionRun {
+            resolution: 10,
+            blocks: Vec::new(),
+            stats: RunStats::default(),
+            failures: Vec::new(),
+            wall_seconds: 0.0,
+        };
+        assert!(clean.into_result().is_ok());
+        let poisoned = ResolutionRun {
+            resolution: 10,
+            blocks: Vec::new(),
+            stats: RunStats::default(),
+            failures: vec![BlockCasualty {
+                key: (3, 10),
+                failure: BlockFailure::new(FailureKind::Timeout, "budget", 0.1),
+            }],
+            wall_seconds: 0.0,
+        };
+        match poisoned.into_result() {
+            Err(FlowError::Timeout { key, .. }) => assert_eq!(key, (3, 10)),
+            other => panic!("expected typed timeout, got {other:?}"),
+        }
     }
 
     /// End-to-end circuit synthesis of the cheapest block (the 2-bit last

@@ -21,7 +21,10 @@
 //!    are assembled into a full-pipeline chain testbench (hierarchical
 //!    subcircuits, real inter-stage loading) and evaluated end to end
 //!    through the same workspaces the synthesis used;
-//! 6. [`report`] — plain-text/CSV emitters used by the benchmark harness.
+//! 6. [`report`] — plain-text/CSV emitters used by the benchmark harness;
+//! 7. [`wire`] — the hand-rolled JSON serialization surface shared by the
+//!    `adc-serve` wire protocol and the `bench_serve` load generator, so
+//!    the library API and the wire API cannot drift.
 //!
 //! ## Example
 //!
@@ -44,13 +47,16 @@ pub mod optimize;
 pub mod report;
 pub mod rules;
 pub mod verify;
+pub mod wire;
 
 pub use cache::{BlockCache, CachePolicy, CacheStats};
 pub use enumerate::{enumerate_candidates, Candidate};
 pub use executor::{BlockFailure, BlockOutcome, ExecutorOptions, FailureKind};
 pub use flow::{
-    surviving_candidates, synthesize_multi_resolution, BlockCasualty, FlowError, FlowOptions,
-    ResolutionRun, RetryPolicy, RunStats, SynthesisRun,
+    run_flow, run_flow_shared, surviving_candidates, synthesize_multi_resolution, BlockCasualty,
+    ExecutionMode, FlowError, FlowOptions, FlowRequest, ResolutionRun, RetryPolicy, RunStats,
+    SynthesisRun,
 };
 pub use optimize::{optimize_topology, TopologyReport};
 pub use verify::{verify_candidate, ChainVerification, VerifyOptions};
+pub use wire::{JsonValue, WireError};

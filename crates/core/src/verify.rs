@@ -242,7 +242,7 @@ pub fn verify_candidate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::synthesize_candidate_set;
+    use crate::flow::{run_flow, FlowRequest};
     use adc_synth::SynthConfig;
 
     /// End-to-end: synthesize the 10-bit winner's blocks on a tiny budget
@@ -260,8 +260,8 @@ mod tests {
             seed: 9,
             ..Default::default()
         };
-        let blocks =
-            synthesize_candidate_set(&spec, std::slice::from_ref(&candidate), &params, &cfg);
+        let cands = std::slice::from_ref(&candidate);
+        let blocks = run_flow(&FlowRequest::new(&spec, cands, &params, &cfg), None).blocks;
         let v = verify_candidate(
             &spec,
             &candidate,

@@ -1,0 +1,173 @@
+//! Minimal HTTP/1.1 over `std::net`: one request per connection,
+//! `Connection: close` semantics, `Content-Length` bodies only.
+//!
+//! The workspace is registry-free (no axum/tokio/hyper), and the wire
+//! protocol needs exactly this much HTTP: a request line, a handful of
+//! headers, a JSON body each way. Both the server loop and the in-process
+//! client (smoke mode, integration tests, `bench_serve`) live here so the
+//! two ends cannot drift.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Cap on header block and body sizes: a malformed or hostile client must
+/// not balloon server memory.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Path with no query handling (the API does not use queries).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request off the stream. `Ok(None)` means the peer closed
+/// before sending a request line.
+///
+/// # Errors
+/// Propagates socket errors; malformed framing surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_ascii_uppercase(), p.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "connection closed inside headers",
+            ));
+        }
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "header block too large",
+            ));
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Writes a complete response and flushes. The body is always JSON (the
+/// protocol has no other content type).
+///
+/// # Errors
+/// Propagates socket errors.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The matching in-process client: sends one request, reads the full
+/// response, returns `(status, body)`.
+///
+/// # Errors
+/// Socket errors or a malformed status line.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let mut content_length = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))
+}

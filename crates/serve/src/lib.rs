@@ -1,0 +1,40 @@
+//! # adc-serve
+//!
+//! **Synthesis-as-a-service**: the resident flow server over the
+//! candidate-set synthesis flow of `adc-topopt`.
+//!
+//! A designer-facing deployment of the paper's flow is interactive —
+//! submit a spec, poll, inspect ranked candidates, retarget — but every
+//! batch binary in the workspace dies with its process and takes the
+//! warm cross-resolution [`BlockCache`](adc_topopt::cache::BlockCache)
+//! with it. This crate keeps the cache and the executor pool resident:
+//!
+//! - [`server`] — from-scratch HTTP/1.1 over `std::net` (the workspace is
+//!   registry-free: no axum/tokio/hyper), an accept loop, a bounded
+//!   worker pool sharing one `Mutex<BlockCache>` through
+//!   [`run_flow_shared`](adc_topopt::flow::run_flow_shared), and typed
+//!   admission control (429-style shedding past the in-flight cap);
+//! - [`session`] — the per-run state machine `Parsed → Elaborated →
+//!   Ready → Running → Completed/Failed` with illegal transitions
+//!   rejected as typed errors;
+//! - [`store`] — the bounded `ResultStore` mapping `run_id → (request
+//!   echo, RunStats, payload)`, owned independently of the worker that
+//!   produced it so polling/fetching/eviction never block the pool;
+//! - [`protocol`] — request parsing plus the pure payload renderer shared
+//!   with the batch oracle (bit-identity by construction);
+//! - [`http`] — the minimal HTTP framing and the matching in-process
+//!   client used by smoke mode, the tests and `bench_serve`.
+//!
+//! Serialization rides `adc_topopt::wire` end to end, so the library API
+//! and the wire API cannot drift.
+
+pub mod http;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod store;
+
+pub use protocol::{parse_submit, render_payload, run_and_render, SubmitRequest};
+pub use server::{FlowServer, ServerConfig};
+pub use session::{IllegalTransition, Session, SessionState};
+pub use store::{ResultStore, RunRecord, RunStatus, StoreError};

@@ -1,0 +1,208 @@
+//! Per-run session state machine: `Parsed → Elaborated → Ready → Running →
+//! Completed/Failed`, with illegal transitions rejected as typed errors
+//! rather than silently reordered.
+//!
+//! Cancellation rides the same machine: a queued run is failed from
+//! `Ready` (before any worker claims it); a `Running` run owns its
+//! wall-clock budget through the flow's `Deadline` plumbing and reaches a
+//! terminal state on its own.
+
+use std::fmt;
+
+/// Lifecycle of one submitted flow run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionState {
+    /// The request body parsed as JSON.
+    Parsed,
+    /// The spec validated against the server's process/resolution limits.
+    Elaborated,
+    /// Candidates enumerated; the run is queued for a worker.
+    Ready,
+    /// A worker owns the run and synthesis is in flight.
+    Running,
+    /// The run finished and its payload is in the store.
+    Completed,
+    /// The run was cancelled, shed, or died with a typed error.
+    Failed,
+}
+
+impl SessionState {
+    /// Every state, in lifecycle order (test enumeration support).
+    pub const ALL: [SessionState; 6] = [
+        SessionState::Parsed,
+        SessionState::Elaborated,
+        SessionState::Ready,
+        SessionState::Running,
+        SessionState::Completed,
+        SessionState::Failed,
+    ];
+
+    /// Whether the state admits no further transitions.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, SessionState::Completed | SessionState::Failed)
+    }
+
+    /// Whether `self → to` is a legal lifecycle edge.
+    pub fn can_advance(self, to: SessionState) -> bool {
+        use SessionState::*;
+        matches!(
+            (self, to),
+            (Parsed, Elaborated)
+                | (Elaborated, Ready)
+                | (Ready, Running)
+                | (Ready, Failed)
+                | (Running, Completed)
+                | (Running, Failed)
+        )
+    }
+}
+
+impl fmt::Display for SessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SessionState::Parsed => "Parsed",
+            SessionState::Elaborated => "Elaborated",
+            SessionState::Ready => "Ready",
+            SessionState::Running => "Running",
+            SessionState::Completed => "Completed",
+            SessionState::Failed => "Failed",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Typed rejection of a session-machine violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// State the session was in.
+    pub from: SessionState,
+    /// State the caller tried to force.
+    pub to: SessionState,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal session transition {} -> {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// One run's live state, advanced only along legal edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Session {
+    state: SessionState,
+}
+
+impl Session {
+    /// A freshly parsed submission.
+    pub fn new() -> Session {
+        Session {
+            state: SessionState::Parsed,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Advances along a legal edge.
+    ///
+    /// # Errors
+    /// [`IllegalTransition`] (the state is left untouched) on any edge not
+    /// in the lifecycle diagram — including every edge out of a terminal
+    /// state and every self-loop.
+    pub fn advance(&mut self, to: SessionState) -> Result<SessionState, IllegalTransition> {
+        if self.state.can_advance(to) {
+            self.state = to;
+            Ok(to)
+        } else {
+            Err(IllegalTransition {
+                from: self.state,
+                to,
+            })
+        }
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full legal edge set, nothing else.
+    const LEGAL: [(SessionState, SessionState); 6] = [
+        (SessionState::Parsed, SessionState::Elaborated),
+        (SessionState::Elaborated, SessionState::Ready),
+        (SessionState::Ready, SessionState::Running),
+        (SessionState::Ready, SessionState::Failed),
+        (SessionState::Running, SessionState::Completed),
+        (SessionState::Running, SessionState::Failed),
+    ];
+
+    /// Exhaustive 6×6 property: every pair is accepted iff it is a legal
+    /// lifecycle edge, and rejections are typed, loss-free and
+    /// state-preserving.
+    #[test]
+    fn every_illegal_transition_is_rejected() {
+        for from in SessionState::ALL {
+            for to in SessionState::ALL {
+                let mut s = Session { state: from };
+                let legal = LEGAL.contains(&(from, to));
+                match s.advance(to) {
+                    Ok(next) => {
+                        assert!(legal, "{from} -> {to} must be rejected");
+                        assert_eq!(next, to);
+                        assert_eq!(s.state(), to);
+                    }
+                    Err(e) => {
+                        assert!(!legal, "{from} -> {to} must be accepted");
+                        assert_eq!(e, IllegalTransition { from, to });
+                        assert_eq!(s.state(), from, "rejection must not move the state");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Terminal states admit no exit at all (subset of the exhaustive
+    /// sweep, stated separately because eviction logic relies on it).
+    #[test]
+    fn terminal_states_are_absorbing() {
+        for from in [SessionState::Completed, SessionState::Failed] {
+            assert!(from.is_terminal());
+            for to in SessionState::ALL {
+                assert!(!from.can_advance(to), "{from} -> {to}");
+            }
+        }
+    }
+
+    /// Any legal walk from `Parsed` reaches a terminal state in at most
+    /// four steps and never revisits a state.
+    #[test]
+    fn legal_walks_terminate_without_cycles() {
+        fn walk(state: SessionState, mut seen: Vec<SessionState>, depth: usize) {
+            assert!(depth <= 4, "walk exceeded the lifecycle depth: {seen:?}");
+            assert!(!seen.contains(&state), "cycle through {state}: {seen:?}");
+            seen.push(state);
+            let successors: Vec<SessionState> = SessionState::ALL
+                .into_iter()
+                .filter(|&to| state.can_advance(to))
+                .collect();
+            if successors.is_empty() {
+                assert!(state.is_terminal(), "dead end in a non-terminal {state}");
+                return;
+            }
+            for to in successors {
+                walk(to, seen.clone(), depth + 1);
+            }
+        }
+        walk(SessionState::Parsed, Vec::new(), 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! `ResultStore`: `run_id → (request echo, RunStats, result payload)`,
+//! owning results independently of the worker that produced them.
+//!
+//! Workers hold the store's lock only for constant-time state flips and
+//! payload moves — never across a synthesis — so polling, fetching and
+//! eviction from connection threads cannot block the executor pool.
+//! Capacity is bounded: terminal records are evicted oldest-first to admit
+//! new runs, and the store sheds (typed) when live runs alone fill it.
+
+use crate::session::{IllegalTransition, Session, SessionState};
+use adc_mdac::specs::AdcSpec;
+use adc_synth::SynthConfig;
+use adc_topopt::flow::{FlowOptions, RunStats};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Typed store-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No record under this `run_id` (never admitted, or evicted).
+    UnknownRun(u64),
+    /// The store is at capacity with no terminal record to evict.
+    Full {
+        /// Configured record capacity.
+        capacity: usize,
+    },
+    /// The requested state change violates the session machine.
+    Illegal(IllegalTransition),
+    /// The run is not in a cancellable state (only `Ready` runs can be
+    /// cancelled; `Running` runs finish on their own deadline).
+    NotCancellable(SessionState),
+    /// The run is not terminal yet, so its record cannot be evicted.
+    NotEvictable(SessionState),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownRun(id) => write!(f, "unknown run {id}"),
+            StoreError::Full { capacity } => {
+                write!(f, "result store full ({capacity} live runs)")
+            }
+            StoreError::Illegal(e) => write!(f, "{e}"),
+            StoreError::NotCancellable(s) => write!(f, "run is {s}, not cancellable"),
+            StoreError::NotEvictable(s) => write!(f, "run is {s}, not evictable"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<IllegalTransition> for StoreError {
+    fn from(e: IllegalTransition) -> Self {
+        StoreError::Illegal(e)
+    }
+}
+
+/// One admitted run: the echoed request, its session, and (once a worker
+/// finishes) the stats + rendered payload.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Server-assigned identifier.
+    pub id: u64,
+    /// Canonical re-render of the submitted request body.
+    pub request: String,
+    /// Parsed ADC spec (the worker's input).
+    pub spec: AdcSpec,
+    /// Parsed synthesis config.
+    pub cfg: SynthConfig,
+    /// Parsed flow options (budgets/retry riding the `Deadline` plumbing).
+    pub options: FlowOptions,
+    /// Session machine for this run.
+    pub session: Session,
+    /// Run statistics, set when the flow finishes (even on failure).
+    pub stats: Option<RunStats>,
+    /// Rendered result payload, set on `Completed`.
+    pub payload: Option<String>,
+    /// Failure reason, set on `Failed`.
+    pub error: Option<String>,
+}
+
+/// A poll-sized snapshot of one record (no payload body).
+#[derive(Debug, Clone)]
+pub struct RunStatus {
+    /// Server-assigned identifier.
+    pub id: u64,
+    /// Current session state.
+    pub state: SessionState,
+    /// Run statistics when the flow has finished.
+    pub stats: Option<RunStats>,
+    /// Failure reason on `Failed`.
+    pub error: Option<String>,
+}
+
+struct Inner {
+    map: HashMap<u64, RunRecord>,
+    /// Admission order; eviction scans this front-to-back for terminals.
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+/// Bounded, thread-safe map of run results. See the module docs for the
+/// locking discipline.
+pub struct ResultStore {
+    inner: Mutex<Inner>,
+}
+
+impl ResultStore {
+    /// An empty store holding at most `capacity` records.
+    pub fn new(capacity: usize) -> ResultStore {
+        ResultStore {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admits a record, evicting the oldest **terminal** record if the
+    /// store is at capacity.
+    ///
+    /// # Errors
+    /// [`StoreError::Full`] when every resident record is still live.
+    pub fn insert(&self, record: RunRecord) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        if inner.map.len() >= inner.capacity {
+            let victim = inner.order.iter().copied().find(|id| {
+                inner
+                    .map
+                    .get(id)
+                    .is_some_and(|r| r.session.state().is_terminal())
+            });
+            match victim {
+                Some(id) => {
+                    inner.map.remove(&id);
+                    inner.order.retain(|&k| k != id);
+                }
+                None => {
+                    return Err(StoreError::Full {
+                        capacity: inner.capacity,
+                    })
+                }
+            }
+        }
+        inner.order.push_back(record.id);
+        inner.map.insert(record.id, record);
+        Ok(())
+    }
+
+    /// Flips a run's session state along a legal edge.
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownRun`] or a typed [`StoreError::Illegal`].
+    pub fn advance(&self, id: u64, to: SessionState) -> Result<SessionState, StoreError> {
+        let mut inner = self.lock();
+        let record = inner.map.get_mut(&id).ok_or(StoreError::UnknownRun(id))?;
+        Ok(record.session.advance(to)?)
+    }
+
+    /// The worker's input for a claimed run.
+    pub fn job(&self, id: u64) -> Option<(AdcSpec, SynthConfig, FlowOptions)> {
+        let inner = self.lock();
+        inner
+            .map
+            .get(&id)
+            .map(|r| (r.spec.clone(), r.cfg.clone(), r.options))
+    }
+
+    /// Poll snapshot (no payload body).
+    pub fn status(&self, id: u64) -> Option<RunStatus> {
+        let inner = self.lock();
+        inner.map.get(&id).map(|r| RunStatus {
+            id: r.id,
+            state: r.session.state(),
+            stats: r.stats,
+            error: r.error.clone(),
+        })
+    }
+
+    /// The terminal payload: `(state, payload, error)`. `payload` is
+    /// `Some` only on `Completed`.
+    pub fn result(&self, id: u64) -> Option<(SessionState, Option<String>, Option<String>)> {
+        let inner = self.lock();
+        inner
+            .map
+            .get(&id)
+            .map(|r| (r.session.state(), r.payload.clone(), r.error.clone()))
+    }
+
+    /// Marks a run `Completed` with its stats and rendered payload.
+    ///
+    /// # Errors
+    /// Unknown run or an illegal edge (the run was not `Running`).
+    pub fn complete(&self, id: u64, stats: RunStats, payload: String) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let record = inner.map.get_mut(&id).ok_or(StoreError::UnknownRun(id))?;
+        record.session.advance(SessionState::Completed)?;
+        record.stats = Some(stats);
+        record.payload = Some(payload);
+        Ok(())
+    }
+
+    /// Marks a run `Failed` with a reason (stats ride along when the flow
+    /// got far enough to produce them).
+    ///
+    /// # Errors
+    /// Unknown run or an illegal edge.
+    pub fn fail(&self, id: u64, stats: Option<RunStats>, error: String) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let record = inner.map.get_mut(&id).ok_or(StoreError::UnknownRun(id))?;
+        record.session.advance(SessionState::Failed)?;
+        if stats.is_some() {
+            record.stats = stats;
+        }
+        record.error = Some(error);
+        Ok(())
+    }
+
+    /// Cancels a queued (`Ready`) run: the only state a client may fail.
+    ///
+    /// # Errors
+    /// [`StoreError::NotCancellable`] for any other state.
+    pub fn cancel(&self, id: u64) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let record = inner.map.get_mut(&id).ok_or(StoreError::UnknownRun(id))?;
+        if record.session.state() != SessionState::Ready {
+            return Err(StoreError::NotCancellable(record.session.state()));
+        }
+        record.session.advance(SessionState::Failed)?;
+        record.error = Some("cancelled".to_string());
+        Ok(())
+    }
+
+    /// Drops a terminal record.
+    ///
+    /// # Errors
+    /// [`StoreError::NotEvictable`] while the run is live.
+    pub fn evict(&self, id: u64) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let state = inner
+            .map
+            .get(&id)
+            .ok_or(StoreError::UnknownRun(id))?
+            .session
+            .state();
+        if !state.is_terminal() {
+            return Err(StoreError::NotEvictable(state));
+        }
+        inner.map.remove(&id);
+        inner.order.retain(|&k| k != id);
+        Ok(())
+    }
+
+    /// Resident record count.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, state: SessionState) -> RunRecord {
+        let mut session = Session::new();
+        // Drive the session legally up to the requested state.
+        for to in [
+            SessionState::Elaborated,
+            SessionState::Ready,
+            SessionState::Running,
+            SessionState::Completed,
+        ] {
+            if session.state() == state {
+                break;
+            }
+            if state == SessionState::Failed && session.state() == SessionState::Running {
+                session.advance(SessionState::Failed).unwrap();
+                break;
+            }
+            session.advance(to).unwrap();
+        }
+        RunRecord {
+            id,
+            request: String::new(),
+            spec: AdcSpec::date05(10),
+            cfg: SynthConfig::default(),
+            options: FlowOptions::default(),
+            session,
+            stats: None,
+            payload: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn capacity_evicts_terminal_records_oldest_first() {
+        let store = ResultStore::new(2);
+        store.insert(record(1, SessionState::Completed)).unwrap();
+        store.insert(record(2, SessionState::Completed)).unwrap();
+        store.insert(record(3, SessionState::Ready)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.status(1).is_none(), "oldest terminal evicted");
+        assert!(store.status(2).is_some());
+        assert!(store.status(3).is_some());
+    }
+
+    #[test]
+    fn full_of_live_runs_sheds_typed() {
+        let store = ResultStore::new(2);
+        store.insert(record(1, SessionState::Ready)).unwrap();
+        store.insert(record(2, SessionState::Running)).unwrap();
+        let err = store.insert(record(3, SessionState::Ready)).unwrap_err();
+        assert_eq!(err, StoreError::Full { capacity: 2 });
+    }
+
+    #[test]
+    fn cancel_only_from_ready() {
+        let store = ResultStore::new(8);
+        store.insert(record(1, SessionState::Ready)).unwrap();
+        store.insert(record(2, SessionState::Running)).unwrap();
+        store.cancel(1).unwrap();
+        assert_eq!(store.status(1).unwrap().state, SessionState::Failed);
+        assert_eq!(store.status(1).unwrap().error.as_deref(), Some("cancelled"));
+        assert_eq!(
+            store.cancel(2).unwrap_err(),
+            StoreError::NotCancellable(SessionState::Running)
+        );
+        assert_eq!(store.cancel(7).unwrap_err(), StoreError::UnknownRun(7));
+    }
+
+    #[test]
+    fn eviction_requires_terminal() {
+        let store = ResultStore::new(8);
+        store.insert(record(1, SessionState::Running)).unwrap();
+        assert_eq!(
+            store.evict(1).unwrap_err(),
+            StoreError::NotEvictable(SessionState::Running)
+        );
+        store
+            .complete(1, RunStats::default(), "{}".to_string())
+            .unwrap();
+        store.evict(1).unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn double_completion_is_an_illegal_edge() {
+        let store = ResultStore::new(8);
+        store.insert(record(1, SessionState::Running)).unwrap();
+        store
+            .complete(1, RunStats::default(), "{}".to_string())
+            .unwrap();
+        let err = store
+            .complete(1, RunStats::default(), "{}".to_string())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Illegal(_)), "{err}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Chaos leg of the serving layer (`--features faults`): a seeded fault
+//! injected through a **live server** is absorbed by the flow's recovery
+//! ladder and leaves other in-flight runs untouched.
+#![cfg(feature = "faults")]
+
+use adc_mdac::power::PowerModelParams;
+use adc_mdac::specs::AdcSpec;
+use adc_numerics::faults::{self, FaultAction, FaultPlan, FaultRule, SITE_SYNTH_EXECUTE};
+use adc_serve::http;
+use adc_serve::protocol::{render_payload, SubmitRequest, BACKEND_BITS};
+use adc_serve::{FlowServer, ServerConfig};
+use adc_synth::SynthConfig;
+use adc_topopt::enumerate::enumerate_candidates;
+use adc_topopt::flow::{distinct_mdac_specs, run_flow, FlowOptions, FlowRequest};
+use adc_topopt::wire::JsonValue;
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The fault registry is process-global; these tests serialize on this
+/// lock so concurrent test threads never see each other's plans.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tiny_request(resolution: u32) -> SubmitRequest {
+    SubmitRequest {
+        spec: AdcSpec::date05(resolution),
+        cfg: SynthConfig {
+            iterations: 8,
+            nm_iterations: 2,
+            seed: 13,
+            ..Default::default()
+        },
+        options: FlowOptions::default(),
+    }
+}
+
+fn submit(addr: SocketAddr, req: &SubmitRequest) -> u64 {
+    let (status, body) =
+        http::request(addr, "POST", "/v1/runs", Some(&req.canonical().render())).unwrap();
+    assert_eq!(status, 202, "{body}");
+    match JsonValue::parse(&body).unwrap().get("run_id") {
+        Some(JsonValue::Num(id)) => *id as u64,
+        other => panic!("submit reply without run_id: {other:?}"),
+    }
+}
+
+fn poll_until_terminal(addr: SocketAddr, id: u64) -> JsonValue {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = http::request(addr, "GET", &format!("/v1/runs/{id}"), None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = JsonValue::parse(&body).unwrap();
+        if let Some(JsonValue::Str(state)) = doc.get("state") {
+            if state == "Completed" || state == "Failed" {
+                return doc;
+            }
+        }
+        assert!(Instant::now() < deadline, "run {id} never finished: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn stat(doc: &JsonValue, key: &str) -> f64 {
+    match doc.get("stats").and_then(|s| s.get(key)) {
+        Some(JsonValue::Num(v)) => *v,
+        other => panic!("stats.{key} missing: {other:?}"),
+    }
+}
+
+fn result_subtree(payload: &str) -> String {
+    JsonValue::parse(payload)
+        .unwrap()
+        .get("result")
+        .expect("payload has a result subtree")
+        .render()
+}
+
+/// A single injected fault (first synthesis attempt of one block that
+/// exists **only** in the 13-bit reuse set) hits a live server running a
+/// 13-bit and a 10-bit flow concurrently:
+/// - the 13-bit run recovers through the retry ladder (`recovered == 1`,
+///   no casualties) and completes;
+/// - the concurrent 10-bit run is untouched — its served payload stays
+///   bit-identical to the fault-free serial batch path.
+#[test]
+fn injected_fault_on_live_server_leaves_other_runs_unaffected() {
+    let _g = lock();
+    let req13 = tiny_request(13);
+    let req10 = tiny_request(10);
+
+    // Pick a reuse key unique to the 13-bit set so the scoped fault
+    // cannot touch the 10-bit run.
+    let keys13 = distinct_mdac_specs(&req13.spec, &enumerate_candidates(13, BACKEND_BITS));
+    let keys10 = distinct_mdac_specs(&req10.spec, &enumerate_candidates(10, BACKEND_BITS));
+    let only13 = keys13
+        .iter()
+        .copied()
+        .find(|k| !keys10.contains(k))
+        .expect("13-bit set has a key outside the 10-bit set");
+
+    let server = FlowServer::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    faults::install(FaultPlan::single(
+        11,
+        FaultRule::first(
+            SITE_SYNTH_EXECUTE,
+            &format!("m{}a{}r0", only13.0, only13.1),
+            FaultAction::Panic,
+        ),
+    ));
+    let id13 = submit(addr, &req13);
+    let id10 = submit(addr, &req10);
+    let done13 = poll_until_terminal(addr, id13);
+    let done10 = poll_until_terminal(addr, id10);
+    faults::clear();
+
+    // The faulted run recovered instead of failing.
+    assert_eq!(
+        done13.get("state"),
+        Some(&JsonValue::Str("Completed".to_string())),
+        "{done13:?}"
+    );
+    assert_eq!(stat(&done13, "recovered"), 1.0, "{done13:?}");
+    assert_eq!(stat(&done13, "failed"), 0.0);
+    assert_eq!(stat(&done13, "attempts"), stat(&done13, "blocks") + 1.0);
+
+    // The bystander run is bit-identical to the fault-free batch path.
+    assert_eq!(
+        done10.get("state"),
+        Some(&JsonValue::Str("Completed".to_string()))
+    );
+    assert_eq!(stat(&done10, "recovered"), 0.0);
+    assert_eq!(stat(&done10, "failed"), 0.0);
+    let (status, payload) =
+        http::request(addr, "GET", &format!("/v1/runs/{id10}/result"), None).unwrap();
+    assert_eq!(status, 200);
+    let params = PowerModelParams::calibrated();
+    let candidates = enumerate_candidates(10, BACKEND_BITS);
+    let oracle_run = run_flow(
+        &FlowRequest::new(&req10.spec, &candidates, &params, &req10.cfg).serial(),
+        None,
+    );
+    let oracle = render_payload(&req10, &candidates, &oracle_run, false);
+    assert_eq!(
+        result_subtree(&payload),
+        result_subtree(&oracle),
+        "the injected 13-bit fault leaked into the 10-bit run"
+    );
+    server.shutdown();
+}
+
+/// A fault that kills the whole ladder of a 13-bit-only block degrades
+/// that run to a typed terminal state visible over the wire — the server
+/// never unwinds, and the run's casualties are reported in the payload
+/// path (`Failed` only when no candidate survives, otherwise `Completed`
+/// with failures listed).
+#[test]
+fn ladder_exhausting_fault_is_typed_over_the_wire() {
+    let _g = lock();
+    let req13 = tiny_request(13);
+    let keys13 = distinct_mdac_specs(&req13.spec, &enumerate_candidates(13, BACKEND_BITS));
+    let keys10 = distinct_mdac_specs(
+        &tiny_request(10).spec,
+        &enumerate_candidates(10, BACKEND_BITS),
+    );
+    let only13 = keys13
+        .iter()
+        .copied()
+        .find(|k| !keys10.contains(k))
+        .expect("13-bit set has a key outside the 10-bit set");
+
+    let server = FlowServer::start(ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    faults::install(FaultPlan {
+        seed: 12,
+        rules: (0..3)
+            .map(|r| {
+                FaultRule::first(
+                    SITE_SYNTH_EXECUTE,
+                    &format!("m{}a{}r{r}", only13.0, only13.1),
+                    FaultAction::Panic,
+                )
+            })
+            .collect(),
+    });
+    let id = submit(addr, &req13);
+    let done = poll_until_terminal(addr, id);
+    faults::clear();
+
+    // Candidates that avoid the killed block survive, so the run lands
+    // Completed with the casualty reported in stats; either way the
+    // server stayed up and the state is terminal and typed.
+    let state = match done.get("state") {
+        Some(JsonValue::Str(s)) => s.clone(),
+        other => panic!("no state: {other:?}"),
+    };
+    assert!(state == "Completed" || state == "Failed", "{state}");
+    assert_eq!(stat(&done, "failed"), 1.0, "{done:?}");
+    let (status, body) = http::request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "server must survive the fault: {body}");
+    server.shutdown();
+}

@@ -13,8 +13,7 @@ use pipelined_adc::mdac::specs::AdcSpec;
 use pipelined_adc::synth::SynthConfig;
 use pipelined_adc::topopt::cache::{BlockCache, CachePolicy};
 use pipelined_adc::topopt::enumerate::Candidate;
-use pipelined_adc::topopt::executor::ExecutorOptions;
-use pipelined_adc::topopt::flow::{distinct_mdac_specs, synthesize_candidate_set_with};
+use pipelined_adc::topopt::flow::{distinct_mdac_specs, run_flow, FlowRequest};
 use pipelined_adc::topopt::optimize::optimize_topology;
 use pipelined_adc::topopt::report::{fig1_table, fig3_table, verify_table};
 use pipelined_adc::topopt::rules::derive_rules;
@@ -51,13 +50,9 @@ fn main() {
         ..Default::default()
     };
     let mut cache = BlockCache::new(CachePolicy::Aggressive);
-    let run = synthesize_candidate_set_with(
-        &spec,
-        &leading,
-        &params,
-        &cfg,
+    let run = run_flow(
+        &FlowRequest::new(&spec, &leading, &params, &cfg),
         Some(&mut cache),
-        &ExecutorOptions::default(),
     );
     println!(
         "scheduled {} blocks: {} cold, {} retargeted, {} cache-seeded, {} cache hits ({} evaluations)",

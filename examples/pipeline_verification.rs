@@ -10,8 +10,7 @@ use pipelined_adc::mdac::power::PowerModelParams;
 use pipelined_adc::mdac::specs::AdcSpec;
 use pipelined_adc::synth::SynthConfig;
 use pipelined_adc::topopt::cache::{BlockCache, CachePolicy};
-use pipelined_adc::topopt::executor::ExecutorOptions;
-use pipelined_adc::topopt::flow::synthesize_candidate_set_with;
+use pipelined_adc::topopt::flow::{run_flow, FlowRequest};
 use pipelined_adc::topopt::optimize::optimize_topology;
 use pipelined_adc::topopt::report::verify_table;
 use pipelined_adc::topopt::verify::{build_candidate_testbench, verify_candidate, VerifyOptions};
@@ -36,13 +35,10 @@ fn main() {
         ..Default::default()
     };
     let mut cache = BlockCache::new(CachePolicy::Aggressive);
-    let run = synthesize_candidate_set_with(
-        &spec,
-        std::slice::from_ref(&winner),
-        &params,
-        &cfg,
+    let winner_set = std::slice::from_ref(&winner);
+    let run = run_flow(
+        &FlowRequest::new(&spec, winner_set, &params, &cfg),
         Some(&mut cache),
-        &ExecutorOptions::default(),
     );
     for b in &run.blocks {
         println!(

@@ -14,6 +14,7 @@
 pub use adc_behav as behav;
 pub use adc_mdac as mdac;
 pub use adc_numerics as numerics;
+pub use adc_serve as serve;
 pub use adc_sfg as sfg;
 pub use adc_spice as spice;
 pub use adc_synth as synth;

@@ -20,8 +20,7 @@ use pipelined_adc::topopt::cache::{BlockCache, CachePolicy};
 use pipelined_adc::topopt::enumerate::enumerate_candidates;
 use pipelined_adc::topopt::executor::{ExecutorOptions, FailureKind};
 use pipelined_adc::topopt::flow::{
-    surviving_candidates, synthesize_candidate_set_guarded,
-    synthesize_candidate_set_serial_guarded, FlowOptions, MdacBlock, SynthesisRun,
+    run_flow, surviving_candidates, FlowOptions, FlowRequest, MdacBlock, SynthesisRun,
 };
 use std::sync::Mutex;
 
@@ -57,14 +56,11 @@ fn run_13bit(plan: Option<FaultPlan>, threads: Option<usize>) -> SynthesisRun {
         Some(t) => ExecutorOptions::with_threads(t),
         None => ExecutorOptions::default(),
     };
-    let run = synthesize_candidate_set_guarded(
-        &spec,
-        &cands,
-        &params,
-        &cfg(),
+    let run = run_flow(
+        &FlowRequest::new(&spec, &cands, &params, &cfg())
+            .with_executor(exec)
+            .with_options(FlowOptions::default()),
         None,
-        &exec,
-        &FlowOptions::default(),
     );
     faults::clear();
     run
@@ -106,13 +102,11 @@ fn persistent_synth_fault_degrades_ranking_deterministically() {
         let params = PowerModelParams::calibrated();
         let cands = enumerate_candidates(13, 7);
         faults::install(kill_all_rungs());
-        let run = synthesize_candidate_set_serial_guarded(
-            &spec,
-            &cands,
-            &params,
-            &cfg(),
+        let run = run_flow(
+            &FlowRequest::new(&spec, &cands, &params, &cfg())
+                .serial()
+                .with_options(FlowOptions::default()),
             None,
-            &FlowOptions::default(),
         );
         faults::clear();
         run
@@ -216,25 +210,19 @@ fn corrupted_cache_commit_is_rejected_on_replay() {
         5,
         FaultRule::anywhere(SITE_CACHE_COMMIT, FaultAction::Corrupt),
     ));
-    let first = synthesize_candidate_set_guarded(
-        &spec,
-        &cands,
-        &params,
-        &cfg(),
+    let first = run_flow(
+        &FlowRequest::new(&spec, &cands, &params, &cfg())
+            .with_executor(exec.clone())
+            .with_options(flow),
         Some(&mut cache),
-        &exec,
-        &flow,
     );
     faults::clear();
     assert!(first.failures.is_empty());
-    let replay = synthesize_candidate_set_guarded(
-        &spec,
-        &cands,
-        &params,
-        &cfg(),
+    let replay = run_flow(
+        &FlowRequest::new(&spec, &cands, &params, &cfg())
+            .with_executor(exec.clone())
+            .with_options(flow),
         Some(&mut cache),
-        &exec,
-        &flow,
     );
     assert_eq!(cache.stats().corrupt_dropped, 1, "{:?}", cache.stats());
     assert_eq!(
@@ -260,8 +248,12 @@ fn reproducible_replay_after_recovered_failure_matches_cache_cold() {
     let flow = FlowOptions::default();
     // Kill attempt 0 of the cheapest 10-bit block so it recovers off-plan.
     let key = {
-        let probe =
-            synthesize_candidate_set_guarded(&spec, &cands, &params, &cfg(), None, &exec, &flow);
+        let probe = run_flow(
+            &FlowRequest::new(&spec, &cands, &params, &cfg())
+                .with_executor(exec.clone())
+                .with_options(flow),
+            None,
+        );
         probe.blocks[0].key
     };
     let mut cache = BlockCache::new(CachePolicy::Reproducible);
@@ -273,30 +265,29 @@ fn reproducible_replay_after_recovered_failure_matches_cache_cold() {
             FaultAction::Panic,
         ),
     ));
-    let faulted = synthesize_candidate_set_guarded(
-        &spec,
-        &cands,
-        &params,
-        &cfg(),
+    let faulted = run_flow(
+        &FlowRequest::new(&spec, &cands, &params, &cfg())
+            .with_executor(exec.clone())
+            .with_options(flow),
         Some(&mut cache),
-        &exec,
-        &flow,
     );
     faults::clear();
     assert_eq!(faulted.stats.recovered, 1, "{:?}", faulted.stats);
     // The recovered block (and anything chained off it) was not committed.
     assert!(cache.len() < faulted.blocks.len());
     // Replay against the partially warmed cache ≡ cache-cold run.
-    let replay = synthesize_candidate_set_guarded(
-        &spec,
-        &cands,
-        &params,
-        &cfg(),
+    let replay = run_flow(
+        &FlowRequest::new(&spec, &cands, &params, &cfg())
+            .with_executor(exec.clone())
+            .with_options(flow),
         Some(&mut cache),
-        &exec,
-        &flow,
     );
-    let cold = synthesize_candidate_set_guarded(&spec, &cands, &params, &cfg(), None, &exec, &flow);
+    let cold = run_flow(
+        &FlowRequest::new(&spec, &cands, &params, &cfg())
+            .with_executor(exec.clone())
+            .with_options(flow),
+        None,
+    );
     assert!(replay.stats.cache_hits > 0, "{:?}", replay.stats);
     assert_blocks_bit_identical("replay vs cold", &cold.blocks, &replay.blocks);
     assert!(replay.failures.is_empty());
@@ -312,13 +303,11 @@ fn zero_fault_guarded_runs_are_bit_identical() {
     let params = PowerModelParams::calibrated();
     let cands = enumerate_candidates(13, 7);
     faults::clear();
-    let serial = synthesize_candidate_set_serial_guarded(
-        &spec,
-        &cands,
-        &params,
-        &cfg(),
+    let serial = run_flow(
+        &FlowRequest::new(&spec, &cands, &params, &cfg())
+            .serial()
+            .with_options(FlowOptions::default()),
         None,
-        &FlowOptions::default(),
     );
     assert!(serial.failures.is_empty());
     assert_eq!(serial.stats.failed, 0);

@@ -17,9 +17,7 @@ use pipelined_adc::synth::SynthConfig;
 use pipelined_adc::topopt::cache::{BlockCache, CachePolicy};
 use pipelined_adc::topopt::enumerate::enumerate_candidates;
 use pipelined_adc::topopt::executor::ExecutorOptions;
-use pipelined_adc::topopt::flow::{
-    synthesize_candidate_set_serial_with, synthesize_candidate_set_with, MdacBlock,
-};
+use pipelined_adc::topopt::flow::{run_flow, FlowRequest, MdacBlock};
 
 const RESOLUTIONS: [u32; 2] = [10, 11];
 
@@ -64,7 +62,7 @@ fn assert_blocks_bit_identical(label: &str, a: &[MdacBlock], b: &[MdacBlock]) {
 
 /// Runs the two-resolution flow with an optional shared cache and the given
 /// executor; returns per-resolution blocks and hit counts.
-fn run_flow(
+fn run_resolution_pair(
     cache: Option<&mut BlockCache>,
     exec: &ExecutorOptions,
     serial: bool,
@@ -77,24 +75,12 @@ fn run_flow(
         .map(|&k| {
             let spec = AdcSpec::date05(k);
             let cands = enumerate_candidates(k, 7);
-            let run = if serial {
-                synthesize_candidate_set_serial_with(
-                    &spec,
-                    &cands,
-                    &params,
-                    &config,
-                    cache.as_deref_mut(),
-                )
+            let req = if serial {
+                FlowRequest::new(&spec, &cands, &params, &config).serial()
             } else {
-                synthesize_candidate_set_with(
-                    &spec,
-                    &cands,
-                    &params,
-                    &config,
-                    cache.as_deref_mut(),
-                    exec,
-                )
+                FlowRequest::new(&spec, &cands, &params, &config).with_executor(exec.clone())
             };
+            let run = run_flow(&req, cache.as_deref_mut());
             (run.blocks, run.stats.cache_hits)
         })
         .collect()
@@ -109,13 +95,13 @@ fn run_flow(
 fn cached_cache_cold_and_serial_oracle_are_bit_identical() {
     let exec = ExecutorOptions::default();
     // Cache-cold baseline (no cache at all).
-    let cold = run_flow(None, &exec, false);
+    let cold = run_resolution_pair(None, &exec, false);
     // Reproducible cache shared across both resolutions, parallel executor.
     let mut cache = BlockCache::new(CachePolicy::Reproducible);
-    let cached = run_flow(Some(&mut cache), &exec, false);
+    let cached = run_resolution_pair(Some(&mut cache), &exec, false);
     // Serial oracle with its own cache.
     let mut oracle_cache = BlockCache::new(CachePolicy::Reproducible);
-    let oracle = run_flow(Some(&mut oracle_cache), &exec, true);
+    let oracle = run_resolution_pair(Some(&mut oracle_cache), &exec, true);
 
     for ((k, (a, _)), ((b, b_hits), (c, _))) in RESOLUTIONS
         .iter()
@@ -143,12 +129,12 @@ fn cached_cache_cold_and_serial_oracle_are_bit_identical() {
 fn aggressive_cache_is_deterministic_and_reuses_more() {
     let exec = ExecutorOptions::default();
     let mut repro = BlockCache::new(CachePolicy::Reproducible);
-    let repro_runs = run_flow(Some(&mut repro), &exec, false);
+    let repro_runs = run_resolution_pair(Some(&mut repro), &exec, false);
 
     let mut parallel_cache = BlockCache::new(CachePolicy::Aggressive);
-    let parallel = run_flow(Some(&mut parallel_cache), &exec, false);
+    let parallel = run_resolution_pair(Some(&mut parallel_cache), &exec, false);
     let mut serial_cache = BlockCache::new(CachePolicy::Aggressive);
-    let serial = run_flow(Some(&mut serial_cache), &exec, true);
+    let serial = run_resolution_pair(Some(&mut serial_cache), &exec, true);
 
     for (k, ((a, a_hits), (b, b_hits))) in
         RESOLUTIONS.iter().zip(parallel.iter().zip(serial.iter()))
@@ -179,22 +165,16 @@ fn executor_results_identical_across_thread_counts() {
     let config = cfg();
     let spec = AdcSpec::date05(11);
     let cands = enumerate_candidates(11, 7);
-    let baseline = synthesize_candidate_set_with(
-        &spec,
-        &cands,
-        &params,
-        &config,
+    let baseline = run_flow(
+        &FlowRequest::new(&spec, &cands, &params, &config)
+            .with_executor(ExecutorOptions::with_threads(1)),
         None,
-        &ExecutorOptions::with_threads(1),
     );
     for threads in [2, 4, 8] {
-        let run = synthesize_candidate_set_with(
-            &spec,
-            &cands,
-            &params,
-            &config,
+        let run = run_flow(
+            &FlowRequest::new(&spec, &cands, &params, &config)
+                .with_executor(ExecutorOptions::with_threads(threads)),
             None,
-            &ExecutorOptions::with_threads(threads),
         );
         assert_blocks_bit_identical(&format!("threads {threads}"), &baseline.blocks, &run.blocks);
         assert_eq!(baseline.stats, run.stats, "threads {threads}");
