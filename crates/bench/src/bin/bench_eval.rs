@@ -99,6 +99,13 @@ fn expect_ok(out: EvalOutcome) {
 }
 
 fn main() {
+    // Detected-feature report: which kernel backend every measured row
+    // below dispatches to (`scalar` under ADC_FORCE_SCALAR=1).
+    eprintln!(
+        "simd backend: {} ({} batch lanes)",
+        adc_numerics::simd::backend_name(),
+        adc_numerics::simd::MAX_LANES
+    );
     let proc = Process::c025();
     let nominal = TelescopicParams::nominal().to_vec();
     let mut rows: Vec<Row> = Vec::new();

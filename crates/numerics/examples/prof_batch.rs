@@ -1,0 +1,86 @@
+//! Micro-profile of the batched factor legs on a synthetic MNA-like
+//! system sized to match the chain testbench (dim ~124, nnz ~480).
+//!
+//! Run with `cargo run --release -p adc-numerics --example prof_batch`.
+
+use adc_numerics::complex::Complex;
+use adc_numerics::sparse::{CSparseLuBatch, CsrPattern, Symbolic};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn time_us<F: FnMut()>(label: &str, reps: usize, mut f: F) -> f64 {
+    f();
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let us = t.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    println!("{label:40} {us:10.2} us");
+    us
+}
+
+fn main() {
+    let n = 124usize;
+    // Tridiagonal + a few long-range couplings: similar density to the
+    // chain testbench MNA.
+    let mut entries: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        entries.push((i, i));
+        if i + 1 < n {
+            entries.push((i, i + 1));
+            entries.push((i + 1, i));
+        }
+        if i + 7 < n {
+            entries.push((i, i + 7));
+        }
+        if i >= 11 {
+            entries.push((i, i - 11));
+        }
+    }
+    let (pattern, slots) = CsrPattern::from_entries(n, &entries);
+    let sym = Symbolic::analyze(&pattern).unwrap();
+    println!(
+        "pattern nnz {} factor nnz {} dim {}",
+        pattern.nnz(),
+        sym.factor_nnz(),
+        sym.dim()
+    );
+    let mut base = vec![Complex::ZERO; pattern.nnz()];
+    for (k, &slot) in slots.iter().enumerate() {
+        let (r, c) = entries[k];
+        let v = if r == c {
+            4.0
+        } else {
+            -0.8 - 0.01 * (k % 7) as f64
+        };
+        base[slot] += Complex::from_real(v);
+    }
+    // Caps on the diagonal slots.
+    let cap_slots: Vec<usize> = (0..n)
+        .map(|i| slots[entries.iter().position(|&(r, c)| r == i && c == i).unwrap()])
+        .collect();
+    let cap_vals: Vec<f64> = (0..n).map(|i| 1e-13 * (1.0 + (i % 5) as f64)).collect();
+    let s8: Vec<Complex> = (0..8)
+        .map(|i| Complex::from_polar(1e8, 0.1 + 0.3 * i as f64))
+        .collect();
+    let mut batch = CSparseLuBatch::new(Arc::clone(&sym));
+    for k in [1usize, 2, 4, 8] {
+        time_us(&format!("factor_scaled ({k} lanes)"), 5000, || {
+            batch
+                .factor_scaled(&base, &cap_slots, &cap_vals, black_box(&s8[..k]))
+                .unwrap();
+        });
+    }
+    let b: Vec<Complex> = (0..n)
+        .map(|i| Complex::new(0.1 * i as f64, -0.05))
+        .collect();
+    let mut xs = vec![Complex::ZERO; 8 * n];
+    let mut dets = vec![Complex::ZERO; 8];
+    time_us("solve_into (8 lanes)", 5000, || {
+        batch.solve_into(&b, &mut xs);
+    });
+    time_us("det_into (8 lanes)", 5000, || {
+        batch.det_into(&mut dets);
+    });
+}

@@ -37,6 +37,7 @@ pub mod optimize1d;
 pub mod poly;
 pub mod quant;
 pub mod roots;
+pub mod simd;
 pub mod sparse;
 pub mod stats;
 

@@ -106,8 +106,8 @@ impl Matrix {
     }
 
     /// Accumulates `vals[k]` into flat slot `slots[k]` for every `k`, in
-    /// order, through the same fixed-width 4-lane inner loop as
-    /// `CsrMatrix::scatter_add` — the dense twin of the sparse stamp
+    /// order, through the same shared [`crate::simd::scatter_add`] kernel
+    /// as `CsrMatrix::scatter_add` — the dense twin of the sparse stamp
     /// replay. Accumulation order matches a scalar [`Matrix::add_at`] loop,
     /// so results are bit-identical even when slots repeat.
     ///
@@ -115,19 +115,7 @@ impl Matrix {
     /// Panics if `slots` and `vals` differ in length or a slot is out of
     /// range.
     pub fn scatter_add(&mut self, slots: &[usize], vals: &[f64]) {
-        assert_eq!(slots.len(), vals.len(), "slot/value length mismatch");
-        let out = &mut self.data[..];
-        let mut s4 = slots.chunks_exact(4);
-        let mut v4 = vals.chunks_exact(4);
-        for (s, v) in (&mut s4).zip(&mut v4) {
-            out[s[0]] += v[0];
-            out[s[1]] += v[1];
-            out[s[2]] += v[2];
-            out[s[3]] += v[3];
-        }
-        for (&s, &v) in s4.remainder().iter().zip(v4.remainder()) {
-            out[s] += v;
-        }
+        crate::simd::scatter_add(&mut self.data, slots, vals);
     }
 
     /// Matrix–vector product.
@@ -374,13 +362,16 @@ impl Lu {
                 self.sign = -self.sign;
             }
             let pivot = lu[k * n + k];
-            for i in (k + 1)..n {
-                let f = lu[i * n + k] / pivot;
-                lu[i * n + k] = f;
+            // Row updates through the SIMD axpy kernel: split below the
+            // pivot row so the eliminator row and its targets can be
+            // borrowed together.
+            let (top, rest) = lu.split_at_mut((k + 1) * n);
+            let krow = &top[k * n + k + 1..(k + 1) * n];
+            for irow in rest.chunks_exact_mut(n) {
+                let f = irow[k] / pivot;
+                irow[k] = f;
                 if f != 0.0 {
-                    for j in (k + 1)..n {
-                        lu[i * n + j] -= f * lu[k * n + j];
-                    }
+                    crate::simd::axpy_sub(&mut irow[k + 1..n], krow, f);
                 }
             }
         }
@@ -621,14 +612,15 @@ impl CLu {
                 self.sign = -self.sign;
             }
             let pivot = lu[k * n + k];
-            for i in (k + 1)..n {
-                let f = lu[i * n + k] / pivot;
-                lu[i * n + k] = f;
+            // Complex row updates through the SIMD caxpy kernel (same split
+            // shape as the real factorization).
+            let (top, rest) = lu.split_at_mut((k + 1) * n);
+            let krow = &top[k * n + k + 1..(k + 1) * n];
+            for irow in rest.chunks_exact_mut(n) {
+                let f = irow[k] / pivot;
+                irow[k] = f;
                 if f.norm() != 0.0 {
-                    for j in (k + 1)..n {
-                        let akj = lu[k * n + j];
-                        lu[i * n + j] -= f * akj;
-                    }
+                    crate::simd::caxpy_sub(&mut irow[k + 1..n], krow, f);
                 }
             }
         }

@@ -192,46 +192,24 @@ impl CsrMatrix {
     }
 
     /// Accumulates `vals[k]` into slot `slots[k]` for every `k`, in order,
-    /// through a fixed-width (4-lane) inner loop the autovectorizer can
-    /// lift. Accumulation order matches the scalar `add_slot` loop, so
-    /// results are bit-identical even when slots repeat.
+    /// through the shared [`crate::simd::scatter_add`] kernel. Accumulation
+    /// order matches the scalar `add_slot` loop, so results are
+    /// bit-identical even when slots repeat.
     ///
     /// # Panics
     /// Panics if `slots` and `vals` differ in length or a slot is out of
     /// range.
     pub fn scatter_add(&mut self, slots: &[usize], vals: &[f64]) {
-        assert_eq!(slots.len(), vals.len(), "slot/value length mismatch");
-        let out = &mut self.vals[..];
-        let mut s4 = slots.chunks_exact(4);
-        let mut v4 = vals.chunks_exact(4);
-        for (s, v) in (&mut s4).zip(&mut v4) {
-            out[s[0]] += v[0];
-            out[s[1]] += v[1];
-            out[s[2]] += v[2];
-            out[s[3]] += v[3];
-        }
-        for (&s, &v) in s4.remainder().iter().zip(v4.remainder()) {
-            out[s] += v;
-        }
+        crate::simd::scatter_add(&mut self.vals, slots, vals);
     }
 
     /// Accumulates the constant `v` into every slot of `slots` (the g_min
-    /// node-diagonal replay), chunked like [`CsrMatrix::scatter_add`].
+    /// node-diagonal replay) through [`crate::simd::scatter_add_uniform`].
     ///
     /// # Panics
     /// Panics if a slot is out of range.
     pub fn scatter_add_uniform(&mut self, slots: &[usize], v: f64) {
-        let out = &mut self.vals[..];
-        let mut s4 = slots.chunks_exact(4);
-        for s in &mut s4 {
-            out[s[0]] += v;
-            out[s[1]] += v;
-            out[s[2]] += v;
-            out[s[3]] += v;
-        }
-        for &s in s4.remainder() {
-            out[s] += v;
-        }
+        crate::simd::scatter_add_uniform(&mut self.vals, slots, v);
     }
 
     /// Matrix–vector product into a caller-owned buffer (no allocation).
@@ -309,30 +287,16 @@ impl CCsrMatrix {
     }
 
     /// Accumulates `s · vals[k]` into slot `slots[k]` for every `k` — the
-    /// per-sample replay of `s`-scaled capacitive entries. The complex
-    /// products are formed in a fixed-width 4-lane block (struct-of-arrays
-    /// friendly, liftable by the autovectorizer) before the scattered
-    /// accumulation; order matches the scalar loop, so results are
-    /// bit-identical.
+    /// per-sample replay of `s`-scaled capacitive entries, through
+    /// [`crate::simd::scatter_add_scaled`]: the complex products are formed
+    /// SIMD-wide before the scattered accumulation; order matches the
+    /// scalar loop, so results are bit-identical.
     ///
     /// # Panics
     /// Panics if `slots` and `vals` differ in length or a slot is out of
     /// range.
     pub fn scatter_add_scaled(&mut self, slots: &[usize], vals: &[f64], s: Complex) {
-        assert_eq!(slots.len(), vals.len(), "slot/value length mismatch");
-        let out = &mut self.vals[..];
-        let mut s4 = slots.chunks_exact(4);
-        let mut v4 = vals.chunks_exact(4);
-        for (sl, v) in (&mut s4).zip(&mut v4) {
-            let prod = [s * v[0], s * v[1], s * v[2], s * v[3]];
-            out[sl[0]] += prod[0];
-            out[sl[1]] += prod[1];
-            out[sl[2]] += prod[2];
-            out[sl[3]] += prod[3];
-        }
-        for (&sl, &v) in s4.remainder().iter().zip(v4.remainder()) {
-            out[sl] += s * v;
-        }
+        crate::simd::scatter_add_scaled(&mut self.vals, slots, vals, s);
     }
 
     /// Densifies to a [`CMatrix`] (oracle comparisons in tests).
@@ -369,6 +333,15 @@ pub struct Symbolic {
     f_diag: Vec<usize>,
     /// Input nonzero `k` scatters into factor position `scatter[k]`.
     scatter: Vec<usize>,
+    /// Elimination schedule: for each row `i` (ascending), each
+    /// eliminating position `pos ∈ row_ptr[i]..f_diag[i]` (ascending), the
+    /// factor positions *within row i* receiving row `j = f_col[pos]`'s
+    /// update entries `f_diag[j]+1..row_ptr[j+1]`, flattened in order. The
+    /// fill closure guarantees every update column exists in row `i`, so
+    /// the batched factor can eliminate in place — no scatter workspace,
+    /// no copy in/out — while reproducing the workspace walk's arithmetic
+    /// order exactly.
+    e_target: Vec<usize>,
     /// The analyzed input pattern (refactor sanity checks).
     pattern: Arc<CsrPattern>,
 }
@@ -536,6 +509,22 @@ impl Symbolic {
             }
         }
 
+        // Elimination schedule: in-row target position of every update.
+        let mut e_target = Vec::new();
+        let mut colpos = vec![0usize; n];
+        for i in 0..n {
+            let (start, end) = (f_row_ptr[i], f_row_ptr[i + 1]);
+            for pos in start..end {
+                colpos[f_col[pos]] = pos;
+            }
+            for pos in start..f_diag[i] {
+                let j = f_col[pos];
+                for q in (f_diag[j] + 1)..f_row_ptr[j + 1] {
+                    e_target.push(colpos[f_col[q]]);
+                }
+            }
+        }
+
         let sign = perm_sign(&row_perm) * perm_sign(&col_perm);
         Ok(Arc::new(Symbolic {
             n,
@@ -546,6 +535,7 @@ impl Symbolic {
             f_col,
             f_diag,
             scatter,
+            e_target,
             pattern: Arc::clone(pattern),
         }))
     }
@@ -606,6 +596,16 @@ trait Scalar:
 {
     const ZERO: Self;
     fn mag(self) -> f64;
+    /// Pivot screen: `true` iff `self.mag() >= t` — same decision as
+    /// computing the magnitude, but with a cheap component test that
+    /// short-circuits the `hypot` for every healthy pivot (the common
+    /// case by ~every pivot of a well-posed system).
+    fn mag_ge(self, t: f64) -> bool;
+    /// `w[cols[q]] -= f · vals[q]` — the elimination inner update, routed
+    /// through the SIMD dispatch (product formation vectorized, scattered
+    /// subtraction in scalar program order; bit-identical to the plain
+    /// loop).
+    fn scatter_axpy_sub(w: &mut [Self], cols: &[usize], vals: &[Self], f: Self);
 }
 
 impl Scalar for f64 {
@@ -614,6 +614,14 @@ impl Scalar for f64 {
     fn mag(self) -> f64 {
         self.abs()
     }
+    #[inline]
+    fn mag_ge(self, t: f64) -> bool {
+        self.abs() >= t
+    }
+    #[inline]
+    fn scatter_axpy_sub(w: &mut [f64], cols: &[usize], vals: &[f64], f: f64) {
+        crate::simd::scatter_axpy_sub(w, cols, vals, f);
+    }
 }
 
 impl Scalar for Complex {
@@ -621,6 +629,17 @@ impl Scalar for Complex {
     #[inline]
     fn mag(self) -> f64 {
         self.norm()
+    }
+    #[inline]
+    fn mag_ge(self, t: f64) -> bool {
+        // |z| ≥ max(|re|, |im|), so a component beyond 2t proves |z| ≥ t
+        // (2× margin absorbs hypot rounding) without the hypot call; only
+        // borderline pivots fall through to the exact norm.
+        self.re.abs() > 2.0 * t || self.im.abs() > 2.0 * t || self.norm() >= t
+    }
+    #[inline]
+    fn scatter_axpy_sub(w: &mut [Complex], cols: &[usize], vals: &[Complex], f: Complex) {
+        crate::simd::scatter_caxpy_sub(w, cols, vals, f);
     }
 }
 
@@ -658,16 +677,18 @@ fn factor_core<T: Scalar>(
             let j = sym.f_col[pos];
             let f = w[j] / fvals[sym.f_diag[j]];
             w[j] = f;
-            for q in (sym.f_diag[j] + 1)..sym.f_row_ptr[j + 1] {
-                w[sym.f_col[q]] -= f * fvals[q];
-            }
+            let (d, e) = (sym.f_diag[j] + 1, sym.f_row_ptr[j + 1]);
+            T::scatter_axpy_sub(w, &sym.f_col[d..e], &fvals[d..e], f);
         }
         for pos in start..end {
             fvals[pos] = w[sym.f_col[pos]];
         }
-        let pivot = fvals[sym.f_diag[i]].mag();
-        if pivot < SINGULAR_TOL {
-            return Err(NumericsError::SingularMatrix { step: i, pivot });
+        let piv = fvals[sym.f_diag[i]];
+        if !piv.mag_ge(SINGULAR_TOL) {
+            return Err(NumericsError::SingularMatrix {
+                step: i,
+                pivot: piv.mag(),
+            });
         }
     }
     Ok(())
@@ -840,6 +861,250 @@ impl CSparseLu {
             d *= self.fvals[self.sym.f_diag[i]];
         }
         d
+    }
+}
+
+/// Maximum lane count of the batched factor storage.
+const ML: usize = crate::simd::MAX_LANES;
+
+/// Batched sparse complex LU over a frozen [`Symbolic`]: factors the same
+/// pattern at up to [`crate::simd::MAX_LANES`] frequency samples
+/// `Y(s_l) = G + s_l·C` through **one** struct-of-arrays workspace, walking
+/// the symbolic traversal (row pointers, scatter maps, permutations) once
+/// for all lanes instead of once per sample.
+///
+/// This is the engine behind det-sampling TF extraction and AC sweeps: the
+/// per-sample cost there is dominated by pattern traversal and scattered
+/// memory walks that are identical across samples. Splitting values into
+/// re/im lane arrays (position-major, lane-minor, stride = the batch's
+/// actual lane count so partial batches touch proportionally less memory)
+/// makes the inner elimination update a contiguous
+/// [`crate::simd::lane_cmul_sub`] and the multiplier/pivot divisions a
+/// [`crate::simd::lane_cdiv`] over lanes.
+///
+/// **Bit-identity:** every lane reproduces the serial
+/// [`CSparseLu::factor_into`] / [`CSparseLu::solve_into`] /
+/// [`CSparseLu::det`] results bit for bit — assembly writes `0.0 + v` at
+/// base positions and `+0.0` at fill positions exactly as the serial
+/// `fill(ZERO)` + accumulate does (signed zeros included), elimination
+/// performs the same rounded operations per lane (no FMA), and the lane
+/// division reproduces Smith's branchy scalar division per lane. A pivot
+/// underflow in **any** lane fails the whole batch
+/// ([`NumericsError::SingularMatrix`]); callers redo the chunk serially so
+/// per-sample outcomes (including dense fallbacks) match the serial path
+/// exactly.
+#[derive(Debug)]
+pub struct CSparseLuBatch {
+    sym: Arc<Symbolic>,
+    lanes: usize,
+    /// Factor positions *not* written by the (injective) assembly scatter —
+    /// the symbolic fill-in. Zeroed explicitly each factorization instead
+    /// of memsetting the whole factor storage.
+    fill_pos: Vec<usize>,
+    f_re: Vec<f64>,
+    f_im: Vec<f64>,
+    y_re: Vec<f64>,
+    y_im: Vec<f64>,
+}
+
+impl CSparseLuBatch {
+    /// Creates a batch workspace over a symbolic analysis.
+    pub fn new(sym: Arc<Symbolic>) -> Self {
+        let (nnz, n) = (sym.factor_nnz(), sym.dim());
+        let mut is_base = vec![false; nnz];
+        for &p in &sym.scatter {
+            is_base[p] = true;
+        }
+        let fill_pos: Vec<usize> = (0..nnz).filter(|&p| !is_base[p]).collect();
+        CSparseLuBatch {
+            sym,
+            lanes: 0,
+            fill_pos,
+            f_re: vec![0.0; nnz * ML],
+            f_im: vec![0.0; nnz * ML],
+            y_re: vec![0.0; n * ML],
+            y_im: vec![0.0; n * ML],
+        }
+    }
+
+    /// The shared symbolic factorization.
+    pub fn symbolic(&self) -> &Arc<Symbolic> {
+        &self.sym
+    }
+
+    /// Lanes occupied by the most recent factorization.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Factors `Y(s_l) = base + s_l·C` for every sample in `s`
+    /// (`1..=MAX_LANES` lanes). `base` is the value array of the analyzed
+    /// pattern; `cap_slots[j]`/`cap_vals[j]` address the `s`-scaled entries
+    /// by nonzero slot, exactly as [`CCsrMatrix::scatter_add_scaled`]
+    /// replays them.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot magnitude
+    /// underflows in **any** lane (the whole batch is then invalid — redo
+    /// the samples serially).
+    ///
+    /// # Panics
+    /// Panics if `base` does not match the analyzed pattern's nonzero
+    /// count, `cap_slots`/`cap_vals` differ in length, or `s` is empty or
+    /// longer than [`crate::simd::MAX_LANES`].
+    pub fn factor_scaled(
+        &mut self,
+        base: &[Complex],
+        cap_slots: &[usize],
+        cap_vals: &[f64],
+        s: &[Complex],
+    ) -> NumResult<()> {
+        let sym = Arc::clone(&self.sym);
+        let lanes = s.len();
+        assert!((1..=ML).contains(&lanes), "1..={ML} lanes supported");
+        assert_eq!(base.len(), sym.scatter.len(), "pattern mismatch");
+        assert_eq!(cap_slots.len(), cap_vals.len(), "cap slot/value mismatch");
+        self.lanes = lanes;
+        // Re-stride the storage to the batch's actual lane count so a
+        // 2-lane batch walks a quarter of an 8-lane batch's memory. The
+        // capacity was reserved at MAX_LANES, so this never reallocates;
+        // stale contents are fine — every position is written below.
+        let nnz = sym.factor_nnz();
+        self.f_re.resize(nnz * lanes, 0.0);
+        self.f_im.resize(nnz * lanes, 0.0);
+        self.y_re.resize(sym.n * lanes, 0.0);
+        self.y_im.resize(sym.n * lanes, 0.0);
+        // Assemble like the serial path: `0.0 + v` at base positions (the
+        // scatter map is injective, so this is exactly the serial
+        // `fill(ZERO)` + `+=` result, signed zeros included), explicit
+        // `+0.0` at the fill-in positions, then the s-scaled cap entries
+        // accumulate in entry order — all behind one kernel dispatch.
+        let mut s_re = [0.0f64; ML];
+        let mut s_im = [0.0f64; ML];
+        for (l, &sl) in s.iter().enumerate() {
+            s_re[l] = sl.re;
+            s_im[l] = sl.im;
+        }
+        crate::simd::lane_assemble(
+            &mut self.f_re,
+            &mut self.f_im,
+            base,
+            &sym.scatter,
+            &self.fill_pos,
+            cap_slots,
+            cap_vals,
+            &s_re[..lanes],
+            &s_im[..lanes],
+            lanes,
+        );
+        // Up-looking row elimination, all lanes in lockstep, behind a
+        // single kernel dispatch and in place in the factor storage via
+        // the precomputed elimination schedule (no scatter workspace, no
+        // copy in/out). The eliminating pivots passed the singularity
+        // check, so exact-zero divisors never reach the kernel; the check
+        // itself decides exactly as the serial per-lane `norm() < tol`
+        // test would.
+        if let Some((step, pivot)) = crate::simd::lane_factor_rows(
+            &mut self.f_re,
+            &mut self.f_im,
+            &sym.f_row_ptr,
+            &sym.f_col,
+            &sym.f_diag,
+            &sym.e_target,
+            lanes,
+            SINGULAR_TOL,
+        ) {
+            return Err(NumericsError::SingularMatrix { step, pivot });
+        }
+        Ok(())
+    }
+
+    /// Solves `Y(s_l) x_l = b` for every factored lane, sharing the single
+    /// right-hand side. Lane `l`'s solution lands in
+    /// `xs[l·n .. (l+1)·n]`. `xs` may cover fewer lanes than were
+    /// factored — only the leading `xs.len() / n` lanes are emitted,
+    /// which lets callers discard padding lanes added for vector
+    /// alignment.
+    ///
+    /// # Panics
+    /// Panics if no factorization is stored, `b.len()` differs from the
+    /// dimension, or `xs.len()` is not a positive multiple of `n` of at
+    /// most `lanes·n`.
+    pub fn solve_into(&mut self, b: &[Complex], xs: &mut [Complex]) {
+        let sym = &self.sym;
+        let lanes = self.lanes;
+        assert!(lanes > 0, "factor before solving");
+        assert_eq!(b.len(), sym.n, "dimension mismatch");
+        assert_eq!(xs.len() % sym.n, 0, "output length mismatch");
+        let out_lanes = xs.len() / sym.n;
+        assert!((1..=lanes).contains(&out_lanes), "output length mismatch");
+        // L y = P_r b (unit diagonal), all lanes in lockstep, one kernel
+        // dispatch for the whole pass — accumulator lanes in registers.
+        crate::simd::lane_fwd_all(
+            &mut self.y_re,
+            &mut self.y_im,
+            b,
+            &sym.row_perm,
+            &sym.f_row_ptr,
+            &sym.f_col,
+            &sym.f_diag,
+            &self.f_re,
+            &self.f_im,
+            lanes,
+        );
+        // U x' = y (fused row update + pivot division; pivots passed the
+        // singularity check, so exact-zero divisors never reach the
+        // kernel), then undo the column permutation per lane.
+        crate::simd::lane_bwd_all(
+            &mut self.y_re,
+            &mut self.y_im,
+            &sym.f_row_ptr,
+            &sym.f_col,
+            &sym.f_diag,
+            &self.f_re,
+            &self.f_im,
+            lanes,
+        );
+        for (j, &pc) in sym.col_perm.iter().enumerate() {
+            let jm = j * lanes;
+            for l in 0..out_lanes {
+                xs[l * sym.n + pc] = Complex::new(self.y_re[jm + l], self.y_im[jm + l]);
+            }
+        }
+    }
+
+    /// Determinants of the factored lanes (product of pivots in elimination
+    /// order, permutation parity folded in — exactly [`CSparseLu::det`] per
+    /// lane). `dets` may cover fewer lanes than were factored — only the
+    /// leading `dets.len()` lanes are emitted, which lets callers discard
+    /// padding lanes added for vector alignment.
+    ///
+    /// # Panics
+    /// Panics if `dets` is empty or longer than the factored lane count.
+    pub fn det_into(&self, dets: &mut [Complex]) {
+        let m = dets.len();
+        assert!((1..=self.lanes).contains(&m), "lane count mismatch");
+        let lanes = self.lanes;
+        // Position-major walk with all requested lane accumulators live:
+        // sequential pivot loads, and the per-lane product (exactly
+        // Complex::mul — four rounded multiplies, one rounded sub/add per
+        // component) vectorizes across lanes.
+        let mut acc_re = [0.0f64; ML];
+        let mut acc_im = [0.0f64; ML];
+        acc_re[..m].fill(self.sym.sign);
+        for i in 0..self.sym.n {
+            let p = self.sym.f_diag[i] * lanes;
+            let pr = &self.f_re[p..p + m];
+            let pi = &self.f_im[p..p + m];
+            for l in 0..m {
+                let (ar, ai) = (acc_re[l], acc_im[l]);
+                acc_re[l] = ar * pr[l] - ai * pi[l];
+                acc_im[l] = ar * pi[l] + ai * pr[l];
+            }
+        }
+        for (l, d) in dets.iter_mut().enumerate() {
+            *d = Complex::new(acc_re[l], acc_im[l]);
+        }
     }
 }
 
@@ -1019,6 +1284,114 @@ mod tests {
         let mut cchunked = CCsrMatrix::zeros(Arc::clone(&pat));
         cchunked.scatter_add_scaled(&replay, &vals, s);
         assert_eq!(cscalar.values(), cchunked.values());
+    }
+
+    /// Batched factor/solve/det must reproduce the serial `CSparseLu` path
+    /// bit for bit on every lane, for every batch width, including ragged
+    /// final chunks.
+    #[test]
+    fn batched_factor_solve_matches_serial_bitwise() {
+        // MNA-shaped complex system: conductance tridiagonal base + a few
+        // s-scaled cap entries (some sharing slots with base entries).
+        let n = 12;
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            entries.push((i, i));
+            if i + 1 < n {
+                entries.push((i, i + 1));
+                entries.push((i + 1, i));
+            }
+        }
+        let (pat, slots) = CsrPattern::from_entries(n, &entries);
+        let mut base = CCsrMatrix::zeros(Arc::clone(&pat));
+        for (k, &s) in slots.iter().enumerate() {
+            let v = Complex::new(1.5 + (k as f64 * 0.61).sin(), 0.0);
+            base.add_slot(s, v);
+        }
+        // Cap replay: diagonal caps plus coupling caps, with a duplicate.
+        let mut cap_slots: Vec<usize> = Vec::new();
+        let mut cap_vals: Vec<f64> = Vec::new();
+        for i in 0..n {
+            cap_slots.push(pat.find(i, i).unwrap());
+            cap_vals.push(1e-12 * (1.0 + i as f64));
+        }
+        cap_slots.push(pat.find(0, 1).unwrap());
+        cap_vals.push(-2e-13);
+        cap_slots.push(pat.find(0, 0).unwrap()); // duplicate slot
+        cap_vals.push(3e-13);
+
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.77).cos(), (i as f64 * 0.31).sin()))
+            .collect();
+        let samples: Vec<Complex> = (0..7)
+            .map(|k| Complex::from_polar(1e9, 0.3 + 0.4 * k as f64))
+            .collect();
+
+        // Serial oracle per sample.
+        let mut serial = CSparseLu::new(Arc::clone(&sym));
+        let mut y = base.clone();
+        let mut serial_dets = Vec::new();
+        let mut serial_xs = Vec::new();
+        for &s in &samples {
+            y.values_mut().copy_from_slice(base.values());
+            y.scatter_add_scaled(&cap_slots, &cap_vals, s);
+            serial.factor_into(&y).unwrap();
+            serial_dets.push(serial.det());
+            let mut x = vec![Complex::ZERO; n];
+            serial.solve_into(&b, &mut x);
+            serial_xs.push(x);
+        }
+
+        // Batched, in widths 1..=MAX_LANES over the same samples.
+        let mut batch = CSparseLuBatch::new(Arc::clone(&sym));
+        for width in 1..=crate::simd::MAX_LANES {
+            let mut k0 = 0;
+            while k0 < samples.len() {
+                let chunk = &samples[k0..(k0 + width).min(samples.len())];
+                batch
+                    .factor_scaled(base.values(), &cap_slots, &cap_vals, chunk)
+                    .unwrap();
+                let mut dets = vec![Complex::ZERO; chunk.len()];
+                batch.det_into(&mut dets);
+                let mut xs = vec![Complex::ZERO; chunk.len() * n];
+                batch.solve_into(&b, &mut xs);
+                for (l, d) in dets.iter().enumerate() {
+                    let want = serial_dets[k0 + l];
+                    assert_eq!(d.re.to_bits(), want.re.to_bits(), "width {width}");
+                    assert_eq!(d.im.to_bits(), want.im.to_bits(), "width {width}");
+                    for (xb, xw) in xs[l * n..(l + 1) * n].iter().zip(&serial_xs[k0 + l]) {
+                        assert_eq!(xb.re.to_bits(), xw.re.to_bits(), "width {width}");
+                        assert_eq!(xb.im.to_bits(), xw.im.to_bits(), "width {width}");
+                    }
+                }
+                k0 += width;
+            }
+        }
+    }
+
+    /// Any-lane pivot underflow fails the whole batch.
+    #[test]
+    fn batched_factor_reports_singular_lane() {
+        let (pat, slots) = CsrPattern::from_entries(2, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let mut base = CCsrMatrix::zeros(Arc::clone(&pat));
+        // Y(s) = [[1, 1], [1, 1 + s·1]]: singular at s = 0, regular else.
+        for &s in &slots {
+            base.add_slot(s, Complex::ONE);
+        }
+        let cap_slots = [pat.find(1, 1).unwrap()];
+        let cap_vals = [1.0];
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut batch = CSparseLuBatch::new(sym);
+        let good = [Complex::new(0.0, 2.0), Complex::new(0.0, 3.0)];
+        assert!(batch
+            .factor_scaled(base.values(), &cap_slots, &cap_vals, &good)
+            .is_ok());
+        let bad = [Complex::new(0.0, 2.0), Complex::ZERO];
+        assert!(matches!(
+            batch.factor_scaled(base.values(), &cap_slots, &cap_vals, &bad),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
     }
 
     #[test]

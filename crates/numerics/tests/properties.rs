@@ -270,3 +270,231 @@ proptest! {
         }
     }
 }
+
+/// Bitwise equality helper for complex slices (property tests below pin
+/// the SIMD dispatch to the scalar oracle bit-for-bit, not approximately).
+fn assert_bits_eq(a: &[Complex], b: &[Complex]) -> proptest::CaseResult {
+    for (x, y) in a.iter().zip(b) {
+        prop_assert_eq!(x.re.to_bits(), y.re.to_bits(), "{:?} vs {:?}", x, y);
+        prop_assert_eq!(x.im.to_bits(), y.im.to_bits(), "{:?} vs {:?}", x, y);
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The dispatched scatter/axpy kernels equal their scalar oracles
+    /// bit-for-bit on random slot/value sets — unaligned lengths,
+    /// duplicate slots, and subnormal values included. (On CPUs without
+    /// SIMD, or under ADC_FORCE_SCALAR=1, both sides run the oracle and
+    /// the test degenerates to a tautology — the CI matrix runs both.)
+    #[test]
+    fn scatter_axpy_kernels_match_scalar_oracles_bitwise(
+        vals in proptest::collection::vec(
+            prop_oneof![4 => -10.0f64..10.0, 1 => Just(1e-310), 1 => Just(-3.0e-312)],
+            1..39,
+        ),
+        slots in proptest::collection::vec(0usize..24, 1..39),
+        fre in -4.0f64..4.0,
+        fim in -4.0f64..4.0,
+    ) {
+        use adc_numerics::simd;
+        let k = vals.len().min(slots.len());
+        let f = Complex::new(fre, fim);
+
+        // Complex scaled scatter with duplicate slots.
+        let init: Vec<Complex> = (0..24).map(|i| Complex::new(0.1 * i as f64, -0.2)).collect();
+        let (mut a, mut b) = (init.clone(), init);
+        simd::scatter_add_scaled(&mut a, &slots[..k], &vals[..k], f);
+        simd::scatter_add_scaled_scalar(&mut b, &slots[..k], &vals[..k], f);
+        assert_bits_eq(&a, &b)?;
+
+        // Dense row updates at an unaligned length.
+        let mut d1: Vec<f64> = (0..vals.len()).map(|i| 0.3 * i as f64 - 1.0).collect();
+        let mut d2 = d1.clone();
+        simd::axpy_sub(&mut d1, &vals, fre);
+        simd::axpy_sub_scalar(&mut d2, &vals, fre);
+        for (x, y) in d1.iter().zip(&d2) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let csrc: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.5 - v)).collect();
+        let mut c1: Vec<Complex> = (0..vals.len()).map(|i| Complex::new(1.0, i as f64)).collect();
+        let mut c2 = c1.clone();
+        simd::caxpy_sub(&mut c1, &csrc, f);
+        simd::caxpy_sub_scalar(&mut c2, &csrc, f);
+        assert_bits_eq(&c1, &c2)?;
+
+        // Scattered row updates (cols may repeat here; program order is
+        // part of the contract).
+        let mut w1 = vec![0.25f64; 24];
+        let mut w2 = w1.clone();
+        simd::scatter_axpy_sub(&mut w1, &slots[..k], &vals[..k], fre);
+        simd::scatter_axpy_sub_scalar(&mut w2, &slots[..k], &vals[..k], fre);
+        for (x, y) in w1.iter().zip(&w2) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let mut cw1: Vec<Complex> = (0..24).map(|i| Complex::new(-0.5, 0.05 * i as f64)).collect();
+        let mut cw2 = cw1.clone();
+        simd::scatter_caxpy_sub(&mut cw1, &slots[..k], &csrc[..k], f);
+        simd::scatter_caxpy_sub_scalar(&mut cw2, &slots[..k], &csrc[..k], f);
+        assert_bits_eq(&cw1, &cw2)?;
+    }
+
+    /// The split re/im lane kernels (complex multiply-subtract and Smith
+    /// division) equal their scalar oracles bit-for-bit at unaligned lane
+    /// counts, subnormal numerators included.
+    #[test]
+    fn lane_split_kernels_match_scalar_oracles_bitwise(
+        are in proptest::collection::vec(
+            prop_oneof![4 => -10.0f64..10.0, 1 => Just(2e-311)], 1..19),
+        shift in 0.0f64..1.0,
+    ) {
+        use adc_numerics::simd;
+        let n = are.len();
+        let aim: Vec<f64> = are.iter().map(|&v| 0.7 - v).collect();
+        let bre: Vec<f64> = (0..n).map(|i| 0.1 + 0.37 * ((i as f64) + shift)).collect();
+        let bim: Vec<f64> = (0..n).map(|i| -2.0 + 0.19 * i as f64).collect();
+        let (mut dr1, mut di1): (Vec<f64>, Vec<f64>) = (vec![0.4; n], vec![-0.6; n]);
+        let (mut dr2, mut di2) = (dr1.clone(), di1.clone());
+        simd::lane_cmul_sub(&mut dr1, &mut di1, &are, &aim, &bre, &bim);
+        simd::lane_cmul_sub_scalar(&mut dr2, &mut di2, &are, &aim, &bre, &bim);
+        for (x, y) in dr1.iter().chain(&di1).zip(dr2.iter().chain(&di2)) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let (mut qr1, mut qi1): (Vec<f64>, Vec<f64>) = (vec![0.0; n], vec![0.0; n]);
+        let (mut qr2, mut qi2) = (qr1.clone(), qi1.clone());
+        simd::lane_cdiv(&mut qr1, &mut qi1, &are, &aim, &bre, &bim);
+        simd::lane_cdiv_scalar(&mut qr2, &mut qi2, &are, &aim, &bre, &bim);
+        for (x, y) in qr1.iter().chain(&qi1).zip(qr2.iter().chain(&qi2)) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The batched assembly kernel equals its scalar oracle bit-for-bit:
+    /// random base values, duplicate cap slots, subnormal cap values, and
+    /// every lane width 1..=MAX_LANES.
+    #[test]
+    fn lane_assemble_matches_scalar_oracle_bitwise(
+        base_vals in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 6..20),
+        cap_sel in proptest::collection::vec(0usize..64, 1..10),
+        cap_mag in prop_oneof![3 => 1e-13f64..1e-11, 1 => Just(4e-310)],
+        lanes in 1usize..9,
+        sm in 0.5f64..2.0,
+    ) {
+        use adc_numerics::simd;
+        let nnz = base_vals.len() + 2; // two fill-in positions
+        let base: Vec<Complex> = base_vals.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+        // Injective base scatter (reversed order exercises non-monotonic
+        // stores); two trailing factor positions are fill-ins.
+        let scatter: Vec<usize> = (0..base.len()).rev().collect();
+        let fill_pos = vec![base.len(), base.len() + 1];
+        // Cap slots index into `scatter` and may repeat (accumulation
+        // order is part of the contract).
+        let cap_slots: Vec<usize> = cap_sel.iter().map(|&s| s % base.len()).collect();
+        let cap_vals: Vec<f64> = cap_slots.iter().enumerate()
+            .map(|(i, _)| cap_mag * (1.0 + i as f64)).collect();
+        let s_re: Vec<f64> = (0..lanes).map(|l| sm * (1.0 + 0.1 * l as f64)).collect();
+        let s_im: Vec<f64> = (0..lanes).map(|l| -sm * (0.3 + 0.2 * l as f64)).collect();
+        let mut f1 = vec![7.5f64; nnz * lanes]; // stale garbage must be overwritten
+        let mut g1 = vec![-7.5f64; nnz * lanes];
+        let (mut f2, mut g2) = (f1.clone(), g1.clone());
+        simd::lane_assemble(&mut f1, &mut g1, &base, &scatter, &fill_pos,
+                            &cap_slots, &cap_vals, &s_re, &s_im, lanes);
+        simd::lane_assemble_scalar(&mut f2, &mut g2, &base, &scatter, &fill_pos,
+                                   &cap_slots, &cap_vals, &s_re, &s_im, lanes);
+        for (x, y) in f1.iter().chain(&g1).zip(f2.iter().chain(&g2)) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The batched rational-magnitude scan equals the scalar
+    /// Horner/Smith/hypot oracle bit-for-bit at unaligned point counts,
+    /// subnormal coefficients included.
+    #[test]
+    fn rational_mags_matches_scalar_oracle_bitwise(
+        num in proptest::collection::vec(
+            prop_oneof![4 => -100.0f64..100.0, 1 => Just(6e-309)], 0..8),
+        den in proptest::collection::vec(-100.0f64..100.0, 1..10),
+        fexp in proptest::collection::vec(0.0f64..9.0, 1..23),
+    ) {
+        use adc_numerics::simd;
+        let freqs: Vec<f64> = fexp.iter().map(|&e| 10.0f64.powf(e)).collect();
+        let mut m1 = vec![0.0f64; freqs.len()];
+        let mut m2 = m1.clone();
+        simd::rational_mags(&num, &den, &freqs, &mut m1);
+        simd::rational_mags_scalar(&num, &den, &freqs, &mut m2);
+        for (x, y) in m1.iter().zip(&m2) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "num {:?} den {:?}", &num, &den);
+        }
+    }
+
+    /// End-to-end: the batched SoA complex LU (assemble, schedule-driven
+    /// factor, forward/backward solve, determinant) is bit-identical to
+    /// the serial per-sample factor/solve/det loop on random MNA-shaped
+    /// systems with random cap subsets, at every width 1..=MAX_LANES.
+    #[test]
+    fn batched_complex_lu_matches_serial_bitwise(
+        offdiag in proptest::collection::vec((0usize..10, 0usize..10, 0.1f64..10.0), 4..16),
+        cap_sel in proptest::collection::vec((0usize..10, 1e-13f64..1e-11), 1..6),
+        smag in proptest::collection::vec(1e0f64..1e10, 1..9),
+        bvals in proptest::collection::vec(-2.0f64..2.0, 12),
+    ) {
+        use adc_numerics::sparse::{CCsrMatrix, CSparseLu, CSparseLuBatch, CsrPattern, Symbolic};
+        use std::sync::Arc;
+        let branches = 2;
+        let n = 10 + branches;
+        let trips = random_mna_triplets(n, branches, &offdiag);
+        // Cap entries on node diagonals, appended after the base entries.
+        let caps: Vec<(usize, usize, f64)> =
+            cap_sel.iter().map(|&(r, c)| (r % (n - branches), r % (n - branches), c)).collect();
+        let mut entries: Vec<(usize, usize)> = trips.iter().map(|&(r, c, _)| (r, c)).collect();
+        entries.extend(caps.iter().map(|&(r, c, _)| (r, c)));
+        let (pat, slots) = CsrPattern::from_entries(n, &entries);
+        let (base_slots, cap_slots) = slots.split_at(trips.len());
+        let mut base_vals = vec![Complex::ZERO; pat.nnz()];
+        for (&s, &(_, _, g)) in base_slots.iter().zip(trips.iter()) {
+            base_vals[s] += Complex::from_real(g);
+        }
+        let cap_vals: Vec<f64> = caps.iter().map(|&(_, _, c)| c).collect();
+        let s_list: Vec<Complex> = smag.iter().enumerate()
+            .map(|(i, &m)| Complex::from_polar(m, 0.2 + 0.4 * i as f64)).collect();
+        let k = s_list.len();
+        let b: Vec<Complex> = bvals[..n].iter().map(|&v| Complex::new(v, 0.5 * v)).collect();
+
+        let sym = Symbolic::analyze(&pat).unwrap();
+        let mut batch = CSparseLuBatch::new(Arc::clone(&sym));
+        let batch_res = batch.factor_scaled(&base_vals, cap_slots, &cap_vals, &s_list);
+
+        // Serial reference: assemble + factor + solve + det per sample.
+        let mut y = CCsrMatrix::zeros(Arc::clone(&pat));
+        let mut lu = CSparseLu::new(Arc::clone(&sym));
+        let mut serial_x = vec![Complex::ZERO; k * n];
+        let mut serial_det = vec![Complex::ZERO; k];
+        let mut serial_err = None;
+        for (l, &s) in s_list.iter().enumerate() {
+            y.values_mut().copy_from_slice(&base_vals);
+            y.scatter_add_scaled(cap_slots, &cap_vals, s);
+            match lu.factor_into(&y) {
+                Ok(()) => {
+                    lu.solve_into(&b, &mut serial_x[l * n..(l + 1) * n]);
+                    serial_det[l] = lu.det();
+                }
+                Err(e) => {
+                    serial_err = Some(e);
+                    break;
+                }
+            }
+        }
+        match (batch_res, serial_err) {
+            (Err(_), Some(_)) => return Ok(()), // both reject the batch
+            (Err(e), None) => prop_assert!(false, "batch-only failure: {e}"),
+            (Ok(()), Some(e)) => prop_assert!(false, "serial-only failure: {e}"),
+            (Ok(()), None) => {}
+        }
+        let mut xs = vec![Complex::ZERO; k * n];
+        let mut dets = vec![Complex::ZERO; k];
+        batch.solve_into(&b, &mut xs);
+        batch.det_into(&mut dets);
+        assert_bits_eq(&xs, &serial_x)?;
+        assert_bits_eq(&dets, &serial_det)?;
+    }
+}

@@ -61,6 +61,65 @@ pub trait Strategy {
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
 }
 
+/// A strategy that always yields the same value (stand-in for
+/// `proptest::strategy::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between same-valued strategies — the backing store for
+/// [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` arms (see [`arm`]).
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let total: u32 = self.arms.iter().map(|&(w, _)| w).sum();
+        let mut pick = rand::Rng::gen_range(rng, 0..total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= *w;
+        }
+        unreachable!("weights sum to the sampled range")
+    }
+}
+
+/// Boxes one weighted arm for [`Union::new`] (lets `prop_oneof!` erase
+/// heterogeneous strategy types without naming them).
+pub fn arm<S: Strategy + 'static>(w: u32, s: S) -> (u32, Box<dyn Strategy<Value = S::Value>>) {
+    (w, Box::new(s))
+}
+
+/// Picks one of several strategies per draw (stand-in for
+/// `proptest::prop_oneof!`); arms are `strategy` or `weight => strategy`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::arm($w as u32, $s)),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::arm(1u32, $s)),+])
+    };
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -168,8 +227,8 @@ pub mod collection {
 /// Common imports (stand-in for `proptest::prelude::*`).
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
-        Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 

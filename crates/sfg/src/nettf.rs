@@ -57,7 +57,12 @@ impl Default for NetTfOptions {
 pub struct NetTfWorkspace {
     ss: SmallSignal,
     engine: ComplexMnaWorkspace,
-    x: Vec<Complex>,
+    /// Sample frequencies `r·ω_m^k` of the current extraction.
+    s_samples: Vec<Complex>,
+    /// Lane-major solutions of the batched solves (`m · dim`).
+    xs: Vec<Complex>,
+    /// `det Y(s_k)` per sample.
+    dets: Vec<Complex>,
     num_samples: Vec<Complex>,
     den_samples: Vec<Complex>,
     /// FFT scratch for the inverse-DFT coefficient recovery.
@@ -104,9 +109,6 @@ impl NetTfWorkspace {
         // workspace or just-cleared by set_solver), so `topo` only needs
         // to track circuit-side changes.
         self.engine.bind(&self.ss, topo);
-        if self.x.len() != self.ss.dim() {
-            self.x.resize(self.ss.dim(), Complex::ZERO);
-        }
         Ok(())
     }
 
@@ -124,13 +126,6 @@ impl NetTfWorkspace {
             self.row_flags[i] = true;
         }
         self.row_flags.iter().filter(|f| **f).count()
-    }
-
-    /// Factors `Y(s)` (base + `s`-scaled entries) in place. Returns `false`
-    /// when the factorization is singular. A sparse static-pivot underflow
-    /// demotes the engine to the dense oracle and retries once.
-    fn factor_at(&mut self, s: Complex) -> bool {
-        self.engine.factor_at_or_demote(s, &self.ss).is_ok()
     }
 }
 
@@ -208,24 +203,35 @@ pub fn extract_tf_with(
     ws.den_samples.clear();
     ws.num_samples.reserve(m);
     ws.den_samples.reserve(m);
+    // Sample det Y(s) and the output solve at all m roots of unity through
+    // the batched engine: chunks of up to MAX_LANES samples share a single
+    // symbolic traversal and SoA factor workspace, with per-sample results
+    // (and the demote-to-dense recovery ladder) bit-identical to a serial
+    // factor/solve/det loop.
+    ws.s_samples.clear();
     for k in 0..m {
         let theta = 2.0 * std::f64::consts::PI * k as f64 / m as f64;
-        let s = Complex::from_polar(opts.radius, theta);
-        let singular_err = || {
-            SfgError::BadCircuit(format!(
-                "singular MNA at sample {k} (radius {:.3e})",
-                opts.radius
-            ))
-        };
-        if !ws.factor_at(s) {
-            return Err(singular_err());
-        }
-        let det = ws.engine.det();
+        ws.s_samples.push(Complex::from_polar(opts.radius, theta));
+    }
+    ws.xs.clear();
+    ws.xs.resize(m * dim, Complex::ZERO);
+    ws.dets.clear();
+    ws.dets.resize(m, Complex::ZERO);
+    let singular_err = |k: usize| {
+        SfgError::BadCircuit(format!(
+            "singular MNA at sample {k} (radius {:.3e})",
+            opts.radius
+        ))
+    };
+    ws.engine
+        .solve_det_batch(&ws.s_samples, &ws.ss, &ws.ss.b, &mut ws.xs, &mut ws.dets)
+        .map_err(|(k, _)| singular_err(k))?;
+    for k in 0..m {
+        let det = ws.dets[k];
         if det.norm() == 0.0 {
-            return Err(singular_err());
+            return Err(singular_err(k));
         }
-        ws.engine.solve_into(&ws.ss.b, &mut ws.x);
-        let h = ws.x[out_row];
+        let h = ws.xs[k * dim + out_row];
         ws.num_samples.push(h * det);
         ws.den_samples.push(det);
     }

@@ -9,13 +9,28 @@
 use adc_numerics::complex::Complex;
 use adc_numerics::interp::logspace;
 use adc_numerics::poly::Poly;
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A numeric transfer function `H(s) = num(s)/den(s)`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Roots of both polynomials are computed lazily and cached: the root
+/// finder is deterministic, so the cache returns exactly the bits a
+/// fresh computation would — repeated phase/stability queries stop
+/// re-finding the same roots.
+#[derive(Debug, Clone)]
 pub struct Tf {
     num: Poly,
     den: Poly,
+    num_roots: OnceLock<Vec<Complex>>,
+    den_roots: OnceLock<Vec<Complex>>,
+}
+
+impl PartialEq for Tf {
+    fn eq(&self, other: &Self) -> bool {
+        self.num == other.num && self.den == other.den
+    }
 }
 
 /// Summary of the AC characteristics of a transfer function.
@@ -46,7 +61,12 @@ impl Tf {
     /// Panics if `den` is the zero polynomial.
     pub fn new(num: Poly, den: Poly) -> Self {
         assert!(!den.is_zero(), "transfer function with zero denominator");
-        Tf { num, den }
+        Tf {
+            num,
+            den,
+            num_roots: OnceLock::new(),
+            den_roots: OnceLock::new(),
+        }
     }
 
     /// A pure gain.
@@ -101,19 +121,29 @@ impl Tf {
         n / d
     }
 
+    /// Cached denominator roots (computed on first use).
+    fn poles_cached(&self) -> &[Complex] {
+        self.den_roots.get_or_init(|| self.den.roots())
+    }
+
+    /// Cached numerator roots (computed on first use).
+    fn zeros_cached(&self) -> &[Complex] {
+        self.num_roots.get_or_init(|| self.num.roots())
+    }
+
     /// Poles in rad/s.
     pub fn poles(&self) -> Vec<Complex> {
-        self.den.roots()
+        self.poles_cached().to_vec()
     }
 
     /// Zeros in rad/s.
     pub fn zeros(&self) -> Vec<Complex> {
-        self.num.roots()
+        self.zeros_cached().to_vec()
     }
 
     /// True if every pole has a strictly negative real part.
     pub fn is_stable(&self) -> bool {
-        self.poles().iter().all(|p| p.re < 0.0)
+        self.poles_cached().iter().all(|p| p.re < 0.0)
     }
 
     /// Cascade (series) connection: `self · other`.
@@ -124,8 +154,8 @@ impl Tf {
     /// Removes matching pole/zero pairs closer than `rel_tol` (relative to
     /// magnitude). Useful after determinant-based extraction.
     pub fn cancel_common_roots(&self, rel_tol: f64) -> Tf {
-        let mut zeros = self.num.roots();
-        let mut poles = self.den.roots();
+        let mut zeros = self.zeros();
+        let mut poles = self.poles();
         let num_lead = self.num.leading();
         let den_lead = self.den.leading();
         let mut i = 0;
@@ -155,33 +185,48 @@ impl Tf {
     /// Finds the first frequency where `|H|` falls to `level` (from above),
     /// scanning upward on a log grid.
     pub fn magnitude_crossing(&self, f_lo: f64, f_hi: f64, level: f64) -> Option<f64> {
-        let n = 400;
-        let grid = logspace(f_lo, f_hi, n);
-        let mut prev_f = grid[0];
-        let mut prev_m = self.magnitude(prev_f);
-        if prev_m <= level {
-            return Some(prev_f);
-        }
-        for &f in &grid[1..] {
-            let m = self.magnitude(f);
-            if m <= level {
-                // Bisect between prev_f and f.
-                let (mut a, mut b) = (prev_f, f);
-                for _ in 0..60 {
-                    let mid = (a * b).sqrt();
-                    if self.magnitude(mid) > level {
-                        a = mid;
-                    } else {
-                        b = mid;
-                    }
-                }
-                return Some((a * b).sqrt());
+        // Chunked SIMD magnitude scan: each lane reproduces the serial
+        // `self.magnitude(f)` bit-for-bit (same Horner fold, Smith divide
+        // and hypot), and chunk results are walked in grid order, so the
+        // first-crossing bracket — and the bisected crossing — is exactly
+        // the serial scan's. Points computed past the crossing inside a
+        // chunk are pure speculation with no side effects.
+        const SCAN_CHUNK: usize = 16;
+        with_log_grid(f_lo, f_hi, |grid| {
+            let mut prev_f = grid[0];
+            if self.magnitude(prev_f) <= level {
+                return Some(prev_f);
             }
-            prev_f = f;
-            prev_m = m;
-        }
-        let _ = prev_m;
-        None
+            let mut mags = [0.0f64; SCAN_CHUNK];
+            let mut idx = 1usize;
+            while idx < grid.len() {
+                let take = (grid.len() - idx).min(SCAN_CHUNK);
+                adc_numerics::simd::rational_mags(
+                    self.num.coeffs(),
+                    self.den.coeffs(),
+                    &grid[idx..idx + take],
+                    &mut mags[..take],
+                );
+                for (&f, &m) in grid[idx..idx + take].iter().zip(&mags[..take]) {
+                    if m <= level {
+                        // Bisect between prev_f and f.
+                        let (mut a, mut b) = (prev_f, f);
+                        for _ in 0..60 {
+                            let mid = (a * b).sqrt();
+                            if self.magnitude(mid) > level {
+                                a = mid;
+                            } else {
+                                b = mid;
+                            }
+                        }
+                        return Some((a * b).sqrt());
+                    }
+                    prev_f = f;
+                }
+                idx += take;
+            }
+            None
+        })
     }
 
     /// −3 dB bandwidth relative to the DC gain.
@@ -213,10 +258,10 @@ impl Tf {
         // of atan2 (negating +0.0 yields −0.0, which flips the angle sign).
         let neg = |r: Complex| Complex::new(0.0 - r.re, 0.0 - r.im);
         let mut phase = if self.dc_gain() < 0.0 { 180.0 } else { 0.0 };
-        for z in self.zeros() {
+        for &z in self.zeros_cached() {
             phase += (jw - z).arg().to_degrees() - neg(z).arg().to_degrees();
         }
-        for p in self.poles() {
+        for &p in self.poles_cached() {
             phase -= (jw - p).arg().to_degrees() - neg(p).arg().to_degrees();
         }
         phase
@@ -245,12 +290,12 @@ impl Tf {
     ///
     /// Returns `None` for unstable or pole-free functions.
     pub fn settling_time(&self, eps: f64) -> Option<f64> {
-        let poles = self.poles();
+        let poles = self.poles_cached();
         if poles.is_empty() {
             return None;
         }
         let mut worst: f64 = 0.0;
-        for p in poles {
+        for &p in poles {
             if p.re >= 0.0 {
                 return None;
             }
@@ -264,6 +309,35 @@ impl fmt::Display for Tf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({}) / ({})", self.num, self.den)
     }
+}
+
+/// Points in the magnitude-scan log grid.
+const GRID_POINTS: usize = 400;
+
+thread_local! {
+    /// Memo of recently used scan grids, keyed by the exact endpoint
+    /// bits. Evaluators sweep the same `[f_lo, f_hi]` window thousands of
+    /// times; `logspace` is deterministic, so a memoized grid is
+    /// bit-identical to a fresh one.
+    static LOG_GRIDS: RefCell<Vec<(u64, u64, Vec<f64>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `body` with the (possibly memoized) `GRID_POINTS`-point log grid
+/// over `[f_lo, f_hi]`.
+fn with_log_grid<R>(f_lo: f64, f_hi: f64, body: impl FnOnce(&[f64]) -> R) -> R {
+    let key = (f_lo.to_bits(), f_hi.to_bits());
+    LOG_GRIDS.with(|cell| {
+        let mut grids = cell.borrow_mut();
+        if let Some(g) = grids.iter().find(|&&(a, b, _)| (a, b) == key) {
+            return body(&g.2);
+        }
+        // Bound the memo; evaluation loops use a handful of windows.
+        if grids.len() >= 8 {
+            grids.remove(0);
+        }
+        grids.push((key.0, key.1, logspace(f_lo, f_hi, GRID_POINTS)));
+        body(&grids.last().expect("just pushed").2)
+    })
 }
 
 #[cfg(test)]

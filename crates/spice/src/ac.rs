@@ -97,7 +97,12 @@ const AC_GMIN: f64 = 1e-12;
 pub struct AcWorkspace {
     ss: SmallSignal,
     engine: ComplexMnaWorkspace,
-    x: Vec<Complex>,
+    /// Complex frequencies `jω` of the current sweep.
+    s_list: Vec<Complex>,
+    /// Lane-major solutions of the batched solves (`freqs · dim`).
+    xs: Vec<Complex>,
+    /// Determinant scratch for the batched engine (unused by AC).
+    dets: Vec<Complex>,
     node_count: usize,
 }
 
@@ -125,7 +130,9 @@ impl AcWorkspace {
         let mut ws = AcWorkspace {
             ss: SmallSignal::new(),
             engine,
-            x: Vec::new(),
+            s_list: Vec::new(),
+            xs: Vec::new(),
+            dets: Vec::new(),
             node_count: 0,
         };
         ws.rebind(circuit, op)?;
@@ -144,9 +151,6 @@ impl AcWorkspace {
     pub fn rebind(&mut self, circuit: &Circuit, op: &OperatingPoint) -> SpiceResult<()> {
         let topo = self.ss.bind(circuit, op, AC_GMIN)?;
         self.engine.bind(&self.ss, topo);
-        if self.x.len() != self.ss.dim() {
-            self.x.resize(self.ss.dim(), Complex::ZERO);
-        }
         self.node_count = circuit.node_count();
         Ok(())
     }
@@ -161,14 +165,6 @@ impl AcWorkspace {
     /// on).
     pub fn symbolic_analyses(&self) -> usize {
         self.engine.symbolic_analyses()
-    }
-
-    /// Solves the linearized system at one complex frequency `s = jω`
-    /// into the workspace's solution buffer, and returns it.
-    fn solve_at(&mut self, jw: Complex) -> Result<&[Complex], adc_numerics::NumericsError> {
-        self.engine.factor_at_or_demote(jw, &self.ss)?;
-        self.engine.solve_into(&self.ss.b, &mut self.x);
-        Ok(&self.x)
     }
 }
 
@@ -191,13 +187,28 @@ pub fn ac_sweep(circuit: &Circuit, op: &OperatingPoint, freqs: &[f64]) -> SpiceR
 /// [`SpiceError::Singular`] if the complex MNA system cannot be solved at
 /// some frequency.
 pub fn ac_sweep_with(ws: &mut AcWorkspace, freqs: &[f64]) -> SpiceResult<AcSweep> {
-    let mut solutions = Vec::with_capacity(freqs.len());
     let nodes = ws.node_count;
-    for &f in freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        let x = ws
-            .solve_at(Complex::new(0.0, omega))
-            .map_err(|e| SpiceError::Singular(format!("AC @ {f} Hz: {e}")))?;
+    let dim = ws.ss.dim();
+    // All sweep points go through the batched engine: chunks of up to
+    // MAX_LANES frequencies share one symbolic traversal and SoA factor
+    // workspace, with per-point results (and the demote-to-dense recovery
+    // ladder) bit-identical to the serial factor/solve loop.
+    ws.s_list.clear();
+    ws.s_list.extend(
+        freqs
+            .iter()
+            .map(|&f| Complex::new(0.0, 2.0 * std::f64::consts::PI * f)),
+    );
+    ws.xs.clear();
+    ws.xs.resize(freqs.len() * dim, Complex::ZERO);
+    ws.dets.clear();
+    ws.dets.resize(freqs.len(), Complex::ZERO);
+    ws.engine
+        .solve_det_batch(&ws.s_list, &ws.ss, &ws.ss.b, &mut ws.xs, &mut ws.dets)
+        .map_err(|(k, e)| SpiceError::Singular(format!("AC @ {} Hz: {e}", freqs[k])))?;
+    let mut solutions = Vec::with_capacity(freqs.len());
+    for k in 0..freqs.len() {
+        let x = &ws.xs[k * dim..(k + 1) * dim];
         let mut volts = vec![Complex::ZERO; nodes];
         volts[1..].copy_from_slice(&x[..nodes - 1]);
         solutions.push(volts);

@@ -24,7 +24,9 @@ use crate::op::OperatingPoint;
 use crate::{SpiceError, SpiceResult};
 use adc_numerics::complex::Complex;
 use adc_numerics::linalg::{CLu, CMatrix};
-use adc_numerics::sparse::{prefer_sparse, CCsrMatrix, CSparseLu, CsrPattern, Symbolic};
+use adc_numerics::sparse::{
+    prefer_sparse, CCsrMatrix, CSparseLu, CSparseLuBatch, CsrPattern, Symbolic,
+};
 use adc_numerics::NumericsError;
 use std::sync::Arc;
 
@@ -272,6 +274,9 @@ struct SparseEngine {
     /// the `s·C` replay runs struct-of-arrays through the chunked
     /// [`CCsrMatrix::scatter_add_scaled`] kernel.
     cap_vals: Vec<f64>,
+    /// Lane-batched factor/solve workspace over the same symbolic
+    /// factorization, built lazily on the first batched call.
+    batch: Option<CSparseLuBatch>,
 }
 
 /// Reusable complex MNA engine: assembles a [`SmallSignal`] into a dense or
@@ -375,6 +380,7 @@ impl ComplexMnaWorkspace {
                     base_slots: base_slots.to_vec(),
                     cap_slots: cap_slots.to_vec(),
                     cap_vals: Vec::with_capacity(cap_slots.len()),
+                    batch: None,
                 });
                 return;
             }
@@ -473,6 +479,104 @@ impl ComplexMnaWorkspace {
         let dim = ss.dim();
         self.dense = Some(make_dense(dim));
         self.bind(ss, false);
+    }
+
+    /// Factors, solves and takes determinants at every sample in `s_list`
+    /// — the batched equivalent of a
+    /// [`ComplexMnaWorkspace::factor_at_or_demote`] +
+    /// [`ComplexMnaWorkspace::solve_into`] + [`ComplexMnaWorkspace::det`]
+    /// loop, **bit-identical per sample** to that serial loop.
+    ///
+    /// On the sparse engine, samples run in chunks of up to
+    /// [`adc_numerics::simd::MAX_LANES`] lanes through one SoA workspace
+    /// (symbolic traversal amortized across the chunk). A chunk whose
+    /// factorization underflows a pivot in any lane is discarded and redone
+    /// serially with the usual demote-to-dense ladder, so per-sample
+    /// outcomes — including a mid-stream engine demotion — reproduce the
+    /// serial path exactly. The dense engine (pivot order is
+    /// value-dependent, so lanes cannot share a traversal) runs serially.
+    ///
+    /// Sample `k`'s solution lands in `xs[k·dim .. (k+1)·dim]`, its
+    /// determinant in `dets[k]`.
+    ///
+    /// # Errors
+    /// The failing sample's index and the underlying
+    /// [`NumericsError::SingularMatrix`], exactly as the serial loop would
+    /// report it. Samples before the failing one hold valid results.
+    ///
+    /// # Panics
+    /// Panics on output length mismatch, or if `ss`'s cap entry list
+    /// drifted from the bound slot map.
+    pub fn solve_det_batch(
+        &mut self,
+        s_list: &[Complex],
+        ss: &SmallSignal,
+        b: &[Complex],
+        xs: &mut [Complex],
+        dets: &mut [Complex],
+    ) -> Result<(), (usize, NumericsError)> {
+        let dim = self.dim;
+        assert_eq!(xs.len(), s_list.len() * dim, "solution length mismatch");
+        assert_eq!(dets.len(), s_list.len(), "determinant length mismatch");
+        let mut k0 = 0;
+        while k0 < s_list.len() {
+            if self.sparse.is_none() {
+                // Dense (or demoted) engine: serial, sample by sample.
+                let s = s_list[k0];
+                self.factor_at_or_demote(s, ss).map_err(|e| (k0, e))?;
+                dets[k0] = self.det();
+                self.solve_into(b, &mut xs[k0 * dim..(k0 + 1) * dim]);
+                k0 += 1;
+                continue;
+            }
+            let take = (s_list.len() - k0).min(adc_numerics::simd::MAX_LANES);
+            let chunk = &s_list[k0..k0 + take];
+            // Pad partial chunks (by duplicating the last sample) up to a
+            // vector-friendly lane count so the batched kernels keep full
+            // vector dispatch. Lanes compute independently, so the real
+            // lanes' bits are unchanged, and a padding lane fails the
+            // pivot check iff its duplicated real lane does — the serial
+            // recovery below triggers in exactly the same cases.
+            let lanes = adc_numerics::simd::padded_lanes(take);
+            let mut sbuf = [Complex::ZERO; adc_numerics::simd::MAX_LANES];
+            sbuf[..take].copy_from_slice(chunk);
+            sbuf[take..lanes].fill(chunk[take - 1]);
+            let factored = {
+                let sp = self.sparse.as_mut().expect("checked above");
+                assert_eq!(
+                    sp.cap_slots.len(),
+                    ss.cap_entries.len(),
+                    "cap entry list drifted from bind"
+                );
+                sp.cap_vals.clear();
+                sp.cap_vals
+                    .extend(ss.cap_entries.iter().map(|&(_, _, c)| c));
+                let batch = sp
+                    .batch
+                    .get_or_insert_with(|| CSparseLuBatch::new(Arc::clone(sp.lu.symbolic())));
+                batch
+                    .factor_scaled(&sp.base_vals, &sp.cap_slots, &sp.cap_vals, &sbuf[..lanes])
+                    .is_ok()
+            };
+            if factored {
+                let sp = self.sparse.as_mut().expect("checked above");
+                let batch = sp.batch.as_mut().expect("built above");
+                batch.det_into(&mut dets[k0..k0 + take]);
+                batch.solve_into(b, &mut xs[k0 * dim..(k0 + take) * dim]);
+            } else {
+                // A lane underflowed: discard the chunk and redo it
+                // serially so the per-sample recovery ladder (including
+                // demote-to-dense) runs exactly as it would have serially.
+                for (off, &s) in chunk.iter().enumerate() {
+                    let k = k0 + off;
+                    self.factor_at_or_demote(s, ss).map_err(|e| (k, e))?;
+                    dets[k] = self.det();
+                    self.solve_into(b, &mut xs[k * dim..(k + 1) * dim]);
+                }
+            }
+            k0 += take;
+        }
+        Ok(())
     }
 }
 
@@ -575,6 +679,52 @@ mod tests {
         let mut xd = vec![Complex::ZERO; ss.dim()];
         eng.solve_into(&b, &mut xd);
         assert!((xs[row] - xd[row]).norm() <= 1e-12 * xd[row].norm().max(1e-30));
+    }
+
+    /// The batched factor/solve/det must reproduce the serial
+    /// `factor_at_or_demote` + `solve_into` + `det` loop bit for bit on
+    /// both engines, including ragged final chunks.
+    #[test]
+    fn solve_det_batch_matches_serial_loop_bitwise() {
+        let (c, op, _) = rc_divider();
+        let mut ss = SmallSignal::new();
+        let topo = ss.bind(&c, &op, 1e-12).unwrap();
+        let dim = ss.dim();
+        let b = ss.b.clone();
+        let samples: Vec<Complex> = (0..11)
+            .map(|k| Complex::from_polar(1e6, 0.2 + 0.5 * k as f64))
+            .collect();
+        for choice in [SolverChoice::Sparse, SolverChoice::Dense] {
+            let mut serial = ComplexMnaWorkspace::new();
+            serial.set_solver(choice);
+            serial.bind(&ss, topo);
+            let mut want_x = Vec::new();
+            let mut want_d = Vec::new();
+            for &s in &samples {
+                serial.factor_at_or_demote(s, &ss).unwrap();
+                want_d.push(serial.det());
+                let mut x = vec![Complex::ZERO; dim];
+                serial.solve_into(&b, &mut x);
+                want_x.push(x);
+            }
+
+            let mut batched = ComplexMnaWorkspace::new();
+            batched.set_solver(choice);
+            batched.bind(&ss, topo);
+            let mut xs = vec![Complex::ZERO; samples.len() * dim];
+            let mut dets = vec![Complex::ZERO; samples.len()];
+            batched
+                .solve_det_batch(&samples, &ss, &b, &mut xs, &mut dets)
+                .unwrap();
+            for (k, (wd, wx)) in want_d.iter().zip(&want_x).enumerate() {
+                assert_eq!(dets[k].re.to_bits(), wd.re.to_bits(), "{choice:?} k={k}");
+                assert_eq!(dets[k].im.to_bits(), wd.im.to_bits(), "{choice:?} k={k}");
+                for (xb, xw) in xs[k * dim..(k + 1) * dim].iter().zip(wx) {
+                    assert_eq!(xb.re.to_bits(), xw.re.to_bits(), "{choice:?} k={k}");
+                    assert_eq!(xb.im.to_bits(), xw.im.to_bits(), "{choice:?} k={k}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::constraints::{all_satisfied, total_violation, Constraint};
 use crate::evaluator::{EvalOutcome, Evaluator, Performance};
 use crate::space::DesignSpace;
 use adc_numerics::quant::quantize_rel;
+use adc_numerics::simd::MAX_LANES;
 use adc_numerics::Deadline;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -75,7 +76,10 @@ pub struct AnnealResult {
     pub best_perf: Option<Performance>,
     /// Whether the best point satisfies all constraints.
     pub feasible: bool,
-    /// Number of evaluator calls.
+    /// Number of candidate evaluations **consumed** by the schedule —
+    /// identical to a strictly serial run. Speculative batch evaluations
+    /// discarded at an accepted move (see [`Evaluator::batch_width`]) are
+    /// not counted.
     pub evaluations: usize,
     /// Best-cost trace (one entry per iteration).
     pub history: Vec<f64>,
@@ -191,7 +195,30 @@ pub fn anneal<E: Evaluator>(
     let tail_len = (cfg.warm_tail_frac.clamp(0.0, 1.0) * n as f64) as usize;
     let tail_start = n - tail_len.min(n);
     let mut local_phase_on = false;
-    for k in 0..n {
+    // Speculative batching: in the cold tail of the schedule (where the
+    // acceptance rate is low and candidates cluster), propose up to
+    // `spec_width` moves from the current point under the assumption that
+    // each intermediate move is **rejected through a consumed Metropolis
+    // draw** — the dominant outcome late in the schedule — evaluate them
+    // as one batch, then replay the serial acceptance rule over the
+    // cached outcomes, consuming them while the assumption holds and
+    // discarding the rest at the first accept (or draw-free reject).
+    // Proposals come from a cloned RNG and are re-drawn from the real one
+    // during replay, so the trajectory, history trace and evaluation
+    // count are bit-identical to the strictly serial schedule.
+    //
+    // The window adapts to the observed acceptance pattern: it starts at
+    // 1, doubles (up to the evaluator's width) each time a batch is
+    // consumed in full, and resets to 1 the moment a replay breaks the
+    // all-rejected assumption. Streaks of rejections — the regime the
+    // speculation targets — quickly earn full-width batches, while an
+    // accept-heavy stretch pays at most one discarded outcome per step.
+    // The window depends only on the replayed trajectory, so it is as
+    // deterministic as the trajectory itself.
+    let spec_width = evaluator.batch_width().clamp(1, MAX_LANES);
+    let mut spec_window = 1usize;
+    let mut k = 0usize;
+    while k < n {
         // Deadline check at anneal-step granularity; the partial search
         // state (best-so-far, history prefix) is preserved.
         if cfg.deadline.expired() {
@@ -202,27 +229,78 @@ pub fn anneal<E: Evaluator>(
             evaluator.set_local_phase(true);
             local_phase_on = true;
         }
-        let frac = k as f64 / n as f64;
-        let temp = t0 * (t_end / t0).powf(frac);
-        let sigma = cfg.sigma0 * (cfg.sigma_end / cfg.sigma0).powf(frac);
-        let cand_u = space.neighbor(&cur_u, sigma, &mut rng);
-        let out = evaluator.evaluate(&space.denormalize(&cand_u));
-        evaluations += 1;
-        let cost = q(outcome_cost(&out, constraints, objective, obj_ref));
-        let accept = cost <= cur_cost
-            || (cost.is_finite() && rng.gen::<f64>() < ((cur_cost - cost) / temp).exp());
-        if accept {
-            cur_u = cand_u;
-            cur_cost = cost;
-            if cost < best_cost {
-                best_cost = cost;
-                best_u = cur_u.clone();
-                if let EvalOutcome::Ok(p) = out {
-                    best_perf = Some(p);
+        let speculating = spec_width > 1 && k >= tail_start;
+        let window = if speculating {
+            (n - k).min(spec_window)
+        } else {
+            1
+        };
+        let mut spec_rng = rng.clone();
+        let mut cands = Vec::with_capacity(window);
+        for i in k..k + window {
+            let frac = i as f64 / n as f64;
+            let sigma = cfg.sigma0 * (cfg.sigma_end / cfg.sigma0).powf(frac);
+            cands.push(space.neighbor(&cur_u, sigma, &mut spec_rng));
+            let _assumed_reject = spec_rng.gen::<f64>();
+        }
+        let denorm: Vec<Vec<f64>> = cands.iter().map(|u| space.denormalize(u)).collect();
+        let outs = if window == 1 {
+            vec![evaluator.evaluate(&denorm[0])]
+        } else {
+            evaluator.evaluate_batch(&denorm)
+        };
+        assert_eq!(
+            outs.len(),
+            window,
+            "Evaluator::evaluate_batch must return one outcome per candidate"
+        );
+        // Serial replay over the cached outcomes.
+        let mut advanced = 0usize;
+        for (idx, out) in outs.into_iter().enumerate() {
+            if idx > 0 && cfg.deadline.expired() {
+                timed_out = true;
+                break;
+            }
+            let frac = (k + idx) as f64 / n as f64;
+            let temp = t0 * (t_end / t0).powf(frac);
+            let sigma = cfg.sigma0 * (cfg.sigma_end / cfg.sigma0).powf(frac);
+            let cand_u = space.neighbor(&cur_u, sigma, &mut rng);
+            debug_assert_eq!(cand_u, cands[idx], "speculative replay out of sync");
+            evaluations += 1;
+            let cost = q(outcome_cost(&out, constraints, objective, obj_ref));
+            let accept = cost <= cur_cost
+                || (cost.is_finite() && rng.gen::<f64>() < ((cur_cost - cost) / temp).exp());
+            // The next cached outcome is valid only if this move was
+            // rejected with a consumed draw, as speculated.
+            let path_holds = !accept && cost.is_finite();
+            if accept {
+                cur_u = cand_u;
+                cur_cost = cost;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_u = cur_u.clone();
+                    if let EvalOutcome::Ok(p) = out {
+                        best_perf = Some(p);
+                    }
                 }
             }
+            history.push(best_cost);
+            advanced = idx + 1;
+            if !path_holds {
+                break;
+            }
         }
-        history.push(best_cost);
+        k += advanced;
+        if speculating {
+            spec_window = if advanced == window {
+                (spec_window * 2).min(spec_width)
+            } else {
+                1
+            };
+        }
+        if timed_out {
+            break;
+        }
     }
     if local_phase_on {
         evaluator.set_local_phase(false);
@@ -371,6 +449,47 @@ mod tests {
             ..Default::default()
         };
         assert!(!anneal(&space2(), &sphere_eval, &[], "obj", &cfg, None).timed_out);
+    }
+
+    /// A batch-capable evaluator must leave the annealing trajectory —
+    /// best point, history trace and evaluation count — bit-identical to
+    /// the strictly serial schedule, while actually engaging the
+    /// speculative batch path in the tail.
+    #[test]
+    fn speculative_batches_leave_trajectory_bit_identical() {
+        struct BatchSphere {
+            batch_calls: std::cell::Cell<usize>,
+        }
+        impl Evaluator for BatchSphere {
+            fn evaluate(&self, x: &[f64]) -> EvalOutcome {
+                sphere_eval(x)
+            }
+            fn batch_width(&self) -> usize {
+                8
+            }
+            fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<EvalOutcome> {
+                self.batch_calls.set(self.batch_calls.get() + 1);
+                xs.iter().map(|x| self.evaluate(x)).collect()
+            }
+        }
+        for seed in [2, 11, 42] {
+            let cfg = AnnealConfig {
+                iterations: 800,
+                seed,
+                ..Default::default()
+            };
+            let serial = anneal(&space2(), &sphere_eval, &[], "obj", &cfg, None);
+            let batched = BatchSphere {
+                batch_calls: std::cell::Cell::new(0),
+            };
+            let spec = anneal(&space2(), &batched, &[], "obj", &cfg, None);
+            assert!(batched.batch_calls.get() > 0, "speculation must engage");
+            assert_eq!(serial.best_u, spec.best_u);
+            assert_eq!(serial.best_cost.to_bits(), spec.best_cost.to_bits());
+            assert_eq!(serial.best_perf, spec.best_perf);
+            assert_eq!(serial.history, spec.history);
+            assert_eq!(serial.evaluations, spec.evaluations);
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::hybrid::BenchSetup;
 use adc_numerics::complex::Complex;
 use adc_numerics::quant::quantize_rel;
+use adc_numerics::simd::MAX_LANES;
 use adc_numerics::sparse::CsrPattern;
 use adc_sfg::nettf::{extract_tf_with, NetTfOptions, NetTfWorkspace};
 use adc_spice::dc::{dc_operating_point_with, DcOptions, DcWorkspace};
@@ -101,6 +102,12 @@ pub struct ChainEvaluator {
     engine: ComplexMnaWorkspace,
     tf: NetTfWorkspace,
     x: Vec<Complex>,
+    /// Complex frequencies of the current speculative probe batch.
+    s_list: Vec<Complex>,
+    /// Lane-major solutions of the batched probe solves.
+    xs: Vec<Complex>,
+    /// Determinant scratch for the batched engine (unused by probing).
+    dets: Vec<Complex>,
     /// Structural fill of the small-signal pattern, recomputed only when
     /// the bound topology changes.
     fill_ratio: f64,
@@ -128,6 +135,9 @@ impl ChainEvaluator {
             engine,
             tf,
             x: Vec::new(),
+            s_list: Vec::new(),
+            xs: Vec::new(),
+            dets: Vec::new(),
             fill_ratio: 0.0,
         }
     }
@@ -147,30 +157,145 @@ impl ChainEvaluator {
         Ok(self.x[out_row].norm())
     }
 
+    /// `|H(j2πf)|` at each frequency through one batched factor/solve
+    /// ([`ComplexMnaWorkspace::solve_det_batch`], bit-identical values to
+    /// per-point probes). Returns `false` when any point is singular —
+    /// the caller then replays its walk serially so errors surface only
+    /// for frequencies the serial search would actually visit.
+    fn probe_mags_batch(&mut self, freqs: &[f64], out_row: usize, mags: &mut [f64]) -> bool {
+        let dim = self.ss.dim();
+        self.s_list.clear();
+        self.s_list.extend(
+            freqs
+                .iter()
+                .map(|&f| Complex::new(0.0, 2.0 * std::f64::consts::PI * f)),
+        );
+        self.xs.clear();
+        self.xs.resize(freqs.len() * dim, Complex::ZERO);
+        self.dets.clear();
+        self.dets.resize(freqs.len(), Complex::ZERO);
+        if self
+            .engine
+            .solve_det_batch(
+                &self.s_list,
+                &self.ss,
+                &self.ss.b,
+                &mut self.xs,
+                &mut self.dets,
+            )
+            .is_err()
+        {
+            return false;
+        }
+        for (k, m) in mags.iter_mut().enumerate() {
+            *m = self.xs[k * dim + out_row].norm();
+        }
+        true
+    }
+
     /// Log-scan + bisection for the frequency in `[f_lo, f_max]` where
     /// `|H|` first drops below `target` (the response is low-pass beyond
     /// the probe). Returns `None` when it never does.
+    ///
+    /// Both phases run speculatively through the batched engine: the scan
+    /// probes up to [`MAX_LANES`] doubling points per factor/solve, and
+    /// the bisection probes whole sub-trees of geometric midpoints at
+    /// once, then walks the comparisons in serial order. Midpoints nest
+    /// bitwise (`(lo·hi).sqrt()` of the exact operands the serial loop
+    /// would use) and batched solves are bit-identical to serial ones, so
+    /// the `lo`/`hi` trajectory — and the returned crossing — matches the
+    /// serial search exactly.
     fn crossing(&mut self, f_lo: f64, target: f64, out_row: usize) -> Result<Option<f64>, String> {
         let mut lo = f_lo;
         let mut hi = f_lo;
         let mut found = false;
-        while hi < self.opts.f_max {
-            hi = (hi * 2.0).min(self.opts.f_max);
-            if self.probe_mag(hi, out_row)? < target {
-                found = true;
-                break;
+        while !found && hi < self.opts.f_max {
+            // Next batch of doubling points; generation stops once a
+            // point clamps to `f_max` (further points would repeat it).
+            let mut pts = [0.0f64; MAX_LANES];
+            let mut n = 0;
+            let mut h = hi;
+            while n < MAX_LANES && h < self.opts.f_max {
+                h = (h * 2.0).min(self.opts.f_max);
+                pts[n] = h;
+                n += 1;
             }
-            lo = hi;
+            let mut mags = [0.0f64; MAX_LANES];
+            if self.probe_mags_batch(&pts[..n], out_row, &mut mags[..n]) {
+                for k in 0..n {
+                    hi = pts[k];
+                    if mags[k] < target {
+                        found = true;
+                        break;
+                    }
+                    lo = hi;
+                }
+            } else {
+                // A speculative point was singular; redo this stretch
+                // serially so any error is reported exactly as the
+                // serial scan would (it may stop before that point).
+                for &p in &pts[..n] {
+                    hi = p;
+                    if self.probe_mag(hi, out_row)? < target {
+                        found = true;
+                        break;
+                    }
+                    lo = hi;
+                }
+            }
         }
         if !found {
             return Ok(None);
         }
-        for _ in 0..50 {
-            let mid = (lo * hi).sqrt();
-            if self.probe_mag(mid, out_row)? < target {
-                hi = mid;
+        // 50 bisection iterations as speculative multisection rounds: a
+        // depth-3 round probes the serial midpoint, both possible next
+        // midpoints and all four after that (7 points, one batched
+        // solve), then consumes 3 serial comparisons walking the tree.
+        // 50 = 16 depth-3 rounds + 1 depth-2 round.
+        let mut iters = 50usize;
+        while iters > 0 {
+            let depth = iters.min(3);
+            let count = (1usize << depth) - 1;
+            // Heap-indexed midpoint tree over [lo, hi]: node `i` splits
+            // its interval at `p[i]`, children 2i+1 / 2i+2 take the
+            // lower / upper half.
+            let (mut a, mut b, mut p) = ([0.0f64; 7], [0.0f64; 7], [0.0f64; 7]);
+            a[0] = lo;
+            b[0] = hi;
+            for i in 0..count {
+                p[i] = (a[i] * b[i]).sqrt();
+                if 2 * i + 1 < count {
+                    a[2 * i + 1] = a[i];
+                    b[2 * i + 1] = p[i];
+                    a[2 * i + 2] = p[i];
+                    b[2 * i + 2] = b[i];
+                }
+            }
+            let mut mags = [0.0f64; 7];
+            if self.probe_mags_batch(&p[..count], out_row, &mut mags[..count]) {
+                let mut i = 0;
+                for _ in 0..depth {
+                    let below = mags[i] < target;
+                    if below {
+                        hi = p[i];
+                    } else {
+                        lo = p[i];
+                    }
+                    i = if below { 2 * i + 1 } else { 2 * i + 2 };
+                }
+                iters -= depth;
             } else {
-                lo = mid;
+                // Singular speculative midpoint: finish serially (the
+                // serial walk only ever probes on-path midpoints).
+                for _ in 0..iters {
+                    let mid = (lo * hi).sqrt();
+                    if self.probe_mag(mid, out_row)? < target {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                iters = 0;
             }
         }
         Ok(Some((lo * hi).sqrt()))
@@ -387,6 +512,49 @@ mod tests {
             analyses,
             "re-evaluating one topology must not re-analyze"
         );
+    }
+
+    /// The speculative batched `crossing` must reproduce the serial
+    /// log-scan + 50-iteration bisection bit for bit (the raw, unquantized
+    /// frequency), because batched probe magnitudes are bit-identical and
+    /// multisection midpoints nest bitwise.
+    #[test]
+    fn speculative_crossing_matches_serial_search_bitwise() {
+        let bench = macro_chain(4, 3.0);
+        let mut ev = ChainEvaluator::new(ChainOptions {
+            f_probe: 1e4,
+            ..Default::default()
+        });
+        // Bind workspaces via one full evaluation, then compare raw
+        // crossings on the bound engine.
+        ev.evaluate(&bench).unwrap();
+        let out_row = ev.ss.map().node_row(bench.output).unwrap();
+        let gain = ev.probe_mag(ev.opts.f_probe, out_row).unwrap();
+        for target in [gain / std::f64::consts::SQRT_2, 1.0] {
+            let fast = ev.crossing(ev.opts.f_probe, target, out_row).unwrap();
+            // Serial reference: the pre-speculation implementation.
+            let (mut lo, mut hi) = (ev.opts.f_probe, ev.opts.f_probe);
+            let mut found = false;
+            while hi < ev.opts.f_max {
+                hi = (hi * 2.0).min(ev.opts.f_max);
+                if ev.probe_mag(hi, out_row).unwrap() < target {
+                    found = true;
+                    break;
+                }
+                lo = hi;
+            }
+            assert!(found);
+            for _ in 0..50 {
+                let mid = (lo * hi).sqrt();
+                if ev.probe_mag(mid, out_row).unwrap() < target {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            let serial = (lo * hi).sqrt();
+            assert_eq!(fast.unwrap().to_bits(), serial.to_bits());
+        }
     }
 
     #[test]

@@ -230,6 +230,16 @@ where
         self.local_phase.set(local);
     }
 
+    /// One batch lane per [`adc_numerics::simd::MAX_LANES`] slot: the
+    /// det Y(s) sampling inside each evaluation already runs through the
+    /// batched complex solver, and the optimizer's speculative window
+    /// keeps a full window of candidates flowing through the persistent
+    /// workspaces (the default serial [`Evaluator::evaluate_batch`]
+    /// preserves the evaluate-in-sequence semantics warm starts rely on).
+    fn batch_width(&self) -> usize {
+        adc_numerics::simd::MAX_LANES
+    }
+
     fn evaluate(&self, x: &[f64]) -> EvalOutcome {
         let mut state = self.state.borrow_mut();
         let state = &mut *state;
