@@ -43,7 +43,7 @@ const EXACT_TOLERANCE: f64 = 0.02;
 /// the opposite direction — a *rise* past the gate fails, a drop never
 /// does. The value still lives in the `evals_per_sec` slot of the report
 /// format; the name says what the number means.
-const INVERTED_METRICS: [&str; 1] = ["serve_p99_ms"];
+const INVERTED_METRICS: [&str; 2] = ["serve_p50_ms", "serve_p99_ms"];
 
 /// Resolves the gate width: env override or [`MAX_REGRESSION`].
 fn max_regression() -> f64 {

@@ -1,20 +1,24 @@
 //! Serving-layer load benchmark: boots an in-process [`FlowServer`] on an
 //! ephemeral port, warms its resident cache once per resolution, then
-//! drives it from concurrent TCP clients and emits `BENCH_SERVE.json`
-//! with two gate-able rows:
+//! drives it from concurrent **keep-alive** TCP clients (one persistent
+//! [`http::Client`] each — submit, every poll, and the fetch ride the
+//! same connection) and emits `BENCH_SERVE.json` with three gate-able
+//! rows:
 //!
 //! * `serve_throughput` — completed flow runs per second across all
 //!   clients (higher is better, gated one-sided like the other
 //!   throughput rows);
-//! * `serve_p99_ms` — 99th-percentile end-to-end latency of one run
-//!   (submit → poll to `Completed` → fetch payload) in milliseconds.
-//!   Lower is better: `bench_check` lists it in `INVERTED_METRICS` and
-//!   fails when it *grows* past the gate.
+//! * `serve_p50_ms` / `serve_p99_ms` — median and 99th-percentile
+//!   end-to-end latency of one run (submit → poll to `Completed` → fetch
+//!   payload) in milliseconds. Lower is better: `bench_check` lists both
+//!   in `INVERTED_METRICS` and fails when they *grow* past the gate.
 //!
 //! The warm-up phase means the measured runs are pure cache replays —
 //! the benchmark isolates the serving overhead (HTTP framing, session
 //! bookkeeping, ranking and payload rendering) from synthesis cost,
-//! which `bench_eval` already tracks.
+//! which `bench_eval` already tracks. The per-client connection-reuse
+//! rate is printed so a keep-alive regression (reuse collapsing to ~0)
+//! is visible at a glance even when throughput hides it.
 //!
 //! Run with `cargo run --release -p adc-bench --bin bench_serve`.
 
@@ -25,7 +29,6 @@ use adc_serve::{FlowServer, ServerConfig};
 use adc_synth::SynthConfig;
 use adc_topopt::flow::FlowOptions;
 use adc_topopt::wire::JsonValue;
-use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 /// Concurrent client threads.
@@ -50,10 +53,13 @@ fn request_for(resolution: u32) -> SubmitRequest {
     }
 }
 
-/// Drives one run end to end and returns its wall-clock latency.
-fn drive_run(addr: SocketAddr, body: &str) -> Duration {
+/// Drives one run end to end on the client's persistent connection and
+/// returns its wall-clock latency.
+fn drive_run(client: &mut http::Client, body: &str) -> Duration {
     let t0 = Instant::now();
-    let (status, reply) = http::request(addr, "POST", "/v1/runs", Some(body)).expect("submit");
+    let (status, reply) = client
+        .request("POST", "/v1/runs", Some(body))
+        .expect("submit");
     assert_eq!(status, 202, "submit rejected: {reply}");
     let id = match JsonValue::parse(&reply)
         .expect("submit reply")
@@ -64,8 +70,9 @@ fn drive_run(addr: SocketAddr, body: &str) -> Duration {
     };
     let deadline = Instant::now() + Duration::from_secs(300);
     loop {
-        let (status, poll) =
-            http::request(addr, "GET", &format!("/v1/runs/{id}"), None).expect("poll");
+        let (status, poll) = client
+            .request("GET", &format!("/v1/runs/{id}"), None)
+            .expect("poll");
         assert_eq!(status, 200, "poll failed: {poll}");
         match JsonValue::parse(&poll).expect("poll body").get("state") {
             Some(JsonValue::Str(s)) if s == "Completed" => break,
@@ -75,8 +82,9 @@ fn drive_run(addr: SocketAddr, body: &str) -> Duration {
         assert!(Instant::now() < deadline, "run {id} never finished");
         std::thread::sleep(Duration::from_millis(1));
     }
-    let (status, payload) =
-        http::request(addr, "GET", &format!("/v1/runs/{id}/result"), None).expect("fetch");
+    let (status, payload) = client
+        .request("GET", &format!("/v1/runs/{id}/result"), None)
+        .expect("fetch");
     assert_eq!(status, 200, "fetch failed: {payload}");
     assert!(payload.contains("\"result\""), "payload without result");
     t0.elapsed()
@@ -108,31 +116,42 @@ fn main() {
 
     // Warm-up: synthesize each resolution once so the timed phase is pure
     // cache replay (serving overhead only, no cold synthesis).
+    let mut warm_client = http::Client::new(addr);
     for body in &bodies {
-        let warm = drive_run(addr, body);
+        let warm = drive_run(&mut warm_client, body);
         eprintln!("warm-up run: {:.1} ms", warm.as_secs_f64() * 1e3);
     }
 
     let t0 = Instant::now();
-    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+    let per_client: Vec<(Vec<Duration>, usize, usize, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|client| {
                 let bodies = &bodies;
                 scope.spawn(move || {
-                    (0..RUNS_PER_CLIENT)
-                        .map(|i| drive_run(addr, &bodies[(client + i) % bodies.len()]))
-                        .collect::<Vec<_>>()
+                    let mut conn = http::Client::new(addr);
+                    let samples = (0..RUNS_PER_CLIENT)
+                        .map(|i| drive_run(&mut conn, &bodies[(client + i) % bodies.len()]))
+                        .collect::<Vec<_>>();
+                    (samples, conn.requests(), conn.connects(), conn.reuse_rate())
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
+            .map(|h| h.join().expect("client thread"))
             .collect()
     });
     let wall = t0.elapsed().as_secs_f64();
     server.shutdown();
 
+    let mut latencies: Vec<Duration> = Vec::new();
+    for (client, (samples, requests, connects, reuse)) in per_client.into_iter().enumerate() {
+        eprintln!(
+            "client {client}: {requests} requests on {connects} connections — reuse {:.1}%",
+            reuse * 100.0
+        );
+        latencies.extend(samples);
+    }
     latencies.sort();
     let runs = latencies.len();
     let throughput = runs as f64 / wall;
@@ -146,6 +165,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"serve_throughput\": {{ \"evals_per_sec\": {throughput:.2}, \"evals\": {runs} }},\n  \
+         \"serve_p50_ms\": {{ \"evals_per_sec\": {p50:.2}, \"evals\": {runs} }},\n  \
          \"serve_p99_ms\": {{ \"evals_per_sec\": {p99:.2}, \"evals\": {runs} }}\n}}\n"
     );
     std::fs::write("BENCH_SERVE.json", &json).expect("write BENCH_SERVE.json");

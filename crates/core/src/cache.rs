@@ -40,6 +40,7 @@ fn template_tag(t: TemplateKind) -> u8 {
 use adc_numerics::quant::Fingerprint;
 use adc_synth::SynthResult;
 use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
 
 /// Reuse policy of a [`BlockCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -241,6 +242,29 @@ impl BlockCache {
         if self.policy != CachePolicy::Aggressive {
             return None;
         }
+        let seed = self
+            .nearest_scored(template, key, better_than, config)
+            .map(|(_, _, e)| e);
+        if seed.is_some() {
+            self.stats.near_seeds += 1;
+        }
+        seed
+    }
+
+    /// The policy-free core of [`BlockCache::nearest`]: sweeps integrity,
+    /// then returns the best entry with its `(distance, spec_fp)` score.
+    /// Scan order is ascending `(template, spec_fp)` with strict `<`, so
+    /// the winner is the minimum under `(distance, spec_fp, bucket index)`
+    /// — the ordering [`SharedCache`] merges shard-local winners by to stay
+    /// shard-count-invariant. Does not count `near_seeds` (callers own the
+    /// accounting).
+    fn nearest_scored(
+        &mut self,
+        template: TemplateKind,
+        key: (u32, u32),
+        better_than: Option<i64>,
+        config: u64,
+    ) -> Option<(i64, u64, CacheEntry)> {
         let tag = template_tag(template);
         // Integrity sweep over every bucket the scan would touch.
         for ((t, _), bucket) in self.buckets.iter_mut() {
@@ -251,9 +275,9 @@ impl BlockCache {
             bucket.retain(|s| s.integrity == result_integrity(&s.entry.result));
             self.stats.corrupt_dropped += before - bucket.len();
         }
-        let mut best: Option<&CacheEntry> = None;
+        let mut best: Option<(u64, &CacheEntry)> = None;
         let mut best_dist = better_than.unwrap_or(i64::MAX);
-        for ((t, _), bucket) in &self.buckets {
+        for ((t, fp), bucket) in &self.buckets {
             if *t != tag {
                 continue;
             }
@@ -264,16 +288,12 @@ impl BlockCache {
             {
                 let d = key_distance(e.key, key);
                 if d < best_dist {
-                    best = Some(e);
+                    best = Some((*fp, e));
                     best_dist = d;
                 }
             }
         }
-        let seed = best.cloned();
-        if seed.is_some() {
-            self.stats.near_seeds += 1;
-        }
-        seed
+        best.map(|(fp, e)| (best_dist, fp, e.clone()))
     }
 
     /// Stores a synthesized block. Re-inserting an existing provenance is a
@@ -311,6 +331,344 @@ impl BlockCache {
         bucket.insert(0, stored);
         bucket.truncate(BUCKET_CAP);
         self.stats.insertions += 1;
+    }
+
+    /// Appends every stored entry (with its commit-time integrity stamp)
+    /// to `out` — the snapshot export surface. Emission order is the
+    /// deterministic bucket order: ascending `(template, spec_fp)`, then
+    /// newest-first within a bucket.
+    fn export_into(&self, out: &mut Vec<SnapshotEntry>) {
+        for ((_, fp), bucket) in &self.buckets {
+            for s in bucket {
+                out.push(SnapshotEntry {
+                    spec_fp: *fp,
+                    entry: s.entry.clone(),
+                    integrity: s.integrity,
+                });
+            }
+        }
+    }
+
+    /// Restores one snapshot entry, re-verifying the persisted integrity
+    /// stamp against the (re-computed) content fingerprint of the loaded
+    /// result: an entry corrupted on disk — or by an injected
+    /// `cache_commit` fault on the load path — is dropped and counted in
+    /// [`CacheStats::corrupt_dropped`], never stored. Entries are appended
+    /// in call order, so restoring a snapshot in export order rebuilds the
+    /// original newest-first buckets. Returns whether the entry was kept.
+    fn restore(&mut self, e: SnapshotEntry) -> bool {
+        #[allow(unused_mut)]
+        let mut e = e;
+        #[cfg(feature = "faults")]
+        if let Some(adc_numerics::faults::FaultAction::Corrupt) =
+            adc_numerics::faults::check(adc_numerics::faults::SITE_CACHE_COMMIT)
+        {
+            e.entry.result.best_cost += 1.0;
+        }
+        if result_integrity(&e.entry.result) != e.integrity {
+            self.stats.corrupt_dropped += 1;
+            return false;
+        }
+        let bucket = self
+            .buckets
+            .entry((template_tag(e.entry.req.template), e.spec_fp))
+            .or_default();
+        if bucket.len() >= BUCKET_CAP
+            || bucket
+                .iter()
+                .any(|s| s.entry.provenance == e.entry.provenance)
+        {
+            return false;
+        }
+        bucket.push(StoredEntry {
+            entry: e.entry,
+            integrity: e.integrity,
+        });
+        true
+    }
+}
+
+/// One exported cache entry: the [`CacheEntry`] plus its normalized-spec
+/// bucket fingerprint and commit-time integrity stamp — everything the
+/// snapshot format persists per entry. The bucket template rides inside
+/// `entry.req.template`.
+#[derive(Debug, Clone)]
+pub struct SnapshotEntry {
+    /// `(stage ⊕ normalized requirement)` bucket fingerprint.
+    pub spec_fp: u64,
+    /// The cached synthesis.
+    pub entry: CacheEntry,
+    /// Content fingerprint stamped at commit time, re-verified on restore.
+    pub integrity: u64,
+}
+
+/// The cache consultation surface [`crate::flow::run_flow`] plans and
+/// commits through — implemented by an exclusively borrowed [`BlockCache`]
+/// and by a [`SharedCache`] reference that locks one shard per call.
+pub(crate) trait FlowCache {
+    /// Exact lookup (see [`BlockCache::lookup`]).
+    fn lookup(
+        &mut self,
+        template: TemplateKind,
+        spec_fp: u64,
+        req: &OtaRequirements,
+        provenance: u64,
+        config: u64,
+    ) -> Option<CacheEntry>;
+    /// Near-hit seed (see [`BlockCache::nearest`]).
+    fn nearest(
+        &mut self,
+        template: TemplateKind,
+        key: (u32, u32),
+        better_than: Option<i64>,
+        config: u64,
+    ) -> Option<CacheEntry>;
+    /// Commit (see [`BlockCache::insert`]).
+    fn insert(&mut self, template: TemplateKind, spec_fp: u64, entry: CacheEntry);
+}
+
+impl FlowCache for BlockCache {
+    fn lookup(
+        &mut self,
+        template: TemplateKind,
+        spec_fp: u64,
+        req: &OtaRequirements,
+        provenance: u64,
+        config: u64,
+    ) -> Option<CacheEntry> {
+        BlockCache::lookup(self, template, spec_fp, req, provenance, config)
+    }
+    fn nearest(
+        &mut self,
+        template: TemplateKind,
+        key: (u32, u32),
+        better_than: Option<i64>,
+        config: u64,
+    ) -> Option<CacheEntry> {
+        BlockCache::nearest(self, template, key, better_than, config)
+    }
+    fn insert(&mut self, template: TemplateKind, spec_fp: u64, entry: CacheEntry) {
+        BlockCache::insert(self, template, spec_fp, entry);
+    }
+}
+
+impl FlowCache for &SharedCache {
+    fn lookup(
+        &mut self,
+        template: TemplateKind,
+        spec_fp: u64,
+        req: &OtaRequirements,
+        provenance: u64,
+        config: u64,
+    ) -> Option<CacheEntry> {
+        SharedCache::lookup(self, template, spec_fp, req, provenance, config)
+    }
+    fn nearest(
+        &mut self,
+        template: TemplateKind,
+        key: (u32, u32),
+        better_than: Option<i64>,
+        config: u64,
+    ) -> Option<CacheEntry> {
+        SharedCache::nearest(self, template, key, better_than, config)
+    }
+    fn insert(&mut self, template: TemplateKind, spec_fp: u64, entry: CacheEntry) {
+        SharedCache::insert(self, template, spec_fp, entry);
+    }
+}
+
+/// Default shard count of a [`SharedCache`] — enough that a worker pool
+/// sized for commodity cores rarely collides on one lock, small enough
+/// that merged-stats scans stay trivial.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// A [`BlockCache`] split across N independently locked shards — the
+/// resident flow server's cache substrate, replacing the single
+/// `Mutex<BlockCache>` whose one lock every worker funnelled through.
+///
+/// A block's shard is chosen by its existing normalized-spec
+/// [`Fingerprint`] (`spec_fp % shards`), so placement is a deterministic
+/// function of the block alone: thread count, submission order and wall
+/// clock never move an entry between shards. Lookup and commit lock
+/// exactly one shard; only the aggressive-policy near-hit scan (never
+/// consulted by the reproducible serving path) visits all shards, merging
+/// shard-local winners under the same `(distance, spec_fp, bucket index)`
+/// order a single cache scans in — so `nearest` answers are
+/// shard-count-invariant too. [`SharedCache::stats`] merges per-shard
+/// counters in fixed shard order (a commutative sum, deterministic for
+/// any interleaving).
+#[derive(Debug)]
+pub struct SharedCache {
+    policy: CachePolicy,
+    shards: Vec<Mutex<BlockCache>>,
+}
+
+impl SharedCache {
+    /// An empty sharded cache. `shards` is clamped to at least 1.
+    #[must_use]
+    pub fn new(policy: CachePolicy, shards: usize) -> Self {
+        SharedCache {
+            policy,
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(BlockCache::new(policy)))
+                .collect(),
+        }
+    }
+
+    /// [`SharedCache::new`] with [`DEFAULT_SHARDS`].
+    #[must_use]
+    pub fn with_default_shards(policy: CachePolicy) -> Self {
+        SharedCache::new(policy, DEFAULT_SHARDS)
+    }
+
+    /// The reuse policy (uniform across shards).
+    #[must_use]
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `spec_fp`. Deterministic in the fingerprint and
+    /// the shard count alone.
+    fn shard(&self, spec_fp: u64) -> std::sync::MutexGuard<'_, BlockCache> {
+        let idx = (spec_fp % self.shards.len() as u64) as usize;
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Total stored entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Whether no shard holds an entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merged cumulative statistics: the field-wise sum over shards in
+    /// fixed shard order.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap_or_else(PoisonError::into_inner).stats();
+            total.lookups += s.lookups;
+            total.hits += s.hits;
+            total.near_seeds += s.near_seeds;
+            total.insertions += s.insertions;
+            total.corrupt_dropped += s.corrupt_dropped;
+        }
+        total
+    }
+
+    /// Drops all entries in every shard (statistics are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        }
+    }
+
+    /// [`BlockCache::lookup`] against the owning shard (one lock).
+    pub fn lookup(
+        &self,
+        template: TemplateKind,
+        spec_fp: u64,
+        req: &OtaRequirements,
+        provenance: u64,
+        config: u64,
+    ) -> Option<CacheEntry> {
+        self.shard(spec_fp)
+            .lookup(template, spec_fp, req, provenance, config)
+    }
+
+    /// [`BlockCache::nearest`] across all shards: each shard reports its
+    /// local winner (already minimal under `(distance, spec_fp, bucket
+    /// index)`), and the global winner is the minimum under `(distance,
+    /// spec_fp)` — exactly the order a single unsharded scan encounters
+    /// entries in, so the answer does not depend on the shard count. The
+    /// `near_seeds` count lands in the winning entry's shard.
+    pub fn nearest(
+        &self,
+        template: TemplateKind,
+        key: (u32, u32),
+        better_than: Option<i64>,
+        config: u64,
+    ) -> Option<CacheEntry> {
+        if self.policy != CachePolicy::Aggressive {
+            return None;
+        }
+        let mut best: Option<(i64, u64, CacheEntry)> = None;
+        for shard in &self.shards {
+            let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some((d, fp, e)) = guard.nearest_scored(template, key, better_than, config) {
+                let wins = match &best {
+                    None => true,
+                    Some((bd, bfp, _)) => (d, fp) < (*bd, *bfp),
+                };
+                if wins {
+                    best = Some((d, fp, e));
+                }
+            }
+        }
+        best.map(|(_, fp, e)| {
+            self.shard(fp).stats.near_seeds += 1;
+            e
+        })
+    }
+
+    /// [`BlockCache::insert`] against the owning shard (one lock).
+    pub fn insert(&self, template: TemplateKind, spec_fp: u64, entry: CacheEntry) {
+        self.shard(spec_fp).insert(template, spec_fp, entry);
+    }
+
+    /// Every stored entry across all shards in a **shard-count-invariant**
+    /// order — sorted by `(template, spec_fp, bucket index)` — so the
+    /// rendered snapshot of a given cache content is byte-identical
+    /// whether it was accumulated under 1 shard or 64.
+    #[must_use]
+    pub fn export_entries(&self) -> Vec<SnapshotEntry> {
+        let mut all: Vec<SnapshotEntry> = Vec::new();
+        for shard in &self.shards {
+            shard
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .export_into(&mut all);
+        }
+        // Bucket order within a shard is already deterministic; a stable
+        // sort on the bucket key makes the concatenation shard-invariant
+        // while preserving each bucket's newest-first entry order.
+        all.sort_by_key(|e| (template_tag(e.entry.req.template), e.spec_fp));
+        all
+    }
+
+    /// Restores one exported entry into its shard (integrity re-verified;
+    /// corrupt entries dropped and counted — see [`BlockCache`] restore
+    /// semantics). Returns whether the entry was kept.
+    pub fn restore_entry(&self, entry: SnapshotEntry) -> bool {
+        self.shard(entry.spec_fp).restore(entry)
+    }
+
+    /// Counts `n` entries that never made it to any shard (unparseable or
+    /// version-rejected snapshot records) as corrupt-dropped, so the
+    /// merged statistics account for every entry the snapshot claimed.
+    pub fn note_corrupt_dropped(&self, n: usize) {
+        self.shards[0]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats
+            .corrupt_dropped += n;
     }
 }
 

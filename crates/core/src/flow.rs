@@ -25,7 +25,7 @@
 //! oracle, and [`synthesize_candidate_set_waves`] retains the PR-2
 //! wave-barrier scheduler as a benchmarking baseline.
 
-use crate::cache::{key_distance, BlockCache, CacheEntry};
+use crate::cache::{key_distance, BlockCache, CacheEntry, FlowCache, SharedCache};
 use crate::enumerate::Candidate;
 use crate::executor::{run_dag_outcomes, BlockFailure, BlockOutcome, ExecutorOptions, FailureKind};
 use adc_mdac::opamp::{
@@ -47,7 +47,6 @@ use adc_synth::{
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Version salt folded into every provenance fingerprint. Bump when the
@@ -634,7 +633,7 @@ fn schedule_candidate_set(
     candidates: &[Candidate],
     params: &PowerModelParams,
     cfg: &SynthConfig,
-    mut cache: Option<&mut BlockCache>,
+    mut cache: Option<&mut dyn FlowCache>,
 ) -> Vec<ScheduledBlock> {
     let planned = plan_candidate_set(spec, candidates, params);
     let cfg_fp = flow_config_fingerprint(&spec.process, cfg);
@@ -930,7 +929,7 @@ fn execute_schedule_serial(
 fn finish_run(
     scheduled: Vec<ScheduledBlock>,
     outcomes: Vec<BlockOutcome<ExecutedBlock>>,
-    mut cache: Option<&mut BlockCache>,
+    mut cache: Option<&mut dyn FlowCache>,
     deadline_slack_ms: Option<i64>,
 ) -> SynthesisRun {
     let mut stats = RunStats {
@@ -1106,7 +1105,7 @@ pub fn run_flow(req: &FlowRequest<'_>, mut cache: Option<&mut BlockCache>) -> Sy
         req.candidates,
         req.params,
         req.cfg,
-        cache.as_deref_mut(),
+        cache.as_deref_mut().map(|c| c as &mut dyn FlowCache),
     );
     let outcomes = match &req.mode {
         ExecutionMode::Parallel(exec) => execute_schedule(
@@ -1128,28 +1127,35 @@ pub fn run_flow(req: &FlowRequest<'_>, mut cache: Option<&mut BlockCache>) -> Sy
     let slack = run_deadline
         .slack_seconds()
         .map(|s| (s * 1e3).round() as i64);
-    finish_run(scheduled, outcomes, cache, slack)
+    finish_run(
+        scheduled,
+        outcomes,
+        cache.map(|c| c as &mut dyn FlowCache),
+        slack,
+    )
 }
 
-/// [`run_flow`] against a **shared** cache behind a mutex — the resident
-/// flow-server entry point. The lock is held only for the schedule
-/// (lookup) and commit phases; the synthesis itself runs unlocked, so
-/// concurrent requests interleave their block executions while the cache
-/// stays consistent. A poisoned lock is recovered (the cache's integrity
-/// fingerprints already guard against torn entries). The result is
-/// deterministic given the cache state observed at schedule time.
-pub fn run_flow_shared(req: &FlowRequest<'_>, cache: &Mutex<BlockCache>) -> SynthesisRun {
+/// [`run_flow`] against a **sharded** [`SharedCache`] — the resident
+/// flow-server entry point. Each lookup during scheduling and each commit
+/// afterwards locks exactly the one shard owning that block's
+/// normalized-spec fingerprint; the synthesis itself runs unlocked, so
+/// concurrent requests interleave their block executions (and their cache
+/// consultations on distinct shards) while every shard stays consistent.
+/// Poisoned shard locks are recovered (the cache's integrity fingerprints
+/// already guard against torn entries). The result is deterministic given
+/// the per-shard cache state observed at each lookup; under
+/// [`crate::cache::CachePolicy::Reproducible`] it is bit-identical to a
+/// cache-cold serial run for any shard or thread count.
+pub fn run_flow_shared(req: &FlowRequest<'_>, cache: &SharedCache) -> SynthesisRun {
     let run_deadline = req.run_deadline();
-    let scheduled = {
-        let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
-        schedule_candidate_set(
-            req.spec,
-            req.candidates,
-            req.params,
-            req.cfg,
-            Some(&mut guard),
-        )
-    };
+    let mut handle: &SharedCache = cache;
+    let scheduled = schedule_candidate_set(
+        req.spec,
+        req.candidates,
+        req.params,
+        req.cfg,
+        Some(&mut handle as &mut dyn FlowCache),
+    );
     let outcomes = match &req.mode {
         ExecutionMode::Parallel(exec) => execute_schedule(
             &req.spec.process,
@@ -1170,8 +1176,13 @@ pub fn run_flow_shared(req: &FlowRequest<'_>, cache: &Mutex<BlockCache>) -> Synt
     let slack = run_deadline
         .slack_seconds()
         .map(|s| (s * 1e3).round() as i64);
-    let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
-    finish_run(scheduled, outcomes, Some(&mut guard), slack)
+    let mut handle: &SharedCache = cache;
+    finish_run(
+        scheduled,
+        outcomes,
+        Some(&mut handle as &mut dyn FlowCache),
+        slack,
+    )
 }
 
 /// Synthesizes every distinct MDAC of a candidate set with reuse: exact
@@ -1761,9 +1772,10 @@ mod tests {
         assert_same(&base.blocks, &base_serial.blocks, "parallel vs serial");
     }
 
-    /// [`run_flow_shared`] (mutex-phased schedule/commit, the server path)
-    /// is bit-identical to [`run_flow`] with exclusive cache access, and a
-    /// second shared run replays from provenance-exact hits.
+    /// [`run_flow_shared`] (per-shard-locked schedule/commit, the server
+    /// path) is bit-identical to [`run_flow`] with exclusive cache access
+    /// — for **every** shard count — and a second shared run replays from
+    /// provenance-exact hits regardless of how the entries are sharded.
     #[test]
     fn shared_cache_flow_matches_exclusive() {
         let spec = AdcSpec::date05(10);
@@ -1778,17 +1790,31 @@ mod tests {
         let req = FlowRequest::new(&spec, &cands, &params, &cfg);
         let mut exclusive_cache = BlockCache::new(CachePolicy::Reproducible);
         let exclusive = run_flow(&req, Some(&mut exclusive_cache));
-        let shared_cache = Mutex::new(BlockCache::new(CachePolicy::Reproducible));
-        let shared = run_flow_shared(&req, &shared_cache);
-        assert_eq!(exclusive.stats, shared.stats);
-        for (a, b) in exclusive.blocks.iter().zip(shared.blocks.iter()) {
-            assert_eq!(a.key, b.key);
-            assert_eq!(a.result.best_x, b.result.best_x);
-            assert_eq!(a.result.evaluations, b.result.evaluations);
+        for shards in [1, 3, 8] {
+            let shared_cache = SharedCache::new(CachePolicy::Reproducible, shards);
+            let shared = run_flow_shared(&req, &shared_cache);
+            assert_eq!(exclusive.stats, shared.stats, "{shards} shards");
+            for (a, b) in exclusive.blocks.iter().zip(shared.blocks.iter()) {
+                assert_eq!(a.key, b.key, "{shards} shards");
+                assert_eq!(a.result.best_x, b.result.best_x, "{shards} shards");
+                assert_eq!(
+                    a.result.evaluations, b.result.evaluations,
+                    "{shards} shards"
+                );
+            }
+            let replay = run_flow_shared(&req, &shared_cache);
+            assert_eq!(
+                replay.stats.cache_hits, replay.stats.blocks,
+                "{shards} shards"
+            );
+            assert_eq!(replay.stats.evaluations_spent, 0, "{shards} shards");
+            // The merged counters see both runs: every block looked up
+            // twice, hit on the replay, inserted once.
+            let merged = shared_cache.stats();
+            assert_eq!(merged.lookups, 2 * replay.stats.blocks);
+            assert_eq!(merged.hits, replay.stats.blocks);
+            assert_eq!(merged.insertions, shared_cache.len());
         }
-        let replay = run_flow_shared(&req, &shared_cache);
-        assert_eq!(replay.stats.cache_hits, replay.stats.blocks);
-        assert_eq!(replay.stats.evaluations_spent, 0);
     }
 
     /// A degraded [`ResolutionRun`] converts to the typed error through the

@@ -49,7 +49,7 @@ pub mod rules;
 pub mod verify;
 pub mod wire;
 
-pub use cache::{BlockCache, CachePolicy, CacheStats};
+pub use cache::{BlockCache, CachePolicy, CacheStats, SharedCache, SnapshotEntry};
 pub use enumerate::{enumerate_candidates, Candidate};
 pub use executor::{BlockFailure, BlockOutcome, ExecutorOptions, FailureKind};
 pub use flow::{

@@ -15,13 +15,18 @@
 //!   `power: NaN` blocks representable;
 //! - durations ride as fractional milliseconds (`*_ms` keys).
 
-use crate::flow::{FlowOptions, ResolutionRun, RetryPolicy, RunStats};
+use crate::cache::{CacheEntry, SharedCache, SnapshotEntry};
+use crate::flow::{
+    FlowOptions, OtaRequirements, ResolutionRun, RetryPolicy, RunStats, TemplateKind,
+};
 use crate::verify::ChainVerification;
 use adc_mdac::specs::AdcSpec;
 use adc_spice::process::Process;
 use adc_synth::chain::ChainReport;
+use adc_synth::evaluator::Performance;
 use adc_synth::tran_chain::{TranChainReport, TranStageReport};
 use adc_synth::SynthConfig;
+use adc_synth::SynthResult;
 use std::fmt;
 use std::time::Duration;
 
@@ -683,6 +688,304 @@ pub fn resolution_run_to_json(run: &ResolutionRun) -> JsonValue {
     ])
 }
 
+/// Format tag of a block-cache snapshot document.
+pub const SNAPSHOT_FORMAT: &str = "adc-block-cache-snapshot";
+/// Snapshot schema version. Entries from any other version are dropped
+/// (and counted) on load, never served.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Renders a `u64` fingerprint as fixed-width hex. JSON numbers are
+/// `f64`s (exact only to 2^53), so full-width fingerprints ride as
+/// strings to round-trip bit-exactly.
+fn fp_to_json(fp: u64) -> JsonValue {
+    JsonValue::Str(format!("{fp:016x}"))
+}
+
+fn fp_field(v: &JsonValue, field: &str) -> Result<u64, WireError> {
+    let text = v.str_field(field)?;
+    u64::from_str_radix(text, 16).map_err(|_| WireError::BadType {
+        field: field.to_string(),
+        expected: "a hex-encoded u64 fingerprint",
+    })
+}
+
+fn template_name(t: TemplateKind) -> &'static str {
+    match t {
+        TemplateKind::Telescopic => "telescopic",
+        TemplateKind::TwoStage => "two_stage",
+    }
+}
+
+fn template_from_name(name: &str) -> Result<TemplateKind, WireError> {
+    match name {
+        "telescopic" => Ok(TemplateKind::Telescopic),
+        "two_stage" => Ok(TemplateKind::TwoStage),
+        _ => Err(WireError::BadType {
+            field: "template".to_string(),
+            expected: "`telescopic` or `two_stage`",
+        }),
+    }
+}
+
+/// Wire image of one block's exact requirements (snapshot payload).
+fn ota_requirements_to_json(req: &OtaRequirements) -> JsonValue {
+    JsonValue::Obj(vec![
+        (
+            "template".to_string(),
+            JsonValue::Str(template_name(req.template).to_string()),
+        ),
+        ("a0_min".to_string(), JsonValue::num(req.a0_min)),
+        ("unity_min".to_string(), JsonValue::num(req.unity_min)),
+        ("pm_min".to_string(), JsonValue::num(req.pm_min)),
+        ("c_load".to_string(), JsonValue::num(req.c_load)),
+    ])
+}
+
+fn ota_requirements_from_json(v: &JsonValue) -> Result<OtaRequirements, WireError> {
+    Ok(OtaRequirements {
+        template: template_from_name(v.str_field("template")?)?,
+        a0_min: v.f64_field("a0_min")?,
+        unity_min: v.f64_field("unity_min")?,
+        pm_min: v.f64_field("pm_min")?,
+        c_load: v.f64_field("c_load")?,
+    })
+}
+
+fn f64_array(v: &JsonValue, field: &str) -> Result<Vec<f64>, WireError> {
+    match v.get(field) {
+        Some(JsonValue::Arr(items)) => items
+            .iter()
+            .map(|item| match item {
+                JsonValue::Num(x) => Ok(*x),
+                JsonValue::Null => Ok(f64::NAN),
+                _ => Err(WireError::BadType {
+                    field: field.to_string(),
+                    expected: "an array of numbers",
+                }),
+            })
+            .collect(),
+        Some(_) => Err(WireError::BadType {
+            field: field.to_string(),
+            expected: "an array",
+        }),
+        None => Err(WireError::MissingField(field.to_string())),
+    }
+}
+
+/// Wire image of a cached synthesis result (snapshot payload). Finite
+/// floats round-trip bit-exactly through the shortest-round-trip
+/// formatter; a non-finite value rides as `null` and reads back NaN —
+/// such an entry then fails its integrity re-check on load and is
+/// dropped, which is the safe outcome for a result the cache could not
+/// have served faithfully anyway.
+fn synth_result_to_json(r: &SynthResult) -> JsonValue {
+    JsonValue::Obj(vec![
+        (
+            "best_x".to_string(),
+            JsonValue::Arr(r.best_x.iter().map(|&x| JsonValue::num(x)).collect()),
+        ),
+        (
+            "best_u".to_string(),
+            JsonValue::Arr(r.best_u.iter().map(|&u| JsonValue::num(u)).collect()),
+        ),
+        (
+            "perf".to_string(),
+            JsonValue::Obj(
+                r.best_perf
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), JsonValue::num(v)))
+                    .collect(),
+            ),
+        ),
+        ("best_cost".to_string(), JsonValue::num(r.best_cost)),
+        ("feasible".to_string(), JsonValue::Bool(r.feasible)),
+        (
+            "evaluations".to_string(),
+            JsonValue::Num(r.evaluations as f64),
+        ),
+    ])
+}
+
+fn synth_result_from_json(v: &JsonValue) -> Result<SynthResult, WireError> {
+    let mut best_perf = Performance::new();
+    match v.get("perf") {
+        Some(JsonValue::Obj(pairs)) => {
+            for (k, val) in pairs {
+                let x = match val {
+                    JsonValue::Num(x) => *x,
+                    JsonValue::Null => f64::NAN,
+                    _ => {
+                        return Err(WireError::BadType {
+                            field: format!("perf.{k}"),
+                            expected: "a number",
+                        })
+                    }
+                };
+                best_perf.set(k, x);
+            }
+        }
+        Some(_) => {
+            return Err(WireError::BadType {
+                field: "perf".to_string(),
+                expected: "an object",
+            })
+        }
+        None => return Err(WireError::MissingField("perf".to_string())),
+    }
+    let feasible = match v.get("feasible") {
+        Some(JsonValue::Bool(b)) => *b,
+        _ => {
+            return Err(WireError::BadType {
+                field: "feasible".to_string(),
+                expected: "a boolean",
+            })
+        }
+    };
+    Ok(SynthResult {
+        best_x: f64_array(v, "best_x")?,
+        best_u: f64_array(v, "best_u")?,
+        best_perf,
+        best_cost: v.f64_field("best_cost")?,
+        feasible,
+        evaluations: v.usize_field("evaluations")?,
+    })
+}
+
+fn snapshot_entry_to_json(e: &SnapshotEntry) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("spec_fp".to_string(), fp_to_json(e.spec_fp)),
+        (
+            "key".to_string(),
+            JsonValue::Arr(vec![
+                JsonValue::Num(f64::from(e.entry.key.0)),
+                JsonValue::Num(f64::from(e.entry.key.1)),
+            ]),
+        ),
+        ("req".to_string(), ota_requirements_to_json(&e.entry.req)),
+        ("result".to_string(), synth_result_to_json(&e.entry.result)),
+        ("provenance".to_string(), fp_to_json(e.entry.provenance)),
+        ("config".to_string(), fp_to_json(e.entry.config)),
+        ("integrity".to_string(), fp_to_json(e.integrity)),
+    ])
+}
+
+fn snapshot_entry_from_json(v: &JsonValue) -> Result<SnapshotEntry, WireError> {
+    let key = match v.get("key") {
+        Some(JsonValue::Arr(items)) if items.len() == 2 => {
+            let part = |i: usize| match &items[i] {
+                JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Ok(*x as u32),
+                _ => Err(WireError::BadType {
+                    field: "key".to_string(),
+                    expected: "a pair of non-negative integers",
+                }),
+            };
+            (part(0)?, part(1)?)
+        }
+        _ => {
+            return Err(WireError::BadType {
+                field: "key".to_string(),
+                expected: "a two-element array",
+            })
+        }
+    };
+    let req = ota_requirements_from_json(
+        v.get("req")
+            .ok_or_else(|| WireError::MissingField("req".to_string()))?,
+    )?;
+    let result = synth_result_from_json(
+        v.get("result")
+            .ok_or_else(|| WireError::MissingField("result".to_string()))?,
+    )?;
+    Ok(SnapshotEntry {
+        spec_fp: fp_field(v, "spec_fp")?,
+        entry: CacheEntry {
+            key,
+            req,
+            result,
+            provenance: fp_field(v, "provenance")?,
+            config: fp_field(v, "config")?,
+        },
+        integrity: fp_field(v, "integrity")?,
+    })
+}
+
+/// What a snapshot restore did: how many entries each path took. The
+/// dropped count mirrors the `corrupt_dropped` increments the restore
+/// charged against the cache's merged statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotLoad {
+    /// Entries restored and available for warm hits.
+    pub loaded: usize,
+    /// Entries dropped: unparseable, version-rejected, or failing their
+    /// integrity re-check.
+    pub dropped: usize,
+}
+
+/// Renders the full content of a [`SharedCache`] as a versioned snapshot
+/// document. Entry order is shard-count-invariant (see
+/// [`SharedCache::export_entries`]) and the renderer is
+/// byte-deterministic, so equal cache contents produce byte-identical
+/// snapshots.
+pub fn cache_snapshot_to_json(cache: &SharedCache) -> JsonValue {
+    let entries = cache
+        .export_entries()
+        .iter()
+        .map(snapshot_entry_to_json)
+        .collect();
+    JsonValue::Obj(vec![
+        (
+            "format".to_string(),
+            JsonValue::Str(SNAPSHOT_FORMAT.to_string()),
+        ),
+        (
+            "version".to_string(),
+            JsonValue::Num(SNAPSHOT_VERSION as f64),
+        ),
+        ("entries".to_string(), JsonValue::Arr(entries)),
+    ])
+}
+
+/// Restores a parsed snapshot document into `cache`. Fail-safe by
+/// construction: a wrong format tag or schema version drops (and counts)
+/// every entry; an unparseable entry is dropped and counted; an entry
+/// whose persisted integrity stamp no longer matches its re-computed
+/// content fingerprint is dropped and counted by the cache itself. The
+/// server boots cold in the worst case — it never crashes on, and never
+/// serves, a corrupt entry.
+pub fn cache_snapshot_restore(cache: &SharedCache, doc: &JsonValue) -> SnapshotLoad {
+    let mut load = SnapshotLoad::default();
+    let entries = match doc.get("entries") {
+        Some(JsonValue::Arr(items)) => items.as_slice(),
+        _ => &[],
+    };
+    let format_ok = matches!(doc.get("format"), Some(JsonValue::Str(f)) if f == SNAPSHOT_FORMAT);
+    let version_ok =
+        matches!(doc.get("version"), Some(JsonValue::Num(v)) if *v == SNAPSHOT_VERSION as f64);
+    if !format_ok || !version_ok {
+        load.dropped = entries.len().max(1);
+        cache.note_corrupt_dropped(load.dropped);
+        return load;
+    }
+    for item in entries {
+        match snapshot_entry_from_json(item) {
+            Ok(entry) => {
+                if cache.restore_entry(entry) {
+                    load.loaded += 1;
+                } else {
+                    // Integrity failures were already counted by the
+                    // cache; duplicates are benign but not "loaded".
+                    load.dropped += 1;
+                }
+            }
+            Err(_) => {
+                load.dropped += 1;
+                cache.note_corrupt_dropped(1);
+            }
+        }
+    }
+    load
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,5 +1104,63 @@ mod tests {
         let doc = JsonValue::parse(r#"{"resolution":10}"#).unwrap();
         let err = spec_from_json(&doc).unwrap_err();
         assert_eq!(err, WireError::MissingField("process".to_string()));
+    }
+
+    /// Cache snapshots are byte-deterministic and shard-count-invariant:
+    /// the same content exported from a 1-shard and an 8-shard cache
+    /// renders identical bytes; restoring into a cache at yet another
+    /// shard count reproduces every entry with zero drops and re-exports
+    /// the identical bytes; a version-mismatched snapshot restores
+    /// nothing and counts every entry as dropped.
+    #[test]
+    fn cache_snapshot_round_trips_at_any_shard_count() {
+        use crate::cache::CachePolicy;
+        use crate::flow::{run_flow_shared, FlowRequest};
+        use adc_mdac::power::PowerModelParams;
+        use adc_synth::SynthConfig;
+
+        let spec = AdcSpec::date05(10);
+        let candidates = crate::enumerate::enumerate_candidates(10, 7);
+        let params = PowerModelParams::calibrated();
+        let cfg = SynthConfig {
+            iterations: 8,
+            nm_iterations: 2,
+            seed: 13,
+            ..Default::default()
+        };
+
+        let mut renders = Vec::new();
+        for shards in [1usize, 8] {
+            let cache = SharedCache::new(CachePolicy::Reproducible, shards);
+            let req = FlowRequest::new(&spec, &candidates, &params, &cfg);
+            let _ = run_flow_shared(&req, &cache);
+            assert!(!cache.is_empty());
+            renders.push((cache.len(), cache_snapshot_to_json(&cache).render()));
+        }
+        assert_eq!(
+            renders[0].1, renders[1].1,
+            "snapshot bytes must be shard-count-invariant"
+        );
+
+        let restored = SharedCache::new(CachePolicy::Reproducible, 3);
+        let doc = JsonValue::parse(&renders[0].1).unwrap();
+        let load = cache_snapshot_restore(&restored, &doc);
+        assert_eq!(load.loaded, renders[0].0);
+        assert_eq!(load.dropped, 0);
+        assert_eq!(restored.stats().corrupt_dropped, 0);
+        assert_eq!(restored.len(), renders[0].0);
+        assert_eq!(
+            cache_snapshot_to_json(&restored).render(),
+            renders[0].1,
+            "restore → export must be byte-identical"
+        );
+
+        let stale = renders[0].1.replace("\"version\":1", "\"version\":2");
+        let victim = SharedCache::new(CachePolicy::Reproducible, 2);
+        let load = cache_snapshot_restore(&victim, &JsonValue::parse(&stale).unwrap());
+        assert_eq!(load.loaded, 0);
+        assert_eq!(load.dropped, renders[0].0);
+        assert_eq!(victim.len(), 0, "nothing from a mismatched version");
+        assert_eq!(victim.stats().corrupt_dropped, load.dropped);
     }
 }

@@ -3,15 +3,20 @@
 //!
 //! ```text
 //! adc-serve [--addr HOST:PORT] [--workers N] [--max-inflight N] [--verify]
-//! adc-serve --smoke
+//!           [--snapshot PATH] [--snapshot-every SECS]
+//! adc-serve --smoke [--snapshot PATH]
 //! ```
 //!
-//! Smoke mode boots a server on an ephemeral port, submits a small
-//! 10-bit run over real sockets, polls it to `Completed`, diffs the
-//! fetched payload's deterministic subtree against the batch oracle,
-//! resubmits the same spec against the now-warm cache, and requires the
-//! replay to be pure cache hits (zero cold syntheses) — the acceptance
-//! contract of the serving layer.
+//! Smoke mode boots a server on an ephemeral port, checks keep-alive
+//! connection reuse, submits a small 10-bit run over real sockets, polls
+//! it to `Completed`, diffs the fetched payload's deterministic subtree
+//! against the batch oracle, resubmits the same spec against the now-warm
+//! cache, and requires the replay to be pure cache hits (zero cold
+//! syntheses) — the acceptance contract of the serving layer. With
+//! `--snapshot` it additionally shuts the server down (saving the
+//! snapshot), boots a **second** server from the same snapshot file, and
+//! requires the resubmission against the restarted server to be 100%
+//! cache hits with zero cold syntheses — the persistence contract.
 
 use adc_mdac::power::PowerModelParams;
 use adc_mdac::specs::AdcSpec;
@@ -23,6 +28,7 @@ use adc_topopt::enumerate::enumerate_candidates;
 use adc_topopt::flow::{run_flow, FlowOptions, FlowRequest};
 use adc_topopt::wire::JsonValue;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -37,6 +43,15 @@ fn main() {
             "--addr" => config.addr = expect_value(&mut iter, "--addr"),
             "--workers" => config.workers = parse_value(&mut iter, "--workers"),
             "--max-inflight" => config.max_inflight = parse_value(&mut iter, "--max-inflight"),
+            "--snapshot" => {
+                config.snapshot = Some(PathBuf::from(expect_value(&mut iter, "--snapshot")))
+            }
+            "--snapshot-every" => {
+                config.snapshot_every = Some(Duration::from_secs(parse_value(
+                    &mut iter,
+                    "--snapshot-every",
+                ) as u64));
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -44,7 +59,7 @@ fn main() {
         }
     }
     if smoke {
-        run_smoke();
+        run_smoke(config.snapshot);
         return;
     }
     config.addr = if config.addr == "127.0.0.1:0" {
@@ -136,9 +151,10 @@ fn submit(addr: SocketAddr, body: &str) -> u64 {
     }
 }
 
-fn run_smoke() {
+fn run_smoke(snapshot: Option<PathBuf>) {
     let server = FlowServer::start(ServerConfig {
         verify: true,
+        snapshot: snapshot.clone(),
         ..ServerConfig::default()
     })
     .expect("ephemeral bind");
@@ -147,6 +163,16 @@ fn run_smoke() {
 
     let (status, body) = http::request(addr, "GET", "/healthz", None).expect("healthz");
     check(status == 200 && body.contains("\"ok\""), "healthz");
+
+    // Keep-alive: two requests through one persistent client must cost
+    // exactly one TCP connection.
+    let mut client = http::Client::new(addr);
+    let (first, _) = client.request("GET", "/healthz", None).expect("healthz#1");
+    let (second, _) = client.request("GET", "/healthz", None).expect("healthz#2");
+    check(
+        first == 200 && second == 200 && client.connects() == 1,
+        "keep-alive serves two requests on one connection",
+    );
 
     // Cold run: submit, poll to Completed, fetch, diff vs the batch oracle.
     let request = smoke_request();
@@ -200,5 +226,53 @@ fn run_smoke() {
     );
 
     server.shutdown();
+
+    // Persistence leg: the shutdown above saved the snapshot; a fresh
+    // server booted from it must answer the same spec entirely from the
+    // restored cache — zero cold syntheses across a process restart.
+    if let Some(path) = snapshot {
+        check(path.exists(), "shutdown wrote the cache snapshot");
+        let server = FlowServer::start(ServerConfig {
+            verify: true,
+            snapshot: Some(path),
+            ..ServerConfig::default()
+        })
+        .expect("snapshot-boot bind");
+        let addr = server.addr();
+        check(
+            server.cache_len() > 0 && server.cache_stats().corrupt_dropped == 0,
+            "restart restored snapshot entries with zero corrupt drops",
+        );
+        let restart_id = submit(addr, &wire_body);
+        let restart_doc = poll_to_completed(addr, restart_id);
+        let stats = restart_doc.get("stats").expect("restart stats");
+        let num = |k: &str| match stats.get(k) {
+            Some(JsonValue::Num(v)) => *v,
+            _ => f64::NAN,
+        };
+        check(
+            num("cache_hits") == num("blocks") && num("blocks") > 0.0,
+            "restarted server answers resubmission 100% from the snapshot",
+        );
+        check(
+            num("cold") == 0.0,
+            "restarted server performs zero cold syntheses",
+        );
+        check(
+            num("evaluations_spent") == 0.0,
+            "restarted server spends zero evaluations",
+        );
+        let (code, restart_payload) =
+            http::request(addr, "GET", &format!("/v1/runs/{restart_id}/result"), None)
+                .expect("restart fetch");
+        check(code == 200, "restart fetch status 200");
+        let restart_served = JsonValue::parse(&restart_payload).expect("restart payload is JSON");
+        check(
+            restart_served.get("result").map(JsonValue::render)
+                == oracle_doc.get("result").map(JsonValue::render),
+            "restarted result subtree is bit-identical to the batch oracle",
+        );
+        server.shutdown();
+    }
     println!("smoke: all checks passed");
 }

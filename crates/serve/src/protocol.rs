@@ -20,7 +20,7 @@
 use adc_mdac::power::PowerModelParams;
 use adc_mdac::specs::AdcSpec;
 use adc_synth::SynthConfig;
-use adc_topopt::cache::BlockCache;
+use adc_topopt::cache::SharedCache;
 use adc_topopt::enumerate::{enumerate_candidates, Candidate};
 use adc_topopt::executor::FailureKind;
 use adc_topopt::flow::{
@@ -33,7 +33,6 @@ use adc_topopt::wire::{
     flow_options_from_json, flow_options_to_json, run_stats_to_json, spec_from_json, spec_to_json,
     synth_config_from_json, synth_config_to_json, verification_to_json, JsonValue, WireError,
 };
-use std::sync::Mutex;
 
 /// Backend flash resolution the enumeration closes against (the paper's
 /// 7-bit backend; every batch workload in the repo uses the same).
@@ -244,6 +243,12 @@ pub fn render_payload(
     run: &SynthesisRun,
     verify: bool,
 ) -> String {
+    payload_with_result(req, run, result_json(req, candidates, run, verify))
+}
+
+/// Assembles the payload around an already-built `result` subtree (fresh
+/// or memoized — the bytes are identical either way).
+fn payload_with_result(req: &SubmitRequest, run: &SynthesisRun, result: JsonValue) -> String {
     let health_run = ResolutionRun {
         resolution: req.spec.resolution,
         blocks: run.blocks.clone(),
@@ -258,10 +263,7 @@ pub fn render_payload(
             "health".to_string(),
             JsonValue::Str(run_health_table(std::slice::from_ref(&health_run))),
         ),
-        (
-            "result".to_string(),
-            result_json(req, candidates, run, verify),
-        ),
+        ("result".to_string(), result),
     ])
     .render()
 }
@@ -288,12 +290,60 @@ pub fn outcome(spec: &AdcSpec, candidates: &[Candidate], run: &SynthesisRun) -> 
     Ok(())
 }
 
-/// Runs one request against a shared cache and renders its payload — the
-/// exact code path of a server worker, callable with a fresh cache as the
-/// batch oracle.
+/// Memo of `result` subtrees keyed by canonical request (plus the verify
+/// flag).
+///
+/// Under [`CachePolicy::Reproducible`](adc_topopt::cache::CachePolicy)
+/// the `result` subtree is a **pure function of the canonical request** —
+/// that is exactly the bit-identity contract the oracle tests pin — so a
+/// warm resubmission can reuse the subtree the first run computed and
+/// skip ranking, chain verification, and result rendering entirely. The
+/// per-run `stats` and `health` sections are still rendered fresh (they
+/// are cache-warmth dependent by design). Fault-affected runs (any
+/// failure or recovery) neither consult nor populate the memo, so a
+/// chaos-degraded run always renders its own subtree. Bounded: past
+/// [`ResultMemo::CAP`] distinct requests, new subtrees are computed but
+/// not recorded.
+#[derive(Default)]
+pub struct ResultMemo {
+    map: std::sync::Mutex<std::collections::HashMap<String, JsonValue>>,
+}
+
+impl ResultMemo {
+    /// Distinct canonical requests memoized at most.
+    pub const CAP: usize = 128;
+
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> ResultMemo {
+        ResultMemo::default()
+    }
+
+    fn get(&self, key: &str) -> Option<JsonValue> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
+    fn put(&self, key: String, value: JsonValue) {
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if map.len() < Self::CAP {
+            map.insert(key, value);
+        }
+    }
+}
+
+/// Runs one request against the sharded shared cache and renders its
+/// payload — the exact code path of a server worker, callable with a
+/// fresh cache as the batch oracle.
 pub fn run_and_render(
     req: &SubmitRequest,
-    cache: &Mutex<BlockCache>,
+    cache: &SharedCache,
     verify: bool,
 ) -> (SynthesisRun, String) {
     let params = PowerModelParams::calibrated();
@@ -302,6 +352,44 @@ pub fn run_and_render(
         FlowRequest::new(&req.spec, &candidates, &params, &req.cfg).with_options(req.options);
     let run = run_flow_shared(&flow_req, cache);
     let payload = render_payload(req, &candidates, &run, verify);
+    (run, payload)
+}
+
+/// [`run_and_render`] with a [`ResultMemo`]: the server worker's hot
+/// path. A clean run of a request seen before (Reproducible policy only)
+/// reuses the memoized `result` subtree instead of re-ranking,
+/// re-verifying, and re-rendering it.
+pub fn run_and_render_memo(
+    req: &SubmitRequest,
+    cache: &SharedCache,
+    verify: bool,
+    memo: &ResultMemo,
+) -> (SynthesisRun, String) {
+    use adc_topopt::cache::CachePolicy;
+
+    let params = PowerModelParams::calibrated();
+    let candidates = enumerate_candidates(req.spec.resolution, BACKEND_BITS);
+    let flow_req =
+        FlowRequest::new(&req.spec, &candidates, &params, &req.cfg).with_options(req.options);
+    let run = run_flow_shared(&flow_req, cache);
+    // Memoization is sound only where determinism is a contract: the
+    // Reproducible policy, and a run the fault ladder never touched.
+    let clean = cache.policy() == CachePolicy::Reproducible
+        && run.failures.is_empty()
+        && run.stats.recovered == 0
+        && run.stats.failed == 0;
+    let key = format!("{}#verify={verify}", req.canonical().render());
+    let result = match clean.then(|| memo.get(&key)).flatten() {
+        Some(result) => result,
+        None => {
+            let result = result_json(req, &candidates, &run, verify);
+            if clean {
+                memo.put(key, result.clone());
+            }
+            result
+        }
+    };
+    let payload = payload_with_result(req, &run, result);
     (run, payload)
 }
 
@@ -360,13 +448,10 @@ mod tests {
 
     /// The shared-cache worker path renders byte-for-byte what the
     /// exclusive batch path renders (the oracle contract every serving
-    /// test builds on).
+    /// test builds on), at every shard count.
     #[test]
     fn worker_payload_matches_batch_oracle() {
         let req = tiny_request(10);
-        let cache = Mutex::new(BlockCache::new(CachePolicy::Reproducible));
-        let (_, served) = run_and_render(&req, &cache, false);
-
         let params = PowerModelParams::calibrated();
         let candidates = enumerate_candidates(req.spec.resolution, BACKEND_BITS);
         let batch = run_flow(
@@ -374,17 +459,21 @@ mod tests {
             None,
         );
         let oracle = render_payload(&req, &candidates, &batch, false);
-
-        let served_doc = JsonValue::parse(&served).unwrap();
         let oracle_doc = JsonValue::parse(&oracle).unwrap();
-        assert_eq!(
-            served_doc.get("result").unwrap().render(),
-            oracle_doc.get("result").unwrap().render(),
-            "deterministic subtree must be bit-identical to the serial batch path"
-        );
-        assert_eq!(
-            served_doc.get("request").unwrap().render(),
-            oracle_doc.get("request").unwrap().render()
-        );
+
+        for shards in [1, 4, 8] {
+            let cache = SharedCache::new(CachePolicy::Reproducible, shards);
+            let (_, served) = run_and_render(&req, &cache, false);
+            let served_doc = JsonValue::parse(&served).unwrap();
+            assert_eq!(
+                served_doc.get("result").unwrap().render(),
+                oracle_doc.get("result").unwrap().render(),
+                "deterministic subtree must be bit-identical to the serial batch path ({shards} shards)"
+            );
+            assert_eq!(
+                served_doc.get("request").unwrap().render(),
+                oracle_doc.get("request").unwrap().render()
+            );
+        }
     }
 }

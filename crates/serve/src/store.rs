@@ -368,4 +368,56 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, StoreError::Illegal(_)), "{err}");
     }
+
+    /// Multithreaded hammer: four threads race live inserts, completions,
+    /// and the oldest-terminal evictions against a capacity-8 store. The
+    /// invariants under contention: capacity is never exceeded, a shed is
+    /// always the typed `Full` error, and eviction never drops a run that
+    /// is still live (every thread's own live run stays fetchable until
+    /// it drives it terminal itself).
+    #[test]
+    fn concurrent_hammer_never_drops_live_runs_or_overflows() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        const CAPACITY: usize = 8;
+        let store = ResultStore::new(CAPACITY);
+        let next = AtomicU64::new(1);
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let store = &store;
+                let next = &next;
+                scope.spawn(move || {
+                    for round in 0..200u64 {
+                        let id = next.fetch_add(1, Ordering::SeqCst);
+                        match store.insert(record(id, SessionState::Running)) {
+                            Ok(()) => {}
+                            Err(StoreError::Full { capacity }) => {
+                                assert_eq!(capacity, CAPACITY);
+                                continue;
+                            }
+                            Err(e) => panic!("unexpected shed error: {e}"),
+                        }
+                        assert!(store.len() <= CAPACITY, "capacity exceeded");
+                        // Our run is live: eviction (terminal-only) must
+                        // never have taken it, however many terminal
+                        // records other threads are churning through.
+                        let status = store
+                            .status(id)
+                            .unwrap_or_else(|| panic!("live run {id} was evicted"));
+                        assert!(!status.state.is_terminal());
+                        // Drive it terminal ourselves so it becomes
+                        // eviction fodder for the other threads.
+                        if (worker + round) % 2 == 0 {
+                            store
+                                .complete(id, RunStats::default(), "{}".to_string())
+                                .unwrap();
+                        } else {
+                            store.fail(id, None, "hammer".to_string()).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(store.len() <= CAPACITY);
+    }
 }

@@ -5,7 +5,9 @@
 
 use adc_mdac::power::PowerModelParams;
 use adc_mdac::specs::AdcSpec;
-use adc_numerics::faults::{self, FaultAction, FaultPlan, FaultRule, SITE_SYNTH_EXECUTE};
+use adc_numerics::faults::{
+    self, FaultAction, FaultPlan, FaultRule, SITE_CACHE_COMMIT, SITE_SYNTH_EXECUTE,
+};
 use adc_serve::http;
 use adc_serve::protocol::{render_payload, SubmitRequest, BACKEND_BITS};
 use adc_serve::{FlowServer, ServerConfig};
@@ -210,4 +212,88 @@ fn ladder_exhausting_fault_is_typed_over_the_wire() {
     let (status, body) = http::request(addr, "GET", "/healthz", None).unwrap();
     assert_eq!(status, 200, "server must survive the fault: {body}");
     server.shutdown();
+}
+
+/// `Corrupt` injected at every snapshot-load commit: the integrity check
+/// catches each corrupted entry, the server boots **cold** (all entries
+/// dropped and counted in `corrupt_dropped`) instead of crashing, never
+/// serves a corrupt entry, and the subsequent run — fully cold — still
+/// renders bit-identical to the serial batch path.
+#[test]
+fn corrupt_snapshot_load_boots_cold_and_never_serves_corrupt_entries() {
+    let _g = lock();
+    let dir = std::env::temp_dir().join("adc-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "chaos-corrupt-{}.snapshot.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let req = tiny_request(10);
+
+    // Build a legitimate snapshot with a fault-free cold run.
+    let server = FlowServer::start(ServerConfig {
+        snapshot: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let done = poll_until_terminal(server.addr(), submit(server.addr(), &req));
+    assert_eq!(
+        done.get("state"),
+        Some(&JsonValue::Str("Completed".to_string()))
+    );
+    let entries = server.cache_len();
+    assert!(entries > 0);
+    server.shutdown();
+    assert!(path.exists());
+
+    // Corrupt every restore commit (one rule per entry, all scoped to
+    // the snapshot load so live cache commits stay untouched).
+    faults::install(FaultPlan {
+        seed: 21,
+        rules: (0..entries)
+            .map(|nth| FaultRule {
+                site: SITE_CACHE_COMMIT,
+                scope_contains: Some("snapshot_load".to_string()),
+                nth,
+                action: FaultAction::Corrupt,
+            })
+            .collect(),
+    });
+    let server = FlowServer::start(ServerConfig {
+        snapshot: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    faults::clear();
+    let addr = server.addr();
+
+    assert_eq!(server.cache_len(), 0, "every corrupted entry was dropped");
+    assert_eq!(
+        server.cache_stats().corrupt_dropped as usize,
+        entries,
+        "every drop is counted"
+    );
+
+    // The cold server never serves a corrupt entry: the run re-synthesizes
+    // everything and still matches the fault-free serial oracle.
+    let redo = poll_until_terminal(addr, submit(addr, &req));
+    assert_eq!(
+        redo.get("state"),
+        Some(&JsonValue::Str("Completed".to_string()))
+    );
+    assert_eq!(stat(&redo, "cache_hits"), 0.0, "nothing warm survived");
+    assert!(stat(&redo, "cold") > 0.0);
+    let (status, payload) = http::request(addr, "GET", "/v1/runs/1/result", None).unwrap();
+    assert_eq!(status, 200);
+    let params = PowerModelParams::calibrated();
+    let candidates = enumerate_candidates(10, BACKEND_BITS);
+    let oracle_run = run_flow(
+        &FlowRequest::new(&req.spec, &candidates, &params, &req.cfg).serial(),
+        None,
+    );
+    let oracle = render_payload(&req, &candidates, &oracle_run, false);
+    assert_eq!(result_subtree(&payload), result_subtree(&oracle));
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
 }

@@ -295,6 +295,182 @@ fn error_codes_are_typed() {
     server.shutdown();
 }
 
+/// Shed submissions (past the in-flight cap) carry a `Retry-After`
+/// header, and `/healthz` reports the cumulative shed count next to the
+/// inflight gauge and the cache statistics.
+#[test]
+fn shed_responses_carry_retry_after_and_healthz_counts_them() {
+    let server = FlowServer::start(ServerConfig {
+        workers: 0,
+        max_inflight: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let req = tiny_request(10);
+
+    let _queued = submit(addr, &req);
+    for _ in 0..2 {
+        let (status, headers, body) =
+            http::request_full(addr, "POST", "/v1/runs", Some(&req.canonical().render())).unwrap();
+        assert_eq!(status, 429, "{body}");
+        let retry_after = headers
+            .iter()
+            .find(|(name, _)| name == "retry-after")
+            .map(|(_, value)| value.as_str());
+        assert_eq!(
+            retry_after,
+            Some(http::RETRY_AFTER_SECS.to_string().as_str()),
+            "429 must carry Retry-After"
+        );
+    }
+
+    let (status, body) = http::request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    let doc = JsonValue::parse(&body).unwrap();
+    assert_eq!(doc.get("shed"), Some(&JsonValue::Num(2.0)), "{body}");
+    assert_eq!(doc.get("inflight"), Some(&JsonValue::Num(1.0)), "{body}");
+    let cache = doc.get("cache").expect("healthz reports cache stats");
+    assert_eq!(cache.get("corrupt_dropped"), Some(&JsonValue::Num(0.0)));
+    assert_eq!(server.shed_count(), 2);
+    server.shutdown();
+}
+
+/// One persistent keep-alive client drives a whole submit → poll → fetch
+/// run on a single TCP connection, and the served payload is still
+/// bit-identical to the serial batch path.
+#[test]
+fn keep_alive_client_runs_a_full_flow_on_one_connection() {
+    let server = FlowServer::start(ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    let req = tiny_request(10);
+
+    let mut client = http::Client::new(addr);
+    let (status, body) = client
+        .request("POST", "/v1/runs", Some(&req.canonical().render()))
+        .unwrap();
+    assert_eq!(status, 202, "{body}");
+    let id = match JsonValue::parse(&body).unwrap().get("run_id") {
+        Some(JsonValue::Num(id)) => *id as u64,
+        other => panic!("submit reply without run_id: {other:?}"),
+    };
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = client
+            .request("GET", &format!("/v1/runs/{id}"), None)
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = JsonValue::parse(&body).unwrap();
+        if doc.get("state") == Some(&JsonValue::Str("Completed".to_string())) {
+            break;
+        }
+        assert_ne!(
+            doc.get("state"),
+            Some(&JsonValue::Str("Failed".to_string())),
+            "{body}"
+        );
+        assert!(Instant::now() < deadline, "run never finished: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, payload) = client
+        .request("GET", &format!("/v1/runs/{id}/result"), None)
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        result_subtree(&payload),
+        result_subtree(&serial_oracle(&req))
+    );
+    assert_eq!(
+        client.connects(),
+        1,
+        "the whole run must ride one connection ({} requests)",
+        client.requests()
+    );
+    assert!(client.reuse_rate() > 0.5);
+    server.shutdown();
+}
+
+/// Unique per-test snapshot path under the target tmp dir.
+fn snapshot_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("adc-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}.snapshot.json", std::process::id()))
+}
+
+/// Shutdown saves the cache snapshot; a fresh server restored from it
+/// answers a resubmission of the same spec 100 % from the cache — zero
+/// cold syntheses across a process restart — and the payload stays
+/// bit-identical to the serial batch path.
+#[test]
+fn snapshot_restart_serves_warm_resubmissions_with_zero_cold_syntheses() {
+    let path = snapshot_path("restart");
+    let _ = std::fs::remove_file(&path);
+    let req = tiny_request(10);
+
+    let server = FlowServer::start(ServerConfig {
+        snapshot: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let first = poll_until_terminal(server.addr(), submit(server.addr(), &req));
+    assert!(stat(&first, "blocks") > 0.0);
+    let entries = server.cache_len();
+    assert!(entries > 0);
+    server.shutdown();
+    assert!(path.exists(), "shutdown must write the snapshot");
+
+    let server = FlowServer::start(ServerConfig {
+        snapshot: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    assert_eq!(server.cache_len(), entries, "restore round-trips entries");
+    assert_eq!(server.cache_stats().corrupt_dropped, 0);
+    let warm = poll_until_terminal(addr, submit(addr, &req));
+    assert_eq!(stat(&warm, "cache_hits"), stat(&warm, "blocks"));
+    assert_eq!(
+        stat(&warm, "cold"),
+        0.0,
+        "zero cold syntheses after restart"
+    );
+    assert_eq!(stat(&warm, "evaluations_spent"), 0.0);
+    let payload = fetch_payload(addr, 1);
+    assert_eq!(
+        result_subtree(&payload),
+        result_subtree(&serial_oracle(&req))
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A truncated (unparseable) snapshot file must boot the server cold —
+/// drop counted, nothing served from it, no crash — and the server then
+/// works normally.
+#[test]
+fn truncated_snapshot_boots_cold_and_is_counted() {
+    let path = snapshot_path("truncated");
+    std::fs::write(&path, "{\"format\":\"adc-block-cache-snapshot\",\"ver").unwrap();
+    let server = FlowServer::start(ServerConfig {
+        snapshot: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    assert_eq!(server.cache_len(), 0, "nothing restored from garbage");
+    assert_eq!(server.cache_stats().corrupt_dropped, 1, "drop is counted");
+    // The cold server still serves correctly.
+    let req = tiny_request(10);
+    let done = poll_until_terminal(addr, submit(addr, &req));
+    assert_eq!(
+        done.get("state"),
+        Some(&JsonValue::Str("Completed".to_string()))
+    );
+    assert!(stat(&done, "cold") > 0.0, "boot really was cold");
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Cancelled runs report the session's typed terminal state through the
 /// result endpoint too: fetching a cancelled run is a 409 naming the
 /// `Failed` state, not a hang or a 200 with a stale payload.
